@@ -1,0 +1,53 @@
+/// Figure 12: overall Q8 query processing performance with varying tile
+/// sizes (256 KB - 16 MB), normalized to the 256 KB setting; the star marks
+/// the tile size the cost model selects.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/math_util.h"
+#include "model/plan_tuner.h"
+
+int main() {
+  using namespace gpl;
+  const double sf = benchutil::ScaleFactor();
+  const tpch::Database& db = benchutil::Db(sf);
+  benchutil::Banner("Figure 12",
+                    "Q8 runtime vs tile size (other parameters default); "
+                    "star = model-selected tile",
+                    sf);
+
+  // The star: the tile minimizing the model's *predicted* time with the
+  // other parameters at their defaults, exactly how the sweep is measured.
+  int64_t chosen_tile = 0;
+  double base_ms = 0.0;
+  double best_predicted = 0.0;
+  struct Point {
+    int64_t tile;
+    double measured_ms;
+  };
+  std::vector<Point> points;
+  for (int64_t tile : model::TileSizeGrid()) {
+    model::TuningOverrides overrides;
+    overrides.tile_bytes = tile;
+    const QueryResult r = benchutil::Run(db, EngineMode::kGpl, queries::Q8(),
+                                         sim::DeviceSpec::AmdA10(), overrides,
+                                         /*use_cost_model=*/false);
+    if (base_ms == 0.0) base_ms = r.metrics.elapsed_ms;
+    if (chosen_tile == 0 || r.metrics.predicted_ms < best_predicted) {
+      best_predicted = r.metrics.predicted_ms;
+      chosen_tile = tile;
+    }
+    points.push_back({tile, r.metrics.elapsed_ms});
+  }
+
+  std::printf("%12s %12s %12s\n", "tile size", "time (ms)", "normalized");
+  for (const Point& p : points) {
+    std::printf("%9lld KB %12.3f %12.2f%s\n",
+                static_cast<long long>(p.tile / 1024), p.measured_ms,
+                p.measured_ms / base_ms,
+                p.tile == chosen_tile ? "   * (model's choice)" : "");
+  }
+  std::printf("(paper: U-shape — small tiles underutilize, large tiles "
+              "thrash the cache; model star near the minimum)\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+/// Figure 14: relative error in estimating GPL runtime with a varying number
+/// of work-groups (settings S1..S7; Si assigns 2^(i-1) x S1 work-groups per
+/// kernel, S1 = 2), for Q8 on the AMD device.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace gpl;
+  const double sf = benchutil::ScaleFactor();
+  const tpch::Database& db = benchutil::Db(sf);
+  benchutil::Banner("Figure 14",
+                    "Model relative error vs work-group setting S1..S7 "
+                    "(Q8, AMD device)",
+                    sf);
+
+  std::printf("%8s %6s %14s %14s %12s\n", "setting", "wg_Ki", "measured(ms)",
+              "estimated(ms)", "rel. error");
+  for (int i = 1; i <= 7; ++i) {
+    const int wg = 2 << (i - 1);  // S1 = 2, doubling
+    model::TuningOverrides overrides;
+    overrides.workgroups_per_kernel = wg;
+    const QueryResult r = benchutil::Run(db, EngineMode::kGpl, queries::Q8(),
+                                         sim::DeviceSpec::AmdA10(), overrides,
+                                         /*use_cost_model=*/false);
+    std::printf("%7s%d %6d %14.3f %14.3f %11.1f%%\n", "S", i, wg,
+                r.metrics.elapsed_ms, r.metrics.predicted_ms,
+                100.0 * r.metrics.RelativeError());
+  }
+  std::printf("(paper: nominal error across all allocations)\n");
+  return 0;
+}

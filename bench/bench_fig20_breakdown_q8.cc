@@ -1,0 +1,39 @@
+/// Figure 20: query execution time breakdown for Q8 on the AMD device, KBE
+/// vs GPL; also reports the cache-hit-ratio improvement mentioned in Section
+/// 5.3.2 (~27% for Q8 in the paper).
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace gpl;
+  const double sf = benchutil::ScaleFactor();
+  const tpch::Database& db = benchutil::Db(sf);
+  benchutil::Banner("Figure 20",
+                    "Q8 execution-time breakdown: KBE vs GPL (AMD device)",
+                    sf);
+
+  const QueryResult kbe = benchutil::Run(db, EngineMode::kKbe, queries::Q8());
+  const QueryResult gpl = benchutil::Run(db, EngineMode::kGpl, queries::Q8());
+
+  auto print_row = [](const char* label, const QueryMetrics& m) {
+    std::printf("%-8s %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f %9.0f%%\n",
+                label, m.elapsed_ms, m.compute_ms, m.mem_ms, m.dc_ms,
+                m.delay_ms, m.other_ms, 100.0 * m.CommunicationFraction());
+  };
+  std::printf("%-8s %10s %10s %10s %10s %10s %10s %10s\n", "engine", "total",
+              "compute", "Mem_cost", "DC_cost", "Delay", "launch", "comm %");
+  print_row("KBE", kbe.metrics);
+  print_row("GPL", gpl.metrics);
+
+  std::printf("\nCache hit ratio: KBE %.1f%% -> GPL %.1f%% (+%.0f%%, paper: "
+              "+27%% for Q8)\n",
+              100.0 * kbe.metrics.cache_hit_ratio,
+              100.0 * gpl.metrics.cache_hit_ratio,
+              100.0 * (gpl.metrics.cache_hit_ratio /
+                           kbe.metrics.cache_hit_ratio -
+                       1.0));
+  std::printf("(paper: communication is up to 34%% of KBE's runtime but at "
+              "most 14%% of GPL's)\n");
+  return 0;
+}

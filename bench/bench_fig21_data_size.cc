@@ -1,0 +1,35 @@
+/// Figure 21: query execution time with varying data size (scale factor
+/// sweep), KBE vs GPL on the AMD device. The paper sweeps SF 0.1-10; the
+/// default sweep here is scaled down (set GPL_BENCH_SF to raise the
+/// upper end: the sweep runs {SF/8, SF/4, SF/2, SF}).
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace gpl;
+  const double top = benchutil::ScaleFactor(0.16);
+  benchutil::Banner("Figure 21",
+                    "Runtime vs data size: KBE vs GPL (AMD device)", top);
+
+  std::printf("%8s %10s %12s %12s %14s\n", "SF", "query", "KBE (ms)",
+              "GPL (ms)", "improvement");
+  for (double sf : {top / 8.0, top / 4.0, top / 2.0, top}) {
+    const tpch::Database& db = benchutil::Db(sf);
+    double kbe_total = 0.0, gpl_total = 0.0;
+    for (auto& [name, query] : queries::EvaluationSuite()) {
+      const QueryResult kbe = benchutil::Run(db, EngineMode::kKbe, query);
+      const QueryResult gpl = benchutil::Run(db, EngineMode::kGpl, query);
+      kbe_total += kbe.metrics.elapsed_ms;
+      gpl_total += gpl.metrics.elapsed_ms;
+      std::printf("%8.3f %10s %12.3f %12.3f %13.1f%%\n", sf, name.c_str(),
+                  kbe.metrics.elapsed_ms, gpl.metrics.elapsed_ms,
+                  100.0 * (1.0 - gpl.metrics.elapsed_ms /
+                                     kbe.metrics.elapsed_ms));
+    }
+    std::printf("%8.3f %10s %12.3f %12.3f %13.1f%%\n", sf, "ALL", kbe_total,
+                gpl_total, 100.0 * (1.0 - gpl_total / kbe_total));
+  }
+  std::printf("(paper: GPL's advantage grows with the data size)\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+/// Figure 22: query execution time for GPL and the Ocelot-style baseline on
+/// the AMD device across scale factors. The paper uses SF 1/5/10 and notes
+/// Ocelot cannot complete Q9 at SF 10; the sweep here runs {SF/4, SF/2, SF}.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace gpl;
+  const double top = benchutil::ScaleFactor(0.16);
+  benchutil::Banner("Figure 22", "GPL vs Ocelot per query and scale factor",
+                    top);
+
+  std::printf("%8s %10s %12s %12s %10s\n", "SF", "query", "Ocelot (ms)",
+              "GPL (ms)", "speedup");
+  for (double sf : {top / 4.0, top / 2.0, top}) {
+    const tpch::Database& db = benchutil::Db(sf);
+    for (auto& [name, query] : queries::EvaluationSuite()) {
+      const QueryResult ocelot = benchutil::Run(db, EngineMode::kOcelot, query);
+      const QueryResult gpl = benchutil::Run(db, EngineMode::kGpl, query);
+      std::printf("%8.3f %10s %12.3f %12.3f %9.2fx\n", sf, name.c_str(),
+                  ocelot.metrics.elapsed_ms, gpl.metrics.elapsed_ms,
+                  ocelot.metrics.elapsed_ms / gpl.metrics.elapsed_ms);
+    }
+  }
+  std::printf("(paper: GPL is comparable on most queries and significantly "
+              "faster on Q8/Q9)\n");
+  return 0;
+}

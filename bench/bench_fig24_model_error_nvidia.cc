@@ -1,0 +1,26 @@
+/// Figure 24 (Appendix A.3.1): relative error of the analytical model on the
+/// NVIDIA K40, per TPC-H query.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace gpl;
+  const double sf = benchutil::ScaleFactor();
+  const tpch::Database& db = benchutil::Db(sf);
+  benchutil::Banner("Figure 24",
+                    "Relative error in estimating GPL runtime (NVIDIA K40)",
+                    sf);
+
+  std::printf("%8s %14s %14s %14s\n", "query", "measured(ms)",
+              "estimated(ms)", "rel. error");
+  for (auto& [name, query] : queries::EvaluationSuite()) {
+    const QueryResult r = benchutil::Run(db, EngineMode::kGpl, query,
+                                         sim::DeviceSpec::NvidiaK40());
+    std::printf("%8s %14.3f %14.3f %13.1f%%\n", name.c_str(),
+                r.metrics.elapsed_ms, r.metrics.predicted_ms,
+                100.0 * r.metrics.RelativeError());
+  }
+  std::printf("(paper: small relative error on the NVIDIA GPU as well)\n");
+  return 0;
+}

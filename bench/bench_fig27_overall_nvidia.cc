@@ -1,0 +1,34 @@
+/// Figure 27 (Appendix A.3.2): GPL and GPL (w/o CE) execution time
+/// normalized to KBE on the NVIDIA K40, per TPC-H query.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace gpl;
+  const double sf = benchutil::ScaleFactor();
+  const tpch::Database& db = benchutil::Db(sf);
+  const sim::DeviceSpec device = sim::DeviceSpec::NvidiaK40();
+  benchutil::Banner("Figure 27",
+                    "GPL runtime normalized to KBE (NVIDIA K40)", sf);
+
+  std::printf("%8s %12s %18s %14s %16s\n", "query", "KBE (norm)",
+              "GPL w/o CE (norm)", "GPL (norm)", "GPL improvement");
+  double best = 0.0;
+  for (auto& [name, query] : queries::EvaluationSuite()) {
+    const QueryResult kbe = benchutil::Run(db, EngineMode::kKbe, query, device);
+    const QueryResult noce =
+        benchutil::Run(db, EngineMode::kGplNoCe, query, device);
+    const QueryResult gpl = benchutil::Run(db, EngineMode::kGpl, query, device);
+    const double improvement =
+        100.0 * (1.0 - gpl.metrics.elapsed_ms / kbe.metrics.elapsed_ms);
+    best = std::max(best, improvement);
+    std::printf("%8s %12.2f %18.2f %14.2f %15.1f%%\n", name.c_str(), 1.0,
+                noce.metrics.elapsed_ms / kbe.metrics.elapsed_ms,
+                gpl.metrics.elapsed_ms / kbe.metrics.elapsed_ms, improvement);
+  }
+  std::printf("\nBest GPL improvement over KBE: %.1f%% (paper: ~50%% on the "
+              "NVIDIA GPU, helped by C=16)\n",
+              best);
+  return 0;
+}

@@ -1,0 +1,30 @@
+/// Figure 28 (Appendix A.3.2): improved GPU resource utilization of GPL over
+/// KBE for Q8 on the NVIDIA K40.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace gpl;
+  const double sf = benchutil::ScaleFactor();
+  const tpch::Database& db = benchutil::Db(sf);
+  const sim::DeviceSpec device = sim::DeviceSpec::NvidiaK40();
+  benchutil::Banner("Figure 28",
+                    "Q8 resource utilization: KBE vs GPL (NVIDIA K40)", sf);
+
+  const QueryResult kbe = benchutil::Run(db, EngineMode::kKbe, queries::Q8(),
+                                         device);
+  const QueryResult gpl = benchutil::Run(db, EngineMode::kGpl, queries::Q8(),
+                                         device);
+  std::printf("%8s %12s %14s %12s\n", "engine", "VALUBusy", "MemUnitBusy",
+              "occupancy");
+  std::printf("%8s %11.1f%% %13.1f%% %11.1f%%\n", "KBE",
+              100.0 * kbe.metrics.valu_busy, 100.0 * kbe.metrics.mem_unit_busy,
+              100.0 * kbe.metrics.occupancy);
+  std::printf("%8s %11.1f%% %13.1f%% %11.1f%%\n", "GPL",
+              100.0 * gpl.metrics.valu_busy, 100.0 * gpl.metrics.mem_unit_busy,
+              100.0 * gpl.metrics.occupancy);
+  std::printf("(paper: GPL achieves higher utilization of both memory and "
+              "compute units)\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+/// Figure 4: high communication cost in KBE query execution with varying
+/// selectivity (Q14) on the AMD device: memory-stall cost vs other cost.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace gpl;
+  const double sf = benchutil::ScaleFactor();
+  const tpch::Database& db = benchutil::Db(sf);
+  benchutil::Banner("Figure 4",
+                    "KBE communication (Mem_cost) share vs selectivity (Q14)",
+                    sf);
+
+  std::printf("%12s %12s %12s %12s %12s\n", "selectivity", "total (ms)",
+              "Mem_cost", "other", "mem share");
+  for (double sel : {0.01, 0.164, 0.25, 0.50, 0.75, 1.0}) {
+    const QueryResult r =
+        benchutil::Run(db, EngineMode::kKbe, queries::Q14(sel));
+    const QueryMetrics& m = r.metrics;
+    const double other = m.elapsed_ms - m.mem_ms;
+    std::printf("%11.0f%% %12.3f %12.3f %12.3f %11.0f%%\n", sel * 100.0,
+                m.elapsed_ms, m.mem_ms, other,
+                100.0 * m.mem_ms / m.elapsed_ms);
+  }
+  std::printf("(paper: memory cost dominates KBE and grows with "
+              "selectivity)\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+/// Figure 5: low utilization of GPU resources (VALUBusy, MemUnitBusy) in
+/// kernel-based query execution on the AMD device.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace gpl;
+  const double sf = benchutil::ScaleFactor();
+  const tpch::Database& db = benchutil::Db(sf);
+  benchutil::Banner("Figure 5",
+                    "KBE resource utilization per query (AMD device)", sf);
+
+  std::printf("%8s %12s %14s %12s\n", "query", "VALUBusy", "MemUnitBusy",
+              "occupancy");
+  double sum_valu = 0.0, sum_mem = 0.0;
+  int count = 0;
+  for (auto& [name, query] : queries::EvaluationSuite()) {
+    const QueryResult r = benchutil::Run(db, EngineMode::kKbe, query);
+    std::printf("%8s %11.1f%% %13.1f%% %11.1f%%\n", name.c_str(),
+                100.0 * r.metrics.valu_busy, 100.0 * r.metrics.mem_unit_busy,
+                100.0 * r.metrics.occupancy);
+    sum_valu += r.metrics.valu_busy;
+    sum_mem += r.metrics.mem_unit_busy;
+    ++count;
+  }
+  std::printf("%8s %11.1f%% %13.1f%%\n", "average", 100.0 * sum_valu / count,
+              100.0 * sum_mem / count);
+  std::printf("(paper: KBE cannot keep both compute and memory busy)\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+/// Micro-benchmarks (google-benchmark) for the building blocks: data
+/// generation, expression evaluation, the relational primitives, the join
+/// hash table, and the event simulator. These are wall-clock benchmarks of
+/// the library itself, complementing the figure harnesses (which report
+/// simulated GPU time).
+#include <benchmark/benchmark.h>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "exec/hash_table.h"
+#include "exec/primitives.h"
+#include "model/calibration.h"
+#include "sim/engine.h"
+#include "tpch/dbgen.h"
+
+namespace gpl {
+namespace {
+
+const tpch::Database& BenchDb() {
+  static const tpch::Database* db = [] {
+    tpch::DbgenConfig config;
+    config.scale_factor = 0.01;
+    return new tpch::Database(tpch::Generate(config));
+  }();
+  return *db;
+}
+
+void BM_Dbgen(benchmark::State& state) {
+  tpch::DbgenConfig config;
+  config.scale_factor = 0.002;
+  for (auto _ : state) {
+    tpch::Database db = tpch::Generate(config);
+    benchmark::DoNotOptimize(db.lineitem.num_rows());
+  }
+}
+BENCHMARK(BM_Dbgen)->Unit(benchmark::kMillisecond);
+
+void BM_FilterKernel(benchmark::State& state) {
+  const tpch::Database& db = BenchDb();
+  KernelPtr kernel = MakeFilterKernel(
+      Lt(Col("l_quantity"), LitInt(static_cast<int64_t>(state.range(0)))));
+  for (auto _ : state) {
+    Result<Table> out = kernel->Process(db.lineitem);
+    benchmark::DoNotOptimize(out->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * db.lineitem.num_rows());
+}
+BENCHMARK(BM_FilterKernel)->Arg(5)->Arg(25)->Arg(50)->Unit(benchmark::kMillisecond);
+
+void BM_HashBuild(benchmark::State& state) {
+  const tpch::Database& db = BenchDb();
+  for (auto _ : state) {
+    auto hj = std::make_shared<HashJoinState>();
+    KernelPtr build = MakeHashBuildKernel({Col("o_orderkey")}, hj);
+    Result<Table> out = build->Process(db.orders);
+    benchmark::DoNotOptimize(hj->table.num_entries());
+  }
+  state.SetItemsProcessed(state.iterations() * db.orders.num_rows());
+}
+BENCHMARK(BM_HashBuild)->Unit(benchmark::kMillisecond);
+
+void BM_HashProbe(benchmark::State& state) {
+  const tpch::Database& db = BenchDb();
+  auto hj = std::make_shared<HashJoinState>();
+  KernelPtr build = MakeHashBuildKernel({Col("o_orderkey")}, hj);
+  GPL_CHECK(build->Process(db.orders).ok());
+  KernelPtr probe = MakeHashProbeKernel({Col("l_orderkey")}, hj, {"o_orderdate"});
+  for (auto _ : state) {
+    Result<Table> out = probe->Process(db.lineitem);
+    benchmark::DoNotOptimize(out->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * db.lineitem.num_rows());
+}
+BENCHMARK(BM_HashProbe)->Unit(benchmark::kMillisecond);
+
+void BM_PrefixSum(benchmark::State& state) {
+  Random rng(1);
+  Column flags(DataType::kInt32);
+  for (int i = 0; i < 1 << 20; ++i) {
+    flags.AppendInt32(rng.Bernoulli(0.5) ? 1 : 0);
+  }
+  for (auto _ : state) {
+    int64_t total = 0;
+    Column offsets = PrefixSum(flags, &total);
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * flags.size());
+}
+BENCHMARK(BM_PrefixSum)->Unit(benchmark::kMillisecond);
+
+void BM_SortKernel(benchmark::State& state) {
+  const tpch::Database& db = BenchDb();
+  for (auto _ : state) {
+    KernelPtr sort = MakeSortKernel({{"o_totalprice", true}});
+    GPL_CHECK(sort->Process(db.orders).ok());
+    Result<Table> out = sort->Finish();
+    benchmark::DoNotOptimize(out->num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * db.orders.num_rows());
+}
+BENCHMARK(BM_SortKernel)->Unit(benchmark::kMillisecond);
+
+void BM_JoinHashTableProbe(benchmark::State& state) {
+  Random rng(7);
+  std::vector<int64_t> keys(1 << 18);
+  for (auto& k : keys) k = rng.Uniform(0, 1 << 16);
+  JoinHashTable ht;
+  ht.Build(keys);
+  std::vector<int64_t> matches;
+  int64_t i = 0;
+  for (auto _ : state) {
+    matches.clear();
+    ht.Probe(i++ & 0xffff, &matches);
+    benchmark::DoNotOptimize(matches.size());
+  }
+}
+BENCHMARK(BM_JoinHashTableProbe);
+
+void BM_EventSimulatorPipeline(benchmark::State& state) {
+  sim::Simulator simulator(sim::DeviceSpec::AmdA10());
+  for (auto _ : state) {
+    sim::ChannelConfig config;
+    config.num_channels = static_cast<int>(state.range(0));
+    const sim::SimResult r =
+        model::RunProducerConsumer(simulator, config, MiB(16));
+    benchmark::DoNotOptimize(r.elapsed_cycles());
+  }
+}
+BENCHMARK(BM_EventSimulatorPipeline)->Arg(1)->Arg(8)->Arg(16);
+
+void BM_Calibration(benchmark::State& state) {
+  sim::Simulator simulator(sim::DeviceSpec::AmdA10());
+  for (auto _ : state) {
+    const model::CalibrationTable table =
+        model::CalibrationTable::Run(simulator);
+    benchmark::DoNotOptimize(table.points().size());
+  }
+}
+BENCHMARK(BM_Calibration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gpl
+
+BENCHMARK_MAIN();

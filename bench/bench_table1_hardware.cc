@@ -1,0 +1,37 @@
+/// Table 1: hardware specification of the two simulated devices.
+#include <cstdio>
+
+#include "common/math_util.h"
+#include "sim/device.h"
+
+int main() {
+  using gpl::sim::DeviceSpec;
+  const DeviceSpec amd = DeviceSpec::AmdA10();
+  const DeviceSpec nv = DeviceSpec::NvidiaK40();
+
+  std::printf("Table 1: Hardware specification (simulated devices)\n");
+  std::printf("%-28s %14s %14s\n", "", "AMD", "NVIDIA");
+  std::printf("%-28s %14d %14d\n", "#CU", amd.num_cus, nv.num_cus);
+  std::printf("%-28s %14d %14d\n", "Core frequency (MHz)", amd.core_mhz,
+              nv.core_mhz);
+  std::printf("%-28s %14lld %14lld\n", "Private memory/CU (KB)",
+              static_cast<long long>(amd.private_mem_per_cu / 1024),
+              static_cast<long long>(nv.private_mem_per_cu / 1024));
+  std::printf("%-28s %14lld %14lld\n", "Local memory/CU (KB)",
+              static_cast<long long>(amd.local_mem_per_cu / 1024),
+              static_cast<long long>(nv.local_mem_per_cu / 1024));
+  std::printf("%-28s %14lld %14lld\n", "Global memory (GB)",
+              static_cast<long long>(amd.global_mem_bytes >> 30),
+              static_cast<long long>(nv.global_mem_bytes >> 30));
+  std::printf("%-28s %14.1f %14.1f\n", "Cache (MB)",
+              static_cast<double>(amd.cache_bytes) / (1 << 20),
+              static_cast<double>(nv.cache_bytes) / (1 << 20));
+  std::printf("%-28s %14d %14d\n", "Concurrent kernels",
+              amd.concurrent_kernels, nv.concurrent_kernels);
+  std::printf("%-28s %14s %14s\n", "Programming API (emulated)", "OpenCL",
+              "CUDA");
+  std::printf("%-28s %14s %14s\n", "Channel packet-size knob",
+              amd.has_packet_size_param ? "yes (pipe)" : "no",
+              nv.has_packet_size_param ? "yes (pipe)" : "no (DDT)");
+  return 0;
+}

@@ -1,0 +1,73 @@
+#ifndef GPL_BENCH_BENCH_UTIL_H_
+#define GPL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "engine/engine.h"
+#include "queries/tpch_queries.h"
+
+namespace gpl {
+namespace benchutil {
+
+/// Scale factor for the benches. The paper uses SF 10 (10 GB); the default
+/// here is small enough that every figure regenerates in seconds. Override
+/// with GPL_BENCH_SF=0.5 (etc.) to push towards paper scale.
+inline double ScaleFactor(double fallback = 0.05) {
+  const char* env = std::getenv("GPL_BENCH_SF");
+  if (env != nullptr) {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return fallback;
+}
+
+/// Cached database per scale factor (benches sweep SF).
+inline const tpch::Database& Db(double scale_factor) {
+  static std::map<double, std::unique_ptr<tpch::Database>>* cache =
+      new std::map<double, std::unique_ptr<tpch::Database>>();
+  auto it = cache->find(scale_factor);
+  if (it == cache->end()) {
+    tpch::DbgenConfig config;
+    config.scale_factor = scale_factor;
+    it = cache->emplace(scale_factor, std::make_unique<tpch::Database>(
+                                          tpch::Generate(config)))
+             .first;
+  }
+  return *it->second;
+}
+
+/// Executes a query under a mode; aborts on failure (benches are harnesses).
+inline QueryResult Run(const tpch::Database& db, EngineMode mode,
+                       const LogicalQuery& query,
+                       const sim::DeviceSpec& device = sim::DeviceSpec::AmdA10(),
+                       const model::TuningOverrides& overrides = {},
+                       bool use_cost_model = true) {
+  EngineOptions options;
+  options.mode = mode;
+  options.device = device;
+  options.overrides = overrides;
+  options.use_cost_model = use_cost_model;
+  Engine engine(&db, options);
+  Result<QueryResult> result = engine.Execute(query);
+  GPL_CHECK(result.ok()) << query.name << " under " << EngineModeName(mode)
+                         << ": " << result.status().ToString();
+  return result.take();
+}
+
+/// Prints the standard bench banner: which paper artifact this regenerates.
+inline void Banner(const char* figure, const char* description, double sf) {
+  std::printf("==============================================================\n");
+  std::printf("GPL reproduction: %s\n", figure);
+  std::printf("%s\n", description);
+  std::printf("(TPC-H scale factor %.3g; set GPL_BENCH_SF to change)\n", sf);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace benchutil
+}  // namespace gpl
+
+#endif  // GPL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,264 @@
+/// gplcli: command-line driver for the GPL reproduction.
+///
+///   gplcli --query=Q14 --mode=gpl --sf=0.1
+///   gplcli --query=all --mode=kbe --device=nvidia
+///   gplcli --query=Q8 --explain
+///   gplcli --dump-tbl=/tmp/tpch --sf=0.01
+///   gplcli --query=Q5 --tbl-dir=/tmp/tpch
+///
+/// Flags:
+///   --query=<Q1|Q3|Q5|Q6|Q7|Q8|Q9|Q10|Q12|Q14|Q19|all|extended|example>
+///   --mode=<gpl|kbe|noce|ocelot>      execution strategy (default gpl)
+///   --device=<amd|nvidia>             simulated device (default amd)
+///   --sf=<float>                      TPC-H scale factor (default 0.05)
+///   --seed=<int>                      dbgen seed
+///   --tile=<KB>                       pin the tile size (disables tuning)
+///   --wg=<int>                        pin wg_Ki (disables tuning)
+///   --partitioned                     enable radix-partitioned hash joins
+///   --explain                         print the physical plan and exit
+///   --rows=<int>                      result rows to print (default 10)
+///   --verify                          check results against the CPU reference
+///   --dump-tbl=<dir>                  write the generated data as .tbl files
+///   --tbl-dir=<dir>                   load the database from .tbl files
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/math_util.h"
+#include "engine/engine.h"
+#include "queries/tpch_queries.h"
+#include "ref/reference_executor.h"
+#include "tpch/tbl_io.h"
+
+namespace {
+
+using namespace gpl;
+
+struct CliOptions {
+  std::string query = "Q14";
+  std::string mode = "gpl";
+  std::string device = "amd";
+  double sf = 0.05;
+  uint64_t seed = 20160626;
+  int64_t tile_kb = 0;
+  int wg = 0;
+  bool partitioned = false;
+  bool explain = false;
+  bool verify = false;
+  int64_t rows = 10;
+  std::string dump_tbl;
+  std::string tbl_dir;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
+  *value = arg + prefix.size();
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--query=Q14|all|extended|example] [--mode=gpl|kbe|"
+               "noce|ocelot]\n"
+               "          [--device=amd|nvidia] [--sf=0.05] [--seed=N] "
+               "[--tile=KB] [--wg=N]\n"
+               "          [--partitioned] [--explain] [--verify] [--rows=N]\n"
+               "          [--dump-tbl=DIR] [--tbl-dir=DIR]\n",
+               argv0);
+  return 2;
+}
+
+Result<LogicalQuery> FindQuery(const std::string& name) {
+  for (auto& [n, q] : queries::EvaluationSuite()) {
+    if (n == name) return q;
+  }
+  for (auto& [n, q] : queries::ExtendedSuite()) {
+    if (n == name) return q;
+  }
+  if (name == "example") return queries::ExampleQuery();
+  return Status::NotFound("unknown query: " + name);
+}
+
+int RunQuery(Engine& engine, const tpch::Database& db, const CliOptions& cli,
+             const std::string& name, const LogicalQuery& query) {
+  if (cli.explain) {
+    Result<PhysicalOpPtr> plan = engine.Plan(query);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "planning %s failed: %s\n", name.c_str(),
+                   plan.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("=== %s ===\n%s\n", name.c_str(), PlanToString(**plan).c_str());
+    return 0;
+  }
+
+  Result<QueryResult> result = engine.Execute(query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", name.c_str(),
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const QueryMetrics& m = result->metrics;
+  std::printf("=== %s (%s, %s) ===\n", name.c_str(),
+              EngineModeName(engine.options().mode),
+              engine.options().device.name.c_str());
+  std::printf("%s", result->table.ToString(cli.rows).c_str());
+  std::string predicted;
+  if (m.predicted_ms > 0) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), " [model predicted %.3f ms]",
+                  m.predicted_ms);
+    predicted = buf;
+  }
+  std::printf(
+      "elapsed %.3f ms (simulated)%s, optimize %.2f ms, VALU %.1f%%, "
+      "MemUnit %.1f%%, cache-hit %.1f%%\n",
+      m.elapsed_ms, predicted.c_str(), m.optimize_ms, 100.0 * m.valu_busy,
+      100.0 * m.mem_unit_busy, 100.0 * m.cache_hit_ratio);
+
+  if (cli.verify) {
+    Result<PhysicalOpPtr> plan = engine.Plan(query);
+    Result<Table> expected = ref::ExecutePlan(db, *plan);
+    if (!expected.ok()) {
+      std::fprintf(stderr, "reference failed: %s\n",
+                   expected.status().ToString().c_str());
+      return 1;
+    }
+    std::string diff;
+    if (!ref::TablesEqual(result->table, *expected, &diff)) {
+      std::fprintf(stderr, "VERIFICATION FAILED: %s\n", diff.c_str());
+      return 1;
+    }
+    std::printf("verified against the CPU reference executor\n");
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "query", &value)) {
+      cli.query = value;
+    } else if (ParseFlag(argv[i], "mode", &value)) {
+      cli.mode = value;
+    } else if (ParseFlag(argv[i], "device", &value)) {
+      cli.device = value;
+    } else if (ParseFlag(argv[i], "sf", &value)) {
+      cli.sf = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "seed", &value)) {
+      cli.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "tile", &value)) {
+      cli.tile_kb = std::atoll(value.c_str());
+    } else if (ParseFlag(argv[i], "wg", &value)) {
+      cli.wg = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "rows", &value)) {
+      cli.rows = std::atoll(value.c_str());
+    } else if (ParseFlag(argv[i], "dump-tbl", &value)) {
+      cli.dump_tbl = value;
+    } else if (ParseFlag(argv[i], "tbl-dir", &value)) {
+      cli.tbl_dir = value;
+    } else if (std::strcmp(argv[i], "--partitioned") == 0) {
+      cli.partitioned = true;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      cli.explain = true;
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      cli.verify = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      return Usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return Usage(argv[0]);
+    }
+  }
+
+  if (cli.sf <= 0.0) {
+    std::fprintf(stderr, "--sf must be positive\n");
+    return 2;
+  }
+
+  // ---- Data ----
+  tpch::DbgenConfig config;
+  config.scale_factor = cli.sf;
+  config.seed = cli.seed;
+  tpch::Database db = tpch::Generate(config);
+  if (!cli.tbl_dir.empty()) {
+    Result<tpch::Database> loaded = tpch::LoadTbl(cli.tbl_dir, db);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "loading %s failed: %s\n", cli.tbl_dir.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    db = loaded.take();
+    std::printf("loaded database from %s (%lld lineitem rows)\n",
+                cli.tbl_dir.c_str(),
+                static_cast<long long>(db.lineitem.num_rows()));
+  }
+  if (!cli.dump_tbl.empty()) {
+    Status status = tpch::WriteTbl(db, cli.dump_tbl);
+    if (!status.ok()) {
+      std::fprintf(stderr, "dump failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote .tbl files to %s\n", cli.dump_tbl.c_str());
+    if (cli.query.empty()) return 0;
+  }
+
+  // ---- Engine ----
+  EngineOptions options;
+  if (cli.mode == "gpl") {
+    options.mode = EngineMode::kGpl;
+  } else if (cli.mode == "kbe") {
+    options.mode = EngineMode::kKbe;
+  } else if (cli.mode == "noce") {
+    options.mode = EngineMode::kGplNoCe;
+  } else if (cli.mode == "ocelot") {
+    options.mode = EngineMode::kOcelot;
+  } else {
+    std::fprintf(stderr, "unknown mode: %s\n", cli.mode.c_str());
+    return Usage(argv[0]);
+  }
+  if (cli.device == "amd") {
+    options.device = gpl::sim::DeviceSpec::AmdA10();
+  } else if (cli.device == "nvidia") {
+    options.device = gpl::sim::DeviceSpec::NvidiaK40();
+  } else {
+    std::fprintf(stderr, "unknown device: %s\n", cli.device.c_str());
+    return Usage(argv[0]);
+  }
+  if (cli.tile_kb > 0) {
+    options.use_cost_model = false;
+    options.overrides.tile_bytes = cli.tile_kb * 1024;
+  }
+  if (cli.wg > 0) {
+    options.use_cost_model = false;
+    options.overrides.workgroups_per_kernel = cli.wg;
+  }
+  options.partitioned_joins = cli.partitioned;
+  Engine engine(&db, options);
+
+  // ---- Queries ----
+  int failures = 0;
+  if (cli.query == "all") {
+    for (auto& [name, q] : queries::EvaluationSuite()) {
+      failures += RunQuery(engine, db, cli, name, q);
+    }
+  } else if (cli.query == "extended") {
+    for (auto& [name, q] : queries::ExtendedSuite()) {
+      failures += RunQuery(engine, db, cli, name, q);
+    }
+  } else {
+    Result<LogicalQuery> q = FindQuery(cli.query);
+    if (!q.ok()) {
+      std::fprintf(stderr, "%s\n", q.status().ToString().c_str());
+      return 2;
+    }
+    failures += RunQuery(engine, db, cli, cli.query, *q);
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+/// Quickstart: generate a TPC-H database, run one query under every
+/// execution strategy on the simulated AMD GPU, and compare results and
+/// simulated performance.
+#include <cstdio>
+
+#include "engine/engine.h"
+#include "queries/tpch_queries.h"
+#include "ref/reference_executor.h"
+
+int main() {
+  using namespace gpl;
+
+  // 1. Generate TPC-H data (deterministic dbgen-equivalent).
+  tpch::DbgenConfig config;
+  config.scale_factor = 0.01;
+  const tpch::Database db = tpch::Generate(config);
+  std::printf("Generated TPC-H SF %.2f: %lld lineitem rows, %.1f MB total\n\n",
+              config.scale_factor,
+              static_cast<long long>(db.lineitem.num_rows()),
+              static_cast<double>(db.byte_size()) / (1 << 20));
+
+  // 2. The query: TPC-H Q14 (promotion revenue).
+  const LogicalQuery query = queries::Q14();
+
+  // 3. Reference answer on the CPU.
+  Engine planner(&db, EngineOptions{});
+  Result<PhysicalOpPtr> plan = planner.Plan(query);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "planning failed: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Physical plan:\n%s\n", PlanToString(**plan).c_str());
+  Result<Table> expected = ref::ExecutePlan(db, *plan);
+  if (!expected.ok()) {
+    std::fprintf(stderr, "reference failed: %s\n",
+                 expected.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. Execute under each strategy.
+  const EngineMode modes[] = {EngineMode::kKbe, EngineMode::kGplNoCe,
+                              EngineMode::kGpl, EngineMode::kOcelot};
+  std::printf("%-14s %12s %12s %10s %10s %12s\n", "engine", "elapsed(ms)",
+              "predicted", "VALUBusy", "MemBusy", "materialized");
+  for (EngineMode mode : modes) {
+    EngineOptions options;
+    options.mode = mode;
+    Engine engine(&db, options);
+    Result<QueryResult> result = engine.Execute(query);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", EngineModeName(mode),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::string diff;
+    if (!ref::TablesEqual(result->table, *expected, &diff)) {
+      std::fprintf(stderr, "%s result mismatch: %s\n", EngineModeName(mode),
+                   diff.c_str());
+      return 1;
+    }
+    const QueryMetrics& m = result->metrics;
+    std::printf("%-14s %12.3f %12.3f %9.1f%% %9.1f%% %9.2f MB\n",
+                EngineModeName(mode), m.elapsed_ms, m.predicted_ms,
+                100.0 * m.valu_busy, 100.0 * m.mem_unit_busy,
+                static_cast<double>(m.materialized_bytes) / (1 << 20));
+  }
+
+  std::printf("\nQ14 answer (all engines agree with the CPU reference):\n%s\n",
+              expected->ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,52 @@
+/// Selectivity study (the Section 2.2 motivation): sweep TPC-H Q14's
+/// selectivity from 1% to 100% and watch how kernel-based execution drowns
+/// in materialized intermediates while GPL streams them through channels.
+#include <cstdio>
+
+#include "engine/engine.h"
+#include "queries/tpch_queries.h"
+
+int main() {
+  using namespace gpl;
+
+  tpch::DbgenConfig config;
+  config.scale_factor = 0.05;
+  const tpch::Database db = tpch::Generate(config);
+  const double input_mb =
+      static_cast<double>(db.lineitem.byte_size() + db.part.byte_size()) /
+      (1 << 20);
+  std::printf("Q14 selectivity study, SF %.2f (%.1f MB of scanned input)\n\n",
+              config.scale_factor, input_mb);
+
+  EngineOptions kbe_options;
+  kbe_options.mode = EngineMode::kKbe;
+  Engine kbe(&db, kbe_options);
+  EngineOptions gpl_options;
+  gpl_options.mode = EngineMode::kGpl;
+  Engine gpl_engine(&db, gpl_options);
+
+  std::printf("%6s | %10s %12s | %10s %12s %12s | %8s\n", "sel", "KBE ms",
+              "KBE inter.", "GPL ms", "GPL inter.", "via channel", "speedup");
+  for (double sel : {0.01, 0.164, 0.25, 0.5, 0.75, 1.0}) {
+    const LogicalQuery query = queries::Q14(sel);
+    Result<QueryResult> kbe_result = kbe.Execute(query);
+    Result<QueryResult> gpl_result = gpl_engine.Execute(query);
+    GPL_CHECK(kbe_result.ok() && gpl_result.ok());
+
+    const QueryMetrics& km = kbe_result->metrics;
+    const QueryMetrics& gm = gpl_result->metrics;
+    std::printf("%5.0f%% | %10.3f %9.2f MB | %10.3f %9.2f MB %9.2f MB | %7.2fx\n",
+                sel * 100.0, km.elapsed_ms,
+                static_cast<double>(km.materialized_bytes) / (1 << 20),
+                gm.elapsed_ms,
+                static_cast<double>(gm.materialized_bytes) / (1 << 20),
+                static_cast<double>(gm.channel_bytes) / (1 << 20),
+                km.elapsed_ms / gm.elapsed_ms);
+  }
+
+  std::printf(
+      "\nAt high selectivity KBE materializes more intermediate data than\n"
+      "the original input (Figure 3); GPL keeps most of it inside the data\n"
+      "channels and only materializes at segment boundaries (Figure 18).\n");
+  return 0;
+}

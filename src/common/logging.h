@@ -1,0 +1,58 @@
+#ifndef GPL_COMMON_LOGGING_H_
+#define GPL_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace gpl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global log threshold; messages below it are dropped. Defaults to kWarning
+/// so tests and benches stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink used by the GPL_LOG macro. Emits on destruction;
+/// aborts the process for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define GPL_LOG(level)                                                      \
+  ::gpl::internal::LogMessage(::gpl::LogLevel::k##level, __FILE__, __LINE__) \
+      .stream()
+
+/// Invariant check that aborts with a message on failure. Used for internal
+/// invariants (programming errors), not for recoverable conditions.
+#define GPL_CHECK(cond)                                          \
+  if (!(cond))                                                   \
+  GPL_LOG(Fatal) << "Check failed: " #cond " "
+
+#define GPL_CHECK_OK(expr)                                       \
+  do {                                                           \
+    ::gpl::Status _st = (expr);                                  \
+    if (!_st.ok()) GPL_LOG(Fatal) << "Status not OK: " << _st.ToString(); \
+  } while (false)
+
+#define GPL_DCHECK(cond) GPL_CHECK(cond)
+
+}  // namespace gpl
+
+#endif  // GPL_COMMON_LOGGING_H_

@@ -1,0 +1,29 @@
+#ifndef GPL_COMMON_MATH_UTIL_H_
+#define GPL_COMMON_MATH_UTIL_H_
+
+#include <cstdint>
+
+namespace gpl {
+
+/// ceil(a / b) for positive integers.
+constexpr int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+/// Rounds `a` up to the next multiple of `b` (b > 0).
+constexpr int64_t RoundUp(int64_t a, int64_t b) { return CeilDiv(a, b) * b; }
+
+/// Smallest power of two >= v (v >= 1).
+constexpr uint64_t NextPow2(uint64_t v) {
+  uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+constexpr bool IsPow2(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+constexpr int64_t KiB(int64_t n) { return n * 1024; }
+constexpr int64_t MiB(int64_t n) { return n * 1024 * 1024; }
+constexpr int64_t GiB(int64_t n) { return n * 1024 * 1024 * 1024; }
+
+}  // namespace gpl
+
+#endif  // GPL_COMMON_MATH_UTIL_H_

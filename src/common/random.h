@@ -1,0 +1,37 @@
+#ifndef GPL_COMMON_RANDOM_H_
+#define GPL_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace gpl {
+
+/// Deterministic xorshift128+ pseudo-random generator. Used everywhere a
+/// random stream is needed (data generation, property tests) so that results
+/// are reproducible across runs and platforms.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Skewed (approximately Zipf-like) integer in [lo, hi] biased towards lo.
+  int64_t Skewed(int64_t lo, int64_t hi, double exponent);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace gpl
+
+#endif  // GPL_COMMON_RANDOM_H_

@@ -1,0 +1,123 @@
+#ifndef GPL_COMMON_STATUS_H_
+#define GPL_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gpl {
+
+/// Error categories used across the library. Mirrors the RocksDB/Arrow style
+/// of status-based error handling (exceptions are not used).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+};
+
+/// Returns a short human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Lightweight success/error result of an operation. Cheap to copy in the OK
+/// case (no allocation); errors carry a message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error holder, analogous to arrow::Result<T>.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit
+  // conversions so functions can `return value;` or `return status;`.
+  Result(T value) : payload_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : payload_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status ok_status;
+    if (ok()) return ok_status;
+    return std::get<Status>(payload_);
+  }
+
+  /// Precondition: ok().
+  T& value() { return std::get<T>(payload_); }
+  const T& value() const { return std::get<T>(payload_); }
+
+  /// Precondition: ok(). Moves the value out.
+  T take() { return std::move(std::get<T>(payload_)); }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define GPL_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::gpl::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (false)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define GPL_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto GPL_CONCAT_(res_, __LINE__) = (expr);   \
+  if (!GPL_CONCAT_(res_, __LINE__).ok())       \
+    return GPL_CONCAT_(res_, __LINE__).status(); \
+  lhs = GPL_CONCAT_(res_, __LINE__).take()
+
+#define GPL_CONCAT_IMPL_(a, b) a##b
+#define GPL_CONCAT_(a, b) GPL_CONCAT_IMPL_(a, b)
+
+}  // namespace gpl
+
+#endif  // GPL_COMMON_STATUS_H_

@@ -1,0 +1,183 @@
+#include "core/gpl_executor.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace gpl {
+
+namespace {
+// Estimated bytes per hash-table entry when the table has not been built yet
+// (buckets + key/row/next arrays).
+constexpr double kHashEntryBytes = 32.0;
+}  // namespace
+
+GplExecutor::GplExecutor(const tpch::Database* db,
+                         const sim::Simulator* simulator,
+                         const model::CalibrationTable* calibration)
+    : db_(db),
+      simulator_(simulator),
+      calibration_(calibration),
+      cost_model_(simulator->device(), calibration) {
+  GPL_CHECK(db_ != nullptr && simulator_ != nullptr && calibration_ != nullptr);
+}
+
+Result<Table> GplExecutor::ResolveInput(
+    const Segment& segment, const std::vector<Table>& prior_outputs) const {
+  if (!segment.input_table.empty()) {
+    const Table* base = db_->ByName(segment.input_table);
+    if (base == nullptr) {
+      return Status::NotFound("unknown table: " + segment.input_table);
+    }
+    Table view(segment.input_table);
+    for (const std::string& col : segment.input_columns) {
+      const std::string name = segment.input_alias.empty()
+                                   ? col
+                                   : segment.input_alias + "_" + col;
+      GPL_RETURN_NOT_OK(view.AddColumn(name, base->GetColumn(col)));
+    }
+    return view;
+  }
+  if (segment.input_segment >= 0 &&
+      segment.input_segment < static_cast<int>(prior_outputs.size())) {
+    return prior_outputs[static_cast<size_t>(segment.input_segment)];
+  }
+  return Status::InvalidArgument("segment has no input source");
+}
+
+model::SegmentDesc GplExecutor::DescribeSegment(const Segment& segment,
+                                                int64_t input_rows,
+                                                int64_t input_bytes) const {
+  model::SegmentDesc desc;
+  desc.input_bytes = static_cast<double>(input_bytes);
+  double rows = static_cast<double>(input_rows);
+  double bytes = static_cast<double>(input_bytes);
+  for (const Stage& stage : segment.stages) {
+    stage.kernel->PrepareTiming();
+    model::StageDesc sd;
+    sd.timing = stage.kernel->timing();
+    sd.rows_in = rows;
+    sd.bytes_in = bytes;
+    sd.rows_out = stage.est_rows_out;
+    sd.bytes_out = stage.est_bytes_out();
+    // A not-yet-built hash table's working set is estimated from the rows
+    // that will be inserted.
+    if ((sd.timing.name == "k_hash_build" ||
+         sd.timing.name == "k_partition_build") &&
+        sd.timing.random_working_set_bytes == 0) {
+      sd.timing.random_working_set_bytes =
+          static_cast<int64_t>(rows * kHashEntryBytes);
+      sd.timing.random_access_fraction =
+          sd.timing.random_access_fraction > 0 ? sd.timing.random_access_fraction
+                                               : 0.7;
+      sd.bytes_out = static_cast<double>(sd.timing.random_working_set_bytes);
+    }
+    desc.extra_resident_bytes += sd.timing.random_working_set_bytes;
+    desc.stages.push_back(sd);
+    rows = std::max(sd.rows_out, 0.0);
+    bytes = std::max(sd.bytes_out, 0.0);
+  }
+  return desc;
+}
+
+Result<GplRunResult> GplExecutor::Run(const SegmentedPlan& plan,
+                                      const GplOptions& options) const {
+  GplRunResult result;
+
+  // Fresh functional state for every run.
+  for (const Segment& segment : plan.segments) {
+    for (const Stage& stage : segment.stages) stage.kernel->Reset();
+  }
+
+  std::vector<Table> outputs(plan.segments.size());
+  for (size_t i = 0; i < plan.segments.size(); ++i) {
+    const Segment& segment = plan.segments[i];
+    GPL_ASSIGN_OR_RETURN(Table input, ResolveInput(segment, outputs));
+
+    const model::SegmentDesc desc =
+        DescribeSegment(segment, input.num_rows(), input.byte_size());
+
+    // ---- Parameter tuning (the <5 ms query-optimization step) ----
+    const auto tune_start = std::chrono::steady_clock::now();
+    model::TuningChoice choice;
+    if (options.use_cost_model) {
+      choice = model::TuneSegment(cost_model_, desc, *calibration_,
+                                  options.overrides);
+    } else {
+      choice.params.tile_bytes = options.overrides.tile_bytes > 0
+                                     ? options.overrides.tile_bytes
+                                     : MiB(1);  // the paper's default Δ
+      const int wg = options.overrides.workgroups_per_kernel > 0
+                         ? options.overrides.workgroups_per_kernel
+                         : 2 * simulator_->device().num_cus;
+      choice.params.workgroups.assign(segment.stages.size(), wg);
+      for (size_t g = 0; g + 1 < segment.stages.size(); ++g) {
+        choice.params.channels.push_back(options.overrides.has_channel
+                                             ? options.overrides.channel
+                                             : sim::ChannelConfig{});
+      }
+      choice.estimate = cost_model_.EstimateSegment(desc, choice.params);
+    }
+    result.tuner_elapsed_ms +=
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - tune_start)
+            .count();
+
+    // ---- Functional execution (real results + observed cardinalities) ----
+    GPL_ASSIGN_OR_RETURN(
+        FunctionalRun func,
+        RunSegmentFunctional(segment, input, choice.params.tile_bytes));
+
+    // ---- Timing simulation with observed cardinalities ----
+    sim::PipelineSpec spec;
+    spec.tile_bytes = choice.params.tile_bytes;
+    spec.extra_resident_bytes = desc.extra_resident_bytes;
+    const size_t num_stages = segment.stages.size();
+    for (size_t s = 0; s < num_stages; ++s) {
+      sim::KernelLaunch launch;
+      launch.desc = segment.stages[s].kernel->timing();
+      const StageObservation& obs = func.stages[s];
+      launch.rows_in = obs.rows_in;
+      launch.bytes_in = obs.bytes_in;
+      launch.rows_out = obs.rows_out;
+      launch.bytes_out = obs.bytes_out;
+      launch.workgroups_per_tile =
+          s < choice.params.workgroups.size() ? choice.params.workgroups[s] : 0;
+      launch.input = s == 0 ? sim::Endpoint::kGlobal : sim::Endpoint::kChannel;
+      launch.output =
+          s + 1 == num_stages ? sim::Endpoint::kGlobal : sim::Endpoint::kChannel;
+      spec.kernels.push_back(std::move(launch));
+    }
+    spec.channel_configs = choice.params.channels;
+    while (spec.channel_configs.size() + 1 < num_stages) {
+      spec.channel_configs.push_back(sim::ChannelConfig{});
+    }
+
+    SegmentReport report;
+    report.sim = options.concurrent ? simulator_->RunPipeline(spec)
+                                    : simulator_->RunSequentialTiles(spec);
+
+    result.counters.Accumulate(report.sim.counters);
+    result.total_cycles += report.sim.counters.elapsed_cycles;
+    result.predicted_total_cycles += choice.estimate.total_cycles;
+
+    for (size_t s = 0; s < num_stages; ++s) {
+      if (!report.description.empty()) report.description += " -> ";
+      report.description += segment.stages[s].kernel->name();
+    }
+    report.tuning = choice;
+    report.predicted_cycles = choice.estimate.total_cycles;
+    report.measured_cycles = report.sim.counters.elapsed_cycles;
+    outputs[i] = func.output;
+    report.observations = std::move(func);
+    result.segments.push_back(std::move(report));
+  }
+
+  if (!outputs.empty()) {
+    result.output = std::move(outputs.back());
+  }
+  return result;
+}
+
+}  // namespace gpl

@@ -1,0 +1,84 @@
+#ifndef GPL_CORE_GPL_EXECUTOR_H_
+#define GPL_CORE_GPL_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/pipeline.h"
+#include "model/calibration.h"
+#include "model/cost_model.h"
+#include "model/plan_tuner.h"
+#include "plan/segment.h"
+#include "sim/engine.h"
+#include "tpch/dbgen.h"
+
+namespace gpl {
+
+/// Options of a GPL run.
+struct GplOptions {
+  /// False selects the GPL (w/o CE) ablation: tiling without concurrent
+  /// kernel execution or channels (Section 5.3.1).
+  bool concurrent = true;
+
+  /// Use the analytical model to pick Δ, wg_Ki and channel configs. When
+  /// false, defaults (or the overrides) are used directly.
+  bool use_cost_model = true;
+
+  /// Pins for individual knobs (parameter-sweep benches).
+  model::TuningOverrides overrides;
+};
+
+/// Per-segment outcome: the tuner's choice and prediction, the simulated
+/// execution, and the functional observations.
+struct SegmentReport {
+  std::string description;
+  model::TuningChoice tuning;
+  sim::SimResult sim;
+  FunctionalRun observations;
+  double predicted_cycles = 0.0;
+  double measured_cycles = 0.0;
+};
+
+/// Outcome of executing a segmented plan with GPL.
+struct GplRunResult {
+  Table output;
+  std::vector<SegmentReport> segments;
+  sim::HwCounters counters;  ///< accumulated across segments
+  double total_cycles = 0.0;
+  double predicted_total_cycles = 0.0;
+  double tuner_elapsed_ms = 0.0;  ///< host wall-clock spent in the tuner
+};
+
+/// The pipelined query executor — the paper's core contribution. Executes a
+/// SegmentedPlan segment by segment: resolves the segment input, tunes the
+/// pipeline parameters with the analytical model, streams tiles through the
+/// kernels functionally, and accounts time with the event simulator
+/// (concurrent kernels + channels, or the sequential w/o-CE ablation).
+class GplExecutor {
+ public:
+  GplExecutor(const tpch::Database* db, const sim::Simulator* simulator,
+              const model::CalibrationTable* calibration);
+
+  Result<GplRunResult> Run(const SegmentedPlan& plan,
+                           const GplOptions& options) const;
+
+  /// Builds the model-side description of a segment (optimizer λ estimates;
+  /// exposed for the model-evaluation benches).
+  model::SegmentDesc DescribeSegment(const Segment& segment,
+                                     int64_t input_rows,
+                                     int64_t input_bytes) const;
+
+ private:
+  Result<Table> ResolveInput(const Segment& segment,
+                             const std::vector<Table>& prior_outputs) const;
+
+  const tpch::Database* db_;
+  const sim::Simulator* simulator_;
+  const model::CalibrationTable* calibration_;
+  model::CostModel cost_model_;
+};
+
+}  // namespace gpl
+
+#endif  // GPL_CORE_GPL_EXECUTOR_H_

@@ -1,0 +1,29 @@
+#include "core/tiling.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace gpl {
+
+std::vector<TileRange> MakeTiles(int64_t num_rows, int64_t row_width,
+                                 int64_t tile_bytes) {
+  GPL_CHECK(num_rows >= 0 && row_width >= 0 && tile_bytes > 0);
+  std::vector<TileRange> tiles;
+  if (num_rows == 0) return tiles;
+
+  const int64_t rows_per_tile =
+      std::max<int64_t>(1, tile_bytes / std::max<int64_t>(row_width, 1));
+  const int64_t num_tiles = CeilDiv(num_rows, rows_per_tile);
+  tiles.reserve(static_cast<size_t>(num_tiles));
+  for (int64_t t = 0; t < num_tiles; ++t) {
+    TileRange range;
+    range.begin = t * rows_per_tile;
+    range.rows = std::min(rows_per_tile, num_rows - range.begin);
+    tiles.push_back(range);
+  }
+  return tiles;
+}
+
+}  // namespace gpl

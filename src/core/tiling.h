@@ -1,0 +1,24 @@
+#ifndef GPL_CORE_TILING_H_
+#define GPL_CORE_TILING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gpl {
+
+/// One tile of an input relation: a contiguous row range (tiles are logical
+/// partitions, Section 3.3).
+struct TileRange {
+  int64_t begin = 0;
+  int64_t rows = 0;
+};
+
+/// The tiling component: logically partitions `num_rows` rows of `row_width`
+/// bytes each into tiles of at most `tile_bytes` (at least one row per
+/// tile). All tiles except possibly the last have equal row counts.
+std::vector<TileRange> MakeTiles(int64_t num_rows, int64_t row_width,
+                                 int64_t tile_bytes);
+
+}  // namespace gpl
+
+#endif  // GPL_CORE_TILING_H_

@@ -1,0 +1,91 @@
+#include "engine/engine.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+#include "engine/ocelot_engine.h"
+#include "plan/segment.h"
+
+namespace gpl {
+
+const char* EngineModeName(EngineMode mode) {
+  switch (mode) {
+    case EngineMode::kKbe:
+      return "KBE";
+    case EngineMode::kGplNoCe:
+      return "GPL (w/o CE)";
+    case EngineMode::kGpl:
+      return "GPL";
+    case EngineMode::kOcelot:
+      return "Ocelot";
+  }
+  return "?";
+}
+
+Engine::Engine(const tpch::Database* db, EngineOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      catalog_(Catalog::FromDatabase(*db)),
+      simulator_(options_.device),
+      calibration_(model::CalibrationTable::Run(simulator_)),
+      gpl_executor_(db, &simulator_, &calibration_),
+      kbe_engine_(db, &simulator_, KbeFlavor{}),
+      ocelot_engine_(db, &simulator_, OcelotFlavor()) {
+  GPL_CHECK(db != nullptr);
+}
+
+Result<PhysicalOpPtr> Engine::Plan(const LogicalQuery& query) const {
+  PlanOptions plan_options;
+  if (options_.partitioned_joins) {
+    plan_options.partition_build_threshold_bytes =
+        options_.partition_threshold_bytes > 0
+            ? options_.partition_threshold_bytes
+            : options_.device.cache_bytes / 2;
+    plan_options.num_partitions = options_.num_partitions;
+  }
+  return BuildPhysicalPlan(query, catalog_, plan_options);
+}
+
+Result<QueryResult> Engine::Execute(const LogicalQuery& query) {
+  const auto start = std::chrono::steady_clock::now();
+  GPL_ASSIGN_OR_RETURN(PhysicalOpPtr plan, Plan(query));
+  const double plan_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  GPL_ASSIGN_OR_RETURN(QueryResult result, ExecutePlan(plan));
+  result.metrics.optimize_ms += plan_ms;
+  return result;
+}
+
+Result<QueryResult> Engine::ExecutePlan(const PhysicalOpPtr& plan) {
+  switch (options_.mode) {
+    case EngineMode::kKbe:
+      return kbe_engine_.Execute(plan);
+    case EngineMode::kOcelot:
+      return ocelot_engine_.Execute(plan);
+    case EngineMode::kGpl:
+    case EngineMode::kGplNoCe: {
+      GPL_ASSIGN_OR_RETURN(GplRunResult run, ExecuteGplDetailed(plan));
+      QueryResult result;
+      result.table = std::move(run.output);
+      result.metrics.counters = run.counters;
+      result.metrics.Finalize(simulator_.device());
+      result.metrics.predicted_ms =
+          simulator_.device().CyclesToMs(run.predicted_total_cycles);
+      result.metrics.optimize_ms = run.tuner_elapsed_ms;
+      return result;
+    }
+  }
+  return Status::Internal("unknown engine mode");
+}
+
+Result<GplRunResult> Engine::ExecuteGplDetailed(const PhysicalOpPtr& plan) {
+  GPL_ASSIGN_OR_RETURN(SegmentedPlan segmented, SegmentPlan(plan));
+  GplOptions gpl_options;
+  gpl_options.concurrent = options_.mode != EngineMode::kGplNoCe;
+  gpl_options.use_cost_model = options_.use_cost_model;
+  gpl_options.overrides = options_.overrides;
+  return gpl_executor_.Run(segmented, gpl_options);
+}
+
+}  // namespace gpl

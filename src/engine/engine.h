@@ -1,0 +1,94 @@
+#ifndef GPL_ENGINE_ENGINE_H_
+#define GPL_ENGINE_ENGINE_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "core/gpl_executor.h"
+#include "engine/kbe_engine.h"
+#include "engine/metrics.h"
+#include "model/calibration.h"
+#include "plan/cardinality.h"
+#include "plan/logical_plan.h"
+#include "plan/physical_plan.h"
+#include "plan/selinger.h"
+#include "sim/engine.h"
+#include "tpch/dbgen.h"
+
+namespace gpl {
+
+/// Execution strategies evaluated in the paper.
+enum class EngineMode {
+  kKbe,      ///< kernel-based execution baseline [15, 16]
+  kGplNoCe,  ///< GPL with tiling but without concurrent execution/channels
+  kGpl,      ///< the full pipelined engine
+  kOcelot,   ///< Ocelot-style KBE baseline (Section 5.5)
+};
+
+const char* EngineModeName(EngineMode mode);
+
+struct EngineOptions {
+  sim::DeviceSpec device = sim::DeviceSpec::AmdA10();
+  EngineMode mode = EngineMode::kGpl;
+
+  /// GPL: use the analytical model to pick parameters (Section 4). When
+  /// false, the defaults / overrides below apply.
+  bool use_cost_model = true;
+  model::TuningOverrides overrides;
+
+  /// Use radix-partitioned hash joins (Section 3.2) for builds whose
+  /// estimated size exceeds half the device cache. GPL modes only; the KBE
+  /// baselines always use the simple hash join.
+  bool partitioned_joins = false;
+  int num_partitions = 8;
+  /// Build-size threshold for partitioning; 0 uses half the device cache.
+  int64_t partition_threshold_bytes = 0;
+};
+
+/// The public entry point of the library: executes TPC-H-style analytical
+/// queries against a generated database under a chosen execution strategy on
+/// a simulated GPU, returning real results plus simulated timing/counters.
+///
+/// Typical use:
+///
+///   tpch::Database db = tpch::Generate({.scale_factor = 0.1});
+///   Engine engine(&db, {.mode = EngineMode::kGpl});
+///   auto result = engine.Execute(queries::Q14(0.164));
+///   std::cout << result->table.ToString();
+class Engine {
+ public:
+  Engine(const tpch::Database* db, EngineOptions options);
+
+  const EngineOptions& options() const { return options_; }
+  const Catalog& catalog() const { return catalog_; }
+  const sim::Simulator& simulator() const { return simulator_; }
+  const model::CalibrationTable& calibration() const { return calibration_; }
+
+  /// Optimizes and executes a logical query.
+  Result<QueryResult> Execute(const LogicalQuery& query);
+
+  /// Executes an already-built physical plan.
+  Result<QueryResult> ExecutePlan(const PhysicalOpPtr& plan);
+
+  /// Executes a plan with GPL and returns the detailed per-segment run
+  /// (tuning choices, predictions, simulated stats) — used by the model-
+  /// evaluation benches.
+  Result<GplRunResult> ExecuteGplDetailed(const PhysicalOpPtr& plan);
+
+  /// Builds the optimized physical plan for a query (EXPLAIN support).
+  Result<PhysicalOpPtr> Plan(const LogicalQuery& query) const;
+
+ private:
+  const tpch::Database* db_;
+  EngineOptions options_;
+  Catalog catalog_;
+  sim::Simulator simulator_;
+  model::CalibrationTable calibration_;
+  GplExecutor gpl_executor_;
+  KbeEngine kbe_engine_;
+  KbeEngine ocelot_engine_;
+};
+
+}  // namespace gpl
+
+#endif  // GPL_ENGINE_ENGINE_H_

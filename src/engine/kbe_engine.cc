@@ -1,0 +1,213 @@
+#include "engine/kbe_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "exec/primitives.h"
+
+namespace gpl {
+
+KbeEngine::KbeEngine(const tpch::Database* db, const sim::Simulator* simulator,
+                     KbeFlavor flavor)
+    : db_(db), simulator_(simulator), flavor_(flavor) {
+  GPL_CHECK(db_ != nullptr && simulator_ != nullptr);
+}
+
+void KbeEngine::Record(Context* ctx, const sim::KernelLaunch& launch,
+                       int64_t resident_bytes) {
+  const sim::SimResult result =
+      simulator_->RunKernelBatch(launch, resident_bytes);
+  ctx->counters.Accumulate(result.counters);
+  for (const sim::KernelStats& stats : result.kernels) {
+    ctx->kernels.push_back(stats);
+  }
+}
+
+Result<Table> KbeEngine::Exec(const PhysicalOp& op, Context* ctx) {
+  switch (op.kind) {
+    case PhysicalOp::Kind::kScan: {
+      const Table* base = db_->ByName(op.table);
+      if (base == nullptr) return Status::NotFound("unknown table: " + op.table);
+      Table view(op.table);
+      for (const std::string& col : op.columns) {
+        const std::string name =
+            op.alias.empty() ? col : op.alias + "_" + col;
+        GPL_RETURN_NOT_OK(view.AddColumn(name, base->GetColumn(col)));
+      }
+      return view;  // base data already resides in global memory
+    }
+
+    case PhysicalOp::Kind::kFilter: {
+      GPL_ASSIGN_OR_RETURN(Table input, Exec(*op.child, ctx));
+      const int64_t n = input.num_rows();
+      const int64_t input_bytes = input.byte_size();
+
+      // k_map: evaluate the predicate into flags (a bitmap for Ocelot).
+      Column flags = ComputeFlags(input, op.predicate);
+      const int64_t flags_bytes = flavor_.bitmap_selection ? n / 8 + 1 : n * 4;
+      sim::KernelLaunch map_launch;
+      map_launch.desc = FilterTiming(op.predicate->CostPerRow());
+      map_launch.rows_in = n;
+      map_launch.bytes_in = input_bytes;
+      map_launch.rows_out = n;
+      map_launch.bytes_out = flags_bytes;
+      map_launch.input_resident_fraction = flavor_.scan_resident_fraction;
+      Record(ctx, map_launch, 0);
+
+      int64_t total = 0;
+      Column offsets = PrefixSum(flags, &total);
+      if (!flavor_.bitmap_selection) {
+        // k_prefix_sum over the flags array (blocking).
+        sim::KernelLaunch prefix_launch;
+        prefix_launch.desc = PrefixSumTiming();
+        prefix_launch.rows_in = n;
+        prefix_launch.bytes_in = n * 4;
+        prefix_launch.rows_out = n;
+        prefix_launch.bytes_out = n * 4;
+        prefix_launch.input_resident_fraction =
+            simulator_->cache().ChannelResidency(n * 4, 0);
+        Record(ctx, prefix_launch, 0);
+      }
+
+      // k_scatter: compact the satisfying rows into a new relation.
+      Table out = ScatterRows(input, flags, offsets);
+      sim::KernelLaunch scatter_launch;
+      scatter_launch.desc = ScatterTiming(static_cast<int>(input.num_columns()));
+      scatter_launch.rows_in = n;
+      scatter_launch.bytes_in = input_bytes + flags_bytes +
+                                (flavor_.bitmap_selection ? 0 : n * 4);
+      scatter_launch.rows_out = out.num_rows();
+      scatter_launch.bytes_out = out.byte_size();
+      Record(ctx, scatter_launch, 0);
+      return out;
+    }
+
+    case PhysicalOp::Kind::kProject: {
+      GPL_ASSIGN_OR_RETURN(Table input, Exec(*op.child, ctx));
+      KernelPtr kernel = MakeProjectKernel(op.projections);
+      GPL_ASSIGN_OR_RETURN(Table out, kernel->Process(input));
+      sim::KernelLaunch launch;
+      launch.desc = kernel->timing();
+      launch.rows_in = input.num_rows();
+      launch.bytes_in = input.byte_size();
+      launch.rows_out = out.num_rows();
+      launch.bytes_out = out.byte_size();
+      Record(ctx, launch, 0);
+      return out;
+    }
+
+    case PhysicalOp::Kind::kHashJoin: {
+      GPL_ASSIGN_OR_RETURN(Table build_input, Exec(*op.build_child, ctx));
+
+      // Ocelot: reuse a previously built hash table for the same build.
+      std::string signature;
+      if (flavor_.cache_hash_tables) {
+        signature = op.build_child->table;
+        for (const ExprPtr& k : op.build_keys) signature += "|" + k->ToString();
+      }
+      std::shared_ptr<HashJoinState> state;
+      bool cached = false;
+      if (flavor_.cache_hash_tables) {
+        auto it = hash_table_cache_.find(signature);
+        if (it != hash_table_cache_.end() &&
+            it->second->build_rows.num_rows() == build_input.num_rows()) {
+          state = it->second;
+          cached = true;
+        }
+      }
+      if (state == nullptr) {
+        state = std::make_shared<HashJoinState>();
+        KernelPtr build = MakeHashBuildKernel(op.build_keys, state);
+        GPL_ASSIGN_OR_RETURN(Table ignored, build->Process(build_input));
+        (void)ignored;
+        sim::KernelLaunch build_launch;
+        build_launch.desc = build->timing();
+        build_launch.rows_in = build_input.num_rows();
+        build_launch.bytes_in = build_input.byte_size();
+        build_launch.rows_out = build_input.num_rows();
+        build_launch.bytes_out = state->table.byte_size();
+        Record(ctx, build_launch, state->table.byte_size());
+        if (flavor_.cache_hash_tables && !signature.empty()) {
+          hash_table_cache_[signature] = state;
+        }
+      }
+      (void)cached;
+
+      GPL_ASSIGN_OR_RETURN(Table probe_input, Exec(*op.child, ctx));
+      KernelPtr probe =
+          MakeHashProbeKernel(op.probe_keys, state, op.build_payload);
+      GPL_ASSIGN_OR_RETURN(Table out, probe->Process(probe_input));
+      sim::KernelLaunch probe_launch;
+      probe_launch.desc = probe->timing();
+      probe_launch.rows_in = probe_input.num_rows();
+      probe_launch.bytes_in = probe_input.byte_size();
+      probe_launch.rows_out = out.num_rows();
+      probe_launch.bytes_out = out.byte_size();
+      Record(ctx, probe_launch, state->table.byte_size());
+      return out;
+    }
+
+    case PhysicalOp::Kind::kAggregate: {
+      GPL_ASSIGN_OR_RETURN(Table input, Exec(*op.child, ctx));
+      const int64_t n = input.num_rows();
+
+      KernelPtr agg = MakeAggregateKernel(op.group_by, op.aggregates);
+      GPL_ASSIGN_OR_RETURN(Table ignored, agg->Process(input));
+      (void)ignored;
+      GPL_ASSIGN_OR_RETURN(Table out, agg->Finish());
+
+      // KBE aggregation is scan-based (OmniDB): the prefix-scan kernel
+      // materializes a scan array of the input size...
+      sim::KernelLaunch scan_launch;
+      scan_launch.desc = ScanAggregateTiming();
+      scan_launch.rows_in = n;
+      scan_launch.bytes_in = input.byte_size();
+      scan_launch.rows_out = n;
+      scan_launch.bytes_out = n * 8;
+      Record(ctx, scan_launch, 0);
+
+      // ...followed by a gather of the per-group results.
+      sim::KernelLaunch gather_launch;
+      gather_launch.desc = AggregateTiming(1.0, static_cast<int>(op.aggregates.size()));
+      gather_launch.desc.name = "k_gather";
+      gather_launch.rows_in = n;
+      gather_launch.bytes_in = n * 8;
+      gather_launch.rows_out = out.num_rows();
+      gather_launch.bytes_out = out.byte_size();
+      gather_launch.input_resident_fraction =
+          simulator_->cache().ChannelResidency(n * 8, 0);
+      Record(ctx, gather_launch, 0);
+      return out;
+    }
+
+    case PhysicalOp::Kind::kSort: {
+      GPL_ASSIGN_OR_RETURN(Table input, Exec(*op.child, ctx));
+      KernelPtr sort = MakeSortKernel(op.sort_keys);
+      GPL_ASSIGN_OR_RETURN(Table ignored, sort->Process(input));
+      (void)ignored;
+      GPL_ASSIGN_OR_RETURN(Table out, sort->Finish());
+      sim::KernelLaunch launch;
+      launch.desc = sort->timing();
+      launch.rows_in = input.num_rows();
+      launch.bytes_in = input.byte_size();
+      launch.rows_out = out.num_rows();
+      launch.bytes_out = out.byte_size();
+      Record(ctx, launch, 0);
+      return out;
+    }
+  }
+  return Status::Internal("unknown physical operator kind");
+}
+
+Result<QueryResult> KbeEngine::Execute(const PhysicalOpPtr& plan) {
+  GPL_CHECK(plan != nullptr);
+  Context ctx;
+  GPL_ASSIGN_OR_RETURN(Table out, Exec(*plan, &ctx));
+  QueryResult result;
+  result.table = std::move(out);
+  result.metrics.counters = ctx.counters;
+  result.metrics.Finalize(simulator_->device());
+  return result;
+}
+
+}  // namespace gpl

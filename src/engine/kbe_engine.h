@@ -1,0 +1,60 @@
+#ifndef GPL_ENGINE_KBE_ENGINE_H_
+#define GPL_ENGINE_KBE_ENGINE_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "engine/metrics.h"
+#include "plan/physical_plan.h"
+#include "sim/engine.h"
+#include "tpch/dbgen.h"
+
+namespace gpl {
+
+/// Behavioural knobs distinguishing the plain KBE baseline ([15, 16] /
+/// OmniDB-style) from the Ocelot-style baseline (Section 5.5).
+struct KbeFlavor {
+  /// Selection emits a bitmap instead of flag/offset integer arrays, and the
+  /// prefix-sum kernel is folded into the scatter (Ocelot).
+  bool bitmap_selection = false;
+  /// Hash tables are cached across queries and reused when the same build
+  /// (table + keys) recurs (Ocelot's memory manager).
+  bool cache_hash_tables = false;
+  /// Fraction of leaf scans assumed cache-resident (MonetDB pre-fetching).
+  double scan_resident_fraction = 0.0;
+};
+
+/// Conventional kernel-based execution: every operator is decomposed into
+/// kernels that run one at a time over the whole input, materializing every
+/// intermediate result in global memory (Section 2.2). The same engine with
+/// the Ocelot flavor provides the Section 5.5 comparison baseline.
+class KbeEngine {
+ public:
+  KbeEngine(const tpch::Database* db, const sim::Simulator* simulator,
+            KbeFlavor flavor = {});
+
+  /// Executes a physical plan; returns the result table and metrics.
+  Result<QueryResult> Execute(const PhysicalOpPtr& plan);
+
+ private:
+  struct Context {
+    sim::HwCounters counters;
+    std::vector<sim::KernelStats> kernels;
+  };
+
+  Result<Table> Exec(const PhysicalOp& op, Context* ctx);
+  /// Runs one KBE kernel launch through the simulator and accumulates.
+  void Record(Context* ctx, const sim::KernelLaunch& launch,
+              int64_t resident_bytes);
+
+  const tpch::Database* db_;
+  const sim::Simulator* simulator_;
+  KbeFlavor flavor_;
+  /// Ocelot hash-table cache: build signature -> cached state.
+  std::map<std::string, std::shared_ptr<HashJoinState>> hash_table_cache_;
+};
+
+}  // namespace gpl
+
+#endif  // GPL_ENGINE_KBE_ENGINE_H_

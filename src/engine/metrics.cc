@@ -1,0 +1,40 @@
+#include "engine/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpl {
+
+double QueryMetrics::RelativeError() const {
+  if (elapsed_ms <= 0.0) return 0.0;
+  return std::abs(elapsed_ms - predicted_ms) / elapsed_ms;
+}
+
+double QueryMetrics::CommunicationFraction() const {
+  if (elapsed_ms <= 0.0) return 0.0;
+  return (mem_ms + dc_ms + delay_ms) / elapsed_ms;
+}
+
+void QueryMetrics::Finalize(const sim::DeviceSpec& device) {
+  elapsed_ms = device.CyclesToMs(counters.elapsed_cycles);
+  valu_busy = counters.ValuBusy(device);
+  mem_unit_busy = counters.MemUnitBusy(device);
+  occupancy = counters.Occupancy(device);
+  cache_hit_ratio = counters.CacheHitRatio();
+  materialized_bytes = counters.bytes_materialized;
+  channel_bytes = counters.bytes_via_channel;
+
+  const double total_work = counters.compute_cycles + counters.mem_cycles +
+                            counters.channel_cycles + counters.stall_cycles +
+                            counters.launch_cycles;
+  if (total_work > 0.0 && elapsed_ms > 0.0) {
+    const double scale = elapsed_ms / total_work;
+    compute_ms = counters.compute_cycles * scale;
+    mem_ms = counters.mem_cycles * scale;
+    dc_ms = counters.channel_cycles * scale;
+    delay_ms = counters.stall_cycles * scale;
+    other_ms = counters.launch_cycles * scale;
+  }
+}
+
+}  // namespace gpl

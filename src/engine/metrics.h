@@ -1,0 +1,58 @@
+#ifndef GPL_ENGINE_METRICS_H_
+#define GPL_ENGINE_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/counters.h"
+#include "sim/device.h"
+#include "storage/table.h"
+
+namespace gpl {
+
+/// Metrics of one query execution, combining simulated time, hardware
+/// counters, and the cost-model prediction (for GPL runs).
+struct QueryMetrics {
+  double elapsed_ms = 0.0;
+  double predicted_ms = 0.0;  ///< analytical-model estimate (GPL only)
+  double optimize_ms = 0.0;   ///< host wall-clock of planning + tuning
+
+  sim::HwCounters counters;
+
+  // Derived counter summaries (filled by Finalize).
+  double valu_busy = 0.0;
+  double mem_unit_busy = 0.0;
+  double occupancy = 0.0;
+  double cache_hit_ratio = 0.0;
+
+  /// Breakdown of elapsed time by component, scaled so the parts sum to
+  /// elapsed_ms (Figures 4, 20, 29).
+  double compute_ms = 0.0;
+  double mem_ms = 0.0;
+  double dc_ms = 0.0;     ///< data channel cost (GPL only)
+  double delay_ms = 0.0;  ///< pipeline delay (GPL only)
+  double other_ms = 0.0;  ///< launch/scheduling overheads
+
+  int64_t input_bytes = 0;
+  int64_t materialized_bytes = 0;  ///< intermediates written to global memory
+  int64_t channel_bytes = 0;       ///< intermediates passed through channels
+
+  /// Relative error |measured - predicted| / measured (Figures 11, 13, 14).
+  double RelativeError() const;
+
+  /// Fraction of execution time spent communicating (mem + channel + delay).
+  double CommunicationFraction() const;
+
+  /// Computes derived fields from `counters` for the given device.
+  void Finalize(const sim::DeviceSpec& device);
+};
+
+/// A query result: the output table plus execution metrics.
+struct QueryResult {
+  Table table;
+  QueryMetrics metrics;
+};
+
+}  // namespace gpl
+
+#endif  // GPL_ENGINE_METRICS_H_

@@ -1,0 +1,13 @@
+#include "engine/ocelot_engine.h"
+
+namespace gpl {
+
+KbeFlavor OcelotFlavor() {
+  KbeFlavor flavor;
+  flavor.bitmap_selection = true;
+  flavor.cache_hash_tables = true;
+  flavor.scan_resident_fraction = 0.10;
+  return flavor;
+}
+
+}  // namespace gpl

@@ -1,0 +1,21 @@
+#ifndef GPL_ENGINE_OCELOT_ENGINE_H_
+#define GPL_ENGINE_OCELOT_ENGINE_H_
+
+#include "engine/kbe_engine.h"
+
+namespace gpl {
+
+/// Configuration reproducing the Ocelot baseline of Section 5.5: a
+/// hardware-oblivious, kernel-based engine (MonetDB's OpenCL backend) with
+/// the optimizations the paper credits to it —
+///  1. selection results passed as bitmaps (fewer memory transactions than
+///     GPL's integer arrays),
+///  2. hash-table caching by Ocelot's memory manager,
+///  3. MonetDB-side optimizations (pre-fetching), modeled as a modest
+///     cache-resident fraction on leaf scans.
+/// It remains kernel-based: no pipelining, channels, or concurrent kernels.
+KbeFlavor OcelotFlavor();
+
+}  // namespace gpl
+
+#endif  // GPL_ENGINE_OCELOT_ENGINE_H_

@@ -1,0 +1,603 @@
+#include "exec/expr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "tpch/date.h"
+
+namespace gpl {
+
+namespace {
+
+bool IsFloat(DataType t) { return t == DataType::kFloat64; }
+
+class ColumnRef : public Expr {
+ public:
+  explicit ColumnRef(std::string name) : name_(std::move(name)) {}
+
+  DataType OutputType(const Table& input) const override {
+    return input.GetColumn(name_).type();
+  }
+
+  Column Evaluate(const Table& input) const override {
+    return input.GetColumn(name_);  // deep copy; callers treat columns as values
+  }
+
+  double CostPerRow() const override { return 0.0; }
+  std::string ToString() const override { return name_; }
+
+  bool IsColumnRef(std::string* name) const override {
+    *name = name_;
+    return true;
+  }
+
+  void CollectColumnRefs(std::vector<std::string>* out) const override {
+    out->push_back(name_);
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+class Literal : public Expr {
+ public:
+  static ExprPtr Int(int64_t v) {
+    auto e = std::make_shared<Literal>();
+    e->type_ = DataType::kInt64;
+    e->int_ = v;
+    return e;
+  }
+  static ExprPtr Float(double v) {
+    auto e = std::make_shared<Literal>();
+    e->type_ = DataType::kFloat64;
+    e->float_ = v;
+    return e;
+  }
+  static ExprPtr Date(int32_t days) {
+    auto e = std::make_shared<Literal>();
+    e->type_ = DataType::kDate;
+    e->int_ = days;
+    return e;
+  }
+  static ExprPtr String(std::string v) {
+    auto e = std::make_shared<Literal>();
+    e->type_ = DataType::kString;
+    e->str_ = std::move(v);
+    return e;
+  }
+
+  DataType OutputType(const Table&) const override { return type_; }
+
+  Column Evaluate(const Table& input) const override {
+    const int64_t n = input.num_rows();
+    switch (type_) {
+      case DataType::kInt64: {
+        Column c(DataType::kInt64);
+        c.Reserve(n);
+        for (int64_t i = 0; i < n; ++i) c.AppendInt64(int_);
+        return c;
+      }
+      case DataType::kFloat64: {
+        Column c(DataType::kFloat64);
+        c.Reserve(n);
+        for (int64_t i = 0; i < n; ++i) c.AppendDouble(float_);
+        return c;
+      }
+      case DataType::kDate: {
+        Column c(DataType::kDate);
+        c.Reserve(n);
+        for (int64_t i = 0; i < n; ++i) c.AppendInt32(static_cast<int32_t>(int_));
+        return c;
+      }
+      default:
+        GPL_LOG(Fatal) << "string literals are only valid inside comparisons";
+    }
+    return Column(DataType::kInt32);
+  }
+
+  double CostPerRow() const override { return 0.0; }
+  std::string ToString() const override {
+    switch (type_) {
+      case DataType::kInt64:
+        return std::to_string(int_);
+      case DataType::kFloat64:
+        return std::to_string(float_);
+      case DataType::kDate:
+        return date::Format(static_cast<int32_t>(int_));
+      default:
+        return "'" + str_ + "'";
+    }
+  }
+
+  bool IsLiteral(double* value) const override {
+    switch (type_) {
+      case DataType::kInt64:
+      case DataType::kDate:
+        *value = static_cast<double>(int_);
+        return true;
+      case DataType::kFloat64:
+        *value = float_;
+        return true;
+      default:
+        return false;  // strings estimated via dictionary cardinality
+    }
+  }
+
+  DataType type_ = DataType::kInt64;
+  int64_t int_ = 0;
+  double float_ = 0.0;
+  std::string str_;
+};
+
+enum class BinOp { kAdd, kSub, kMul, kDiv, kEq, kNe, kLt, kLe, kGt, kGe, kAnd, kOr };
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kEq: return "=";
+    case BinOp::kNe: return "<>";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kAnd: return "AND";
+    case BinOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+bool IsComparison(BinOp op) {
+  return op == BinOp::kEq || op == BinOp::kNe || op == BinOp::kLt ||
+         op == BinOp::kLe || op == BinOp::kGt || op == BinOp::kGe;
+}
+
+class BinaryExpr : public Expr {
+ public:
+  BinaryExpr(BinOp op, ExprPtr a, ExprPtr b)
+      : op_(op), a_(std::move(a)), b_(std::move(b)) {}
+
+  DataType OutputType(const Table& input) const override {
+    if (IsComparison(op_) || op_ == BinOp::kAnd || op_ == BinOp::kOr) {
+      return DataType::kInt32;
+    }
+    const DataType ta = a_->OutputType(input);
+    const DataType tb = b_->OutputType(input);
+    if (IsFloat(ta) || IsFloat(tb)) return DataType::kFloat64;
+    return DataType::kInt64;
+  }
+
+  Column Evaluate(const Table& input) const override {
+    // String equality against a literal: compare dictionary codes.
+    if (IsComparison(op_)) {
+      const Column* str_col = nullptr;
+      const Literal* str_lit = nullptr;
+      if (auto lit = dynamic_cast<const Literal*>(b_.get());
+          lit != nullptr && lit->type_ == DataType::kString) {
+        str_lit = lit;
+        // a_ must be a string column reference.
+      } else if (auto lit2 = dynamic_cast<const Literal*>(a_.get());
+                 lit2 != nullptr && lit2->type_ == DataType::kString) {
+        str_lit = lit2;
+      }
+      if (str_lit != nullptr) {
+        GPL_CHECK(op_ == BinOp::kEq || op_ == BinOp::kNe)
+            << "only =/<> are supported on strings (Ocelot-style workload)";
+        const Expr* col_side = (str_lit == b_.get() ? a_.get() : b_.get());
+        Column col = col_side->Evaluate(input);
+        GPL_CHECK(col.type() == DataType::kString)
+            << "string literal compared to non-string expression";
+        str_col = &col;
+        const int32_t code = col.dictionary()->Lookup(str_lit->str_);
+        const int64_t n = str_col->size();
+        Column out(DataType::kInt32);
+        out.Reserve(n);
+        for (int64_t i = 0; i < n; ++i) {
+          const bool eq = str_col->Int32At(i) == code;
+          out.AppendInt32((op_ == BinOp::kEq) == eq ? 1 : 0);
+        }
+        return out;
+      }
+    }
+
+    Column ca = a_->Evaluate(input);
+    Column cb = b_->Evaluate(input);
+    const int64_t n = ca.size();
+    GPL_CHECK(cb.size() == n) << "operand length mismatch in " << ToString();
+
+    if (op_ == BinOp::kAnd || op_ == BinOp::kOr) {
+      Column out(DataType::kInt32);
+      out.Reserve(n);
+      for (int64_t i = 0; i < n; ++i) {
+        const bool va = ca.AsInt64(i) != 0;
+        const bool vb = cb.AsInt64(i) != 0;
+        out.AppendInt32((op_ == BinOp::kAnd ? (va && vb) : (va || vb)) ? 1 : 0);
+      }
+      return out;
+    }
+
+    if (IsComparison(op_)) {
+      Column out(DataType::kInt32);
+      out.Reserve(n);
+      const bool flt = IsFloat(ca.type()) || IsFloat(cb.type());
+      for (int64_t i = 0; i < n; ++i) {
+        bool r = false;
+        if (flt) {
+          const double va = ca.AsDouble(i), vb = cb.AsDouble(i);
+          switch (op_) {
+            case BinOp::kEq: r = va == vb; break;
+            case BinOp::kNe: r = va != vb; break;
+            case BinOp::kLt: r = va < vb; break;
+            case BinOp::kLe: r = va <= vb; break;
+            case BinOp::kGt: r = va > vb; break;
+            case BinOp::kGe: r = va >= vb; break;
+            default: break;
+          }
+        } else {
+          const int64_t va = ca.AsInt64(i), vb = cb.AsInt64(i);
+          switch (op_) {
+            case BinOp::kEq: r = va == vb; break;
+            case BinOp::kNe: r = va != vb; break;
+            case BinOp::kLt: r = va < vb; break;
+            case BinOp::kLe: r = va <= vb; break;
+            case BinOp::kGt: r = va > vb; break;
+            case BinOp::kGe: r = va >= vb; break;
+            default: break;
+          }
+        }
+        out.AppendInt32(r ? 1 : 0);
+      }
+      return out;
+    }
+
+    // Arithmetic.
+    const bool flt = IsFloat(ca.type()) || IsFloat(cb.type());
+    if (flt) {
+      Column out(DataType::kFloat64);
+      out.Reserve(n);
+      for (int64_t i = 0; i < n; ++i) {
+        const double va = ca.AsDouble(i), vb = cb.AsDouble(i);
+        double r = 0.0;
+        switch (op_) {
+          case BinOp::kAdd: r = va + vb; break;
+          case BinOp::kSub: r = va - vb; break;
+          case BinOp::kMul: r = va * vb; break;
+          case BinOp::kDiv: r = vb == 0.0 ? 0.0 : va / vb; break;
+          default: break;
+        }
+        out.AppendDouble(r);
+      }
+      return out;
+    }
+    Column out(DataType::kInt64);
+    out.Reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t va = ca.AsInt64(i), vb = cb.AsInt64(i);
+      int64_t r = 0;
+      switch (op_) {
+        case BinOp::kAdd: r = va + vb; break;
+        case BinOp::kSub: r = va - vb; break;
+        case BinOp::kMul: r = va * vb; break;
+        case BinOp::kDiv: r = vb == 0 ? 0 : va / vb; break;
+        default: break;
+      }
+      out.AppendInt64(r);
+    }
+    return out;
+  }
+
+  double CostPerRow() const override {
+    return 1.0 + a_->CostPerRow() + b_->CostPerRow();
+  }
+
+  std::string ToString() const override {
+    return "(" + a_->ToString() + " " + BinOpName(op_) + " " + b_->ToString() + ")";
+  }
+
+  double EstimateSelectivity(const StatsProvider& stats) const override {
+    if (op_ == BinOp::kAnd) {
+      const double sa = a_->EstimateSelectivity(stats);
+      const double sb = b_->EstimateSelectivity(stats);
+      // Two conditions on the same single column (e.g. a date range) are
+      // perfectly anti-correlated intervals, not independent events.
+      std::vector<std::string> refs_a, refs_b;
+      a_->CollectColumnRefs(&refs_a);
+      b_->CollectColumnRefs(&refs_b);
+      if (refs_a.size() == 1 && refs_a == refs_b) {
+        return std::max(0.0001, sa + sb - 1.0);
+      }
+      return sa * sb;
+    }
+    if (op_ == BinOp::kOr) {
+      const double sa = a_->EstimateSelectivity(stats);
+      const double sb = b_->EstimateSelectivity(stats);
+      return sa + sb - sa * sb;
+    }
+    if (!IsComparison(op_)) return 1.0;
+
+    // Column-vs-literal comparisons use column statistics.
+    std::string column;
+    double literal = 0.0;
+    bool col_left = true;
+    if (a_->IsColumnRef(&column) && b_->IsLiteral(&literal)) {
+      col_left = true;
+    } else if (b_->IsColumnRef(&column) && a_->IsLiteral(&literal)) {
+      col_left = false;
+    } else if (op_ == BinOp::kEq &&
+               (a_->IsColumnRef(&column) || b_->IsColumnRef(&column))) {
+      // Equality against a string literal (IsLiteral returns false for
+      // strings): 1 / ndv.
+      double mn = 0, mx = 0;
+      int64_t ndv = 0;
+      if (stats.GetColumnStats(column, &mn, &mx, &ndv) && ndv > 0) {
+        return 1.0 / static_cast<double>(ndv);
+      }
+      return 0.1;
+    } else {
+      return 0.33;  // column-vs-column or complex comparison: default guess
+    }
+
+    double mn = 0, mx = 0;
+    int64_t ndv = 0;
+    if (!stats.GetColumnStats(column, &mn, &mx, &ndv)) return 0.33;
+    switch (op_) {
+      case BinOp::kEq:
+        return ndv > 0 ? 1.0 / static_cast<double>(ndv) : 0.1;
+      case BinOp::kNe:
+        return ndv > 0 ? 1.0 - 1.0 / static_cast<double>(ndv) : 0.9;
+      default: {
+        if (mx <= mn) return 0.5;
+        double frac_below = (literal - mn) / (mx - mn);  // P(col < literal)
+        frac_below = std::clamp(frac_below, 0.0, 1.0);
+        const bool less =
+            col_left ? (op_ == BinOp::kLt || op_ == BinOp::kLe)
+                     : (op_ == BinOp::kGt || op_ == BinOp::kGe);
+        return less ? frac_below : 1.0 - frac_below;
+      }
+    }
+  }
+
+  void CollectColumnRefs(std::vector<std::string>* out) const override {
+    a_->CollectColumnRefs(out);
+    b_->CollectColumnRefs(out);
+  }
+
+ private:
+  BinOp op_;
+  ExprPtr a_;
+  ExprPtr b_;
+};
+
+class NotExpr : public Expr {
+ public:
+  explicit NotExpr(ExprPtr a) : a_(std::move(a)) {}
+
+  DataType OutputType(const Table&) const override { return DataType::kInt32; }
+
+  Column Evaluate(const Table& input) const override {
+    Column ca = a_->Evaluate(input);
+    Column out(DataType::kInt32);
+    const int64_t n = ca.size();
+    out.Reserve(n);
+    for (int64_t i = 0; i < n; ++i) out.AppendInt32(ca.AsInt64(i) == 0 ? 1 : 0);
+    return out;
+  }
+
+  double CostPerRow() const override { return 1.0 + a_->CostPerRow(); }
+  std::string ToString() const override { return "NOT " + a_->ToString(); }
+
+  double EstimateSelectivity(const StatsProvider& stats) const override {
+    return 1.0 - a_->EstimateSelectivity(stats);
+  }
+
+  void CollectColumnRefs(std::vector<std::string>* out) const override {
+    a_->CollectColumnRefs(out);
+  }
+
+ private:
+  ExprPtr a_;
+};
+
+class YearExpr : public Expr {
+ public:
+  explicit YearExpr(ExprPtr a) : a_(std::move(a)) {}
+
+  DataType OutputType(const Table&) const override { return DataType::kInt32; }
+
+  Column Evaluate(const Table& input) const override {
+    Column ca = a_->Evaluate(input);
+    GPL_CHECK(ca.type() == DataType::kDate) << "YearOf needs a date expression";
+    Column out(DataType::kInt32);
+    const int64_t n = ca.size();
+    out.Reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+      out.AppendInt32(date::Year(ca.Int32At(i)));
+    }
+    return out;
+  }
+
+  double CostPerRow() const override { return 4.0 + a_->CostPerRow(); }
+  std::string ToString() const override {
+    return "YEAR(" + a_->ToString() + ")";
+  }
+
+  void CollectColumnRefs(std::vector<std::string>* out) const override {
+    a_->CollectColumnRefs(out);
+  }
+
+ private:
+  ExprPtr a_;
+};
+
+class CaseExpr : public Expr {
+ public:
+  CaseExpr(ExprPtr cond, ExprPtr then_expr, ExprPtr else_expr)
+      : cond_(std::move(cond)),
+        then_(std::move(then_expr)),
+        else_(std::move(else_expr)) {}
+
+  DataType OutputType(const Table& input) const override {
+    const DataType tt = then_->OutputType(input);
+    const DataType te = else_->OutputType(input);
+    if (IsFloat(tt) || IsFloat(te)) return DataType::kFloat64;
+    return DataType::kInt64;
+  }
+
+  Column Evaluate(const Table& input) const override {
+    Column cc = cond_->Evaluate(input);
+    Column ct = then_->Evaluate(input);
+    Column ce = else_->Evaluate(input);
+    const int64_t n = cc.size();
+    if (OutputType(input) == DataType::kFloat64) {
+      Column out(DataType::kFloat64);
+      out.Reserve(n);
+      for (int64_t i = 0; i < n; ++i) {
+        out.AppendDouble(cc.AsInt64(i) != 0 ? ct.AsDouble(i) : ce.AsDouble(i));
+      }
+      return out;
+    }
+    Column out(DataType::kInt64);
+    out.Reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+      out.AppendInt64(cc.AsInt64(i) != 0 ? ct.AsInt64(i) : ce.AsInt64(i));
+    }
+    return out;
+  }
+
+  double CostPerRow() const override {
+    return 1.0 + cond_->CostPerRow() + then_->CostPerRow() + else_->CostPerRow();
+  }
+
+  std::string ToString() const override {
+    return "CASE WHEN " + cond_->ToString() + " THEN " + then_->ToString() +
+           " ELSE " + else_->ToString() + " END";
+  }
+
+  void CollectColumnRefs(std::vector<std::string>* out) const override {
+    cond_->CollectColumnRefs(out);
+    then_->CollectColumnRefs(out);
+    else_->CollectColumnRefs(out);
+  }
+
+ private:
+  ExprPtr cond_;
+  ExprPtr then_;
+  ExprPtr else_;
+};
+
+class StartsWithExpr : public Expr {
+ public:
+  StartsWithExpr(ExprPtr str_expr, std::string prefix)
+      : str_(std::move(str_expr)), prefix_(std::move(prefix)) {}
+
+  DataType OutputType(const Table&) const override { return DataType::kInt32; }
+
+  Column Evaluate(const Table& input) const override {
+    Column col = str_->Evaluate(input);
+    GPL_CHECK(col.type() == DataType::kString)
+        << "StrStartsWith needs a string expression";
+    // Precompute the matching dictionary codes once per batch.
+    const Dictionary& dict = *col.dictionary();
+    std::vector<uint8_t> matches(static_cast<size_t>(dict.size()));
+    for (int32_t code = 0; code < dict.size(); ++code) {
+      matches[static_cast<size_t>(code)] =
+          dict.GetString(code).rfind(prefix_, 0) == 0 ? 1 : 0;
+    }
+    Column out(DataType::kInt32);
+    const int64_t n = col.size();
+    out.Reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+      out.AppendInt32(matches[static_cast<size_t>(col.Int32At(i))]);
+    }
+    return out;
+  }
+
+  double CostPerRow() const override { return 2.0 + str_->CostPerRow(); }
+  std::string ToString() const override {
+    return str_->ToString() + " LIKE '" + prefix_ + "%'";
+  }
+
+  double EstimateSelectivity(const StatsProvider& stats) const override {
+    (void)stats;
+    return 0.17;  // PROMO is 1 of 6 first syllables of p_type
+  }
+
+  void CollectColumnRefs(std::vector<std::string>* out) const override {
+    str_->CollectColumnRefs(out);
+  }
+
+ private:
+  ExprPtr str_;
+  std::string prefix_;
+};
+
+}  // namespace
+
+ExprPtr Col(std::string name) { return std::make_shared<ColumnRef>(std::move(name)); }
+ExprPtr LitInt(int64_t value) { return Literal::Int(value); }
+ExprPtr LitFloat(double value) { return Literal::Float(value); }
+ExprPtr LitDate(const std::string& ymd) {
+  Result<int32_t> days = date::Parse(ymd);
+  GPL_CHECK(days.ok()) << days.status().ToString();
+  return Literal::Date(days.value());
+}
+ExprPtr LitString(std::string value) { return Literal::String(std::move(value)); }
+
+ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return std::make_shared<BinaryExpr>(BinOp::kAdd, std::move(a), std::move(b));
+}
+ExprPtr Sub(ExprPtr a, ExprPtr b) {
+  return std::make_shared<BinaryExpr>(BinOp::kSub, std::move(a), std::move(b));
+}
+ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  return std::make_shared<BinaryExpr>(BinOp::kMul, std::move(a), std::move(b));
+}
+ExprPtr Div(ExprPtr a, ExprPtr b) {
+  return std::make_shared<BinaryExpr>(BinOp::kDiv, std::move(a), std::move(b));
+}
+ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return std::make_shared<BinaryExpr>(BinOp::kEq, std::move(a), std::move(b));
+}
+ExprPtr Ne(ExprPtr a, ExprPtr b) {
+  return std::make_shared<BinaryExpr>(BinOp::kNe, std::move(a), std::move(b));
+}
+ExprPtr Lt(ExprPtr a, ExprPtr b) {
+  return std::make_shared<BinaryExpr>(BinOp::kLt, std::move(a), std::move(b));
+}
+ExprPtr Le(ExprPtr a, ExprPtr b) {
+  return std::make_shared<BinaryExpr>(BinOp::kLe, std::move(a), std::move(b));
+}
+ExprPtr Gt(ExprPtr a, ExprPtr b) {
+  return std::make_shared<BinaryExpr>(BinOp::kGt, std::move(a), std::move(b));
+}
+ExprPtr Ge(ExprPtr a, ExprPtr b) {
+  return std::make_shared<BinaryExpr>(BinOp::kGe, std::move(a), std::move(b));
+}
+ExprPtr And(ExprPtr a, ExprPtr b) {
+  return std::make_shared<BinaryExpr>(BinOp::kAnd, std::move(a), std::move(b));
+}
+ExprPtr Or(ExprPtr a, ExprPtr b) {
+  return std::make_shared<BinaryExpr>(BinOp::kOr, std::move(a), std::move(b));
+}
+ExprPtr Not(ExprPtr a) { return std::make_shared<NotExpr>(std::move(a)); }
+ExprPtr YearOf(ExprPtr date_expr) {
+  return std::make_shared<YearExpr>(std::move(date_expr));
+}
+ExprPtr CaseWhen(ExprPtr cond, ExprPtr then_expr, ExprPtr else_expr) {
+  return std::make_shared<CaseExpr>(std::move(cond), std::move(then_expr),
+                                    std::move(else_expr));
+}
+ExprPtr InRange(ExprPtr a, ExprPtr lo, ExprPtr hi) {
+  return And(Ge(a, std::move(lo)), Lt(a, std::move(hi)));
+}
+
+ExprPtr StrStartsWith(ExprPtr str_expr, std::string prefix) {
+  return std::make_shared<StartsWithExpr>(std::move(str_expr), std::move(prefix));
+}
+
+}  // namespace gpl

@@ -1,0 +1,112 @@
+#ifndef GPL_EXEC_EXPR_H_
+#define GPL_EXEC_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace gpl {
+
+/// Interface through which expressions obtain column statistics for
+/// selectivity estimation (implemented by plan::Catalog).
+class StatsProvider {
+ public:
+  virtual ~StatsProvider() = default;
+  /// Returns false if the column is unknown.
+  virtual bool GetColumnStats(const std::string& column, double* min_value,
+                              double* max_value, int64_t* num_distinct) const = 0;
+};
+
+/// Scalar expression over table columns, evaluated column-at-a-time (the
+/// functional half of map/project kernels). Expressions also report an
+/// instruction-cost estimate per row, which feeds the kernels' timing
+/// descriptors (the "program analysis" input of the cost model).
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  /// Result type when evaluated against `input`.
+  virtual DataType OutputType(const Table& input) const = 0;
+
+  /// Evaluates over all rows of `input`. Boolean results are kInt32 0/1.
+  virtual Column Evaluate(const Table& input) const = 0;
+
+  /// Estimated compute instructions per row.
+  virtual double CostPerRow() const = 0;
+
+  virtual std::string ToString() const = 0;
+
+  /// Estimated fraction of rows for which this (boolean) expression is true.
+  /// Non-predicates return 1.
+  virtual double EstimateSelectivity(const StatsProvider& stats) const {
+    (void)stats;
+    return 1.0;
+  }
+
+  /// If this is a plain column reference, stores its name and returns true.
+  virtual bool IsColumnRef(std::string* name) const {
+    (void)name;
+    return false;
+  }
+
+  /// If this is a numeric/date literal, stores its value (widened to double)
+  /// and returns true.
+  virtual bool IsLiteral(double* value) const {
+    (void)value;
+    return false;
+  }
+
+  /// Appends the names of all columns this expression reads.
+  virtual void CollectColumnRefs(std::vector<std::string>* out) const {
+    (void)out;
+  }
+};
+
+using ExprPtr = std::shared_ptr<const Expr>;
+
+// ---- Factory functions (the public expression-building API) ----
+
+/// Reference to a column by name.
+ExprPtr Col(std::string name);
+
+ExprPtr LitInt(int64_t value);
+ExprPtr LitFloat(double value);
+/// Date literal from "YYYY-MM-DD" (aborts on malformed text).
+ExprPtr LitDate(const std::string& ymd);
+/// String literal; compares against dictionary-encoded columns.
+ExprPtr LitString(std::string value);
+
+ExprPtr Add(ExprPtr a, ExprPtr b);
+ExprPtr Sub(ExprPtr a, ExprPtr b);
+ExprPtr Mul(ExprPtr a, ExprPtr b);
+ExprPtr Div(ExprPtr a, ExprPtr b);
+
+ExprPtr Eq(ExprPtr a, ExprPtr b);
+ExprPtr Ne(ExprPtr a, ExprPtr b);
+ExprPtr Lt(ExprPtr a, ExprPtr b);
+ExprPtr Le(ExprPtr a, ExprPtr b);
+ExprPtr Gt(ExprPtr a, ExprPtr b);
+ExprPtr Ge(ExprPtr a, ExprPtr b);
+
+ExprPtr And(ExprPtr a, ExprPtr b);
+ExprPtr Or(ExprPtr a, ExprPtr b);
+ExprPtr Not(ExprPtr a);
+
+/// EXTRACT(YEAR FROM date_expr), used by Q7/Q8/Q9.
+ExprPtr YearOf(ExprPtr date_expr);
+
+/// CASE WHEN cond THEN a ELSE b END, used by Q8/Q14.
+ExprPtr CaseWhen(ExprPtr cond, ExprPtr then_expr, ExprPtr else_expr);
+
+/// a >= lo AND a < hi (half-open range, the common date filter shape).
+ExprPtr InRange(ExprPtr a, ExprPtr lo, ExprPtr hi);
+
+/// True when the dictionary-encoded string expression starts with `prefix`
+/// (the LIKE 'PROMO%' test of Q14).
+ExprPtr StrStartsWith(ExprPtr str_expr, std::string prefix);
+
+}  // namespace gpl
+
+#endif  // GPL_EXEC_EXPR_H_

@@ -1,0 +1,64 @@
+#ifndef GPL_EXEC_HASH_TABLE_H_
+#define GPL_EXEC_HASH_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gpl {
+
+/// Hash table for equi-joins: maps int64 keys to build-side row indices.
+/// Layout follows the GPU-style unzipped chained design of [He et al. 2013]:
+/// a power-of-two bucket array of chain heads plus parallel entry arrays
+/// (key, row, next), which is what the simulated hash build/probe kernels
+/// "materialize" in global memory. Duplicated keys are supported.
+class JoinHashTable {
+ public:
+  JoinHashTable() = default;
+
+  /// Builds from a key array; entry i maps keys[i] -> row_base + i.
+  void Build(const std::vector<int64_t>& keys, int64_t row_base = 0);
+
+  /// Appends more entries (used by tile-wise non-blocking hash build).
+  void Insert(const std::vector<int64_t>& keys, int64_t row_base);
+
+  /// Appends all build-side matches of `key` to `rows`.
+  void Probe(int64_t key, std::vector<int64_t>* rows) const;
+
+  /// True if `key` has at least one match.
+  bool Contains(int64_t key) const;
+
+  int64_t num_entries() const { return static_cast<int64_t>(entry_keys_.size()); }
+
+  /// Bytes of the materialized table in (simulated) global memory: buckets +
+  /// the three entry arrays. This is the random working set of probe kernels.
+  int64_t byte_size() const;
+
+  /// Packs a pair of int32 keys into one int64 join key (composite joins,
+  /// e.g. Q9's partsupp join).
+  static int64_t PackKeys(int32_t a, int32_t b) {
+    return (static_cast<int64_t>(a) << 32) ^
+           (static_cast<int64_t>(b) & 0xffffffffLL);
+  }
+
+ private:
+  static uint64_t HashKey(int64_t key) {
+    uint64_t h = static_cast<uint64_t>(key);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return h;
+  }
+
+  void Rehash(int64_t min_buckets);
+
+  std::vector<int64_t> buckets_;     // head entry index per bucket, -1 empty
+  std::vector<int64_t> entry_keys_;
+  std::vector<int64_t> entry_rows_;
+  std::vector<int64_t> entry_next_;  // chain link, -1 end
+};
+
+}  // namespace gpl
+
+#endif  // GPL_EXEC_HASH_TABLE_H_

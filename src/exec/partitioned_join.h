@@ -1,0 +1,65 @@
+#ifndef GPL_EXEC_PARTITIONED_JOIN_H_
+#define GPL_EXEC_PARTITIONED_JOIN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/expr.h"
+#include "exec/hash_table.h"
+#include "exec/kernel.h"
+
+namespace gpl {
+
+/// Shared state of one radix-partitioned hash join (Section 3.2 of the
+/// paper: "Partitioned hash joins can be implemented similarly, where the
+/// partition phase also can be implemented in a non-blocking manner").
+///
+/// The build side is radix-partitioned on the join key's hash; each
+/// partition gets its own hash table. Probes hash each key to its partition
+/// and search only there, so the random working set per probe is roughly
+/// 1/P of the whole table — partitions sized to the cache stay resident.
+class PartitionedJoinState {
+ public:
+  explicit PartitionedJoinState(int num_partitions);
+
+  int num_partitions() const { return static_cast<int>(tables_.size()); }
+  int PartitionOf(int64_t key) const;
+
+  JoinHashTable& table(int p) { return tables_[static_cast<size_t>(p)]; }
+  const JoinHashTable& table(int p) const { return tables_[static_cast<size_t>(p)]; }
+  Table& rows(int p) { return rows_[static_cast<size_t>(p)]; }
+  const Table& rows(int p) const { return rows_[static_cast<size_t>(p)]; }
+  bool rows_initialized(int p) const {
+    return rows_initialized_[static_cast<size_t>(p)];
+  }
+  void set_rows_initialized(int p) { rows_initialized_[static_cast<size_t>(p)] = true; }
+
+  /// Total bytes across all partition hash tables.
+  int64_t total_table_bytes() const;
+  /// Bytes of the largest single partition (the probe-time working set).
+  int64_t max_partition_bytes() const;
+
+  void Reset();
+
+ private:
+  std::vector<JoinHashTable> tables_;
+  std::vector<Table> rows_;
+  std::vector<bool> rows_initialized_;
+};
+
+/// Non-blocking partition+build: every batch is routed to its partitions
+/// and inserted (the blocking barrier only separates the build segment from
+/// the probe segment, exactly as for the simple hash join).
+KernelPtr MakePartitionedBuildKernel(std::vector<ExprPtr> key_exprs,
+                                     std::shared_ptr<PartitionedJoinState> state);
+
+/// Probe against the partitioned table; output = probe columns + requested
+/// build payload columns.
+KernelPtr MakePartitionedProbeKernel(std::vector<ExprPtr> key_exprs,
+                                     std::shared_ptr<PartitionedJoinState> state,
+                                     std::vector<std::string> build_payload);
+
+}  // namespace gpl
+
+#endif  // GPL_EXEC_PARTITIONED_JOIN_H_

@@ -1,0 +1,531 @@
+#include "exec/primitives.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace gpl {
+
+namespace {
+
+/// Evaluates one or two integer key expressions into packed int64 join keys.
+std::vector<int64_t> EvaluateKeys(const Table& input,
+                                  const std::vector<ExprPtr>& key_exprs) {
+  GPL_CHECK(!key_exprs.empty() && key_exprs.size() <= 2)
+      << "joins support one or two key expressions";
+  Column k0 = key_exprs[0]->Evaluate(input);
+  const int64_t n = k0.size();
+  std::vector<int64_t> keys(static_cast<size_t>(n));
+  if (key_exprs.size() == 1) {
+    for (int64_t i = 0; i < n; ++i) keys[static_cast<size_t>(i)] = k0.AsInt64(i);
+  } else {
+    Column k1 = key_exprs[1]->Evaluate(input);
+    for (int64_t i = 0; i < n; ++i) {
+      keys[static_cast<size_t>(i)] = JoinHashTable::PackKeys(
+          static_cast<int32_t>(k0.AsInt64(i)), static_cast<int32_t>(k1.AsInt64(i)));
+    }
+  }
+  return keys;
+}
+
+// ---------------------------------------------------------------------------
+
+class FilterKernel : public Kernel {
+ public:
+  explicit FilterKernel(ExprPtr predicate) : predicate_(std::move(predicate)) {
+    timing_ = FilterTiming(predicate_->CostPerRow());
+  }
+
+  Result<Table> Process(const Table& input) override {
+    Column flags = predicate_->Evaluate(input);
+    std::vector<int64_t> indices;
+    const int64_t n = flags.size();
+    for (int64_t i = 0; i < n; ++i) {
+      if (flags.Int32At(i) != 0) indices.push_back(i);
+    }
+    return input.Gather(indices);
+  }
+
+ private:
+  ExprPtr predicate_;
+};
+
+class ProjectKernel : public Kernel {
+ public:
+  explicit ProjectKernel(std::vector<ProjectedColumn> columns)
+      : columns_(std::move(columns)) {
+    double cost = 0.0;
+    for (const ProjectedColumn& c : columns_) cost += c.expr->CostPerRow();
+    timing_ = ProjectTiming(cost, static_cast<int>(columns_.size()));
+  }
+
+  Result<Table> Process(const Table& input) override {
+    Table out(input.name());
+    for (const ProjectedColumn& c : columns_) {
+      GPL_RETURN_NOT_OK(out.AddColumn(c.name, c.expr->Evaluate(input)));
+    }
+    return out;
+  }
+
+ private:
+  std::vector<ProjectedColumn> columns_;
+};
+
+class HashBuildKernel : public Kernel {
+ public:
+  HashBuildKernel(std::vector<ExprPtr> key_exprs,
+                  std::shared_ptr<HashJoinState> state)
+      : key_exprs_(std::move(key_exprs)), state_(std::move(state)) {
+    timing_ = HashBuildTiming(0);
+  }
+
+  void PrepareTiming() override {
+    timing_.random_working_set_bytes = state_->table.byte_size();
+  }
+
+  Result<Table> Process(const Table& input) override {
+    const std::vector<int64_t> keys = EvaluateKeys(input, key_exprs_);
+    const int64_t base = state_->build_rows_initialized
+                             ? state_->build_rows.num_rows()
+                             : 0;
+    state_->table.Insert(keys, base);
+    if (!state_->build_rows_initialized) {
+      state_->build_rows = input;
+      state_->build_rows_initialized = true;
+    } else {
+      GPL_RETURN_NOT_OK(state_->build_rows.AppendTable(input));
+    }
+    // The hash table materializes in global memory; keep the timing
+    // descriptor's working set in sync for downstream probes.
+    timing_.random_working_set_bytes = state_->table.byte_size();
+    return Table();
+  }
+
+  void Reset() override { state_->Reset(); }
+
+ private:
+  std::vector<ExprPtr> key_exprs_;
+  std::shared_ptr<HashJoinState> state_;
+};
+
+class HashProbeKernel : public Kernel {
+ public:
+  HashProbeKernel(std::vector<ExprPtr> key_exprs,
+                  std::shared_ptr<HashJoinState> state,
+                  std::vector<std::string> build_payload)
+      : key_exprs_(std::move(key_exprs)),
+        state_(std::move(state)),
+        build_payload_(std::move(build_payload)) {
+    timing_ = HashProbeTiming(0);
+  }
+
+  void PrepareTiming() override {
+    timing_.random_working_set_bytes = state_->table.byte_size();
+  }
+
+  Result<Table> Process(const Table& input) override {
+    timing_.random_working_set_bytes = state_->table.byte_size();
+    const std::vector<int64_t> keys = EvaluateKeys(input, key_exprs_);
+    std::vector<int64_t> probe_idx;
+    std::vector<int64_t> build_idx;
+    std::vector<int64_t> matches;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      matches.clear();
+      state_->table.Probe(keys[i], &matches);
+      for (int64_t b : matches) {
+        probe_idx.push_back(static_cast<int64_t>(i));
+        build_idx.push_back(b);
+      }
+    }
+    Table out = input.Gather(probe_idx);
+    for (const std::string& name : build_payload_) {
+      GPL_RETURN_NOT_OK(out.AddColumn(
+          name, state_->build_rows.GetColumn(name).Gather(build_idx)));
+    }
+    return out;
+  }
+
+ private:
+  std::vector<ExprPtr> key_exprs_;
+  std::shared_ptr<HashJoinState> state_;
+  std::vector<std::string> build_payload_;
+};
+
+class AggregateKernel : public Kernel {
+ public:
+  AggregateKernel(std::vector<ProjectedColumn> group_by,
+                  std::vector<AggSpec> aggregates)
+      : group_by_(std::move(group_by)), aggregates_(std::move(aggregates)) {
+    double cost = 0.0;
+    for (const ProjectedColumn& g : group_by_) cost += g.expr->CostPerRow();
+    for (const AggSpec& a : aggregates_) {
+      if (a.arg != nullptr) cost += a.arg->CostPerRow();
+    }
+    timing_ = AggregateTiming(cost, static_cast<int>(aggregates_.size()));
+  }
+
+  Result<Table> Process(const Table& input) override {
+    const int64_t n = input.num_rows();
+    if (n == 0) return Table();
+
+    // Evaluate group keys and aggregate arguments once per batch.
+    std::vector<Column> group_cols;
+    group_cols.reserve(group_by_.size());
+    for (const ProjectedColumn& g : group_by_) {
+      group_cols.push_back(g.expr->Evaluate(input));
+    }
+    if (group_types_.empty()) {
+      for (const Column& c : group_cols) {
+        group_types_.push_back(c.type());
+        group_dicts_.push_back(c.dictionary());
+      }
+    }
+    std::vector<Column> agg_cols;
+    agg_cols.reserve(aggregates_.size());
+    for (const AggSpec& a : aggregates_) {
+      if (a.func == AggSpec::kCount || a.arg == nullptr) {
+        agg_cols.emplace_back(DataType::kInt64);  // placeholder, unused
+      } else {
+        agg_cols.push_back(a.arg->Evaluate(input));
+      }
+    }
+
+    std::vector<int64_t> key(group_by_.size());
+    for (int64_t i = 0; i < n; ++i) {
+      for (size_t g = 0; g < group_cols.size(); ++g) {
+        key[g] = group_cols[g].AsInt64(i);
+      }
+      Accumulators& acc = groups_[key];
+      if (acc.values.empty()) {
+        acc.values.assign(aggregates_.size(), 0.0);
+        acc.counts.assign(aggregates_.size(), 0);
+        for (size_t a = 0; a < aggregates_.size(); ++a) {
+          if (aggregates_[a].func == AggSpec::kMin) {
+            acc.values[a] = std::numeric_limits<double>::infinity();
+          } else if (aggregates_[a].func == AggSpec::kMax) {
+            acc.values[a] = -std::numeric_limits<double>::infinity();
+          }
+        }
+      }
+      for (size_t a = 0; a < aggregates_.size(); ++a) {
+        switch (aggregates_[a].func) {
+          case AggSpec::kSum:
+          case AggSpec::kAvg:
+            acc.values[a] += agg_cols[a].AsDouble(i);
+            break;
+          case AggSpec::kCount:
+            break;  // counts only
+          case AggSpec::kMin:
+            acc.values[a] = std::min(acc.values[a], agg_cols[a].AsDouble(i));
+            break;
+          case AggSpec::kMax:
+            acc.values[a] = std::max(acc.values[a], agg_cols[a].AsDouble(i));
+            break;
+        }
+        acc.counts[a] += 1;
+      }
+    }
+    return Table();  // partial aggregation; emitted at Finish()
+  }
+
+  Result<Table> Finish() override {
+    Table out("aggregate");
+    // Group columns.
+    for (size_t g = 0; g < group_by_.size(); ++g) {
+      const DataType type =
+          group_types_.empty() ? DataType::kInt64 : group_types_[g];
+      Column col(type, group_dicts_.empty() ? nullptr : group_dicts_[g]);
+      for (const auto& [key, acc] : groups_) {
+        switch (type) {
+          case DataType::kInt32:
+          case DataType::kDate:
+          case DataType::kString:
+            col.AppendInt32(static_cast<int32_t>(key[g]));
+            break;
+          case DataType::kInt64:
+            col.AppendInt64(key[g]);
+            break;
+          case DataType::kFloat64:
+            col.AppendDouble(static_cast<double>(key[g]));
+            break;
+        }
+      }
+      GPL_RETURN_NOT_OK(out.AddColumn(group_by_[g].name, std::move(col)));
+    }
+    // Aggregate columns.
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      const AggSpec& spec = aggregates_[a];
+      if (spec.func == AggSpec::kCount) {
+        Column col(DataType::kInt64);
+        for (const auto& [key, acc] : groups_) col.AppendInt64(acc.counts[a]);
+        GPL_RETURN_NOT_OK(out.AddColumn(spec.output_name, std::move(col)));
+      } else {
+        Column col(DataType::kFloat64);
+        for (const auto& [key, acc] : groups_) {
+          double v = acc.values[a];
+          if (spec.func == AggSpec::kAvg && acc.counts[a] > 0) {
+            v /= static_cast<double>(acc.counts[a]);
+          }
+          col.AppendDouble(v);
+        }
+        GPL_RETURN_NOT_OK(out.AddColumn(spec.output_name, std::move(col)));
+      }
+    }
+    return out;
+  }
+
+  void Reset() override {
+    groups_.clear();
+    group_types_.clear();
+    group_dicts_.clear();
+  }
+
+ private:
+  struct Accumulators {
+    std::vector<double> values;
+    std::vector<int64_t> counts;
+  };
+
+  std::vector<ProjectedColumn> group_by_;
+  std::vector<AggSpec> aggregates_;
+  // std::map gives deterministic (sorted) group order.
+  std::map<std::vector<int64_t>, Accumulators> groups_;
+  std::vector<DataType> group_types_;
+  std::vector<std::shared_ptr<Dictionary>> group_dicts_;
+};
+
+class SortKernel : public Kernel {
+ public:
+  explicit SortKernel(std::vector<SortKey> keys) : keys_(std::move(keys)) {
+    timing_ = SortTiming();
+  }
+
+  Result<Table> Process(const Table& input) override {
+    if (!initialized_) {
+      accumulated_ = input;
+      initialized_ = true;
+    } else {
+      GPL_RETURN_NOT_OK(accumulated_.AppendTable(input));
+    }
+    return Table();
+  }
+
+  Result<Table> Finish() override {
+    if (!initialized_) return Table();
+    const int64_t n = accumulated_.num_rows();
+    std::vector<int64_t> indices(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) indices[static_cast<size_t>(i)] = i;
+
+    std::vector<const Column*> cols;
+    for (const SortKey& k : keys_) {
+      cols.push_back(&accumulated_.GetColumn(k.column));
+    }
+    std::stable_sort(indices.begin(), indices.end(),
+                     [&](int64_t a, int64_t b) {
+                       for (size_t k = 0; k < keys_.size(); ++k) {
+                         const Column& c = *cols[k];
+                         int cmp = 0;
+                         if (c.type() == DataType::kString) {
+                           cmp = c.StringAt(a).compare(c.StringAt(b));
+                         } else if (c.type() == DataType::kFloat64) {
+                           const double va = c.DoubleAt(a), vb = c.DoubleAt(b);
+                           cmp = va < vb ? -1 : (va > vb ? 1 : 0);
+                         } else {
+                           const int64_t va = c.AsInt64(a), vb = c.AsInt64(b);
+                           cmp = va < vb ? -1 : (va > vb ? 1 : 0);
+                         }
+                         if (cmp != 0) {
+                           return keys_[k].descending ? cmp > 0 : cmp < 0;
+                         }
+                       }
+                       return a < b;
+                     });
+    return accumulated_.Gather(indices);
+  }
+
+  void Reset() override {
+    accumulated_ = Table();
+    initialized_ = false;
+  }
+
+ private:
+  std::vector<SortKey> keys_;
+  Table accumulated_;
+  bool initialized_ = false;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------------
+
+KernelPtr MakeFilterKernel(ExprPtr predicate) {
+  return std::make_shared<FilterKernel>(std::move(predicate));
+}
+
+KernelPtr MakeProjectKernel(std::vector<ProjectedColumn> columns) {
+  return std::make_shared<ProjectKernel>(std::move(columns));
+}
+
+KernelPtr MakeHashBuildKernel(std::vector<ExprPtr> key_exprs,
+                              std::shared_ptr<HashJoinState> state) {
+  return std::make_shared<HashBuildKernel>(std::move(key_exprs), std::move(state));
+}
+
+KernelPtr MakeHashProbeKernel(std::vector<ExprPtr> key_exprs,
+                              std::shared_ptr<HashJoinState> state,
+                              std::vector<std::string> build_payload) {
+  return std::make_shared<HashProbeKernel>(std::move(key_exprs), std::move(state),
+                                           std::move(build_payload));
+}
+
+KernelPtr MakeAggregateKernel(std::vector<ProjectedColumn> group_by,
+                              std::vector<AggSpec> aggregates) {
+  return std::make_shared<AggregateKernel>(std::move(group_by),
+                                           std::move(aggregates));
+}
+
+KernelPtr MakeSortKernel(std::vector<SortKey> keys) {
+  return std::make_shared<SortKernel>(std::move(keys));
+}
+
+// ---------------------------------------------------------------------------
+// KBE-only primitives
+// ---------------------------------------------------------------------------
+
+Column ComputeFlags(const Table& input, const ExprPtr& predicate) {
+  return predicate->Evaluate(input);
+}
+
+Column PrefixSum(const Column& flags, int64_t* total) {
+  Column out(DataType::kInt32);
+  const int64_t n = flags.size();
+  out.Reserve(n);
+  int32_t running = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    out.AppendInt32(running);
+    running += flags.Int32At(i) != 0 ? 1 : 0;
+  }
+  *total = running;
+  return out;
+}
+
+Table ScatterRows(const Table& input, const Column& flags, const Column& offsets) {
+  const int64_t n = flags.size();
+  GPL_CHECK(offsets.size() == n);
+  std::vector<int64_t> indices;
+  for (int64_t i = 0; i < n; ++i) {
+    if (flags.Int32At(i) != 0) {
+      // offsets[i] is the output slot; gathering in input order reproduces
+      // the scatter result.
+      indices.push_back(i);
+    }
+  }
+  return input.Gather(indices);
+}
+
+// ---------------------------------------------------------------------------
+// Timing descriptors
+// ---------------------------------------------------------------------------
+
+sim::KernelTimingDesc FilterTiming(double predicate_cost) {
+  sim::KernelTimingDesc d;
+  d.name = "k_map";
+  d.compute_inst_per_row = 10.0 + 2.0 * predicate_cost;
+  d.mem_inst_per_row = 2.0;
+  d.private_bytes_per_item = 48;
+  d.local_bytes_per_item = 0;
+  return d;
+}
+
+sim::KernelTimingDesc ProjectTiming(double expr_cost, int num_outputs) {
+  sim::KernelTimingDesc d;
+  d.name = "k_project";
+  d.compute_inst_per_row = 8.0 + 2.0 * expr_cost;
+  d.mem_inst_per_row = 1.0 + 0.5 * num_outputs;
+  d.private_bytes_per_item = 64;
+  return d;
+}
+
+sim::KernelTimingDesc PrefixSumTiming() {
+  sim::KernelTimingDesc d;
+  d.name = "k_prefix_sum";
+  d.compute_inst_per_row = 24.0;
+  d.mem_inst_per_row = 3.0;
+  d.private_bytes_per_item = 32;
+  d.local_bytes_per_item = 8;  // local-memory scan tree
+  d.blocking = true;
+  return d;
+}
+
+sim::KernelTimingDesc ScatterTiming(int num_columns) {
+  sim::KernelTimingDesc d;
+  d.name = "k_scatter";
+  d.compute_inst_per_row = 8.0;
+  d.mem_inst_per_row = 1.5 + 0.5 * num_columns;
+  d.private_bytes_per_item = 32;
+  d.blocking = true;  // writes the compacted result to global memory
+  return d;
+}
+
+sim::KernelTimingDesc HashBuildTiming(int64_t hash_table_bytes) {
+  sim::KernelTimingDesc d;
+  d.name = "k_hash_build";
+  d.compute_inst_per_row = 36.0;
+  d.mem_inst_per_row = 4.0;
+  d.private_bytes_per_item = 64;
+  d.local_bytes_per_item = 4;
+  d.blocking = true;  // barrier after build (Section 3.2)
+  d.random_access_fraction = 0.7;
+  d.random_working_set_bytes = hash_table_bytes;
+  return d;
+}
+
+sim::KernelTimingDesc HashProbeTiming(int64_t hash_table_bytes) {
+  sim::KernelTimingDesc d;
+  d.name = "k_hash_probe";
+  d.compute_inst_per_row = 40.0;
+  d.mem_inst_per_row = 5.0;
+  d.private_bytes_per_item = 64;
+  d.random_access_fraction = 0.5;
+  d.random_working_set_bytes = hash_table_bytes;
+  return d;
+}
+
+sim::KernelTimingDesc AggregateTiming(double expr_cost, int num_aggregates) {
+  sim::KernelTimingDesc d;
+  d.name = "k_reduce";
+  d.compute_inst_per_row = 18.0 + 2.0 * expr_cost + 4.0 * num_aggregates;
+  d.mem_inst_per_row = 2.0;
+  d.private_bytes_per_item = 96;
+  d.local_bytes_per_item = 16;  // local partials
+  d.random_access_fraction = 0.2;
+  d.random_working_set_bytes = 4096;
+  return d;
+}
+
+sim::KernelTimingDesc ScanAggregateTiming() {
+  sim::KernelTimingDesc d;
+  d.name = "k_scan_reduce";
+  d.compute_inst_per_row = 30.0;
+  d.mem_inst_per_row = 4.0;
+  d.private_bytes_per_item = 64;
+  d.local_bytes_per_item = 32;
+  d.blocking = true;  // KBE aggregation materializes the scan array
+  return d;
+}
+
+sim::KernelTimingDesc SortTiming() {
+  sim::KernelTimingDesc d;
+  d.name = "k_sort";
+  d.compute_inst_per_row = 64.0;
+  d.mem_inst_per_row = 8.0;
+  d.private_bytes_per_item = 64;
+  d.local_bytes_per_item = 32;
+  d.blocking = true;
+  return d;
+}
+
+}  // namespace gpl

@@ -1,0 +1,118 @@
+#ifndef GPL_EXEC_PRIMITIVES_H_
+#define GPL_EXEC_PRIMITIVES_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/expr.h"
+#include "exec/hash_table.h"
+#include "exec/kernel.h"
+
+namespace gpl {
+
+// ---------------------------------------------------------------------------
+// Streaming kernels (shared by GPL pipelines and KBE whole-input execution)
+// ---------------------------------------------------------------------------
+
+/// One aggregate in an AggregateKernel.
+struct AggSpec {
+  enum Func { kSum, kCount, kAvg, kMin, kMax };
+  Func func = kSum;
+  ExprPtr arg;  ///< ignored for kCount
+  std::string output_name;
+};
+
+/// One output column of a projection: name plus defining expression.
+struct ProjectedColumn {
+  std::string name;
+  ExprPtr expr;
+};
+
+/// One sort key for SortKernel: column name and direction.
+struct SortKey {
+  std::string column;
+  bool descending = false;
+};
+
+/// GPL-style selection (k_map): evaluates the predicate per tuple and emits
+/// only the satisfying rows (the prefix-sum kernel of KBE is removed,
+/// Section 3.2).
+KernelPtr MakeFilterKernel(ExprPtr predicate);
+
+/// Projection/map: computes the listed output columns.
+KernelPtr MakeProjectKernel(std::vector<ProjectedColumn> columns);
+
+/// Hash build: accumulates the build side and inserts keys. Blocking (a
+/// barrier follows it; its output — the hash table plus the saved build
+/// rows — is materialized in global memory).
+///
+/// `key_exprs` may contain one or two int-typed expressions (two are packed
+/// into a composite key, e.g. Q9's partsupp join).
+class HashJoinState;  // shared between build and probe kernels
+KernelPtr MakeHashBuildKernel(std::vector<ExprPtr> key_exprs,
+                              std::shared_ptr<HashJoinState> state);
+
+/// Hash probe: probes the shared table; output = probe-side columns plus the
+/// requested build-side payload columns. Non-blocking.
+KernelPtr MakeHashProbeKernel(std::vector<ExprPtr> key_exprs,
+                              std::shared_ptr<HashJoinState> state,
+                              std::vector<std::string> build_payload);
+
+/// GPL-style non-blocking aggregation (k_reduce*): accumulates partial
+/// results per packet and emits the group table at Finish().
+KernelPtr MakeAggregateKernel(std::vector<ProjectedColumn> group_by,
+                              std::vector<AggSpec> aggregates);
+
+/// Sort (order-by). Blocking: accumulates all input, emits sorted output at
+/// Finish().
+KernelPtr MakeSortKernel(std::vector<SortKey> keys);
+
+/// Shared state of one hash join: the table and the accumulated build rows.
+class HashJoinState {
+ public:
+  JoinHashTable table;
+  Table build_rows;
+  bool build_rows_initialized = false;
+
+  void Reset() {
+    table = JoinHashTable();
+    build_rows = Table();
+    build_rows_initialized = false;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// KBE-only primitives (the conventional kernel decomposition of selection:
+// map -> prefix sum -> scatter, and scan-based aggregation)
+// ---------------------------------------------------------------------------
+
+/// Evaluates `predicate` into a 0/1 flags column (KBE k_map).
+Column ComputeFlags(const Table& input, const ExprPtr& predicate);
+
+/// Exclusive prefix sum of a 0/1 flags column; *total receives the sum.
+Column PrefixSum(const Column& flags, int64_t* total);
+
+/// Compacts `input` to the rows whose flag is set, using the offsets
+/// (KBE k_scatter).
+Table ScatterRows(const Table& input, const Column& flags, const Column& offsets);
+
+// ---------------------------------------------------------------------------
+// Timing descriptors (the "program analysis" numbers per kernel type)
+// ---------------------------------------------------------------------------
+
+sim::KernelTimingDesc FilterTiming(double predicate_cost);
+sim::KernelTimingDesc ProjectTiming(double expr_cost, int num_outputs);
+sim::KernelTimingDesc PrefixSumTiming();
+sim::KernelTimingDesc ScatterTiming(int num_columns);
+sim::KernelTimingDesc HashBuildTiming(int64_t hash_table_bytes);
+sim::KernelTimingDesc HashProbeTiming(int64_t hash_table_bytes);
+sim::KernelTimingDesc AggregateTiming(double expr_cost, int num_aggregates);
+sim::KernelTimingDesc ScanAggregateTiming();  ///< KBE scan-based aggregation
+sim::KernelTimingDesc SortTiming();
+
+}  // namespace gpl
+
+#endif  // GPL_EXEC_PRIMITIVES_H_

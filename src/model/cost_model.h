@@ -1,0 +1,70 @@
+#ifndef GPL_MODEL_COST_MODEL_H_
+#define GPL_MODEL_COST_MODEL_H_
+
+#include <vector>
+
+#include "model/calibration.h"
+#include "sim/device.h"
+#include "sim/kernel_desc.h"
+
+namespace gpl {
+namespace model {
+
+/// Model-side description of one pipeline stage: the kernel's program-
+/// analysis numbers plus the optimizer's cardinality estimates (λ).
+struct StageDesc {
+  sim::KernelTimingDesc timing;
+  double rows_in = 0.0;
+  double bytes_in = 0.0;
+  double rows_out = 0.0;
+  double bytes_out = 0.0;
+};
+
+/// Model-side description of a segment.
+struct SegmentDesc {
+  std::vector<StageDesc> stages;
+  double input_bytes = 0.0;          ///< bytes scanned by the leaf kernel
+  int64_t extra_resident_bytes = 0;  ///< hash tables probed by this segment
+};
+
+/// The tunable parameters of one segment's pipelined execution.
+struct SegmentParams {
+  int64_t tile_bytes = 4 << 20;             ///< Δ
+  std::vector<int> workgroups;              ///< wg_Ki per stage
+  std::vector<sim::ChannelConfig> channels; ///< per kernel gap
+};
+
+/// Analytical estimate of a segment's execution (Eqs. 2-9).
+struct SegmentEstimate {
+  double total_cycles = 0.0;
+  double delay_cycles = 0.0;                ///< Eq. 8
+  std::vector<double> kernel_cycles;        ///< T_Ki x r_Ki per stage
+  double compute_cycles = 0.0;              ///< sum of c_Ki
+  double memory_cycles = 0.0;               ///< sum of m_Ki (global)
+  double channel_cycles = 0.0;              ///< sum of channel m_Ki (Eq. 6)
+};
+
+/// The analytical model of Section 4: estimates segment execution time from
+/// platform inputs (DeviceSpec), calibration (Γ), program analysis (timing
+/// descriptors) and query-optimizer estimates (λ), for a given parameter
+/// setting. Independent from the event simulator: Figures 11/13/14/24
+/// measure its relative error against simulated execution.
+class CostModel {
+ public:
+  CostModel(const sim::DeviceSpec& device, const CalibrationTable* calibration);
+
+  SegmentEstimate EstimateSegment(const SegmentDesc& segment,
+                                  const SegmentParams& params) const;
+
+  const sim::DeviceSpec& device() const { return device_; }
+
+ private:
+  sim::DeviceSpec device_;
+  const CalibrationTable* calibration_;
+  sim::CacheModel cache_;
+};
+
+}  // namespace model
+}  // namespace gpl
+
+#endif  // GPL_MODEL_COST_MODEL_H_

@@ -1,0 +1,116 @@
+#include "model/plan_tuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace gpl {
+namespace model {
+
+std::vector<int64_t> TileSizeGrid() {
+  return {KiB(256), KiB(512), MiB(1), MiB(2), MiB(4), MiB(8), MiB(16)};
+}
+
+std::vector<int> WorkgroupGrid(const sim::DeviceSpec& device) {
+  // Multiples of #CU so work-groups spread across all CUs (Section 4.1).
+  return {device.num_cus, 2 * device.num_cus, 4 * device.num_cus,
+          8 * device.num_cus, 16 * device.num_cus};
+}
+
+namespace {
+
+/// Channel configs per gap: the Γ-optimal (n, p) for each gap's per-tile
+/// payload.
+std::vector<sim::ChannelConfig> ChannelsForPayloads(
+    const CalibrationTable& calibration, const SegmentDesc& segment,
+    int64_t tile_bytes, const TuningOverrides& overrides) {
+  const int num_stages = static_cast<int>(segment.stages.size());
+  std::vector<sim::ChannelConfig> channels;
+  if (num_stages <= 1) return channels;
+  const double tiles =
+      std::max(1.0, std::ceil(segment.input_bytes /
+                              static_cast<double>(std::max<int64_t>(tile_bytes, 1))));
+  for (int g = 0; g + 1 < num_stages; ++g) {
+    if (overrides.has_channel) {
+      channels.push_back(overrides.channel);
+      continue;
+    }
+    const double payload =
+        segment.stages[static_cast<size_t>(g)].bytes_out / tiles;
+    channels.push_back(
+        calibration.Best(static_cast<int64_t>(std::max(payload, 1.0))).config);
+  }
+  return channels;
+}
+
+}  // namespace
+
+TuningChoice TuneSegment(const CostModel& model, const SegmentDesc& segment,
+                         const CalibrationTable& calibration,
+                         const TuningOverrides& overrides) {
+  const int num_stages = static_cast<int>(segment.stages.size());
+  GPL_CHECK(num_stages > 0);
+
+  std::vector<int64_t> tile_grid =
+      overrides.tile_bytes > 0 ? std::vector<int64_t>{overrides.tile_bytes}
+                               : TileSizeGrid();
+  std::vector<int> wg_grid =
+      overrides.workgroups_per_kernel > 0
+          ? std::vector<int>{overrides.workgroups_per_kernel}
+          : WorkgroupGrid(model.device());
+
+  // Relative per-row work of each stage, for proportional wg allocation.
+  std::vector<double> work(static_cast<size_t>(num_stages), 1.0);
+  double max_work = 1.0;
+  for (int i = 0; i < num_stages; ++i) {
+    const StageDesc& s = segment.stages[static_cast<size_t>(i)];
+    work[static_cast<size_t>(i)] =
+        std::max(1.0, s.rows_in * (s.timing.compute_inst_per_row +
+                                   s.timing.mem_inst_per_row));
+    max_work = std::max(max_work, work[static_cast<size_t>(i)]);
+  }
+
+  TuningChoice best;
+  bool first = true;
+  for (int64_t tile : tile_grid) {
+    const std::vector<sim::ChannelConfig> channels =
+        ChannelsForPayloads(calibration, segment, tile, overrides);
+    for (int wg : wg_grid) {
+      // Two allocation shapes per (Δ, wg): uniform and work-proportional.
+      std::vector<std::vector<int>> allocations;
+      allocations.emplace_back(static_cast<size_t>(num_stages), wg);
+      std::vector<int> proportional(static_cast<size_t>(num_stages));
+      for (int i = 0; i < num_stages; ++i) {
+        const double frac = work[static_cast<size_t>(i)] / max_work;
+        const int scaled = static_cast<int>(std::ceil(
+            frac * wg / model.device().num_cus)) * model.device().num_cus;
+        proportional[static_cast<size_t>(i)] =
+            std::max(model.device().num_cus, scaled);
+      }
+      if (proportional != allocations[0] &&
+          overrides.workgroups_per_kernel == 0) {
+        allocations.push_back(std::move(proportional));
+      }
+
+      for (std::vector<int>& alloc : allocations) {
+        SegmentParams params;
+        params.tile_bytes = tile;
+        params.workgroups = std::move(alloc);
+        params.channels = channels;
+        const SegmentEstimate estimate = model.EstimateSegment(segment, params);
+        if (first || estimate.total_cycles < best.estimate.total_cycles) {
+          best.params = params;
+          best.estimate = estimate;
+          first = false;
+        }
+        alloc = std::move(params.workgroups);  // restore for reuse safety
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace model
+}  // namespace gpl

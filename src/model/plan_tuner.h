@@ -1,0 +1,48 @@
+#ifndef GPL_MODEL_PLAN_TUNER_H_
+#define GPL_MODEL_PLAN_TUNER_H_
+
+#include <vector>
+
+#include "model/cost_model.h"
+
+namespace gpl {
+namespace model {
+
+/// The parameter choice produced by the tuner for one segment, plus the
+/// model's prediction for it.
+struct TuningChoice {
+  SegmentParams params;
+  SegmentEstimate estimate;
+};
+
+/// Overrides for individual knobs (0 / empty = let the tuner search). Used
+/// by the parameter-sweep benches (Figures 12-15) to pin one knob while the
+/// rest stay at their defaults.
+struct TuningOverrides {
+  int64_t tile_bytes = 0;
+  int workgroups_per_kernel = 0;  ///< uniform wg_Ki for every stage
+  bool has_channel = false;
+  sim::ChannelConfig channel;
+};
+
+/// Searches the solution space of Section 4.1 — Δ, wg_Ki, and the channel
+/// configuration (n, p) — for the setting minimizing the estimated segment
+/// time T_Sk. The channel configuration per gap comes from the calibrated
+/// Γ's best setting for the gap's payload (n_max/p_max); Δ is swept over
+/// {256 KB .. 16 MB}; wg_Ki over multiples of #CU, both uniformly and
+/// proportionally to estimated per-kernel work.
+TuningChoice TuneSegment(const CostModel& model, const SegmentDesc& segment,
+                         const CalibrationTable& calibration,
+                         const TuningOverrides& overrides = {});
+
+/// The Δ grid used by the tuner (also the x-axis of Figures 12/13/25/26).
+std::vector<int64_t> TileSizeGrid();
+
+/// The wg multiplier grid (the S1..S7 settings of Figures 14/15 use
+/// consecutive powers of two starting at 2).
+std::vector<int> WorkgroupGrid(const sim::DeviceSpec& device);
+
+}  // namespace model
+}  // namespace gpl
+
+#endif  // GPL_MODEL_PLAN_TUNER_H_

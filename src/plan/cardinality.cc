@@ -1,0 +1,115 @@
+#include "plan/cardinality.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace gpl {
+
+namespace {
+constexpr int64_t kSampleLimit = 65536;
+
+ColumnStats ComputeStats(const Column& col) {
+  ColumnStats stats;
+  const int64_t n = col.size();
+  if (n == 0) return stats;
+
+  const int64_t step = std::max<int64_t>(1, n / kSampleLimit);
+  std::unordered_set<int64_t> distinct;
+  double mn = col.AsDouble(0);
+  double mx = mn;
+  int64_t sampled = 0;
+  for (int64_t i = 0; i < n; i += step) {
+    const double v = col.AsDouble(i);
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+    distinct.insert(col.AsInt64(i));
+    ++sampled;
+  }
+  stats.min_value = mn;
+  stats.max_value = mx;
+
+  const int64_t d = static_cast<int64_t>(distinct.size());
+  if (d >= sampled) {
+    // Every sampled value distinct: key-like column, assume ndv == rows.
+    stats.num_distinct = n;
+  } else if (d * 2 <= sampled) {
+    // Clearly low-cardinality: the sample saw (almost) all values.
+    stats.num_distinct = d;
+  } else {
+    // In between: scale linearly with the sampling ratio.
+    stats.num_distinct =
+        std::min<int64_t>(n, d * std::max<int64_t>(1, n / std::max<int64_t>(sampled, 1)));
+  }
+  stats.num_distinct = std::max<int64_t>(stats.num_distinct, 1);
+  return stats;
+}
+}  // namespace
+
+Catalog Catalog::FromDatabase(const tpch::Database& db) {
+  Catalog catalog;
+  const Table* tables[] = {&db.region, &db.nation,   &db.supplier, &db.customer,
+                           &db.part,   &db.partsupp, &db.orders,   &db.lineitem};
+  for (const Table* t : tables) {
+    catalog.table_rows_[t->name()] = t->num_rows();
+    for (int64_t c = 0; c < t->num_columns(); ++c) {
+      catalog.column_stats_[t->ColumnNameAt(c)] = ComputeStats(t->ColumnAt(c));
+    }
+  }
+  return catalog;
+}
+
+int64_t Catalog::TableRows(const std::string& table) const {
+  auto it = table_rows_.find(table);
+  return it == table_rows_.end() ? 0 : it->second;
+}
+
+const ColumnStats& Catalog::Column(const std::string& column) const {
+  static const ColumnStats kDefault;
+  auto it = column_stats_.find(column);
+  return it == column_stats_.end() ? kDefault : it->second;
+}
+
+namespace {
+/// Adapter exposing the catalog to Expr::EstimateSelectivity.
+class CatalogStatsProvider : public StatsProvider {
+ public:
+  explicit CatalogStatsProvider(const Catalog* catalog) : catalog_(catalog) {}
+
+  bool GetColumnStats(const std::string& column, double* min_value,
+                      double* max_value, int64_t* num_distinct) const override {
+    const ColumnStats& s = catalog_->Column(column);
+    if (s.num_distinct == 1 && s.min_value == 0.0 && s.max_value == 0.0) {
+      return false;  // unknown column (default stats)
+    }
+    *min_value = s.min_value;
+    *max_value = s.max_value;
+    *num_distinct = s.num_distinct;
+    return true;
+  }
+
+ private:
+  const Catalog* catalog_;
+};
+}  // namespace
+
+double Catalog::EstimateSelectivity(const ExprPtr& predicate) const {
+  if (predicate == nullptr) return 1.0;
+  CatalogStatsProvider provider(this);
+  return std::clamp(predicate->EstimateSelectivity(provider), 0.0001, 1.0);
+}
+
+int64_t Catalog::EstimateKeyDistinct(const ExprPtr& key,
+                                     int64_t relation_rows) const {
+  std::string column;
+  if (key != nullptr && key->IsColumnRef(&column)) {
+    const ColumnStats& s = Column(column);
+    if (!(s.num_distinct == 1 && s.min_value == 0.0 && s.max_value == 0.0)) {
+      return std::max<int64_t>(1, s.num_distinct);
+    }
+  }
+  return std::max<int64_t>(1, relation_rows);
+}
+
+}  // namespace gpl

@@ -1,0 +1,45 @@
+#ifndef GPL_PLAN_CARDINALITY_H_
+#define GPL_PLAN_CARDINALITY_H_
+
+#include <map>
+#include <string>
+
+#include "exec/expr.h"
+#include "tpch/dbgen.h"
+
+namespace gpl {
+
+/// Per-column statistics gathered by Catalog::FromDatabase (the equivalent
+/// of ANALYZE): used for selectivity and join-cardinality estimation.
+struct ColumnStats {
+  int64_t num_distinct = 1;
+  double min_value = 0.0;
+  double max_value = 0.0;
+};
+
+/// Table/column statistics for the query optimizer.
+class Catalog {
+ public:
+  /// Scans the database and collects row counts and per-column stats.
+  static Catalog FromDatabase(const tpch::Database& db);
+
+  int64_t TableRows(const std::string& table) const;
+  /// Stats for a column (searched across all tables; TPC-H column names are
+  /// globally unique). Returns defaults if unknown.
+  const ColumnStats& Column(const std::string& column) const;
+
+  /// Estimated selectivity of `predicate` against a relation whose columns
+  /// are described by this catalog. Heuristic, in [0.0001, 1].
+  double EstimateSelectivity(const ExprPtr& predicate) const;
+
+  /// Estimated distinct count of a join key expression.
+  int64_t EstimateKeyDistinct(const ExprPtr& key, int64_t relation_rows) const;
+
+ private:
+  std::map<std::string, int64_t> table_rows_;
+  std::map<std::string, ColumnStats> column_stats_;
+};
+
+}  // namespace gpl
+
+#endif  // GPL_PLAN_CARDINALITY_H_

@@ -1,0 +1,66 @@
+#ifndef GPL_PLAN_LOGICAL_PLAN_H_
+#define GPL_PLAN_LOGICAL_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/expr.h"
+#include "exec/primitives.h"
+
+namespace gpl {
+
+/// One base relation referenced by a query, with its pushed-down filter and
+/// the columns the query actually touches (projection pushdown).
+struct BaseRelation {
+  std::string table;
+  std::vector<std::string> columns;
+  ExprPtr filter;  ///< may be null
+
+  /// Non-empty when the same table appears more than once in a query (e.g.
+  /// Q7's nation n1/n2): scan output columns are renamed "<alias>_<name>",
+  /// and all expressions over this relation use the renamed columns.
+  std::string alias;
+
+  /// Extra join-key expressions evaluated against this relation appear in
+  /// JoinEdge; everything else the query needs must be listed in `columns`.
+};
+
+/// An equi-join edge between two relations of the query graph. Keys are
+/// expressions over the respective relations (one or two per side; two are
+/// packed into a composite key).
+struct JoinEdge {
+  int left = 0;   ///< index into LogicalQuery::relations
+  int right = 0;  ///< index into LogicalQuery::relations
+  std::vector<ExprPtr> left_keys;
+  std::vector<ExprPtr> right_keys;
+};
+
+/// A select-project-join-aggregate-order query: the shape of every TPC-H
+/// query in the paper's evaluation (Appendix B variants).
+struct LogicalQuery {
+  std::string name;
+  std::vector<BaseRelation> relations;
+  std::vector<JoinEdge> joins;
+
+  /// Filter applied after all joins (e.g. Q7's nation-pair disjunction,
+  /// which references columns of two different relations).
+  ExprPtr post_join_filter;  ///< may be null
+
+  /// Derived columns computed after joins, before aggregation (e.g.
+  /// volume = l_extendedprice * (1 - l_discount)). These are visible to the
+  /// aggregate/group-by expressions.
+  std::vector<ProjectedColumn> derived;
+
+  std::vector<ProjectedColumn> group_by;
+  std::vector<AggSpec> aggregates;
+
+  /// Columns computed from aggregate outputs (e.g. Q8's mkt_share, a ratio
+  /// of two sums). May reference group and aggregate output names.
+  std::vector<ProjectedColumn> post_aggregate;
+
+  std::vector<SortKey> order_by;
+};
+
+}  // namespace gpl
+
+#endif  // GPL_PLAN_LOGICAL_PLAN_H_

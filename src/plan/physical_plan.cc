@@ -1,0 +1,148 @@
+#include "plan/physical_plan.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace gpl {
+
+PhysicalOpPtr MakeScan(std::string table, std::vector<std::string> columns,
+                       std::string alias) {
+  auto op = std::make_shared<PhysicalOp>();
+  op->kind = PhysicalOp::Kind::kScan;
+  op->table = std::move(table);
+  op->columns = std::move(columns);
+  op->alias = std::move(alias);
+  return op;
+}
+
+PhysicalOpPtr MakeFilter(PhysicalOpPtr child, ExprPtr predicate) {
+  auto op = std::make_shared<PhysicalOp>();
+  op->kind = PhysicalOp::Kind::kFilter;
+  op->child = std::move(child);
+  op->predicate = std::move(predicate);
+  return op;
+}
+
+PhysicalOpPtr MakeProject(PhysicalOpPtr child,
+                          std::vector<ProjectedColumn> projections) {
+  auto op = std::make_shared<PhysicalOp>();
+  op->kind = PhysicalOp::Kind::kProject;
+  op->child = std::move(child);
+  op->projections = std::move(projections);
+  return op;
+}
+
+PhysicalOpPtr MakeHashJoin(PhysicalOpPtr probe_child, PhysicalOpPtr build_child,
+                           std::vector<ExprPtr> probe_keys,
+                           std::vector<ExprPtr> build_keys,
+                           std::vector<std::string> build_payload) {
+  auto op = std::make_shared<PhysicalOp>();
+  op->kind = PhysicalOp::Kind::kHashJoin;
+  op->child = std::move(probe_child);
+  op->build_child = std::move(build_child);
+  op->probe_keys = std::move(probe_keys);
+  op->build_keys = std::move(build_keys);
+  op->build_payload = std::move(build_payload);
+  return op;
+}
+
+PhysicalOpPtr MakeAggregate(PhysicalOpPtr child,
+                            std::vector<ProjectedColumn> group_by,
+                            std::vector<AggSpec> aggregates) {
+  auto op = std::make_shared<PhysicalOp>();
+  op->kind = PhysicalOp::Kind::kAggregate;
+  op->child = std::move(child);
+  op->group_by = std::move(group_by);
+  op->aggregates = std::move(aggregates);
+  return op;
+}
+
+PhysicalOpPtr MakeSort(PhysicalOpPtr child, std::vector<SortKey> keys) {
+  auto op = std::make_shared<PhysicalOp>();
+  op->kind = PhysicalOp::Kind::kSort;
+  op->child = std::move(child);
+  op->sort_keys = std::move(keys);
+  return op;
+}
+
+std::vector<std::string> OutputColumns(const PhysicalOp& op) {
+  switch (op.kind) {
+    case PhysicalOp::Kind::kScan: {
+      if (op.alias.empty()) return op.columns;
+      std::vector<std::string> out;
+      out.reserve(op.columns.size());
+      for (const std::string& c : op.columns) out.push_back(op.alias + "_" + c);
+      return out;
+    }
+    case PhysicalOp::Kind::kFilter:
+    case PhysicalOp::Kind::kSort:
+      return OutputColumns(*op.child);
+    case PhysicalOp::Kind::kProject: {
+      std::vector<std::string> out;
+      out.reserve(op.projections.size());
+      for (const ProjectedColumn& p : op.projections) out.push_back(p.name);
+      return out;
+    }
+    case PhysicalOp::Kind::kHashJoin: {
+      std::vector<std::string> out = OutputColumns(*op.child);
+      out.insert(out.end(), op.build_payload.begin(), op.build_payload.end());
+      return out;
+    }
+    case PhysicalOp::Kind::kAggregate: {
+      std::vector<std::string> out;
+      for (const ProjectedColumn& g : op.group_by) out.push_back(g.name);
+      for (const AggSpec& a : op.aggregates) out.push_back(a.output_name);
+      return out;
+    }
+  }
+  return {};
+}
+
+std::string PlanToString(const PhysicalOp& op, int indent) {
+  std::ostringstream out;
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  out << pad;
+  switch (op.kind) {
+    case PhysicalOp::Kind::kScan:
+      out << "Scan(" << op.table;
+      if (!op.alias.empty()) out << " AS " << op.alias;
+      out << ", " << op.columns.size() << " cols)";
+      break;
+    case PhysicalOp::Kind::kFilter:
+      out << "Filter(" << op.predicate->ToString() << ")";
+      break;
+    case PhysicalOp::Kind::kProject:
+      out << "Project(" << op.projections.size() << " exprs)";
+      break;
+    case PhysicalOp::Kind::kHashJoin: {
+      out << "HashJoin(probe ";
+      for (size_t i = 0; i < op.probe_keys.size(); ++i) {
+        out << (i ? ", " : "") << op.probe_keys[i]->ToString();
+      }
+      out << " = build ";
+      for (size_t i = 0; i < op.build_keys.size(); ++i) {
+        out << (i ? ", " : "") << op.build_keys[i]->ToString();
+      }
+      out << ")";
+      break;
+    }
+    case PhysicalOp::Kind::kAggregate:
+      out << "Aggregate(" << op.group_by.size() << " groups, "
+          << op.aggregates.size() << " aggs)";
+      break;
+    case PhysicalOp::Kind::kSort:
+      out << "Sort(" << op.sort_keys.size() << " keys)";
+      break;
+  }
+  out << "  [est_rows=" << static_cast<int64_t>(op.est_rows) << "]\n";
+  if (op.build_child != nullptr) {
+    out << pad << "  build:\n" << PlanToString(*op.build_child, indent + 2);
+  }
+  if (op.child != nullptr) {
+    out << PlanToString(*op.child, indent + 1);
+  }
+  return out.str();
+}
+
+}  // namespace gpl

@@ -1,0 +1,82 @@
+#ifndef GPL_PLAN_PHYSICAL_PLAN_H_
+#define GPL_PLAN_PHYSICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/expr.h"
+#include "exec/primitives.h"
+
+namespace gpl {
+
+struct PhysicalOp;
+using PhysicalOpPtr = std::shared_ptr<PhysicalOp>;
+
+/// Node of a physical query plan. A single struct with a kind tag (rather
+/// than a class hierarchy) keeps plan rewriting and inspection simple; only
+/// the fields relevant to the kind are populated.
+///
+/// The tree shape: `child` is the streaming (probe) input, `build_child` is
+/// the hash-join build side.
+struct PhysicalOp {
+  enum class Kind { kScan, kFilter, kProject, kHashJoin, kAggregate, kSort };
+
+  Kind kind = Kind::kScan;
+  PhysicalOpPtr child;
+  PhysicalOpPtr build_child;
+
+  /// Optimizer's output-cardinality estimate (drives λ in the cost model).
+  double est_rows = 0.0;
+
+  // -- kScan --
+  std::string table;
+  std::vector<std::string> columns;
+  std::string alias;  ///< non-empty: columns renamed to "<alias>_<name>"
+
+  // -- kFilter --
+  ExprPtr predicate;
+
+  // -- kProject --
+  std::vector<ProjectedColumn> projections;
+
+  // -- kHashJoin --
+  std::vector<ExprPtr> probe_keys;  ///< over `child` output
+  std::vector<ExprPtr> build_keys;  ///< over `build_child` output
+  std::vector<std::string> build_payload;
+  /// Radix-partitioned variant (Section 3.2): set by the planner when the
+  /// estimated build side outgrows the cache.
+  bool partitioned_join = false;
+  int num_partitions = 8;
+
+  // -- kAggregate --
+  std::vector<ProjectedColumn> group_by;
+  std::vector<AggSpec> aggregates;
+
+  // -- kSort --
+  std::vector<SortKey> sort_keys;
+};
+
+PhysicalOpPtr MakeScan(std::string table, std::vector<std::string> columns,
+                       std::string alias = "");
+PhysicalOpPtr MakeFilter(PhysicalOpPtr child, ExprPtr predicate);
+PhysicalOpPtr MakeProject(PhysicalOpPtr child,
+                          std::vector<ProjectedColumn> projections);
+PhysicalOpPtr MakeHashJoin(PhysicalOpPtr probe_child, PhysicalOpPtr build_child,
+                           std::vector<ExprPtr> probe_keys,
+                           std::vector<ExprPtr> build_keys,
+                           std::vector<std::string> build_payload);
+PhysicalOpPtr MakeAggregate(PhysicalOpPtr child,
+                            std::vector<ProjectedColumn> group_by,
+                            std::vector<AggSpec> aggregates);
+PhysicalOpPtr MakeSort(PhysicalOpPtr child, std::vector<SortKey> keys);
+
+/// Output column names of an operator (alias-renamed for scans).
+std::vector<std::string> OutputColumns(const PhysicalOp& op);
+
+/// Multi-line indented rendering of the plan tree (EXPLAIN-style).
+std::string PlanToString(const PhysicalOp& op, int indent = 0);
+
+}  // namespace gpl
+
+#endif  // GPL_PLAN_PHYSICAL_PLAN_H_

@@ -1,0 +1,143 @@
+#include "plan/segment.h"
+
+#include "common/logging.h"
+#include "exec/partitioned_join.h"
+
+namespace gpl {
+
+namespace {
+
+/// The segment currently being assembled while walking the plan tree.
+struct OpenPipeline {
+  Segment segment;
+};
+
+Result<OpenPipeline> Build(const PhysicalOpPtr& op, SegmentedPlan* out);
+
+Result<OpenPipeline> BuildChild(const PhysicalOpPtr& op, SegmentedPlan* out) {
+  GPL_CHECK(op != nullptr);
+  return Build(op, out);
+}
+
+Result<OpenPipeline> Build(const PhysicalOpPtr& op, SegmentedPlan* out) {
+  switch (op->kind) {
+    case PhysicalOp::Kind::kScan: {
+      OpenPipeline open;
+      open.segment.input_table = op->table;
+      open.segment.input_alias = op->alias;
+      open.segment.input_columns = op->columns;
+      open.segment.est_input_rows = op->est_rows;
+      return open;
+    }
+
+    case PhysicalOp::Kind::kFilter: {
+      GPL_ASSIGN_OR_RETURN(OpenPipeline open, BuildChild(op->child, out));
+      Stage stage;
+      stage.kernel = MakeFilterKernel(op->predicate);
+      stage.est_rows_out = op->est_rows;
+      stage.est_columns_out = static_cast<int>(OutputColumns(*op).size());
+      open.segment.stages.push_back(std::move(stage));
+      return open;
+    }
+
+    case PhysicalOp::Kind::kProject: {
+      GPL_ASSIGN_OR_RETURN(OpenPipeline open, BuildChild(op->child, out));
+      Stage stage;
+      stage.kernel = MakeProjectKernel(op->projections);
+      stage.est_rows_out = op->est_rows > 0.0
+                               ? op->est_rows
+                               : (op->child != nullptr ? op->child->est_rows : 0.0);
+      stage.est_columns_out = static_cast<int>(op->projections.size());
+      open.segment.stages.push_back(std::move(stage));
+      return open;
+    }
+
+    case PhysicalOp::Kind::kHashJoin: {
+      // Build side closes into its own segment, ending with the hash build
+      // (the blocking barrier of Section 3.2). The planner may have chosen
+      // the radix-partitioned variant for cache-exceeding build sides.
+      KernelPtr build_kernel;
+      KernelPtr probe_kernel;
+      if (op->partitioned_join) {
+        auto state =
+            std::make_shared<PartitionedJoinState>(op->num_partitions);
+        build_kernel = MakePartitionedBuildKernel(op->build_keys, state);
+        probe_kernel = MakePartitionedProbeKernel(op->probe_keys, state,
+                                                  op->build_payload);
+      } else {
+        auto state = std::make_shared<HashJoinState>();
+        build_kernel = MakeHashBuildKernel(op->build_keys, state);
+        probe_kernel =
+            MakeHashProbeKernel(op->probe_keys, state, op->build_payload);
+      }
+      {
+        GPL_ASSIGN_OR_RETURN(OpenPipeline build_open,
+                             BuildChild(op->build_child, out));
+        Stage build_stage;
+        build_stage.kernel = std::move(build_kernel);
+        build_stage.est_rows_out = 0.0;  // output is the hash table
+        build_stage.est_columns_out = 1;
+        build_open.segment.stages.push_back(std::move(build_stage));
+        build_open.segment.output_is_hash_build = true;
+        out->segments.push_back(std::move(build_open.segment));
+      }
+
+      GPL_ASSIGN_OR_RETURN(OpenPipeline open, BuildChild(op->child, out));
+      Stage probe_stage;
+      probe_stage.kernel = std::move(probe_kernel);
+      probe_stage.est_rows_out = op->est_rows;
+      probe_stage.est_columns_out = static_cast<int>(OutputColumns(*op).size());
+      open.segment.stages.push_back(std::move(probe_stage));
+      return open;
+    }
+
+    case PhysicalOp::Kind::kAggregate: {
+      GPL_ASSIGN_OR_RETURN(OpenPipeline open, BuildChild(op->child, out));
+      Stage stage;
+      stage.kernel = MakeAggregateKernel(op->group_by, op->aggregates);
+      stage.est_rows_out = op->est_rows;
+      stage.est_columns_out = static_cast<int>(OutputColumns(*op).size());
+      open.segment.stages.push_back(std::move(stage));
+      return open;
+    }
+
+    case PhysicalOp::Kind::kSort: {
+      GPL_ASSIGN_OR_RETURN(OpenPipeline open, BuildChild(op->child, out));
+      Stage stage;
+      stage.kernel = MakeSortKernel(op->sort_keys);
+      stage.est_rows_out = op->est_rows;
+      stage.est_columns_out = static_cast<int>(OutputColumns(*op).size());
+      open.segment.stages.push_back(std::move(stage));
+      // Sort is blocking: close the segment. Anything above the sort starts
+      // a new pipeline reading the materialized result.
+      out->segments.push_back(std::move(open.segment));
+      OpenPipeline next;
+      next.segment.input_segment = static_cast<int>(out->segments.size()) - 1;
+      next.segment.est_input_rows = op->est_rows;
+      return next;
+    }
+  }
+  return Status::Internal("unknown physical operator kind");
+}
+
+}  // namespace
+
+Result<SegmentedPlan> SegmentPlan(const PhysicalOpPtr& root) {
+  SegmentedPlan plan;
+  GPL_ASSIGN_OR_RETURN(OpenPipeline open, Build(root, &plan));
+  // Close the root pipeline unless the tree ended in a sort that already
+  // closed it and left an empty continuation.
+  if (!open.segment.stages.empty() || open.segment.input_segment < 0) {
+    if (open.segment.stages.empty() && open.segment.input_segment < 0 &&
+        open.segment.input_table.empty()) {
+      return Status::Internal("empty plan");
+    }
+    plan.segments.push_back(std::move(open.segment));
+  }
+  if (plan.segments.empty()) {
+    return Status::Internal("plan produced no segments");
+  }
+  return plan;
+}
+
+}  // namespace gpl

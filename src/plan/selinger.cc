@@ -1,0 +1,324 @@
+#include "plan/selinger.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace gpl {
+
+namespace {
+
+/// Estimated rows of a base relation after its pushed-down filter.
+double FilteredRows(const BaseRelation& rel, const Catalog& catalog) {
+  const double base = static_cast<double>(catalog.TableRows(rel.table));
+  return std::max(1.0, base * catalog.EstimateSelectivity(rel.filter));
+}
+
+/// Effective distinct count of one side of a join edge, capped by the
+/// (filtered) relation size.
+double EffectiveNdv(const std::vector<ExprPtr>& keys, double rows,
+                    const Catalog& catalog) {
+  double ndv = 1.0;
+  for (const ExprPtr& key : keys) {
+    ndv *= static_cast<double>(
+        catalog.EstimateKeyDistinct(key, static_cast<int64_t>(rows)));
+  }
+  return std::clamp(ndv, 1.0, std::max(rows, 1.0));
+}
+
+}  // namespace
+
+Result<JoinOrder> OptimizeJoinOrder(const LogicalQuery& query,
+                                    const Catalog& catalog) {
+  const int n = static_cast<int>(query.relations.size());
+  if (n == 0) return Status::InvalidArgument("query has no relations");
+  if (n > 16) return Status::InvalidArgument("too many relations for DP");
+
+  std::vector<double> base_rows(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    base_rows[static_cast<size_t>(i)] =
+        FilteredRows(query.relations[static_cast<size_t>(i)], catalog);
+  }
+
+  if (n == 1) {
+    JoinOrder order;
+    order.order = {0};
+    order.rows_after_step = {base_rows[0]};
+    return order;
+  }
+
+  struct DpEntry {
+    double cost = -1.0;  // -1: unreachable
+    double rows = 0.0;
+    int last = -1;
+    uint32_t prev_mask = 0;
+  };
+  const uint32_t full = (1u << n) - 1;
+  std::vector<DpEntry> dp(static_cast<size_t>(full) + 1);
+
+  for (int i = 0; i < n; ++i) {
+    DpEntry& e = dp[1u << i];
+    e.cost = 0.0;
+    e.rows = base_rows[static_cast<size_t>(i)];
+    e.last = i;
+  }
+
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    const DpEntry& cur = dp[mask];
+    if (cur.cost < 0.0) continue;
+    for (int r = 0; r < n; ++r) {
+      if (mask & (1u << r)) continue;
+      // Reduction from every edge connecting r to the current set.
+      double reduction = 1.0;
+      bool connected = false;
+      size_t total_keys = 0;
+      for (const JoinEdge& edge : query.joins) {
+        int other = -1;
+        const std::vector<ExprPtr>* r_keys = nullptr;
+        const std::vector<ExprPtr>* m_keys = nullptr;
+        if (edge.left == r && (mask & (1u << edge.right))) {
+          other = edge.right;
+          r_keys = &edge.left_keys;
+          m_keys = &edge.right_keys;
+        } else if (edge.right == r && (mask & (1u << edge.left))) {
+          other = edge.left;
+          r_keys = &edge.right_keys;
+          m_keys = &edge.left_keys;
+        } else {
+          continue;
+        }
+        connected = true;
+        total_keys += r_keys->size();
+        const double ndv_r =
+            EffectiveNdv(*r_keys, base_rows[static_cast<size_t>(r)], catalog);
+        const double ndv_m = EffectiveNdv(
+            *m_keys, base_rows[static_cast<size_t>(other)], catalog);
+        reduction *= std::max(ndv_r, ndv_m);
+      }
+      if (!connected) continue;
+      // The hash-join machinery packs at most two key expressions.
+      if (total_keys > 2) continue;
+
+      const double join_rows = std::max(
+          1.0, cur.rows * base_rows[static_cast<size_t>(r)] / reduction);
+      const double build_cost =
+          std::min(cur.rows, base_rows[static_cast<size_t>(r)]);
+      // When the accumulated chain is the smaller side it becomes the hash
+      // build: the streaming pipeline breaks and the chain materializes.
+      const double pipeline_break_cost =
+          cur.rows <= base_rows[static_cast<size_t>(r)] ? 2.0 * cur.rows : 0.0;
+      const double new_cost =
+          cur.cost + join_rows + build_cost + pipeline_break_cost;
+      DpEntry& next = dp[mask | (1u << r)];
+      if (next.cost < 0.0 || new_cost < next.cost) {
+        next.cost = new_cost;
+        next.rows = join_rows;
+        next.last = r;
+        next.prev_mask = mask;
+      }
+    }
+  }
+
+  if (dp[full].cost < 0.0) {
+    return Status::InvalidArgument("join graph is disconnected: " + query.name);
+  }
+
+  JoinOrder result;
+  result.total_cost = dp[full].cost;
+  uint32_t mask = full;
+  while (mask != 0) {
+    const DpEntry& e = dp[mask];
+    result.order.push_back(e.last);
+    result.rows_after_step.push_back(e.rows);
+    mask = e.prev_mask;
+  }
+  std::reverse(result.order.begin(), result.order.end());
+  std::reverse(result.rows_after_step.begin(), result.rows_after_step.end());
+  return result;
+}
+
+namespace {
+
+/// Scan + filter (+ pruning projection) for one base relation.
+PhysicalOpPtr BuildRelationPlan(const BaseRelation& rel, const Catalog& catalog,
+                                double est_rows) {
+  // The scan must also produce columns the filter reads.
+  std::vector<std::string> scan_columns = rel.columns;
+  bool filter_added_columns = false;
+  if (rel.filter != nullptr) {
+    std::vector<std::string> refs;
+    rel.filter->CollectColumnRefs(&refs);
+    for (const std::string& r : refs) {
+      // Filter refs use the (possibly alias-renamed) names; scan columns are
+      // the raw names. Strip the alias prefix if present.
+      std::string raw = r;
+      if (!rel.alias.empty() && r.rfind(rel.alias + "_", 0) == 0) {
+        raw = r.substr(rel.alias.size() + 1);
+      }
+      if (std::find(scan_columns.begin(), scan_columns.end(), raw) ==
+          scan_columns.end()) {
+        scan_columns.push_back(raw);
+        filter_added_columns = true;
+      }
+    }
+  }
+
+  PhysicalOpPtr plan = MakeScan(rel.table, scan_columns, rel.alias);
+  plan->est_rows = static_cast<double>(catalog.TableRows(rel.table));
+  if (rel.filter != nullptr) {
+    plan = MakeFilter(std::move(plan), rel.filter);
+    plan->est_rows = est_rows;
+    if (filter_added_columns) {
+      // Prune filter-only columns so they do not flow downstream.
+      std::vector<ProjectedColumn> keep;
+      for (const std::string& c : rel.columns) {
+        const std::string name =
+            rel.alias.empty() ? c : rel.alias + "_" + c;
+        keep.push_back({name, Col(name)});
+      }
+      plan = MakeProject(std::move(plan), std::move(keep));
+      plan->est_rows = est_rows;
+    }
+  }
+  return plan;
+}
+
+/// Output column names of a base relation (alias-renamed).
+std::vector<std::string> RelationColumns(const BaseRelation& rel) {
+  if (rel.alias.empty()) return rel.columns;
+  std::vector<std::string> out;
+  out.reserve(rel.columns.size());
+  for (const std::string& c : rel.columns) out.push_back(rel.alias + "_" + c);
+  return out;
+}
+
+}  // namespace
+
+Result<PhysicalOpPtr> BuildPhysicalPlan(const LogicalQuery& query,
+                                        const Catalog& catalog,
+                                        const PlanOptions& options) {
+  GPL_ASSIGN_OR_RETURN(JoinOrder order, OptimizeJoinOrder(query, catalog));
+
+  const int first = order.order[0];
+  PhysicalOpPtr chain =
+      BuildRelationPlan(query.relations[static_cast<size_t>(first)], catalog,
+                        order.rows_after_step[0]);
+  double chain_rows = order.rows_after_step[0];
+  std::set<int> joined = {first};
+
+  for (size_t step = 1; step < order.order.size(); ++step) {
+    const int r = order.order[step];
+    const BaseRelation& rel = query.relations[static_cast<size_t>(r)];
+    const double r_rows = FilteredRows(rel, catalog);
+
+    // Collect keys from every edge between r and the joined set.
+    std::vector<ExprPtr> r_keys, chain_keys;
+    for (const JoinEdge& edge : query.joins) {
+      if (edge.left == r && joined.count(edge.right) > 0) {
+        r_keys.insert(r_keys.end(), edge.left_keys.begin(), edge.left_keys.end());
+        chain_keys.insert(chain_keys.end(), edge.right_keys.begin(),
+                          edge.right_keys.end());
+      } else if (edge.right == r && joined.count(edge.left) > 0) {
+        r_keys.insert(r_keys.end(), edge.right_keys.begin(),
+                      edge.right_keys.end());
+        chain_keys.insert(chain_keys.end(), edge.left_keys.begin(),
+                          edge.left_keys.end());
+      }
+    }
+    if (r_keys.empty()) {
+      return Status::Internal("no join edge for relation in optimized order");
+    }
+    if (r_keys.size() > 2) {
+      return Status::Unimplemented(
+          "joins with more than two key expressions are not supported");
+    }
+
+    PhysicalOpPtr r_plan = BuildRelationPlan(rel, catalog, r_rows);
+
+    if (r_rows <= chain_rows) {
+      // The new relation is smaller: it builds, the chain keeps streaming.
+      chain = MakeHashJoin(std::move(chain), std::move(r_plan),
+                           std::move(chain_keys), std::move(r_keys),
+                           RelationColumns(rel));
+    } else {
+      // The chain is smaller: materialize it as the build side and restart
+      // the streaming pipeline from the new relation's scan.
+      std::vector<std::string> chain_columns = OutputColumns(*chain);
+      chain = MakeHashJoin(std::move(r_plan), std::move(chain),
+                           std::move(r_keys), std::move(chain_keys),
+                           std::move(chain_columns));
+    }
+    // Estimated build-side cardinality decides the partitioned variant.
+    const double build_rows = std::min(r_rows, chain_rows);
+    if (options.partition_build_threshold_bytes > 0 &&
+        build_rows * 32.0 >
+            static_cast<double>(options.partition_build_threshold_bytes)) {
+      chain->partitioned_join = true;
+      chain->num_partitions = options.num_partitions;
+    }
+    chain_rows = order.rows_after_step[step];
+    chain->est_rows = chain_rows;
+    joined.insert(r);
+  }
+
+  if (query.post_join_filter != nullptr) {
+    chain = MakeFilter(std::move(chain), query.post_join_filter);
+    chain_rows *= catalog.EstimateSelectivity(query.post_join_filter);
+    chain->est_rows = std::max(1.0, chain_rows);
+  }
+
+  const bool has_agg = !query.group_by.empty() || !query.aggregates.empty();
+  if (has_agg) {
+    // Pre-aggregation projection: derived columns plus the pass-through
+    // columns the aggregation reads.
+    std::vector<ProjectedColumn> projections = query.derived;
+    std::set<std::string> produced;
+    for (const ProjectedColumn& d : query.derived) produced.insert(d.name);
+    std::vector<std::string> refs;
+    for (const ProjectedColumn& g : query.group_by) {
+      g.expr->CollectColumnRefs(&refs);
+    }
+    for (const AggSpec& a : query.aggregates) {
+      if (a.arg != nullptr) a.arg->CollectColumnRefs(&refs);
+    }
+    std::set<std::string> added;
+    for (const std::string& r : refs) {
+      if (produced.count(r) > 0 || added.count(r) > 0) continue;
+      added.insert(r);
+      projections.push_back({r, Col(r)});
+    }
+    if (!projections.empty()) {
+      chain = MakeProject(std::move(chain), std::move(projections));
+      chain->est_rows = std::max(1.0, chain_rows);
+    }
+
+    // Aggregate output cardinality: product of group-key distinct counts.
+    double groups = 1.0;
+    for (const ProjectedColumn& g : query.group_by) {
+      std::string col;
+      if (g.expr->IsColumnRef(&col)) {
+        groups *= static_cast<double>(catalog.Column(col).num_distinct);
+      } else {
+        groups *= 16.0;  // derived group key (e.g. year): small domain
+      }
+    }
+    groups = std::clamp(groups, 1.0, std::max(1.0, chain_rows));
+    chain = MakeAggregate(std::move(chain), query.group_by, query.aggregates);
+    chain->est_rows = groups;
+    chain_rows = groups;
+  }
+
+  if (!query.post_aggregate.empty()) {
+    chain = MakeProject(std::move(chain), query.post_aggregate);
+    chain->est_rows = std::max(1.0, chain_rows);
+  }
+
+  if (!query.order_by.empty()) {
+    chain = MakeSort(std::move(chain), query.order_by);
+    chain->est_rows = std::max(1.0, chain_rows);
+  }
+  return chain;
+}
+
+}  // namespace gpl

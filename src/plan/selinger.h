@@ -1,0 +1,47 @@
+#ifndef GPL_PLAN_SELINGER_H_
+#define GPL_PLAN_SELINGER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "plan/cardinality.h"
+#include "plan/logical_plan.h"
+#include "plan/physical_plan.h"
+
+namespace gpl {
+
+/// Result of join-order optimization: the relations in join order (indices
+/// into LogicalQuery::relations) plus the estimated cardinality after each
+/// join step.
+struct JoinOrder {
+  std::vector<int> order;
+  std::vector<double> rows_after_step;  ///< size == order.size()
+  double total_cost = 0.0;              ///< sum of intermediate cardinalities
+};
+
+/// Selinger-style dynamic programming over connected subsets of the join
+/// graph, producing the cheapest left-deep join order (cost = sum of
+/// intermediate result cardinalities plus build-side sizes).
+Result<JoinOrder> OptimizeJoinOrder(const LogicalQuery& query,
+                                    const Catalog& catalog);
+
+/// Physical-planning knobs.
+struct PlanOptions {
+  /// When > 0, hash joins whose estimated build side exceeds this many
+  /// bytes become radix-partitioned (Section 3.2's partitioned hash join).
+  int64_t partition_build_threshold_bytes = 0;
+  /// Radix fan-out of partitioned joins (power of two).
+  int num_partitions = 8;
+};
+
+/// Builds the full physical plan for a query: optimizes the join order, then
+/// constructs scans with filter/projection pushdown, a left-deep hash-join
+/// pipeline (smaller side builds), the post-join filter, the pre-aggregation
+/// projection (derived columns), aggregation and sort.
+Result<PhysicalOpPtr> BuildPhysicalPlan(const LogicalQuery& query,
+                                        const Catalog& catalog,
+                                        const PlanOptions& options = {});
+
+}  // namespace gpl
+
+#endif  // GPL_PLAN_SELINGER_H_

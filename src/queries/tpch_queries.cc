@@ -1,0 +1,252 @@
+#include "queries/tpch_queries.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "tpch/date.h"
+
+namespace gpl {
+namespace queries {
+
+namespace {
+ExprPtr Volume() {
+  return Mul(Col("l_extendedprice"), Sub(LitInt(1), Col("l_discount")));
+}
+}  // namespace
+
+LogicalQuery Q5() {
+  LogicalQuery q;
+  q.name = "Q5";
+  q.relations = {
+      {"customer", {"c_custkey", "c_nationkey"}, nullptr, ""},
+      {"orders",
+       {"o_orderkey", "o_custkey"},
+       InRange(Col("o_orderdate"), LitDate("1994-01-01"), LitDate("1995-01-01")),
+       ""},
+      {"lineitem",
+       {"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"},
+       nullptr,
+       ""},
+      {"supplier", {"s_suppkey", "s_nationkey"}, nullptr, ""},
+      {"nation", {"n_nationkey", "n_name", "n_regionkey"}, nullptr, ""},
+      {"region", {"r_regionkey"}, Eq(Col("r_name"), LitString("ASIA")), ""},
+  };
+  q.joins = {
+      {0, 1, {Col("c_custkey")}, {Col("o_custkey")}},
+      {1, 2, {Col("o_orderkey")}, {Col("l_orderkey")}},
+      {2, 3, {Col("l_suppkey")}, {Col("s_suppkey")}},
+      {0, 3, {Col("c_nationkey")}, {Col("s_nationkey")}},
+      {3, 4, {Col("s_nationkey")}, {Col("n_nationkey")}},
+      {4, 5, {Col("n_regionkey")}, {Col("r_regionkey")}},
+  };
+  q.group_by = {{"n_name", Col("n_name")}};
+  q.aggregates = {{AggSpec::kSum, Volume(), "revenue"}};
+  q.order_by = {{"revenue", /*descending=*/true}};
+  return q;
+}
+
+LogicalQuery Q7() {
+  LogicalQuery q;
+  q.name = "Q7";
+  const ExprPtr nation_pair = Or(Eq(Col("n_name"), LitString("FRANCE")),
+                                 Eq(Col("n_name"), LitString("GERMANY")));
+  const ExprPtr n1_pair = Or(Eq(Col("n1_n_name"), LitString("FRANCE")),
+                             Eq(Col("n1_n_name"), LitString("GERMANY")));
+  const ExprPtr n2_pair = Or(Eq(Col("n2_n_name"), LitString("FRANCE")),
+                             Eq(Col("n2_n_name"), LitString("GERMANY")));
+  (void)nation_pair;
+  q.relations = {
+      {"supplier", {"s_suppkey", "s_nationkey"}, nullptr, ""},
+      {"lineitem",
+       {"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount",
+        "l_shipdate"},
+       And(Ge(Col("l_shipdate"), LitDate("1995-01-01")),
+           Le(Col("l_shipdate"), LitDate("1996-12-31"))),
+       ""},
+      {"orders", {"o_orderkey", "o_custkey"}, nullptr, ""},
+      {"customer", {"c_custkey", "c_nationkey"}, nullptr, ""},
+      {"nation", {"n_nationkey", "n_name"}, n1_pair, "n1"},
+      {"nation", {"n_nationkey", "n_name"}, n2_pair, "n2"},
+  };
+  q.joins = {
+      {0, 1, {Col("s_suppkey")}, {Col("l_suppkey")}},
+      {1, 2, {Col("l_orderkey")}, {Col("o_orderkey")}},
+      {2, 3, {Col("o_custkey")}, {Col("c_custkey")}},
+      {0, 4, {Col("s_nationkey")}, {Col("n1_n_nationkey")}},
+      {3, 5, {Col("c_nationkey")}, {Col("n2_n_nationkey")}},
+  };
+  q.post_join_filter =
+      Or(And(Eq(Col("n1_n_name"), LitString("FRANCE")),
+             Eq(Col("n2_n_name"), LitString("GERMANY"))),
+         And(Eq(Col("n1_n_name"), LitString("GERMANY")),
+             Eq(Col("n2_n_name"), LitString("FRANCE"))));
+  q.derived = {
+      {"supp_nation", Col("n1_n_name")},
+      {"cust_nation", Col("n2_n_name")},
+      {"l_year", YearOf(Col("l_shipdate"))},
+      {"volume", Volume()},
+  };
+  q.group_by = {{"supp_nation", Col("supp_nation")},
+                {"cust_nation", Col("cust_nation")},
+                {"l_year", Col("l_year")}};
+  q.aggregates = {{AggSpec::kSum, Col("volume"), "revenue"}};
+  q.order_by = {{"l_year", /*descending=*/false}};
+  return q;
+}
+
+LogicalQuery Q8() {
+  LogicalQuery q;
+  q.name = "Q8";
+  q.relations = {
+      {"part",
+       {"p_partkey"},
+       Eq(Col("p_type"), LitString("ECONOMY ANODIZED STEEL")),
+       ""},
+      {"supplier", {"s_suppkey", "s_nationkey"}, nullptr, ""},
+      {"lineitem",
+       {"l_orderkey", "l_partkey", "l_suppkey", "l_extendedprice",
+        "l_discount"},
+       nullptr,
+       ""},
+      {"orders",
+       {"o_orderkey", "o_custkey", "o_orderdate"},
+       And(Ge(Col("o_orderdate"), LitDate("1995-01-01")),
+           Le(Col("o_orderdate"), LitDate("1996-12-31"))),
+       ""},
+      {"customer", {"c_custkey", "c_nationkey"}, nullptr, ""},
+      {"nation", {"n_nationkey", "n_regionkey"}, nullptr, "n1"},
+      {"nation", {"n_nationkey", "n_name"}, nullptr, "n2"},
+      {"region", {"r_regionkey"}, Eq(Col("r_name"), LitString("AMERICA")), ""},
+  };
+  q.joins = {
+      {0, 2, {Col("p_partkey")}, {Col("l_partkey")}},
+      {1, 2, {Col("s_suppkey")}, {Col("l_suppkey")}},
+      {2, 3, {Col("l_orderkey")}, {Col("o_orderkey")}},
+      {3, 4, {Col("o_custkey")}, {Col("c_custkey")}},
+      {4, 5, {Col("c_nationkey")}, {Col("n1_n_nationkey")}},
+      {5, 7, {Col("n1_n_regionkey")}, {Col("r_regionkey")}},
+      {1, 6, {Col("s_nationkey")}, {Col("n2_n_nationkey")}},
+  };
+  q.derived = {
+      {"o_year", YearOf(Col("o_orderdate"))},
+      {"volume", Volume()},
+      {"nation", Col("n2_n_name")},
+  };
+  q.group_by = {{"o_year", Col("o_year")}};
+  q.aggregates = {
+      {AggSpec::kSum,
+       CaseWhen(Eq(Col("nation"), LitString("BRAZIL")), Col("volume"),
+                LitFloat(0.0)),
+       "brazil_volume"},
+      {AggSpec::kSum, Col("volume"), "total_volume"},
+  };
+  q.post_aggregate = {
+      {"o_year", Col("o_year")},
+      {"mkt_share", Div(Col("brazil_volume"), Col("total_volume"))},
+  };
+  q.order_by = {{"o_year", /*descending=*/false}};
+  return q;
+}
+
+LogicalQuery Q9() {
+  LogicalQuery q;
+  q.name = "Q9";
+  q.relations = {
+      {"part", {"p_partkey"}, Lt(Col("p_partkey"), LitInt(1000)), ""},
+      {"supplier", {"s_suppkey", "s_nationkey"}, nullptr, ""},
+      {"lineitem",
+       {"l_orderkey", "l_partkey", "l_suppkey", "l_extendedprice",
+        "l_discount", "l_quantity"},
+       nullptr,
+       ""},
+      {"partsupp", {"ps_partkey", "ps_suppkey", "ps_supplycost"}, nullptr, ""},
+      {"orders", {"o_orderkey", "o_orderdate"}, nullptr, ""},
+      {"nation", {"n_nationkey", "n_name"}, nullptr, ""},
+  };
+  q.joins = {
+      {1, 2, {Col("s_suppkey")}, {Col("l_suppkey")}},
+      {3, 2, {Col("ps_suppkey"), Col("ps_partkey")},
+       {Col("l_suppkey"), Col("l_partkey")}},
+      {0, 2, {Col("p_partkey")}, {Col("l_partkey")}},
+      {4, 2, {Col("o_orderkey")}, {Col("l_orderkey")}},
+      {1, 5, {Col("s_nationkey")}, {Col("n_nationkey")}},
+  };
+  q.derived = {
+      {"nation", Col("n_name")},
+      {"o_year", YearOf(Col("o_orderdate"))},
+      {"amount", Sub(Volume(), Mul(Col("ps_supplycost"), Col("l_quantity")))},
+  };
+  q.group_by = {{"nation", Col("nation")}, {"o_year", Col("o_year")}};
+  q.aggregates = {{AggSpec::kSum, Col("amount"), "sum_profit"}};
+  q.order_by = {{"o_year", /*descending=*/true}};
+  return q;
+}
+
+LogicalQuery Q14(double selectivity) {
+  GPL_CHECK(selectivity > 0.0 && selectivity <= 1.0)
+      << "Q14 selectivity must be in (0, 1]";
+  LogicalQuery q;
+  q.name = "Q14";
+  // The shipdate domain: order dates span [1992-01-01, 1998-08-02] and
+  // shipping adds 1..121 days; dates are near-uniform, so a window covering
+  // `selectivity` of the domain selects about that fraction of lineitem.
+  const int32_t lo = date::FromYMD(1992, 1, 2);
+  const int32_t hi = date::FromYMD(1998, 8, 2) + 121;
+  const int32_t window_end =
+      lo + static_cast<int32_t>(std::llround(selectivity * (hi - lo)));
+
+  BaseRelation lineitem;
+  lineitem.table = "lineitem";
+  lineitem.columns = {"l_partkey", "l_extendedprice", "l_discount"};
+  lineitem.filter = And(Ge(Col("l_shipdate"), LitDate(date::Format(lo))),
+                        Lt(Col("l_shipdate"), LitDate(date::Format(window_end))));
+  q.relations = {
+      lineitem,
+      {"part", {"p_partkey", "p_type"}, nullptr, ""},
+  };
+  q.joins = {
+      {0, 1, {Col("l_partkey")}, {Col("p_partkey")}},
+  };
+  q.derived = {
+      {"volume", Volume()},
+      {"promo_volume", CaseWhen(StrStartsWith(Col("p_type"), "PROMO"),
+                                Volume(), LitFloat(0.0))},
+  };
+  q.aggregates = {
+      {AggSpec::kSum, Col("promo_volume"), "promo_sum"},
+      {AggSpec::kSum, Col("volume"), "total_sum"},
+  };
+  q.post_aggregate = {
+      {"promo_revenue",
+       Mul(LitFloat(100.0), Div(Col("promo_sum"), Col("total_sum")))},
+  };
+  return q;
+}
+
+LogicalQuery ExampleQuery() {
+  LogicalQuery q;
+  q.name = "Listing1";
+  // The paper's Listing 1 predicate (the 1988 literal is evidently a typo
+  // for 1998; TPC-H dates begin in 1992).
+  q.relations = {
+      {"lineitem",
+       {"l_extendedprice", "l_discount", "l_tax"},
+       Le(Col("l_shipdate"), LitDate("1998-11-01")),
+       ""},
+  };
+  q.derived = {
+      {"charge", Mul(Mul(Col("l_extendedprice"), Sub(LitInt(1), Col("l_discount"))),
+                     Add(LitInt(1), Col("l_tax")))},
+  };
+  q.aggregates = {{AggSpec::kSum, Col("charge"), "sum_charge"}};
+  return q;
+}
+
+std::vector<std::pair<std::string, LogicalQuery>> EvaluationSuite() {
+  return {
+      {"Q5", Q5()}, {"Q7", Q7()}, {"Q8", Q8()}, {"Q9", Q9()}, {"Q14", Q14()},
+  };
+}
+
+}  // namespace queries
+}  // namespace gpl

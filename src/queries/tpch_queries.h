@@ -1,0 +1,70 @@
+#ifndef GPL_QUERIES_TPCH_QUERIES_H_
+#define GPL_QUERIES_TPCH_QUERIES_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "plan/logical_plan.h"
+
+namespace gpl {
+namespace queries {
+
+/// The TPC-H queries of the paper's evaluation (Section 5.1), in the
+/// Ocelot-compatible variants of Appendix B (no non-trivial string
+/// operations, no multi-column sort).
+
+/// Q5: revenue per nation in ASIA for 1994 orders (Listing 2).
+LogicalQuery Q5();
+
+/// Q7: shipping volume between FRANCE and GERMANY by year (Listing 3).
+LogicalQuery Q7();
+
+/// Q8: BRAZIL's market share in AMERICA for a part type (Listing 4).
+LogicalQuery Q8();
+
+/// Q9: profit by nation and year for part keys below 1000 (Listing 5).
+LogicalQuery Q9();
+
+/// Q14: promotion revenue share over a shipdate window (Listing 6).
+/// `selectivity` sets the window length relative to the full shipdate
+/// domain, reproducing the 1%-100% sweep of Figures 3/4/18; the paper's
+/// default is 16.4%.
+LogicalQuery Q14(double selectivity = 0.164);
+
+/// The single-table example of Listing 1 (Figure 7): a selection on
+/// l_shipdate feeding a SUM aggregate.
+LogicalQuery ExampleQuery();
+
+/// The five evaluation queries, in paper order.
+std::vector<std::pair<std::string, LogicalQuery>> EvaluationSuite();
+
+// ---------------------------------------------------------------------------
+// Extended workload (beyond the paper's evaluation): six additional TPC-H
+// queries in the same Ocelot-compatible style, exercising group-by-heavy
+// scans (Q1), date-window joins (Q3/Q10), pure selections (Q6), CASE
+// aggregation with column-to-column predicates (Q12), and disjunctive
+// multi-attribute filters (Q19).
+// ---------------------------------------------------------------------------
+
+/// Q1: pricing summary report over lineitem.
+LogicalQuery Q1();
+/// Q3: unshipped-orders revenue (BUILDING segment).
+LogicalQuery Q3();
+/// Q6: forecast revenue change (pure selection + sum).
+LogicalQuery Q6();
+/// Q10: returned-item reporting by customer and nation.
+LogicalQuery Q10();
+/// Q12: shipping-mode / order-priority counts.
+LogicalQuery Q12();
+/// Q19: discounted revenue over three disjunctive brand/container/size
+/// branches.
+LogicalQuery Q19();
+
+/// The six extended queries.
+std::vector<std::pair<std::string, LogicalQuery>> ExtendedSuite();
+
+}  // namespace queries
+}  // namespace gpl
+
+#endif  // GPL_QUERIES_TPCH_QUERIES_H_

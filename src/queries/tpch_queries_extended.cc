@@ -1,0 +1,217 @@
+#include "queries/tpch_queries.h"
+
+#include "common/logging.h"
+#include "tpch/date.h"
+
+namespace gpl {
+namespace queries {
+
+namespace {
+ExprPtr Volume() {
+  return Mul(Col("l_extendedprice"), Sub(LitInt(1), Col("l_discount")));
+}
+
+/// column IN ('a', 'b', ...) via a disjunction of dictionary equalities.
+ExprPtr StrIn(const std::string& column, std::vector<std::string> values) {
+  GPL_CHECK(!values.empty());
+  ExprPtr expr = Eq(Col(column), LitString(values[0]));
+  for (size_t i = 1; i < values.size(); ++i) {
+    expr = Or(std::move(expr), Eq(Col(column), LitString(values[i])));
+  }
+  return expr;
+}
+}  // namespace
+
+LogicalQuery Q1() {
+  LogicalQuery q;
+  q.name = "Q1";
+  q.relations = {
+      {"lineitem",
+       {"l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice",
+        "l_discount", "l_tax"},
+       // date '1998-12-01' - interval '90' day
+       Le(Col("l_shipdate"), LitDate(date::Format(
+                                 date::FromYMD(1998, 12, 1) - 90))),
+       ""},
+  };
+  q.derived = {
+      {"disc_price", Volume()},
+      {"charge", Mul(Volume(), Add(LitInt(1), Col("l_tax")))},
+  };
+  q.group_by = {{"l_returnflag", Col("l_returnflag")},
+                {"l_linestatus", Col("l_linestatus")}};
+  q.aggregates = {
+      {AggSpec::kSum, Col("l_quantity"), "sum_qty"},
+      {AggSpec::kSum, Col("l_extendedprice"), "sum_base_price"},
+      {AggSpec::kSum, Col("disc_price"), "sum_disc_price"},
+      {AggSpec::kSum, Col("charge"), "sum_charge"},
+      {AggSpec::kAvg, Col("l_quantity"), "avg_qty"},
+      {AggSpec::kAvg, Col("l_extendedprice"), "avg_price"},
+      {AggSpec::kAvg, Col("l_discount"), "avg_disc"},
+      {AggSpec::kCount, nullptr, "count_order"},
+  };
+  q.order_by = {{"l_returnflag", false}, {"l_linestatus", false}};
+  return q;
+}
+
+LogicalQuery Q3() {
+  LogicalQuery q;
+  q.name = "Q3";
+  q.relations = {
+      {"customer",
+       {"c_custkey"},
+       Eq(Col("c_mktsegment"), LitString("BUILDING")),
+       ""},
+      {"orders",
+       {"o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"},
+       Lt(Col("o_orderdate"), LitDate("1995-03-15")),
+       ""},
+      {"lineitem",
+       {"l_orderkey", "l_extendedprice", "l_discount"},
+       Gt(Col("l_shipdate"), LitDate("1995-03-15")),
+       ""},
+  };
+  q.joins = {
+      {0, 1, {Col("c_custkey")}, {Col("o_custkey")}},
+      {1, 2, {Col("o_orderkey")}, {Col("l_orderkey")}},
+  };
+  q.derived = {{"volume", Volume()}};
+  q.group_by = {{"l_orderkey", Col("l_orderkey")},
+                {"o_orderdate", Col("o_orderdate")},
+                {"o_shippriority", Col("o_shippriority")}};
+  q.aggregates = {{AggSpec::kSum, Col("volume"), "revenue"}};
+  q.order_by = {{"revenue", true}, {"o_orderdate", false}};
+  return q;
+}
+
+LogicalQuery Q6() {
+  LogicalQuery q;
+  q.name = "Q6";
+  BaseRelation lineitem;
+  lineitem.table = "lineitem";
+  lineitem.columns = {"l_extendedprice", "l_discount"};
+  // discount between 0.06 - 0.01 and 0.06 + 0.01, with float slack because
+  // the generated discounts are exact hundredths.
+  lineitem.filter =
+      And(And(InRange(Col("l_shipdate"), LitDate("1994-01-01"),
+                      LitDate("1995-01-01")),
+              And(Ge(Col("l_discount"), LitFloat(0.0499)),
+                  Le(Col("l_discount"), LitFloat(0.0701)))),
+          Lt(Col("l_quantity"), LitInt(24)));
+  q.relations = {lineitem};
+  q.derived = {{"rev", Mul(Col("l_extendedprice"), Col("l_discount"))}};
+  q.aggregates = {{AggSpec::kSum, Col("rev"), "revenue"}};
+  return q;
+}
+
+LogicalQuery Q10() {
+  LogicalQuery q;
+  q.name = "Q10";
+  q.relations = {
+      {"customer", {"c_custkey", "c_nationkey"}, nullptr, ""},
+      {"orders",
+       {"o_orderkey", "o_custkey"},
+       InRange(Col("o_orderdate"), LitDate("1993-10-01"),
+               LitDate("1994-01-01")),
+       ""},
+      {"lineitem",
+       {"l_orderkey", "l_extendedprice", "l_discount"},
+       Eq(Col("l_returnflag"), LitString("R")),
+       ""},
+      {"nation", {"n_nationkey", "n_name"}, nullptr, ""},
+  };
+  q.joins = {
+      {0, 1, {Col("c_custkey")}, {Col("o_custkey")}},
+      {1, 2, {Col("o_orderkey")}, {Col("l_orderkey")}},
+      {0, 3, {Col("c_nationkey")}, {Col("n_nationkey")}},
+  };
+  q.derived = {{"volume", Volume()}};
+  // The Ocelot-style variant drops the c_acctbal/address/comment output
+  // columns (free text) and the TOP 20 limit.
+  q.group_by = {{"c_custkey", Col("c_custkey")}, {"n_name", Col("n_name")}};
+  q.aggregates = {{AggSpec::kSum, Col("volume"), "revenue"}};
+  q.order_by = {{"revenue", true}};
+  return q;
+}
+
+LogicalQuery Q12() {
+  LogicalQuery q;
+  q.name = "Q12";
+  BaseRelation lineitem;
+  lineitem.table = "lineitem";
+  lineitem.columns = {"l_orderkey", "l_shipmode"};
+  lineitem.filter =
+      And(And(StrIn("l_shipmode", {"MAIL", "SHIP"}),
+              And(Lt(Col("l_commitdate"), Col("l_receiptdate")),
+                  Lt(Col("l_shipdate"), Col("l_commitdate")))),
+          InRange(Col("l_receiptdate"), LitDate("1994-01-01"),
+                  LitDate("1995-01-01")));
+  q.relations = {
+      {"orders", {"o_orderkey", "o_orderpriority"}, nullptr, ""},
+      lineitem,
+  };
+  q.joins = {{0, 1, {Col("o_orderkey")}, {Col("l_orderkey")}}};
+  const ExprPtr is_high = Or(Eq(Col("o_orderpriority"), LitString("1-URGENT")),
+                             Eq(Col("o_orderpriority"), LitString("2-HIGH")));
+  q.derived = {
+      {"high_line", CaseWhen(is_high, LitInt(1), LitInt(0))},
+      {"low_line", CaseWhen(is_high, LitInt(0), LitInt(1))},
+  };
+  q.group_by = {{"l_shipmode", Col("l_shipmode")}};
+  q.aggregates = {
+      {AggSpec::kSum, Col("high_line"), "high_line_count"},
+      {AggSpec::kSum, Col("low_line"), "low_line_count"},
+  };
+  q.order_by = {{"l_shipmode", false}};
+  return q;
+}
+
+LogicalQuery Q19() {
+  LogicalQuery q;
+  q.name = "Q19";
+  BaseRelation lineitem;
+  lineitem.table = "lineitem";
+  lineitem.columns = {"l_partkey", "l_quantity", "l_extendedprice",
+                      "l_discount"};
+  // Conditions common to all three branches are pushed below the join.
+  lineitem.filter = And(StrIn("l_shipmode", {"AIR", "REG AIR"}),
+                        Eq(Col("l_shipinstruct"),
+                           LitString("DELIVER IN PERSON")));
+  q.relations = {
+      lineitem,
+      {"part", {"p_partkey", "p_brand", "p_container", "p_size"}, nullptr, ""},
+  };
+  q.joins = {{0, 1, {Col("l_partkey")}, {Col("p_partkey")}}};
+
+  auto branch = [](const std::string& brand,
+                   std::vector<std::string> containers, int qty_lo, int qty_hi,
+                   int size_hi) {
+    ExprPtr c = Eq(Col("p_brand"), LitString(brand));
+    c = And(std::move(c), StrIn("p_container", std::move(containers)));
+    c = And(std::move(c), And(Ge(Col("l_quantity"), LitInt(qty_lo)),
+                              Le(Col("l_quantity"), LitInt(qty_hi))));
+    c = And(std::move(c), And(Ge(Col("p_size"), LitInt(1)),
+                              Le(Col("p_size"), LitInt(size_hi))));
+    return c;
+  };
+  q.post_join_filter =
+      Or(Or(branch("Brand#12", {"SM CASE", "SM BOX", "SM PACK", "SM PKG"}, 1,
+                   11, 5),
+            branch("Brand#23", {"MED BAG", "MED BOX", "MED PKG", "MED PACK"},
+                   10, 20, 10)),
+         branch("Brand#34", {"LG CASE", "LG BOX", "LG PACK", "LG PKG"}, 20, 30,
+                15));
+  q.derived = {{"volume", Volume()}};
+  q.aggregates = {{AggSpec::kSum, Col("volume"), "revenue"}};
+  return q;
+}
+
+std::vector<std::pair<std::string, LogicalQuery>> ExtendedSuite() {
+  return {
+      {"Q1", Q1()},   {"Q3", Q3()},   {"Q6", Q6()},
+      {"Q10", Q10()}, {"Q12", Q12()}, {"Q19", Q19()},
+  };
+}
+
+}  // namespace queries
+}  // namespace gpl

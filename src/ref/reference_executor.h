@@ -1,0 +1,26 @@
+#ifndef GPL_REF_REFERENCE_EXECUTOR_H_
+#define GPL_REF_REFERENCE_EXECUTOR_H_
+
+#include "common/status.h"
+#include "plan/physical_plan.h"
+#include "storage/table.h"
+#include "tpch/dbgen.h"
+
+namespace gpl {
+namespace ref {
+
+/// Straightforward single-threaded CPU execution of a physical plan, written
+/// independently of the kernel/primitive implementations (standard-library
+/// hash maps, direct sorts). The test suite asserts that every engine mode
+/// produces results identical to this executor.
+Result<Table> ExecutePlan(const tpch::Database& db, const PhysicalOpPtr& plan);
+
+/// True when two tables have the same schema and identical contents
+/// (floating point compared with a relative tolerance). If `message` is
+/// non-null it receives a description of the first difference.
+bool TablesEqual(const Table& a, const Table& b, std::string* message = nullptr);
+
+}  // namespace ref
+}  // namespace gpl
+
+#endif  // GPL_REF_REFERENCE_EXECUTOR_H_

@@ -1,0 +1,40 @@
+#include "sim/cache_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gpl {
+namespace sim {
+
+CacheModel::CacheModel(int64_t capacity_bytes, int line_bytes)
+    : capacity_(capacity_bytes), line_bytes_(line_bytes) {
+  GPL_CHECK(capacity_bytes > 0 && line_bytes > 0);
+}
+
+double CacheModel::StreamingHitRatio(int access_width_bytes) const {
+  const int width = std::clamp(access_width_bytes, 1, line_bytes_);
+  // One miss per line, the remaining accesses to the line hit.
+  return 1.0 - static_cast<double>(width) / static_cast<double>(line_bytes_);
+}
+
+double CacheModel::RandomHitRatio(int64_t working_set_bytes,
+                                  int64_t competing_bytes) const {
+  if (working_set_bytes <= 0) return 1.0;
+  const int64_t available = std::max<int64_t>(capacity_ - competing_bytes, 0);
+  const double ratio =
+      static_cast<double>(available) / static_cast<double>(working_set_bytes);
+  return std::clamp(ratio, 0.0, 1.0);
+}
+
+double CacheModel::ChannelResidency(int64_t inflight_bytes,
+                                    int64_t competing_bytes) const {
+  if (inflight_bytes <= 0) return 1.0;
+  const int64_t available = std::max<int64_t>(capacity_ - competing_bytes, 0);
+  const double ratio =
+      static_cast<double>(available) / static_cast<double>(inflight_bytes);
+  return std::clamp(ratio, 0.0, 1.0);
+}
+
+}  // namespace sim
+}  // namespace gpl

@@ -1,0 +1,49 @@
+#ifndef GPL_SIM_CACHE_MODEL_H_
+#define GPL_SIM_CACHE_MODEL_H_
+
+#include <cstdint>
+
+namespace gpl {
+namespace sim {
+
+/// Analytic model of the device's last-level data cache. Instead of tracing
+/// individual addresses (which would be far too slow at TPC-H scale), the
+/// model computes expected hit ratios per access *pattern* given the
+/// competing working sets — the standard capacity/reuse approximation.
+///
+/// Three patterns are distinguished:
+///  - streaming scans: hits come from spatial locality within a cache line;
+///  - random lookups into a side structure (hash table): hits are capacity-
+///    limited by the cache space left over for the structure;
+///  - channel traffic: fully cache-resident while total in-flight data fits,
+///    thrashing (served from global memory) beyond that — the effect behind
+///    the tile-size cliff in Figures 2 and 12.
+class CacheModel {
+ public:
+  CacheModel(int64_t capacity_bytes, int line_bytes = 64);
+
+  int64_t capacity() const { return capacity_; }
+  int line_bytes() const { return line_bytes_; }
+
+  /// Expected hit ratio of a sequential scan with `access_width` bytes per
+  /// access: all but the first access of each line hit.
+  double StreamingHitRatio(int access_width_bytes) const;
+
+  /// Expected hit ratio of uniform random accesses into a structure of
+  /// `working_set_bytes`, when `competing_bytes` of other hot data contend
+  /// for the cache.
+  double RandomHitRatio(int64_t working_set_bytes, int64_t competing_bytes) const;
+
+  /// Fraction of channel traffic served from cache when `inflight_bytes` of
+  /// channel data coexist with `competing_bytes` of other hot data.
+  double ChannelResidency(int64_t inflight_bytes, int64_t competing_bytes) const;
+
+ private:
+  int64_t capacity_;
+  int line_bytes_;
+};
+
+}  // namespace sim
+}  // namespace gpl
+
+#endif  // GPL_SIM_CACHE_MODEL_H_

@@ -1,0 +1,46 @@
+#include "sim/counters.h"
+
+#include <algorithm>
+
+namespace gpl {
+namespace sim {
+
+double HwCounters::ValuBusy(const DeviceSpec& device) const {
+  if (elapsed_cycles <= 0.0) return 0.0;
+  return std::min(1.0, compute_cycles / (elapsed_cycles * device.num_cus));
+}
+
+double HwCounters::MemUnitBusy(const DeviceSpec& device) const {
+  if (elapsed_cycles <= 0.0) return 0.0;
+  return std::min(1.0,
+                  (mem_cycles + channel_cycles) / (elapsed_cycles * device.num_cus));
+}
+
+double HwCounters::Occupancy(const DeviceSpec& device) const {
+  if (elapsed_cycles <= 0.0) return 0.0;
+  const double max_resident =
+      static_cast<double>(device.max_workgroups_per_cu) * device.num_cus;
+  return std::min(1.0, resident_wg_time / (elapsed_cycles * max_resident));
+}
+
+double HwCounters::CacheHitRatio() const {
+  if (cache_accesses <= 0.0) return 0.0;
+  return cache_hits / cache_accesses;
+}
+
+void HwCounters::Accumulate(const HwCounters& other) {
+  elapsed_cycles += other.elapsed_cycles;
+  compute_cycles += other.compute_cycles;
+  mem_cycles += other.mem_cycles;
+  channel_cycles += other.channel_cycles;
+  stall_cycles += other.stall_cycles;
+  launch_cycles += other.launch_cycles;
+  cache_hits += other.cache_hits;
+  cache_accesses += other.cache_accesses;
+  resident_wg_time += other.resident_wg_time;
+  bytes_materialized += other.bytes_materialized;
+  bytes_via_channel += other.bytes_via_channel;
+}
+
+}  // namespace sim
+}  // namespace gpl

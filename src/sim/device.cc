@@ -1,0 +1,65 @@
+#include "sim/device.h"
+
+#include "common/math_util.h"
+
+namespace gpl {
+namespace sim {
+
+DeviceSpec DeviceSpec::AmdA10() {
+  DeviceSpec d;
+  d.name = "AMD A10 APU";
+  d.num_cus = 8;
+  d.core_mhz = 720;
+  d.private_mem_per_cu = KiB(64);  // vector registers (scalar 8KB not modeled)
+  d.local_mem_per_cu = KiB(32);
+  d.global_mem_bytes = GiB(32);  // host memory (coupled architecture)
+  d.cache_bytes = MiB(4);
+  d.concurrent_kernels = 2;
+  d.has_packet_size_param = true;
+  d.wavefront_size = 64;
+  d.max_workgroups_per_cu = 16;
+  d.cycles_per_instr = 4;
+  d.global_mem_latency = 300;
+  d.cache_latency = 40;
+  // ~25.6 GB/s DDR3 at 720 MHz -> ~35 bytes/cycle aggregate.
+  d.global_bw_bytes_per_cycle = 35.0;
+  d.cache_bw_bytes_per_cycle = 140.0;
+  d.kernel_launch_cycles = 15000;
+  d.tile_dispatch_cycles = 1500;
+  d.latency_hiding_wavefronts = 8;
+  d.channel_port_limit = 16;
+  d.channel_sync_cycles = 8.0;
+  d.channel_capacity_bytes_per_channel = KiB(16);
+  return d;
+}
+
+DeviceSpec DeviceSpec::NvidiaK40() {
+  DeviceSpec d;
+  d.name = "NVIDIA Tesla K40";
+  d.num_cus = 15;
+  d.core_mhz = 875;
+  d.private_mem_per_cu = KiB(64);
+  d.local_mem_per_cu = KiB(48);
+  d.global_mem_bytes = GiB(12);
+  d.cache_bytes = MiB(3) / 2;  // 1.5 MB L2
+  d.concurrent_kernels = 16;
+  d.has_packet_size_param = false;  // Direct Data Transfer has no packet knob
+  d.wavefront_size = 64;            // paper fixes the work-group size to 64
+  d.max_workgroups_per_cu = 16;
+  d.cycles_per_instr = 4;
+  d.global_mem_latency = 400;
+  d.cache_latency = 36;
+  // 288 GB/s GDDR5 at 875 MHz -> ~330 bytes/cycle aggregate.
+  d.global_bw_bytes_per_cycle = 330.0;
+  d.cache_bw_bytes_per_cycle = 900.0;
+  d.kernel_launch_cycles = 9000;
+  d.tile_dispatch_cycles = 1200;
+  d.latency_hiding_wavefronts = 12;
+  d.channel_port_limit = 16;
+  d.channel_sync_cycles = 7.0;
+  d.channel_capacity_bytes_per_channel = KiB(16);
+  return d;
+}
+
+}  // namespace sim
+}  // namespace gpl

@@ -1,0 +1,63 @@
+#ifndef GPL_SIM_DEVICE_H_
+#define GPL_SIM_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gpl {
+namespace sim {
+
+/// Static description of a simulated GPU, mirroring Table 1 of the paper plus
+/// the timing parameters the analytical model needs (platform inputs).
+///
+/// The two factory presets correspond to the paper's evaluation platforms:
+/// an AMD A10 APU (coupled CPU-GPU, global memory = host memory) and an
+/// NVIDIA Tesla K40.
+struct DeviceSpec {
+  std::string name;
+
+  // ---- Table 1 ----
+  int num_cus = 8;                    ///< #CU
+  int core_mhz = 720;                 ///< core frequency
+  int64_t private_mem_per_cu = 0;     ///< bytes of private memory (registers) per CU
+  int64_t local_mem_per_cu = 0;       ///< bytes of local memory per CU
+  int64_t global_mem_bytes = 0;       ///< global memory capacity
+  int64_t cache_bytes = 0;            ///< last-level data cache
+  int concurrent_kernels = 2;         ///< concurrency degree C
+  bool has_packet_size_param = true;  ///< AMD pipes expose packet size; NVIDIA DDT does not
+
+  // ---- Execution geometry ----
+  int wavefront_size = 64;       ///< work-items per wavefront; work-group size is
+                                 ///< fixed to one wavefront (Section 3.5)
+  int max_workgroups_per_cu = 16;  ///< wg_max in Eq. 2
+
+  // ---- Timing (platform inputs of the cost model) ----
+  int cycles_per_instr = 4;      ///< w: cycles to issue+execute one instruction
+  int global_mem_latency = 300;  ///< mem_l (cycles)
+  int cache_latency = 40;        ///< c_l (cycles)
+  double global_bw_bytes_per_cycle = 35.0;  ///< aggregate DRAM bandwidth
+  double cache_bw_bytes_per_cycle = 140.0;  ///< aggregate cache bandwidth
+  int64_t kernel_launch_cycles = 15000;     ///< host-side launch overhead
+  int64_t tile_dispatch_cycles = 1500;      ///< per-tile scheduling cost in GPL
+  int latency_hiding_wavefronts = 8;  ///< wavefronts that can overlap one memory access
+
+  // ---- Channel subsystem ----
+  int channel_port_limit = 16;        ///< concurrent channel transactions
+  double channel_sync_cycles = 24.0;  ///< reserve+commit cost per packet
+  int64_t channel_capacity_bytes_per_channel = 64 * 1024;
+
+  /// Converts simulated cycles to milliseconds at the device clock.
+  double CyclesToMs(double cycles) const {
+    return cycles / (static_cast<double>(core_mhz) * 1e3);
+  }
+
+  /// The AMD A10 APU used in Sections 2-5.
+  static DeviceSpec AmdA10();
+  /// The NVIDIA Tesla K40 used in Appendix A.
+  static DeviceSpec NvidiaK40();
+};
+
+}  // namespace sim
+}  // namespace gpl
+
+#endif  // GPL_SIM_DEVICE_H_

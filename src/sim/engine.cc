@@ -1,0 +1,506 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <queue>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "sim/occupancy.h"
+
+namespace gpl {
+namespace sim {
+
+namespace {
+// Rows a KBE work-group covers: four wavefront iterations, the granularity
+// conventional GPU query operators launch with.
+constexpr int kKbeWavefrontsPerWg = 4;
+// Average column width assumed for streaming spatial locality.
+constexpr int kAvgAccessWidth = 8;
+}  // namespace
+
+Simulator::Simulator(const DeviceSpec& device)
+    : device_(device), cache_(device.cache_bytes) {}
+
+Simulator::WgWork Simulator::ComputeWgWork(
+    const KernelTimingDesc& desc, double rows, double global_in_bytes,
+    double global_out_bytes, double chan_in_bytes, double chan_out_bytes,
+    const ChannelState* in_chan, const ChannelState* out_chan,
+    double chan_residency, double input_resident, int hide_wavefronts,
+    int64_t competing_bytes) const {
+  WgWork w;
+  if (rows <= 0.0) return w;
+  const double wf = static_cast<double>(device_.wavefront_size);
+  const double iters = std::ceil(rows / wf);
+
+  // Vector ALU work: one instruction issue covers a whole wavefront.
+  w.alu = iters * desc.compute_inst_per_row * device_.cycles_per_instr;
+
+  // Memory work: coalesced transactions with pattern-dependent hit ratio.
+  const double accesses = iters * desc.mem_inst_per_row;
+  double stream_hit = cache_.StreamingHitRatio(kAvgAccessWidth);
+  stream_hit = input_resident + (1.0 - input_resident) * stream_hit;
+  double hit = stream_hit;
+  if (desc.random_access_fraction > 0.0) {
+    const double random_hit =
+        cache_.RandomHitRatio(desc.random_working_set_bytes, competing_bytes);
+    hit = (1.0 - desc.random_access_fraction) * stream_hit +
+          desc.random_access_fraction * random_hit;
+  }
+  const double latency = hit * device_.cache_latency +
+                         (1.0 - hit) * device_.global_mem_latency;
+  const double hide = static_cast<double>(
+      std::clamp(hide_wavefronts, 1, device_.latency_hiding_wavefronts));
+  const double latency_cycles = accesses * latency / hide;
+
+  // Bandwidth floor for the global traffic this work-group generates.
+  const double global_bw_per_cu =
+      device_.global_bw_bytes_per_cycle / device_.num_cus;
+  const double cache_bw_per_cu =
+      device_.cache_bw_bytes_per_cycle / device_.num_cus;
+  const double resident_in = global_in_bytes * input_resident;
+  const double dram_bytes = global_in_bytes - resident_in + global_out_bytes;
+  const double bw_cycles =
+      dram_bytes / global_bw_per_cu + resident_in / cache_bw_per_cu;
+
+  w.mem = std::max(latency_cycles, bw_cycles);
+  w.cache_accesses = accesses;
+  w.cache_hits = hit * accesses;
+
+  // Channel work (DC cost).
+  if (in_chan != nullptr && chan_in_bytes > 0.0) {
+    w.chan += in_chan->AcquireCost(chan_in_bytes, chan_residency);
+  }
+  if (out_chan != nullptr && chan_out_bytes > 0.0) {
+    w.chan += out_chan->CommitCost(chan_out_bytes, chan_residency);
+  }
+  if (chan_in_bytes + chan_out_bytes > 0.0) {
+    const double chan_accesses =
+        (chan_in_bytes + chan_out_bytes) / cache_.line_bytes();
+    w.cache_accesses += chan_accesses;
+    w.cache_hits += chan_residency * chan_accesses;
+  }
+  return w;
+}
+
+SimResult Simulator::RunKernelBatch(const KernelLaunch& launch,
+                                    int64_t resident_bytes) const {
+  SimResult result;
+  const KernelTimingDesc& desc = launch.desc;
+  const int slots = SingleKernelSlots(device_, desc);
+
+  const int64_t rows = std::max<int64_t>(launch.rows_in, 1);
+  const int64_t rows_per_wg_target =
+      static_cast<int64_t>(device_.wavefront_size) * kKbeWavefrontsPerWg;
+  const int64_t wg_total = std::max<int64_t>(1, CeilDiv(rows, rows_per_wg_target));
+  const int active = static_cast<int>(std::min<int64_t>(slots, wg_total));
+  const int active_cus =
+      static_cast<int>(std::min<int64_t>(device_.num_cus, wg_total));
+  const int hide = std::max(1, active / std::max(1, active_cus));
+
+  const double rows_per_wg =
+      static_cast<double>(rows) / static_cast<double>(wg_total);
+  const double in_per_wg =
+      static_cast<double>(launch.bytes_in) / static_cast<double>(wg_total);
+  const double out_per_wg =
+      static_cast<double>(launch.bytes_out) / static_cast<double>(wg_total);
+
+  const WgWork per =
+      ComputeWgWork(desc, rows_per_wg, in_per_wg, out_per_wg, 0.0, 0.0, nullptr,
+                    nullptr, 0.0, launch.input_resident_fraction, hide,
+                    resident_bytes);
+
+  const double total_alu = per.alu * static_cast<double>(wg_total);
+  const double total_mem = per.mem * static_cast<double>(wg_total);
+  const double exec = std::max(total_alu, total_mem) / active_cus;
+  const double elapsed =
+      exec + static_cast<double>(device_.kernel_launch_cycles);
+
+  HwCounters& c = result.counters;
+  c.elapsed_cycles = elapsed;
+  c.compute_cycles = total_alu;
+  c.mem_cycles = total_mem;
+  c.launch_cycles = static_cast<double>(device_.kernel_launch_cycles);
+  c.cache_accesses = per.cache_accesses * static_cast<double>(wg_total);
+  c.cache_hits = per.cache_hits * static_cast<double>(wg_total);
+  c.resident_wg_time = static_cast<double>(active) * exec;
+  if (launch.output == Endpoint::kGlobal) {
+    c.bytes_materialized = launch.bytes_out;
+  }
+
+  KernelStats stats;
+  stats.name = desc.name;
+  stats.busy_cycles = total_alu + total_mem;
+  stats.finish_cycles = elapsed;
+  stats.valu_busy = c.ValuBusy(device_);
+  stats.mem_unit_busy = c.MemUnitBusy(device_);
+  result.kernels.push_back(std::move(stats));
+  return result;
+}
+
+SimResult Simulator::RunSequentialTiles(const PipelineSpec& spec) const {
+  SimResult result;
+  GPL_CHECK(!spec.kernels.empty());
+  const int64_t input_bytes = std::max<int64_t>(spec.kernels[0].bytes_in, 1);
+  const int64_t num_tiles =
+      std::max<int64_t>(1, CeilDiv(input_bytes, spec.tile_bytes));
+
+  // Kernels are compiled/loaded once; each tile only pays a (cheaper)
+  // dispatch, but there is one dispatch per kernel per tile — the "frequent
+  // kernel launches" overhead of Section 5.3.1.
+  const double per_kernel_overhead =
+      static_cast<double>(device_.kernel_launch_cycles) +
+      (static_cast<double>(device_.tile_dispatch_cycles) +
+       0.5 * static_cast<double>(device_.kernel_launch_cycles)) *
+          static_cast<double>(num_tiles);
+
+  for (size_t i = 0; i < spec.kernels.size(); ++i) {
+    KernelLaunch tile_launch = spec.kernels[i];
+    tile_launch.rows_in = std::max<int64_t>(1, tile_launch.rows_in / num_tiles);
+    tile_launch.bytes_in = tile_launch.bytes_in / num_tiles;
+    tile_launch.rows_out = tile_launch.rows_out / num_tiles;
+    tile_launch.bytes_out = tile_launch.bytes_out / num_tiles;
+    // Every kernel reads and writes materialized tile intermediates; a tile
+    // intermediate that fits in cache is served from it.
+    tile_launch.input = Endpoint::kGlobal;
+    tile_launch.output = Endpoint::kGlobal;
+    if (i > 0) {
+      tile_launch.input_resident_fraction = cache_.ChannelResidency(
+          tile_launch.bytes_in, spec.extra_resident_bytes + spec.tile_bytes);
+    }
+    SimResult tile_result =
+        RunKernelBatch(tile_launch, spec.extra_resident_bytes);
+
+    // All tiles are uniform: scale one tile's cost, swapping the per-launch
+    // overhead RunKernelBatch charged for the cheaper per-tile dispatch.
+    HwCounters scaled = tile_result.counters;
+    const double n = static_cast<double>(num_tiles);
+    scaled.elapsed_cycles =
+        (scaled.elapsed_cycles - scaled.launch_cycles) * n + per_kernel_overhead;
+    scaled.compute_cycles *= n;
+    scaled.mem_cycles *= n;
+    scaled.channel_cycles *= n;
+    scaled.launch_cycles = per_kernel_overhead;
+    scaled.cache_accesses *= n;
+    scaled.cache_hits *= n;
+    scaled.resident_wg_time *= n;
+    scaled.bytes_materialized = spec.kernels[i].bytes_out;
+    result.counters.Accumulate(scaled);
+
+    KernelStats stats;
+    stats.name = spec.kernels[i].desc.name;
+    stats.busy_cycles =
+        (tile_result.counters.compute_cycles + tile_result.counters.mem_cycles) * n;
+    stats.finish_cycles = result.counters.elapsed_cycles;
+    result.kernels.push_back(std::move(stats));
+  }
+  return result;
+}
+
+SimResult Simulator::RunPipeline(const PipelineSpec& spec) const {
+  SimResult result;
+  const int num_kernels = static_cast<int>(spec.kernels.size());
+  GPL_CHECK(num_kernels > 0);
+  GPL_CHECK(static_cast<int>(spec.channel_configs.size()) >=
+            std::max(0, num_kernels - 1))
+      << "need a channel config per kernel gap";
+
+  const int64_t input_bytes = std::max<int64_t>(spec.kernels[0].bytes_in, 1);
+  const int64_t num_tiles =
+      std::max<int64_t>(1, CeilDiv(input_bytes, spec.tile_bytes));
+
+  // ---- Channels between consecutive kernels ----
+  std::vector<std::optional<ChannelState>> channels(
+      static_cast<size_t>(std::max(0, num_kernels - 1)));
+  for (int g = 0; g + 1 < num_kernels; ++g) {
+    if (spec.kernels[g].output == Endpoint::kChannel) {
+      channels[g].emplace(spec.channel_configs[g], device_);
+    }
+  }
+
+  // ---- Per-kernel uniform work-group geometry ----
+  struct KernelSim {
+    int64_t wg_total = 0;
+    int64_t dispatched = 0;
+    int64_t completed = 0;
+    double rows_per_wg = 0.0;
+    double g_in_per_wg = 0.0, g_out_per_wg = 0.0;
+    double c_in_per_wg = 0.0, c_out_per_wg = 0.0;
+    WgWork work;
+    int slots = 1;
+    int per_cu_cap = 1;
+    bool stalled = false;
+    double stall_cycles = 0.0;
+    double finish_time = 0.0;
+    double busy_cycles = 0.0;
+  };
+  std::vector<KernelSim> ks(static_cast<size_t>(num_kernels));
+
+  std::vector<ResourceRequest> requests;
+  requests.reserve(static_cast<size_t>(num_kernels));
+  for (int k = 0; k < num_kernels; ++k) {
+    const KernelLaunch& launch = spec.kernels[k];
+    const int wg_per_tile = launch.workgroups_per_tile > 0
+                                ? launch.workgroups_per_tile
+                                : 2 * device_.num_cus;
+    ks[k].wg_total = num_tiles * static_cast<int64_t>(wg_per_tile);
+    const double wg_total = static_cast<double>(ks[k].wg_total);
+    ks[k].rows_per_wg = static_cast<double>(launch.rows_in) / wg_total;
+    const bool in_chan = launch.input == Endpoint::kChannel && k > 0 &&
+                         channels[static_cast<size_t>(k - 1)].has_value();
+    const bool out_chan = launch.output == Endpoint::kChannel &&
+                          k + 1 < num_kernels &&
+                          channels[static_cast<size_t>(k)].has_value();
+    (in_chan ? ks[k].c_in_per_wg : ks[k].g_in_per_wg) =
+        static_cast<double>(launch.bytes_in) / wg_total;
+    (out_chan ? ks[k].c_out_per_wg : ks[k].g_out_per_wg) =
+        static_cast<double>(launch.bytes_out) / wg_total;
+
+    ResourceRequest req;
+    req.private_bytes_per_item = launch.desc.private_bytes_per_item;
+    req.local_bytes_per_item = launch.desc.local_bytes_per_item;
+    req.requested_workgroups = wg_per_tile;
+    requests.push_back(req);
+  }
+
+  const OccupancyResult occ = ComputeOccupancy(device_, requests);
+  for (int k = 0; k < num_kernels; ++k) {
+    ks[k].slots = std::max(1, occ.active_slots[static_cast<size_t>(k)]);
+    ks[k].per_cu_cap =
+        std::max(1, static_cast<int>(CeilDiv(ks[k].slots, device_.num_cus)));
+  }
+
+  // Guarantee a few work-groups' payloads always fit in the channel so one
+  // oversized work-group cannot deadlock or fully serialize the pipeline.
+  for (int g = 0; g + 1 < num_kernels; ++g) {
+    if (!channels[static_cast<size_t>(g)].has_value()) continue;
+    const double need = 3.0 * std::max(ks[g].c_out_per_wg,
+                                       ks[g + 1].c_in_per_wg);
+    channels[static_cast<size_t>(g)]->EnsureCapacity(
+        static_cast<int64_t>(need) + 1);
+  }
+
+  // ---- Cache residency of channel traffic ----
+  int64_t inflight_capacity = 0;
+  for (const auto& ch : channels) {
+    if (ch.has_value()) inflight_capacity += ch->capacity_bytes();
+  }
+  // Half the tile's streaming window is hot on average (the scan front).
+  const int64_t competing = spec.tile_bytes / 2 + spec.extra_resident_bytes;
+  const double chan_residency =
+      cache_.ChannelResidency(inflight_capacity, competing);
+  const int64_t competing_for_random =
+      spec.tile_bytes / 2 + inflight_capacity + spec.extra_resident_bytes;
+
+  // Latency hiding draws on every co-resident wavefront of the CU,
+  // regardless of which concurrent kernel it belongs to.
+  int total_slots = 0;
+  for (int k = 0; k < num_kernels; ++k) total_slots += ks[k].slots;
+  const int hide = std::max(1, total_slots / device_.num_cus);
+
+  // Streaming inputs read from global memory are cache-resident only if the
+  // tile working set leaves room (it generally does not for the leaf input).
+  for (int k = 0; k < num_kernels; ++k) {
+    const ChannelState* in_chan =
+        (k > 0 && channels[static_cast<size_t>(k - 1)].has_value())
+            ? &*channels[static_cast<size_t>(k - 1)]
+            : nullptr;
+    const ChannelState* out_chan =
+        (k + 1 < num_kernels && channels[static_cast<size_t>(k)].has_value())
+            ? &*channels[static_cast<size_t>(k)]
+            : nullptr;
+    ks[k].work = ComputeWgWork(
+        spec.kernels[k].desc, ks[k].rows_per_wg, ks[k].g_in_per_wg,
+        ks[k].g_out_per_wg, ks[k].c_in_per_wg, ks[k].c_out_per_wg, in_chan,
+        out_chan, chan_residency,
+        spec.kernels[k].input_resident_fraction, hide, competing_for_random);
+  }
+
+  // ---- Discrete-event simulation ----
+  struct Event {
+    double time;
+    int kernel;
+    int cu;
+    bool operator>(const Event& other) const { return time > other.time; }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap;
+
+  std::vector<double> cu_alu(static_cast<size_t>(device_.num_cus), 0.0);
+  std::vector<double> cu_mem(static_cast<size_t>(device_.num_cus), 0.0);
+  std::vector<int> cu_resident(static_cast<size_t>(device_.num_cus), 0);
+  // resident work-groups of kernel k on CU c
+  std::vector<std::vector<int>> cu_kernel_resident(
+      static_cast<size_t>(num_kernels),
+      std::vector<int>(static_cast<size_t>(device_.num_cus), 0));
+  std::vector<int> kernel_resident(static_cast<size_t>(num_kernels), 0);
+
+  const int concurrency = std::max(1, device_.concurrent_kernels);
+  int total_resident = 0;
+  double now = 0.0;
+
+  auto distinct_kernels_on_cu = [&](int cu) {
+    int count = 0;
+    for (int k = 0; k < num_kernels; ++k) {
+      if (cu_kernel_resident[static_cast<size_t>(k)][static_cast<size_t>(cu)] > 0) {
+        ++count;
+      }
+    }
+    return count;
+  };
+
+  auto dispatch = [&]() {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (int k = 0; k < num_kernels; ++k) {
+        KernelSim& sim = ks[static_cast<size_t>(k)];
+        sim.stalled = false;
+        while (sim.dispatched < sim.wg_total && kernel_resident[k] < sim.slots) {
+          ChannelState* in_chan =
+              (k > 0 && channels[static_cast<size_t>(k - 1)].has_value())
+                  ? &*channels[static_cast<size_t>(k - 1)]
+                  : nullptr;
+          ChannelState* out_chan =
+              (k + 1 < num_kernels &&
+               channels[static_cast<size_t>(k)].has_value())
+                  ? &*channels[static_cast<size_t>(k)]
+                  : nullptr;
+          if (in_chan != nullptr && sim.c_in_per_wg > 0.0 &&
+              !in_chan->CanAcquire(sim.c_in_per_wg)) {
+            sim.stalled = true;  // starved for input data
+            break;
+          }
+          if (out_chan != nullptr && sim.c_out_per_wg > 0.0 &&
+              !out_chan->CanReserve(sim.c_out_per_wg)) {
+            sim.stalled = true;  // blocked on output space
+            break;
+          }
+          // Pick the least-loaded CU that can host this work-group.
+          int best_cu = -1;
+          double best_ready = 0.0;
+          for (int c = 0; c < device_.num_cus; ++c) {
+            if (cu_resident[static_cast<size_t>(c)] >=
+                device_.max_workgroups_per_cu) {
+              continue;
+            }
+            if (cu_kernel_resident[static_cast<size_t>(k)]
+                                  [static_cast<size_t>(c)] >= sim.per_cu_cap) {
+              continue;
+            }
+            if (cu_kernel_resident[static_cast<size_t>(k)]
+                                  [static_cast<size_t>(c)] == 0 &&
+                distinct_kernels_on_cu(c) >= concurrency) {
+              continue;
+            }
+            const double ready = std::max(cu_alu[static_cast<size_t>(c)],
+                                          cu_mem[static_cast<size_t>(c)]);
+            if (best_cu < 0 || ready < best_ready) {
+              best_cu = c;
+              best_ready = ready;
+            }
+          }
+          if (best_cu < 0) break;  // no CU slot: occupancy limit, not a stall
+
+          if (in_chan != nullptr && sim.c_in_per_wg > 0.0) {
+            in_chan->Acquire(sim.c_in_per_wg);
+          }
+          if (out_chan != nullptr && sim.c_out_per_wg > 0.0) {
+            out_chan->Reserve(sim.c_out_per_wg);
+          }
+          const size_t cu = static_cast<size_t>(best_cu);
+          const double alu_done =
+              std::max(now, cu_alu[cu]) + sim.work.alu;
+          const double mem_done =
+              std::max(now, cu_mem[cu]) + sim.work.mem + sim.work.chan;
+          cu_alu[cu] = alu_done;
+          cu_mem[cu] = mem_done;
+          heap.push(Event{std::max(alu_done, mem_done), k, best_cu});
+          ++sim.dispatched;
+          ++kernel_resident[k];
+          ++cu_resident[cu];
+          ++cu_kernel_resident[static_cast<size_t>(k)][cu];
+          ++total_resident;
+          progress = true;
+        }
+      }
+    }
+  };
+
+  dispatch();
+  double last_time = 0.0;
+  while (!heap.empty()) {
+    const Event ev = heap.top();
+    heap.pop();
+    const double dt = ev.time - last_time;
+    if (dt > 0.0) {
+      for (auto& sim : ks) {
+        if (sim.stalled) sim.stall_cycles += dt;
+      }
+      result.counters.resident_wg_time += total_resident * dt;
+      last_time = ev.time;
+    }
+    now = ev.time;
+
+    KernelSim& sim = ks[static_cast<size_t>(ev.kernel)];
+    if (ev.kernel + 1 < num_kernels &&
+        channels[static_cast<size_t>(ev.kernel)].has_value() &&
+        sim.c_out_per_wg > 0.0) {
+      channels[static_cast<size_t>(ev.kernel)]->CommitReserved(sim.c_out_per_wg);
+    }
+    ++sim.completed;
+    sim.finish_time = now;
+    --kernel_resident[ev.kernel];
+    --cu_resident[static_cast<size_t>(ev.cu)];
+    --cu_kernel_resident[static_cast<size_t>(ev.kernel)][static_cast<size_t>(ev.cu)];
+    --total_resident;
+    dispatch();
+  }
+
+  for (int k = 0; k < num_kernels; ++k) {
+    GPL_CHECK(ks[static_cast<size_t>(k)].completed ==
+              ks[static_cast<size_t>(k)].wg_total)
+        << "pipeline simulation did not drain kernel "
+        << spec.kernels[static_cast<size_t>(k)].desc.name << " (completed "
+        << ks[static_cast<size_t>(k)].completed << " of "
+        << ks[static_cast<size_t>(k)].wg_total << ")";
+  }
+
+  // ---- Aggregate counters ----
+  HwCounters& c = result.counters;
+  const double overhead =
+      static_cast<double>(device_.kernel_launch_cycles) * num_kernels +
+      static_cast<double>(device_.tile_dispatch_cycles) *
+          static_cast<double>(num_tiles);
+  c.elapsed_cycles = last_time + overhead;
+  c.launch_cycles = overhead;
+  for (int k = 0; k < num_kernels; ++k) {
+    const KernelSim& sim = ks[static_cast<size_t>(k)];
+    const double n = static_cast<double>(sim.wg_total);
+    c.compute_cycles += sim.work.alu * n;
+    c.mem_cycles += sim.work.mem * n;
+    c.channel_cycles += sim.work.chan * n;
+    c.stall_cycles += sim.stall_cycles;
+    c.cache_accesses += sim.work.cache_accesses * n;
+    c.cache_hits += sim.work.cache_hits * n;
+    if (spec.kernels[static_cast<size_t>(k)].output == Endpoint::kGlobal) {
+      c.bytes_materialized += spec.kernels[static_cast<size_t>(k)].bytes_out;
+    } else {
+      c.bytes_via_channel += spec.kernels[static_cast<size_t>(k)].bytes_out;
+    }
+
+    KernelStats stats;
+    stats.name = spec.kernels[static_cast<size_t>(k)].desc.name;
+    stats.busy_cycles = (sim.work.alu + sim.work.mem + sim.work.chan) * n;
+    stats.stall_cycles = sim.stall_cycles;
+    stats.finish_cycles = sim.finish_time;
+    stats.valu_busy = sim.work.alu * n / (c.elapsed_cycles * device_.num_cus);
+    stats.mem_unit_busy =
+        (sim.work.mem + sim.work.chan) * n / (c.elapsed_cycles * device_.num_cus);
+    result.kernels.push_back(std::move(stats));
+  }
+  return result;
+}
+
+}  // namespace sim
+}  // namespace gpl

@@ -1,0 +1,125 @@
+#ifndef GPL_SIM_ENGINE_H_
+#define GPL_SIM_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/cache_model.h"
+#include "sim/channel.h"
+#include "sim/counters.h"
+#include "sim/device.h"
+#include "sim/kernel_desc.h"
+
+namespace gpl {
+namespace sim {
+
+/// Where a kernel reads its input from / writes its output to.
+enum class Endpoint {
+  kGlobal,   ///< global memory (materialized)
+  kChannel,  ///< data channel to the neighbouring kernel
+};
+
+/// One kernel instance in a simulated execution. Cardinalities (rows/bytes)
+/// come from the functional execution layer; the simulator only accounts
+/// time for them.
+struct KernelLaunch {
+  KernelTimingDesc desc;
+
+  int64_t rows_in = 0;
+  int64_t bytes_in = 0;
+  int64_t rows_out = 0;
+  int64_t bytes_out = 0;
+
+  /// Work-groups launched per tile (wg_Ki). 0 selects a default of one
+  /// work-group per CU per tile.
+  int workgroups_per_tile = 0;
+
+  Endpoint input = Endpoint::kGlobal;
+  Endpoint output = Endpoint::kGlobal;
+
+  /// Fraction of global-memory input that is cache-resident at kernel start
+  /// (1.0 for a small intermediate that was just produced).
+  double input_resident_fraction = 0.0;
+};
+
+/// A pipelined segment: a chain K0 -> K1 -> ... of kernels connected by data
+/// channels wherever Ki.output == kChannel.
+struct PipelineSpec {
+  std::vector<KernelLaunch> kernels;
+  /// Channel configuration for the gap between Ki and Ki+1; must have
+  /// size kernels.size()-1 (entries for global gaps are ignored).
+  std::vector<ChannelConfig> channel_configs;
+  /// Tile size Δ in bytes (of K0 input).
+  int64_t tile_bytes = 4 << 20;
+  /// Bytes of other cache-hot structures (hash tables being probed, etc.).
+  int64_t extra_resident_bytes = 0;
+};
+
+/// Per-kernel outcome of a simulated execution.
+struct KernelStats {
+  std::string name;
+  double busy_cycles = 0.0;   ///< ALU + MEM + channel work
+  double stall_cycles = 0.0;  ///< starved/blocked time (delay)
+  double finish_cycles = 0.0;
+  double valu_busy = 0.0;
+  double mem_unit_busy = 0.0;
+};
+
+/// Result of a simulated execution.
+struct SimResult {
+  HwCounters counters;
+  std::vector<KernelStats> kernels;
+
+  double elapsed_cycles() const { return counters.elapsed_cycles; }
+};
+
+/// The GPU timing simulator. All Run* methods are const: the simulator holds
+/// only the device description and derived models.
+class Simulator {
+ public:
+  explicit Simulator(const DeviceSpec& device);
+
+  const DeviceSpec& device() const { return device_; }
+  const CacheModel& cache() const { return cache_; }
+
+  /// Kernel-based execution of a single kernel: the whole input is consumed
+  /// in one launch, with input read from and output written to global
+  /// memory. `resident_bytes` are competing cache-hot structures.
+  SimResult RunKernelBatch(const KernelLaunch& launch, int64_t resident_bytes) const;
+
+  /// GPL pipelined execution of a segment: kernels run concurrently,
+  /// exchanging tiles through channels (discrete-event simulation at
+  /// work-group granularity).
+  SimResult RunPipeline(const PipelineSpec& spec) const;
+
+  /// GPL (w/o CE) ablation: same tiling, but kernels execute one at a time
+  /// per tile, with per-tile kernel launches and materialized intermediates.
+  SimResult RunSequentialTiles(const PipelineSpec& spec) const;
+
+ private:
+  struct WgWork {
+    double alu = 0.0;
+    double mem = 0.0;
+    double chan = 0.0;
+    double cache_hits = 0.0;
+    double cache_accesses = 0.0;
+  };
+
+  /// Cost of one work-group of `desc` processing `rows` rows with the given
+  /// I/O volumes. `hide_wavefronts` is the latency-hiding depth (resident
+  /// wavefronts per CU).
+  WgWork ComputeWgWork(const KernelTimingDesc& desc, double rows,
+                       double global_in_bytes, double global_out_bytes,
+                       double chan_in_bytes, double chan_out_bytes,
+                       const ChannelState* in_chan, const ChannelState* out_chan,
+                       double chan_residency, double input_resident,
+                       int hide_wavefronts, int64_t competing_bytes) const;
+
+  DeviceSpec device_;
+  CacheModel cache_;
+};
+
+}  // namespace sim
+}  // namespace gpl
+
+#endif  // GPL_SIM_ENGINE_H_

@@ -1,0 +1,45 @@
+#ifndef GPL_SIM_KERNEL_DESC_H_
+#define GPL_SIM_KERNEL_DESC_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gpl {
+namespace sim {
+
+/// Timing-relevant description of a kernel, corresponding to the "program
+/// analysis" inputs of the paper's cost model (Table 2): per-row instruction
+/// counts (c_inst, m_inst), per-work-item private/local memory usage, and the
+/// memory access pattern.
+///
+/// In the paper these numbers come from off-line program analysis of the
+/// OpenCL source (AMD APP Profiler); here each relational primitive declares
+/// them statically (src/exec/primitives.cc).
+struct KernelTimingDesc {
+  std::string name;
+
+  /// Compute instructions per input row (c_inst normalized per row).
+  double compute_inst_per_row = 8.0;
+  /// Memory instructions per input row (m_inst normalized per row).
+  double mem_inst_per_row = 2.0;
+
+  /// Private memory (registers) per work-item, bytes (pm_Ki).
+  int64_t private_bytes_per_item = 64;
+  /// Local memory per work-item, bytes (lm_Ki).
+  int64_t local_bytes_per_item = 0;
+
+  /// Blocking kernels materialize their full output in global memory and
+  /// impose a barrier (segment boundary): prefix sum, hash build, sort.
+  bool blocking = false;
+
+  /// Fraction of memory instructions that hit a randomly-accessed side
+  /// structure (e.g. a hash table) instead of streaming over the input.
+  double random_access_fraction = 0.0;
+  /// Size of that side structure in bytes (hash table size for probes).
+  int64_t random_working_set_bytes = 0;
+};
+
+}  // namespace sim
+}  // namespace gpl
+
+#endif  // GPL_SIM_KERNEL_DESC_H_

@@ -1,0 +1,69 @@
+#include "sim/occupancy.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gpl {
+namespace sim {
+
+OccupancyResult ComputeOccupancy(const DeviceSpec& device,
+                                 const std::vector<ResourceRequest>& requests) {
+  OccupancyResult result;
+  result.active_slots.resize(requests.size(), 0);
+  if (requests.empty()) return result;
+
+  const double wi = static_cast<double>(device.wavefront_size);
+  const double total_pm =
+      static_cast<double>(device.private_mem_per_cu) * device.num_cus;
+  const double total_lm =
+      static_cast<double>(device.local_mem_per_cu) * device.num_cus;
+  const double total_wg =
+      static_cast<double>(device.max_workgroups_per_cu) * device.num_cus;
+
+  // Aggregate demand of the requested allocation (left-hand sides of Eq. 2).
+  double pm_demand = 0.0, lm_demand = 0.0, wg_demand = 0.0;
+  for (const ResourceRequest& r : requests) {
+    const double wg = static_cast<double>(std::max(r.requested_workgroups, 1));
+    pm_demand += static_cast<double>(r.private_bytes_per_item) * wi * wg;
+    lm_demand += static_cast<double>(r.local_bytes_per_item) * wi * wg;
+    wg_demand += wg;
+  }
+
+  // Scale factor: 1.0 if everything fits, else the tightest constraint.
+  double scale = 1.0;
+  result.binding_resource = 0;
+  if (wg_demand > total_wg) {
+    scale = total_wg / wg_demand;
+    result.binding_resource = 0;
+  }
+  if (pm_demand > 0 && pm_demand > total_pm && total_pm / pm_demand < scale) {
+    scale = total_pm / pm_demand;
+    result.binding_resource = 1;
+  }
+  if (lm_demand > 0 && lm_demand > total_lm && total_lm / lm_demand < scale) {
+    scale = total_lm / lm_demand;
+    result.binding_resource = 2;
+  }
+  result.fit_unscaled = scale >= 1.0;
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const int wg = std::max(requests[i].requested_workgroups, 1);
+    const int granted =
+        std::max(1, static_cast<int>(static_cast<double>(wg) * scale));
+    result.active_slots[i] = std::min(granted, wg);
+  }
+  return result;
+}
+
+int SingleKernelSlots(const DeviceSpec& device, const KernelTimingDesc& desc) {
+  ResourceRequest req;
+  req.private_bytes_per_item = desc.private_bytes_per_item;
+  req.local_bytes_per_item = desc.local_bytes_per_item;
+  req.requested_workgroups = device.max_workgroups_per_cu * device.num_cus;
+  const OccupancyResult occ = ComputeOccupancy(device, {req});
+  return occ.active_slots[0];
+}
+
+}  // namespace sim
+}  // namespace gpl

@@ -1,0 +1,47 @@
+#ifndef GPL_SIM_OCCUPANCY_H_
+#define GPL_SIM_OCCUPANCY_H_
+
+#include <vector>
+
+#include "sim/device.h"
+#include "sim/kernel_desc.h"
+
+namespace gpl {
+namespace sim {
+
+/// Resource request of one kernel participating in a (possibly concurrent)
+/// execution: its per-work-item memory demands and the number of work-groups
+/// the plan wants resident simultaneously.
+struct ResourceRequest {
+  int64_t private_bytes_per_item = 0;
+  int64_t local_bytes_per_item = 0;
+  int requested_workgroups = 0;  ///< wg_Ki (device-wide)
+};
+
+/// Result of evaluating Eq. 2 for a set of co-resident kernels.
+struct OccupancyResult {
+  /// Device-wide active work-group slots granted to each kernel
+  /// (a_wg_Ki * a_CU_Ki in the paper's notation).
+  std::vector<int> active_slots;
+  /// True if the requested allocation fit without scaling.
+  bool fit_unscaled = true;
+  /// Binding constraint: 0 = work-group slots, 1 = private memory,
+  /// 2 = local memory.
+  int binding_resource = 0;
+};
+
+/// Evaluates the resource constraints of Eq. 2 for kernels that share the
+/// device. If the combined request exceeds any per-CU resource (private
+/// memory, local memory, work-group slots), every kernel's grant is scaled
+/// down proportionally (water-filling), with a minimum of one slot each.
+OccupancyResult ComputeOccupancy(const DeviceSpec& device,
+                                 const std::vector<ResourceRequest>& requests);
+
+/// Convenience: active slots for a single kernel occupying the device alone,
+/// with as many work-groups as it can use.
+int SingleKernelSlots(const DeviceSpec& device, const KernelTimingDesc& desc);
+
+}  // namespace sim
+}  // namespace gpl
+
+#endif  // GPL_SIM_OCCUPANCY_H_

@@ -1,0 +1,139 @@
+#include "storage/column.h"
+
+namespace gpl {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt32:
+      return "int32";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kFloat64:
+      return "float64";
+    case DataType::kDate:
+      return "date";
+    case DataType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+Column::Column(DataType type, std::shared_ptr<Dictionary> dict)
+    : type_(type), dict_(std::move(dict)) {
+  if (type_ == DataType::kString && dict_ == nullptr) {
+    dict_ = std::make_shared<Dictionary>();
+  }
+}
+
+int64_t Column::size() const {
+  switch (type_) {
+    case DataType::kInt32:
+    case DataType::kDate:
+    case DataType::kString:
+      return static_cast<int64_t>(data32_.size());
+    case DataType::kInt64:
+      return static_cast<int64_t>(data64_.size());
+    case DataType::kFloat64:
+      return static_cast<int64_t>(dataf_.size());
+  }
+  return 0;
+}
+
+void Column::Reserve(int64_t n) {
+  switch (type_) {
+    case DataType::kInt32:
+    case DataType::kDate:
+    case DataType::kString:
+      data32_.reserve(static_cast<size_t>(n));
+      break;
+    case DataType::kInt64:
+      data64_.reserve(static_cast<size_t>(n));
+      break;
+    case DataType::kFloat64:
+      dataf_.reserve(static_cast<size_t>(n));
+      break;
+  }
+}
+
+double Column::AsDouble(int64_t i) const {
+  switch (type_) {
+    case DataType::kInt32:
+    case DataType::kDate:
+    case DataType::kString:
+      return static_cast<double>(Int32At(i));
+    case DataType::kInt64:
+      return static_cast<double>(Int64At(i));
+    case DataType::kFloat64:
+      return DoubleAt(i);
+  }
+  return 0.0;
+}
+
+int64_t Column::AsInt64(int64_t i) const {
+  switch (type_) {
+    case DataType::kInt32:
+    case DataType::kDate:
+    case DataType::kString:
+      return Int32At(i);
+    case DataType::kInt64:
+      return Int64At(i);
+    case DataType::kFloat64:
+      return static_cast<int64_t>(DoubleAt(i));
+  }
+  return 0;
+}
+
+Column Column::Gather(const std::vector<int64_t>& indices) const {
+  Column out(type_, dict_);
+  out.Reserve(static_cast<int64_t>(indices.size()));
+  switch (type_) {
+    case DataType::kInt32:
+    case DataType::kDate:
+    case DataType::kString:
+      for (int64_t i : indices) out.data32_.push_back(data32_[static_cast<size_t>(i)]);
+      break;
+    case DataType::kInt64:
+      for (int64_t i : indices) out.data64_.push_back(data64_[static_cast<size_t>(i)]);
+      break;
+    case DataType::kFloat64:
+      for (int64_t i : indices) out.dataf_.push_back(dataf_[static_cast<size_t>(i)]);
+      break;
+  }
+  return out;
+}
+
+Column Column::Slice(int64_t begin, int64_t len) const {
+  GPL_CHECK(begin >= 0 && len >= 0 && begin + len <= size())
+      << "slice out of range: [" << begin << ", " << begin + len << ") of " << size();
+  Column out(type_, dict_);
+  out.Reserve(len);
+  switch (type_) {
+    case DataType::kInt32:
+    case DataType::kDate:
+    case DataType::kString:
+      out.data32_.assign(data32_.begin() + begin, data32_.begin() + begin + len);
+      break;
+    case DataType::kInt64:
+      out.data64_.assign(data64_.begin() + begin, data64_.begin() + begin + len);
+      break;
+    case DataType::kFloat64:
+      out.dataf_.assign(dataf_.begin() + begin, dataf_.begin() + begin + len);
+      break;
+  }
+  return out;
+}
+
+Status Column::AppendColumn(const Column& other) {
+  if (other.type_ != type_) {
+    return Status::InvalidArgument("AppendColumn: mismatched types");
+  }
+  if (type_ == DataType::kString && other.dict_ != dict_) {
+    return Status::InvalidArgument("AppendColumn: mismatched dictionaries");
+  }
+  data32_.insert(data32_.end(), other.data32_.begin(), other.data32_.end());
+  data64_.insert(data64_.end(), other.data64_.begin(), other.data64_.end());
+  dataf_.insert(dataf_.end(), other.dataf_.begin(), other.dataf_.end());
+  return Status::OK();
+}
+
+}  // namespace gpl

@@ -1,0 +1,109 @@
+#ifndef GPL_STORAGE_COLUMN_H_
+#define GPL_STORAGE_COLUMN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "storage/dictionary.h"
+#include "storage/types.h"
+
+namespace gpl {
+
+/// A typed column of values. Storage is a contiguous vector of the physical
+/// representation: int32 for kInt32/kDate/kString (dictionary codes), int64
+/// for kInt64 and double for kFloat64. String columns share a Dictionary.
+///
+/// Columns are cheap to move; copies are explicit deep copies of the data
+/// (the dictionary stays shared).
+class Column {
+ public:
+  explicit Column(DataType type, std::shared_ptr<Dictionary> dict = nullptr);
+
+  Column(const Column&) = default;
+  Column& operator=(const Column&) = default;
+  Column(Column&&) = default;
+  Column& operator=(Column&&) = default;
+
+  DataType type() const { return type_; }
+  int64_t size() const;
+  int64_t byte_size() const { return size() * TypeWidth(type_); }
+
+  const std::shared_ptr<Dictionary>& dictionary() const { return dict_; }
+
+  // -- Appends -------------------------------------------------------------
+
+  void AppendInt32(int32_t v) {
+    GPL_DCHECK(Is32Bit());
+    data32_.push_back(v);
+  }
+  void AppendInt64(int64_t v) {
+    GPL_DCHECK(type_ == DataType::kInt64);
+    data64_.push_back(v);
+  }
+  void AppendDouble(double v) {
+    GPL_DCHECK(type_ == DataType::kFloat64);
+    dataf_.push_back(v);
+  }
+  /// Appends a string value, interning it in the shared dictionary.
+  void AppendString(const std::string& v) {
+    GPL_DCHECK(type_ == DataType::kString);
+    data32_.push_back(dict_->GetOrInsert(v));
+  }
+
+  void Reserve(int64_t n);
+
+  // -- Element access ------------------------------------------------------
+
+  int32_t Int32At(int64_t i) const { return data32_[static_cast<size_t>(i)]; }
+  int64_t Int64At(int64_t i) const { return data64_[static_cast<size_t>(i)]; }
+  double DoubleAt(int64_t i) const { return dataf_[static_cast<size_t>(i)]; }
+  const std::string& StringAt(int64_t i) const {
+    return dict_->GetString(Int32At(i));
+  }
+
+  /// Value at row `i` widened to double (dictionary code for strings).
+  /// Convenient for expression evaluation.
+  double AsDouble(int64_t i) const;
+  /// Value at row `i` widened to int64 (dictionary code for strings;
+  /// truncation for float columns).
+  int64_t AsInt64(int64_t i) const;
+
+  // -- Bulk operations -----------------------------------------------------
+
+  /// New column with the rows selected by `indices` (in that order).
+  Column Gather(const std::vector<int64_t>& indices) const;
+
+  /// New column with rows [begin, begin+len).
+  Column Slice(int64_t begin, int64_t len) const;
+
+  /// Appends all rows of `other` (must have identical type and, for strings,
+  /// the same dictionary instance).
+  Status AppendColumn(const Column& other);
+
+  /// Direct access to the physical buffers (for kernels).
+  std::vector<int32_t>& data32() { return data32_; }
+  const std::vector<int32_t>& data32() const { return data32_; }
+  std::vector<int64_t>& data64() { return data64_; }
+  const std::vector<int64_t>& data64() const { return data64_; }
+  std::vector<double>& dataf() { return dataf_; }
+  const std::vector<double>& dataf() const { return dataf_; }
+
+ private:
+  bool Is32Bit() const {
+    return type_ == DataType::kInt32 || type_ == DataType::kDate ||
+           type_ == DataType::kString;
+  }
+
+  DataType type_;
+  std::shared_ptr<Dictionary> dict_;
+  std::vector<int32_t> data32_;
+  std::vector<int64_t> data64_;
+  std::vector<double> dataf_;
+};
+
+}  // namespace gpl
+
+#endif  // GPL_STORAGE_COLUMN_H_

@@ -1,0 +1,26 @@
+#include "storage/dictionary.h"
+
+#include "common/logging.h"
+
+namespace gpl {
+
+int32_t Dictionary::GetOrInsert(const std::string& value) {
+  auto it = index_.find(value);
+  if (it != index_.end()) return it->second;
+  const int32_t code = static_cast<int32_t>(strings_.size());
+  strings_.push_back(value);
+  index_.emplace(value, code);
+  return code;
+}
+
+int32_t Dictionary::Lookup(const std::string& value) const {
+  auto it = index_.find(value);
+  return it == index_.end() ? -1 : it->second;
+}
+
+const std::string& Dictionary::GetString(int32_t code) const {
+  GPL_CHECK(code >= 0 && code < size()) << "dictionary code out of range: " << code;
+  return strings_[static_cast<size_t>(code)];
+}
+
+}  // namespace gpl

@@ -1,0 +1,35 @@
+#ifndef GPL_STORAGE_DICTIONARY_H_
+#define GPL_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gpl {
+
+/// Order-preserving string dictionary shared by string columns. Codes are
+/// dense int32 values assigned in insertion order.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Returns the code for `value`, inserting it if absent.
+  int32_t GetOrInsert(const std::string& value);
+
+  /// Returns the code for `value`, or -1 if absent.
+  int32_t Lookup(const std::string& value) const;
+
+  /// Precondition: 0 <= code < size().
+  const std::string& GetString(int32_t code) const;
+
+  int64_t size() const { return static_cast<int64_t>(strings_.size()); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, int32_t> index_;
+};
+
+}  // namespace gpl
+
+#endif  // GPL_STORAGE_DICTIONARY_H_

@@ -1,0 +1,95 @@
+#include "tpch/date.h"
+
+#include <cstdio>
+
+namespace gpl {
+namespace date {
+
+namespace {
+// Howard Hinnant's days_from_civil / civil_from_days algorithms.
+int64_t DaysFromCivil(int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);             // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;   // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;            // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int64_t* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);          // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yy = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);          // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                               // [0, 11]
+  *d = doy - (153 * mp + 2) / 5 + 1;                                     // [1, 31]
+  *m = mp + (mp < 10 ? 3 : -9);                                          // [1, 12]
+  *y = yy + (*m <= 2);
+}
+
+int DaysInMonth(int year, int month) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2) {
+    const bool leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+    return leap ? 29 : 28;
+  }
+  return kDays[month - 1];
+}
+}  // namespace
+
+int32_t FromYMD(int year, int month, int day) {
+  return static_cast<int32_t>(
+      DaysFromCivil(year, static_cast<unsigned>(month), static_cast<unsigned>(day)));
+}
+
+void ToYMD(int32_t days, int* year, int* month, int* day) {
+  int64_t y;
+  unsigned m, d;
+  CivilFromDays(days, &y, &m, &d);
+  *year = static_cast<int>(y);
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+Result<int32_t> Parse(const std::string& text) {
+  int y = 0, m = 0, d = 0;
+  if (std::sscanf(text.c_str(), "%d-%d-%d", &y, &m, &d) != 3) {
+    return Status::InvalidArgument("bad date literal: " + text);
+  }
+  if (m < 1 || m > 12 || d < 1 || d > DaysInMonth(y, m)) {
+    return Status::InvalidArgument("date out of range: " + text);
+  }
+  return FromYMD(y, m, d);
+}
+
+std::string Format(int32_t days) {
+  int y, m, d;
+  ToYMD(days, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+int Year(int32_t days) {
+  int y, m, d;
+  ToYMD(days, &y, &m, &d);
+  return y;
+}
+
+int32_t AddMonths(int32_t days, int months) {
+  int y, m, d;
+  ToYMD(days, &y, &m, &d);
+  const int total = (y * 12 + (m - 1)) + months;
+  const int ny = total / 12;
+  const int nm = total % 12 + 1;
+  const int nd = std::min(d, DaysInMonth(ny, nm));
+  return FromYMD(ny, nm, nd);
+}
+
+int32_t MinDate() { return FromYMD(1992, 1, 1); }
+int32_t MaxDate() { return FromYMD(1998, 12, 31); }
+
+}  // namespace date
+}  // namespace gpl

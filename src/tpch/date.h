@@ -1,0 +1,42 @@
+#ifndef GPL_TPCH_DATE_H_
+#define GPL_TPCH_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace gpl {
+
+/// Date arithmetic for TPC-H. Dates are stored as int32 day numbers (days
+/// since 1970-01-01, negative before).
+namespace date {
+
+/// Day number for a civil date (proleptic Gregorian calendar).
+int32_t FromYMD(int year, int month, int day);
+
+/// Inverse of FromYMD.
+void ToYMD(int32_t days, int* year, int* month, int* day);
+
+/// Parses "YYYY-MM-DD".
+Result<int32_t> Parse(const std::string& text);
+
+/// Formats as "YYYY-MM-DD".
+std::string Format(int32_t days);
+
+/// Extracts the year, as used by EXTRACT(YEAR FROM d) in Q7/Q8/Q9.
+int Year(int32_t days);
+
+/// Adds `months` calendar months, clamping the day to the target month's
+/// length (the semantics of TPC-H's `date + interval N month`).
+int32_t AddMonths(int32_t days, int months);
+
+/// TPC-H date domain: [1992-01-01, 1998-12-31].
+int32_t MinDate();
+int32_t MaxDate();
+
+}  // namespace date
+
+}  // namespace gpl
+
+#endif  // GPL_TPCH_DATE_H_

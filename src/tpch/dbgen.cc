@@ -1,0 +1,318 @@
+#include "tpch/dbgen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "tpch/date.h"
+#include "tpch/text.h"
+
+namespace gpl {
+namespace tpch {
+
+namespace {
+
+int64_t Scaled(double sf, int64_t base) {
+  const int64_t n = static_cast<int64_t>(std::llround(sf * static_cast<double>(base)));
+  return std::max<int64_t>(n, 1);
+}
+
+/// ps_suppkey formula from TPC-H clause 4.2.3: spreads the 4 suppliers of a
+/// part across the supplier domain. At full scale the stride never collides;
+/// at the fractional scale factors this library supports it can, so
+/// collisions deterministically probe to the next free supplier (as long as
+/// at least 4 suppliers exist).
+int32_t PartSuppSupplier(int64_t partkey, int64_t i, int64_t num_suppliers) {
+  const int64_t s = num_suppliers;
+  int32_t chosen[4] = {0, 0, 0, 0};
+  for (int64_t k = 0; k <= i; ++k) {
+    int64_t candidate = (partkey + k * (s / 4 + (partkey - 1) / s)) % s;
+    if (s >= 4) {
+      bool collides = true;
+      while (collides) {
+        collides = false;
+        for (int64_t j = 0; j < k; ++j) {
+          if (chosen[j] == static_cast<int32_t>(candidate + 1)) {
+            candidate = (candidate + 1) % s;
+            collides = true;
+            break;
+          }
+        }
+      }
+    }
+    chosen[k] = static_cast<int32_t>(candidate + 1);
+  }
+  return chosen[i];
+}
+
+Column I32() { return Column(DataType::kInt32); }
+Column F64() { return Column(DataType::kFloat64); }
+Column Date() { return Column(DataType::kDate); }
+Column Str(std::shared_ptr<Dictionary> dict = nullptr) {
+  return Column(DataType::kString, std::move(dict));
+}
+
+}  // namespace
+
+const Table* Database::ByName(const std::string& name) const {
+  if (name == "region") return &region;
+  if (name == "nation") return &nation;
+  if (name == "supplier") return &supplier;
+  if (name == "customer") return &customer;
+  if (name == "part") return &part;
+  if (name == "partsupp") return &partsupp;
+  if (name == "orders") return &orders;
+  if (name == "lineitem") return &lineitem;
+  return nullptr;
+}
+
+int64_t Database::byte_size() const {
+  return region.byte_size() + nation.byte_size() + supplier.byte_size() +
+         customer.byte_size() + part.byte_size() + partsupp.byte_size() +
+         orders.byte_size() + lineitem.byte_size();
+}
+
+Cardinalities CardinalitiesFor(double scale_factor) {
+  Cardinalities c;
+  c.supplier = Scaled(scale_factor, 10000);
+  c.part = Scaled(scale_factor, 200000);
+  c.partsupp = c.part * 4;
+  c.customer = Scaled(scale_factor, 150000);
+  c.orders = Scaled(scale_factor, 1500000);
+  c.lineitem_expected = c.orders * 4;
+  return c;
+}
+
+double RetailPrice(int64_t partkey) {
+  return (90000.0 + static_cast<double>((partkey / 10) % 20001) +
+          100.0 * static_cast<double>(partkey % 1000)) /
+         100.0;
+}
+
+Database Generate(const DbgenConfig& config) {
+  GPL_CHECK(config.scale_factor > 0.0) << "scale factor must be positive";
+  const Cardinalities card = CardinalitiesFor(config.scale_factor);
+  Database db;
+
+  // ---- REGION ----
+  {
+    Table t("region");
+    Column key = I32(), name = Str();
+    for (int r = 0; r < kNumRegions; ++r) {
+      key.AppendInt32(r);
+      name.AppendString(RegionName(r));
+    }
+    GPL_CHECK_OK(t.AddColumn("r_regionkey", std::move(key)));
+    GPL_CHECK_OK(t.AddColumn("r_name", std::move(name)));
+    db.region = std::move(t);
+  }
+
+  // ---- NATION ----
+  {
+    Table t("nation");
+    Column key = I32(), name = Str(), region = I32();
+    for (int n = 0; n < kNumNations; ++n) {
+      key.AppendInt32(n);
+      name.AppendString(NationName(n));
+      region.AppendInt32(NationRegion(n));
+    }
+    GPL_CHECK_OK(t.AddColumn("n_nationkey", std::move(key)));
+    GPL_CHECK_OK(t.AddColumn("n_name", std::move(name)));
+    GPL_CHECK_OK(t.AddColumn("n_regionkey", std::move(region)));
+    db.nation = std::move(t);
+  }
+
+  // ---- SUPPLIER ----
+  {
+    Random rng(config.seed ^ 0x5005);
+    Table t("supplier");
+    Column key = I32(), nation = I32(), acctbal = F64();
+    key.Reserve(card.supplier);
+    for (int64_t s = 1; s <= card.supplier; ++s) {
+      key.AppendInt32(static_cast<int32_t>(s));
+      nation.AppendInt32(static_cast<int32_t>(rng.Uniform(0, kNumNations - 1)));
+      acctbal.AppendDouble(static_cast<double>(rng.Uniform(-99999, 999999)) / 100.0);
+    }
+    GPL_CHECK_OK(t.AddColumn("s_suppkey", std::move(key)));
+    GPL_CHECK_OK(t.AddColumn("s_nationkey", std::move(nation)));
+    GPL_CHECK_OK(t.AddColumn("s_acctbal", std::move(acctbal)));
+    db.supplier = std::move(t);
+  }
+
+  // ---- CUSTOMER ----
+  {
+    Random rng(config.seed ^ 0xC057);
+    Table t("customer");
+    Column key = I32(), nation = I32(), segment = Str(), acctbal = F64();
+    key.Reserve(card.customer);
+    for (int64_t c = 1; c <= card.customer; ++c) {
+      key.AppendInt32(static_cast<int32_t>(c));
+      nation.AppendInt32(static_cast<int32_t>(rng.Uniform(0, kNumNations - 1)));
+      segment.AppendString(
+          MarketSegment(static_cast<int>(rng.Uniform(0, kNumMarketSegments - 1))));
+      acctbal.AppendDouble(static_cast<double>(rng.Uniform(-99999, 999999)) / 100.0);
+    }
+    GPL_CHECK_OK(t.AddColumn("c_custkey", std::move(key)));
+    GPL_CHECK_OK(t.AddColumn("c_nationkey", std::move(nation)));
+    GPL_CHECK_OK(t.AddColumn("c_mktsegment", std::move(segment)));
+    GPL_CHECK_OK(t.AddColumn("c_acctbal", std::move(acctbal)));
+    db.customer = std::move(t);
+  }
+
+  // ---- PART ----
+  {
+    Random rng(config.seed ^ 0x9A27);
+    Table t("part");
+    Column key = I32(), mfgr = Str(), brand = Str(), type = Str(), size = I32(),
+           container = Str(), retail = F64();
+    key.Reserve(card.part);
+    for (int64_t p = 1; p <= card.part; ++p) {
+      key.AppendInt32(static_cast<int32_t>(p));
+      const int m = static_cast<int>(rng.Uniform(0, 4));
+      mfgr.AppendString(PartMfgr(m));
+      brand.AppendString(PartBrand(m * 5 + static_cast<int>(rng.Uniform(0, 4))));
+      type.AppendString(PartType(static_cast<int>(rng.Uniform(0, kNumPartTypes - 1))));
+      size.AppendInt32(static_cast<int32_t>(rng.Uniform(1, 50)));
+      container.AppendString(
+          PartContainer(static_cast<int>(rng.Uniform(0, kNumPartContainers - 1))));
+      retail.AppendDouble(RetailPrice(p));
+    }
+    GPL_CHECK_OK(t.AddColumn("p_partkey", std::move(key)));
+    GPL_CHECK_OK(t.AddColumn("p_mfgr", std::move(mfgr)));
+    GPL_CHECK_OK(t.AddColumn("p_brand", std::move(brand)));
+    GPL_CHECK_OK(t.AddColumn("p_type", std::move(type)));
+    GPL_CHECK_OK(t.AddColumn("p_size", std::move(size)));
+    GPL_CHECK_OK(t.AddColumn("p_container", std::move(container)));
+    GPL_CHECK_OK(t.AddColumn("p_retailprice", std::move(retail)));
+    db.part = std::move(t);
+  }
+
+  // ---- PARTSUPP ----
+  {
+    Random rng(config.seed ^ 0x9559);
+    Table t("partsupp");
+    Column pkey = I32(), skey = I32(), avail = I32(), cost = F64();
+    pkey.Reserve(card.partsupp);
+    for (int64_t p = 1; p <= card.part; ++p) {
+      for (int64_t i = 0; i < 4; ++i) {
+        pkey.AppendInt32(static_cast<int32_t>(p));
+        skey.AppendInt32(PartSuppSupplier(p, i, card.supplier));
+        avail.AppendInt32(static_cast<int32_t>(rng.Uniform(1, 9999)));
+        cost.AppendDouble(static_cast<double>(rng.Uniform(100, 100000)) / 100.0);
+      }
+    }
+    GPL_CHECK_OK(t.AddColumn("ps_partkey", std::move(pkey)));
+    GPL_CHECK_OK(t.AddColumn("ps_suppkey", std::move(skey)));
+    GPL_CHECK_OK(t.AddColumn("ps_availqty", std::move(avail)));
+    GPL_CHECK_OK(t.AddColumn("ps_supplycost", std::move(cost)));
+    db.partsupp = std::move(t);
+  }
+
+  // ---- ORDERS and LINEITEM (generated together) ----
+  {
+    Random rng(config.seed ^ 0x0D39);
+    Table ot("orders");
+    Column o_key = I32(), o_cust = I32(), o_total = F64(), o_date = Date(),
+           o_prio = Str(), o_ship_prio = I32();
+    o_key.Reserve(card.orders);
+
+    Table lt("lineitem");
+    Column l_okey = I32(), l_part = I32(), l_supp = I32(), l_line = I32(),
+           l_qty = F64(), l_price = F64(), l_disc = F64(), l_tax = F64(),
+           l_rflag = Str(), l_status = Str(), l_ship = Date(), l_commit = Date(),
+           l_receipt = Date(), l_mode = Str(), l_instruct = Str();
+    l_okey.Reserve(card.lineitem_expected);
+
+    const int32_t start_date = date::FromYMD(1992, 1, 1);
+    const int32_t end_date = date::FromYMD(1998, 12, 31) - 151;
+    const int32_t current_date = date::FromYMD(1995, 6, 17);
+
+    for (int64_t o = 1; o <= card.orders; ++o) {
+      // Per the spec only 2/3 of customers have orders: skip custkeys
+      // divisible by 3.
+      int64_t cust = rng.Uniform(1, card.customer);
+      if (card.customer >= 3) {
+        while (cust % 3 == 0) cust = rng.Uniform(1, card.customer);
+      }
+      const int32_t odate =
+          static_cast<int32_t>(rng.Uniform(start_date, end_date));
+
+      o_key.AppendInt32(static_cast<int32_t>(o));
+      o_cust.AppendInt32(static_cast<int32_t>(cust));
+      o_date.AppendInt32(odate);
+      o_prio.AppendString(
+          OrderPriority(static_cast<int>(rng.Uniform(0, kNumOrderPriorities - 1))));
+      o_ship_prio.AppendInt32(0);  // constant per the TPC-H spec
+
+      const int64_t num_lines = rng.Uniform(1, 7);
+      double total = 0.0;
+      for (int64_t line = 1; line <= num_lines; ++line) {
+        const int64_t partkey = rng.Uniform(1, card.part);
+        const int64_t supp_i = rng.Uniform(0, 3);
+        const double quantity = static_cast<double>(rng.Uniform(1, 50));
+        const double extended = quantity * RetailPrice(partkey);
+        const double discount = static_cast<double>(rng.Uniform(0, 10)) / 100.0;
+        const double tax = static_cast<double>(rng.Uniform(0, 8)) / 100.0;
+        const int32_t shipdate = odate + static_cast<int32_t>(rng.Uniform(1, 121));
+        const int32_t commitdate = odate + static_cast<int32_t>(rng.Uniform(30, 90));
+        const int32_t receiptdate =
+            shipdate + static_cast<int32_t>(rng.Uniform(1, 30));
+
+        l_okey.AppendInt32(static_cast<int32_t>(o));
+        l_part.AppendInt32(static_cast<int32_t>(partkey));
+        l_supp.AppendInt32(PartSuppSupplier(partkey, supp_i, card.supplier));
+        l_line.AppendInt32(static_cast<int32_t>(line));
+        l_qty.AppendDouble(quantity);
+        l_price.AppendDouble(extended);
+        l_disc.AppendDouble(discount);
+        l_tax.AppendDouble(tax);
+        if (receiptdate <= current_date) {
+          l_rflag.AppendString(rng.Bernoulli(0.5) ? "R" : "A");
+        } else {
+          l_rflag.AppendString("N");
+        }
+        l_status.AppendString(shipdate > current_date ? "O" : "F");
+        l_ship.AppendInt32(shipdate);
+        l_commit.AppendInt32(commitdate);
+        l_receipt.AppendInt32(receiptdate);
+        l_mode.AppendString(
+            ShipMode(static_cast<int>(rng.Uniform(0, kNumShipModes - 1))));
+        l_instruct.AppendString(ShipInstruct(
+            static_cast<int>(rng.Uniform(0, kNumShipInstructs - 1))));
+        total += extended * (1.0 + tax) * (1.0 - discount);
+      }
+      o_total.AppendDouble(total);
+    }
+
+    GPL_CHECK_OK(ot.AddColumn("o_orderkey", std::move(o_key)));
+    GPL_CHECK_OK(ot.AddColumn("o_custkey", std::move(o_cust)));
+    GPL_CHECK_OK(ot.AddColumn("o_totalprice", std::move(o_total)));
+    GPL_CHECK_OK(ot.AddColumn("o_orderdate", std::move(o_date)));
+    GPL_CHECK_OK(ot.AddColumn("o_orderpriority", std::move(o_prio)));
+    GPL_CHECK_OK(ot.AddColumn("o_shippriority", std::move(o_ship_prio)));
+    db.orders = std::move(ot);
+
+    GPL_CHECK_OK(lt.AddColumn("l_orderkey", std::move(l_okey)));
+    GPL_CHECK_OK(lt.AddColumn("l_partkey", std::move(l_part)));
+    GPL_CHECK_OK(lt.AddColumn("l_suppkey", std::move(l_supp)));
+    GPL_CHECK_OK(lt.AddColumn("l_linenumber", std::move(l_line)));
+    GPL_CHECK_OK(lt.AddColumn("l_quantity", std::move(l_qty)));
+    GPL_CHECK_OK(lt.AddColumn("l_extendedprice", std::move(l_price)));
+    GPL_CHECK_OK(lt.AddColumn("l_discount", std::move(l_disc)));
+    GPL_CHECK_OK(lt.AddColumn("l_tax", std::move(l_tax)));
+    GPL_CHECK_OK(lt.AddColumn("l_returnflag", std::move(l_rflag)));
+    GPL_CHECK_OK(lt.AddColumn("l_linestatus", std::move(l_status)));
+    GPL_CHECK_OK(lt.AddColumn("l_shipdate", std::move(l_ship)));
+    GPL_CHECK_OK(lt.AddColumn("l_commitdate", std::move(l_commit)));
+    GPL_CHECK_OK(lt.AddColumn("l_receiptdate", std::move(l_receipt)));
+    GPL_CHECK_OK(lt.AddColumn("l_shipmode", std::move(l_mode)));
+    GPL_CHECK_OK(lt.AddColumn("l_shipinstruct", std::move(l_instruct)));
+    db.lineitem = std::move(lt);
+  }
+
+  return db;
+}
+
+}  // namespace tpch
+}  // namespace gpl

@@ -1,0 +1,167 @@
+#include "tpch/tbl_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "tpch/date.h"
+
+namespace gpl {
+namespace tpch {
+
+namespace {
+
+void AppendField(const Column& col, int64_t row, std::string* out) {
+  char buf[32];
+  switch (col.type()) {
+    case DataType::kInt32:
+      std::snprintf(buf, sizeof(buf), "%d", col.Int32At(row));
+      *out += buf;
+      break;
+    case DataType::kInt64:
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(col.Int64At(row)));
+      *out += buf;
+      break;
+    case DataType::kFloat64: {
+      // Six fraction digits, trailing zeros trimmed: exact-hundredth dbgen
+      // decimals render as "123.45" while computed values (o_totalprice)
+      // keep enough precision to round-trip.
+      std::snprintf(buf, sizeof(buf), "%.6f", col.DoubleAt(row));
+      std::string text = buf;
+      while (text.size() > 1 && text.back() == '0') text.pop_back();
+      if (!text.empty() && text.back() == '.') text.push_back('0');
+      *out += text;
+      break;
+    }
+    case DataType::kDate:
+      *out += date::Format(col.Int32At(row));
+      break;
+    case DataType::kString:
+      *out += col.StringAt(row);
+      break;
+  }
+}
+
+Status ParseField(const std::string& field, Column* col) {
+  switch (col->type()) {
+    case DataType::kInt32:
+      col->AppendInt32(static_cast<int32_t>(std::strtol(field.c_str(), nullptr, 10)));
+      return Status::OK();
+    case DataType::kInt64:
+      col->AppendInt64(std::strtoll(field.c_str(), nullptr, 10));
+      return Status::OK();
+    case DataType::kFloat64:
+      col->AppendDouble(std::strtod(field.c_str(), nullptr));
+      return Status::OK();
+    case DataType::kDate: {
+      GPL_ASSIGN_OR_RETURN(int32_t days, date::Parse(field));
+      col->AppendInt32(days);
+      return Status::OK();
+    }
+    case DataType::kString:
+      col->AppendString(field);
+      return Status::OK();
+  }
+  return Status::Internal("unknown column type");
+}
+
+}  // namespace
+
+Status WriteTableTbl(const Table& table, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create directory " + dir + ": " +
+                            ec.message());
+  }
+  const std::string path = dir + "/" + table.name() + ".tbl";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  std::string line;
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    line.clear();
+    for (int64_t c = 0; c < table.num_columns(); ++c) {
+      AppendField(table.ColumnAt(c), r, &line);
+      line += '|';
+    }
+    line += '\n';
+    out << line;
+  }
+  if (!out.good()) return Status::Internal("write failed for " + path);
+  return Status::OK();
+}
+
+Status WriteTbl(const Database& db, const std::string& dir) {
+  for (const Table* t : {&db.region, &db.nation, &db.supplier, &db.customer,
+                         &db.part, &db.partsupp, &db.orders, &db.lineitem}) {
+    GPL_RETURN_NOT_OK(WriteTableTbl(*t, dir));
+  }
+  return Status::OK();
+}
+
+Result<Table> LoadTableTbl(const std::string& path, const Table& schema) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open " + path);
+  }
+  Table out(schema.name());
+  std::vector<Column*> columns;
+  for (int64_t c = 0; c < schema.num_columns(); ++c) {
+    const Column& proto = schema.ColumnAt(c);
+    // String columns get fresh dictionaries (codes are file-order local).
+    GPL_RETURN_NOT_OK(out.AddColumn(schema.ColumnNameAt(c),
+                                    Column(proto.type())));
+  }
+  for (int64_t c = 0; c < out.num_columns(); ++c) {
+    columns.push_back(&out.MutableColumnAt(c));
+  }
+
+  std::string line;
+  int64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    size_t start = 0;
+    for (size_t c = 0; c < columns.size(); ++c) {
+      const size_t bar = line.find('|', start);
+      if (bar == std::string::npos) {
+        std::ostringstream msg;
+        msg << path << ":" << line_number << ": expected "
+            << columns.size() << " fields, found " << c;
+        return Status::InvalidArgument(msg.str());
+      }
+      GPL_RETURN_NOT_OK(ParseField(line.substr(start, bar - start), columns[c]));
+      start = bar + 1;
+    }
+  }
+  GPL_RETURN_NOT_OK(out.Validate());
+  return out;
+}
+
+Result<Database> LoadTbl(const std::string& dir, const Database& schema_of) {
+  Database db;
+  struct Entry {
+    const Table* schema;
+    Table* target;
+  };
+  const Entry entries[] = {
+      {&schema_of.region, &db.region},     {&schema_of.nation, &db.nation},
+      {&schema_of.supplier, &db.supplier}, {&schema_of.customer, &db.customer},
+      {&schema_of.part, &db.part},         {&schema_of.partsupp, &db.partsupp},
+      {&schema_of.orders, &db.orders},     {&schema_of.lineitem, &db.lineitem},
+  };
+  for (const Entry& e : entries) {
+    GPL_ASSIGN_OR_RETURN(*e.target,
+                         LoadTableTbl(dir + "/" + e.schema->name() + ".tbl",
+                                      *e.schema));
+  }
+  return db;
+}
+
+}  // namespace tpch
+}  // namespace gpl

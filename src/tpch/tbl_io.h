@@ -1,0 +1,37 @@
+#ifndef GPL_TPCH_TBL_IO_H_
+#define GPL_TPCH_TBL_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "tpch/dbgen.h"
+
+namespace gpl {
+namespace tpch {
+
+/// Export/import of the database in dbgen's `.tbl` format (pipe-delimited,
+/// one trailing '|' per line): `<dir>/lineitem.tbl`, `<dir>/orders.tbl`, ...
+/// Dates are formatted as YYYY-MM-DD and decimals with two fraction digits,
+/// matching the reference dbgen, so the files interoperate with other TPC-H
+/// tooling. Columns not modeled by this library (free-text comments,
+/// addresses, phones) are simply absent from the files.
+
+/// Writes all eight tables. Creates `dir` if needed.
+Status WriteTbl(const Database& db, const std::string& dir);
+
+/// Writes one table as `<dir>/<table.name()>.tbl`.
+Status WriteTableTbl(const Table& table, const std::string& dir);
+
+/// Reads all eight tables back. Column names and types come from `schema_of`
+/// (a database with the expected schemas, usually a freshly generated one at
+/// any scale factor — only the schemas are used).
+Result<Database> LoadTbl(const std::string& dir, const Database& schema_of);
+
+/// Reads one `.tbl` file with the given schema template (column names and
+/// types are taken from `schema`; its rows are ignored).
+Result<Table> LoadTableTbl(const std::string& path, const Table& schema);
+
+}  // namespace tpch
+}  // namespace gpl
+
+#endif  // GPL_TPCH_TBL_IO_H_

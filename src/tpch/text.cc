@@ -1,0 +1,123 @@
+#include "tpch/text.h"
+
+#include "common/logging.h"
+
+namespace gpl {
+namespace tpch {
+
+namespace {
+const char* const kRegions[kNumRegions] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                           "MIDDLE EAST"};
+
+struct NationRow {
+  const char* name;
+  int region;
+};
+
+// n_nationkey -> (name, regionkey), exactly as in the TPC-H nation table.
+const NationRow kNations[kNumNations] = {
+    {"ALGERIA", 0},        {"ARGENTINA", 1}, {"BRAZIL", 1},  {"CANADA", 1},
+    {"EGYPT", 4},          {"ETHIOPIA", 0},  {"FRANCE", 3},  {"GERMANY", 3},
+    {"INDIA", 2},          {"INDONESIA", 2}, {"IRAN", 4},    {"IRAQ", 4},
+    {"JAPAN", 2},          {"JORDAN", 4},    {"KENYA", 0},   {"MOROCCO", 0},
+    {"MOZAMBIQUE", 0},     {"PERU", 1},      {"CHINA", 2},   {"ROMANIA", 3},
+    {"SAUDI ARABIA", 4},   {"VIETNAM", 2},   {"RUSSIA", 3},  {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+
+const char* const kTypeSyl1[6] = {"STANDARD", "SMALL", "MEDIUM",
+                                  "LARGE",    "ECONOMY", "PROMO"};
+const char* const kTypeSyl2[5] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                                  "BRUSHED"};
+const char* const kTypeSyl3[5] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+
+const char* const kContainerSize[5] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+const char* const kContainerType[8] = {"CASE", "BOX", "BAG", "JAR",
+                                       "PKG",  "PACK", "CAN", "DRUM"};
+
+const char* const kSegments[kNumMarketSegments] = {"AUTOMOBILE", "BUILDING",
+                                                   "FURNITURE", "MACHINERY",
+                                                   "HOUSEHOLD"};
+
+const char* const kShipModes[kNumShipModes] = {"REG AIR", "AIR",  "RAIL", "SHIP",
+                                               "TRUCK",   "MAIL", "FOB"};
+
+const char* const kShipInstructs[kNumShipInstructs] = {
+    "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"};
+
+const char* const kPriorities[kNumOrderPriorities] = {
+    "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"};
+}  // namespace
+
+const char* RegionName(int regionkey) {
+  GPL_CHECK(regionkey >= 0 && regionkey < kNumRegions);
+  return kRegions[regionkey];
+}
+
+const char* NationName(int nationkey) {
+  GPL_CHECK(nationkey >= 0 && nationkey < kNumNations);
+  return kNations[nationkey].name;
+}
+
+int NationRegion(int nationkey) {
+  GPL_CHECK(nationkey >= 0 && nationkey < kNumNations);
+  return kNations[nationkey].region;
+}
+
+std::string PartType(int index) {
+  GPL_CHECK(index >= 0 && index < kNumPartTypes);
+  const int s1 = index / 25;
+  const int s2 = (index / 5) % 5;
+  const int s3 = index % 5;
+  std::string out = kTypeSyl1[s1];
+  out += ' ';
+  out += kTypeSyl2[s2];
+  out += ' ';
+  out += kTypeSyl3[s3];
+  return out;
+}
+
+std::string PartBrand(int index) {
+  GPL_CHECK(index >= 0 && index < 25);
+  std::string out = "Brand#";
+  out += static_cast<char>('1' + index / 5);
+  out += static_cast<char>('1' + index % 5);
+  return out;
+}
+
+std::string PartMfgr(int index) {
+  GPL_CHECK(index >= 0 && index < 5);
+  std::string out = "Manufacturer#";
+  out += static_cast<char>('1' + index);
+  return out;
+}
+
+std::string PartContainer(int index) {
+  GPL_CHECK(index >= 0 && index < kNumPartContainers);
+  std::string out = kContainerSize[index / 8];
+  out += ' ';
+  out += kContainerType[index % 8];
+  return out;
+}
+
+const char* MarketSegment(int index) {
+  GPL_CHECK(index >= 0 && index < kNumMarketSegments);
+  return kSegments[index];
+}
+
+const char* ShipMode(int index) {
+  GPL_CHECK(index >= 0 && index < kNumShipModes);
+  return kShipModes[index];
+}
+
+const char* ShipInstruct(int index) {
+  GPL_CHECK(index >= 0 && index < kNumShipInstructs);
+  return kShipInstructs[index];
+}
+
+const char* OrderPriority(int index) {
+  GPL_CHECK(index >= 0 && index < kNumOrderPriorities);
+  return kPriorities[index];
+}
+
+}  // namespace tpch
+}  // namespace gpl

@@ -1,0 +1,62 @@
+#ifndef GPL_TPCH_TEXT_H_
+#define GPL_TPCH_TEXT_H_
+
+#include <array>
+#include <string>
+
+#include "common/random.h"
+
+namespace gpl {
+namespace tpch {
+
+/// Static text domains from the TPC-H specification (clause 4.2.2.13 and
+/// appendix). Only the domains referenced by the evaluated queries are kept;
+/// free-text comment fields are omitted (documented in DESIGN.md).
+
+inline constexpr int kNumRegions = 5;
+inline constexpr int kNumNations = 25;
+
+/// Region names, indexed by r_regionkey.
+const char* RegionName(int regionkey);
+
+/// Nation names, indexed by n_nationkey.
+const char* NationName(int nationkey);
+
+/// r_regionkey of the nation, per the TPC-H nation table.
+int NationRegion(int nationkey);
+
+/// p_type is "<syllable1> <syllable2> <syllable3>" with 6 x 5 x 5 = 150
+/// combinations. `index` in [0, 149].
+std::string PartType(int index);
+inline constexpr int kNumPartTypes = 150;
+
+/// p_brand is "Brand#MN" with M,N in [1,5]. `index` in [0, 24].
+std::string PartBrand(int index);
+
+/// p_mfgr is "Manufacturer#M" with M in [1,5].
+std::string PartMfgr(int index);
+
+/// p_container is "<size> <type>" with 5 x 8 = 40 combinations.
+std::string PartContainer(int index);
+inline constexpr int kNumPartContainers = 40;
+
+/// c_mktsegment domain (5 values).
+const char* MarketSegment(int index);
+inline constexpr int kNumMarketSegments = 5;
+
+/// l_shipmode domain (7 values).
+const char* ShipMode(int index);
+inline constexpr int kNumShipModes = 7;
+
+/// l_shipinstruct domain (4 values).
+const char* ShipInstruct(int index);
+inline constexpr int kNumShipInstructs = 4;
+
+/// o_orderpriority domain (5 values).
+const char* OrderPriority(int index);
+inline constexpr int kNumOrderPriorities = 5;
+
+}  // namespace tpch
+}  // namespace gpl
+
+#endif  // GPL_TPCH_TEXT_H_

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "plan/cardinality.h"
+#include "test_util.h"
+#include "tpch/date.h"
+
+namespace gpl {
+namespace {
+
+using testing_util::SmallDb;
+
+const Catalog& TestCatalog() {
+  static const Catalog* catalog = new Catalog(Catalog::FromDatabase(SmallDb()));
+  return *catalog;
+}
+
+TEST(CatalogTest, TableRows) {
+  const Catalog& c = TestCatalog();
+  EXPECT_EQ(c.TableRows("region"), 5);
+  EXPECT_EQ(c.TableRows("nation"), 25);
+  EXPECT_EQ(c.TableRows("lineitem"), SmallDb().lineitem.num_rows());
+  EXPECT_EQ(c.TableRows("klingon"), 0);
+}
+
+TEST(CatalogTest, KeyColumnsLookLikeKeys) {
+  const Catalog& c = TestCatalog();
+  const ColumnStats& custkey = c.Column("c_custkey");
+  EXPECT_EQ(custkey.num_distinct, SmallDb().customer.num_rows());
+  EXPECT_DOUBLE_EQ(custkey.min_value, 1.0);
+}
+
+TEST(CatalogTest, LowCardinalityColumnsDetected) {
+  const Catalog& c = TestCatalog();
+  EXPECT_EQ(c.Column("n_name").num_distinct, 25);
+  EXPECT_LE(c.Column("r_name").num_distinct, 5);
+  // l_shipmode has 7 values.
+  EXPECT_EQ(c.Column("l_shipmode").num_distinct, 7);
+}
+
+TEST(CatalogTest, DateRangeCovered) {
+  const Catalog& c = TestCatalog();
+  const ColumnStats& odate = c.Column("o_orderdate");
+  EXPECT_LE(odate.min_value, date::FromYMD(1992, 3, 1));
+  EXPECT_GE(odate.max_value, date::FromYMD(1998, 1, 1));
+}
+
+TEST(CatalogTest, SelectivityOfNullPredicateIsOne) {
+  EXPECT_DOUBLE_EQ(TestCatalog().EstimateSelectivity(nullptr), 1.0);
+}
+
+TEST(CatalogTest, DateRangeSelectivityRoughlyProportional) {
+  const Catalog& c = TestCatalog();
+  // One year out of ~6.7 years of order dates.
+  const double sel = c.EstimateSelectivity(InRange(
+      Col("o_orderdate"), LitDate("1994-01-01"), LitDate("1995-01-01")));
+  EXPECT_GT(sel, 0.08);
+  EXPECT_LT(sel, 0.25);
+}
+
+TEST(CatalogTest, StringEqualitySelectivity) {
+  const Catalog& c = TestCatalog();
+  const double sel =
+      c.EstimateSelectivity(Eq(Col("n_name"), LitString("FRANCE")));
+  EXPECT_NEAR(sel, 1.0 / 25.0, 0.01);
+}
+
+TEST(CatalogTest, SelectivityClampedToValidRange) {
+  const Catalog& c = TestCatalog();
+  const double tiny = c.EstimateSelectivity(
+      And(Eq(Col("c_custkey"), LitInt(1)), Eq(Col("c_custkey"), LitInt(2))));
+  EXPECT_GE(tiny, 0.0001);
+  const double all = c.EstimateSelectivity(Ge(Col("l_quantity"), LitInt(0)));
+  EXPECT_LE(all, 1.0);
+  EXPECT_GT(all, 0.9);
+}
+
+TEST(CatalogTest, KeyDistinctForColumnRef) {
+  const Catalog& c = TestCatalog();
+  EXPECT_EQ(c.EstimateKeyDistinct(Col("n_nationkey"), 25), 25);
+  // Unknown expressions fall back to the relation size.
+  EXPECT_EQ(c.EstimateKeyDistinct(Add(Col("x"), LitInt(1)), 1000), 1000);
+}
+
+}  // namespace
+}  // namespace gpl

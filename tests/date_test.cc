@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "tpch/date.h"
+
+namespace gpl {
+namespace {
+
+TEST(DateTest, EpochIsZero) { EXPECT_EQ(date::FromYMD(1970, 1, 1), 0); }
+
+TEST(DateTest, KnownDayNumbers) {
+  EXPECT_EQ(date::FromYMD(1970, 1, 2), 1);
+  EXPECT_EQ(date::FromYMD(1971, 1, 1), 365);
+  EXPECT_EQ(date::FromYMD(1992, 1, 1), 8035);
+  EXPECT_EQ(date::FromYMD(2000, 3, 1), 11017);
+}
+
+TEST(DateTest, RoundTripYMD) {
+  int y, m, d;
+  date::ToYMD(date::FromYMD(1995, 6, 17), &y, &m, &d);
+  EXPECT_EQ(y, 1995);
+  EXPECT_EQ(m, 6);
+  EXPECT_EQ(d, 17);
+}
+
+class DateRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DateRoundTripTest, EveryDayOfYearRoundTrips) {
+  const int year = GetParam();
+  const int32_t start = date::FromYMD(year, 1, 1);
+  const int32_t end = date::FromYMD(year, 12, 31);
+  for (int32_t day = start; day <= end; ++day) {
+    int y, m, d;
+    date::ToYMD(day, &y, &m, &d);
+    EXPECT_EQ(date::FromYMD(y, m, d), day);
+    EXPECT_EQ(y, year);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TpchYears, DateRoundTripTest,
+                         ::testing::Values(1992, 1996, 1998, 2000));
+
+TEST(DateTest, ParseValid) {
+  Result<int32_t> d = date::Parse("1994-01-01");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value(), date::FromYMD(1994, 1, 1));
+}
+
+TEST(DateTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(date::Parse("not-a-date").ok());
+  EXPECT_FALSE(date::Parse("1994-13-01").ok());
+  EXPECT_FALSE(date::Parse("1994-02-30").ok());
+}
+
+TEST(DateTest, ParseAcceptsLeapDay) {
+  EXPECT_TRUE(date::Parse("1996-02-29").ok());
+  EXPECT_FALSE(date::Parse("1995-02-29").ok());
+  EXPECT_FALSE(date::Parse("1900-02-29").ok());  // century non-leap
+  EXPECT_TRUE(date::Parse("2000-02-29").ok());   // 400-year leap
+}
+
+TEST(DateTest, FormatMatchesParse) {
+  const int32_t d = date::FromYMD(1998, 8, 2);
+  EXPECT_EQ(date::Format(d), "1998-08-02");
+  EXPECT_EQ(date::Parse(date::Format(d)).value(), d);
+}
+
+TEST(DateTest, YearExtraction) {
+  EXPECT_EQ(date::Year(date::FromYMD(1995, 12, 31)), 1995);
+  EXPECT_EQ(date::Year(date::FromYMD(1996, 1, 1)), 1996);
+}
+
+TEST(DateTest, AddMonthsSimple) {
+  const int32_t d = date::FromYMD(1995, 9, 1);
+  EXPECT_EQ(date::AddMonths(d, 1), date::FromYMD(1995, 10, 1));
+  EXPECT_EQ(date::AddMonths(d, 12), date::FromYMD(1996, 9, 1));
+}
+
+TEST(DateTest, AddMonthsAcrossYearEnd) {
+  EXPECT_EQ(date::AddMonths(date::FromYMD(1995, 12, 15), 2),
+            date::FromYMD(1996, 2, 15));
+}
+
+TEST(DateTest, AddMonthsClampsDay) {
+  // Jan 31 + 1 month -> Feb 28 (non-leap) / Feb 29 (leap).
+  EXPECT_EQ(date::AddMonths(date::FromYMD(1995, 1, 31), 1),
+            date::FromYMD(1995, 2, 28));
+  EXPECT_EQ(date::AddMonths(date::FromYMD(1996, 1, 31), 1),
+            date::FromYMD(1996, 2, 29));
+}
+
+TEST(DateTest, TpchDomainBounds) {
+  EXPECT_EQ(date::MinDate(), date::FromYMD(1992, 1, 1));
+  EXPECT_EQ(date::MaxDate(), date::FromYMD(1998, 12, 31));
+  EXPECT_LT(date::MinDate(), date::MaxDate());
+}
+
+}  // namespace
+}  // namespace gpl

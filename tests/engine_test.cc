@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "engine/engine.h"
+#include "engine/ocelot_engine.h"
+#include "queries/tpch_queries.h"
+#include "ref/reference_executor.h"
+#include "test_util.h"
+
+namespace gpl {
+namespace {
+
+using testing_util::MediumDb;
+using testing_util::SmallDb;
+
+QueryResult MustExecute(const tpch::Database& db, EngineMode mode,
+                        const LogicalQuery& query) {
+  EngineOptions options;
+  options.mode = mode;
+  Engine engine(&db, options);
+  Result<QueryResult> result = engine.Execute(query);
+  GPL_CHECK(result.ok()) << EngineModeName(mode) << " failed: "
+                         << result.status().ToString();
+  return result.take();
+}
+
+TEST(EngineTest, ModeNames) {
+  EXPECT_STREQ(EngineModeName(EngineMode::kKbe), "KBE");
+  EXPECT_STREQ(EngineModeName(EngineMode::kGpl), "GPL");
+  EXPECT_STREQ(EngineModeName(EngineMode::kGplNoCe), "GPL (w/o CE)");
+  EXPECT_STREQ(EngineModeName(EngineMode::kOcelot), "Ocelot");
+}
+
+class AllModesTest
+    : public ::testing::TestWithParam<std::tuple<EngineMode, int>> {};
+
+TEST_P(AllModesTest, ResultsMatchCpuReference) {
+  const auto [mode, query_index] = GetParam();
+  auto suite = queries::EvaluationSuite();
+  const auto& [name, query] = suite[static_cast<size_t>(query_index)];
+
+  Engine planner(&SmallDb(), EngineOptions{});
+  Result<PhysicalOpPtr> plan = planner.Plan(query);
+  ASSERT_TRUE(plan.ok()) << name;
+  Result<Table> expected = ref::ExecutePlan(SmallDb(), *plan);
+  ASSERT_TRUE(expected.ok()) << name;
+
+  const QueryResult result = MustExecute(SmallDb(), mode, query);
+  std::string diff;
+  EXPECT_TRUE(ref::TablesEqual(result.table, *expected, &diff))
+      << EngineModeName(mode) << " on " << name << ": " << diff;
+  EXPECT_GT(result.metrics.elapsed_ms, 0.0) << name;
+}
+
+std::string AllModesTestName(
+    const ::testing::TestParamInfo<AllModesTest::ParamType>& info) {
+  static const char* const kQueryNames[] = {"Q5", "Q7", "Q8", "Q9", "Q14"};
+  std::string mode = EngineModeName(std::get<0>(info.param));
+  for (char& c : mode) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return mode + "_" + kQueryNames[std::get<1>(info.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndQueries, AllModesTest,
+    ::testing::Combine(::testing::Values(EngineMode::kKbe, EngineMode::kGplNoCe,
+                                         EngineMode::kGpl, EngineMode::kOcelot),
+                       ::testing::Values(0, 1, 2, 3, 4)),
+    AllModesTestName);
+
+TEST(EngineComparisonTest, GplOutperformsKbeOnEveryQuery) {
+  for (auto& [name, query] : queries::EvaluationSuite()) {
+    const QueryResult kbe = MustExecute(MediumDb(), EngineMode::kKbe, query);
+    const QueryResult gpl = MustExecute(MediumDb(), EngineMode::kGpl, query);
+    EXPECT_LT(gpl.metrics.elapsed_ms, kbe.metrics.elapsed_ms)
+        << name << ": GPL must beat KBE";
+  }
+}
+
+TEST(EngineComparisonTest, GplWithoutCeSlowerThanGpl) {
+  // Tiling alone (no concurrent execution, no channels) loses the pipeline
+  // benefit (Section 5.3.1).
+  for (auto& [name, query] : queries::EvaluationSuite()) {
+    const QueryResult gpl = MustExecute(MediumDb(), EngineMode::kGpl, query);
+    const QueryResult noce =
+        MustExecute(MediumDb(), EngineMode::kGplNoCe, query);
+    EXPECT_GT(noce.metrics.elapsed_ms, gpl.metrics.elapsed_ms) << name;
+  }
+}
+
+TEST(EngineComparisonTest, GplMaterializesFractionOfKbe) {
+  // Figure 17: 15-33% in the paper; we assert the direction with margin.
+  for (auto& [name, query] : queries::EvaluationSuite()) {
+    const QueryResult kbe = MustExecute(MediumDb(), EngineMode::kKbe, query);
+    const QueryResult gpl = MustExecute(MediumDb(), EngineMode::kGpl, query);
+    ASSERT_GT(kbe.metrics.materialized_bytes, 0) << name;
+    const double ratio =
+        static_cast<double>(gpl.metrics.materialized_bytes) /
+        static_cast<double>(kbe.metrics.materialized_bytes);
+    EXPECT_LT(ratio, 0.6) << name;
+  }
+}
+
+TEST(EngineComparisonTest, GplImprovesUtilization) {
+  // Figure 19: higher VALU and memory utilization under GPL.
+  for (auto& [name, query] : queries::EvaluationSuite()) {
+    const QueryResult kbe = MustExecute(MediumDb(), EngineMode::kKbe, query);
+    const QueryResult gpl = MustExecute(MediumDb(), EngineMode::kGpl, query);
+    EXPECT_GT(gpl.metrics.valu_busy, kbe.metrics.valu_busy) << name;
+  }
+}
+
+TEST(EngineComparisonTest, GplImprovesCacheHitRatio) {
+  // Section 5.3.2: ~27% cache-hit improvement for Q8.
+  const QueryResult kbe =
+      MustExecute(MediumDb(), EngineMode::kKbe, queries::Q8());
+  const QueryResult gpl =
+      MustExecute(MediumDb(), EngineMode::kGpl, queries::Q8());
+  EXPECT_GT(gpl.metrics.cache_hit_ratio, kbe.metrics.cache_hit_ratio);
+}
+
+TEST(EngineComparisonTest, GplCommunicationShareLower) {
+  // Figure 20: communication (mem + DC + delay) share of runtime is smaller
+  // under GPL than under KBE. Q9 and Q14 show it most clearly at this
+  // scale; Q8 (the paper's example) is asserted with a small margin since
+  // launch overheads dominate at test-sized inputs.
+  for (const LogicalQuery& query : {queries::Q9(), queries::Q14()}) {
+    const QueryResult kbe = MustExecute(MediumDb(), EngineMode::kKbe, query);
+    const QueryResult gpl = MustExecute(MediumDb(), EngineMode::kGpl, query);
+    EXPECT_LT(gpl.metrics.CommunicationFraction(),
+              kbe.metrics.CommunicationFraction())
+        << query.name;
+  }
+  const QueryResult kbe8 = MustExecute(MediumDb(), EngineMode::kKbe, queries::Q8());
+  const QueryResult gpl8 = MustExecute(MediumDb(), EngineMode::kGpl, queries::Q8());
+  EXPECT_LT(gpl8.metrics.CommunicationFraction(),
+            kbe8.metrics.CommunicationFraction() + 0.05);
+}
+
+TEST(EngineComparisonTest, OcelotBetweenKbeAndGplOnSimpleQueries) {
+  const QueryResult kbe =
+      MustExecute(MediumDb(), EngineMode::kKbe, queries::Q14());
+  const QueryResult ocelot =
+      MustExecute(MediumDb(), EngineMode::kOcelot, queries::Q14());
+  EXPECT_LT(ocelot.metrics.elapsed_ms, kbe.metrics.elapsed_ms);
+}
+
+TEST(EngineComparisonTest, GplBeatsOcelotOnComplexQueries) {
+  // Figure 22: GPL significantly outperforms Ocelot on Q8 and Q9.
+  for (const LogicalQuery& query : {queries::Q8(), queries::Q9()}) {
+    const QueryResult ocelot =
+        MustExecute(MediumDb(), EngineMode::kOcelot, query);
+    const QueryResult gpl = MustExecute(MediumDb(), EngineMode::kGpl, query);
+    EXPECT_LT(gpl.metrics.elapsed_ms, ocelot.metrics.elapsed_ms) << query.name;
+  }
+}
+
+TEST(EngineMetricsTest, PredictionPopulatedForGplOnly) {
+  const QueryResult gpl =
+      MustExecute(SmallDb(), EngineMode::kGpl, queries::Q14());
+  EXPECT_GT(gpl.metrics.predicted_ms, 0.0);
+  const QueryResult kbe =
+      MustExecute(SmallDb(), EngineMode::kKbe, queries::Q14());
+  EXPECT_DOUBLE_EQ(kbe.metrics.predicted_ms, 0.0);
+}
+
+TEST(EngineMetricsTest, ModelErrorIsBounded) {
+  // Figure 11: small relative error in the GPL runtime estimate.
+  for (auto& [name, query] : queries::EvaluationSuite()) {
+    const QueryResult gpl = MustExecute(MediumDb(), EngineMode::kGpl, query);
+    EXPECT_LT(gpl.metrics.RelativeError(), 0.35) << name;
+  }
+}
+
+TEST(EngineMetricsTest, BreakdownSumsToElapsed) {
+  const QueryResult gpl =
+      MustExecute(SmallDb(), EngineMode::kGpl, queries::Q8());
+  const QueryMetrics& m = gpl.metrics;
+  EXPECT_NEAR(m.compute_ms + m.mem_ms + m.dc_ms + m.delay_ms + m.other_ms,
+              m.elapsed_ms, 1e-6 * m.elapsed_ms);
+}
+
+TEST(EngineMetricsTest, OptimizeTimeRecordedAndSmall) {
+  const QueryResult gpl =
+      MustExecute(SmallDb(), EngineMode::kGpl, queries::Q8());
+  EXPECT_GT(gpl.metrics.optimize_ms, 0.0);
+  EXPECT_LT(gpl.metrics.optimize_ms, 50.0);
+}
+
+TEST(EngineTest, DeviceSelectionNvidia) {
+  EngineOptions options;
+  options.mode = EngineMode::kGpl;
+  options.device = sim::DeviceSpec::NvidiaK40();
+  Engine engine(&SmallDb(), options);
+  Result<QueryResult> result = engine.Execute(queries::Q14());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->metrics.elapsed_ms, 0.0);
+}
+
+TEST(EngineTest, ManualOverridesFlowThrough) {
+  EngineOptions options;
+  options.mode = EngineMode::kGpl;
+  options.use_cost_model = false;
+  options.overrides.tile_bytes = MiB(2);
+  options.overrides.workgroups_per_kernel = 16;
+  Engine engine(&SmallDb(), options);
+  Result<GplRunResult> run =
+      engine.ExecuteGplDetailed(*engine.Plan(queries::Q14()));
+  ASSERT_TRUE(run.ok());
+  for (const SegmentReport& report : run->segments) {
+    EXPECT_EQ(report.tuning.params.tile_bytes, MiB(2));
+    for (int wg : report.tuning.params.workgroups) EXPECT_EQ(wg, 16);
+  }
+}
+
+TEST(TunerQualityTest, TunedRunCompetitiveWithPinnedSweep) {
+  // The point of the cost model (Figures 12/15): its choice should land
+  // near the best configuration in the manual sweep, without the sweep.
+  const LogicalQuery query = queries::Q8();
+  EngineOptions tuned_options;
+  tuned_options.mode = EngineMode::kGpl;
+  Engine tuned_engine(&MediumDb(), tuned_options);
+  Result<QueryResult> tuned = tuned_engine.Execute(query);
+  ASSERT_TRUE(tuned.ok());
+
+  double best_pinned = 0.0;
+  for (int64_t tile : {KiB(256), KiB(512), MiB(1), MiB(4), MiB(16)}) {
+    EngineOptions options;
+    options.mode = EngineMode::kGpl;
+    options.use_cost_model = false;
+    options.overrides.tile_bytes = tile;
+    Engine engine(&MediumDb(), options);
+    Result<QueryResult> r = engine.Execute(query);
+    ASSERT_TRUE(r.ok());
+    if (best_pinned == 0.0 || r->metrics.elapsed_ms < best_pinned) {
+      best_pinned = r->metrics.elapsed_ms;
+    }
+  }
+  EXPECT_LE(tuned->metrics.elapsed_ms, 1.25 * best_pinned)
+      << "tuned run must be within 25% of the best pinned tile size";
+}
+
+TEST(TunerQualityTest, TunedBeatsWorstAllocations) {
+  // An untuned, badly imbalanced allocation (the S1 setting of Figure 15)
+  // must be clearly slower than the tuned run.
+  const LogicalQuery query = queries::Q8();
+  EngineOptions tuned_options;
+  tuned_options.mode = EngineMode::kGpl;
+  Engine tuned_engine(&MediumDb(), tuned_options);
+  Result<QueryResult> tuned = tuned_engine.Execute(query);
+  ASSERT_TRUE(tuned.ok());
+
+  EngineOptions bad_options;
+  bad_options.mode = EngineMode::kGpl;
+  bad_options.use_cost_model = false;
+  bad_options.overrides.workgroups_per_kernel = 2;  // S1
+  Engine bad_engine(&MediumDb(), bad_options);
+  Result<QueryResult> bad = bad_engine.Execute(query);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_LT(tuned->metrics.elapsed_ms, bad->metrics.elapsed_ms);
+}
+
+TEST(OcelotFlavorTest, FlagsSet) {
+  const KbeFlavor flavor = OcelotFlavor();
+  EXPECT_TRUE(flavor.bitmap_selection);
+  EXPECT_TRUE(flavor.cache_hash_tables);
+  EXPECT_GT(flavor.scan_resident_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace gpl

@@ -1,0 +1,267 @@
+// Property test: random expression trees evaluated column-at-a-time by the
+// library must agree with a straightforward row-at-a-time interpreter
+// written independently here.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "exec/expr.h"
+#include "test_util.h"
+
+namespace gpl {
+namespace {
+
+/// A miniature row-wise interpreter over the same expression shapes the
+/// fuzzer generates. Kept deliberately naive.
+struct RowExpr {
+  enum Kind {
+    kColI,
+    kColF,
+    kLitI,
+    kLitF,
+    kAdd,
+    kSub,
+    kMul,
+    kLt,
+    kGe,
+    kEq,
+    kAnd,
+    kOr,
+    kNot,
+    kCase
+  };
+  Kind kind;
+  int64_t lit_int = 0;
+  double lit_float = 0.0;
+  std::unique_ptr<RowExpr> a, b, c;
+
+  bool IsBool() const {
+    return kind == kLt || kind == kGe || kind == kEq || kind == kAnd ||
+           kind == kOr || kind == kNot;
+  }
+
+  // Returns the value as double; integer context truncates consistently with
+  // the library (int64 arithmetic when neither side is float).
+  double Eval(int64_t i_val, double f_val, bool* is_float) const {
+    bool fa = false, fb = false, fc = false;
+    switch (kind) {
+      case kColI:
+        *is_float = false;
+        return static_cast<double>(i_val);
+      case kColF:
+        *is_float = true;
+        return f_val;
+      case kLitI:
+        *is_float = false;
+        return static_cast<double>(lit_int);
+      case kLitF:
+        *is_float = true;
+        return lit_float;
+      case kAdd:
+      case kSub:
+      case kMul: {
+        const double va = a->Eval(i_val, f_val, &fa);
+        const double vb = b->Eval(i_val, f_val, &fb);
+        *is_float = fa || fb;
+        double r = kind == kAdd ? va + vb : (kind == kSub ? va - vb : va * vb);
+        if (!*is_float) r = static_cast<double>(static_cast<int64_t>(r));
+        return r;
+      }
+      case kLt:
+      case kGe:
+      case kEq: {
+        const double va = a->Eval(i_val, f_val, &fa);
+        const double vb = b->Eval(i_val, f_val, &fb);
+        *is_float = false;
+        if (kind == kLt) return va < vb ? 1 : 0;
+        if (kind == kGe) return va >= vb ? 1 : 0;
+        return va == vb ? 1 : 0;
+      }
+      case kAnd:
+      case kOr: {
+        const bool va = a->Eval(i_val, f_val, &fa) != 0;
+        const bool vb = b->Eval(i_val, f_val, &fb) != 0;
+        *is_float = false;
+        return (kind == kAnd ? (va && vb) : (va || vb)) ? 1 : 0;
+      }
+      case kNot:
+        *is_float = false;
+        return a->Eval(i_val, f_val, &fa) == 0 ? 1 : 0;
+      case kCase: {
+        const bool cond = a->Eval(i_val, f_val, &fa) != 0;
+        const double vb = b->Eval(i_val, f_val, &fb);
+        const double vc = c->Eval(i_val, f_val, &fc);
+        *is_float = fb || fc;
+        double r = cond ? vb : vc;
+        if (!*is_float) r = static_cast<double>(static_cast<int64_t>(r));
+        return r;
+      }
+    }
+    return 0.0;
+  }
+};
+
+/// Generates matching (library expression, row interpreter) pairs.
+struct Generated {
+  ExprPtr lib;
+  std::unique_ptr<RowExpr> row;
+  bool boolean;
+};
+
+Generated GenNumeric(Random& rng, int depth);
+
+Generated GenBool(Random& rng, int depth) {
+  Generated g;
+  g.boolean = true;
+  auto row = std::make_unique<RowExpr>();
+  const int pick = depth <= 0 ? static_cast<int>(rng.Uniform(0, 2))
+                              : static_cast<int>(rng.Uniform(0, 5));
+  switch (pick) {
+    case 0:
+    case 1:
+    case 2: {  // comparison of numerics
+      Generated a = GenNumeric(rng, depth - 1);
+      Generated b = GenNumeric(rng, depth - 1);
+      if (pick == 0) {
+        g.lib = Lt(a.lib, b.lib);
+        row->kind = RowExpr::kLt;
+      } else if (pick == 1) {
+        g.lib = Ge(a.lib, b.lib);
+        row->kind = RowExpr::kGe;
+      } else {
+        g.lib = Eq(a.lib, b.lib);
+        row->kind = RowExpr::kEq;
+      }
+      row->a = std::move(a.row);
+      row->b = std::move(b.row);
+      break;
+    }
+    case 3: {  // and/or
+      Generated a = GenBool(rng, depth - 1);
+      Generated b = GenBool(rng, depth - 1);
+      if (rng.Bernoulli(0.5)) {
+        g.lib = And(a.lib, b.lib);
+        row->kind = RowExpr::kAnd;
+      } else {
+        g.lib = Or(a.lib, b.lib);
+        row->kind = RowExpr::kOr;
+      }
+      row->a = std::move(a.row);
+      row->b = std::move(b.row);
+      break;
+    }
+    default: {  // not
+      Generated a = GenBool(rng, depth - 1);
+      g.lib = Not(a.lib);
+      row->kind = RowExpr::kNot;
+      row->a = std::move(a.row);
+      break;
+    }
+  }
+  g.row = std::move(row);
+  return g;
+}
+
+Generated GenNumeric(Random& rng, int depth) {
+  Generated g;
+  g.boolean = false;
+  auto row = std::make_unique<RowExpr>();
+  const int pick = depth <= 0 ? static_cast<int>(rng.Uniform(0, 3))
+                              : static_cast<int>(rng.Uniform(0, 7));
+  switch (pick) {
+    case 0:
+      g.lib = Col("i");
+      row->kind = RowExpr::kColI;
+      break;
+    case 1:
+      g.lib = Col("f");
+      row->kind = RowExpr::kColF;
+      break;
+    case 2:
+    case 3: {
+      if (rng.Bernoulli(0.5)) {
+        row->kind = RowExpr::kLitI;
+        row->lit_int = rng.Uniform(-20, 20);
+        g.lib = LitInt(row->lit_int);
+      } else {
+        row->kind = RowExpr::kLitF;
+        row->lit_float = static_cast<double>(rng.Uniform(-200, 200)) / 8.0;
+        g.lib = LitFloat(row->lit_float);
+      }
+      break;
+    }
+    case 4:
+    case 5: {
+      Generated a = GenNumeric(rng, depth - 1);
+      Generated b = GenNumeric(rng, depth - 1);
+      const int op = static_cast<int>(rng.Uniform(0, 2));
+      if (op == 0) {
+        g.lib = Add(a.lib, b.lib);
+        row->kind = RowExpr::kAdd;
+      } else if (op == 1) {
+        g.lib = Sub(a.lib, b.lib);
+        row->kind = RowExpr::kSub;
+      } else {
+        g.lib = Mul(a.lib, b.lib);
+        row->kind = RowExpr::kMul;
+      }
+      row->a = std::move(a.row);
+      row->b = std::move(b.row);
+      break;
+    }
+    default: {  // case when
+      Generated cond = GenBool(rng, depth - 1);
+      Generated then_e = GenNumeric(rng, depth - 1);
+      Generated else_e = GenNumeric(rng, depth - 1);
+      g.lib = CaseWhen(cond.lib, then_e.lib, else_e.lib);
+      row->kind = RowExpr::kCase;
+      row->a = std::move(cond.row);
+      row->b = std::move(then_e.row);
+      row->c = std::move(else_e.row);
+      break;
+    }
+  }
+  g.row = std::move(row);
+  return g;
+}
+
+class ExprFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExprFuzzTest, ColumnarMatchesRowWise) {
+  Random rng(static_cast<uint64_t>(GetParam()) * 7919 + 17);
+
+  // Input table with an int and a float column.
+  Table t("t");
+  Column ci(DataType::kInt32), cf(DataType::kFloat64);
+  const int64_t rows = 64;
+  for (int64_t r = 0; r < rows; ++r) {
+    ci.AppendInt32(static_cast<int32_t>(rng.Uniform(-50, 50)));
+    cf.AppendDouble(static_cast<double>(rng.Uniform(-400, 400)) / 16.0);
+  }
+  GPL_CHECK_OK(t.AddColumn("i", std::move(ci)));
+  GPL_CHECK_OK(t.AddColumn("f", std::move(cf)));
+
+  for (int trial = 0; trial < 30; ++trial) {
+    const Generated g = rng.Bernoulli(0.5) ? GenBool(rng, 3)
+                                           : GenNumeric(rng, 3);
+    Column result = g.lib->Evaluate(t);
+    ASSERT_EQ(result.size(), rows) << g.lib->ToString();
+    for (int64_t r = 0; r < rows; ++r) {
+      bool is_float = false;
+      const double expected =
+          g.row->Eval(t.GetColumn("i").Int32At(r),
+                      t.GetColumn("f").DoubleAt(r), &is_float);
+      const double actual = result.AsDouble(r);
+      EXPECT_NEAR(actual, expected, 1e-9 * std::max(1.0, std::abs(expected)))
+          << "row " << r << " of " << g.lib->ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprFuzzTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace gpl

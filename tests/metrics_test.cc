@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "engine/metrics.h"
+#include "sim/engine.h"
+
+namespace gpl {
+namespace {
+
+sim::HwCounters SampleCounters() {
+  sim::HwCounters c;
+  c.elapsed_cycles = 720000.0;  // 1 ms at 720 MHz
+  c.compute_cycles = 1000000.0;
+  c.mem_cycles = 2000000.0;
+  c.channel_cycles = 400000.0;
+  c.stall_cycles = 300000.0;
+  c.launch_cycles = 60000.0;
+  c.cache_hits = 90.0;
+  c.cache_accesses = 100.0;
+  c.resident_wg_time = 720000.0 * 64.0;
+  c.bytes_materialized = 1 << 20;
+  c.bytes_via_channel = 3 << 20;
+  return c;
+}
+
+TEST(HwCountersTest, DerivedRatios) {
+  const sim::DeviceSpec device = sim::DeviceSpec::AmdA10();
+  const sim::HwCounters c = SampleCounters();
+  // 1M compute cycles over 720k elapsed x 8 CUs.
+  EXPECT_NEAR(c.ValuBusy(device), 1000000.0 / (720000.0 * 8), 1e-12);
+  EXPECT_NEAR(c.MemUnitBusy(device), 2400000.0 / (720000.0 * 8), 1e-12);
+  EXPECT_NEAR(c.CacheHitRatio(), 0.9, 1e-12);
+  // 64 resident work-groups of 128 possible (16 per CU x 8 CUs).
+  EXPECT_NEAR(c.Occupancy(device), 0.5, 1e-12);
+}
+
+TEST(HwCountersTest, RatiosClampToOne) {
+  const sim::DeviceSpec device = sim::DeviceSpec::AmdA10();
+  sim::HwCounters c = SampleCounters();
+  c.compute_cycles = 1e12;
+  c.mem_cycles = 1e12;
+  c.resident_wg_time = 1e12;
+  EXPECT_DOUBLE_EQ(c.ValuBusy(device), 1.0);
+  EXPECT_DOUBLE_EQ(c.MemUnitBusy(device), 1.0);
+  EXPECT_DOUBLE_EQ(c.Occupancy(device), 1.0);
+}
+
+TEST(HwCountersTest, EmptyCountersAreZero) {
+  const sim::DeviceSpec device = sim::DeviceSpec::AmdA10();
+  const sim::HwCounters c;
+  EXPECT_DOUBLE_EQ(c.ValuBusy(device), 0.0);
+  EXPECT_DOUBLE_EQ(c.MemUnitBusy(device), 0.0);
+  EXPECT_DOUBLE_EQ(c.Occupancy(device), 0.0);
+  EXPECT_DOUBLE_EQ(c.CacheHitRatio(), 0.0);
+}
+
+TEST(HwCountersTest, AccumulateSumsEverything) {
+  sim::HwCounters a = SampleCounters();
+  const sim::HwCounters b = SampleCounters();
+  a.Accumulate(b);
+  EXPECT_DOUBLE_EQ(a.elapsed_cycles, 2 * b.elapsed_cycles);
+  EXPECT_DOUBLE_EQ(a.compute_cycles, 2 * b.compute_cycles);
+  EXPECT_DOUBLE_EQ(a.stall_cycles, 2 * b.stall_cycles);
+  EXPECT_EQ(a.bytes_materialized, 2 * b.bytes_materialized);
+  EXPECT_EQ(a.bytes_via_channel, 2 * b.bytes_via_channel);
+}
+
+TEST(QueryMetricsTest, FinalizeDerivesBreakdownSummingToElapsed) {
+  QueryMetrics m;
+  m.counters = SampleCounters();
+  m.Finalize(sim::DeviceSpec::AmdA10());
+  EXPECT_NEAR(m.elapsed_ms, 1.0, 1e-9);
+  EXPECT_NEAR(m.compute_ms + m.mem_ms + m.dc_ms + m.delay_ms + m.other_ms,
+              m.elapsed_ms, 1e-9);
+  // The shares preserve the component proportions.
+  EXPECT_NEAR(m.mem_ms / m.compute_ms, 2.0, 1e-9);
+  EXPECT_EQ(m.materialized_bytes, 1 << 20);
+  EXPECT_EQ(m.channel_bytes, 3 << 20);
+}
+
+TEST(QueryMetricsTest, RelativeError) {
+  QueryMetrics m;
+  m.elapsed_ms = 2.0;
+  m.predicted_ms = 1.5;
+  EXPECT_NEAR(m.RelativeError(), 0.25, 1e-12);
+  m.predicted_ms = 2.5;
+  EXPECT_NEAR(m.RelativeError(), 0.25, 1e-12);
+  m.elapsed_ms = 0.0;
+  EXPECT_DOUBLE_EQ(m.RelativeError(), 0.0);
+}
+
+TEST(QueryMetricsTest, CommunicationFraction) {
+  QueryMetrics m;
+  m.elapsed_ms = 10.0;
+  m.mem_ms = 3.0;
+  m.dc_ms = 1.0;
+  m.delay_ms = 2.0;
+  EXPECT_NEAR(m.CommunicationFraction(), 0.6, 1e-12);
+}
+
+}  // namespace
+}  // namespace gpl

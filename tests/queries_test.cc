@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/engine.h"
+#include "tpch/date.h"
+#include "queries/tpch_queries.h"
+#include "ref/reference_executor.h"
+#include "test_util.h"
+#include "tpch/text.h"
+
+namespace gpl {
+namespace {
+
+using testing_util::MediumDb;
+using testing_util::SmallDb;
+
+Table RunOnReference(const tpch::Database& db, const LogicalQuery& query) {
+  Engine planner(&db, EngineOptions{});
+  Result<PhysicalOpPtr> plan = planner.Plan(query);
+  GPL_CHECK(plan.ok()) << plan.status().ToString();
+  Result<Table> out = ref::ExecutePlan(db, *plan);
+  GPL_CHECK(out.ok()) << out.status().ToString();
+  return out.take();
+}
+
+TEST(QueriesTest, SuiteHasFiveQueriesInPaperOrder) {
+  auto suite = queries::EvaluationSuite();
+  ASSERT_EQ(suite.size(), 5u);
+  EXPECT_EQ(suite[0].first, "Q5");
+  EXPECT_EQ(suite[4].first, "Q14");
+}
+
+TEST(QueriesTest, Q5GroupsAreAsianNations) {
+  Table out = RunOnReference(MediumDb(), queries::Q5());
+  ASSERT_LE(out.num_rows(), 5);  // 5 nations in ASIA
+  ASSERT_GT(out.num_rows(), 0);
+  const Column& names = out.GetColumn("n_name");
+  for (int64_t i = 0; i < out.num_rows(); ++i) {
+    const std::string& name = names.StringAt(i);
+    bool asian = false;
+    for (int n = 0; n < tpch::kNumNations; ++n) {
+      if (tpch::NationName(n) == name && tpch::NationRegion(n) == 2) {
+        asian = true;
+      }
+    }
+    EXPECT_TRUE(asian) << name << " is not in ASIA";
+  }
+  // Revenue sorted descending.
+  const Column& revenue = out.GetColumn("revenue");
+  for (int64_t i = 1; i < out.num_rows(); ++i) {
+    EXPECT_GE(revenue.DoubleAt(i - 1), revenue.DoubleAt(i));
+  }
+}
+
+TEST(QueriesTest, Q7OnlyFranceGermanyPairs) {
+  Table out = RunOnReference(MediumDb(), queries::Q7());
+  ASSERT_GT(out.num_rows(), 0);
+  const Column& supp = out.GetColumn("supp_nation");
+  const Column& cust = out.GetColumn("cust_nation");
+  const Column& year = out.GetColumn("l_year");
+  for (int64_t i = 0; i < out.num_rows(); ++i) {
+    const std::string& s = supp.StringAt(i);
+    const std::string& c = cust.StringAt(i);
+    EXPECT_TRUE((s == "FRANCE" && c == "GERMANY") ||
+                (s == "GERMANY" && c == "FRANCE"))
+        << s << " / " << c;
+    EXPECT_GE(year.Int32At(i), 1995);
+    EXPECT_LE(year.Int32At(i), 1997);  // shipdate window + receipt slack
+  }
+}
+
+TEST(QueriesTest, Q8MarketShareIsAFraction) {
+  Table out = RunOnReference(MediumDb(), queries::Q8());
+  ASSERT_GT(out.num_rows(), 0);
+  ASSERT_LE(out.num_rows(), 2);  // order years 1995, 1996
+  const Column& share = out.GetColumn("mkt_share");
+  const Column& year = out.GetColumn("o_year");
+  for (int64_t i = 0; i < out.num_rows(); ++i) {
+    EXPECT_GE(share.DoubleAt(i), 0.0);
+    EXPECT_LE(share.DoubleAt(i), 1.0);
+    EXPECT_TRUE(year.Int32At(i) == 1995 || year.Int32At(i) == 1996);
+  }
+}
+
+TEST(QueriesTest, Q9YearsDescendAndProfitsFinite) {
+  Table out = RunOnReference(MediumDb(), queries::Q9());
+  ASSERT_GT(out.num_rows(), 0);
+  const Column& year = out.GetColumn("o_year");
+  for (int64_t i = 1; i < out.num_rows(); ++i) {
+    EXPECT_GE(year.Int32At(i - 1), year.Int32At(i));
+  }
+  const Column& profit = out.GetColumn("sum_profit");
+  for (int64_t i = 0; i < out.num_rows(); ++i) {
+    EXPECT_TRUE(std::isfinite(profit.DoubleAt(i)));
+  }
+}
+
+TEST(QueriesTest, Q14PromoShareNearPromoTypeFraction) {
+  // PROMO is 25/150 of part types and parts are uniform: expect ~16.7%.
+  Table out = RunOnReference(MediumDb(), queries::Q14(0.3));
+  ASSERT_EQ(out.num_rows(), 1);
+  const double share = out.GetColumn("promo_revenue").DoubleAt(0);
+  EXPECT_GT(share, 10.0);
+  EXPECT_LT(share, 25.0);
+}
+
+TEST(QueriesTest, Q14SelectivityControlsInputFraction) {
+  // The selectivity knob drives the actual selected fraction (Figure 3's
+  // x-axis): verify the filter passes roughly the requested share.
+  const tpch::Database& db = SmallDb();
+  for (double sel : {0.1, 0.5, 1.0}) {
+    const LogicalQuery q = queries::Q14(sel);
+    const ExprPtr filter = q.relations[0].filter;
+    Column flags = filter->Evaluate(db.lineitem);
+    int64_t selected = 0;
+    for (int64_t i = 0; i < flags.size(); ++i) selected += flags.Int32At(i);
+    const double actual =
+        static_cast<double>(selected) / static_cast<double>(flags.size());
+    EXPECT_NEAR(actual, sel, 0.08) << "requested " << sel;
+  }
+}
+
+TEST(QueriesTest, Q14RejectsInvalidSelectivity) {
+  EXPECT_DEATH(queries::Q14(0.0), "selectivity");
+  EXPECT_DEATH(queries::Q14(1.5), "selectivity");
+}
+
+TEST(QueriesTest, ExampleQueryMatchesManualSum) {
+  const tpch::Database& db = SmallDb();
+  Table out = RunOnReference(db, queries::ExampleQuery());
+  ASSERT_EQ(out.num_rows(), 1);
+
+  // Manual computation of Listing 1.
+  const Column& price = db.lineitem.GetColumn("l_extendedprice");
+  const Column& disc = db.lineitem.GetColumn("l_discount");
+  const Column& tax = db.lineitem.GetColumn("l_tax");
+  const Column& ship = db.lineitem.GetColumn("l_shipdate");
+  Result<int32_t> cutoff = date::Parse("1998-11-01");
+  ASSERT_TRUE(cutoff.ok());
+  double expected = 0.0;
+  for (int64_t i = 0; i < price.size(); ++i) {
+    if (ship.Int32At(i) <= cutoff.value()) {
+      expected +=
+          price.DoubleAt(i) * (1.0 - disc.DoubleAt(i)) * (1.0 + tax.DoubleAt(i));
+    }
+  }
+  EXPECT_NEAR(out.GetColumn("sum_charge").DoubleAt(0), expected,
+              1e-6 * expected);
+}
+
+TEST(QueriesTest, IntermediateVolumeGrowsWithSelectivity) {
+  // Figure 3's driving property: KBE intermediate bytes grow monotonically
+  // with Q14's selectivity.
+  int64_t prev = -1;
+  for (double sel : {0.01, 0.25, 0.75, 1.0}) {
+    EngineOptions options;
+    options.mode = EngineMode::kKbe;
+    Engine engine(&SmallDb(), options);
+    Result<QueryResult> result = engine.Execute(queries::Q14(sel));
+    ASSERT_TRUE(result.ok());
+    EXPECT_GT(result->metrics.materialized_bytes, prev) << "sel " << sel;
+    prev = result->metrics.materialized_bytes;
+  }
+}
+
+}  // namespace
+}  // namespace gpl

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "plan/physical_plan.h"
+#include "ref/reference_executor.h"
+#include "test_util.h"
+
+namespace gpl {
+namespace ref {
+namespace {
+
+using testing_util::FloatTable;
+using testing_util::Int32Table;
+using testing_util::SmallDb;
+
+TEST(TablesEqualTest, IdenticalTablesMatch) {
+  Table a = Int32Table("x", {1, 2, 3});
+  Table b = Int32Table("x", {1, 2, 3});
+  std::string why;
+  EXPECT_TRUE(TablesEqual(a, b, &why)) << why;
+}
+
+TEST(TablesEqualTest, DetectsRowCountMismatch) {
+  Table a = Int32Table("x", {1, 2});
+  Table b = Int32Table("x", {1, 2, 3});
+  std::string why;
+  EXPECT_FALSE(TablesEqual(a, b, &why));
+  EXPECT_NE(why.find("row count"), std::string::npos);
+}
+
+TEST(TablesEqualTest, DetectsColumnNameMismatch) {
+  Table a = Int32Table("x", {1});
+  Table b = Int32Table("y", {1});
+  std::string why;
+  EXPECT_FALSE(TablesEqual(a, b, &why));
+  EXPECT_NE(why.find("column name"), std::string::npos);
+}
+
+TEST(TablesEqualTest, DetectsValueMismatch) {
+  Table a = Int32Table("x", {1, 2});
+  Table b = Int32Table("x", {1, 5});
+  std::string why;
+  EXPECT_FALSE(TablesEqual(a, b, &why));
+  EXPECT_NE(why.find("row 1"), std::string::npos);
+}
+
+TEST(TablesEqualTest, FloatToleranceIsRelative) {
+  Table a = FloatTable("v", {1e12});
+  Table b = FloatTable("v", {1e12 + 1.0});  // within 1e-6 relative
+  EXPECT_TRUE(TablesEqual(a, b));
+  Table c = FloatTable("v", {1e12 * 1.001});
+  EXPECT_FALSE(TablesEqual(a, c));
+}
+
+TEST(TablesEqualTest, StringColumnsComparedByContent) {
+  // Different dictionaries, same strings: still equal.
+  Column sa(DataType::kString), sb(DataType::kString);
+  sb.AppendString("padding");  // shift codes in b's dictionary
+  Table a("t"), b("t");
+  Column ca(DataType::kString), cb = Column(DataType::kString, sb.dictionary());
+  ca.AppendString("ASIA");
+  cb.AppendString("ASIA");
+  GPL_CHECK_OK(a.AddColumn("s", std::move(ca)));
+  GPL_CHECK_OK(b.AddColumn("s", std::move(cb)));
+  EXPECT_TRUE(TablesEqual(a, b));
+}
+
+TEST(RefExecutorTest, ScanRenamesWithAlias) {
+  PhysicalOpPtr scan = MakeScan("nation", {"n_nationkey", "n_name"}, "n1");
+  Result<Table> out = ExecutePlan(SmallDb(), scan);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->HasColumn("n1_n_nationkey"));
+  EXPECT_TRUE(out->HasColumn("n1_n_name"));
+  EXPECT_EQ(out->num_rows(), 25);
+}
+
+TEST(RefExecutorTest, UnknownTableFails) {
+  PhysicalOpPtr scan = MakeScan("starfleet", {"id"});
+  Result<Table> out = ExecutePlan(SmallDb(), scan);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RefExecutorTest, FilterAndProject) {
+  PhysicalOpPtr plan = MakeProject(
+      MakeFilter(MakeScan("nation", {"n_nationkey", "n_regionkey"}),
+                 Eq(Col("n_regionkey"), LitInt(2))),
+      {{"key2", Mul(Col("n_nationkey"), LitInt(2))}});
+  Result<Table> out = ExecutePlan(SmallDb(), plan);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 5);  // 5 nations in ASIA
+  EXPECT_TRUE(out->HasColumn("key2"));
+}
+
+TEST(RefExecutorTest, JoinNationRegion) {
+  PhysicalOpPtr plan = MakeHashJoin(
+      MakeScan("nation", {"n_nationkey", "n_name", "n_regionkey"}),
+      MakeScan("region", {"r_regionkey", "r_name"}), {Col("n_regionkey")},
+      {Col("r_regionkey")}, {"r_name"});
+  Result<Table> out = ExecutePlan(SmallDb(), plan);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 25);  // every nation matches its region
+  EXPECT_TRUE(out->HasColumn("r_name"));
+}
+
+TEST(RefExecutorTest, AggregateCountsPerRegion) {
+  PhysicalOpPtr plan =
+      MakeAggregate(MakeScan("nation", {"n_nationkey", "n_regionkey"}),
+                    {{"n_regionkey", Col("n_regionkey")}},
+                    {{AggSpec::kCount, nullptr, "nations"}});
+  Result<Table> out = ExecutePlan(SmallDb(), plan);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 5);
+  int64_t total = 0;
+  for (int64_t i = 0; i < 5; ++i) {
+    total += out->GetColumn("nations").Int64At(i);
+  }
+  EXPECT_EQ(total, 25);
+}
+
+TEST(RefExecutorTest, SortDescending) {
+  PhysicalOpPtr plan = MakeSort(MakeScan("region", {"r_regionkey"}),
+                                {{"r_regionkey", true}});
+  Result<Table> out = ExecutePlan(SmallDb(), plan);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->GetColumn("r_regionkey").Int32At(0), 4);
+  EXPECT_EQ(out->GetColumn("r_regionkey").Int32At(4), 0);
+}
+
+}  // namespace
+}  // namespace ref
+}  // namespace gpl

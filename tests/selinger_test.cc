@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "plan/selinger.h"
+#include "queries/tpch_queries.h"
+#include "test_util.h"
+
+namespace gpl {
+namespace {
+
+using testing_util::SmallDb;
+
+const Catalog& TestCatalog() {
+  static const Catalog* catalog = new Catalog(Catalog::FromDatabase(SmallDb()));
+  return *catalog;
+}
+
+TEST(JoinOrderTest, SingleRelation) {
+  LogicalQuery q;
+  q.name = "single";
+  q.relations = {{"lineitem", {"l_orderkey"}, nullptr, ""}};
+  Result<JoinOrder> order = OptimizeJoinOrder(q, TestCatalog());
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(order->order, (std::vector<int>{0}));
+}
+
+TEST(JoinOrderTest, CoversAllRelationsExactlyOnce) {
+  for (auto& [name, q] : queries::EvaluationSuite()) {
+    Result<JoinOrder> order = OptimizeJoinOrder(q, TestCatalog());
+    ASSERT_TRUE(order.ok()) << name;
+    std::vector<int> sorted = order->order;
+    std::sort(sorted.begin(), sorted.end());
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      EXPECT_EQ(sorted[i], static_cast<int>(i)) << name;
+    }
+    EXPECT_EQ(order->rows_after_step.size(), order->order.size());
+  }
+}
+
+TEST(JoinOrderTest, EveryStepIsConnected) {
+  const LogicalQuery q = queries::Q5();
+  Result<JoinOrder> order = OptimizeJoinOrder(q, TestCatalog());
+  ASSERT_TRUE(order.ok());
+  std::vector<bool> joined(q.relations.size(), false);
+  joined[static_cast<size_t>(order->order[0])] = true;
+  for (size_t step = 1; step < order->order.size(); ++step) {
+    const int r = order->order[step];
+    bool connected = false;
+    for (const JoinEdge& e : q.joins) {
+      if ((e.left == r && joined[static_cast<size_t>(e.right)]) ||
+          (e.right == r && joined[static_cast<size_t>(e.left)])) {
+        connected = true;
+      }
+    }
+    EXPECT_TRUE(connected) << "step " << step;
+    joined[static_cast<size_t>(r)] = true;
+  }
+}
+
+TEST(JoinOrderTest, DisconnectedGraphRejected) {
+  LogicalQuery q;
+  q.name = "disconnected";
+  q.relations = {{"nation", {"n_nationkey"}, nullptr, ""},
+                 {"region", {"r_regionkey"}, nullptr, ""}};
+  // No join edges.
+  Result<JoinOrder> order = OptimizeJoinOrder(q, TestCatalog());
+  EXPECT_FALSE(order.ok());
+}
+
+TEST(JoinOrderTest, SmallDimensionTablesJoinEagerly) {
+  // For Q5 the optimizer should not pay the full customer x orders cross
+  // product cost: total cost stays far below the naive worst case.
+  Result<JoinOrder> order = OptimizeJoinOrder(queries::Q5(), TestCatalog());
+  ASSERT_TRUE(order.ok());
+  const double lineitem_rows =
+      static_cast<double>(TestCatalog().TableRows("lineitem"));
+  EXPECT_LT(order->total_cost, 20.0 * lineitem_rows);
+}
+
+TEST(PhysicalPlanTest, PlansBuildForAllQueries) {
+  for (auto& [name, q] : queries::EvaluationSuite()) {
+    Result<PhysicalOpPtr> plan = BuildPhysicalPlan(q, TestCatalog());
+    ASSERT_TRUE(plan.ok()) << name << ": " << plan.status().ToString();
+    EXPECT_FALSE(PlanToString(**plan).empty());
+  }
+}
+
+int CountKind(const PhysicalOp& op, PhysicalOp::Kind kind) {
+  int count = op.kind == kind ? 1 : 0;
+  if (op.child != nullptr) count += CountKind(*op.child, kind);
+  if (op.build_child != nullptr) count += CountKind(*op.build_child, kind);
+  return count;
+}
+
+TEST(PhysicalPlanTest, JoinCountMatchesRelations) {
+  for (auto& [name, q] : queries::EvaluationSuite()) {
+    Result<PhysicalOpPtr> plan = BuildPhysicalPlan(q, TestCatalog());
+    ASSERT_TRUE(plan.ok()) << name;
+    EXPECT_EQ(CountKind(**plan, PhysicalOp::Kind::kHashJoin),
+              static_cast<int>(q.relations.size()) - 1)
+        << name;
+    EXPECT_EQ(CountKind(**plan, PhysicalOp::Kind::kScan),
+              static_cast<int>(q.relations.size()))
+        << name;
+  }
+}
+
+TEST(PhysicalPlanTest, AggregateAndSortPlacement) {
+  Result<PhysicalOpPtr> plan = BuildPhysicalPlan(queries::Q5(), TestCatalog());
+  ASSERT_TRUE(plan.ok());
+  // Root is the sort; below it the aggregate.
+  EXPECT_EQ((*plan)->kind, PhysicalOp::Kind::kSort);
+  EXPECT_EQ((*plan)->child->kind, PhysicalOp::Kind::kAggregate);
+}
+
+TEST(PhysicalPlanTest, PostAggregateProjectionPresent) {
+  Result<PhysicalOpPtr> plan = BuildPhysicalPlan(queries::Q14(), TestCatalog());
+  ASSERT_TRUE(plan.ok());
+  // Q14 has no order-by; root is the post-aggregate projection.
+  EXPECT_EQ((*plan)->kind, PhysicalOp::Kind::kProject);
+  ASSERT_EQ((*plan)->projections.size(), 1u);
+  EXPECT_EQ((*plan)->projections[0].name, "promo_revenue");
+}
+
+TEST(PhysicalPlanTest, OutputColumnsOfScanRespectAlias) {
+  PhysicalOpPtr scan = MakeScan("nation", {"n_nationkey", "n_name"}, "n1");
+  const std::vector<std::string> cols = OutputColumns(*scan);
+  EXPECT_EQ(cols, (std::vector<std::string>{"n1_n_nationkey", "n1_n_name"}));
+}
+
+TEST(PhysicalPlanTest, OutputColumnsOfJoinAppendPayload) {
+  PhysicalOpPtr probe = MakeScan("lineitem", {"l_orderkey"});
+  PhysicalOpPtr build = MakeScan("orders", {"o_orderkey", "o_orderdate"});
+  PhysicalOpPtr join =
+      MakeHashJoin(probe, build, {Col("l_orderkey")}, {Col("o_orderkey")},
+                   {"o_orderkey", "o_orderdate"});
+  const std::vector<std::string> cols = OutputColumns(*join);
+  EXPECT_EQ(cols, (std::vector<std::string>{"l_orderkey", "o_orderkey",
+                                            "o_orderdate"}));
+}
+
+TEST(PhysicalPlanTest, EstimatedRowsPopulated) {
+  Result<PhysicalOpPtr> plan = BuildPhysicalPlan(queries::Q14(), TestCatalog());
+  ASSERT_TRUE(plan.ok());
+  // Walk down: every node has a positive estimate.
+  const PhysicalOp* op = plan->get();
+  while (op != nullptr) {
+    EXPECT_GT(op->est_rows, 0.0);
+    op = op->child.get();
+  }
+}
+
+}  // namespace
+}  // namespace gpl

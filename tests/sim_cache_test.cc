@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "sim/cache_model.h"
+
+namespace gpl {
+namespace sim {
+namespace {
+
+TEST(CacheModelTest, StreamingHitRatioFromSpatialLocality) {
+  CacheModel cache(MiB(4), 64);
+  EXPECT_DOUBLE_EQ(cache.StreamingHitRatio(4), 1.0 - 4.0 / 64.0);
+  EXPECT_DOUBLE_EQ(cache.StreamingHitRatio(8), 1.0 - 8.0 / 64.0);
+  EXPECT_DOUBLE_EQ(cache.StreamingHitRatio(64), 0.0);
+}
+
+TEST(CacheModelTest, StreamingClampsWidth) {
+  CacheModel cache(MiB(4), 64);
+  EXPECT_DOUBLE_EQ(cache.StreamingHitRatio(0), cache.StreamingHitRatio(1));
+  EXPECT_DOUBLE_EQ(cache.StreamingHitRatio(1024), 0.0);
+}
+
+TEST(CacheModelTest, RandomHitCapacityLimited) {
+  CacheModel cache(MiB(4));
+  // Working set half the cache: everything fits.
+  EXPECT_DOUBLE_EQ(cache.RandomHitRatio(MiB(2), 0), 1.0);
+  // Working set twice the cache: half the accesses hit.
+  EXPECT_DOUBLE_EQ(cache.RandomHitRatio(MiB(8), 0), 0.5);
+}
+
+TEST(CacheModelTest, RandomHitDegradesWithCompetition) {
+  CacheModel cache(MiB(4));
+  const double alone = cache.RandomHitRatio(MiB(4), 0);
+  const double contended = cache.RandomHitRatio(MiB(4), MiB(2));
+  const double crowded = cache.RandomHitRatio(MiB(4), MiB(4));
+  EXPECT_GT(alone, contended);
+  EXPECT_GT(contended, crowded);
+  EXPECT_DOUBLE_EQ(crowded, 0.0);
+}
+
+TEST(CacheModelTest, RandomHitEmptyWorkingSetIsFullHit) {
+  CacheModel cache(MiB(4));
+  EXPECT_DOUBLE_EQ(cache.RandomHitRatio(0, MiB(100)), 1.0);
+}
+
+TEST(CacheModelTest, ChannelResidencyFullWhenFits) {
+  CacheModel cache(MiB(4));
+  EXPECT_DOUBLE_EQ(cache.ChannelResidency(KiB(256), MiB(1)), 1.0);
+}
+
+TEST(CacheModelTest, ChannelResidencyDropsWhenThrashing) {
+  CacheModel cache(MiB(4));
+  // 2 MB in flight but only 4 MB - 3 MB = 1 MB available.
+  EXPECT_DOUBLE_EQ(cache.ChannelResidency(MiB(2), MiB(3)), 0.5);
+  // Competing working set alone exceeds the cache.
+  EXPECT_DOUBLE_EQ(cache.ChannelResidency(MiB(1), MiB(8)), 0.0);
+}
+
+class CacheMonotonicityTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(CacheMonotonicityTest, ResidencyMonotonicallyDecreasesWithCompetition) {
+  CacheModel cache(MiB(4));
+  const int64_t inflight = GetParam();
+  double prev = 1.1;
+  for (int64_t competing = 0; competing <= MiB(8); competing += MiB(1)) {
+    const double r = cache.ChannelResidency(inflight, competing);
+    EXPECT_LE(r, prev + 1e-12);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+    prev = r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(InflightSizes, CacheMonotonicityTest,
+                         ::testing::Values(KiB(64), KiB(512), MiB(2), MiB(16)));
+
+class RandomHitMonotonicityTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(RandomHitMonotonicityTest, HitRatioDecreasesWithWorkingSet) {
+  CacheModel cache(GetParam());
+  double prev = 1.1;
+  for (int64_t ws = KiB(64); ws <= MiB(64); ws *= 2) {
+    const double h = cache.RandomHitRatio(ws, 0);
+    EXPECT_LE(h, prev + 1e-12);
+    prev = h;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CacheSizes, RandomHitMonotonicityTest,
+                         ::testing::Values(MiB(1), MiB(4), MiB(3) / 2));
+
+}  // namespace
+}  // namespace sim
+}  // namespace gpl

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "sim/channel.h"
+
+namespace gpl {
+namespace sim {
+namespace {
+
+DeviceSpec Amd() { return DeviceSpec::AmdA10(); }
+
+ChannelState MakeChannel(int n, int p) {
+  static const DeviceSpec device = Amd();
+  ChannelConfig config;
+  config.num_channels = n;
+  config.packet_bytes = p;
+  return ChannelState(config, device);
+}
+
+TEST(ChannelTest, CapacityScalesWithChannelCount) {
+  const ChannelState one = MakeChannel(1, 16);
+  const ChannelState four = MakeChannel(4, 16);
+  EXPECT_EQ(four.capacity_bytes(), 4 * one.capacity_bytes());
+}
+
+TEST(ChannelTest, EnsureCapacityOnlyGrows) {
+  ChannelState ch = MakeChannel(1, 16);
+  const int64_t original = ch.capacity_bytes();
+  ch.EnsureCapacity(original / 2);
+  EXPECT_EQ(ch.capacity_bytes(), original);
+  ch.EnsureCapacity(original * 3);
+  EXPECT_EQ(ch.capacity_bytes(), original * 3);
+}
+
+TEST(ChannelTest, ReserveCommitAcquireAccounting) {
+  ChannelState ch = MakeChannel(1, 16);
+  const double bytes = 1000.0;
+  ASSERT_TRUE(ch.CanReserve(bytes));
+  ch.Reserve(bytes);
+  EXPECT_DOUBLE_EQ(ch.reserved_bytes(), bytes);
+  EXPECT_DOUBLE_EQ(ch.available_bytes(), 0.0);
+  EXPECT_FALSE(ch.CanAcquire(bytes));  // reserved, not yet committed
+
+  ch.CommitReserved(bytes);
+  EXPECT_DOUBLE_EQ(ch.reserved_bytes(), 0.0);
+  EXPECT_DOUBLE_EQ(ch.available_bytes(), bytes);
+  ASSERT_TRUE(ch.CanAcquire(bytes));
+
+  ch.Acquire(bytes);
+  EXPECT_DOUBLE_EQ(ch.available_bytes(), 0.0);
+  EXPECT_DOUBLE_EQ(ch.free_bytes(), static_cast<double>(ch.capacity_bytes()));
+}
+
+TEST(ChannelTest, ReservationProvidesBackpressure) {
+  ChannelState ch = MakeChannel(1, 16);
+  const double cap = static_cast<double>(ch.capacity_bytes());
+  ch.Reserve(cap * 0.75);
+  EXPECT_FALSE(ch.CanReserve(cap * 0.5));
+  EXPECT_TRUE(ch.CanReserve(cap * 0.2));
+}
+
+TEST(ChannelTest, InFlightDataCountsAgainstCapacity) {
+  ChannelState ch = MakeChannel(1, 16);
+  const double cap = static_cast<double>(ch.capacity_bytes());
+  ch.Reserve(cap / 2);
+  ch.CommitReserved(cap / 2);
+  // Available data still occupies space until acquired.
+  EXPECT_FALSE(ch.CanReserve(cap * 0.75));
+  ch.Acquire(cap / 2);
+  EXPECT_TRUE(ch.CanReserve(cap * 0.75));
+}
+
+TEST(ChannelCostTest, ZeroPayloadIsFree) {
+  const ChannelState ch = MakeChannel(4, 16);
+  EXPECT_DOUBLE_EQ(ch.CommitCost(0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ch.AcquireCost(0.0, 1.0), 0.0);
+}
+
+TEST(ChannelCostTest, CostGrowsWithPayload) {
+  const ChannelState ch = MakeChannel(4, 16);
+  EXPECT_LT(ch.CommitCost(1024, 1.0), ch.CommitCost(4096, 1.0));
+  EXPECT_LT(ch.AcquireCost(1024, 1.0), ch.AcquireCost(4096, 1.0));
+}
+
+TEST(ChannelCostTest, MoreChannelsAmortizeSyncCost) {
+  const double payload = 16 * 1024;
+  const double c1 = MakeChannel(1, 16).CommitCost(payload, 1.0);
+  const double c4 = MakeChannel(4, 16).CommitCost(payload, 1.0);
+  const double c16 = MakeChannel(16, 16).CommitCost(payload, 1.0);
+  EXPECT_GT(c1, c4);
+  EXPECT_GT(c4, c16);
+}
+
+TEST(ChannelCostTest, TooManyChannelsPayManagementPenalty) {
+  const double payload = 16 * 1024;
+  const double c16 = MakeChannel(16, 16).CommitCost(payload, 1.0);
+  const double c32 = MakeChannel(32, 16).CommitCost(payload, 1.0);
+  EXPECT_GT(c32, c16);  // beyond the port limit extra channels hurt
+}
+
+TEST(ChannelCostTest, ThrashedTrafficIsSlower) {
+  const ChannelState ch = MakeChannel(4, 16);
+  const double resident = ch.CommitCost(64 * 1024, 1.0);
+  const double thrashed = ch.CommitCost(64 * 1024, 0.0);
+  EXPECT_GT(thrashed, resident);
+}
+
+TEST(ChannelCostTest, TinyPacketsPaySyncOverhead) {
+  const double payload = 64 * 1024;
+  const double p4 = MakeChannel(4, 4).CommitCost(payload, 1.0);
+  const double p256 = MakeChannel(4, 256).CommitCost(payload, 1.0);
+  EXPECT_GT(p4, p256);  // 16x the packets, 16x the reservations
+}
+
+TEST(ChannelCostTest, OversizedPacketsWasteBandwidthOnPadding) {
+  // A 100-byte payload in 4 KB packets transfers a full padded packet.
+  const ChannelState big = MakeChannel(4, 4096);
+  const ChannelState fit = MakeChannel(4, 128);
+  EXPECT_GT(big.CommitCost(100.0, 1.0), fit.CommitCost(100.0, 1.0));
+}
+
+class ChannelSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ChannelSweepTest, CostsAreFiniteAndPositive) {
+  const auto [n, p] = GetParam();
+  const ChannelState ch = MakeChannel(n, p);
+  for (double payload : {16.0, 1024.0, 65536.0}) {
+    for (double residency : {0.0, 0.5, 1.0}) {
+      const double commit = ch.CommitCost(payload, residency);
+      const double acquire = ch.AcquireCost(payload, residency);
+      EXPECT_GT(commit, 0.0);
+      EXPECT_GT(acquire, 0.0);
+      EXPECT_TRUE(std::isfinite(commit));
+      EXPECT_TRUE(std::isfinite(acquire));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ChannelSweepTest,
+    ::testing::Combine(::testing::Values(1, 2, 8, 16, 32),
+                       ::testing::Values(8, 16, 256, 4096)));
+
+}  // namespace
+}  // namespace sim
+}  // namespace gpl

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "sim/occupancy.h"
+
+namespace gpl {
+namespace sim {
+namespace {
+
+DeviceSpec Amd() { return DeviceSpec::AmdA10(); }
+
+TEST(OccupancyTest, EmptyRequestYieldsEmptyResult) {
+  const OccupancyResult r = ComputeOccupancy(Amd(), {});
+  EXPECT_TRUE(r.active_slots.empty());
+  EXPECT_TRUE(r.fit_unscaled);
+}
+
+TEST(OccupancyTest, LightKernelGetsFullRequest) {
+  ResourceRequest req;
+  req.private_bytes_per_item = 16;
+  req.local_bytes_per_item = 0;
+  req.requested_workgroups = 32;
+  const OccupancyResult r = ComputeOccupancy(Amd(), {req});
+  EXPECT_TRUE(r.fit_unscaled);
+  EXPECT_EQ(r.active_slots[0], 32);
+}
+
+TEST(OccupancyTest, WorkgroupSlotsBindFirst) {
+  const DeviceSpec d = Amd();  // 8 CUs x 16 wg = 128 slots
+  ResourceRequest req;
+  req.private_bytes_per_item = 1;
+  req.requested_workgroups = 1000;
+  const OccupancyResult r = ComputeOccupancy(d, {req});
+  EXPECT_FALSE(r.fit_unscaled);
+  EXPECT_EQ(r.binding_resource, 0);
+  EXPECT_LE(r.active_slots[0], d.max_workgroups_per_cu * d.num_cus);
+}
+
+TEST(OccupancyTest, PrivateMemoryBinds) {
+  const DeviceSpec d = Amd();  // 64 KB pm per CU, 64 work-items per wg
+  ResourceRequest req;
+  // One work-group uses 64 items x 4096 B = 256 KB: only 2 fit per device?
+  // total pm = 8 x 64 KB = 512 KB -> 2 work-groups.
+  req.private_bytes_per_item = 4096;
+  req.requested_workgroups = 64;
+  const OccupancyResult r = ComputeOccupancy(d, {req});
+  EXPECT_FALSE(r.fit_unscaled);
+  EXPECT_EQ(r.binding_resource, 1);
+  EXPECT_LE(r.active_slots[0], 2);
+  EXPECT_GE(r.active_slots[0], 1);
+}
+
+TEST(OccupancyTest, LocalMemoryBinds) {
+  const DeviceSpec d = Amd();  // 32 KB lm per CU
+  ResourceRequest req;
+  req.private_bytes_per_item = 1;
+  req.local_bytes_per_item = 512;  // 64 x 512 = 32 KB per wg: 1 per CU
+  req.requested_workgroups = 64;
+  const OccupancyResult r = ComputeOccupancy(d, {req});
+  EXPECT_FALSE(r.fit_unscaled);
+  EXPECT_EQ(r.binding_resource, 2);
+  EXPECT_LE(r.active_slots[0], d.num_cus);
+}
+
+TEST(OccupancyTest, ConcurrentKernelsShareProportionally) {
+  ResourceRequest heavy;
+  heavy.private_bytes_per_item = 1024;
+  heavy.requested_workgroups = 64;
+  ResourceRequest light = heavy;
+  light.requested_workgroups = 16;
+  const OccupancyResult r = ComputeOccupancy(Amd(), {heavy, light});
+  ASSERT_EQ(r.active_slots.size(), 2u);
+  // 80 wgs x 64 items x 1 KB = 5 MB > 512 KB total: scaled by ~1/10.
+  EXPECT_FALSE(r.fit_unscaled);
+  EXPECT_GT(r.active_slots[0], r.active_slots[1]);
+  EXPECT_GE(r.active_slots[1], 1);
+  // Proportionality preserved roughly 4:1.
+  EXPECT_NEAR(static_cast<double>(r.active_slots[0]) / r.active_slots[1], 4.0,
+              2.1);
+}
+
+TEST(OccupancyTest, EveryKernelGetsAtLeastOneSlot) {
+  std::vector<ResourceRequest> reqs(3);
+  for (auto& r : reqs) {
+    r.private_bytes_per_item = 8192;  // wildly oversubscribed
+    r.requested_workgroups = 128;
+  }
+  const OccupancyResult r = ComputeOccupancy(Amd(), reqs);
+  for (int slots : r.active_slots) EXPECT_GE(slots, 1);
+}
+
+TEST(OccupancyTest, SingleKernelSlotsRespectsLocalMemory) {
+  const DeviceSpec d = Amd();
+  KernelTimingDesc light;
+  light.private_bytes_per_item = 32;
+  light.local_bytes_per_item = 0;
+  const int light_slots = SingleKernelSlots(d, light);
+  EXPECT_EQ(light_slots, d.max_workgroups_per_cu * d.num_cus);
+
+  KernelTimingDesc heavy = light;
+  heavy.local_bytes_per_item = 256;  // 16 KB per wg -> 2 per CU
+  const int heavy_slots = SingleKernelSlots(d, heavy);
+  EXPECT_LT(heavy_slots, light_slots);
+  EXPECT_GE(heavy_slots, d.num_cus);
+}
+
+TEST(OccupancyTest, NvidiaHasMoreSlots) {
+  KernelTimingDesc desc;
+  desc.private_bytes_per_item = 32;
+  EXPECT_GT(SingleKernelSlots(DeviceSpec::NvidiaK40(), desc),
+            SingleKernelSlots(DeviceSpec::AmdA10(), desc));
+}
+
+TEST(DeviceSpecTest, Table1Values) {
+  const DeviceSpec amd = DeviceSpec::AmdA10();
+  EXPECT_EQ(amd.num_cus, 8);
+  EXPECT_EQ(amd.core_mhz, 720);
+  EXPECT_EQ(amd.local_mem_per_cu, KiB(32));
+  EXPECT_EQ(amd.cache_bytes, MiB(4));
+  EXPECT_EQ(amd.concurrent_kernels, 2);
+  EXPECT_TRUE(amd.has_packet_size_param);
+
+  const DeviceSpec nv = DeviceSpec::NvidiaK40();
+  EXPECT_EQ(nv.num_cus, 15);
+  EXPECT_EQ(nv.core_mhz, 875);
+  EXPECT_EQ(nv.local_mem_per_cu, KiB(48));
+  EXPECT_EQ(nv.concurrent_kernels, 16);
+  EXPECT_FALSE(nv.has_packet_size_param);
+  EXPECT_EQ(nv.global_mem_bytes, GiB(12));
+}
+
+TEST(DeviceSpecTest, CyclesToMs) {
+  const DeviceSpec amd = DeviceSpec::AmdA10();
+  EXPECT_DOUBLE_EQ(amd.CyclesToMs(720000.0), 1.0);  // 720 MHz -> 720k cycles/ms
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace gpl

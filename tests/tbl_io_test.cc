@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "ref/reference_executor.h"
+#include "test_util.h"
+#include "tpch/tbl_io.h"
+
+namespace gpl {
+namespace tpch {
+namespace {
+
+using testing_util::SmallDb;
+
+class TblIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("gpl_tbl_test_" + std::to_string(::getpid())))
+               .string();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string dir_;
+};
+
+TEST_F(TblIoTest, WriteCreatesAllEightFiles) {
+  ASSERT_TRUE(WriteTbl(SmallDb(), dir_).ok());
+  for (const char* name : {"region", "nation", "supplier", "customer", "part",
+                           "partsupp", "orders", "lineitem"}) {
+    EXPECT_TRUE(std::filesystem::exists(dir_ + "/" + std::string(name) + ".tbl"))
+        << name;
+  }
+}
+
+TEST_F(TblIoTest, LinesArePipeTerminated) {
+  ASSERT_TRUE(WriteTbl(SmallDb(), dir_).ok());
+  std::ifstream in(dir_ + "/region.tbl");
+  std::string line;
+  int64_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.back(), '|');
+  }
+  EXPECT_EQ(lines, 5);
+}
+
+TEST_F(TblIoTest, RoundTripPreservesAllTables) {
+  const Database& original = SmallDb();
+  ASSERT_TRUE(WriteTbl(original, dir_).ok());
+  Result<Database> loaded = LoadTbl(dir_, original);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  for (const char* name : {"region", "nation", "supplier", "customer", "part",
+                           "partsupp", "orders", "lineitem"}) {
+    const Table* a = original.ByName(name);
+    const Table* b = loaded->ByName(name);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    std::string diff;
+    // Floats were rounded to 2 decimals on export; dbgen values are exact
+    // hundredths, so the round trip is lossless.
+    EXPECT_TRUE(ref::TablesEqual(*a, *b, &diff)) << name << ": " << diff;
+  }
+}
+
+TEST_F(TblIoTest, LoadedDatabaseAnswersQueriesIdentically) {
+  const Database& original = SmallDb();
+  ASSERT_TRUE(WriteTbl(original, dir_).ok());
+  Result<Database> loaded = LoadTbl(dir_, original);
+  ASSERT_TRUE(loaded.ok());
+
+  // Dates must round-trip through their textual form.
+  const Column& a = original.lineitem.GetColumn("l_shipdate");
+  const Column& b = loaded->lineitem.GetColumn("l_shipdate");
+  ASSERT_EQ(a.size(), b.size());
+  for (int64_t i = 0; i < a.size(); i += 101) {
+    EXPECT_EQ(a.Int32At(i), b.Int32At(i));
+  }
+}
+
+TEST_F(TblIoTest, LoadMissingFileFails) {
+  Result<Table> r =
+      LoadTableTbl(dir_ + "/does_not_exist.tbl", SmallDb().region);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(TblIoTest, LoadRejectsShortLines) {
+  std::filesystem::create_directories(dir_);
+  {
+    std::ofstream out(dir_ + "/region.tbl");
+    out << "0|AFRICA|\n";
+    out << "1|\n";  // missing the name field
+  }
+  Result<Table> r = LoadTableTbl(dir_ + "/region.tbl", SmallDb().region);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TblIoTest, SkipsEmptyLines) {
+  std::filesystem::create_directories(dir_);
+  {
+    std::ofstream out(dir_ + "/region.tbl");
+    out << "0|AFRICA|\n\n1|AMERICA|\n";
+  }
+  Result<Table> r = LoadTableTbl(dir_ + "/region.tbl", SmallDb().region);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_rows(), 2);
+  EXPECT_EQ(r->GetColumn("r_name").StringAt(1), "AMERICA");
+}
+
+}  // namespace
+}  // namespace tpch
+}  // namespace gpl

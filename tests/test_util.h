@@ -1,0 +1,56 @@
+#ifndef GPL_TESTS_TEST_UTIL_H_
+#define GPL_TESTS_TEST_UTIL_H_
+
+#include "storage/table.h"
+#include "tpch/dbgen.h"
+
+namespace gpl {
+namespace testing_util {
+
+/// A small shared TPC-H database (SF 0.005), generated once per test binary.
+inline const tpch::Database& SmallDb() {
+  static const tpch::Database* db = [] {
+    tpch::DbgenConfig config;
+    config.scale_factor = 0.005;
+    config.seed = 20160626;
+    return new tpch::Database(tpch::Generate(config));
+  }();
+  return *db;
+}
+
+/// A slightly larger database (SF 0.02) for engine-level tests where tiling
+/// and cache effects need some volume.
+inline const tpch::Database& MediumDb() {
+  static const tpch::Database* db = [] {
+    tpch::DbgenConfig config;
+    config.scale_factor = 0.02;
+    config.seed = 20160626;
+    return new tpch::Database(tpch::Generate(config));
+  }();
+  return *db;
+}
+
+/// Builds a single-column int32 table for kernel-level tests.
+inline Table Int32Table(const std::string& column,
+                        const std::vector<int32_t>& values) {
+  Column col(DataType::kInt32);
+  for (int32_t v : values) col.AppendInt32(v);
+  Table t("test");
+  GPL_CHECK_OK(t.AddColumn(column, std::move(col)));
+  return t;
+}
+
+/// Builds a single-column float64 table.
+inline Table FloatTable(const std::string& column,
+                        const std::vector<double>& values) {
+  Column col(DataType::kFloat64);
+  for (double v : values) col.AppendDouble(v);
+  Table t("test");
+  GPL_CHECK_OK(t.AddColumn(column, std::move(col)));
+  return t;
+}
+
+}  // namespace testing_util
+}  // namespace gpl
+
+#endif  // GPL_TESTS_TEST_UTIL_H_
