@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_concurrency"
+  "../bench/bench_ablation_concurrency.pdb"
+  "CMakeFiles/bench_ablation_concurrency.dir/bench_ablation_concurrency.cc.o"
+  "CMakeFiles/bench_ablation_concurrency.dir/bench_ablation_concurrency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_extended_suite.cc" "bench-build/CMakeFiles/bench_extended_suite.dir/bench_extended_suite.cc.o" "gcc" "bench-build/CMakeFiles/bench_extended_suite.dir/bench_extended_suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpl_queries.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpl_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpl_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpl_ref.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpl_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpl_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpl_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_tile_error"
+  "../bench/bench_fig13_tile_error.pdb"
+  "CMakeFiles/bench_fig13_tile_error.dir/bench_fig13_tile_error.cc.o"
+  "CMakeFiles/bench_fig13_tile_error.dir/bench_fig13_tile_error.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_tile_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_wg_error"
+  "../bench/bench_fig14_wg_error.pdb"
+  "CMakeFiles/bench_fig14_wg_error.dir/bench_fig14_wg_error.cc.o"
+  "CMakeFiles/bench_fig14_wg_error.dir/bench_fig14_wg_error.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_wg_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

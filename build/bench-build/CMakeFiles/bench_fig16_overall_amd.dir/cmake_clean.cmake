@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_overall_amd"
+  "../bench/bench_fig16_overall_amd.pdb"
+  "CMakeFiles/bench_fig16_overall_amd.dir/bench_fig16_overall_amd.cc.o"
+  "CMakeFiles/bench_fig16_overall_amd.dir/bench_fig16_overall_amd.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_overall_amd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

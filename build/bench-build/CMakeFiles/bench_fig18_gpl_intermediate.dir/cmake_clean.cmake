@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig18_gpl_intermediate"
+  "../bench/bench_fig18_gpl_intermediate.pdb"
+  "CMakeFiles/bench_fig18_gpl_intermediate.dir/bench_fig18_gpl_intermediate.cc.o"
+  "CMakeFiles/bench_fig18_gpl_intermediate.dir/bench_fig18_gpl_intermediate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_gpl_intermediate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig20_breakdown_q8"
+  "../bench/bench_fig20_breakdown_q8.pdb"
+  "CMakeFiles/bench_fig20_breakdown_q8.dir/bench_fig20_breakdown_q8.cc.o"
+  "CMakeFiles/bench_fig20_breakdown_q8.dir/bench_fig20_breakdown_q8.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_breakdown_q8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig22_ocelot"
+  "../bench/bench_fig22_ocelot.pdb"
+  "CMakeFiles/bench_fig22_ocelot.dir/bench_fig22_ocelot.cc.o"
+  "CMakeFiles/bench_fig22_ocelot.dir/bench_fig22_ocelot.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_ocelot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig25_26_tile_nvidia"
+  "../bench/bench_fig25_26_tile_nvidia.pdb"
+  "CMakeFiles/bench_fig25_26_tile_nvidia.dir/bench_fig25_26_tile_nvidia.cc.o"
+  "CMakeFiles/bench_fig25_26_tile_nvidia.dir/bench_fig25_26_tile_nvidia.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig25_26_tile_nvidia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

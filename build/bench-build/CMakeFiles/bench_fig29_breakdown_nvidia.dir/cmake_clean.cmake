@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig29_breakdown_nvidia"
+  "../bench/bench_fig29_breakdown_nvidia.pdb"
+  "CMakeFiles/bench_fig29_breakdown_nvidia.dir/bench_fig29_breakdown_nvidia.cc.o"
+  "CMakeFiles/bench_fig29_breakdown_nvidia.dir/bench_fig29_breakdown_nvidia.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig29_breakdown_nvidia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_channel_calibration"
+  "../bench/bench_fig2_channel_calibration.pdb"
+  "CMakeFiles/bench_fig2_channel_calibration.dir/bench_fig2_channel_calibration.cc.o"
+  "CMakeFiles/bench_fig2_channel_calibration.dir/bench_fig2_channel_calibration.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_channel_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

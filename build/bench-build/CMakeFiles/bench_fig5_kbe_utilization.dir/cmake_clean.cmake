@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_kbe_utilization"
+  "../bench/bench_fig5_kbe_utilization.pdb"
+  "CMakeFiles/bench_fig5_kbe_utilization.dir/bench_fig5_kbe_utilization.cc.o"
+  "CMakeFiles/bench_fig5_kbe_utilization.dir/bench_fig5_kbe_utilization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_kbe_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

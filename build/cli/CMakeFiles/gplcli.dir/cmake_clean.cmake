@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gplcli.dir/gplcli.cc.o"
+  "CMakeFiles/gplcli.dir/gplcli.cc.o.d"
+  "gplcli"
+  "gplcli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gplcli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpl_common.dir/common/logging.cc.o"
+  "CMakeFiles/gpl_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/gpl_common.dir/common/random.cc.o"
+  "CMakeFiles/gpl_common.dir/common/random.cc.o.d"
+  "CMakeFiles/gpl_common.dir/common/status.cc.o"
+  "CMakeFiles/gpl_common.dir/common/status.cc.o.d"
+  "libgpl_common.a"
+  "libgpl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpl_core.dir/core/gpl_executor.cc.o"
+  "CMakeFiles/gpl_core.dir/core/gpl_executor.cc.o.d"
+  "CMakeFiles/gpl_core.dir/core/pipeline.cc.o"
+  "CMakeFiles/gpl_core.dir/core/pipeline.cc.o.d"
+  "CMakeFiles/gpl_core.dir/core/tiling.cc.o"
+  "CMakeFiles/gpl_core.dir/core/tiling.cc.o.d"
+  "libgpl_core.a"
+  "libgpl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/engine.cc" "src/CMakeFiles/gpl_engine.dir/engine/engine.cc.o" "gcc" "src/CMakeFiles/gpl_engine.dir/engine/engine.cc.o.d"
+  "/root/repo/src/engine/kbe_engine.cc" "src/CMakeFiles/gpl_engine.dir/engine/kbe_engine.cc.o" "gcc" "src/CMakeFiles/gpl_engine.dir/engine/kbe_engine.cc.o.d"
+  "/root/repo/src/engine/metrics.cc" "src/CMakeFiles/gpl_engine.dir/engine/metrics.cc.o" "gcc" "src/CMakeFiles/gpl_engine.dir/engine/metrics.cc.o.d"
+  "/root/repo/src/engine/ocelot_engine.cc" "src/CMakeFiles/gpl_engine.dir/engine/ocelot_engine.cc.o" "gcc" "src/CMakeFiles/gpl_engine.dir/engine/ocelot_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpl_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpl_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpl_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpl_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpl_engine.dir/engine/engine.cc.o"
+  "CMakeFiles/gpl_engine.dir/engine/engine.cc.o.d"
+  "CMakeFiles/gpl_engine.dir/engine/kbe_engine.cc.o"
+  "CMakeFiles/gpl_engine.dir/engine/kbe_engine.cc.o.d"
+  "CMakeFiles/gpl_engine.dir/engine/metrics.cc.o"
+  "CMakeFiles/gpl_engine.dir/engine/metrics.cc.o.d"
+  "CMakeFiles/gpl_engine.dir/engine/ocelot_engine.cc.o"
+  "CMakeFiles/gpl_engine.dir/engine/ocelot_engine.cc.o.d"
+  "libgpl_engine.a"
+  "libgpl_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpl_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/expr.cc" "src/CMakeFiles/gpl_exec.dir/exec/expr.cc.o" "gcc" "src/CMakeFiles/gpl_exec.dir/exec/expr.cc.o.d"
+  "/root/repo/src/exec/hash_table.cc" "src/CMakeFiles/gpl_exec.dir/exec/hash_table.cc.o" "gcc" "src/CMakeFiles/gpl_exec.dir/exec/hash_table.cc.o.d"
+  "/root/repo/src/exec/partitioned_join.cc" "src/CMakeFiles/gpl_exec.dir/exec/partitioned_join.cc.o" "gcc" "src/CMakeFiles/gpl_exec.dir/exec/partitioned_join.cc.o.d"
+  "/root/repo/src/exec/primitives.cc" "src/CMakeFiles/gpl_exec.dir/exec/primitives.cc.o" "gcc" "src/CMakeFiles/gpl_exec.dir/exec/primitives.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpl_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

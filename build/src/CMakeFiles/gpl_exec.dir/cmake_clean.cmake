@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpl_exec.dir/exec/expr.cc.o"
+  "CMakeFiles/gpl_exec.dir/exec/expr.cc.o.d"
+  "CMakeFiles/gpl_exec.dir/exec/hash_table.cc.o"
+  "CMakeFiles/gpl_exec.dir/exec/hash_table.cc.o.d"
+  "CMakeFiles/gpl_exec.dir/exec/partitioned_join.cc.o"
+  "CMakeFiles/gpl_exec.dir/exec/partitioned_join.cc.o.d"
+  "CMakeFiles/gpl_exec.dir/exec/primitives.cc.o"
+  "CMakeFiles/gpl_exec.dir/exec/primitives.cc.o.d"
+  "libgpl_exec.a"
+  "libgpl_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpl_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

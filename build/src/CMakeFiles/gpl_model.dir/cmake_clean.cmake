@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpl_model.dir/model/calibration.cc.o"
+  "CMakeFiles/gpl_model.dir/model/calibration.cc.o.d"
+  "CMakeFiles/gpl_model.dir/model/cost_model.cc.o"
+  "CMakeFiles/gpl_model.dir/model/cost_model.cc.o.d"
+  "CMakeFiles/gpl_model.dir/model/plan_tuner.cc.o"
+  "CMakeFiles/gpl_model.dir/model/plan_tuner.cc.o.d"
+  "libgpl_model.a"
+  "libgpl_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpl_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gpl_model.
+# This may be replaced when dependencies are built.

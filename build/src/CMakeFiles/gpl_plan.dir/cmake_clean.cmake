@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpl_plan.dir/plan/cardinality.cc.o"
+  "CMakeFiles/gpl_plan.dir/plan/cardinality.cc.o.d"
+  "CMakeFiles/gpl_plan.dir/plan/physical_plan.cc.o"
+  "CMakeFiles/gpl_plan.dir/plan/physical_plan.cc.o.d"
+  "CMakeFiles/gpl_plan.dir/plan/segment.cc.o"
+  "CMakeFiles/gpl_plan.dir/plan/segment.cc.o.d"
+  "CMakeFiles/gpl_plan.dir/plan/selinger.cc.o"
+  "CMakeFiles/gpl_plan.dir/plan/selinger.cc.o.d"
+  "libgpl_plan.a"
+  "libgpl_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpl_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpl_queries.dir/queries/tpch_queries.cc.o"
+  "CMakeFiles/gpl_queries.dir/queries/tpch_queries.cc.o.d"
+  "CMakeFiles/gpl_queries.dir/queries/tpch_queries_extended.cc.o"
+  "CMakeFiles/gpl_queries.dir/queries/tpch_queries_extended.cc.o.d"
+  "libgpl_queries.a"
+  "libgpl_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpl_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

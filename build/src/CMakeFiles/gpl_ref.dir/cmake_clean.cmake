@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpl_ref.dir/ref/reference_executor.cc.o"
+  "CMakeFiles/gpl_ref.dir/ref/reference_executor.cc.o.d"
+  "libgpl_ref.a"
+  "libgpl_ref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpl_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

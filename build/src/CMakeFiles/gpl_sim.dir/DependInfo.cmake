@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache_model.cc" "src/CMakeFiles/gpl_sim.dir/sim/cache_model.cc.o" "gcc" "src/CMakeFiles/gpl_sim.dir/sim/cache_model.cc.o.d"
+  "/root/repo/src/sim/channel.cc" "src/CMakeFiles/gpl_sim.dir/sim/channel.cc.o" "gcc" "src/CMakeFiles/gpl_sim.dir/sim/channel.cc.o.d"
+  "/root/repo/src/sim/counters.cc" "src/CMakeFiles/gpl_sim.dir/sim/counters.cc.o" "gcc" "src/CMakeFiles/gpl_sim.dir/sim/counters.cc.o.d"
+  "/root/repo/src/sim/device.cc" "src/CMakeFiles/gpl_sim.dir/sim/device.cc.o" "gcc" "src/CMakeFiles/gpl_sim.dir/sim/device.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/CMakeFiles/gpl_sim.dir/sim/engine.cc.o" "gcc" "src/CMakeFiles/gpl_sim.dir/sim/engine.cc.o.d"
+  "/root/repo/src/sim/occupancy.cc" "src/CMakeFiles/gpl_sim.dir/sim/occupancy.cc.o" "gcc" "src/CMakeFiles/gpl_sim.dir/sim/occupancy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpl_sim.dir/sim/cache_model.cc.o"
+  "CMakeFiles/gpl_sim.dir/sim/cache_model.cc.o.d"
+  "CMakeFiles/gpl_sim.dir/sim/channel.cc.o"
+  "CMakeFiles/gpl_sim.dir/sim/channel.cc.o.d"
+  "CMakeFiles/gpl_sim.dir/sim/counters.cc.o"
+  "CMakeFiles/gpl_sim.dir/sim/counters.cc.o.d"
+  "CMakeFiles/gpl_sim.dir/sim/device.cc.o"
+  "CMakeFiles/gpl_sim.dir/sim/device.cc.o.d"
+  "CMakeFiles/gpl_sim.dir/sim/engine.cc.o"
+  "CMakeFiles/gpl_sim.dir/sim/engine.cc.o.d"
+  "CMakeFiles/gpl_sim.dir/sim/occupancy.cc.o"
+  "CMakeFiles/gpl_sim.dir/sim/occupancy.cc.o.d"
+  "libgpl_sim.a"
+  "libgpl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

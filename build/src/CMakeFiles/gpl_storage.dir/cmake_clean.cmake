@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpl_storage.dir/storage/column.cc.o"
+  "CMakeFiles/gpl_storage.dir/storage/column.cc.o.d"
+  "CMakeFiles/gpl_storage.dir/storage/dictionary.cc.o"
+  "CMakeFiles/gpl_storage.dir/storage/dictionary.cc.o.d"
+  "CMakeFiles/gpl_storage.dir/storage/table.cc.o"
+  "CMakeFiles/gpl_storage.dir/storage/table.cc.o.d"
+  "libgpl_storage.a"
+  "libgpl_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpl_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpl_storage.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpch/date.cc" "src/CMakeFiles/gpl_tpch.dir/tpch/date.cc.o" "gcc" "src/CMakeFiles/gpl_tpch.dir/tpch/date.cc.o.d"
+  "/root/repo/src/tpch/dbgen.cc" "src/CMakeFiles/gpl_tpch.dir/tpch/dbgen.cc.o" "gcc" "src/CMakeFiles/gpl_tpch.dir/tpch/dbgen.cc.o.d"
+  "/root/repo/src/tpch/tbl_io.cc" "src/CMakeFiles/gpl_tpch.dir/tpch/tbl_io.cc.o" "gcc" "src/CMakeFiles/gpl_tpch.dir/tpch/tbl_io.cc.o.d"
+  "/root/repo/src/tpch/text.cc" "src/CMakeFiles/gpl_tpch.dir/tpch/text.cc.o" "gcc" "src/CMakeFiles/gpl_tpch.dir/tpch/text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gpl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gpl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpl_tpch.dir/tpch/date.cc.o"
+  "CMakeFiles/gpl_tpch.dir/tpch/date.cc.o.d"
+  "CMakeFiles/gpl_tpch.dir/tpch/dbgen.cc.o"
+  "CMakeFiles/gpl_tpch.dir/tpch/dbgen.cc.o.d"
+  "CMakeFiles/gpl_tpch.dir/tpch/tbl_io.cc.o"
+  "CMakeFiles/gpl_tpch.dir/tpch/tbl_io.cc.o.d"
+  "CMakeFiles/gpl_tpch.dir/tpch/text.cc.o"
+  "CMakeFiles/gpl_tpch.dir/tpch/text.cc.o.d"
+  "libgpl_tpch.a"
+  "libgpl_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpl_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

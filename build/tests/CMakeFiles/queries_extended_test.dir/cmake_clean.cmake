@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queries_extended_test.dir/queries_extended_test.cc.o"
+  "CMakeFiles/queries_extended_test.dir/queries_extended_test.cc.o.d"
+  "queries_extended_test"
+  "queries_extended_test.pdb"
+  "queries_extended_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queries_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_occupancy_test.dir/sim_occupancy_test.cc.o"
+  "CMakeFiles/sim_occupancy_test.dir/sim_occupancy_test.cc.o.d"
+  "sim_occupancy_test"
+  "sim_occupancy_test.pdb"
+  "sim_occupancy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_occupancy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/date_test[1]_include.cmake")
+include("/root/repo/build/tests/tpch_test[1]_include.cmake")
+include("/root/repo/build/tests/tbl_io_test[1]_include.cmake")
+include("/root/repo/build/tests/partitioned_join_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_occupancy_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_channel_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/expr_test[1]_include.cmake")
+include("/root/repo/build/tests/expr_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/hash_table_test[1]_include.cmake")
+include("/root/repo/build/tests/primitives_test[1]_include.cmake")
+include("/root/repo/build/tests/cardinality_test[1]_include.cmake")
+include("/root/repo/build/tests/selinger_test[1]_include.cmake")
+include("/root/repo/build/tests/segment_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/queries_test[1]_include.cmake")
+include("/root/repo/build/tests/queries_extended_test[1]_include.cmake")
+include("/root/repo/build/tests/ref_test[1]_include.cmake")
