@@ -4,13 +4,16 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gpl;
+  const std::string out_path = benchutil::ParseOutPath(argc, argv);
   const double sf = benchutil::ScaleFactor();
   const tpch::Database& db = benchutil::Db(sf);
+  const sim::DeviceSpec device = sim::DeviceSpec::AmdA10();
   benchutil::Banner("Figure 16",
                     "KBE vs GPL (w/o CE) vs GPL per query (AMD device)", sf);
 
+  benchutil::JsonlWriter jsonl(out_path);
   std::printf("%8s %12s %16s %12s %18s\n", "query", "KBE (ms)",
               "GPL w/o CE (ms)", "GPL (ms)", "GPL improvement");
   double best_improvement = 0.0;
@@ -18,6 +21,9 @@ int main() {
     const QueryResult kbe = benchutil::Run(db, EngineMode::kKbe, query);
     const QueryResult noce = benchutil::Run(db, EngineMode::kGplNoCe, query);
     const QueryResult gpl = benchutil::Run(db, EngineMode::kGpl, query);
+    jsonl.Record(name, EngineMode::kKbe, device, kbe.metrics);
+    jsonl.Record(name, EngineMode::kGplNoCe, device, noce.metrics);
+    jsonl.Record(name, EngineMode::kGpl, device, gpl.metrics);
     const double improvement =
         100.0 * (1.0 - gpl.metrics.elapsed_ms / kbe.metrics.elapsed_ms);
     best_improvement = std::max(best_improvement, improvement);
@@ -25,6 +31,7 @@ int main() {
                 kbe.metrics.elapsed_ms, noce.metrics.elapsed_ms,
                 gpl.metrics.elapsed_ms, improvement);
   }
+  if (jsonl.enabled()) std::printf("\nresults written to %s\n", out_path.c_str());
   std::printf("\nBest GPL improvement over KBE: %.1f%% (paper: up to 48%% on "
               "the AMD GPU)\n",
               best_improvement);

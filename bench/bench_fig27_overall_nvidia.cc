@@ -4,14 +4,16 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gpl;
+  const std::string out_path = benchutil::ParseOutPath(argc, argv);
   const double sf = benchutil::ScaleFactor();
   const tpch::Database& db = benchutil::Db(sf);
   const sim::DeviceSpec device = sim::DeviceSpec::NvidiaK40();
   benchutil::Banner("Figure 27",
                     "GPL runtime normalized to KBE (NVIDIA K40)", sf);
 
+  benchutil::JsonlWriter jsonl(out_path);
   std::printf("%8s %12s %18s %14s %16s\n", "query", "KBE (norm)",
               "GPL w/o CE (norm)", "GPL (norm)", "GPL improvement");
   double best = 0.0;
@@ -20,6 +22,9 @@ int main() {
     const QueryResult noce =
         benchutil::Run(db, EngineMode::kGplNoCe, query, device);
     const QueryResult gpl = benchutil::Run(db, EngineMode::kGpl, query, device);
+    jsonl.Record(name, EngineMode::kKbe, device, kbe.metrics);
+    jsonl.Record(name, EngineMode::kGplNoCe, device, noce.metrics);
+    jsonl.Record(name, EngineMode::kGpl, device, gpl.metrics);
     const double improvement =
         100.0 * (1.0 - gpl.metrics.elapsed_ms / kbe.metrics.elapsed_ms);
     best = std::max(best, improvement);
@@ -27,6 +32,7 @@ int main() {
                 noce.metrics.elapsed_ms / kbe.metrics.elapsed_ms,
                 gpl.metrics.elapsed_ms / kbe.metrics.elapsed_ms, improvement);
   }
+  if (jsonl.enabled()) std::printf("\nresults written to %s\n", out_path.c_str());
   std::printf("\nBest GPL improvement over KBE: %.1f%% (paper: ~50%% on the "
               "NVIDIA GPU, helped by C=16)\n",
               best);

@@ -3,11 +3,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
 
 #include "engine/engine.h"
+#include "engine/metrics_json.h"
 #include "queries/tpch_queries.h"
 
 namespace gpl {
@@ -56,6 +59,55 @@ inline QueryResult Run(const tpch::Database& db, EngineMode mode,
   GPL_CHECK(result.ok()) << query.name << " under " << EngineModeName(mode)
                          << ": " << result.status().ToString();
   return result.take();
+}
+
+/// Appends bench results as JSON lines (one object per query/engine run) so
+/// figure data can be collected across runs and diffed/plotted by scripts.
+/// Construction with an empty path disables it at zero cost.
+class JsonlWriter {
+ public:
+  explicit JsonlWriter(const std::string& path) {
+    if (path.empty()) return;
+    out_.open(path, std::ios::out | std::ios::trunc);
+    if (!out_) {
+      std::fprintf(stderr, "warning: cannot open %s for writing\n",
+                   path.c_str());
+    }
+  }
+
+  bool enabled() const { return out_.is_open(); }
+
+  /// Writes one JSONL record: query, engine, device, elapsed_ms and the full
+  /// metrics/counter set (same schema as `gplcli --metrics-json`).
+  void Record(const std::string& query, EngineMode mode,
+              const sim::DeviceSpec& device, const QueryMetrics& metrics) {
+    if (!enabled()) return;
+    MetricsJsonEntry entry;
+    entry.query = query;
+    entry.mode = EngineModeName(mode);
+    entry.device = device.name;
+    entry.metrics = metrics;
+    out_ << QueryMetricsToJson(entry) << "\n";
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+/// Parses the common bench flag `--out=<path>` (JSONL results destination).
+/// Unknown arguments abort with usage so typos don't silently run a default.
+inline std::string ParseOutPath(int argc, char** argv) {
+  std::string out;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--out=", 6) == 0) {
+      out = arg + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--out=results.jsonl]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return out;
 }
 
 /// Prints the standard bench banner: which paper artifact this regenerates.

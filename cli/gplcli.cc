@@ -20,16 +20,25 @@
 ///   --verify                          check results against the CPU reference
 ///   --dump-tbl=<dir>                  write the generated data as .tbl files
 ///   --tbl-dir=<dir>                   load the database from .tbl files
+///   --trace=<file>                    write a Chrome trace-event JSON of the
+///                                     run (open in Perfetto / chrome://tracing)
+///   --metrics-json=<file>             write QueryMetrics/HwCounters as JSON
+///   --breakdown                       print the per-kernel phase breakdown
+///                                     (compute/mem/DC/delay, Figures 20/29)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "common/math_util.h"
 #include "engine/engine.h"
+#include "engine/metrics_json.h"
 #include "queries/tpch_queries.h"
 #include "ref/reference_executor.h"
 #include "tpch/tbl_io.h"
+#include "trace/trace.h"
 
 namespace {
 
@@ -46,9 +55,19 @@ struct CliOptions {
   bool partitioned = false;
   bool explain = false;
   bool verify = false;
+  bool breakdown = false;
   int64_t rows = 10;
   std::string dump_tbl;
   std::string tbl_dir;
+  std::string trace_path;
+  std::string metrics_json_path;
+};
+
+/// Per-run accumulators shared across queries (one timeline, one report).
+struct RunState {
+  trace::TraceCollector* trace = nullptr;
+  std::vector<MetricsJsonEntry> metrics;
+  double total_elapsed_ms = 0.0;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -65,7 +84,9 @@ int Usage(const char* argv0) {
                "          [--device=amd|nvidia] [--sf=0.05] [--seed=N] "
                "[--tile=KB] [--wg=N]\n"
                "          [--partitioned] [--explain] [--verify] [--rows=N]\n"
-               "          [--dump-tbl=DIR] [--tbl-dir=DIR]\n",
+               "          [--dump-tbl=DIR] [--tbl-dir=DIR]\n"
+               "          [--trace=FILE.json] [--metrics-json=FILE.json] "
+               "[--breakdown]\n",
                argv0);
   return 2;
 }
@@ -82,7 +103,8 @@ Result<LogicalQuery> FindQuery(const std::string& name) {
 }
 
 int RunQuery(Engine& engine, const tpch::Database& db, const CliOptions& cli,
-             const std::string& name, const LogicalQuery& query) {
+             const std::string& name, const LogicalQuery& query,
+             RunState* state) {
   if (cli.explain) {
     Result<PhysicalOpPtr> plan = engine.Plan(query);
     if (!plan.ok()) {
@@ -101,6 +123,13 @@ int RunQuery(Engine& engine, const tpch::Database& db, const CliOptions& cli,
     return 1;
   }
   const QueryMetrics& m = result->metrics;
+  state->total_elapsed_ms += m.elapsed_ms;
+  MetricsJsonEntry entry;
+  entry.query = name;
+  entry.mode = EngineModeName(engine.options().mode);
+  entry.device = engine.options().device.name;
+  entry.metrics = m;
+  state->metrics.push_back(std::move(entry));
   std::printf("=== %s (%s, %s) ===\n", name.c_str(),
               EngineModeName(engine.options().mode),
               engine.options().device.name.c_str());
@@ -163,6 +192,12 @@ int main(int argc, char** argv) {
       cli.dump_tbl = value;
     } else if (ParseFlag(argv[i], "tbl-dir", &value)) {
       cli.tbl_dir = value;
+    } else if (ParseFlag(argv[i], "trace", &value)) {
+      cli.trace_path = value;
+    } else if (ParseFlag(argv[i], "metrics-json", &value)) {
+      cli.metrics_json_path = value;
+    } else if (std::strcmp(argv[i], "--breakdown") == 0) {
+      cli.breakdown = true;
     } else if (std::strcmp(argv[i], "--partitioned") == 0) {
       cli.partitioned = true;
     } else if (std::strcmp(argv[i], "--explain") == 0) {
@@ -240,17 +275,27 @@ int main(int argc, char** argv) {
     options.overrides.workgroups_per_kernel = cli.wg;
   }
   options.partitioned_joins = cli.partitioned;
+
+  // ---- Tracing / profiling ----
+  trace::TraceCollector collector;
+  RunState state;
+  const bool tracing =
+      !cli.trace_path.empty() || cli.breakdown;
+  if (tracing) {
+    state.trace = &collector;
+    options.trace = &collector;
+  }
   Engine engine(&db, options);
 
   // ---- Queries ----
   int failures = 0;
   if (cli.query == "all") {
     for (auto& [name, q] : queries::EvaluationSuite()) {
-      failures += RunQuery(engine, db, cli, name, q);
+      failures += RunQuery(engine, db, cli, name, q, &state);
     }
   } else if (cli.query == "extended") {
     for (auto& [name, q] : queries::ExtendedSuite()) {
-      failures += RunQuery(engine, db, cli, name, q);
+      failures += RunQuery(engine, db, cli, name, q, &state);
     }
   } else {
     Result<LogicalQuery> q = FindQuery(cli.query);
@@ -258,7 +303,36 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", q.status().ToString().c_str());
       return 2;
     }
-    failures += RunQuery(engine, db, cli, cli.query, *q);
+    failures += RunQuery(engine, db, cli, cli.query, *q, &state);
+  }
+
+  // ---- Reports ----
+  if (cli.breakdown && !cli.explain) {
+    std::printf("--- per-kernel phase breakdown (ms, scaled to elapsed; "
+                "Figures 20/29) ---\n%s\n",
+                collector.BreakdownReport(state.total_elapsed_ms).c_str());
+  }
+  if (!cli.trace_path.empty()) {
+    Status status = collector.WriteChromeJson(cli.trace_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "writing trace failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote Chrome trace (%zu spans, %zu counter samples, %zu "
+                "instants) to %s — load it in Perfetto or chrome://tracing\n",
+                collector.spans().size(), collector.counters().size(),
+                collector.instants().size(), cli.trace_path.c_str());
+  }
+  if (!cli.metrics_json_path.empty()) {
+    std::ofstream file(cli.metrics_json_path);
+    if (!file.is_open()) {
+      std::fprintf(stderr, "cannot open %s\n", cli.metrics_json_path.c_str());
+      return 1;
+    }
+    file << MetricsReportToJson(state.metrics) << "\n";
+    std::printf("wrote metrics for %zu run(s) to %s\n", state.metrics.size(),
+                cli.metrics_json_path.c_str());
   }
   return failures == 0 ? 0 : 1;
 }

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 build + tests, a -Werror configuration, and a
+# tracing smoke run of the CLI whose output is validated by the in-tree
+# JSON parser (via the trace_smoke binary's file-validation mode).
+#
+# Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+echo "=== tier-1: configure + build + ctest ==="
+cmake -B "$BUILD" -S .
+cmake --build "$BUILD" -j
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+
+echo
+echo "=== strict: -Wall -Wextra -Werror configuration ==="
+# -Wno-maybe-uninitialized: GCC 12 false positive on std::variant (as used by
+# Result<T>) at -O2; see GCC PR 80635.
+cmake -B "$BUILD-werror" -S . \
+  -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror -Wno-maybe-uninitialized"
+cmake --build "$BUILD-werror" -j
+
+echo
+echo "=== trace smoke: gplcli --trace on Q5, JSON validated ==="
+TRACE_OUT="$(mktemp /tmp/gpl_check_trace.XXXXXX.json)"
+METRICS_OUT="$(mktemp /tmp/gpl_check_metrics.XXXXXX.json)"
+trap 'rm -f "$TRACE_OUT" "$METRICS_OUT"' EXIT
+"$BUILD/cli/gplcli" --query=Q5 --mode=gpl --sf=0.02 \
+  --trace="$TRACE_OUT" --metrics-json="$METRICS_OUT"
+"$BUILD/tests/trace_smoke" "$TRACE_OUT"
+"$BUILD/tests/trace_smoke" "$METRICS_OUT"
+
+echo
+echo "check.sh: all checks passed"

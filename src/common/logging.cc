@@ -1,6 +1,8 @@
 #include "common/logging.h"
 
+#include <cctype>
 #include <cstdio>
+#include <cstring>
 
 #include "common/status.h"
 
@@ -8,6 +10,9 @@ namespace gpl {
 
 namespace {
 LogLevel g_log_level = LogLevel::kWarning;
+
+/// One-time lazy init from GPL_LOG_LEVEL before the first threshold read.
+bool g_env_checked = false;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -26,12 +31,57 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_log_level = level; }
-LogLevel GetLogLevel() { return g_log_level; }
+void SetLogLevel(LogLevel level) {
+  g_env_checked = true;  // an explicit choice wins over the environment
+  g_log_level = level;
+}
+
+LogLevel GetLogLevel() {
+  if (!g_env_checked) InitLogLevelFromEnv();
+  return g_log_level;
+}
+
+bool ParseLogLevel(const char* text, LogLevel* level) {
+  if (text == nullptr || level == nullptr) return false;
+  std::string lower;
+  for (const char* p = text; *p != '\0'; ++p) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (lower == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *level = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    *level = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *level = LogLevel::kError;
+  } else if (lower == "fatal") {
+    *level = LogLevel::kFatal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void InitLogLevelFromEnv() {
+  g_env_checked = true;
+  const char* env = std::getenv("GPL_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return;
+  LogLevel level;
+  if (ParseLogLevel(env, &level)) {
+    g_log_level = level;
+  } else {
+    std::fprintf(stderr,
+                 "[WARN] unrecognized GPL_LOG_LEVEL '%s' "
+                 "(want debug|info|warning|error|fatal)\n",
+                 env);
+  }
+}
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  if (!g_env_checked) InitLogLevelFromEnv();
   stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
 }
 

@@ -10,9 +10,21 @@ namespace gpl {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
 
 /// Global log threshold; messages below it are dropped. Defaults to kWarning
-/// so tests and benches stay quiet.
+/// so tests and benches stay quiet; the GPL_LOG_LEVEL environment variable
+/// (debug|info|warning|error|fatal, case-insensitive) overrides the default
+/// at startup so CLI/bench verbosity can be raised without recompiling.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses a GPL_LOG_LEVEL value. Returns false (and leaves `level` alone)
+/// if `text` is null or not a recognized level name.
+bool ParseLogLevel(const char* text, LogLevel* level);
+
+/// Re-reads GPL_LOG_LEVEL from the environment and applies it if set and
+/// valid (unrecognized values keep the current level and warn). Called
+/// lazily before the first log message; exposed for tests and for callers
+/// that change the environment at runtime.
+void InitLogLevelFromEnv();
 
 namespace internal {
 

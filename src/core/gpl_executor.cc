@@ -155,6 +155,15 @@ Result<GplRunResult> GplExecutor::Run(const SegmentedPlan& plan,
     }
 
     SegmentReport report;
+    for (size_t s = 0; s < num_stages; ++s) {
+      if (!report.description.empty()) report.description += " -> ";
+      report.description += segment.stages[s].kernel->name();
+    }
+    spec.trace = options.trace;
+    spec.label = "segment " + std::to_string(i) + ": " + report.description;
+    GPL_LOG(Debug) << spec.label << " (tile=" << spec.tile_bytes
+                   << "B, kernels=" << spec.kernels.size()
+                   << ", concurrent=" << options.concurrent << ")";
     report.sim = options.concurrent ? simulator_->RunPipeline(spec)
                                     : simulator_->RunSequentialTiles(spec);
 
@@ -162,10 +171,6 @@ Result<GplRunResult> GplExecutor::Run(const SegmentedPlan& plan,
     result.total_cycles += report.sim.counters.elapsed_cycles;
     result.predicted_total_cycles += choice.estimate.total_cycles;
 
-    for (size_t s = 0; s < num_stages; ++s) {
-      if (!report.description.empty()) report.description += " -> ";
-      report.description += segment.stages[s].kernel->name();
-    }
     report.tuning = choice;
     report.predicted_cycles = choice.estimate.total_cycles;
     report.measured_cycles = report.sim.counters.elapsed_cycles;

@@ -27,6 +27,10 @@ struct GplOptions {
 
   /// Pins for individual knobs (parameter-sweep benches).
   model::TuningOverrides overrides;
+
+  /// Optional trace sink; segments emit execution spans, channel occupancy
+  /// and stall events into it. nullptr disables tracing at zero cost.
+  trace::TraceCollector* trace = nullptr;
 };
 
 /// Per-segment outcome: the tuner's choice and prediction, the simulated

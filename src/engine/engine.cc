@@ -54,15 +54,18 @@ Result<QueryResult> Engine::Execute(const LogicalQuery& query) {
                              .count();
   GPL_ASSIGN_OR_RETURN(QueryResult result, ExecutePlan(plan));
   result.metrics.optimize_ms += plan_ms;
+  GPL_LOG(Info) << query.name << " under " << EngineModeName(options_.mode)
+                << ": " << result.metrics.elapsed_ms << " ms simulated ("
+                << result.metrics.optimize_ms << " ms planning)";
   return result;
 }
 
 Result<QueryResult> Engine::ExecutePlan(const PhysicalOpPtr& plan) {
   switch (options_.mode) {
     case EngineMode::kKbe:
-      return kbe_engine_.Execute(plan);
+      return kbe_engine_.Execute(plan, options_.trace);
     case EngineMode::kOcelot:
-      return ocelot_engine_.Execute(plan);
+      return ocelot_engine_.Execute(plan, options_.trace);
     case EngineMode::kGpl:
     case EngineMode::kGplNoCe: {
       GPL_ASSIGN_OR_RETURN(GplRunResult run, ExecuteGplDetailed(plan));
@@ -85,6 +88,7 @@ Result<GplRunResult> Engine::ExecuteGplDetailed(const PhysicalOpPtr& plan) {
   gpl_options.concurrent = options_.mode != EngineMode::kGplNoCe;
   gpl_options.use_cost_model = options_.use_cost_model;
   gpl_options.overrides = options_.overrides;
+  gpl_options.trace = options_.trace;
   return gpl_executor_.Run(segmented, gpl_options);
 }
 

@@ -43,6 +43,13 @@ struct EngineOptions {
   int num_partitions = 8;
   /// Build-size threshold for partitioning; 0 uses half the device cache.
   int64_t partition_threshold_bytes = 0;
+
+  /// Optional tracing/profiling sink (see trace/trace.h). Every execution
+  /// under this engine emits kernel/tile spans, channel occupancy samples
+  /// and stall events into it; successive queries lay out end-to-end on the
+  /// simulated timeline. nullptr (the default) disables tracing with no
+  /// overhead beyond null checks.
+  trace::TraceCollector* trace = nullptr;
 };
 
 /// The public entry point of the library: executes TPC-H-style analytical

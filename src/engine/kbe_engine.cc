@@ -16,7 +16,7 @@ KbeEngine::KbeEngine(const tpch::Database* db, const sim::Simulator* simulator,
 void KbeEngine::Record(Context* ctx, const sim::KernelLaunch& launch,
                        int64_t resident_bytes) {
   const sim::SimResult result =
-      simulator_->RunKernelBatch(launch, resident_bytes);
+      simulator_->RunKernelBatch(launch, resident_bytes, ctx->trace);
   ctx->counters.Accumulate(result.counters);
   for (const sim::KernelStats& stats : result.kernels) {
     ctx->kernels.push_back(stats);
@@ -199,9 +199,11 @@ Result<Table> KbeEngine::Exec(const PhysicalOp& op, Context* ctx) {
   return Status::Internal("unknown physical operator kind");
 }
 
-Result<QueryResult> KbeEngine::Execute(const PhysicalOpPtr& plan) {
+Result<QueryResult> KbeEngine::Execute(const PhysicalOpPtr& plan,
+                                       trace::TraceCollector* trace) {
   GPL_CHECK(plan != nullptr);
   Context ctx;
+  ctx.trace = trace;
   GPL_ASSIGN_OR_RETURN(Table out, Exec(*plan, &ctx));
   QueryResult result;
   result.table = std::move(out);

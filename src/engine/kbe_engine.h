@@ -34,13 +34,17 @@ class KbeEngine {
   KbeEngine(const tpch::Database* db, const sim::Simulator* simulator,
             KbeFlavor flavor = {});
 
-  /// Executes a physical plan; returns the result table and metrics.
-  Result<QueryResult> Execute(const PhysicalOpPtr& plan);
+  /// Executes a physical plan; returns the result table and metrics. When
+  /// `trace` is non-null every kernel launch is recorded as a span on the
+  /// shared simulated-time axis.
+  Result<QueryResult> Execute(const PhysicalOpPtr& plan,
+                              trace::TraceCollector* trace = nullptr);
 
  private:
   struct Context {
     sim::HwCounters counters;
     std::vector<sim::KernelStats> kernels;
+    trace::TraceCollector* trace = nullptr;
   };
 
   Result<Table> Exec(const PhysicalOp& op, Context* ctx);

@@ -1,0 +1,74 @@
+#include "engine/metrics_json.h"
+
+#include "trace/json.h"
+
+namespace gpl {
+
+namespace {
+
+void AppendField(std::string* out, const char* key, const std::string& value,
+                 bool quote) {
+  if (out->back() != '{') *out += ",";
+  *out += "\"";
+  *out += key;
+  *out += "\":";
+  if (quote) {
+    *out += "\"" + trace::JsonEscape(value) + "\"";
+  } else {
+    *out += value;
+  }
+}
+
+void AppendNumber(std::string* out, const char* key, double value) {
+  AppendField(out, key, trace::JsonNumber(value), /*quote=*/false);
+}
+
+}  // namespace
+
+std::string QueryMetricsToJson(const MetricsJsonEntry& entry) {
+  const QueryMetrics& m = entry.metrics;
+  const sim::HwCounters& c = m.counters;
+  std::string out = "{";
+  AppendField(&out, "query", entry.query, /*quote=*/true);
+  AppendField(&out, "mode", entry.mode, /*quote=*/true);
+  AppendField(&out, "device", entry.device, /*quote=*/true);
+  AppendNumber(&out, "elapsed_ms", m.elapsed_ms);
+  AppendNumber(&out, "predicted_ms", m.predicted_ms);
+  AppendNumber(&out, "optimize_ms", m.optimize_ms);
+  AppendNumber(&out, "valu_busy", m.valu_busy);
+  AppendNumber(&out, "mem_unit_busy", m.mem_unit_busy);
+  AppendNumber(&out, "occupancy", m.occupancy);
+  AppendNumber(&out, "cache_hit_ratio", m.cache_hit_ratio);
+  AppendNumber(&out, "compute_ms", m.compute_ms);
+  AppendNumber(&out, "mem_ms", m.mem_ms);
+  AppendNumber(&out, "dc_ms", m.dc_ms);
+  AppendNumber(&out, "delay_ms", m.delay_ms);
+  AppendNumber(&out, "other_ms", m.other_ms);
+  AppendNumber(&out, "input_bytes", static_cast<double>(m.input_bytes));
+  AppendNumber(&out, "materialized_bytes",
+               static_cast<double>(m.materialized_bytes));
+  AppendNumber(&out, "channel_bytes", static_cast<double>(m.channel_bytes));
+  AppendNumber(&out, "elapsed_cycles", c.elapsed_cycles);
+  AppendNumber(&out, "compute_cycles", c.compute_cycles);
+  AppendNumber(&out, "mem_cycles", c.mem_cycles);
+  AppendNumber(&out, "channel_cycles", c.channel_cycles);
+  AppendNumber(&out, "stall_cycles", c.stall_cycles);
+  AppendNumber(&out, "launch_cycles", c.launch_cycles);
+  AppendNumber(&out, "cache_hits", c.cache_hits);
+  AppendNumber(&out, "cache_accesses", c.cache_accesses);
+  AppendNumber(&out, "resident_wg_time", c.resident_wg_time);
+  out += "}";
+  return out;
+}
+
+std::string MetricsReportToJson(const std::vector<MetricsJsonEntry>& entries) {
+  std::string out = "[";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) out += ",\n";
+    out += QueryMetricsToJson(entries[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace gpl

@@ -1,0 +1,29 @@
+#ifndef GPL_ENGINE_METRICS_JSON_H_
+#define GPL_ENGINE_METRICS_JSON_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/metrics.h"
+
+namespace gpl {
+
+/// Identifies one query run in a metrics dump.
+struct MetricsJsonEntry {
+  std::string query;
+  std::string mode;    ///< EngineModeName
+  std::string device;  ///< DeviceSpec::name
+  QueryMetrics metrics;
+};
+
+/// Flat JSON object for one query's metrics: timing, the per-phase
+/// breakdown, and every simulated hardware counter (the machine-readable
+/// form of what CodeXL/NVVP provide in the paper).
+std::string QueryMetricsToJson(const MetricsJsonEntry& entry);
+
+/// JSON array of entries — the `--metrics-json` CLI output format.
+std::string MetricsReportToJson(const std::vector<MetricsJsonEntry>& entries);
+
+}  // namespace gpl
+
+#endif  // GPL_ENGINE_METRICS_JSON_H_

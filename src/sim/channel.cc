@@ -23,16 +23,21 @@ void ChannelState::EnsureCapacity(int64_t bytes) {
 void ChannelState::Reserve(double bytes) {
   GPL_DCHECK(CanReserve(bytes));
   reserved_ += bytes;
+  peak_occupancy_ = std::max(peak_occupancy_, reserved_ + available_);
 }
 
 void ChannelState::CommitReserved(double bytes) {
   reserved_ = std::max(0.0, reserved_ - bytes);
   available_ += bytes;
+  total_committed_ += bytes;
+  ++commits_;
+  peak_occupancy_ = std::max(peak_occupancy_, reserved_ + available_);
 }
 
 void ChannelState::Acquire(double bytes) {
   GPL_DCHECK(CanAcquire(bytes));
   available_ = std::max(0.0, available_ - bytes);
+  ++acquires_;
 }
 
 double ChannelState::PerPacketSyncCost() const {

@@ -47,6 +47,18 @@ class ChannelState {
     return static_cast<double>(capacity_bytes_) - available_ - reserved_;
   }
 
+  // ---- Occupancy statistics (for tracing/profiling) ----
+  double peak_occupancy_bytes() const { return peak_occupancy_; }
+  double total_committed_bytes() const { return total_committed_; }
+  int64_t commit_count() const { return commits_; }
+  int64_t acquire_count() const { return acquires_; }
+  /// Peak fill level relative to capacity, in [0, 1].
+  double PeakFillRatio() const {
+    return capacity_bytes_ > 0
+               ? peak_occupancy_ / static_cast<double>(capacity_bytes_)
+               : 0.0;
+  }
+
   /// Raises the capacity so at least `bytes` can always be reserved (used to
   /// guarantee one work-group's output fits).
   void EnsureCapacity(int64_t bytes);
@@ -79,6 +91,12 @@ class ChannelState {
   int64_t capacity_bytes_;
   double available_ = 0.0;
   double reserved_ = 0.0;
+
+  // Occupancy statistics (reserved + available high-water mark, traffic).
+  double peak_occupancy_ = 0.0;
+  double total_committed_ = 0.0;
+  int64_t commits_ = 0;
+  int64_t acquires_ = 0;
 };
 
 }  // namespace sim

@@ -8,6 +8,8 @@
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "sim/occupancy.h"
+#include "trace/json.h"
+#include "trace/trace.h"
 
 namespace gpl {
 namespace sim {
@@ -18,6 +20,8 @@ namespace {
 constexpr int kKbeWavefrontsPerWg = 4;
 // Average column width assumed for streaming spatial locality.
 constexpr int kAvgAccessWidth = 8;
+
+std::string TraceInt(int64_t v) { return std::to_string(v); }
 }  // namespace
 
 Simulator::Simulator(const DeviceSpec& device)
@@ -85,7 +89,8 @@ Simulator::WgWork Simulator::ComputeWgWork(
 }
 
 SimResult Simulator::RunKernelBatch(const KernelLaunch& launch,
-                                    int64_t resident_bytes) const {
+                                    int64_t resident_bytes,
+                                    trace::TraceCollector* trace) const {
   SimResult result;
   const KernelTimingDesc& desc = launch.desc;
   const int slots = SingleKernelSlots(device_, desc);
@@ -132,10 +137,28 @@ SimResult Simulator::RunKernelBatch(const KernelLaunch& launch,
   KernelStats stats;
   stats.name = desc.name;
   stats.busy_cycles = total_alu + total_mem;
+  stats.compute_cycles = total_alu;
+  stats.mem_cycles = total_mem;
   stats.finish_cycles = elapsed;
   stats.valu_busy = c.ValuBusy(device_);
   stats.mem_unit_busy = c.MemUnitBusy(device_);
   result.kernels.push_back(std::move(stats));
+
+  if (trace != nullptr) {
+    trace->set_clock_mhz(static_cast<double>(device_.core_mhz));
+    const int track = trace->TrackId(desc.name);
+    trace->AddSpan(
+        track, desc.name, "kernel", 0.0, elapsed,
+        {{"rows_in", TraceInt(launch.rows_in)},
+         {"rows_out", TraceInt(launch.rows_out)},
+         {"workgroups", TraceInt(wg_total)},
+         {"cache_hit_ratio", trace::JsonNumber(c.CacheHitRatio())}});
+    trace->AddCounter("cache_hit_ratio:" + desc.name, elapsed,
+                      c.CacheHitRatio());
+    trace->AddKernelPhase(desc.name, total_alu, total_mem, 0.0, 0.0);
+    trace->AddOverhead(c.launch_cycles);
+    trace->AdvanceOrigin(elapsed);
+  }
   return result;
 }
 
@@ -155,7 +178,13 @@ SimResult Simulator::RunSequentialTiles(const PipelineSpec& spec) const {
        0.5 * static_cast<double>(device_.kernel_launch_cycles)) *
           static_cast<double>(num_tiles);
 
+  trace::TraceCollector* trace = spec.trace;
+  if (trace != nullptr) {
+    trace->set_clock_mhz(static_cast<double>(device_.core_mhz));
+  }
+
   for (size_t i = 0; i < spec.kernels.size(); ++i) {
+    const double kernel_start = result.counters.elapsed_cycles;
     KernelLaunch tile_launch = spec.kernels[i];
     tile_launch.rows_in = std::max<int64_t>(1, tile_launch.rows_in / num_tiles);
     tile_launch.bytes_in = tile_launch.bytes_in / num_tiles;
@@ -192,8 +221,39 @@ SimResult Simulator::RunSequentialTiles(const PipelineSpec& spec) const {
     stats.name = spec.kernels[i].desc.name;
     stats.busy_cycles =
         (tile_result.counters.compute_cycles + tile_result.counters.mem_cycles) * n;
+    stats.compute_cycles = tile_result.counters.compute_cycles * n;
+    stats.mem_cycles = tile_result.counters.mem_cycles * n;
     stats.finish_cycles = result.counters.elapsed_cycles;
     result.kernels.push_back(std::move(stats));
+
+    if (trace != nullptr) {
+      const std::string& name = spec.kernels[i].desc.name;
+      const int track = trace->TrackId(name);
+      trace->AddSpan(track, name, "kernel", kernel_start,
+                     result.counters.elapsed_cycles,
+                     {{"tiles", TraceInt(num_tiles)},
+                      {"rows_in", TraceInt(spec.kernels[i].rows_in)},
+                      {"rows_out", TraceInt(spec.kernels[i].rows_out)},
+                      {"cache_hit_ratio",
+                       trace::JsonNumber(tile_result.counters.CacheHitRatio())}});
+      trace->AddCounter("cache_hit_ratio:" + name,
+                        result.counters.elapsed_cycles,
+                        tile_result.counters.CacheHitRatio());
+      trace->AddKernelPhase(name, tile_result.counters.compute_cycles * n,
+                            tile_result.counters.mem_cycles * n, 0.0, 0.0);
+      trace->AddOverhead(per_kernel_overhead);
+    }
+  }
+
+  if (trace != nullptr) {
+    trace->AddSpan(trace->TrackId("segment"),
+                   spec.label.empty() ? "segment (w/o CE)" : spec.label,
+                   "segment", 0.0, result.counters.elapsed_cycles,
+                   {{"tiles", TraceInt(num_tiles)},
+                    {"tile_bytes", TraceInt(spec.tile_bytes)},
+                    {"kernels", TraceInt(static_cast<int64_t>(
+                                    spec.kernels.size()))}});
+    trace->AdvanceOrigin(result.counters.elapsed_cycles);
   }
   return result;
 }
@@ -234,8 +294,36 @@ SimResult Simulator::RunPipeline(const PipelineSpec& spec) const {
     double stall_cycles = 0.0;
     double finish_time = 0.0;
     double busy_cycles = 0.0;
+
+    // Tracing state (only populated when spec.trace is set).
+    int64_t wg_per_tile = 1;
+    int track = 0;
+    std::string label;
+    char stall_reason = 0;  ///< 'i' starved on input, 'o' blocked on output
+    bool was_stalled = false;
+    int64_t stall_events = 0;
+    std::vector<double> tile_start;
   };
   std::vector<KernelSim> ks(static_cast<size_t>(num_kernels));
+
+  trace::TraceCollector* trace = spec.trace;
+  if (trace != nullptr) {
+    trace->set_clock_mhz(static_cast<double>(device_.core_mhz));
+    for (int k = 0; k < num_kernels; ++k) {
+      // Disambiguate repeated kernel names within the segment (two probe
+      // stages, say) so their tile spans land on separate tracks.
+      std::string label = spec.kernels[static_cast<size_t>(k)].desc.name;
+      int dup = 0;
+      for (int j = 0; j < k; ++j) {
+        if (spec.kernels[static_cast<size_t>(j)].desc.name == label) ++dup;
+      }
+      if (dup > 0) label += "#" + std::to_string(dup + 1);
+      ks[static_cast<size_t>(k)].label = label;
+      ks[static_cast<size_t>(k)].track = trace->TrackId(label);
+      ks[static_cast<size_t>(k)].tile_start.assign(
+          static_cast<size_t>(num_tiles), -1.0);
+    }
+  }
 
   std::vector<ResourceRequest> requests;
   requests.reserve(static_cast<size_t>(num_kernels));
@@ -245,6 +333,7 @@ SimResult Simulator::RunPipeline(const PipelineSpec& spec) const {
                                 ? launch.workgroups_per_tile
                                 : 2 * device_.num_cus;
     ks[k].wg_total = num_tiles * static_cast<int64_t>(wg_per_tile);
+    ks[k].wg_per_tile = wg_per_tile;
     const double wg_total = static_cast<double>(ks[k].wg_total);
     ks[k].rows_per_wg = static_cast<double>(launch.rows_in) / wg_total;
     const bool in_chan = launch.input == Endpoint::kChannel && k > 0 &&
@@ -369,11 +458,13 @@ SimResult Simulator::RunPipeline(const PipelineSpec& spec) const {
           if (in_chan != nullptr && sim.c_in_per_wg > 0.0 &&
               !in_chan->CanAcquire(sim.c_in_per_wg)) {
             sim.stalled = true;  // starved for input data
+            sim.stall_reason = 'i';
             break;
           }
           if (out_chan != nullptr && sim.c_out_per_wg > 0.0 &&
               !out_chan->CanReserve(sim.c_out_per_wg)) {
             sim.stalled = true;  // blocked on output space
+            sim.stall_reason = 'o';
             break;
           }
           // Pick the least-loaded CU that can host this work-group.
@@ -408,6 +499,12 @@ SimResult Simulator::RunPipeline(const PipelineSpec& spec) const {
           if (out_chan != nullptr && sim.c_out_per_wg > 0.0) {
             out_chan->Reserve(sim.c_out_per_wg);
           }
+          if (trace != nullptr) {
+            const int64_t tile = sim.dispatched / sim.wg_per_tile;
+            if (sim.tile_start[static_cast<size_t>(tile)] < 0.0) {
+              sim.tile_start[static_cast<size_t>(tile)] = now;
+            }
+          }
           const size_t cu = static_cast<size_t>(best_cu);
           const double alu_done =
               std::max(now, cu_alu[cu]) + sim.work.alu;
@@ -427,7 +524,34 @@ SimResult Simulator::RunPipeline(const PipelineSpec& spec) const {
     }
   };
 
+  // Trace bookkeeping: channel counter names and stall-transition instants.
+  std::vector<std::string> chan_names;
+  if (trace != nullptr) {
+    chan_names.resize(static_cast<size_t>(std::max(0, num_kernels - 1)));
+    for (int g = 0; g + 1 < num_kernels; ++g) {
+      if (channels[static_cast<size_t>(g)].has_value()) {
+        chan_names[static_cast<size_t>(g)] =
+            "chan:" + ks[static_cast<size_t>(g)].label + ">" +
+            ks[static_cast<size_t>(g + 1)].label;
+      }
+    }
+  }
+  auto note_stall_transitions = [&]() {
+    if (trace == nullptr) return;
+    for (auto& sim : ks) {
+      if (sim.stalled && !sim.was_stalled) {
+        trace->AddInstant(sim.track,
+                          sim.stall_reason == 'o' ? "channel-block (output full)"
+                                                  : "channel-starve (input empty)",
+                          "stall", now);
+        ++sim.stall_events;
+      }
+      sim.was_stalled = sim.stalled;
+    }
+  };
+
   dispatch();
+  note_stall_transitions();
   double last_time = 0.0;
   while (!heap.empty()) {
     const Event ev = heap.top();
@@ -447,6 +571,11 @@ SimResult Simulator::RunPipeline(const PipelineSpec& spec) const {
         channels[static_cast<size_t>(ev.kernel)].has_value() &&
         sim.c_out_per_wg > 0.0) {
       channels[static_cast<size_t>(ev.kernel)]->CommitReserved(sim.c_out_per_wg);
+      if (trace != nullptr) {
+        trace->AddCounter(
+            chan_names[static_cast<size_t>(ev.kernel)], now,
+            channels[static_cast<size_t>(ev.kernel)]->available_bytes());
+      }
     }
     ++sim.completed;
     sim.finish_time = now;
@@ -454,7 +583,20 @@ SimResult Simulator::RunPipeline(const PipelineSpec& spec) const {
     --cu_resident[static_cast<size_t>(ev.cu)];
     --cu_kernel_resident[static_cast<size_t>(ev.kernel)][static_cast<size_t>(ev.cu)];
     --total_resident;
+    if (trace != nullptr && sim.completed % sim.wg_per_tile == 0) {
+      const int64_t tile = sim.completed / sim.wg_per_tile - 1;
+      const double start = sim.tile_start[static_cast<size_t>(tile)];
+      trace->AddSpan(sim.track, sim.label + " tile " + std::to_string(tile),
+                     "tile", start >= 0.0 ? start : now, now,
+                     {{"tile", TraceInt(tile)},
+                      {"workgroups", TraceInt(sim.wg_per_tile)}});
+    }
     dispatch();
+    if (trace != nullptr) {
+      note_stall_transitions();
+      trace->AddCounter("resident_workgroups", now,
+                        static_cast<double>(total_resident));
+    }
   }
 
   for (int k = 0; k < num_kernels; ++k) {
@@ -492,12 +634,53 @@ SimResult Simulator::RunPipeline(const PipelineSpec& spec) const {
     KernelStats stats;
     stats.name = spec.kernels[static_cast<size_t>(k)].desc.name;
     stats.busy_cycles = (sim.work.alu + sim.work.mem + sim.work.chan) * n;
+    stats.compute_cycles = sim.work.alu * n;
+    stats.mem_cycles = sim.work.mem * n;
+    stats.channel_cycles = sim.work.chan * n;
     stats.stall_cycles = sim.stall_cycles;
     stats.finish_cycles = sim.finish_time;
     stats.valu_busy = sim.work.alu * n / (c.elapsed_cycles * device_.num_cus);
     stats.mem_unit_busy =
         (sim.work.mem + sim.work.chan) * n / (c.elapsed_cycles * device_.num_cus);
     result.kernels.push_back(std::move(stats));
+
+    if (trace != nullptr) {
+      const double hit_ratio =
+          sim.work.cache_accesses > 0.0
+              ? sim.work.cache_hits / sim.work.cache_accesses
+              : 0.0;
+      trace->AddCounter("cache_hit_ratio:" + sim.label, sim.finish_time,
+                        hit_ratio);
+      trace->AddKernelPhase(sim.label, sim.work.alu * n, sim.work.mem * n,
+                            sim.work.chan * n, sim.stall_cycles);
+    }
+  }
+
+  if (trace != nullptr) {
+    trace->AddOverhead(overhead);
+    std::vector<trace::Arg> args = {
+        {"tiles", TraceInt(num_tiles)},
+        {"tile_bytes", TraceInt(spec.tile_bytes)},
+        {"kernels", TraceInt(num_kernels)},
+        {"elapsed_cycles", trace::JsonNumber(c.elapsed_cycles)}};
+    for (int g = 0; g + 1 < num_kernels; ++g) {
+      if (!channels[static_cast<size_t>(g)].has_value()) continue;
+      const ChannelState& ch = *channels[static_cast<size_t>(g)];
+      args.emplace_back(chan_names[static_cast<size_t>(g)] + " peak_fill",
+                        trace::JsonNumber(ch.PeakFillRatio()));
+      args.emplace_back(chan_names[static_cast<size_t>(g)] + " committed_bytes",
+                        trace::JsonNumber(ch.total_committed_bytes()));
+    }
+    for (const auto& sim : ks) {
+      if (sim.stall_events > 0) {
+        args.emplace_back(sim.label + " stall_events",
+                          TraceInt(sim.stall_events));
+      }
+    }
+    trace->AddSpan(trace->TrackId("segment"),
+                   spec.label.empty() ? "pipeline segment" : spec.label,
+                   "segment", 0.0, c.elapsed_cycles, std::move(args));
+    trace->AdvanceOrigin(c.elapsed_cycles);
   }
   return result;
 }

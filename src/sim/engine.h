@@ -11,6 +11,10 @@
 #include "sim/kernel_desc.h"
 
 namespace gpl {
+namespace trace {
+class TraceCollector;
+}  // namespace trace
+
 namespace sim {
 
 /// Where a kernel reads its input from / writes its output to.
@@ -53,6 +57,13 @@ struct PipelineSpec {
   int64_t tile_bytes = 4 << 20;
   /// Bytes of other cache-hot structures (hash tables being probed, etc.).
   int64_t extra_resident_bytes = 0;
+
+  /// Optional trace sink. When non-null the simulator emits per-kernel
+  /// per-tile spans, channel occupancy/stall events, and counter samples
+  /// into it; nullptr (the default) is the zero-cost disabled path.
+  trace::TraceCollector* trace = nullptr;
+  /// Display label for the whole-segment span (e.g. the kernel chain).
+  std::string label;
 };
 
 /// Per-kernel outcome of a simulated execution.
@@ -63,6 +74,11 @@ struct KernelStats {
   double finish_cycles = 0.0;
   double valu_busy = 0.0;
   double mem_unit_busy = 0.0;
+
+  // Busy-cycle components (busy_cycles = compute + mem + channel).
+  double compute_cycles = 0.0;
+  double mem_cycles = 0.0;
+  double channel_cycles = 0.0;
 };
 
 /// Result of a simulated execution.
@@ -84,8 +100,11 @@ class Simulator {
 
   /// Kernel-based execution of a single kernel: the whole input is consumed
   /// in one launch, with input read from and output written to global
-  /// memory. `resident_bytes` are competing cache-hot structures.
-  SimResult RunKernelBatch(const KernelLaunch& launch, int64_t resident_bytes) const;
+  /// memory. `resident_bytes` are competing cache-hot structures. When
+  /// `trace` is non-null, the launch is recorded as a span at the
+  /// collector's current origin and the origin advances past it.
+  SimResult RunKernelBatch(const KernelLaunch& launch, int64_t resident_bytes,
+                           trace::TraceCollector* trace = nullptr) const;
 
   /// GPL pipelined execution of a segment: kernels run concurrently,
   /// exchanging tiles through channels (discrete-event simulation at

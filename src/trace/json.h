@@ -1,0 +1,28 @@
+#ifndef GPL_TRACE_JSON_H_
+#define GPL_TRACE_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace gpl {
+namespace trace {
+
+/// Escapes a string for inclusion in a JSON string literal (no surrounding
+/// quotes).
+std::string JsonEscape(std::string_view s);
+
+/// Formats a double as a JSON number. JSON has no inf/nan; both are clamped
+/// to 0 so exported traces always parse.
+std::string JsonNumber(double value);
+
+/// Validates that `text` is a single well-formed JSON value (RFC 8259
+/// grammar, no extensions). On failure returns false and, if `error` is
+/// non-null, describes the first problem with its byte offset. This is the
+/// "tiny parser" used by tests and the trace_smoke target; it checks
+/// structure only and does not build a document tree.
+bool ValidateJson(std::string_view text, std::string* error = nullptr);
+
+}  // namespace trace
+}  // namespace gpl
+
+#endif  // GPL_TRACE_JSON_H_

@@ -1,0 +1,199 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "trace/json.h"
+
+namespace gpl {
+namespace trace {
+
+int TraceCollector::TrackId(const std::string& name) {
+  auto it = track_ids_.find(name);
+  if (it != track_ids_.end()) return it->second;
+  const int id = static_cast<int>(track_names_.size());
+  track_ids_.emplace(name, id);
+  track_names_.push_back(name);
+  return id;
+}
+
+void TraceCollector::AddSpan(int track, std::string name, std::string category,
+                             double start_cycles, double end_cycles,
+                             std::vector<Arg> args) {
+  SpanEvent span;
+  span.track = track;
+  span.name = std::move(name);
+  span.category = std::move(category);
+  span.start_cycles = origin_cycles_ + start_cycles;
+  span.end_cycles = origin_cycles_ + std::max(end_cycles, start_cycles);
+  span.args = std::move(args);
+  spans_.push_back(std::move(span));
+}
+
+void TraceCollector::AddInstant(int track, std::string name,
+                                std::string category, double t_cycles) {
+  InstantEvent ev;
+  ev.track = track;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.t_cycles = origin_cycles_ + t_cycles;
+  instants_.push_back(std::move(ev));
+}
+
+void TraceCollector::AddCounter(const std::string& name, double t_cycles,
+                                double value) {
+  counters_.push_back(CounterSample{name, origin_cycles_ + t_cycles, value});
+}
+
+void TraceCollector::AddKernelPhase(const std::string& name, double compute,
+                                    double mem, double channel, double stall) {
+  for (KernelPhase& phase : phases_) {
+    if (phase.name == name) {
+      phase.compute_cycles += compute;
+      phase.mem_cycles += mem;
+      phase.channel_cycles += channel;
+      phase.stall_cycles += stall;
+      return;
+    }
+  }
+  phases_.push_back(KernelPhase{name, compute, mem, channel, stall});
+}
+
+double TraceCollector::SpanCoverageCycles() const {
+  // Union of [start, end) over all spans, via interval sweep.
+  std::vector<std::pair<double, double>> intervals;
+  intervals.reserve(spans_.size());
+  for (const SpanEvent& span : spans_) {
+    if (span.end_cycles > span.start_cycles) {
+      intervals.emplace_back(span.start_cycles, span.end_cycles);
+    }
+  }
+  std::sort(intervals.begin(), intervals.end());
+  double covered = 0.0;
+  double cursor = -1.0;
+  for (const auto& [lo, hi] : intervals) {
+    const double start = std::max(lo, cursor);
+    if (hi > start) {
+      covered += hi - start;
+      cursor = hi;
+    }
+  }
+  return covered;
+}
+
+std::string TraceCollector::ToChromeJson() const {
+  const double cycles_per_us = clock_mhz_;  // MHz == cycles per microsecond
+  auto us = [cycles_per_us](double cycles) {
+    return JsonNumber(cycles / cycles_per_us);
+  };
+
+  std::string out;
+  out.reserve(256 + 160 * (spans_.size() + instants_.size() + counters_.size()));
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&out, &first]() {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  sep();
+  out +=
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"gpl-sim\"}}";
+  for (size_t t = 0; t < track_names_.size(); ++t) {
+    sep();
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(t) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+           JsonEscape(track_names_[t]) + "\"}}";
+    sep();
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(t) +
+           ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":" +
+           std::to_string(t) + "}}";
+  }
+
+  for (const SpanEvent& span : spans_) {
+    sep();
+    out += "{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(span.track) +
+           ",\"name\":\"" + JsonEscape(span.name) + "\",\"cat\":\"" +
+           JsonEscape(span.category) + "\",\"ts\":" + us(span.start_cycles) +
+           ",\"dur\":" + us(span.end_cycles - span.start_cycles);
+    if (!span.args.empty()) {
+      out += ",\"args\":{";
+      for (size_t i = 0; i < span.args.size(); ++i) {
+        if (i > 0) out += ",";
+        out += "\"" + JsonEscape(span.args[i].first) + "\":" +
+               span.args[i].second;
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+
+  for (const InstantEvent& ev : instants_) {
+    sep();
+    out += "{\"ph\":\"i\",\"pid\":1,\"tid\":" + std::to_string(ev.track) +
+           ",\"name\":\"" + JsonEscape(ev.name) + "\",\"cat\":\"" +
+           JsonEscape(ev.category) + "\",\"ts\":" + us(ev.t_cycles) +
+           ",\"s\":\"t\"}";
+  }
+
+  for (const CounterSample& sample : counters_) {
+    sep();
+    out += "{\"ph\":\"C\",\"pid\":1,\"name\":\"" + JsonEscape(sample.name) +
+           "\",\"ts\":" + us(sample.t_cycles) + ",\"args\":{\"value\":" +
+           JsonNumber(sample.value) + "}}";
+  }
+
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+Status TraceCollector::WriteChromeJson(const std::string& path) const {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::Internal("cannot open trace output: " + path);
+  }
+  file << ToChromeJson();
+  file.close();
+  if (!file.good()) return Status::Internal("failed writing trace: " + path);
+  return Status::OK();
+}
+
+std::string TraceCollector::BreakdownReport(double elapsed_ms) const {
+  double total_work = overhead_cycles_;
+  for (const KernelPhase& phase : phases_) {
+    total_work += phase.compute_cycles + phase.mem_cycles +
+                  phase.channel_cycles + phase.stall_cycles;
+  }
+  const double scale = total_work > 0.0 ? elapsed_ms / total_work : 0.0;
+
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-24s %10s %10s %10s %10s %10s\n", "kernel",
+                "compute", "mem", "DC", "delay", "total(ms)");
+  out += buf;
+  double accounted = 0.0;
+  for (const KernelPhase& phase : phases_) {
+    const double compute = phase.compute_cycles * scale;
+    const double mem = phase.mem_cycles * scale;
+    const double dc = phase.channel_cycles * scale;
+    const double delay = phase.stall_cycles * scale;
+    const double total = compute + mem + dc + delay;
+    accounted += total;
+    std::snprintf(buf, sizeof(buf), "%-24s %10.4f %10.4f %10.4f %10.4f %10.4f\n",
+                  phase.name.c_str(), compute, mem, dc, delay, total);
+    out += buf;
+  }
+  const double other = overhead_cycles_ * scale;
+  accounted += other;
+  std::snprintf(buf, sizeof(buf), "%-24s %10s %10s %10s %10s %10.4f\n",
+                "(launch/scheduling)", "-", "-", "-", "-", other);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "%-24s %54.4f\n", "sum", accounted);
+  out += buf;
+  return out;
+}
+
+}  // namespace trace
+}  // namespace gpl

@@ -184,6 +184,53 @@ TEST(LoggingTest, LevelFilters) {
   SetLogLevel(saved);
 }
 
+TEST(LoggingTest, ParseLogLevelAcceptsAllNames) {
+  const struct {
+    const char* text;
+    LogLevel expected;
+  } cases[] = {
+      {"debug", LogLevel::kDebug},   {"DEBUG", LogLevel::kDebug},
+      {"info", LogLevel::kInfo},     {"warning", LogLevel::kWarning},
+      {"Warn", LogLevel::kWarning},  {"error", LogLevel::kError},
+      {"FATAL", LogLevel::kFatal},
+  };
+  for (const auto& c : cases) {
+    LogLevel level = LogLevel::kInfo;
+    EXPECT_TRUE(ParseLogLevel(c.text, &level)) << c.text;
+    EXPECT_EQ(level, c.expected) << c.text;
+  }
+  LogLevel level = LogLevel::kError;
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel(nullptr, &level));
+  EXPECT_EQ(level, LogLevel::kError);  // failed parses leave the level alone
+}
+
+TEST(LoggingTest, EnvVarControlsLogLevel) {
+  const LogLevel saved = GetLogLevel();
+  ASSERT_EQ(setenv("GPL_LOG_LEVEL", "debug", /*overwrite=*/1), 0);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+
+  ASSERT_EQ(setenv("GPL_LOG_LEVEL", "ERROR", 1), 0);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+
+  // Unrecognized values keep the current level (and warn on stderr).
+  ASSERT_EQ(setenv("GPL_LOG_LEVEL", "shout", 1), 0);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+
+  // An unset variable keeps the current level too.
+  ASSERT_EQ(unsetenv("GPL_LOG_LEVEL"), 0);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+
+  // An explicit SetLogLevel wins over any later env (re)reads via GetLogLevel.
+  SetLogLevel(saved);
+  EXPECT_EQ(GetLogLevel(), saved);
+}
+
 TEST(LoggingTest, CheckPassesOnTrue) {
   GPL_CHECK(1 + 1 == 2) << "never shown";
   GPL_CHECK_OK(Status::OK());

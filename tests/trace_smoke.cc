@@ -1,0 +1,89 @@
+/// End-to-end trace smoke test (registered as a plain ctest, no gtest).
+///
+/// Without arguments: runs TPC-H Q5 under the GPL engine with tracing on,
+/// writes the Chrome trace to a temp file, re-reads it, validates the JSON
+/// with the built-in parser, and checks that spans cover >= 95% of the
+/// simulated elapsed time and that channel-stall instants are present.
+///
+/// With a path argument: only validates that file as JSON (lets scripts
+/// reuse the binary to check a trace produced by `gplcli --trace=...`).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "engine/engine.h"
+#include "queries/tpch_queries.h"
+#include "tpch/dbgen.h"
+#include "trace/json.h"
+#include "trace/trace.h"
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "trace_smoke: FAIL: %s\n", message.c_str());
+  return 1;
+}
+
+int ValidateFile(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Fail(std::string("cannot open ") + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  if (!gpl::trace::ValidateJson(buffer.str(), &error)) {
+    return Fail(std::string(path) + " is not valid JSON: " + error);
+  }
+  std::printf("trace_smoke: OK (%s valid, %zu bytes)\n", path,
+              buffer.str().size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) return ValidateFile(argv[1]);
+
+  gpl::tpch::DbgenConfig config;
+  config.scale_factor = 0.02;
+  const gpl::tpch::Database db = gpl::tpch::Generate(config);
+
+  gpl::trace::TraceCollector collector;
+  gpl::EngineOptions options;
+  options.mode = gpl::EngineMode::kGpl;
+  options.trace = &collector;
+  gpl::Engine engine(&db, options);
+  gpl::Result<gpl::QueryResult> result = engine.Execute(gpl::queries::Q5());
+  if (!result.ok()) return Fail("Q5 failed: " + result.status().ToString());
+
+  if (collector.spans().empty()) return Fail("no spans recorded");
+  const double elapsed_cycles = result->metrics.counters.elapsed_cycles;
+  const double coverage = collector.SpanCoverageCycles();
+  if (coverage < 0.95 * elapsed_cycles) {
+    return Fail("span coverage " + std::to_string(coverage) + " cycles < 95% of " +
+                std::to_string(elapsed_cycles));
+  }
+
+  bool has_stall_instant = false;
+  for (const gpl::trace::InstantEvent& instant : collector.instants()) {
+    if (instant.category == "stall") has_stall_instant = true;
+  }
+  if (!has_stall_instant) return Fail("no channel-stall instants recorded");
+
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string path =
+      std::string(tmpdir != nullptr ? tmpdir : "/tmp") + "/gpl_trace_smoke.json";
+  gpl::Status status = collector.WriteChromeJson(path);
+  if (!status.ok()) return Fail("write failed: " + status.ToString());
+
+  const int rc = ValidateFile(path.c_str());
+  if (rc != 0) return rc;
+  std::remove(path.c_str());
+  std::printf(
+      "trace_smoke: OK (Q5 GPL: %zu spans, %zu counters, %zu instants, "
+      "coverage %.1f%% of %.0f cycles)\n",
+      collector.spans().size(), collector.counters().size(),
+      collector.instants().size(), 100.0 * coverage / elapsed_cycles,
+      elapsed_cycles);
+  return 0;
+}

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "engine/engine.h"
+#include "engine/metrics_json.h"
+#include "queries/tpch_queries.h"
+#include "sim/engine.h"
+#include "test_util.h"
+#include "trace/json.h"
+#include "trace/trace.h"
+
+namespace gpl {
+namespace {
+
+using testing_util::MediumDb;
+using testing_util::SmallDb;
+
+using sim::ChannelConfig;
+using sim::DeviceSpec;
+using sim::Endpoint;
+using sim::KernelLaunch;
+using sim::PipelineSpec;
+using sim::Simulator;
+using sim::SimResult;
+
+KernelLaunch MakeLaunch(const std::string& name, int64_t rows,
+                        int64_t bytes_in, int64_t bytes_out) {
+  KernelLaunch launch;
+  launch.desc.name = name;
+  launch.desc.compute_inst_per_row = 8.0;
+  launch.desc.mem_inst_per_row = 2.0;
+  launch.desc.private_bytes_per_item = 64;
+  launch.rows_in = rows;
+  launch.bytes_in = bytes_in;
+  launch.rows_out = rows;
+  launch.bytes_out = bytes_out;
+  return launch;
+}
+
+PipelineSpec TwoStagePipeline(int64_t rows) {
+  PipelineSpec spec;
+  KernelLaunch producer = MakeLaunch("producer", rows, rows * 8, rows * 8);
+  producer.output = Endpoint::kChannel;
+  producer.workgroups_per_tile = 64;
+  KernelLaunch consumer = MakeLaunch("consumer", rows, rows * 8, 8);
+  consumer.input = Endpoint::kChannel;
+  consumer.workgroups_per_tile = 64;
+  spec.kernels = {producer, consumer};
+  spec.channel_configs = {ChannelConfig{}};
+  spec.tile_bytes = MiB(1);
+  return spec;
+}
+
+// ---- JSON validator ----
+
+TEST(JsonValidateTest, AcceptsValidDocuments) {
+  for (const char* doc :
+       {"{}", "[]", "null", "true", "-12.5e3", "\"s\\u00e9\\n\"",
+        R"({"a":[1,2,{"b":null}],"c":"\"quoted\""})"}) {
+    std::string error;
+    EXPECT_TRUE(trace::ValidateJson(doc, &error)) << doc << ": " << error;
+  }
+}
+
+TEST(JsonValidateTest, RejectsMalformedDocuments) {
+  for (const char* doc :
+       {"", "{", "[1,]", "{\"a\":}", "{'a':1}", "[1 2]", "01", "+1", "nul",
+        "\"unterminated", "{\"a\":1}trailing", "[\"\\x\"]"}) {
+    std::string error;
+    EXPECT_FALSE(trace::ValidateJson(doc, &error)) << doc;
+    EXPECT_FALSE(error.empty()) << doc;
+  }
+}
+
+TEST(JsonValidateTest, EscapeRoundTripsThroughValidator) {
+  const std::string nasty = "a\"b\\c\nd\te\x01f";
+  const std::string doc = "{\"k\":\"" + trace::JsonEscape(nasty) + "\"}";
+  std::string error;
+  EXPECT_TRUE(trace::ValidateJson(doc, &error)) << error;
+}
+
+TEST(JsonValidateTest, NumbersNeverProduceInfNan) {
+  EXPECT_TRUE(trace::ValidateJson(trace::JsonNumber(1.0 / 0.0)));
+  EXPECT_TRUE(trace::ValidateJson(trace::JsonNumber(std::nan(""))));
+}
+
+// ---- (a) span nesting / ordering on the simulated-time axis ----
+
+TEST(TraceCollectorTest, PipelineSpansMatchSimulatedTime) {
+  Simulator sim(DeviceSpec::AmdA10());
+  trace::TraceCollector collector;
+  PipelineSpec spec = TwoStagePipeline(500000);
+  spec.trace = &collector;
+  spec.label = "test segment";
+  const SimResult r = sim.RunPipeline(spec);
+
+  const double elapsed = r.elapsed_cycles();
+  ASSERT_FALSE(collector.spans().empty());
+
+  const int seg_track = collector.TrackId("segment");
+  int segment_spans = 0;
+  for (const trace::SpanEvent& span : collector.spans()) {
+    // Every span lies within the simulated execution window.
+    EXPECT_GE(span.start_cycles, 0.0);
+    EXPECT_LE(span.end_cycles, elapsed + 1e-9);
+    EXPECT_LE(span.start_cycles, span.end_cycles);
+    if (span.track == seg_track) {
+      ++segment_spans;
+      // The segment span nests every kernel/tile span.
+      EXPECT_EQ(span.start_cycles, 0.0);
+      EXPECT_GE(span.end_cycles, collector.SpanCoverageCycles() - 1e-9);
+    }
+  }
+  EXPECT_EQ(segment_spans, 1);
+
+  // Tile spans on one kernel's track complete in tile order.
+  for (const char* kernel : {"producer", "consumer"}) {
+    const int track = collector.TrackId(kernel);
+    double last_end = -1.0;
+    int tiles = 0;
+    for (const trace::SpanEvent& span : collector.spans()) {
+      if (span.track != track) continue;
+      ++tiles;
+      EXPECT_GE(span.end_cycles, last_end);  // emitted in completion order
+      last_end = span.end_cycles;
+    }
+    EXPECT_GT(tiles, 0) << kernel;
+  }
+
+  // The origin advanced so the next run lays out after this one.
+  EXPECT_DOUBLE_EQ(collector.origin_cycles(), elapsed);
+}
+
+TEST(TraceCollectorTest, ConsecutiveRunsLayOutEndToEnd) {
+  Simulator sim(DeviceSpec::AmdA10());
+  trace::TraceCollector collector;
+  const SimResult first =
+      sim.RunKernelBatch(MakeLaunch("k", 100000, 800000, 0), 0, &collector);
+  const size_t spans_after_first = collector.spans().size();
+  const SimResult second =
+      sim.RunKernelBatch(MakeLaunch("k", 100000, 800000, 0), 0, &collector);
+  ASSERT_EQ(collector.spans().size(), spans_after_first + 1);
+  const trace::SpanEvent& a = collector.spans()[spans_after_first - 1];
+  const trace::SpanEvent& b = collector.spans()[spans_after_first];
+  EXPECT_DOUBLE_EQ(b.start_cycles, first.elapsed_cycles());
+  EXPECT_DOUBLE_EQ(b.end_cycles - b.start_cycles, second.elapsed_cycles());
+  EXPECT_LE(a.end_cycles, b.start_cycles + 1e-9);
+}
+
+// ---- (b) Chrome trace JSON is well-formed ----
+
+TEST(TraceCollectorTest, ChromeJsonIsWellFormed) {
+  Simulator sim(DeviceSpec::AmdA10());
+  trace::TraceCollector collector;
+  PipelineSpec spec = TwoStagePipeline(500000);
+  spec.trace = &collector;
+  spec.label = "chars needing escapes: \"quotes\" \\ and\nnewline";
+  sim.RunPipeline(spec);
+
+  const std::string json = collector.ToChromeJson();
+  std::string error;
+  ASSERT_TRUE(trace::ValidateJson(json, &error)) << error;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+}
+
+TEST(TraceCollectorTest, EmptyCollectorStillExportsValidJson) {
+  trace::TraceCollector collector;
+  std::string error;
+  EXPECT_TRUE(trace::ValidateJson(collector.ToChromeJson(), &error)) << error;
+}
+
+// ---- (c) disabled tracing emits nothing and perturbs nothing ----
+
+TEST(TraceCollectorTest, DisabledTracingEmitsNothingAndMatchesTracedRun) {
+  Simulator sim(DeviceSpec::AmdA10());
+  trace::TraceCollector unused;
+
+  PipelineSpec spec = TwoStagePipeline(300000);
+  const SimResult plain = sim.RunPipeline(spec);  // spec.trace == nullptr
+  EXPECT_TRUE(unused.empty());
+
+  trace::TraceCollector collector;
+  spec.trace = &collector;
+  const SimResult traced = sim.RunPipeline(spec);
+  EXPECT_FALSE(collector.empty());
+
+  // Tracing must not perturb the simulation: identical counters either way.
+  EXPECT_DOUBLE_EQ(plain.counters.elapsed_cycles,
+                   traced.counters.elapsed_cycles);
+  EXPECT_DOUBLE_EQ(plain.counters.compute_cycles,
+                   traced.counters.compute_cycles);
+  EXPECT_DOUBLE_EQ(plain.counters.mem_cycles, traced.counters.mem_cycles);
+  EXPECT_DOUBLE_EQ(plain.counters.stall_cycles, traced.counters.stall_cycles);
+  EXPECT_DOUBLE_EQ(plain.counters.cache_accesses,
+                   traced.counters.cache_accesses);
+}
+
+// ---- (d) per-kernel breakdown agrees with QueryMetrics ----
+
+TEST(TraceCollectorTest, KernelPhaseBreakdownSumsToElapsed) {
+  trace::TraceCollector collector;
+  EngineOptions options;
+  options.mode = EngineMode::kGpl;
+  options.trace = &collector;
+  Engine engine(&MediumDb(), options);
+  Result<QueryResult> result = engine.Execute(queries::Q5());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const QueryMetrics& m = result->metrics;
+
+  // The accumulated phases + overhead equal the counters' total work, so the
+  // scaled per-kernel breakdown sums to elapsed_ms (Figures 20/29).
+  double phase_cycles = collector.overhead_cycles();
+  for (const trace::KernelPhase& phase : collector.kernel_phases()) {
+    phase_cycles += phase.compute_cycles + phase.mem_cycles +
+                    phase.channel_cycles + phase.stall_cycles;
+  }
+  const double counter_cycles =
+      m.counters.compute_cycles + m.counters.mem_cycles +
+      m.counters.channel_cycles + m.counters.stall_cycles +
+      m.counters.launch_cycles;
+  EXPECT_NEAR(phase_cycles, counter_cycles, 1e-6 * counter_cycles);
+
+  const double scale =
+      phase_cycles > 0.0 ? m.elapsed_ms / phase_cycles : 0.0;
+  double breakdown_ms = collector.overhead_cycles() * scale;
+  for (const trace::KernelPhase& phase : collector.kernel_phases()) {
+    breakdown_ms += (phase.compute_cycles + phase.mem_cycles +
+                     phase.channel_cycles + phase.stall_cycles) *
+                    scale;
+  }
+  EXPECT_NEAR(breakdown_ms, m.elapsed_ms, 1e-6 * m.elapsed_ms);
+
+  // And the spans cover (at least) 95% of the elapsed time.
+  const double elapsed_cycles = m.counters.elapsed_cycles;
+  EXPECT_GE(collector.SpanCoverageCycles(), 0.95 * elapsed_cycles);
+
+  // The report renders and mentions every pipelined kernel once.
+  const std::string report = collector.BreakdownReport(m.elapsed_ms);
+  EXPECT_NE(report.find("k_hash_probe"), std::string::npos);
+  EXPECT_NE(report.find("(launch/scheduling)"), std::string::npos);
+}
+
+// ---- metrics JSON export ----
+
+TEST(MetricsJsonTest, ExportIsValidJsonWithExpectedFields) {
+  EngineOptions options;
+  options.mode = EngineMode::kGpl;
+  Engine engine(&SmallDb(), options);
+  Result<QueryResult> result = engine.Execute(queries::Q14());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  MetricsJsonEntry entry;
+  entry.query = "Q14";
+  entry.mode = "GPL";
+  entry.device = engine.options().device.name;
+  entry.metrics = result->metrics;
+
+  const std::string object = QueryMetricsToJson(entry);
+  std::string error;
+  ASSERT_TRUE(trace::ValidateJson(object, &error)) << error;
+  for (const char* field :
+       {"\"query\"", "\"elapsed_ms\"", "\"cache_hit_ratio\"", "\"dc_ms\"",
+        "\"delay_ms\"", "\"stall_cycles\"", "\"channel_bytes\""}) {
+    EXPECT_NE(object.find(field), std::string::npos) << field;
+  }
+
+  const std::string array = MetricsReportToJson({entry, entry});
+  ASSERT_TRUE(trace::ValidateJson(array, &error)) << error;
+}
+
+// ---- KBE path also traces ----
+
+TEST(TraceCollectorTest, KbeExecutionEmitsKernelSpans) {
+  trace::TraceCollector collector;
+  EngineOptions options;
+  options.mode = EngineMode::kKbe;
+  options.trace = &collector;
+  Engine engine(&SmallDb(), options);
+  Result<QueryResult> result = engine.Execute(queries::Q14());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(collector.spans().empty());
+  // KBE runs kernels back-to-back: spans must not overlap.
+  double last_end = 0.0;
+  for (const trace::SpanEvent& span : collector.spans()) {
+    EXPECT_GE(span.start_cycles, last_end - 1e-9);
+    last_end = span.end_cycles;
+  }
+  EXPECT_NEAR(last_end, result->metrics.counters.elapsed_cycles,
+              1e-6 * last_end);
+}
+
+}  // namespace
+}  // namespace gpl
