@@ -19,7 +19,7 @@ int main() {
     const QueryResult r = benchutil::Run(db, EngineMode::kGpl, query);
     std::printf("%8s %14.3f %14.3f %13.1f%% %14.3f\n", name.c_str(),
                 r.metrics.elapsed_ms, r.metrics.predicted_ms,
-                100.0 * r.metrics.RelativeError(), r.metrics.optimize_ms);
+                100.0 * r.metrics.RelativeError(), r.metrics.OptimizeWallMs());
   }
   std::printf("(paper: small relative error; the model generally "
               "underestimates; optimization < 5 ms)\n");

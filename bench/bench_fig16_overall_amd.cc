@@ -1,26 +1,32 @@
 /// Figure 16: comparison between KBE, GPL (w/o CE) and GPL on the AMD
-/// device, per TPC-H query (normalized to KBE).
+/// device, per TPC-H query (normalized to KBE). `--device=nvidia` re-runs
+/// the same comparison on the K40 preset.
 #include <cstdio>
 
 #include "bench_util.h"
 
 int main(int argc, char** argv) {
   using namespace gpl;
-  const std::string out_path = benchutil::ParseOutPath(argc, argv);
+  const benchutil::BenchArgs args =
+      benchutil::ParseBenchArgs(argc, argv, sim::DeviceSpec::AmdA10());
+  const std::string& out_path = args.out;
   const double sf = benchutil::ScaleFactor();
   const tpch::Database& db = benchutil::Db(sf);
-  const sim::DeviceSpec device = sim::DeviceSpec::AmdA10();
-  benchutil::Banner("Figure 16",
-                    "KBE vs GPL (w/o CE) vs GPL per query (AMD device)", sf);
+  const sim::DeviceSpec& device = args.device;
+  benchutil::Banner(
+      "Figure 16",
+      ("KBE vs GPL (w/o CE) vs GPL per query (" + device.name + ")").c_str(),
+      sf);
 
   benchutil::JsonlWriter jsonl(out_path);
   std::printf("%8s %12s %16s %12s %18s\n", "query", "KBE (ms)",
               "GPL w/o CE (ms)", "GPL (ms)", "GPL improvement");
   double best_improvement = 0.0;
   for (auto& [name, query] : queries::EvaluationSuite()) {
-    const QueryResult kbe = benchutil::Run(db, EngineMode::kKbe, query);
-    const QueryResult noce = benchutil::Run(db, EngineMode::kGplNoCe, query);
-    const QueryResult gpl = benchutil::Run(db, EngineMode::kGpl, query);
+    const QueryResult kbe = benchutil::Run(db, EngineMode::kKbe, query, device);
+    const QueryResult noce =
+        benchutil::Run(db, EngineMode::kGplNoCe, query, device);
+    const QueryResult gpl = benchutil::Run(db, EngineMode::kGpl, query, device);
     jsonl.Record(name, EngineMode::kKbe, device, kbe.metrics);
     jsonl.Record(name, EngineMode::kGplNoCe, device, noce.metrics);
     jsonl.Record(name, EngineMode::kGpl, device, gpl.metrics);

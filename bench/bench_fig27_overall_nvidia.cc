@@ -1,17 +1,21 @@
 /// Figure 27 (Appendix A.3.2): GPL and GPL (w/o CE) execution time
-/// normalized to KBE on the NVIDIA K40, per TPC-H query.
+/// normalized to KBE on the NVIDIA K40, per TPC-H query. `--device=amd`
+/// re-runs the same normalized comparison on the A10-7850K preset.
 #include <cstdio>
 
 #include "bench_util.h"
 
 int main(int argc, char** argv) {
   using namespace gpl;
-  const std::string out_path = benchutil::ParseOutPath(argc, argv);
+  const benchutil::BenchArgs args =
+      benchutil::ParseBenchArgs(argc, argv, sim::DeviceSpec::NvidiaK40());
+  const std::string& out_path = args.out;
   const double sf = benchutil::ScaleFactor();
   const tpch::Database& db = benchutil::Db(sf);
-  const sim::DeviceSpec device = sim::DeviceSpec::NvidiaK40();
-  benchutil::Banner("Figure 27",
-                    "GPL runtime normalized to KBE (NVIDIA K40)", sf);
+  const sim::DeviceSpec& device = args.device;
+  benchutil::Banner(
+      "Figure 27",
+      ("GPL runtime normalized to KBE (" + device.name + ")").c_str(), sf);
 
   benchutil::JsonlWriter jsonl(out_path);
   std::printf("%8s %12s %18s %14s %16s\n", "query", "KBE (norm)",

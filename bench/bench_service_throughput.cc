@@ -1,0 +1,110 @@
+/// Service throughput: queries/second through service::QueryService as the
+/// worker count grows, closed-loop over a Q5/Q14 mix. Not a paper figure —
+/// the service layer is an extension on top of the paper's single-query
+/// engine — but the same methodology as the overall-performance figures:
+/// fixed workload, sweep one knob, report JSONL.
+///
+/// Reported per worker count: host wall time, completed queries/s, admission
+/// counters (admitted/rejected off the bounded queue) and p50/p95 latency.
+/// Host wall-clock throughput depends on the machine's core count (on a
+/// single-core runner the sweep shows scheduling overhead, not speedup);
+/// total_simulated_ms is identical across rows — the determinism the service
+/// guarantees (see tests/service_test.cc).
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <sstream>
+#include <vector>
+
+#include "bench_util.h"
+#include "service/query_service.h"
+
+int main(int argc, char** argv) {
+  using namespace gpl;
+  const benchutil::BenchArgs args =
+      benchutil::ParseBenchArgs(argc, argv, sim::DeviceSpec::AmdA10());
+  const double sf = benchutil::ScaleFactor(0.02);
+  const tpch::Database& db = benchutil::Db(sf);
+  benchutil::Banner(
+      "Service throughput",
+      ("QueryService queries/s vs worker count (" + args.device.name + ")")
+          .c_str(),
+      sf);
+
+  std::vector<std::pair<std::string, LogicalQuery>> workload;
+  for (auto& [name, query] : queries::EvaluationSuite()) {
+    if (name == "Q5" || name == "Q14") workload.emplace_back(name, query);
+  }
+  GPL_CHECK(!workload.empty());
+
+  constexpr int kQueries = 48;
+  benchutil::JsonlWriter jsonl(args.out);
+  std::printf("%8s %12s %12s %10s %10s %12s %12s\n", "workers", "wall (s)",
+              "queries/s", "admitted", "rejected", "p50 (ms)", "p95 (ms)");
+
+  for (int workers : {1, 2, 4, 8}) {
+    service::ServiceOptions sopts;
+    sopts.num_workers = workers;
+    sopts.queue_capacity = 8;
+    sopts.engine.device = args.device;
+    service::QueryService svc(&db, sopts);
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    std::deque<service::QueryHandle> inflight;
+    for (int i = 0; i < kQueries; ++i) {
+      const auto& [name, query] = workload[static_cast<size_t>(i) %
+                                           workload.size()];
+      for (;;) {
+        Result<service::QueryHandle> submitted =
+            svc.Submit(name + "#" + std::to_string(i), query);
+        if (submitted.ok()) {
+          inflight.push_back(submitted.take());
+          break;
+        }
+        // Closed loop: queue full — drain the oldest in-flight, retry.
+        GPL_CHECK(submitted.status().code() ==
+                  StatusCode::kResourceExhausted)
+            << submitted.status().ToString();
+        GPL_CHECK(!inflight.empty());
+        inflight.front().Await();
+        inflight.pop_front();
+      }
+    }
+    for (service::QueryHandle& handle : inflight) {
+      const Result<QueryResult>& result = handle.Await();
+      GPL_CHECK(result.ok()) << result.status().ToString();
+    }
+    svc.Shutdown();
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+
+    const service::ServiceStats stats = svc.Stats();
+    const double qps =
+        wall_s > 0 ? static_cast<double>(stats.completed) / wall_s : 0.0;
+    std::printf("%8d %12.3f %12.1f %10llu %10llu %12.3f %12.3f\n", workers,
+                wall_s, qps, static_cast<unsigned long long>(stats.admitted),
+                static_cast<unsigned long long>(stats.rejected),
+                stats.p50_latency_ms, stats.p95_latency_ms);
+
+    std::ostringstream row;
+    row.precision(6);
+    row << "{\"bench\":\"service_throughput\",\"device\":\"" << args.device.name
+        << "\",\"workers\":" << workers << ",\"queries\":" << kQueries
+        << ",\"wall_s\":" << wall_s << ",\"queries_per_s\":" << qps
+        << ",\"admitted\":" << stats.admitted
+        << ",\"rejected\":" << stats.rejected
+        << ",\"completed\":" << stats.completed
+        << ",\"p50_latency_ms\":" << stats.p50_latency_ms
+        << ",\"p95_latency_ms\":" << stats.p95_latency_ms
+        << ",\"total_simulated_ms\":" << stats.total_simulated_ms << "}";
+    jsonl.Line(row.str());
+  }
+
+  if (jsonl.enabled())
+    std::printf("\nresults written to %s\n", args.out.c_str());
+  std::printf("\n(throughput is host wall-clock and scales with available "
+              "cores; simulated totals are worker-count invariant)\n");
+  return 0;
+}

@@ -52,8 +52,8 @@ inline QueryResult Run(const tpch::Database& db, EngineMode mode,
   EngineOptions options;
   options.mode = mode;
   options.device = device;
-  options.overrides = overrides;
-  options.use_cost_model = use_cost_model;
+  options.exec.overrides = overrides;
+  options.exec.use_cost_model = use_cost_model;
   Engine engine(&db, options);
   Result<QueryResult> result = engine.Execute(query);
   GPL_CHECK(result.ok()) << query.name << " under " << EngineModeName(mode)
@@ -90,6 +90,13 @@ class JsonlWriter {
     out_ << QueryMetricsToJson(entry) << "\n";
   }
 
+  /// Writes one pre-rendered JSON object as a line — for benches whose rows
+  /// are not per-query metrics (e.g. service throughput per worker count).
+  void Line(const std::string& json_object) {
+    if (!enabled()) return;
+    out_ << json_object << "\n";
+  }
+
  private:
   std::ofstream out_;
 };
@@ -108,6 +115,39 @@ inline std::string ParseOutPath(int argc, char** argv) {
     }
   }
   return out;
+}
+
+/// Common bench flags for device-parameterized benches: `--out=<path>` plus
+/// `--device=<amd|nvidia>`, the latter going through the library's
+/// ParseDeviceSpec rather than a per-bench hand-rolled name switch.
+struct BenchArgs {
+  std::string out;
+  sim::DeviceSpec device;
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv,
+                                const sim::DeviceSpec& default_device) {
+  BenchArgs args;
+  args.device = default_device;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--out=", 6) == 0) {
+      args.out = arg + 6;
+    } else if (std::strncmp(arg, "--device=", 9) == 0) {
+      Result<sim::DeviceSpec> device = ParseDeviceSpec(arg + 9);
+      if (!device.ok()) {
+        std::fprintf(stderr, "%s\n", device.status().ToString().c_str());
+        std::exit(2);
+      }
+      args.device = device.take();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--out=results.jsonl] [--device=amd|nvidia]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
 }
 
 /// Prints the standard bench banner: which paper artifact this regenerates.

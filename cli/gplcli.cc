@@ -5,6 +5,7 @@
 ///   gplcli --query=Q8 --explain
 ///   gplcli --dump-tbl=/tmp/tpch --sf=0.01
 ///   gplcli --query=Q5 --tbl-dir=/tmp/tpch
+///   gplcli --query=all --serve-workers=4 --serve-queries=64
 ///
 /// Flags:
 ///   --query=<Q1|Q3|Q5|Q6|Q7|Q8|Q9|Q10|Q12|Q14|Q19|all|extended|example>
@@ -25,11 +26,29 @@
 ///   --metrics-json=<file>             write QueryMetrics/HwCounters as JSON
 ///   --breakdown                       print the per-kernel phase breakdown
 ///                                     (compute/mem/DC/delay, Figures 20/29)
+///
+/// Serve mode (concurrent multi-query execution via service::QueryService):
+///   --serve-workers=<N>               run N worker engines concurrently; the
+///                                     selected --query (or suite) becomes the
+///                                     workload mix
+///   --serve-queries=<M>               total queries to push through the
+///                                     service, closed-loop (default 32)
+///   --serve-queue=<C>                 admission-queue capacity (default 8);
+///                                     the driver retries rejected submissions
+///                                     after draining one in-flight query
+///   --timeout-ms=<T>                  per-query deadline, host wall-clock
+///                                     (default off)
+///   With --trace, serve mode writes the service timeline (per-worker
+///   queue/exec spans, concurrency counter, rejection instants) instead of
+///   the simulator timeline.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/math_util.h"
@@ -37,6 +56,7 @@
 #include "engine/metrics_json.h"
 #include "queries/tpch_queries.h"
 #include "ref/reference_executor.h"
+#include "service/query_service.h"
 #include "tpch/tbl_io.h"
 #include "trace/trace.h"
 
@@ -61,6 +81,12 @@ struct CliOptions {
   std::string tbl_dir;
   std::string trace_path;
   std::string metrics_json_path;
+
+  // Serve mode.
+  int serve_workers = 0;  ///< 0 = single-query mode
+  int serve_queries = 32;
+  int serve_queue = 8;
+  double timeout_ms = 0.0;
 };
 
 /// Per-run accumulators shared across queries (one timeline, one report).
@@ -86,7 +112,9 @@ int Usage(const char* argv0) {
                "          [--partitioned] [--explain] [--verify] [--rows=N]\n"
                "          [--dump-tbl=DIR] [--tbl-dir=DIR]\n"
                "          [--trace=FILE.json] [--metrics-json=FILE.json] "
-               "[--breakdown]\n",
+               "[--breakdown]\n"
+               "          [--serve-workers=N [--serve-queries=M] "
+               "[--serve-queue=C] [--timeout-ms=T]]\n",
                argv0);
   return 2;
 }
@@ -100,6 +128,17 @@ Result<LogicalQuery> FindQuery(const std::string& name) {
   }
   if (name == "example") return queries::ExampleQuery();
   return Status::NotFound("unknown query: " + name);
+}
+
+/// The workload selected by --query: a single query or a whole suite.
+Result<std::vector<std::pair<std::string, LogicalQuery>>> SelectWorkload(
+    const std::string& name) {
+  if (name == "all") return queries::EvaluationSuite();
+  if (name == "extended") return queries::ExtendedSuite();
+  GPL_ASSIGN_OR_RETURN(LogicalQuery q, FindQuery(name));
+  std::vector<std::pair<std::string, LogicalQuery>> workload;
+  workload.emplace_back(name, std::move(q));
+  return workload;
 }
 
 int RunQuery(Engine& engine, const tpch::Database& db, const CliOptions& cli,
@@ -142,9 +181,9 @@ int RunQuery(Engine& engine, const tpch::Database& db, const CliOptions& cli,
     predicted = buf;
   }
   std::printf(
-      "elapsed %.3f ms (simulated)%s, optimize %.2f ms, VALU %.1f%%, "
+      "elapsed %.3f ms (simulated)%s, optimize %.2f ms (host), VALU %.1f%%, "
       "MemUnit %.1f%%, cache-hit %.1f%%\n",
-      m.elapsed_ms, predicted.c_str(), m.optimize_ms, 100.0 * m.valu_busy,
+      m.elapsed_ms, predicted.c_str(), m.OptimizeWallMs(), 100.0 * m.valu_busy,
       100.0 * m.mem_unit_busy, 100.0 * m.cache_hit_ratio);
 
   if (cli.verify) {
@@ -164,6 +203,95 @@ int RunQuery(Engine& engine, const tpch::Database& db, const CliOptions& cli,
   }
   std::printf("\n");
   return 0;
+}
+
+/// Closed-loop serve driver: pushes --serve-queries queries (round-robin over
+/// the workload) through a QueryService. When the admission queue rejects a
+/// submission, the driver drains the oldest in-flight query and retries —
+/// the closed loop keeps the service saturated without overrunning it.
+int RunServe(const tpch::Database& db, const CliOptions& cli,
+             const EngineOptions& engine_options) {
+  Result<std::vector<std::pair<std::string, LogicalQuery>>> workload_or =
+      SelectWorkload(cli.query);
+  if (!workload_or.ok()) {
+    std::fprintf(stderr, "%s\n", workload_or.status().ToString().c_str());
+    return 2;
+  }
+  const std::vector<std::pair<std::string, LogicalQuery>>& workload =
+      *workload_or;
+
+  service::ServiceOptions sopts;
+  sopts.num_workers = cli.serve_workers;
+  sopts.queue_capacity = static_cast<size_t>(cli.serve_queue);
+  sopts.default_timeout_ms = cli.timeout_ms;
+  sopts.engine = engine_options;
+
+  std::printf("serving %d queries (%s mix) on %d workers, queue capacity %d"
+              "%s...\n",
+              cli.serve_queries, cli.query.c_str(), sopts.num_workers,
+              cli.serve_queue,
+              cli.timeout_ms > 0 ? ", per-query deadline" : "");
+
+  service::QueryService svc(&db, sopts);
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  std::deque<service::QueryHandle> inflight;
+  int failures = 0;
+  for (int i = 0; i < cli.serve_queries; ++i) {
+    const auto& [name, query] =
+        workload[static_cast<size_t>(i) % workload.size()];
+    for (;;) {
+      Result<service::QueryHandle> submitted =
+          svc.Submit(name + "#" + std::to_string(i), query);
+      if (submitted.ok()) {
+        inflight.push_back(submitted.take());
+        break;
+      }
+      if (submitted.status().code() != StatusCode::kResourceExhausted ||
+          inflight.empty()) {
+        std::fprintf(stderr, "submit failed: %s\n",
+                     submitted.status().ToString().c_str());
+        return 1;
+      }
+      inflight.front().Await();
+      inflight.pop_front();
+    }
+  }
+  for (service::QueryHandle& handle : inflight) {
+    const Result<QueryResult>& result = handle.Await();
+    // Deadline misses are an expected outcome under load, not a failure.
+    if (!result.ok() &&
+        result.status().code() != StatusCode::kDeadlineExceeded &&
+        result.status().code() != StatusCode::kCancelled) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      failures++;
+    }
+  }
+  svc.Shutdown();
+
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  service::ServiceStats stats = svc.Stats();
+  std::printf("--- service stats ---\n%s\n", stats.ToString().c_str());
+  std::printf("host wall time %.3f s, %.1f queries/s (completed)\n", wall_s,
+              wall_s > 0 ? static_cast<double>(stats.completed) / wall_s : 0.0);
+
+  if (!cli.trace_path.empty()) {
+    trace::TraceCollector collector;
+    svc.ExportTrace(&collector);
+    Status status = collector.WriteChromeJson(cli.trace_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "writing trace failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote service timeline (%zu spans) to %s\n",
+                collector.spans().size(), cli.trace_path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -196,6 +324,14 @@ int main(int argc, char** argv) {
       cli.trace_path = value;
     } else if (ParseFlag(argv[i], "metrics-json", &value)) {
       cli.metrics_json_path = value;
+    } else if (ParseFlag(argv[i], "serve-workers", &value)) {
+      cli.serve_workers = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "serve-queries", &value)) {
+      cli.serve_queries = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "serve-queue", &value)) {
+      cli.serve_queue = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "timeout-ms", &value)) {
+      cli.timeout_ms = std::atof(value.c_str());
     } else if (std::strcmp(argv[i], "--breakdown") == 0) {
       cli.breakdown = true;
     } else if (std::strcmp(argv[i], "--partitioned") == 0) {
@@ -214,6 +350,10 @@ int main(int argc, char** argv) {
 
   if (cli.sf <= 0.0) {
     std::fprintf(stderr, "--sf must be positive\n");
+    return 2;
+  }
+  if (cli.serve_workers > 0 && (cli.serve_queries < 1 || cli.serve_queue < 1)) {
+    std::fprintf(stderr, "--serve-queries and --serve-queue must be >= 1\n");
     return 2;
   }
 
@@ -246,35 +386,34 @@ int main(int argc, char** argv) {
 
   // ---- Engine ----
   EngineOptions options;
-  if (cli.mode == "gpl") {
-    options.mode = EngineMode::kGpl;
-  } else if (cli.mode == "kbe") {
-    options.mode = EngineMode::kKbe;
-  } else if (cli.mode == "noce") {
-    options.mode = EngineMode::kGplNoCe;
-  } else if (cli.mode == "ocelot") {
-    options.mode = EngineMode::kOcelot;
-  } else {
-    std::fprintf(stderr, "unknown mode: %s\n", cli.mode.c_str());
-    return Usage(argv[0]);
-  }
-  if (cli.device == "amd") {
-    options.device = gpl::sim::DeviceSpec::AmdA10();
-  } else if (cli.device == "nvidia") {
-    options.device = gpl::sim::DeviceSpec::NvidiaK40();
-  } else {
-    std::fprintf(stderr, "unknown device: %s\n", cli.device.c_str());
-    return Usage(argv[0]);
+  {
+    Result<EngineMode> mode = ParseEngineMode(cli.mode);
+    if (!mode.ok()) {
+      std::fprintf(stderr, "%s\n", mode.status().ToString().c_str());
+      return Usage(argv[0]);
+    }
+    options.mode = *mode;
+    Result<sim::DeviceSpec> device = ParseDeviceSpec(cli.device);
+    if (!device.ok()) {
+      std::fprintf(stderr, "%s\n", device.status().ToString().c_str());
+      return Usage(argv[0]);
+    }
+    options.device = device.take();
   }
   if (cli.tile_kb > 0) {
-    options.use_cost_model = false;
-    options.overrides.tile_bytes = cli.tile_kb * 1024;
+    options.exec.use_cost_model = false;
+    options.exec.overrides.tile_bytes = cli.tile_kb * 1024;
   }
   if (cli.wg > 0) {
-    options.use_cost_model = false;
-    options.overrides.workgroups_per_kernel = cli.wg;
+    options.exec.use_cost_model = false;
+    options.exec.overrides.workgroups_per_kernel = cli.wg;
   }
   options.partitioned_joins = cli.partitioned;
+
+  // ---- Serve mode ----
+  if (cli.serve_workers > 0) {
+    return RunServe(db, cli, options);
+  }
 
   // ---- Tracing / profiling ----
   trace::TraceCollector collector;
@@ -283,7 +422,7 @@ int main(int argc, char** argv) {
       !cli.trace_path.empty() || cli.breakdown;
   if (tracing) {
     state.trace = &collector;
-    options.trace = &collector;
+    options.exec.trace = &collector;
   }
   Engine engine(&db, options);
 

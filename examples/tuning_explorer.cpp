@@ -45,7 +45,7 @@ int main() {
   Result<GplRunResult> tuned = engine.ExecuteGplDetailed(*plan);
   GPL_CHECK(tuned.ok());
   std::printf("\nModel-selected parameters (tuner ran %.2f ms):\n",
-              tuned->tuner_elapsed_ms);
+              tuned->tuner_wall_ms);
   for (size_t i = 0; i < tuned->segments.size(); ++i) {
     const SegmentReport& report = tuned->segments[i];
     std::printf("  S%zu: tile=%lld KB, wg={", i,
@@ -80,9 +80,9 @@ int main() {
   for (const Manual& m : manual) {
     EngineOptions options;
     options.mode = EngineMode::kGpl;
-    options.use_cost_model = false;
-    options.overrides.tile_bytes = m.tile;
-    options.overrides.workgroups_per_kernel = m.wg;
+    options.exec.use_cost_model = false;
+    options.exec.overrides.tile_bytes = m.tile;
+    options.exec.overrides.workgroups_per_kernel = m.wg;
     Engine manual_engine(&db, options);
     Result<QueryResult> r = manual_engine.Execute(query);
     GPL_CHECK(r.ok());

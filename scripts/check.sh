@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Repo verification: tier-1 build + tests, a -Werror configuration, and a
+# Repo verification: tier-1 build + tests, a -Werror configuration, a
+# ThreadSanitizer build/run of the concurrent QueryService tests, and a
 # tracing smoke run of the CLI whose output is validated by the in-tree
 # JSON parser (via the trace_smoke binary's file-validation mode).
 #
@@ -21,6 +22,18 @@ echo "=== strict: -Wall -Wextra -Werror configuration ==="
 cmake -B "$BUILD-werror" -S . \
   -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror -Wno-maybe-uninitialized"
 cmake --build "$BUILD-werror" -j
+
+echo
+echo "=== tsan: QueryService tests under ThreadSanitizer ==="
+# Only the service test binary is built in this tree (the rest of the suite
+# is single-threaded and already covered above); it exercises the worker
+# pool, admission queue, cancellation and stats under real concurrency.
+cmake -B "$BUILD-tsan" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build "$BUILD-tsan" -j --target service_test
+ctest --test-dir "$BUILD-tsan" --output-on-failure -R QueryService
 
 echo
 echo "=== trace smoke: gplcli --trace on Q5, JSON validated ==="

@@ -1,0 +1,76 @@
+#ifndef GPL_COMMON_CANCEL_H_
+#define GPL_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace gpl {
+
+/// Cooperative cancellation/deadline token shared between a query's
+/// submitter and its executor. The submitter (any thread) may request
+/// cancellation or arm a host wall-clock deadline; the executor polls
+/// `Check()` at coarse boundaries (segment starts, operator starts) and
+/// unwinds with `kCancelled` / `kDeadlineExceeded` when it fires.
+///
+/// Thread-safety: all methods are safe to call concurrently; state is held
+/// in atomics. The token must outlive every execution that references it.
+///
+/// Determinism note: cancellation is observed at *host* times, so whether a
+/// run is cut short is inherently nondeterministic — but a run that is not
+/// cancelled is unaffected (the token is only ever read on the execution
+/// path), so uncancelled results stay bit-identical.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cooperative cancellation. Idempotent.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// Arms (or re-arms) a deadline `timeout_ms` from now on the host
+  /// steady clock. Non-positive timeouts disarm the deadline.
+  void SetDeadlineAfterMs(double timeout_ms) {
+    if (timeout_ms <= 0.0) {
+      deadline_ns_.store(0, std::memory_order_release);
+      return;
+    }
+    const int64_t now = NowNs();
+    deadline_ns_.store(now + static_cast<int64_t>(timeout_ms * 1e6),
+                       std::memory_order_release);
+  }
+
+  bool CancelRequested() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  bool DeadlineExpired() const {
+    const int64_t deadline = deadline_ns_.load(std::memory_order_acquire);
+    return deadline != 0 && NowNs() >= deadline;
+  }
+
+  /// OK while live; kCancelled / kDeadlineExceeded once fired. Cancellation
+  /// takes precedence over an expired deadline.
+  Status Check() const {
+    if (CancelRequested()) return Status::Cancelled("query cancelled");
+    if (DeadlineExpired()) return Status::DeadlineExceeded("query deadline exceeded");
+    return Status::OK();
+  }
+
+ private:
+  static int64_t NowNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{0};  ///< steady-clock ns; 0 = unarmed
+};
+
+}  // namespace gpl
+
+#endif  // GPL_COMMON_CANCEL_H_

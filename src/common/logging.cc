@@ -1,5 +1,6 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <cstring>
@@ -9,10 +10,12 @@
 namespace gpl {
 
 namespace {
-LogLevel g_log_level = LogLevel::kWarning;
+// Atomics: the log threshold is read (and lazily env-initialized) from every
+// thread that logs — the QueryService workers in particular.
+std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
 
 /// One-time lazy init from GPL_LOG_LEVEL before the first threshold read.
-bool g_env_checked = false;
+std::atomic<bool> g_env_checked{false};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -32,13 +35,14 @@ const char* LevelName(LogLevel level) {
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
-  g_env_checked = true;  // an explicit choice wins over the environment
-  g_log_level = level;
+  // An explicit choice wins over the environment.
+  g_env_checked.store(true, std::memory_order_relaxed);
+  g_log_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel GetLogLevel() {
-  if (!g_env_checked) InitLogLevelFromEnv();
-  return g_log_level;
+  if (!g_env_checked.load(std::memory_order_relaxed)) InitLogLevelFromEnv();
+  return g_log_level.load(std::memory_order_relaxed);
 }
 
 bool ParseLogLevel(const char* text, LogLevel* level) {
@@ -64,12 +68,12 @@ bool ParseLogLevel(const char* text, LogLevel* level) {
 }
 
 void InitLogLevelFromEnv() {
-  g_env_checked = true;
+  g_env_checked.store(true, std::memory_order_relaxed);
   const char* env = std::getenv("GPL_LOG_LEVEL");
   if (env == nullptr || *env == '\0') return;
   LogLevel level;
   if (ParseLogLevel(env, &level)) {
-    g_log_level = level;
+    g_log_level.store(level, std::memory_order_relaxed);
   } else {
     std::fprintf(stderr,
                  "[WARN] unrecognized GPL_LOG_LEVEL '%s' "
@@ -81,12 +85,13 @@ void InitLogLevelFromEnv() {
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
-  if (!g_env_checked) InitLogLevelFromEnv();
+  if (!g_env_checked.load(std::memory_order_relaxed)) InitLogLevelFromEnv();
   stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
-  if (level_ >= g_log_level || level_ == LogLevel::kFatal) {
+  if (level_ >= g_log_level.load(std::memory_order_relaxed) ||
+      level_ == LogLevel::kFatal) {
     std::fprintf(stderr, "%s\n", stream_.str().c_str());
   }
   if (level_ == LogLevel::kFatal) {

@@ -18,6 +18,9 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kResourceExhausted,
+  kCancelled,          ///< the caller requested cancellation
+  kDeadlineExceeded,   ///< the per-query deadline passed
+  kUnavailable,        ///< the serving component is shut down / not accepting
 };
 
 /// Returns a short human-readable name for a status code ("OK",
@@ -53,6 +56,15 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -92,6 +92,11 @@ Result<GplRunResult> GplExecutor::Run(const SegmentedPlan& plan,
 
   std::vector<Table> outputs(plan.segments.size());
   for (size_t i = 0; i < plan.segments.size(); ++i) {
+    // Cancellation/deadline check at the segment boundary: a cancelled run
+    // unwinds here instead of simulating the remaining segments.
+    if (options.exec.cancel != nullptr) {
+      GPL_RETURN_NOT_OK(options.exec.cancel->Check());
+    }
     const Segment& segment = plan.segments[i];
     GPL_ASSIGN_OR_RETURN(Table input, ResolveInput(segment, outputs));
 
@@ -100,26 +105,25 @@ Result<GplRunResult> GplExecutor::Run(const SegmentedPlan& plan,
 
     // ---- Parameter tuning (the <5 ms query-optimization step) ----
     const auto tune_start = std::chrono::steady_clock::now();
+    const model::TuningOverrides& overrides = options.exec.overrides;
     model::TuningChoice choice;
-    if (options.use_cost_model) {
-      choice = model::TuneSegment(cost_model_, desc, *calibration_,
-                                  options.overrides);
+    if (options.exec.use_cost_model) {
+      choice = model::TuneSegment(cost_model_, desc, *calibration_, overrides);
     } else {
-      choice.params.tile_bytes = options.overrides.tile_bytes > 0
-                                     ? options.overrides.tile_bytes
-                                     : MiB(1);  // the paper's default Δ
-      const int wg = options.overrides.workgroups_per_kernel > 0
-                         ? options.overrides.workgroups_per_kernel
+      choice.params.tile_bytes =
+          overrides.tile_bytes > 0 ? overrides.tile_bytes
+                                   : MiB(1);  // the paper's default Δ
+      const int wg = overrides.workgroups_per_kernel > 0
+                         ? overrides.workgroups_per_kernel
                          : 2 * simulator_->device().num_cus;
       choice.params.workgroups.assign(segment.stages.size(), wg);
       for (size_t g = 0; g + 1 < segment.stages.size(); ++g) {
-        choice.params.channels.push_back(options.overrides.has_channel
-                                             ? options.overrides.channel
-                                             : sim::ChannelConfig{});
+        choice.params.channels.push_back(
+            overrides.has_channel ? overrides.channel : sim::ChannelConfig{});
       }
       choice.estimate = cost_model_.EstimateSegment(desc, choice.params);
     }
-    result.tuner_elapsed_ms +=
+    result.tuner_wall_ms +=
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - tune_start)
             .count();
@@ -159,7 +163,7 @@ Result<GplRunResult> GplExecutor::Run(const SegmentedPlan& plan,
       if (!report.description.empty()) report.description += " -> ";
       report.description += segment.stages[s].kernel->name();
     }
-    spec.trace = options.trace;
+    spec.trace = options.exec.trace;
     spec.label = "segment " + std::to_string(i) + ": " + report.description;
     GPL_LOG(Debug) << spec.label << " (tile=" << spec.tile_bytes
                    << "B, kernels=" << spec.kernels.size()

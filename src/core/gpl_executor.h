@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "core/pipeline.h"
+#include "engine/exec_options.h"
 #include "model/calibration.h"
 #include "model/cost_model.h"
 #include "model/plan_tuner.h"
@@ -21,16 +22,9 @@ struct GplOptions {
   /// kernel execution or channels (Section 5.3.1).
   bool concurrent = true;
 
-  /// Use the analytical model to pick Δ, wg_Ki and channel configs. When
-  /// false, defaults (or the overrides) are used directly.
-  bool use_cost_model = true;
-
-  /// Pins for individual knobs (parameter-sweep benches).
-  model::TuningOverrides overrides;
-
-  /// Optional trace sink; segments emit execution spans, channel occupancy
-  /// and stall events into it. nullptr disables tracing at zero cost.
-  trace::TraceCollector* trace = nullptr;
+  /// Cost-model toggle, knob overrides, trace sink, and cancellation token
+  /// (shared with the engine front-end — see engine/exec_options.h).
+  ExecOptions exec;
 };
 
 /// Per-segment outcome: the tuner's choice and prediction, the simulated
@@ -45,13 +39,19 @@ struct SegmentReport {
 };
 
 /// Outcome of executing a segmented plan with GPL.
+///
+/// `total_cycles` / `predicted_total_cycles` / `counters` are *simulated*
+/// quantities and are bit-deterministic for a given plan and database.
+/// `tuner_wall_ms` is host wall-clock spent in the tuner: it varies from run
+/// to run (and especially under concurrent execution), so it is reported
+/// separately and must never be folded into simulated-time totals.
 struct GplRunResult {
   Table output;
   std::vector<SegmentReport> segments;
-  sim::HwCounters counters;  ///< accumulated across segments
+  sim::HwCounters counters;  ///< accumulated across segments (simulated)
   double total_cycles = 0.0;
   double predicted_total_cycles = 0.0;
-  double tuner_elapsed_ms = 0.0;  ///< host wall-clock spent in the tuner
+  double tuner_wall_ms = 0.0;  ///< host wall-clock spent in the tuner
 };
 
 /// The pipelined query executor — the paper's core contribution. Executes a

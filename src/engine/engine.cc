@@ -22,13 +22,33 @@ const char* EngineModeName(EngineMode mode) {
   return "?";
 }
 
+Result<EngineMode> ParseEngineMode(std::string_view name) {
+  if (name == "gpl") return EngineMode::kGpl;
+  if (name == "kbe") return EngineMode::kKbe;
+  if (name == "noce") return EngineMode::kGplNoCe;
+  if (name == "ocelot") return EngineMode::kOcelot;
+  return Status::InvalidArgument("unknown mode: '" + std::string(name) +
+                                 "' (want gpl|kbe|noce|ocelot)");
+}
+
+Result<sim::DeviceSpec> ParseDeviceSpec(std::string_view name) {
+  if (name == "amd") return sim::DeviceSpec::AmdA10();
+  if (name == "nvidia") return sim::DeviceSpec::NvidiaK40();
+  return Status::InvalidArgument("unknown device: '" + std::string(name) +
+                                 "' (want amd|nvidia)");
+}
+
 Engine::Engine(const tpch::Database* db, EngineOptions options)
     : db_(db),
       options_(std::move(options)),
       catalog_(Catalog::FromDatabase(*db)),
       simulator_(options_.device),
-      calibration_(model::CalibrationTable::Run(simulator_)),
-      gpl_executor_(db, &simulator_, &calibration_),
+      owned_calibration_(options_.calibration != nullptr
+                             ? std::optional<model::CalibrationTable>()
+                             : model::CalibrationTable::Run(simulator_)),
+      calibration_(options_.calibration != nullptr ? options_.calibration
+                                                   : &*owned_calibration_),
+      gpl_executor_(db, &simulator_, calibration_),
       kbe_engine_(db, &simulator_, KbeFlavor{}),
       ocelot_engine_(db, &simulator_, OcelotFlavor()) {
   GPL_CHECK(db != nullptr);
@@ -47,35 +67,46 @@ Result<PhysicalOpPtr> Engine::Plan(const LogicalQuery& query) const {
 }
 
 Result<QueryResult> Engine::Execute(const LogicalQuery& query) {
+  return Execute(query, options_.exec);
+}
+
+Result<QueryResult> Engine::Execute(const LogicalQuery& query,
+                                    const ExecOptions& exec) {
+  if (exec.cancel != nullptr) GPL_RETURN_NOT_OK(exec.cancel->Check());
   const auto start = std::chrono::steady_clock::now();
   GPL_ASSIGN_OR_RETURN(PhysicalOpPtr plan, Plan(query));
   const double plan_ms = std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - start)
                              .count();
-  GPL_ASSIGN_OR_RETURN(QueryResult result, ExecutePlan(plan));
-  result.metrics.optimize_ms += plan_ms;
+  GPL_ASSIGN_OR_RETURN(QueryResult result, ExecutePlan(plan, exec));
+  result.metrics.plan_wall_ms += plan_ms;
   GPL_LOG(Info) << query.name << " under " << EngineModeName(options_.mode)
                 << ": " << result.metrics.elapsed_ms << " ms simulated ("
-                << result.metrics.optimize_ms << " ms planning)";
+                << result.metrics.OptimizeWallMs() << " ms host planning)";
   return result;
 }
 
 Result<QueryResult> Engine::ExecutePlan(const PhysicalOpPtr& plan) {
+  return ExecutePlan(plan, options_.exec);
+}
+
+Result<QueryResult> Engine::ExecutePlan(const PhysicalOpPtr& plan,
+                                        const ExecOptions& exec) {
   switch (options_.mode) {
     case EngineMode::kKbe:
-      return kbe_engine_.Execute(plan, options_.trace);
+      return kbe_engine_.Execute(plan, exec);
     case EngineMode::kOcelot:
-      return ocelot_engine_.Execute(plan, options_.trace);
+      return ocelot_engine_.Execute(plan, exec);
     case EngineMode::kGpl:
     case EngineMode::kGplNoCe: {
-      GPL_ASSIGN_OR_RETURN(GplRunResult run, ExecuteGplDetailed(plan));
+      GPL_ASSIGN_OR_RETURN(GplRunResult run, ExecuteGplDetailed(plan, exec));
       QueryResult result;
       result.table = std::move(run.output);
       result.metrics.counters = run.counters;
       result.metrics.Finalize(simulator_.device());
       result.metrics.predicted_ms =
           simulator_.device().CyclesToMs(run.predicted_total_cycles);
-      result.metrics.optimize_ms = run.tuner_elapsed_ms;
+      result.metrics.tune_wall_ms = run.tuner_wall_ms;
       return result;
     }
   }
@@ -83,12 +114,15 @@ Result<QueryResult> Engine::ExecutePlan(const PhysicalOpPtr& plan) {
 }
 
 Result<GplRunResult> Engine::ExecuteGplDetailed(const PhysicalOpPtr& plan) {
+  return ExecuteGplDetailed(plan, options_.exec);
+}
+
+Result<GplRunResult> Engine::ExecuteGplDetailed(const PhysicalOpPtr& plan,
+                                                const ExecOptions& exec) {
   GPL_ASSIGN_OR_RETURN(SegmentedPlan segmented, SegmentPlan(plan));
   GplOptions gpl_options;
   gpl_options.concurrent = options_.mode != EngineMode::kGplNoCe;
-  gpl_options.use_cost_model = options_.use_cost_model;
-  gpl_options.overrides = options_.overrides;
-  gpl_options.trace = options_.trace;
+  gpl_options.exec = exec;
   return gpl_executor_.Run(segmented, gpl_options);
 }
 

@@ -2,9 +2,12 @@
 #define GPL_ENGINE_ENGINE_H_
 
 #include <memory>
+#include <optional>
+#include <string_view>
 
 #include "common/status.h"
 #include "core/gpl_executor.h"
+#include "engine/exec_options.h"
 #include "engine/kbe_engine.h"
 #include "engine/metrics.h"
 #include "model/calibration.h"
@@ -27,14 +30,23 @@ enum class EngineMode {
 
 const char* EngineModeName(EngineMode mode);
 
+/// Parses an execution-mode name as used by the CLI/benches
+/// ("gpl" | "kbe" | "noce" | "ocelot", case-sensitive). The inverse of the
+/// short flag spellings, not of EngineModeName.
+Result<EngineMode> ParseEngineMode(std::string_view name);
+
+/// Parses a simulated-device name ("amd" | "nvidia") into its DeviceSpec
+/// preset (Table 1).
+Result<sim::DeviceSpec> ParseDeviceSpec(std::string_view name);
+
 struct EngineOptions {
   sim::DeviceSpec device = sim::DeviceSpec::AmdA10();
   EngineMode mode = EngineMode::kGpl;
 
-  /// GPL: use the analytical model to pick parameters (Section 4). When
-  /// false, the defaults / overrides below apply.
-  bool use_cost_model = true;
-  model::TuningOverrides overrides;
+  /// Per-execution options (cost-model toggle, knob overrides, trace sink,
+  /// cancellation token). These are the defaults for Execute()/ExecutePlan();
+  /// the per-call overloads below take a one-off ExecOptions instead.
+  ExecOptions exec;
 
   /// Use radix-partitioned hash joins (Section 3.2) for builds whose
   /// estimated size exceeds half the device cache. GPL modes only; the KBE
@@ -44,12 +56,12 @@ struct EngineOptions {
   /// Build-size threshold for partitioning; 0 uses half the device cache.
   int64_t partition_threshold_bytes = 0;
 
-  /// Optional tracing/profiling sink (see trace/trace.h). Every execution
-  /// under this engine emits kernel/tile spans, channel occupancy samples
-  /// and stall events into it; successive queries lay out end-to-end on the
-  /// simulated timeline. nullptr (the default) disables tracing with no
-  /// overhead beyond null checks.
-  trace::TraceCollector* trace = nullptr;
+  /// Optional pre-computed channel calibration (Section 2.1) for this
+  /// options' device. When set, the engine references it instead of running
+  /// the calibration microbenchmark at construction — the QueryService uses
+  /// this to share one immutable table across its worker engines. Must
+  /// outlive the engine and match `device`.
+  const model::CalibrationTable* calibration = nullptr;
 };
 
 /// The public entry point of the library: executes TPC-H-style analytical
@@ -62,6 +74,15 @@ struct EngineOptions {
 ///   Engine engine(&db, {.mode = EngineMode::kGpl});
 ///   auto result = engine.Execute(queries::Q14(0.164));
 ///   std::cout << result->table.ToString();
+///
+/// Thread-safety: an Engine instance is NOT thread-safe — it owns mutable
+/// executor state (the Ocelot hash-table cache, the trace timeline) and must
+/// only be used from one thread at a time. Its inputs are safe to share:
+/// the Database (read-only after generation/load), Catalog,
+/// model::CalibrationTable and sim::Simulator are all immutable after
+/// construction and may be read concurrently. For concurrent queries use
+/// one Engine per thread over the shared Database — service::QueryService
+/// packages exactly that.
 class Engine {
  public:
   Engine(const tpch::Database* db, EngineOptions options);
@@ -69,18 +90,27 @@ class Engine {
   const EngineOptions& options() const { return options_; }
   const Catalog& catalog() const { return catalog_; }
   const sim::Simulator& simulator() const { return simulator_; }
-  const model::CalibrationTable& calibration() const { return calibration_; }
+  const model::CalibrationTable& calibration() const { return *calibration_; }
 
-  /// Optimizes and executes a logical query.
+  /// Optimizes and executes a logical query with the engine's default
+  /// ExecOptions (options().exec).
   Result<QueryResult> Execute(const LogicalQuery& query);
+  /// Same, with one-off per-call execution options (per-query cancellation
+  /// tokens, trace sinks, knob pins).
+  Result<QueryResult> Execute(const LogicalQuery& query,
+                              const ExecOptions& exec);
 
   /// Executes an already-built physical plan.
   Result<QueryResult> ExecutePlan(const PhysicalOpPtr& plan);
+  Result<QueryResult> ExecutePlan(const PhysicalOpPtr& plan,
+                                  const ExecOptions& exec);
 
   /// Executes a plan with GPL and returns the detailed per-segment run
   /// (tuning choices, predictions, simulated stats) — used by the model-
   /// evaluation benches.
   Result<GplRunResult> ExecuteGplDetailed(const PhysicalOpPtr& plan);
+  Result<GplRunResult> ExecuteGplDetailed(const PhysicalOpPtr& plan,
+                                          const ExecOptions& exec);
 
   /// Builds the optimized physical plan for a query (EXPLAIN support).
   Result<PhysicalOpPtr> Plan(const LogicalQuery& query) const;
@@ -90,7 +120,9 @@ class Engine {
   EngineOptions options_;
   Catalog catalog_;
   sim::Simulator simulator_;
-  model::CalibrationTable calibration_;
+  /// Engine-owned calibration, populated unless options.calibration was set.
+  std::optional<model::CalibrationTable> owned_calibration_;
+  const model::CalibrationTable* calibration_;  ///< owned or shared
   GplExecutor gpl_executor_;
   KbeEngine kbe_engine_;
   KbeEngine ocelot_engine_;

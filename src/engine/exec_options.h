@@ -1,0 +1,48 @@
+#ifndef GPL_ENGINE_EXEC_OPTIONS_H_
+#define GPL_ENGINE_EXEC_OPTIONS_H_
+
+#include "common/cancel.h"
+#include "model/plan_tuner.h"
+
+namespace gpl {
+
+namespace trace {
+class TraceCollector;
+}  // namespace trace
+
+/// Per-execution options shared by every execution entry point (`Engine`,
+/// `GplExecutor::Run`, `KbeEngine::Execute`). Factoring them into one struct
+/// keeps the engine front-end and the executors from drifting apart (they
+/// previously duplicated these fields) and gives multi-query callers one
+/// shape to override per call.
+///
+/// Header note: this lives under engine/ (the public API layer) but is
+/// deliberately dependency-light — only the tuner knobs, a trace forward
+/// declaration and the cancellation token — so the lower core/ layer can
+/// embed it without a cycle.
+struct ExecOptions {
+  /// GPL: use the analytical model to pick Δ, wg_Ki and channel configs
+  /// (Section 4). When false, the defaults / overrides below apply.
+  bool use_cost_model = true;
+
+  /// Pins for individual knobs (parameter-sweep benches).
+  model::TuningOverrides overrides;
+
+  /// Optional tracing/profiling sink (see trace/trace.h). Executions emit
+  /// kernel/tile spans, channel occupancy samples and stall events into it;
+  /// successive queries lay out end-to-end on the simulated timeline.
+  /// nullptr (the default) disables tracing with no overhead beyond null
+  /// checks. The collector is not thread-safe: never share one across
+  /// concurrently executing queries.
+  trace::TraceCollector* trace = nullptr;
+
+  /// Optional cooperative cancellation/deadline token. Executors poll it at
+  /// coarse boundaries (GPL: segment starts; KBE: operator starts) and
+  /// unwind with kCancelled/kDeadlineExceeded. nullptr disables the checks.
+  /// The token must outlive the execution.
+  const CancelToken* cancel = nullptr;
+};
+
+}  // namespace gpl
+
+#endif  // GPL_ENGINE_EXEC_OPTIONS_H_

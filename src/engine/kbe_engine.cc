@@ -24,6 +24,9 @@ void KbeEngine::Record(Context* ctx, const sim::KernelLaunch& launch,
 }
 
 Result<Table> KbeEngine::Exec(const PhysicalOp& op, Context* ctx) {
+  // Operator-boundary cancellation check (the KBE analogue of the GPL
+  // executor's segment-boundary check).
+  if (ctx->cancel != nullptr) GPL_RETURN_NOT_OK(ctx->cancel->Check());
   switch (op.kind) {
     case PhysicalOp::Kind::kScan: {
       const Table* base = db_->ByName(op.table);
@@ -200,10 +203,11 @@ Result<Table> KbeEngine::Exec(const PhysicalOp& op, Context* ctx) {
 }
 
 Result<QueryResult> KbeEngine::Execute(const PhysicalOpPtr& plan,
-                                       trace::TraceCollector* trace) {
+                                       const ExecOptions& exec) {
   GPL_CHECK(plan != nullptr);
   Context ctx;
-  ctx.trace = trace;
+  ctx.trace = exec.trace;
+  ctx.cancel = exec.cancel;
   GPL_ASSIGN_OR_RETURN(Table out, Exec(*plan, &ctx));
   QueryResult result;
   result.table = std::move(out);

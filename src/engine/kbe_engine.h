@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "engine/exec_options.h"
 #include "engine/metrics.h"
 #include "plan/physical_plan.h"
 #include "sim/engine.h"
@@ -35,16 +36,19 @@ class KbeEngine {
             KbeFlavor flavor = {});
 
   /// Executes a physical plan; returns the result table and metrics. When
-  /// `trace` is non-null every kernel launch is recorded as a span on the
-  /// shared simulated-time axis.
+  /// `exec.trace` is non-null every kernel launch is recorded as a span on
+  /// the shared simulated-time axis; when `exec.cancel` is non-null it is
+  /// polled at each operator start. The tuner knobs in `exec` are ignored
+  /// (KBE has no tiling parameters to tune).
   Result<QueryResult> Execute(const PhysicalOpPtr& plan,
-                              trace::TraceCollector* trace = nullptr);
+                              const ExecOptions& exec = {});
 
  private:
   struct Context {
     sim::HwCounters counters;
     std::vector<sim::KernelStats> kernels;
     trace::TraceCollector* trace = nullptr;
+    const CancelToken* cancel = nullptr;
   };
 
   Result<Table> Exec(const PhysicalOp& op, Context* ctx);

@@ -34,7 +34,12 @@ std::string QueryMetricsToJson(const MetricsJsonEntry& entry) {
   AppendField(&out, "device", entry.device, /*quote=*/true);
   AppendNumber(&out, "elapsed_ms", m.elapsed_ms);
   AppendNumber(&out, "predicted_ms", m.predicted_ms);
-  AppendNumber(&out, "optimize_ms", m.optimize_ms);
+  // Host wall-clock fields, kept apart from the simulated-time fields above:
+  // they are nondeterministic (thread scheduling, machine load) and must not
+  // be summed with simulated times.
+  AppendNumber(&out, "plan_wall_ms", m.plan_wall_ms);
+  AppendNumber(&out, "tune_wall_ms", m.tune_wall_ms);
+  AppendNumber(&out, "optimize_wall_ms", m.OptimizeWallMs());
   AppendNumber(&out, "valu_busy", m.valu_busy);
   AppendNumber(&out, "mem_unit_busy", m.mem_unit_busy);
   AppendNumber(&out, "occupancy", m.occupancy);

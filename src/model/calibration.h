@@ -25,6 +25,10 @@ struct CalibrationPoint {
 ///
 /// On devices without a packet-size knob (NVIDIA, Appendix A.1), only
 /// (n, d) is swept and Γ(n, d) is recorded (Eq. 11).
+///
+/// Thread-safety: immutable after Run(); Throughput()/Best() and the grid
+/// accessors are lookup-only and safe to call concurrently — one table is
+/// shared by every worker engine of a QueryService.
 class CalibrationTable {
  public:
   /// Runs the producer-consumer microbenchmark over the calibration grid.

@@ -18,6 +18,9 @@ struct ColumnStats {
 };
 
 /// Table/column statistics for the query optimizer.
+///
+/// Thread-safety: immutable after FromDatabase(); all const methods may be
+/// called concurrently from multiple threads.
 class Catalog {
  public:
   /// Scans the database and collects row counts and per-column stats.

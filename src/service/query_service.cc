@@ -1,0 +1,342 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "trace/trace.h"
+
+namespace gpl {
+namespace service {
+
+namespace {
+
+/// Percentile over an unsorted sample (nearest-rank); 0 for an empty sample.
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+const char* OutcomeName(QueryOutcome outcome) {
+  switch (outcome) {
+    case QueryOutcome::kCompleted:
+      return "completed";
+    case QueryOutcome::kTimedOut:
+      return "timed_out";
+    case QueryOutcome::kCancelled:
+      return "cancelled";
+    case QueryOutcome::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string ServiceStats::ToString() const {
+  std::ostringstream out;
+  out << "submitted=" << submitted << " admitted=" << admitted
+      << " rejected=" << rejected << " completed=" << completed
+      << " timed_out=" << timed_out << " cancelled=" << cancelled
+      << " failed=" << failed << " queue_depth=" << queue_depth
+      << " max_queue_depth=" << max_queue_depth << " p50_latency_ms=";
+  out.precision(3);
+  out << std::fixed << p50_latency_ms << " p95_latency_ms=" << p95_latency_ms
+      << " total_simulated_ms=" << total_simulated_ms;
+  return out.str();
+}
+
+/// Shared state of one submission: the slot the worker publishes the result
+/// into and the synchronization for Await(). The task owns the query's
+/// CancelToken so cancellation works whether the task is queued, running, or
+/// already finished.
+struct QueryHandle::Task {
+  std::string name;
+  LogicalQuery query;
+  CancelToken token;
+  int64_t submit_ns = 0;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  /// Result<T> has no default constructor, hence optional for "not yet".
+  std::optional<Result<QueryResult>> result;
+};
+
+void QueryHandle::Cancel() {
+  if (task_ != nullptr) task_->token.RequestCancel();
+}
+
+bool QueryHandle::Done() const {
+  if (task_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(task_->mu);
+  return task_->done;
+}
+
+const Result<QueryResult>& QueryHandle::Await() {
+  std::unique_lock<std::mutex> lock(task_->mu);
+  task_->cv.wait(lock, [&] { return task_->done; });
+  return *task_->result;
+}
+
+QueryService::QueryService(const tpch::Database* db, ServiceOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      calibration_(model::CalibrationTable::Run(
+          sim::Simulator(options_.engine.device))),
+      start_tp_(std::chrono::steady_clock::now()) {
+  if (options_.num_workers < 1) options_.num_workers = 1;
+  if (options_.queue_capacity < 1) options_.queue_capacity = 1;
+  // Traces cannot be shared across workers; the service exports its own
+  // timeline instead (ExportTrace).
+  options_.engine.exec.trace = nullptr;
+  options_.engine.calibration = &calibration_;
+
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  GPL_LOG(Info) << "QueryService started: " << options_.num_workers
+                << " workers, queue capacity " << options_.queue_capacity;
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+int64_t QueryService::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start_tp_)
+      .count();
+}
+
+Result<QueryHandle> QueryService::Submit(std::string name, LogicalQuery query,
+                                         double timeout_ms) {
+  auto task = std::make_shared<QueryHandle::Task>();
+  task->name = std::move(name);
+  task->query = std::move(query);
+  task->submit_ns = NowNs();
+  const double timeout = timeout_ms > 0.0 ? timeout_ms
+                                          : options_.default_timeout_ms;
+  if (timeout > 0.0) task->token.SetDeadlineAfterMs(timeout);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.submitted++;
+    if (stop_) {
+      stats_.rejected++;
+      rejected_log_.emplace_back(task->submit_ns, task->name);
+      return Status::Unavailable("QueryService is shut down");
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      stats_.rejected++;
+      rejected_log_.emplace_back(task->submit_ns, task->name);
+      return Status::ResourceExhausted(
+          "admission queue full (" + std::to_string(queue_.size()) + "/" +
+          std::to_string(options_.queue_capacity) + "), query '" + task->name +
+          "' rejected");
+    }
+    stats_.admitted++;
+    queue_.push_back(task);
+    stats_.max_queue_depth =
+        std::max<uint64_t>(stats_.max_queue_depth, queue_.size());
+  }
+  work_cv_.notify_one();
+  return QueryHandle(std::move(task));
+}
+
+void QueryService::WorkerLoop(int worker_index) {
+  // Each worker builds a private Engine (engines are not thread-safe); all
+  // of them share the database, catalog inputs and the service calibration.
+  Engine engine(db_, options_.engine);
+
+  for (;;) {
+    std::shared_ptr<QueryHandle::Task> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ ? true : (!paused_ && !queue_.empty());
+      });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;  // woken by Resume() with nothing to do
+      }
+      // On shutdown the queue is still drained: queued queries were admitted
+      // and owe their submitters a result (possibly kDeadlineExceeded).
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      stats_.running++;
+    }
+    RunTask(worker_index, engine, task);
+    work_cv_.notify_all();
+  }
+}
+
+void QueryService::RunTask(int worker_index, Engine& engine,
+                           const std::shared_ptr<QueryHandle::Task>& task) {
+  const int64_t start_ns = NowNs();
+
+  ExecOptions exec = options_.engine.exec;
+  exec.cancel = &task->token;
+  std::optional<Result<QueryResult>> result;
+  result.emplace(engine.Execute(task->query, exec));
+
+  const int64_t end_ns = NowNs();
+
+  FinishedRecord record;
+  record.name = task->name;
+  record.worker = worker_index;
+  record.submit_ns = task->submit_ns;
+  record.start_ns = start_ns;
+  record.end_ns = end_ns;
+  if (result->ok()) {
+    record.outcome = QueryOutcome::kCompleted;
+    record.simulated_ms = (*result)->metrics.elapsed_ms;
+  } else {
+    switch (result->status().code()) {
+      case StatusCode::kDeadlineExceeded:
+        record.outcome = QueryOutcome::kTimedOut;
+        break;
+      case StatusCode::kCancelled:
+        record.outcome = QueryOutcome::kCancelled;
+        break;
+      default:
+        record.outcome = QueryOutcome::kFailed;
+        break;
+    }
+    GPL_LOG(Info) << "query '" << task->name
+                  << "' did not complete: " << result->status().ToString();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.running--;
+    switch (record.outcome) {
+      case QueryOutcome::kCompleted: {
+        stats_.completed++;
+        const double latency_ms =
+            static_cast<double>(end_ns - task->submit_ns) / 1e6;
+        completed_latency_ms_.push_back(latency_ms);
+        stats_.total_simulated_ms += record.simulated_ms;
+        break;
+      }
+      case QueryOutcome::kTimedOut:
+        stats_.timed_out++;
+        break;
+      case QueryOutcome::kCancelled:
+        stats_.cancelled++;
+        break;
+      case QueryOutcome::kFailed:
+        stats_.failed++;
+        break;
+    }
+    finished_.push_back(std::move(record));
+  }
+
+  // Publish the result last: once done flips, Await() returns and the
+  // submitter may immediately read Stats() expecting this query counted.
+  {
+    std::lock_guard<std::mutex> lock(task->mu);
+    task->result = std::move(result);
+    task->done = true;
+  }
+  task->cv.notify_all();
+}
+
+ServiceStats QueryService::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStats snapshot = stats_;
+  snapshot.queue_depth = queue_.size();
+  snapshot.p50_latency_ms = Percentile(completed_latency_ms_, 50.0);
+  snapshot.p95_latency_ms = Percentile(completed_latency_ms_, 95.0);
+  return snapshot;
+}
+
+void QueryService::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void QueryService::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+void QueryService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ && workers_.empty()) return;
+    stop_ = true;
+    paused_ = false;  // a paused service still drains on shutdown
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  GPL_LOG(Info) << "QueryService stopped: " << Stats().ToString();
+}
+
+void QueryService::ExportTrace(trace::TraceCollector* collector) const {
+  if (collector == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // Host nanoseconds as "cycles": the collector's default clock of 1000 MHz
+  // divides by 1000, rendering the timeline in microseconds.
+  std::vector<FinishedRecord> records = finished_;
+  std::sort(records.begin(), records.end(),
+            [](const FinishedRecord& a, const FinishedRecord& b) {
+              return a.start_ns < b.start_ns;
+            });
+
+  for (const FinishedRecord& record : records) {
+    const int track =
+        collector->TrackId("worker " + std::to_string(record.worker));
+    if (record.start_ns > record.submit_ns) {
+      collector->AddSpan(track, record.name + " (queued)", "service.queue",
+                         static_cast<double>(record.submit_ns),
+                         static_cast<double>(record.start_ns));
+    }
+    collector->AddSpan(
+        track, record.name, "service.exec",
+        static_cast<double>(record.start_ns),
+        static_cast<double>(record.end_ns),
+        {{"outcome", std::string("\"") + OutcomeName(record.outcome) + "\""},
+         {"simulated_ms", std::to_string(record.simulated_ms)}});
+  }
+
+  // Concurrency level over time, from start/end edges.
+  std::vector<std::pair<int64_t, int>> edges;
+  edges.reserve(records.size() * 2);
+  for (const FinishedRecord& record : records) {
+    edges.emplace_back(record.start_ns, +1);
+    edges.emplace_back(record.end_ns, -1);
+  }
+  std::sort(edges.begin(), edges.end());
+  int running = 0;
+  for (const auto& [t_ns, delta] : edges) {
+    running += delta;
+    collector->AddCounter("service.running", static_cast<double>(t_ns),
+                          static_cast<double>(running));
+  }
+
+  if (!rejected_log_.empty()) {
+    const int track = collector->TrackId("admission");
+    for (const auto& [t_ns, name] : rejected_log_) {
+      collector->AddInstant(track, name + " rejected", "service.admission",
+                            static_cast<double>(t_ns));
+    }
+  }
+}
+
+}  // namespace service
+}  // namespace gpl

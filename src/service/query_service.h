@@ -1,0 +1,207 @@
+#ifndef GPL_SERVICE_QUERY_SERVICE_H_
+#define GPL_SERVICE_QUERY_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/status.h"
+#include "engine/engine.h"
+#include "model/calibration.h"
+#include "plan/logical_plan.h"
+#include "tpch/dbgen.h"
+
+namespace gpl {
+namespace trace {
+class TraceCollector;
+}  // namespace trace
+
+namespace service {
+
+/// Configuration of a QueryService.
+struct ServiceOptions {
+  /// Host worker threads; each owns a private Engine over the shared
+  /// database (engines are not thread-safe, the database is).
+  int num_workers = 2;
+
+  /// Admission-queue bound: Submit() rejects with kResourceExhausted once
+  /// this many queries are waiting (backpressure instead of unbounded
+  /// memory growth). Must be >= 1.
+  size_t queue_capacity = 32;
+
+  /// Default per-query deadline (host wall-clock, from admission), applied
+  /// when Submit() is not given an explicit timeout. <= 0 disables it.
+  double default_timeout_ms = 0.0;
+
+  /// Template for the per-worker engines: device, mode, partitioned joins,
+  /// default ExecOptions. `exec.trace` is forced to nullptr (a collector
+  /// cannot be shared across workers — use ExportTrace() for a service-level
+  /// timeline) and `calibration` is replaced by the service's shared table.
+  EngineOptions engine;
+};
+
+/// How an admitted query ended.
+enum class QueryOutcome {
+  kCompleted,  ///< executed successfully
+  kTimedOut,   ///< deadline expired (in queue or at a segment boundary)
+  kCancelled,  ///< QueryHandle::Cancel() observed
+  kFailed,     ///< any other execution error
+};
+
+/// Aggregated service counters — one consistent snapshot (see
+/// QueryService::Stats). Latencies are host wall-clock from admission to
+/// completion, over completed queries only; simulated time is the sum of the
+/// per-query simulated elapsed times (the two time bases are reported
+/// separately and never mixed).
+struct ServiceStats {
+  uint64_t submitted = 0;  ///< Submit() calls (admitted + rejected)
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;   ///< bounced off the full admission queue
+  uint64_t completed = 0;
+  uint64_t timed_out = 0;
+  uint64_t cancelled = 0;
+  uint64_t failed = 0;
+
+  size_t queue_depth = 0;       ///< currently waiting
+  size_t running = 0;           ///< currently executing
+  uint64_t max_queue_depth = 0; ///< high-water mark
+
+  double p50_latency_ms = 0.0;  ///< host wall-clock, completed queries
+  double p95_latency_ms = 0.0;
+  double total_simulated_ms = 0.0;  ///< simulated device time, completed
+
+  /// Human-readable one-stop report for CLIs/benches.
+  std::string ToString() const;
+};
+
+/// Handle to a submitted query — a future over its Result<QueryResult>.
+/// Copyable; all copies refer to the same submission. Safe to use from any
+/// thread.
+class QueryHandle {
+ public:
+  QueryHandle() = default;
+
+  bool valid() const { return task_ != nullptr; }
+
+  /// Requests cooperative cancellation. The query unwinds at its next
+  /// segment/operator boundary (or before it starts, if still queued).
+  void Cancel();
+
+  /// True once the result is available (non-blocking).
+  bool Done() const;
+
+  /// Blocks until the query finishes and returns its result. The reference
+  /// stays valid for the handle's lifetime.
+  const Result<QueryResult>& Await();
+
+ private:
+  friend class QueryService;
+  struct Task;
+  explicit QueryHandle(std::shared_ptr<Task> task) : task_(std::move(task)) {}
+  std::shared_ptr<Task> task_;
+};
+
+/// A concurrent multi-query execution service: the paper's engine lifted to
+/// serving many whole queries at once. Owns a pool of host worker threads,
+/// each with a private Engine, all over one shared immutable tpch::Database
+/// and one shared channel-calibration table. Queries are admitted into a
+/// bounded queue (Submit rejects with kResourceExhausted when it is full),
+/// carry per-query deadlines/cancellation tokens that executors poll at
+/// segment boundaries, and report into an aggregated ServiceStats snapshot.
+///
+/// Determinism: execution is fully simulated, so a query's result table and
+/// HwCounters are bit-identical no matter which worker runs it or how many
+/// queries run concurrently — only host-side wall-clock fields (latencies,
+/// *_wall_ms metrics) vary. tests/service_test.cc asserts this.
+///
+/// Thread-safety: all public methods are safe to call from any thread.
+class QueryService {
+ public:
+  /// Builds the shared catalog-independent state (one channel calibration
+  /// run for the configured device) and starts the workers. `db` must
+  /// outlive the service and must not be mutated while it is running.
+  QueryService(const tpch::Database* db, ServiceOptions options);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Submits a query for asynchronous execution. `timeout_ms` overrides the
+  /// service default deadline (<= 0 keeps the default). Returns the handle,
+  /// or kResourceExhausted when the admission queue is full, or kUnavailable
+  /// after Shutdown().
+  Result<QueryHandle> Submit(std::string name, LogicalQuery query,
+                             double timeout_ms = 0.0);
+
+  /// One consistent snapshot of the aggregated counters.
+  ServiceStats Stats() const;
+
+  /// Stops dispatching queued queries (running ones finish). Admission stays
+  /// open, so the queue can be filled deterministically — used by tests and
+  /// for drain-style maintenance.
+  void Pause();
+  void Resume();
+
+  /// Stops admission, drains the queue, and joins the workers. Idempotent;
+  /// also called by the destructor. Queued queries still execute (their
+  /// deadlines permitting) before Shutdown returns.
+  void Shutdown();
+
+  /// Exports the service-level timeline into a trace collector: one track
+  /// per worker with a queue-wait + execution span per query (host time:
+  /// with the collector's default clock, 1 "cycle" = 1 ns), plus
+  /// queue-depth/running counter series and instants for rejected
+  /// submissions. Call from one thread, typically after the run.
+  void ExportTrace(trace::TraceCollector* collector) const;
+
+  const model::CalibrationTable& calibration() const { return calibration_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct FinishedRecord {
+    std::string name;
+    int worker = -1;
+    QueryOutcome outcome = QueryOutcome::kCompleted;
+    int64_t submit_ns = 0;  ///< since service start
+    int64_t start_ns = 0;
+    int64_t end_ns = 0;
+    double simulated_ms = 0.0;
+  };
+
+  void WorkerLoop(int worker_index);
+  void RunTask(int worker_index, Engine& engine,
+               const std::shared_ptr<QueryHandle::Task>& task);
+  int64_t NowNs() const;  ///< host steady-clock ns since service start
+
+  const tpch::Database* db_;
+  ServiceOptions options_;
+  /// Shared Γ calibration (Section 2.1) referenced by every worker engine.
+  model::CalibrationTable calibration_;
+  std::chrono::steady_clock::time_point start_tp_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< queue/pause/stop transitions
+  std::deque<std::shared_ptr<QueryHandle::Task>> queue_;
+  bool paused_ = false;
+  bool stop_ = false;
+
+  // Aggregates (guarded by mu_).
+  ServiceStats stats_;
+  std::vector<double> completed_latency_ms_;
+  std::vector<FinishedRecord> finished_;
+  std::vector<std::pair<int64_t, std::string>> rejected_log_;  ///< (ns, name)
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace service
+}  // namespace gpl
+
+#endif  // GPL_SERVICE_QUERY_SERVICE_H_

@@ -90,7 +90,9 @@ struct SimResult {
 };
 
 /// The GPU timing simulator. All Run* methods are const: the simulator holds
-/// only the device description and derived models.
+/// only the device description and derived models, so a Simulator is safe to
+/// share across threads — provided concurrent runs do not share a
+/// TraceCollector (the collector is the only mutable state a run touches).
 class Simulator {
  public:
   explicit Simulator(const DeviceSpec& device);

@@ -21,6 +21,12 @@ struct DbgenConfig {
 };
 
 /// The eight TPC-H base relations in columnar form.
+///
+/// Thread-safety: query execution only reads the database (string
+/// dictionaries are populated during Generate/LoadTbl, never during
+/// execution), so one Database may back any number of concurrent engines —
+/// the contract service::QueryService relies on. Do not mutate tables or
+/// append dictionary entries while queries are in flight.
 struct Database {
   Table region;
   Table nation;

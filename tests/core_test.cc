@@ -96,11 +96,11 @@ TEST_F(GplFixture, FunctionalRunObservationsAreConsistent) {
 TEST_F(GplFixture, TileSizeDoesNotChangeResults) {
   const SegmentedPlan plan = Segments(queries::Q14());
   GplOptions options;
-  options.use_cost_model = false;
-  options.overrides.tile_bytes = KiB(256);
+  options.exec.use_cost_model = false;
+  options.exec.overrides.tile_bytes = KiB(256);
   Result<GplRunResult> small = executor_.Run(plan, options);
   ASSERT_TRUE(small.ok());
-  options.overrides.tile_bytes = MiB(16);
+  options.exec.overrides.tile_bytes = MiB(16);
   Result<GplRunResult> large = executor_.Run(plan, options);
   ASSERT_TRUE(large.ok());
   std::string diff;
@@ -169,7 +169,7 @@ TEST_F(GplFixture, TunerChoiceRecorded) {
   const SegmentedPlan plan = Segments(queries::Q14());
   Result<GplRunResult> run = executor_.Run(plan, GplOptions{});
   ASSERT_TRUE(run.ok());
-  EXPECT_GT(run->tuner_elapsed_ms, 0.0);
+  EXPECT_GT(run->tuner_wall_ms, 0.0);
   for (const SegmentReport& report : run->segments) {
     EXPECT_GT(report.tuning.params.tile_bytes, 0);
     EXPECT_EQ(report.tuning.params.workgroups.size(),

@@ -184,8 +184,8 @@ TEST(EngineMetricsTest, BreakdownSumsToElapsed) {
 TEST(EngineMetricsTest, OptimizeTimeRecordedAndSmall) {
   const QueryResult gpl =
       MustExecute(SmallDb(), EngineMode::kGpl, queries::Q8());
-  EXPECT_GT(gpl.metrics.optimize_ms, 0.0);
-  EXPECT_LT(gpl.metrics.optimize_ms, 50.0);
+  EXPECT_GT(gpl.metrics.OptimizeWallMs(), 0.0);
+  EXPECT_LT(gpl.metrics.OptimizeWallMs(), 50.0);
 }
 
 TEST(EngineTest, DeviceSelectionNvidia) {
@@ -201,9 +201,9 @@ TEST(EngineTest, DeviceSelectionNvidia) {
 TEST(EngineTest, ManualOverridesFlowThrough) {
   EngineOptions options;
   options.mode = EngineMode::kGpl;
-  options.use_cost_model = false;
-  options.overrides.tile_bytes = MiB(2);
-  options.overrides.workgroups_per_kernel = 16;
+  options.exec.use_cost_model = false;
+  options.exec.overrides.tile_bytes = MiB(2);
+  options.exec.overrides.workgroups_per_kernel = 16;
   Engine engine(&SmallDb(), options);
   Result<GplRunResult> run =
       engine.ExecuteGplDetailed(*engine.Plan(queries::Q14()));
@@ -228,8 +228,8 @@ TEST(TunerQualityTest, TunedRunCompetitiveWithPinnedSweep) {
   for (int64_t tile : {KiB(256), KiB(512), MiB(1), MiB(4), MiB(16)}) {
     EngineOptions options;
     options.mode = EngineMode::kGpl;
-    options.use_cost_model = false;
-    options.overrides.tile_bytes = tile;
+    options.exec.use_cost_model = false;
+    options.exec.overrides.tile_bytes = tile;
     Engine engine(&MediumDb(), options);
     Result<QueryResult> r = engine.Execute(query);
     ASSERT_TRUE(r.ok());
@@ -253,8 +253,8 @@ TEST(TunerQualityTest, TunedBeatsWorstAllocations) {
 
   EngineOptions bad_options;
   bad_options.mode = EngineMode::kGpl;
-  bad_options.use_cost_model = false;
-  bad_options.overrides.workgroups_per_kernel = 2;  // S1
+  bad_options.exec.use_cost_model = false;
+  bad_options.exec.overrides.workgroups_per_kernel = 2;  // S1
   Engine bad_engine(&MediumDb(), bad_options);
   Result<QueryResult> bad = bad_engine.Execute(query);
   ASSERT_TRUE(bad.ok());

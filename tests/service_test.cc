@@ -1,0 +1,233 @@
+#include "service/query_service.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "queries/tpch_queries.h"
+#include "test_util.h"
+
+namespace gpl {
+namespace {
+
+using service::QueryHandle;
+using service::QueryService;
+using service::ServiceOptions;
+using service::ServiceStats;
+using testing_util::SmallDb;
+
+/// Bit-level table equality: raw physical buffers, not a tolerance compare.
+/// Execution is simulated, so concurrency must not change a single bit.
+void ExpectTablesBitIdentical(const Table& expected, const Table& actual) {
+  ASSERT_EQ(expected.num_columns(), actual.num_columns());
+  ASSERT_EQ(expected.num_rows(), actual.num_rows());
+  for (int64_t i = 0; i < expected.num_columns(); ++i) {
+    SCOPED_TRACE("column " + expected.ColumnNameAt(i));
+    EXPECT_EQ(expected.ColumnNameAt(i), actual.ColumnNameAt(i));
+    const Column& e = expected.ColumnAt(i);
+    const Column& a = actual.ColumnAt(i);
+    ASSERT_EQ(e.type(), a.type());
+    EXPECT_TRUE(e.data32() == a.data32());
+    EXPECT_TRUE(e.data64() == a.data64());
+    EXPECT_TRUE(e.dataf() == a.dataf());
+  }
+}
+
+/// Exact equality of every simulated hardware counter (all deterministic).
+void ExpectCountersBitIdentical(const sim::HwCounters& expected,
+                                const sim::HwCounters& actual) {
+  EXPECT_EQ(expected.elapsed_cycles, actual.elapsed_cycles);
+  EXPECT_EQ(expected.compute_cycles, actual.compute_cycles);
+  EXPECT_EQ(expected.mem_cycles, actual.mem_cycles);
+  EXPECT_EQ(expected.channel_cycles, actual.channel_cycles);
+  EXPECT_EQ(expected.stall_cycles, actual.stall_cycles);
+  EXPECT_EQ(expected.launch_cycles, actual.launch_cycles);
+  EXPECT_EQ(expected.cache_hits, actual.cache_hits);
+  EXPECT_EQ(expected.cache_accesses, actual.cache_accesses);
+  EXPECT_EQ(expected.resident_wg_time, actual.resident_wg_time);
+  EXPECT_EQ(expected.bytes_materialized, actual.bytes_materialized);
+  EXPECT_EQ(expected.bytes_via_channel, actual.bytes_via_channel);
+}
+
+/// The core service guarantee: N queries through a concurrent QueryService
+/// produce results bit-identical to a serial Engine — same tables, same
+/// HwCounters, same simulated times. Only host wall-clock may differ.
+TEST(QueryServiceTest, ConcurrentResultsMatchSerialBitIdentical) {
+  const tpch::Database& db = SmallDb();
+
+  // Workload: the evaluation suite, twice over (queries interleave and
+  // repeat across workers).
+  std::vector<std::pair<std::string, LogicalQuery>> workload;
+  for (int round = 0; round < 2; ++round) {
+    for (auto& [name, query] : queries::EvaluationSuite()) {
+      workload.emplace_back(name + "#" + std::to_string(round), query);
+    }
+  }
+
+  // Serial baseline.
+  Engine engine(&db, EngineOptions{});
+  std::vector<QueryResult> serial;
+  serial.reserve(workload.size());
+  for (auto& [name, query] : workload) {
+    Result<QueryResult> result = engine.Execute(query);
+    ASSERT_TRUE(result.ok()) << name << ": " << result.status().ToString();
+    serial.push_back(result.take());
+  }
+
+  // Concurrent run: all queries in flight at once on 4 workers.
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = workload.size();
+  QueryService service(&db, options);
+  std::vector<QueryHandle> handles;
+  for (auto& [name, query] : workload) {
+    Result<QueryHandle> submitted = service.Submit(name, query);
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    handles.push_back(submitted.take());
+  }
+
+  for (size_t i = 0; i < handles.size(); ++i) {
+    SCOPED_TRACE(workload[i].first);
+    const Result<QueryResult>& result = handles[i].Await();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectTablesBitIdentical(serial[i].table, result->table);
+    ExpectCountersBitIdentical(serial[i].metrics.counters,
+                               result->metrics.counters);
+    EXPECT_EQ(serial[i].metrics.elapsed_ms, result->metrics.elapsed_ms);
+    EXPECT_EQ(serial[i].metrics.predicted_ms, result->metrics.predicted_ms);
+  }
+
+  service.Shutdown();
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.admitted, workload.size());
+  EXPECT_EQ(stats.completed, workload.size());
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.timed_out, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GT(stats.p95_latency_ms, 0.0);
+  EXPECT_GE(stats.p95_latency_ms, stats.p50_latency_ms);
+}
+
+TEST(QueryServiceTest, RejectsWhenAdmissionQueueFull) {
+  const tpch::Database& db = SmallDb();
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 2;
+  QueryService service(&db, options);
+  // Paused workers never pop, so the queue fills deterministically.
+  service.Pause();
+
+  const LogicalQuery q6 = queries::Q6();
+  std::vector<QueryHandle> handles;
+  for (int i = 0; i < 2; ++i) {
+    Result<QueryHandle> submitted =
+        service.Submit("q6#" + std::to_string(i), q6);
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    handles.push_back(submitted.take());
+  }
+  Result<QueryHandle> rejected = service.Submit("q6#overflow", q6);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.queue_depth, 2u);
+
+  service.Resume();
+  for (QueryHandle& handle : handles) {
+    EXPECT_TRUE(handle.Await().ok());
+  }
+  stats = service.Stats();
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.max_queue_depth, 2u);
+}
+
+TEST(QueryServiceTest, ExpiredDeadlineReportsDeadlineExceeded) {
+  const tpch::Database& db = SmallDb();
+  ServiceOptions options;
+  options.num_workers = 1;
+  QueryService service(&db, options);
+  service.Pause();
+
+  // An (effectively) already-expired deadline: the first cancellation check
+  // fires before any segment executes, so the outcome is deterministic.
+  Result<QueryHandle> submitted =
+      service.Submit("q6-deadline", queries::Q6(), /*timeout_ms=*/1e-6);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  service.Resume();
+
+  QueryHandle handle = submitted.take();
+  const Result<QueryResult>& result = handle.Await();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+
+  service.Shutdown();
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.timed_out, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST(QueryServiceTest, CancelledQueryReportsCancelled) {
+  const tpch::Database& db = SmallDb();
+  ServiceOptions options;
+  options.num_workers = 1;
+  QueryService service(&db, options);
+  service.Pause();
+
+  Result<QueryHandle> submitted = service.Submit("q6-cancel", queries::Q6());
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  QueryHandle handle = submitted.take();
+  handle.Cancel();  // still queued — unwinds before the first segment
+  service.Resume();
+
+  const Result<QueryResult>& result = handle.Await();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+
+  service.Shutdown();
+  EXPECT_EQ(service.Stats().cancelled, 1u);
+}
+
+TEST(QueryServiceTest, SubmitAfterShutdownIsUnavailable) {
+  const tpch::Database& db = SmallDb();
+  ServiceOptions options;
+  options.num_workers = 1;
+  QueryService service(&db, options);
+  service.Shutdown();
+
+  Result<QueryHandle> submitted = service.Submit("late", queries::Q6());
+  ASSERT_FALSE(submitted.ok());
+  EXPECT_EQ(submitted.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(QueryServiceTest, ShutdownDrainsQueuedQueries) {
+  const tpch::Database& db = SmallDb();
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = 8;
+  QueryService service(&db, options);
+  service.Pause();
+
+  std::vector<QueryHandle> handles;
+  for (int i = 0; i < 6; ++i) {
+    Result<QueryHandle> submitted =
+        service.Submit("q14#" + std::to_string(i), queries::Q14());
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    handles.push_back(submitted.take());
+  }
+  // Shutdown() drains: admitted queries still owe their submitters results.
+  service.Shutdown();
+  for (QueryHandle& handle : handles) {
+    EXPECT_TRUE(handle.Done());
+    EXPECT_TRUE(handle.Await().ok());
+  }
+  EXPECT_EQ(service.Stats().completed, 6u);
+}
+
+}  // namespace
+}  // namespace gpl

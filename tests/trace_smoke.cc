@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
   gpl::trace::TraceCollector collector;
   gpl::EngineOptions options;
   options.mode = gpl::EngineMode::kGpl;
-  options.trace = &collector;
+  options.exec.trace = &collector;
   gpl::Engine engine(&db, options);
   gpl::Result<gpl::QueryResult> result = engine.Execute(gpl::queries::Q5());
   if (!result.ok()) return Fail("Q5 failed: " + result.status().ToString());

@@ -207,7 +207,7 @@ TEST(TraceCollectorTest, KernelPhaseBreakdownSumsToElapsed) {
   trace::TraceCollector collector;
   EngineOptions options;
   options.mode = EngineMode::kGpl;
-  options.trace = &collector;
+  options.exec.trace = &collector;
   Engine engine(&MediumDb(), options);
   Result<QueryResult> result = engine.Execute(queries::Q5());
   ASSERT_TRUE(result.ok()) << result.status().ToString();
@@ -280,7 +280,7 @@ TEST(TraceCollectorTest, KbeExecutionEmitsKernelSpans) {
   trace::TraceCollector collector;
   EngineOptions options;
   options.mode = EngineMode::kKbe;
-  options.trace = &collector;
+  options.exec.trace = &collector;
   Engine engine(&SmallDb(), options);
   Result<QueryResult> result = engine.Execute(queries::Q14());
   ASSERT_TRUE(result.ok()) << result.status().ToString();
