@@ -43,6 +43,15 @@ inline const tpch::Database& Db(double scale_factor) {
   return *it->second;
 }
 
+/// Host threads pinned by `--host-threads=N` (0 = leave ExecOptions at its
+/// hardware-concurrency default). Set by ParseOutPath/ParseBenchArgs and
+/// consumed by Run(), so every bench honors the flag without plumbing it
+/// through each call site.
+inline int& PinnedHostThreads() {
+  static int threads = 0;
+  return threads;
+}
+
 /// Executes a query under a mode; aborts on failure (benches are harnesses).
 inline QueryResult Run(const tpch::Database& db, EngineMode mode,
                        const LogicalQuery& query,
@@ -54,6 +63,7 @@ inline QueryResult Run(const tpch::Database& db, EngineMode mode,
   options.device = device;
   options.exec.overrides = overrides;
   options.exec.use_cost_model = use_cost_model;
+  options.exec.host_threads = PinnedHostThreads();
   Engine engine(&db, options);
   Result<QueryResult> result = engine.Execute(query);
   GPL_CHECK(result.ok()) << query.name << " under " << EngineModeName(mode)
@@ -101,7 +111,8 @@ class JsonlWriter {
   std::ofstream out_;
 };
 
-/// Parses the common bench flag `--out=<path>` (JSONL results destination).
+/// Parses the common bench flags `--out=<path>` (JSONL results destination)
+/// and `--host-threads=<N>` (host parallelism for every Run() call).
 /// Unknown arguments abort with usage so typos don't silently run a default.
 inline std::string ParseOutPath(int argc, char** argv) {
   std::string out;
@@ -109,8 +120,12 @@ inline std::string ParseOutPath(int argc, char** argv) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--out=", 6) == 0) {
       out = arg + 6;
+    } else if (std::strncmp(arg, "--host-threads=", 15) == 0) {
+      PinnedHostThreads() = std::atoi(arg + 15);
     } else {
-      std::fprintf(stderr, "usage: %s [--out=results.jsonl]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--out=results.jsonl] [--host-threads=N]\n",
+                   argv[0]);
       std::exit(2);
     }
   }
@@ -118,11 +133,12 @@ inline std::string ParseOutPath(int argc, char** argv) {
 }
 
 /// Common bench flags for device-parameterized benches: `--out=<path>` plus
-/// `--device=<amd|nvidia>`, the latter going through the library's
-/// ParseDeviceSpec rather than a per-bench hand-rolled name switch.
+/// `--device=<amd|nvidia>` (through the library's ParseDeviceSpec rather
+/// than a per-bench hand-rolled name switch) and `--host-threads=<N>`.
 struct BenchArgs {
   std::string out;
   sim::DeviceSpec device;
+  int host_threads = 0;  ///< 0 = hardware concurrency (mirrors ExecOptions)
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv,
@@ -140,9 +156,13 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv,
         std::exit(2);
       }
       args.device = device.take();
+    } else if (std::strncmp(arg, "--host-threads=", 15) == 0) {
+      args.host_threads = std::atoi(arg + 15);
+      PinnedHostThreads() = args.host_threads;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--out=results.jsonl] [--device=amd|nvidia]\n",
+                   "usage: %s [--out=results.jsonl] [--device=amd|nvidia] "
+                   "[--host-threads=N]\n",
                    argv[0]);
       std::exit(2);
     }

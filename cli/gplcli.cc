@@ -26,6 +26,12 @@
 ///   --metrics-json=<file>             write QueryMetrics/HwCounters as JSON
 ///   --breakdown                       print the per-kernel phase breakdown
 ///                                     (compute/mem/DC/delay, Figures 20/29)
+///   --host-threads=<N>                host threads for the functional kernel
+///                                     bodies and tuner search (0 = hardware
+///                                     concurrency, 1 = serial); results and
+///                                     simulated timing are identical at any N
+///   --no-tuning-cache                 disable TuneSegment memoization (the
+///                                     grid search reruns for every segment)
 ///
 /// Serve mode (concurrent multi-query execution via service::QueryService):
 ///   --serve-workers=<N>               run N worker engines concurrently; the
@@ -76,6 +82,8 @@ struct CliOptions {
   bool explain = false;
   bool verify = false;
   bool breakdown = false;
+  int host_threads = 0;          ///< 0 = hardware concurrency
+  bool no_tuning_cache = false;  ///< re-run the grid search every segment
   int64_t rows = 10;
   std::string dump_tbl;
   std::string tbl_dir;
@@ -113,6 +121,7 @@ int Usage(const char* argv0) {
                "          [--dump-tbl=DIR] [--tbl-dir=DIR]\n"
                "          [--trace=FILE.json] [--metrics-json=FILE.json] "
                "[--breakdown]\n"
+               "          [--host-threads=N] [--no-tuning-cache]\n"
                "          [--serve-workers=N [--serve-queries=M] "
                "[--serve-queue=C] [--timeout-ms=T]]\n",
                argv0);
@@ -332,6 +341,10 @@ int main(int argc, char** argv) {
       cli.serve_queue = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "timeout-ms", &value)) {
       cli.timeout_ms = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "host-threads", &value)) {
+      cli.host_threads = std::atoi(value.c_str());
+    } else if (std::strcmp(argv[i], "--no-tuning-cache") == 0) {
+      cli.no_tuning_cache = true;
     } else if (std::strcmp(argv[i], "--breakdown") == 0) {
       cli.breakdown = true;
     } else if (std::strcmp(argv[i], "--partitioned") == 0) {
@@ -409,6 +422,8 @@ int main(int argc, char** argv) {
     options.exec.overrides.workgroups_per_kernel = cli.wg;
   }
   options.partitioned_joins = cli.partitioned;
+  options.exec.host_threads = cli.host_threads;
+  options.exec.use_tuning_cache = !cli.no_tuning_cache;
 
   // ---- Serve mode ----
   if (cli.serve_workers > 0) {

@@ -24,16 +24,19 @@ cmake -B "$BUILD-werror" -S . \
 cmake --build "$BUILD-werror" -j
 
 echo
-echo "=== tsan: QueryService tests under ThreadSanitizer ==="
-# Only the service test binary is built in this tree (the rest of the suite
-# is single-threaded and already covered above); it exercises the worker
-# pool, admission queue, cancellation and stats under real concurrency.
+echo "=== tsan: concurrency tests under ThreadSanitizer ==="
+# The concurrent binaries only (the rest of the suite is single-threaded and
+# already covered above): the QueryService worker pool, the work-stealing
+# ThreadPool/ParallelFor, the shared TuningCache, and the morsel-parallel
+# engine paths at host_threads > 1.
 cmake -B "$BUILD-tsan" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build "$BUILD-tsan" -j --target service_test
-ctest --test-dir "$BUILD-tsan" --output-on-failure -R QueryService
+cmake --build "$BUILD-tsan" -j \
+  --target service_test --target thread_pool_test --target host_parallel_test
+ctest --test-dir "$BUILD-tsan" --output-on-failure \
+  -R "QueryService|ThreadPool|TuningCache|HostParallel"
 
 echo
 echo "=== trace smoke: gplcli --trace on Q5, JSON validated ==="
@@ -44,6 +47,17 @@ trap 'rm -f "$TRACE_OUT" "$METRICS_OUT"' EXIT
   --trace="$TRACE_OUT" --metrics-json="$METRICS_OUT"
 "$BUILD/tests/trace_smoke" "$TRACE_OUT"
 "$BUILD/tests/trace_smoke" "$METRICS_OUT"
+
+echo
+echo "=== perf smoke: host-scaling bench, bit-identity + cache gates ==="
+# The main tree builds RelWithDebInfo (-O2), so this is a release-grade run.
+# --quick exits non-zero if parallel results are not bit-identical to
+# serial, if the warm 8-thread batch exceeds 1.3x the serial warm batch
+# (tolerance for single-core runners), or if the warm tuning-cache hit rate
+# drops below 90%.
+HOST_SCALING_OUT="$(mktemp /tmp/gpl_check_host_scaling.XXXXXX.jsonl)"
+trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$HOST_SCALING_OUT"' EXIT
+"$BUILD/bench/bench_host_scaling" --quick --out="$HOST_SCALING_OUT"
 
 echo
 echo "check.sh: all checks passed"

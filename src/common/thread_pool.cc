@@ -1,0 +1,213 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gpl {
+
+namespace {
+
+/// Index of the pool worker running on this thread (-1 off-pool). Lets
+/// Submit push to the worker's own deque and RunOneTask steal from the rest.
+thread_local int tls_worker_index = -1;
+
+/// Parallelism of the innermost ScopedHostParallelism on this thread.
+thread_local int tls_parallelism = 1;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  queues_.reserve(kMaxThreads);
+  for (int i = 0; i < kMaxThreads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  EnsureThreads(num_threads);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  idle_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadPool::EnsureThreads(int n) {
+  n = std::min(n, kMaxThreads);
+  if (num_threads() >= n) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) return;
+  while (static_cast<int>(workers_.size()) < n) {
+    const int index = static_cast<int>(workers_.size());
+    workers_.emplace_back([this, index] { WorkerLoop(index); });
+    // Publish after the queue slot is (pre-)constructed; release pairs with
+    // the acquire in num_threads()/RunOneTask/Submit.
+    active_threads_.store(index + 1, std::memory_order_release);
+  }
+}
+
+void ThreadPool::WorkerLoop(int index) {
+  tls_worker_index = index;
+  for (;;) {
+    if (RunOneTask(index)) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [&] {
+      return stop_ || pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_) return;
+  }
+}
+
+bool ThreadPool::RunOneTask(int home) {
+  const int n = num_threads();
+  if (n <= 0) return false;
+  std::function<void()> task;
+  const int first = home >= 0 && home < n ? home : 0;
+  for (int attempt = 0; attempt < n && !task; ++attempt) {
+    const int q = (first + attempt) % n;
+    WorkerQueue& queue = *queues_[static_cast<size_t>(q)];
+    std::lock_guard<std::mutex> lock(queue.mu);
+    if (queue.tasks.empty()) continue;
+    if (q == home) {
+      task = std::move(queue.tasks.back());  // own queue: LIFO for locality
+      queue.tasks.pop_back();
+    } else {
+      task = std::move(queue.tasks.front());  // steal: FIFO (oldest first)
+      queue.tasks.pop_front();
+    }
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  if (!task) return false;
+  task();
+  return true;
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  const int n = num_threads();
+  if (n <= 0) {
+    task();  // no workers at all: degrade to inline execution
+    return;
+  }
+  const int worker = tls_worker_index;
+  const int q = worker >= 0 && worker < n
+                    ? worker
+                    : static_cast<int>(next_victim_.fetch_add(
+                                           1, std::memory_order_relaxed) %
+                                       static_cast<uint64_t>(n));
+  {
+    std::lock_guard<std::mutex> lock(queues_[static_cast<size_t>(q)]->mu);
+    queues_[static_cast<size_t>(q)]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  // Lock/unlock pairs the pending_ publication with the idle predicate so a
+  // worker between its predicate check and wait() cannot miss the wakeup.
+  { std::lock_guard<std::mutex> lock(mu_); }
+  idle_cv_.notify_one();
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             int max_parallelism,
+                             const std::function<void(int64_t, int64_t)>& body) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  grain = std::max<int64_t>(grain, 1);
+  const int64_t num_chunks = (n + grain - 1) / grain;
+  const int parallelism = static_cast<int>(std::min<int64_t>(
+      std::min(max_parallelism, num_threads() + 1), num_chunks));
+
+  if (parallelism <= 1) {
+    // Same fixed chunking as the parallel path, executed in order.
+    for (int64_t c = 0; c < num_chunks; ++c) {
+      const int64_t b = begin + c * grain;
+      body(b, std::min(b + grain, end));
+    }
+    return;
+  }
+
+  struct SharedState {
+    std::function<void(int64_t, int64_t)> body;
+    int64_t begin = 0;
+    int64_t end = 0;
+    int64_t grain = 1;
+    int64_t num_chunks = 0;
+    std::atomic<int64_t> next{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    int64_t done = 0;
+  };
+  auto state = std::make_shared<SharedState>();
+  state->body = body;
+  state->begin = begin;
+  state->end = end;
+  state->grain = grain;
+  state->num_chunks = num_chunks;
+
+  // Claim-and-run: safe for helpers that start after the loop finished (they
+  // claim an out-of-range chunk and return, touching only the shared state).
+  auto run_chunks = [](const std::shared_ptr<SharedState>& s) {
+    for (;;) {
+      const int64_t c = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= s->num_chunks) return;
+      const int64_t b = s->begin + c * s->grain;
+      s->body(b, std::min(b + s->grain, s->end));
+      std::lock_guard<std::mutex> lock(s->mu);
+      if (++s->done == s->num_chunks) s->cv.notify_all();
+    }
+  };
+
+  for (int h = 1; h < parallelism; ++h) {
+    Submit([state, run_chunks] { run_chunks(state); });
+  }
+  run_chunks(state);  // the caller participates — never blocks on a worker
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done == state->num_chunks; });
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Function-local static: destroyed (joining all workers) after main, so
+  // sanitizer runs end with no live pool threads.
+  static ThreadPool pool(HostHardwareThreads());
+  return pool;
+}
+
+int HostHardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int CurrentHostParallelism() { return tls_parallelism; }
+
+ScopedHostParallelism::ScopedHostParallelism(int requested)
+    : prev_(tls_parallelism) {
+  resolved_ = requested <= 0 ? HostHardwareThreads() : requested;
+  resolved_ = std::min(std::max(resolved_, 1), ThreadPool::kMaxThreads);
+  if (resolved_ > 1) ThreadPool::Global().EnsureThreads(resolved_);
+  tls_parallelism = resolved_;
+}
+
+ScopedHostParallelism::~ScopedHostParallelism() { tls_parallelism = prev_; }
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body) {
+  const int parallelism = tls_parallelism;
+  if (parallelism <= 1) {
+    // Serial scope: identical chunk boundaries, no pool, no locks.
+    const int64_t n = end - begin;
+    if (n <= 0) return;
+    grain = std::max<int64_t>(grain, 1);
+    const int64_t num_chunks = (n + grain - 1) / grain;
+    for (int64_t c = 0; c < num_chunks; ++c) {
+      const int64_t b = begin + c * grain;
+      body(b, std::min(b + grain, end));
+    }
+    return;
+  }
+  ThreadPool::Global().ParallelFor(begin, end, grain, parallelism, body);
+}
+
+}  // namespace gpl

@@ -1,0 +1,138 @@
+#ifndef GPL_COMMON_THREAD_POOL_H_
+#define GPL_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpl {
+
+/// Rows per morsel for the parallel primitive bodies. Fixed — never derived
+/// from the thread count — so the work decomposition (and therefore every
+/// morsel-local intermediate) is identical at any `host_threads`, which is
+/// what makes the parallel paths bit-identical to the serial oracle.
+constexpr int64_t kMorselRows = 4096;
+
+/// A work-stealing host thread pool. One instance is shared per process
+/// (Global()) by the QueryService workers, the engines' functional primitive
+/// bodies and the plan tuner; tests may construct private pools.
+///
+/// Design notes:
+///  - Per-worker deques: a worker pops its own queue LIFO (locality) and
+///    steals FIFO from the others; external submitters round-robin.
+///  - ParallelFor never blocks on a free worker: the *calling* thread claims
+///    and executes chunks alongside any helpers, so the loop completes even
+///    when the pool is saturated or the helpers never get scheduled. That
+///    also makes nested ParallelFor calls deadlock-free by construction.
+///  - The pool grows on demand (EnsureThreads) up to kMaxThreads, so an
+///    explicitly pinned `host_threads` larger than the core count still gets
+///    real threads (needed for the scaling bench and the TSan tests on small
+///    machines). It never shrinks.
+///
+/// Loop bodies must not throw: errors are reported through Result/Status
+/// values written into per-chunk slots, never by unwinding across the pool.
+class ThreadPool {
+ public:
+  /// Upper bound on pool size; EnsureThreads clamps to it.
+  static constexpr int kMaxThreads = 64;
+
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Currently started worker threads.
+  int num_threads() const {
+    return active_threads_.load(std::memory_order_acquire);
+  }
+
+  /// Grows the pool to at least `n` workers (clamped to kMaxThreads).
+  void EnsureThreads(int n);
+
+  /// Enqueues a fire-and-forget task. From a pool worker it lands on that
+  /// worker's own deque (LIFO), otherwise on a round-robin victim.
+  void Submit(std::function<void()> task);
+
+  /// Runs `body(chunk_begin, chunk_end)` over [begin, end) split into fixed
+  /// chunks of `grain` (boundaries at begin + k*grain regardless of
+  /// parallelism), using at most `max_parallelism` threads including the
+  /// caller. Blocks until every chunk has executed. Bodies run concurrently
+  /// and must only touch disjoint, position-derived state; completion gives
+  /// the caller a happens-before edge over all chunk writes.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   int max_parallelism,
+                   const std::function<void(int64_t, int64_t)>& body);
+
+  /// The process-wide shared pool, created on first use with one thread per
+  /// hardware thread and grown on demand by ScopedHostParallelism.
+  static ThreadPool& Global();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(int index);
+  /// Pops and runs one task (own queue first, then steals). False if every
+  /// queue was empty.
+  bool RunOneTask(int home);
+
+  /// Fixed-capacity queue slots (pre-constructed so growth never relocates
+  /// a queue another thread is touching).
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::atomic<int> active_threads_{0};
+  std::atomic<uint64_t> next_victim_{0};
+  std::atomic<int64_t> pending_{0};
+
+  std::mutex mu_;  ///< guards workers_/stop_ and the idle wait
+  std::condition_variable idle_cv_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+/// max(1, std::thread::hardware_concurrency()).
+int HostHardwareThreads();
+
+/// The host parallelism of the current scope (thread-local; 1 outside any
+/// ScopedHostParallelism). The free ParallelFor below and every morsel-
+/// parallel primitive body consult it, so executors can plumb
+/// ExecOptions::host_threads down without threading it through every Kernel
+/// signature.
+int CurrentHostParallelism();
+
+/// Sets the current thread's host parallelism for the scope's lifetime.
+/// `requested` <= 0 resolves to HostHardwareThreads(). Resolving to more
+/// than one thread grows the global pool so the parallelism is real even
+/// when it exceeds the core count.
+class ScopedHostParallelism {
+ public:
+  explicit ScopedHostParallelism(int requested);
+  ~ScopedHostParallelism();
+
+  ScopedHostParallelism(const ScopedHostParallelism&) = delete;
+  ScopedHostParallelism& operator=(const ScopedHostParallelism&) = delete;
+
+  int resolved() const { return resolved_; }
+
+ private:
+  int prev_;
+  int resolved_;
+};
+
+/// Facade over the global pool honoring CurrentHostParallelism(): serial
+/// scopes run the chunks inline on the caller (no pool, no locks), parallel
+/// scopes fan out. Chunk boundaries are identical either way.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body);
+
+}  // namespace gpl
+
+#endif  // GPL_COMMON_THREAD_POOL_H_

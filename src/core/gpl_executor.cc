@@ -1,9 +1,12 @@
 #include "core/gpl_executor.h"
 
 #include <chrono>
+#include <string>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 
 namespace gpl {
 
@@ -15,10 +18,12 @@ constexpr double kHashEntryBytes = 32.0;
 
 GplExecutor::GplExecutor(const tpch::Database* db,
                          const sim::Simulator* simulator,
-                         const model::CalibrationTable* calibration)
+                         const model::CalibrationTable* calibration,
+                         model::TuningCache* tuning_cache)
     : db_(db),
       simulator_(simulator),
       calibration_(calibration),
+      tuning_cache_(tuning_cache),
       cost_model_(simulator->device(), calibration) {
   GPL_CHECK(db_ != nullptr && simulator_ != nullptr && calibration_ != nullptr);
 }
@@ -85,6 +90,12 @@ Result<GplRunResult> GplExecutor::Run(const SegmentedPlan& plan,
                                       const GplOptions& options) const {
   GplRunResult result;
 
+  // Host parallelism for the functional kernel bodies and the tuner grid,
+  // scoped to this run. Purely host-side: the simulated timing below is
+  // computed from descriptors and observed cardinalities, never from how
+  // fast (or how parallel) the host produced them.
+  ScopedHostParallelism host_parallelism(options.exec.host_threads);
+
   // Fresh functional state for every run.
   for (const Segment& segment : plan.segments) {
     for (const Stage& stage : segment.stages) stage.kernel->Reset();
@@ -108,7 +119,27 @@ Result<GplRunResult> GplExecutor::Run(const SegmentedPlan& plan,
     const model::TuningOverrides& overrides = options.exec.overrides;
     model::TuningChoice choice;
     if (options.exec.use_cost_model) {
-      choice = model::TuneSegment(cost_model_, desc, *calibration_, overrides);
+      const bool cache_enabled =
+          tuning_cache_ != nullptr && options.exec.use_tuning_cache;
+      std::string signature;
+      bool hit = false;
+      if (cache_enabled) {
+        signature = model::TuningCache::SegmentSignature(simulator_->device(),
+                                                         desc, overrides);
+        if (auto cached = tuning_cache_->Lookup(signature)) {
+          choice = std::move(*cached);
+          hit = true;
+        }
+      }
+      if (hit) {
+        ++result.tuning_cache_hits;
+      } else {
+        choice = model::TuneSegment(cost_model_, desc, *calibration_, overrides);
+        if (cache_enabled) {
+          tuning_cache_->Insert(signature, choice);
+          ++result.tuning_cache_misses;
+        }
+      }
     } else {
       choice.params.tile_bytes =
           overrides.tile_bytes > 0 ? overrides.tile_bytes

@@ -10,6 +10,7 @@
 #include "model/calibration.h"
 #include "model/cost_model.h"
 #include "model/plan_tuner.h"
+#include "model/tuning_cache.h"
 #include "plan/segment.h"
 #include "sim/engine.h"
 #include "tpch/dbgen.h"
@@ -52,6 +53,8 @@ struct GplRunResult {
   double total_cycles = 0.0;
   double predicted_total_cycles = 0.0;
   double tuner_wall_ms = 0.0;  ///< host wall-clock spent in the tuner
+  int tuning_cache_hits = 0;   ///< segments whose choice came from the cache
+  int tuning_cache_misses = 0; ///< segments that ran the full grid search
 };
 
 /// The pipelined query executor — the paper's core contribution. Executes a
@@ -61,8 +64,12 @@ struct GplRunResult {
 /// (concurrent kernels + channels, or the sequential w/o-CE ablation).
 class GplExecutor {
  public:
+  /// `tuning_cache` (optional) memoizes TuneSegment results across runs —
+  /// the Engine passes its own or the QueryService's shared instance. It
+  /// must outlive the executor.
   GplExecutor(const tpch::Database* db, const sim::Simulator* simulator,
-              const model::CalibrationTable* calibration);
+              const model::CalibrationTable* calibration,
+              model::TuningCache* tuning_cache = nullptr);
 
   Result<GplRunResult> Run(const SegmentedPlan& plan,
                            const GplOptions& options) const;
@@ -80,6 +87,7 @@ class GplExecutor {
   const tpch::Database* db_;
   const sim::Simulator* simulator_;
   const model::CalibrationTable* calibration_;
+  model::TuningCache* tuning_cache_;  ///< may be null (no memoization)
   model::CostModel cost_model_;
 };
 

@@ -48,7 +48,12 @@ Engine::Engine(const tpch::Database* db, EngineOptions options)
                              : model::CalibrationTable::Run(simulator_)),
       calibration_(options_.calibration != nullptr ? options_.calibration
                                                    : &*owned_calibration_),
-      gpl_executor_(db, &simulator_, calibration_),
+      owned_tuning_cache_(options_.tuning_cache != nullptr
+                              ? nullptr
+                              : std::make_unique<model::TuningCache>()),
+      tuning_cache_(options_.tuning_cache != nullptr ? options_.tuning_cache
+                                                     : owned_tuning_cache_.get()),
+      gpl_executor_(db, &simulator_, calibration_, tuning_cache_),
       kbe_engine_(db, &simulator_, KbeFlavor{}),
       ocelot_engine_(db, &simulator_, OcelotFlavor()) {
   GPL_CHECK(db != nullptr);
@@ -107,6 +112,8 @@ Result<QueryResult> Engine::ExecutePlan(const PhysicalOpPtr& plan,
       result.metrics.predicted_ms =
           simulator_.device().CyclesToMs(run.predicted_total_cycles);
       result.metrics.tune_wall_ms = run.tuner_wall_ms;
+      result.metrics.tuning_cache_hits = run.tuning_cache_hits;
+      result.metrics.tuning_cache_misses = run.tuning_cache_misses;
       return result;
     }
   }

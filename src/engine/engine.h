@@ -62,6 +62,13 @@ struct EngineOptions {
   /// this to share one immutable table across its worker engines. Must
   /// outlive the engine and match `device`.
   const model::CalibrationTable* calibration = nullptr;
+
+  /// Optional shared tuning cache. When set, the engine memoizes TuneSegment
+  /// results there (the QueryService passes one instance to all workers so a
+  /// segment tuned by any worker is a hit for the rest); otherwise the engine
+  /// owns a private cache. Must outlive the engine. TuningCache is
+  /// thread-safe, unlike the Engine itself.
+  model::TuningCache* tuning_cache = nullptr;
 };
 
 /// The public entry point of the library: executes TPC-H-style analytical
@@ -91,6 +98,8 @@ class Engine {
   const Catalog& catalog() const { return catalog_; }
   const sim::Simulator& simulator() const { return simulator_; }
   const model::CalibrationTable& calibration() const { return *calibration_; }
+  /// The tuning cache in use — shared (options.tuning_cache) or engine-owned.
+  model::TuningCache& tuning_cache() const { return *tuning_cache_; }
 
   /// Optimizes and executes a logical query with the engine's default
   /// ExecOptions (options().exec).
@@ -123,6 +132,10 @@ class Engine {
   /// Engine-owned calibration, populated unless options.calibration was set.
   std::optional<model::CalibrationTable> owned_calibration_;
   const model::CalibrationTable* calibration_;  ///< owned or shared
+  /// Engine-owned tuning cache, allocated unless options.tuning_cache was
+  /// set. Declared before gpl_executor_, which captures the pointer.
+  std::unique_ptr<model::TuningCache> owned_tuning_cache_;
+  model::TuningCache* tuning_cache_;  ///< owned or shared
   GplExecutor gpl_executor_;
   KbeEngine kbe_engine_;
   KbeEngine ocelot_engine_;

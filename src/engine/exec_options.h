@@ -41,6 +41,21 @@ struct ExecOptions {
   /// unwind with kCancelled/kDeadlineExceeded. nullptr disables the checks.
   /// The token must outlive the execution.
   const CancelToken* cancel = nullptr;
+
+  /// Host threads the functional primitive bodies and the tuner grid search
+  /// may use (morsel-parallel over the process-wide work-stealing pool; see
+  /// common/thread_pool.h). 0 = hardware_concurrency; 1 = fully serial (the
+  /// oracle path the parallel implementations are tested against). Purely a
+  /// host-side knob: results, hardware counters and simulated cycle counts
+  /// are bit-identical at any setting.
+  int host_threads = 0;
+
+  /// Memoize TuneSegment results in the engine's TuningCache (shared across
+  /// QueryService workers), collapsing steady-state OptimizeWallMs() to a
+  /// lookup. Keys are exact segment signatures, so a hit returns precisely
+  /// the choice a fresh search would — simulated timing never changes.
+  /// Disable (--no-tuning-cache) to re-run the grid search every segment.
+  bool use_tuning_cache = true;
 };
 
 }  // namespace gpl

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "exec/primitives.h"
 
 namespace gpl {
@@ -205,6 +206,9 @@ Result<Table> KbeEngine::Exec(const PhysicalOp& op, Context* ctx) {
 Result<QueryResult> KbeEngine::Execute(const PhysicalOpPtr& plan,
                                        const ExecOptions& exec) {
   GPL_CHECK(plan != nullptr);
+  // Morsel-parallel primitive bodies for this execution; host-side only, the
+  // simulated counters below are unaffected.
+  ScopedHostParallelism host_parallelism(exec.host_threads);
   Context ctx;
   ctx.trace = exec.trace;
   ctx.cancel = exec.cancel;

@@ -44,6 +44,12 @@ struct QueryMetrics {
   int64_t materialized_bytes = 0;  ///< intermediates written to global memory
   int64_t channel_bytes = 0;       ///< intermediates passed through channels
 
+  /// Tuning-cache accounting for this execution (GPL with cost model only).
+  /// A hit skips the grid search entirely, so tune_wall_ms collapses toward
+  /// zero; hits never change the chosen parameters or simulated timing.
+  int64_t tuning_cache_hits = 0;
+  int64_t tuning_cache_misses = 0;
+
   /// Host wall-clock of the whole optimization step (planning + tuning, the
   /// paper's "<5 ms query optimization" claim).
   double OptimizeWallMs() const { return plan_wall_ms + tune_wall_ms; }

@@ -40,6 +40,10 @@ std::string QueryMetricsToJson(const MetricsJsonEntry& entry) {
   AppendNumber(&out, "plan_wall_ms", m.plan_wall_ms);
   AppendNumber(&out, "tune_wall_ms", m.tune_wall_ms);
   AppendNumber(&out, "optimize_wall_ms", m.OptimizeWallMs());
+  AppendNumber(&out, "tuning_cache_hits",
+               static_cast<double>(m.tuning_cache_hits));
+  AppendNumber(&out, "tuning_cache_misses",
+               static_cast<double>(m.tuning_cache_misses));
   AppendNumber(&out, "valu_busy", m.valu_busy);
   AppendNumber(&out, "mem_unit_busy", m.mem_unit_busy);
   AppendNumber(&out, "occupancy", m.occupancy);

@@ -4,6 +4,7 @@
 #include <algorithm>
 
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 
 namespace gpl {
 
@@ -16,6 +17,20 @@ void JoinHashTable::Build(const std::vector<int64_t>& keys, int64_t row_base) {
 }
 
 void JoinHashTable::Insert(const std::vector<int64_t>& keys, int64_t row_base) {
+  std::vector<uint64_t> hashes(keys.size());
+  ParallelFor(0, static_cast<int64_t>(keys.size()), kMorselRows,
+              [&](int64_t b, int64_t e) {
+                for (int64_t i = b; i < e; ++i) {
+                  hashes[static_cast<size_t>(i)] =
+                      HashKey(keys[static_cast<size_t>(i)]);
+                }
+              });
+  Insert(keys, hashes, row_base);
+}
+
+void JoinHashTable::Insert(const std::vector<int64_t>& keys,
+                           const std::vector<uint64_t>& hashes,
+                           int64_t row_base) {
   const int64_t target = num_entries() + static_cast<int64_t>(keys.size());
   if (static_cast<int64_t>(buckets_.size()) < target) {
     Rehash(target * 2);
@@ -26,7 +41,7 @@ void JoinHashTable::Insert(const std::vector<int64_t>& keys, int64_t row_base) {
   entry_next_.reserve(static_cast<size_t>(target));
   for (size_t i = 0; i < keys.size(); ++i) {
     const int64_t entry = static_cast<int64_t>(entry_keys_.size());
-    const size_t bucket = static_cast<size_t>(HashKey(keys[i]) & mask);
+    const size_t bucket = static_cast<size_t>(hashes[i] & mask);
     entry_keys_.push_back(keys[i]);
     entry_rows_.push_back(row_base + static_cast<int64_t>(i));
     entry_next_.push_back(buckets_[bucket]);

@@ -19,7 +19,19 @@ class JoinHashTable {
   void Build(const std::vector<int64_t>& keys, int64_t row_base = 0);
 
   /// Appends more entries (used by tile-wise non-blocking hash build).
+  /// The hashes are computed morsel-parallel when the current scope allows
+  /// (common/thread_pool.h); the chain linking itself stays serial so the
+  /// entry order, chain order and byte_size() are identical to a serial
+  /// build at any host_threads — probes report matches in chain order, so
+  /// the layout is observable. (A partitioned parallel insert was rejected:
+  /// it cannot reproduce the serial chain layout, and linking is three
+  /// stores per entry — the parallel win is in hashing, which this keeps.)
   void Insert(const std::vector<int64_t>& keys, int64_t row_base);
+
+  /// Insert with caller-precomputed hashes; hashes[i] must be
+  /// HashKey(keys[i]).
+  void Insert(const std::vector<int64_t>& keys,
+              const std::vector<uint64_t>& hashes, int64_t row_base);
 
   /// Appends all build-side matches of `key` to `rows`.
   void Probe(int64_t key, std::vector<int64_t>* rows) const;
@@ -40,7 +52,8 @@ class JoinHashTable {
            (static_cast<int64_t>(b) & 0xffffffffLL);
   }
 
- private:
+  /// The key hash (murmur-style finalizer). Public so builds can precompute
+  /// hashes in parallel.
   static uint64_t HashKey(int64_t key) {
     uint64_t h = static_cast<uint64_t>(key);
     h ^= h >> 33;
@@ -51,6 +64,7 @@ class JoinHashTable {
     return h;
   }
 
+ private:
   void Rehash(int64_t min_buckets);
 
   std::vector<int64_t> buckets_;     // head entry index per bucket, -1 empty

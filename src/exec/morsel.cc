@@ -1,0 +1,154 @@
+#include "exec/morsel.h"
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace gpl {
+
+namespace {
+
+/// Parallel decomposition pays off only when there are at least two morsels
+/// and the scope allows more than one thread.
+bool RunSerial(int64_t rows) {
+  return CurrentHostParallelism() <= 1 || rows < 2 * kMorselRows;
+}
+
+int64_t NumMorsels(int64_t rows) {
+  return (rows + kMorselRows - 1) / kMorselRows;
+}
+
+}  // namespace
+
+Column EvaluateMorsels(const Expr& expr, const Table& input) {
+  const int64_t n = input.num_rows();
+  // Bare column references are a memcpy, not a computation — slicing and
+  // re-concatenating them would only add copies.
+  std::string column_name;
+  if (RunSerial(n) || expr.IsColumnRef(&column_name)) {
+    return expr.Evaluate(input);
+  }
+  const int64_t num_morsels = NumMorsels(n);
+  std::vector<std::optional<Column>> parts(static_cast<size_t>(num_morsels));
+  ParallelFor(0, n, kMorselRows, [&](int64_t b, int64_t e) {
+    parts[static_cast<size_t>(b / kMorselRows)] =
+        expr.Evaluate(input.Slice(b, e - b));
+  });
+  Column out = std::move(*parts[0]);
+  out.Reserve(n);
+  for (int64_t m = 1; m < num_morsels; ++m) {
+    GPL_CHECK_OK(out.AppendColumn(*parts[static_cast<size_t>(m)]));
+  }
+  return out;
+}
+
+std::vector<int64_t> SelectIndices(const Expr& predicate, const Table& input) {
+  const int64_t n = input.num_rows();
+  if (RunSerial(n)) {
+    const Column flags = predicate.Evaluate(input);
+    std::vector<int64_t> indices;
+    for (int64_t i = 0; i < n; ++i) {
+      if (flags.Int32At(i) != 0) indices.push_back(i);
+    }
+    return indices;
+  }
+  const int64_t num_morsels = NumMorsels(n);
+  std::vector<std::vector<int64_t>> parts(static_cast<size_t>(num_morsels));
+  ParallelFor(0, n, kMorselRows, [&](int64_t b, int64_t e) {
+    const Column flags = predicate.Evaluate(input.Slice(b, e - b));
+    std::vector<int64_t>& out = parts[static_cast<size_t>(b / kMorselRows)];
+    const int64_t len = e - b;
+    for (int64_t i = 0; i < len; ++i) {
+      if (flags.Int32At(i) != 0) out.push_back(b + i);
+    }
+  });
+  size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  std::vector<int64_t> indices;
+  indices.reserve(total);
+  for (const auto& part : parts) {
+    indices.insert(indices.end(), part.begin(), part.end());
+  }
+  return indices;
+}
+
+std::vector<int64_t> EvaluateJoinKeys(const Table& input,
+                                      const std::vector<ExprPtr>& key_exprs) {
+  GPL_CHECK(!key_exprs.empty() && key_exprs.size() <= 2)
+      << "joins support one or two key expressions";
+  const int64_t n = input.num_rows();
+  std::vector<int64_t> keys(static_cast<size_t>(n));
+  const auto fill = [&](const Table& slice, int64_t base) {
+    Column k0 = key_exprs[0]->Evaluate(slice);
+    const int64_t len = k0.size();
+    if (key_exprs.size() == 1) {
+      for (int64_t i = 0; i < len; ++i) {
+        keys[static_cast<size_t>(base + i)] = k0.AsInt64(i);
+      }
+    } else {
+      Column k1 = key_exprs[1]->Evaluate(slice);
+      for (int64_t i = 0; i < len; ++i) {
+        keys[static_cast<size_t>(base + i)] = JoinHashTable::PackKeys(
+            static_cast<int32_t>(k0.AsInt64(i)),
+            static_cast<int32_t>(k1.AsInt64(i)));
+      }
+    }
+  };
+  if (RunSerial(n)) {
+    fill(input, 0);
+    return keys;
+  }
+  ParallelFor(0, n, kMorselRows, [&](int64_t b, int64_t e) {
+    fill(input.Slice(b, e - b), b);
+  });
+  return keys;
+}
+
+void ProbeAll(const JoinHashTable& table, const std::vector<int64_t>& keys,
+              std::vector<int64_t>* probe_idx,
+              std::vector<int64_t>* build_idx) {
+  const int64_t n = static_cast<int64_t>(keys.size());
+  if (RunSerial(n)) {
+    std::vector<int64_t> matches;
+    for (int64_t i = 0; i < n; ++i) {
+      matches.clear();
+      table.Probe(keys[static_cast<size_t>(i)], &matches);
+      for (int64_t b : matches) {
+        probe_idx->push_back(i);
+        build_idx->push_back(b);
+      }
+    }
+    return;
+  }
+  const int64_t num_morsels = NumMorsels(n);
+  struct MatchPart {
+    std::vector<int64_t> probe;
+    std::vector<int64_t> build;
+  };
+  std::vector<MatchPart> parts(static_cast<size_t>(num_morsels));
+  ParallelFor(0, n, kMorselRows, [&](int64_t b, int64_t e) {
+    MatchPart& part = parts[static_cast<size_t>(b / kMorselRows)];
+    std::vector<int64_t> matches;
+    for (int64_t i = b; i < e; ++i) {
+      matches.clear();
+      table.Probe(keys[static_cast<size_t>(i)], &matches);
+      for (int64_t m : matches) {
+        part.probe.push_back(i);
+        part.build.push_back(m);
+      }
+    }
+  });
+  size_t total = 0;
+  for (const MatchPart& part : parts) total += part.probe.size();
+  probe_idx->reserve(probe_idx->size() + total);
+  build_idx->reserve(build_idx->size() + total);
+  for (const MatchPart& part : parts) {
+    probe_idx->insert(probe_idx->end(), part.probe.begin(), part.probe.end());
+    build_idx->insert(build_idx->end(), part.build.begin(), part.build.end());
+  }
+}
+
+}  // namespace gpl

@@ -4,32 +4,17 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
+#include "exec/morsel.h"
 
 namespace gpl {
 
 namespace {
 
-/// Evaluates one or two integer key expressions into packed int64 join keys.
-std::vector<int64_t> EvaluateKeys(const Table& input,
-                                  const std::vector<ExprPtr>& key_exprs) {
-  GPL_CHECK(!key_exprs.empty() && key_exprs.size() <= 2)
-      << "joins support one or two key expressions";
-  Column k0 = key_exprs[0]->Evaluate(input);
-  const int64_t n = k0.size();
-  std::vector<int64_t> keys(static_cast<size_t>(n));
-  if (key_exprs.size() == 1) {
-    for (int64_t i = 0; i < n; ++i) keys[static_cast<size_t>(i)] = k0.AsInt64(i);
-  } else {
-    Column k1 = key_exprs[1]->Evaluate(input);
-    for (int64_t i = 0; i < n; ++i) {
-      keys[static_cast<size_t>(i)] = JoinHashTable::PackKeys(
-          static_cast<int32_t>(k0.AsInt64(i)), static_cast<int32_t>(k1.AsInt64(i)));
-    }
-  }
-  return keys;
-}
-
-// ---------------------------------------------------------------------------
+// The functional kernel bodies below are morsel-parallel on the host (see
+// exec/morsel.h): they honor CurrentHostParallelism() and are bit-identical
+// to the serial path at any thread count. Simulated timing is unaffected —
+// it derives from the timing descriptors and observed cardinalities only.
 
 class FilterKernel : public Kernel {
  public:
@@ -38,13 +23,7 @@ class FilterKernel : public Kernel {
   }
 
   Result<Table> Process(const Table& input) override {
-    Column flags = predicate_->Evaluate(input);
-    std::vector<int64_t> indices;
-    const int64_t n = flags.size();
-    for (int64_t i = 0; i < n; ++i) {
-      if (flags.Int32At(i) != 0) indices.push_back(i);
-    }
-    return input.Gather(indices);
+    return input.Gather(SelectIndices(*predicate_, input));
   }
 
  private:
@@ -63,7 +42,7 @@ class ProjectKernel : public Kernel {
   Result<Table> Process(const Table& input) override {
     Table out(input.name());
     for (const ProjectedColumn& c : columns_) {
-      GPL_RETURN_NOT_OK(out.AddColumn(c.name, c.expr->Evaluate(input)));
+      GPL_RETURN_NOT_OK(out.AddColumn(c.name, EvaluateMorsels(*c.expr, input)));
     }
     return out;
   }
@@ -85,7 +64,7 @@ class HashBuildKernel : public Kernel {
   }
 
   Result<Table> Process(const Table& input) override {
-    const std::vector<int64_t> keys = EvaluateKeys(input, key_exprs_);
+    const std::vector<int64_t> keys = EvaluateJoinKeys(input, key_exprs_);
     const int64_t base = state_->build_rows_initialized
                              ? state_->build_rows.num_rows()
                              : 0;
@@ -126,18 +105,10 @@ class HashProbeKernel : public Kernel {
 
   Result<Table> Process(const Table& input) override {
     timing_.random_working_set_bytes = state_->table.byte_size();
-    const std::vector<int64_t> keys = EvaluateKeys(input, key_exprs_);
+    const std::vector<int64_t> keys = EvaluateJoinKeys(input, key_exprs_);
     std::vector<int64_t> probe_idx;
     std::vector<int64_t> build_idx;
-    std::vector<int64_t> matches;
-    for (size_t i = 0; i < keys.size(); ++i) {
-      matches.clear();
-      state_->table.Probe(keys[i], &matches);
-      for (int64_t b : matches) {
-        probe_idx.push_back(static_cast<int64_t>(i));
-        build_idx.push_back(b);
-      }
-    }
+    ProbeAll(state_->table, keys, &probe_idx, &build_idx);
     Table out = input.Gather(probe_idx);
     for (const std::string& name : build_payload_) {
       GPL_RETURN_NOT_OK(out.AddColumn(
@@ -169,11 +140,16 @@ class AggregateKernel : public Kernel {
     const int64_t n = input.num_rows();
     if (n == 0) return Table();
 
-    // Evaluate group keys and aggregate arguments once per batch.
+    // Evaluate group keys and aggregate arguments once per batch. The
+    // evaluation is the expensive part and is morsel-parallel; the
+    // accumulation loop below stays serial in row order because double sums
+    // are not associative — merging per-morsel float partials would change
+    // low-order result bits versus the serial oracle. (Min/max/count would
+    // merge exactly, but they ride along with the sums.)
     std::vector<Column> group_cols;
     group_cols.reserve(group_by_.size());
     for (const ProjectedColumn& g : group_by_) {
-      group_cols.push_back(g.expr->Evaluate(input));
+      group_cols.push_back(EvaluateMorsels(*g.expr, input));
     }
     if (group_types_.empty()) {
       for (const Column& c : group_cols) {
@@ -187,7 +163,7 @@ class AggregateKernel : public Kernel {
       if (a.func == AggSpec::kCount || a.arg == nullptr) {
         agg_cols.emplace_back(DataType::kInt64);  // placeholder, unused
       } else {
-        agg_cols.push_back(a.arg->Evaluate(input));
+        agg_cols.push_back(EvaluateMorsels(*a.arg, input));
       }
     }
 
@@ -396,32 +372,76 @@ KernelPtr MakeSortKernel(std::vector<SortKey> keys) {
 // ---------------------------------------------------------------------------
 
 Column ComputeFlags(const Table& input, const ExprPtr& predicate) {
-  return predicate->Evaluate(input);
+  return EvaluateMorsels(*predicate, input);
 }
 
 Column PrefixSum(const Column& flags, int64_t* total) {
   Column out(DataType::kInt32);
   const int64_t n = flags.size();
-  out.Reserve(n);
-  int32_t running = 0;
-  for (int64_t i = 0; i < n; ++i) {
-    out.AppendInt32(running);
-    running += flags.Int32At(i) != 0 ? 1 : 0;
+  if (CurrentHostParallelism() <= 1 || n < 2 * kMorselRows) {
+    out.Reserve(n);
+    int32_t running = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      out.AppendInt32(running);
+      running += flags.Int32At(i) != 0 ? 1 : 0;
+    }
+    *total = running;
+    return out;
   }
-  *total = running;
+  // Scan-then-propagate over fixed morsel boundaries: per-morsel flag counts,
+  // an exclusive scan of the counts, then a parallel fill seeded with each
+  // morsel's base. Integer arithmetic — exactly the serial running sum.
+  const int64_t num_morsels = (n + kMorselRows - 1) / kMorselRows;
+  std::vector<int32_t> counts(static_cast<size_t>(num_morsels), 0);
+  ParallelFor(0, n, kMorselRows, [&](int64_t b, int64_t e) {
+    int32_t count = 0;
+    for (int64_t i = b; i < e; ++i) count += flags.Int32At(i) != 0 ? 1 : 0;
+    counts[static_cast<size_t>(b / kMorselRows)] = count;
+  });
+  std::vector<int32_t> bases(static_cast<size_t>(num_morsels) + 1, 0);
+  for (int64_t m = 0; m < num_morsels; ++m) {
+    bases[static_cast<size_t>(m) + 1] =
+        bases[static_cast<size_t>(m)] + counts[static_cast<size_t>(m)];
+  }
+  out.data32().resize(static_cast<size_t>(n));
+  ParallelFor(0, n, kMorselRows, [&](int64_t b, int64_t e) {
+    int32_t running = bases[static_cast<size_t>(b / kMorselRows)];
+    std::vector<int32_t>& data = out.data32();
+    for (int64_t i = b; i < e; ++i) {
+      data[static_cast<size_t>(i)] = running;
+      running += flags.Int32At(i) != 0 ? 1 : 0;
+    }
+  });
+  *total = bases[static_cast<size_t>(num_morsels)];
   return out;
 }
 
 Table ScatterRows(const Table& input, const Column& flags, const Column& offsets) {
   const int64_t n = flags.size();
   GPL_CHECK(offsets.size() == n);
-  std::vector<int64_t> indices;
-  for (int64_t i = 0; i < n; ++i) {
-    if (flags.Int32At(i) != 0) {
-      // offsets[i] is the output slot; gathering in input order reproduces
-      // the scatter result.
-      indices.push_back(i);
+  // offsets[i] is the output slot; gathering the selected rows in input
+  // order reproduces the scatter result.
+  if (CurrentHostParallelism() <= 1 || n < 2 * kMorselRows) {
+    std::vector<int64_t> indices;
+    for (int64_t i = 0; i < n; ++i) {
+      if (flags.Int32At(i) != 0) indices.push_back(i);
     }
+    return input.Gather(indices);
+  }
+  const int64_t num_morsels = (n + kMorselRows - 1) / kMorselRows;
+  std::vector<std::vector<int64_t>> parts(static_cast<size_t>(num_morsels));
+  ParallelFor(0, n, kMorselRows, [&](int64_t b, int64_t e) {
+    std::vector<int64_t>& part = parts[static_cast<size_t>(b / kMorselRows)];
+    for (int64_t i = b; i < e; ++i) {
+      if (flags.Int32At(i) != 0) part.push_back(i);
+    }
+  });
+  size_t total_indices = 0;
+  for (const auto& part : parts) total_indices += part.size();
+  std::vector<int64_t> indices;
+  indices.reserve(total_indices);
+  for (const auto& part : parts) {
+    indices.insert(indices.end(), part.begin(), part.end());
   }
   return input.Gather(indices);
 }

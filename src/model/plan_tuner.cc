@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "common/thread_pool.h"
 
 namespace gpl {
 namespace model {
@@ -72,15 +74,27 @@ TuningChoice TuneSegment(const CostModel& model, const SegmentDesc& segment,
     max_work = std::max(max_work, work[static_cast<size_t>(i)]);
   }
 
-  TuningChoice best;
-  bool first = true;
+  // Enumerate the full candidate grid first (tile outer, wg inner,
+  // allocation shape innermost — the same order the serial nested loops
+  // visited), then evaluate the candidates over the thread pool.
+  struct Candidate {
+    int64_t tile_bytes = 0;
+    size_t channels_index = 0;  ///< into per-tile channel configs
+    std::vector<int> workgroups;
+  };
+  std::vector<std::vector<sim::ChannelConfig>> channels_per_tile;
+  channels_per_tile.reserve(tile_grid.size());
+  std::vector<Candidate> candidates;
+  candidates.reserve(tile_grid.size() * wg_grid.size() * 2);
   for (int64_t tile : tile_grid) {
-    const std::vector<sim::ChannelConfig> channels =
-        ChannelsForPayloads(calibration, segment, tile, overrides);
+    channels_per_tile.push_back(
+        ChannelsForPayloads(calibration, segment, tile, overrides));
     for (int wg : wg_grid) {
       // Two allocation shapes per (Δ, wg): uniform and work-proportional.
-      std::vector<std::vector<int>> allocations;
-      allocations.emplace_back(static_cast<size_t>(num_stages), wg);
+      Candidate uniform;
+      uniform.tile_bytes = tile;
+      uniform.channels_index = channels_per_tile.size() - 1;
+      uniform.workgroups.assign(static_cast<size_t>(num_stages), wg);
       std::vector<int> proportional(static_cast<size_t>(num_stages));
       for (int i = 0; i < num_stages; ++i) {
         const double frac = work[static_cast<size_t>(i)] / max_work;
@@ -89,26 +103,54 @@ TuningChoice TuneSegment(const CostModel& model, const SegmentDesc& segment,
         proportional[static_cast<size_t>(i)] =
             std::max(model.device().num_cus, scaled);
       }
-      if (proportional != allocations[0] &&
-          overrides.workgroups_per_kernel == 0) {
-        allocations.push_back(std::move(proportional));
-      }
-
-      for (std::vector<int>& alloc : allocations) {
-        SegmentParams params;
-        params.tile_bytes = tile;
-        params.workgroups = std::move(alloc);
-        params.channels = channels;
-        const SegmentEstimate estimate = model.EstimateSegment(segment, params);
-        if (first || estimate.total_cycles < best.estimate.total_cycles) {
-          best.params = params;
-          best.estimate = estimate;
-          first = false;
-        }
-        alloc = std::move(params.workgroups);  // restore for reuse safety
+      const bool keep_proportional = proportional != uniform.workgroups &&
+                                     overrides.workgroups_per_kernel == 0;
+      candidates.push_back(std::move(uniform));
+      if (keep_proportional) {
+        Candidate shaped;
+        shaped.tile_bytes = tile;
+        shaped.channels_index = channels_per_tile.size() - 1;
+        shaped.workgroups = std::move(proportional);
+        candidates.push_back(std::move(shaped));
       }
     }
   }
+  GPL_CHECK(!candidates.empty());
+
+  // Each candidate is estimated independently; the allocation is read
+  // through a const reference into the candidate's own storage, so there is
+  // no aliasing (the old single-params loop moved the allocation in and back
+  // out on every iteration).
+  const auto evaluate = [&](const Candidate& c) {
+    SegmentParams params;
+    params.tile_bytes = c.tile_bytes;
+    params.workgroups = c.workgroups;
+    params.channels = channels_per_tile[c.channels_index];
+    return model.EstimateSegment(segment, params);
+  };
+  std::vector<SegmentEstimate> estimates(candidates.size());
+  ParallelFor(0, static_cast<int64_t>(candidates.size()), /*grain=*/4,
+              [&](int64_t b, int64_t e) {
+                for (int64_t i = b; i < e; ++i) {
+                  estimates[static_cast<size_t>(i)] =
+                      evaluate(candidates[static_cast<size_t>(i)]);
+                }
+              });
+
+  // Deterministic argmin: strict less-than in candidate order, matching the
+  // serial search exactly (ties keep the earliest candidate).
+  size_t best_index = 0;
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    if (estimates[i].total_cycles < estimates[best_index].total_cycles) {
+      best_index = i;
+    }
+  }
+  TuningChoice best;
+  best.params.tile_bytes = candidates[best_index].tile_bytes;
+  best.params.workgroups = std::move(candidates[best_index].workgroups);
+  best.params.channels =
+      std::move(channels_per_tile[candidates[best_index].channels_index]);
+  best.estimate = std::move(estimates[best_index]);
   return best;
 }
 

@@ -50,7 +50,9 @@ std::string ServiceStats::ToString() const {
       << " max_queue_depth=" << max_queue_depth << " p50_latency_ms=";
   out.precision(3);
   out << std::fixed << p50_latency_ms << " p95_latency_ms=" << p95_latency_ms
-      << " total_simulated_ms=" << total_simulated_ms;
+      << " total_simulated_ms=" << total_simulated_ms
+      << " tuning_cache_hits=" << tuning_cache_hits
+      << " tuning_cache_misses=" << tuning_cache_misses;
   return out.str();
 }
 
@@ -99,6 +101,9 @@ QueryService::QueryService(const tpch::Database* db, ServiceOptions options)
   // timeline instead (ExportTrace).
   options_.engine.exec.trace = nullptr;
   options_.engine.calibration = &calibration_;
+  // One tuning cache for all workers (TuningCache is thread-safe): whichever
+  // worker tunes a segment first spares the rest the grid search.
+  options_.engine.tuning_cache = &tuning_cache_;
 
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
@@ -255,6 +260,9 @@ ServiceStats QueryService::Stats() const {
   snapshot.queue_depth = queue_.size();
   snapshot.p50_latency_ms = Percentile(completed_latency_ms_, 50.0);
   snapshot.p95_latency_ms = Percentile(completed_latency_ms_, 95.0);
+  const model::TuningCacheStats cache_stats = tuning_cache_.stats();
+  snapshot.tuning_cache_hits = cache_stats.hits;
+  snapshot.tuning_cache_misses = cache_stats.misses;
   return snapshot;
 }
 

@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "engine/engine.h"
 #include "model/calibration.h"
+#include "model/tuning_cache.h"
 #include "plan/logical_plan.h"
 #include "tpch/dbgen.h"
 
@@ -76,6 +77,12 @@ struct ServiceStats {
   double p50_latency_ms = 0.0;  ///< host wall-clock, completed queries
   double p95_latency_ms = 0.0;
   double total_simulated_ms = 0.0;  ///< simulated device time, completed
+
+  /// Shared tuning-cache accounting across all workers (GPL modes; zero for
+  /// the KBE baselines). Steady-state serving should show hits >> misses —
+  /// a segment tuned once by any worker is a lookup for every other.
+  uint64_t tuning_cache_hits = 0;
+  uint64_t tuning_cache_misses = 0;
 
   /// Human-readable one-stop report for CLIs/benches.
   std::string ToString() const;
@@ -163,6 +170,8 @@ class QueryService {
 
   const model::CalibrationTable& calibration() const { return calibration_; }
   const ServiceOptions& options() const { return options_; }
+  /// The TuneSegment memo shared by every worker engine (thread-safe).
+  model::TuningCache& tuning_cache() { return tuning_cache_; }
 
  private:
   struct FinishedRecord {
@@ -184,6 +193,10 @@ class QueryService {
   ServiceOptions options_;
   /// Shared Γ calibration (Section 2.1) referenced by every worker engine.
   model::CalibrationTable calibration_;
+  /// Shared TuneSegment memo referenced by every worker engine: a segment
+  /// tuned by any worker is a cache hit for the rest, so steady-state
+  /// OptimizeWallMs() collapses to a signature lookup. Thread-safe.
+  model::TuningCache tuning_cache_;
   std::chrono::steady_clock::time_point start_tp_;
 
   mutable std::mutex mu_;

@@ -1,5 +1,7 @@
 #include "storage/column.h"
 
+#include "common/thread_pool.h"
+
 namespace gpl {
 
 const char* DataTypeToString(DataType type) {
@@ -85,18 +87,56 @@ int64_t Column::AsInt64(int64_t i) const {
 
 Column Column::Gather(const std::vector<int64_t>& indices) const {
   Column out(type_, dict_);
-  out.Reserve(static_cast<int64_t>(indices.size()));
+  const int64_t n = static_cast<int64_t>(indices.size());
+  if (CurrentHostParallelism() <= 1 || n < 2 * kMorselRows) {
+    out.Reserve(n);
+    switch (type_) {
+      case DataType::kInt32:
+      case DataType::kDate:
+      case DataType::kString:
+        for (int64_t i : indices) out.data32_.push_back(data32_[static_cast<size_t>(i)]);
+        break;
+      case DataType::kInt64:
+        for (int64_t i : indices) out.data64_.push_back(data64_[static_cast<size_t>(i)]);
+        break;
+      case DataType::kFloat64:
+        for (int64_t i : indices) out.dataf_.push_back(dataf_[static_cast<size_t>(i)]);
+        break;
+    }
+    return out;
+  }
+  // Morsel-parallel fill of a pre-sized buffer: output position i takes
+  // row indices[i], so concurrent chunks write disjoint ranges and the
+  // values are trivially identical to the serial loop.
   switch (type_) {
     case DataType::kInt32:
     case DataType::kDate:
     case DataType::kString:
-      for (int64_t i : indices) out.data32_.push_back(data32_[static_cast<size_t>(i)]);
+      out.data32_.resize(static_cast<size_t>(n));
+      ParallelFor(0, n, kMorselRows, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+          out.data32_[static_cast<size_t>(i)] =
+              data32_[static_cast<size_t>(indices[static_cast<size_t>(i)])];
+        }
+      });
       break;
     case DataType::kInt64:
-      for (int64_t i : indices) out.data64_.push_back(data64_[static_cast<size_t>(i)]);
+      out.data64_.resize(static_cast<size_t>(n));
+      ParallelFor(0, n, kMorselRows, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+          out.data64_[static_cast<size_t>(i)] =
+              data64_[static_cast<size_t>(indices[static_cast<size_t>(i)])];
+        }
+      });
       break;
     case DataType::kFloat64:
-      for (int64_t i : indices) out.dataf_.push_back(dataf_[static_cast<size_t>(i)]);
+      out.dataf_.resize(static_cast<size_t>(n));
+      ParallelFor(0, n, kMorselRows, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+          out.dataf_[static_cast<size_t>(i)] =
+              dataf_[static_cast<size_t>(indices[static_cast<size_t>(i)])];
+        }
+      });
       break;
   }
   return out;

@@ -205,6 +205,92 @@ TEST(QueryServiceTest, SubmitAfterShutdownIsUnavailable) {
   EXPECT_EQ(submitted.status().code(), StatusCode::kUnavailable);
 }
 
+/// Concurrent workers with morsel-parallel kernels (host_threads=2) on top:
+/// two layers of host parallelism, still bit-identical to a serial Engine.
+TEST(QueryServiceTest, HostParallelWorkersBitIdenticalToSerial) {
+  const tpch::Database& db = SmallDb();
+
+  EngineOptions serial_options;
+  serial_options.exec.host_threads = 1;
+  Engine engine(&db, serial_options);
+  std::vector<std::pair<std::string, QueryResult>> serial;
+  for (auto& [name, query] : queries::EvaluationSuite()) {
+    Result<QueryResult> result = engine.Execute(query);
+    ASSERT_TRUE(result.ok()) << name << ": " << result.status().ToString();
+    serial.emplace_back(name, result.take());
+  }
+
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = serial.size();
+  options.engine.exec.host_threads = 2;
+  QueryService service(&db, options);
+  std::vector<QueryHandle> handles;
+  for (auto& [name, query] : queries::EvaluationSuite()) {
+    Result<QueryHandle> submitted = service.Submit(name, query);
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    handles.push_back(submitted.take());
+  }
+  for (size_t i = 0; i < handles.size(); ++i) {
+    SCOPED_TRACE(serial[i].first);
+    const Result<QueryResult>& result = handles[i].Await();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectTablesBitIdentical(serial[i].second.table, result->table);
+    ExpectCountersBitIdentical(serial[i].second.metrics.counters,
+                               result->metrics.counters);
+    EXPECT_EQ(serial[i].second.metrics.elapsed_ms,
+              result->metrics.elapsed_ms);
+  }
+  service.Shutdown();
+}
+
+/// The shared tuning cache across workers: repeated submissions of the same
+/// queries hit at steady state. Concurrent first-misses on one signature may
+/// each run the search (benign, first insert wins), so misses are bounded by
+/// unique-signatures * num_workers rather than exactly unique-signatures.
+TEST(QueryServiceTest, SharedTuningCacheHitsAcrossWorkers) {
+  const tpch::Database& db = SmallDb();
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = 64;
+  QueryService service(&db, options);
+
+  constexpr int kRounds = 20;
+  std::vector<QueryHandle> handles;
+  for (int round = 0; round < kRounds; ++round) {
+    for (const char* name : {"Q5", "Q14"}) {
+      for (auto& [n, query] : queries::EvaluationSuite()) {
+        if (n != name) continue;
+        Result<QueryHandle> submitted =
+            service.Submit(std::string(name) + "#" + std::to_string(round),
+                           query);
+        ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+        handles.push_back(submitted.take());
+      }
+    }
+  }
+  for (QueryHandle& handle : handles) {
+    ASSERT_TRUE(handle.Await().ok());
+  }
+  service.Shutdown();
+
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, handles.size());
+  const uint64_t total = stats.tuning_cache_hits + stats.tuning_cache_misses;
+  ASSERT_GT(total, 0u);
+  // Unique signatures = the distinct segments of Q5 + Q14; every one may be
+  // double-missed once per worker, everything else must hit.
+  const uint64_t unique = service.tuning_cache().size();
+  EXPECT_LE(stats.tuning_cache_misses,
+            unique * static_cast<uint64_t>(options.num_workers));
+  const double hit_rate =
+      static_cast<double>(stats.tuning_cache_hits) /
+      static_cast<double>(total);
+  EXPECT_GE(hit_rate, 0.9) << stats.ToString();
+  // The stats string surfaces the counters for CLIs/benches.
+  EXPECT_NE(stats.ToString().find("tuning_cache_hits="), std::string::npos);
+}
+
 TEST(QueryServiceTest, ShutdownDrainsQueuedQueries) {
   const tpch::Database& db = SmallDb();
   ServiceOptions options;
