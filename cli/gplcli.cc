@@ -44,9 +44,20 @@
 ///                                     after draining one in-flight query
 ///   --timeout-ms=<T>                  per-query deadline, host wall-clock
 ///                                     (default off)
+///   --fault-rate=<p>                  inject faults: each kernel launch
+///                                     aborts with probability p and each
+///                                     channel reservation fails with
+///                                     probability p (degrading that segment
+///                                     to kernel-at-a-time)
+///   --fault-seed=<int>                fault-injection seed (default fixed);
+///                                     the same seed reproduces the same
+///                                     per-query fault outcomes
+///   --max-retries=<R>                 retry transient device errors up to R
+///                                     times (R+1 attempts total) with
+///                                     exponential backoff (default 0)
 ///   With --trace, serve mode writes the service timeline (per-worker
-///   queue/exec spans, concurrency counter, rejection instants) instead of
-///   the simulator timeline.
+///   queue/exec spans, retry attempts, concurrency counter, rejection
+///   instants) instead of the simulator timeline.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -95,6 +106,11 @@ struct CliOptions {
   int serve_queries = 32;
   int serve_queue = 8;
   double timeout_ms = 0.0;
+
+  // Fault injection / retry (serve mode).
+  double fault_rate = 0.0;
+  uint64_t fault_seed = 0x9e3779b97f4a7c15ULL;
+  int max_retries = 0;
 };
 
 /// Per-run accumulators shared across queries (one timeline, one report).
@@ -123,7 +139,9 @@ int Usage(const char* argv0) {
                "[--breakdown]\n"
                "          [--host-threads=N] [--no-tuning-cache]\n"
                "          [--serve-workers=N [--serve-queries=M] "
-               "[--serve-queue=C] [--timeout-ms=T]]\n",
+               "[--serve-queue=C] [--timeout-ms=T]\n"
+               "           [--fault-rate=P] [--fault-seed=N] "
+               "[--max-retries=R]]\n",
                argv0);
   return 2;
 }
@@ -234,12 +252,24 @@ int RunServe(const tpch::Database& db, const CliOptions& cli,
   sopts.queue_capacity = static_cast<size_t>(cli.serve_queue);
   sopts.default_timeout_ms = cli.timeout_ms;
   sopts.engine = engine_options;
+  if (cli.fault_rate > 0.0) {
+    sopts.fault.seed = cli.fault_seed;
+    sopts.fault.kernel_abort_rate = cli.fault_rate;
+    sopts.fault.channel_alloc_fail_rate = cli.fault_rate;
+  }
+  sopts.retry.max_attempts = cli.max_retries + 1;
 
   std::printf("serving %d queries (%s mix) on %d workers, queue capacity %d"
               "%s...\n",
               cli.serve_queries, cli.query.c_str(), sopts.num_workers,
               cli.serve_queue,
               cli.timeout_ms > 0 ? ", per-query deadline" : "");
+  if (cli.fault_rate > 0.0) {
+    std::printf("fault injection: rate %.4f, seed %llu, max retries %d\n",
+                cli.fault_rate,
+                static_cast<unsigned long long>(cli.fault_seed),
+                cli.max_retries);
+  }
 
   service::QueryService svc(&db, sopts);
   const auto wall_start = std::chrono::steady_clock::now();
@@ -268,10 +298,14 @@ int RunServe(const tpch::Database& db, const CliOptions& cli,
   }
   for (service::QueryHandle& handle : inflight) {
     const Result<QueryResult>& result = handle.Await();
-    // Deadline misses are an expected outcome under load, not a failure.
+    // Deadline misses are an expected outcome under load, not a failure;
+    // under fault injection so are transient errors that exhausted their
+    // retries (reported in the stats as gave_up).
     if (!result.ok() &&
         result.status().code() != StatusCode::kDeadlineExceeded &&
-        result.status().code() != StatusCode::kCancelled) {
+        result.status().code() != StatusCode::kCancelled &&
+        !(cli.fault_rate > 0.0 &&
+          result.status().code() == StatusCode::kTransientDeviceError)) {
       std::fprintf(stderr, "query failed: %s\n",
                    result.status().ToString().c_str());
       failures++;
@@ -341,6 +375,12 @@ int main(int argc, char** argv) {
       cli.serve_queue = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "timeout-ms", &value)) {
       cli.timeout_ms = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "fault-rate", &value)) {
+      cli.fault_rate = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "fault-seed", &value)) {
+      cli.fault_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "max-retries", &value)) {
+      cli.max_retries = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "host-threads", &value)) {
       cli.host_threads = std::atoi(value.c_str());
     } else if (std::strcmp(argv[i], "--no-tuning-cache") == 0) {
@@ -367,6 +407,16 @@ int main(int argc, char** argv) {
   }
   if (cli.serve_workers > 0 && (cli.serve_queries < 1 || cli.serve_queue < 1)) {
     std::fprintf(stderr, "--serve-queries and --serve-queue must be >= 1\n");
+    return 2;
+  }
+  if (cli.fault_rate < 0.0 || cli.fault_rate > 1.0 || cli.max_retries < 0) {
+    std::fprintf(stderr,
+                 "--fault-rate must be in [0, 1] and --max-retries >= 0\n");
+    return 2;
+  }
+  if (cli.fault_rate > 0.0 && cli.serve_workers <= 0) {
+    std::fprintf(stderr, "--fault-rate requires serve mode "
+                         "(--serve-workers=N)\n");
     return 2;
   }
 

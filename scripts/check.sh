@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Repo verification: tier-1 build + tests, a -Werror configuration, a
-# ThreadSanitizer build/run of the concurrent QueryService tests, and a
+# ThreadSanitizer build/run of the concurrent QueryService tests, an
+# ASan+UBSan build/run of the fault-injection and service suites, and a
 # tracing smoke run of the CLI whose output is validated by the in-tree
 # JSON parser (via the trace_smoke binary's file-validation mode).
 #
@@ -34,9 +35,24 @@ cmake -B "$BUILD-tsan" -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$BUILD-tsan" -j \
-  --target service_test --target thread_pool_test --target host_parallel_test
+  --target service_test --target thread_pool_test --target host_parallel_test \
+  --target fault_test
 ctest --test-dir "$BUILD-tsan" --output-on-failure \
-  -R "QueryService|ThreadPool|TuningCache|HostParallel"
+  -R "QueryService|ThreadPool|TuningCache|HostParallel|ServiceChaos"
+
+echo
+echo "=== asan+ubsan: fault-injection and service suites ==="
+# Fault paths unwind executions mid-flight (partial work, retry loops,
+# degradation re-runs); ASan+UBSan guards those error paths against leaks,
+# use-after-free and UB that the happy path never exercises.
+cmake -B "$BUILD-asan" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -O1 -g" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build "$BUILD-asan" -j \
+  --target fault_test --target service_test --target sim_channel_test
+ctest --test-dir "$BUILD-asan" --output-on-failure \
+  -R "Fault|ServiceChaos|QueryService|QueryHandle|Percentile|Channel"
 
 echo
 echo "=== trace smoke: gplcli --trace on Q5, JSON validated ==="
@@ -58,6 +74,14 @@ echo "=== perf smoke: host-scaling bench, bit-identity + cache gates ==="
 HOST_SCALING_OUT="$(mktemp /tmp/gpl_check_host_scaling.XXXXXX.jsonl)"
 trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$HOST_SCALING_OUT"' EXIT
 "$BUILD/bench/bench_host_scaling" --quick --out="$HOST_SCALING_OUT"
+
+echo
+echo "=== fault smoke: availability bench, completion-rate gates ==="
+# --quick exits non-zero if the fault-free run completes < 100% or if the
+# retry policy fails to push completion above 90% at fault rate 0.01.
+FAULT_OUT="$(mktemp /tmp/gpl_check_fault.XXXXXX.jsonl)"
+trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$HOST_SCALING_OUT" "$FAULT_OUT"' EXIT
+"$BUILD/bench/bench_fault_availability" --quick --out="$FAULT_OUT"
 
 echo
 echo "check.sh: all checks passed"

@@ -26,6 +26,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kTransientDeviceError:
+      return "TransientDeviceError";
+    case StatusCode::kChannelAllocFailed:
+      return "ChannelAllocFailed";
   }
   return "Unknown";
 }

@@ -21,6 +21,9 @@ enum class StatusCode {
   kCancelled,          ///< the caller requested cancellation
   kDeadlineExceeded,   ///< the per-query deadline passed
   kUnavailable,        ///< the serving component is shut down / not accepting
+  kFailedPrecondition, ///< the object is not in a state that allows the call
+  kTransientDeviceError,  ///< kernel abort / device reset; retrying may succeed
+  kChannelAllocFailed,    ///< pipe/channel reservation failed (degradable)
 };
 
 /// Returns a short human-readable name for a status code ("OK",
@@ -65,6 +68,15 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status TransientDeviceError(std::string msg) {
+    return Status(StatusCode::kTransientDeviceError, std::move(msg));
+  }
+  static Status ChannelAllocFailed(std::string msg) {
+    return Status(StatusCode::kChannelAllocFailed, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

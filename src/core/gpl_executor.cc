@@ -195,12 +195,31 @@ Result<GplRunResult> GplExecutor::Run(const SegmentedPlan& plan,
       report.description += segment.stages[s].kernel->name();
     }
     spec.trace = options.exec.trace;
+    spec.fault = options.exec.fault;
     spec.label = "segment " + std::to_string(i) + ": " + report.description;
     GPL_LOG(Debug) << spec.label << " (tile=" << spec.tile_bytes
                    << "B, kernels=" << spec.kernels.size()
                    << ", concurrent=" << options.concurrent << ")";
-    report.sim = options.concurrent ? simulator_->RunPipeline(spec)
-                                    : simulator_->RunSequentialTiles(spec);
+    Result<sim::SimResult> sim_result =
+        options.concurrent ? simulator_->RunPipeline(spec)
+                           : simulator_->RunSequentialTiles(spec);
+    if (!sim_result.ok() &&
+        sim_result.status().code() == StatusCode::kChannelAllocFailed &&
+        options.exec.degrade_on_channel_failure) {
+      // Graceful degradation: the pipelined segment could not get its
+      // channels, so re-execute it kernel-at-a-time (the w/o-CE path needs
+      // none). The functional output is already computed and unaffected;
+      // only the simulated timing of this segment degrades.
+      GPL_LOG(Warning) << spec.label << " degrading to kernel-at-a-time: "
+                       << sim_result.status().ToString();
+      sim_result = simulator_->RunSequentialTiles(spec);
+      if (sim_result.ok()) {
+        report.degraded = true;
+        ++result.degraded_segments;
+      }
+    }
+    GPL_RETURN_NOT_OK(sim_result.status());
+    report.sim = sim_result.take();
 
     result.counters.Accumulate(report.sim.counters);
     result.total_cycles += report.sim.counters.elapsed_cycles;

@@ -37,6 +37,9 @@ struct SegmentReport {
   FunctionalRun observations;
   double predicted_cycles = 0.0;
   double measured_cycles = 0.0;
+  /// True when this segment's channel allocation failed and it re-executed
+  /// under kernel-at-a-time tiling (the w/o-CE path) instead.
+  bool degraded = false;
 };
 
 /// Outcome of executing a segmented plan with GPL.
@@ -55,6 +58,10 @@ struct GplRunResult {
   double tuner_wall_ms = 0.0;  ///< host wall-clock spent in the tuner
   int tuning_cache_hits = 0;   ///< segments whose choice came from the cache
   int tuning_cache_misses = 0; ///< segments that ran the full grid search
+  /// Segments that fell back from pipelined to kernel-at-a-time execution
+  /// because their channel allocation failed (graceful degradation; the
+  /// functional result is unaffected, only the simulated timing changes).
+  int degraded_segments = 0;
 };
 
 /// The pipelined query executor — the paper's core contribution. Executes a

@@ -114,6 +114,7 @@ Result<QueryResult> Engine::ExecutePlan(const PhysicalOpPtr& plan,
       result.metrics.tune_wall_ms = run.tuner_wall_ms;
       result.metrics.tuning_cache_hits = run.tuning_cache_hits;
       result.metrics.tuning_cache_misses = run.tuning_cache_misses;
+      result.metrics.degraded_segments = run.degraded_segments;
       return result;
     }
   }

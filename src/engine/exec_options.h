@@ -10,6 +10,10 @@ namespace trace {
 class TraceCollector;
 }  // namespace trace
 
+namespace sim {
+class FaultInjector;
+}  // namespace sim
+
 /// Per-execution options shared by every execution entry point (`Engine`,
 /// `GplExecutor::Run`, `KbeEngine::Execute`). Factoring them into one struct
 /// keeps the engine front-end and the executors from drifting apart (they
@@ -35,6 +39,20 @@ struct ExecOptions {
   /// checks. The collector is not thread-safe: never share one across
   /// concurrently executing queries.
   trace::TraceCollector* trace = nullptr;
+
+  /// Optional fault injector (see sim/fault.h). When non-null, every kernel
+  /// launch and channel reservation consults it; injected faults surface as
+  /// kTransientDeviceError / kChannelAllocFailed. nullptr (the default)
+  /// disables injection with no overhead beyond null checks. Like the trace
+  /// collector the injector is mutable per-execution state: never share one
+  /// across concurrently executing queries.
+  sim::FaultInjector* fault = nullptr;
+
+  /// GPL only: when a segment's channel allocation fails (injected or real),
+  /// re-execute that segment under kernel-at-a-time tiling (the w/o-CE path,
+  /// which needs no channels) instead of failing the query. Degraded
+  /// segments are counted in QueryMetrics::degraded_segments.
+  bool degrade_on_channel_failure = true;
 
   /// Optional cooperative cancellation/deadline token. Executors poll it at
   /// coarse boundaries (GPL: segment starts; KBE: operator starts) and

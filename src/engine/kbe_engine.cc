@@ -14,14 +14,17 @@ KbeEngine::KbeEngine(const tpch::Database* db, const sim::Simulator* simulator,
   GPL_CHECK(db_ != nullptr && simulator_ != nullptr);
 }
 
-void KbeEngine::Record(Context* ctx, const sim::KernelLaunch& launch,
-                       int64_t resident_bytes) {
-  const sim::SimResult result =
-      simulator_->RunKernelBatch(launch, resident_bytes, ctx->trace);
+Status KbeEngine::Record(Context* ctx, const sim::KernelLaunch& launch,
+                         int64_t resident_bytes) {
+  GPL_ASSIGN_OR_RETURN(
+      const sim::SimResult result,
+      simulator_->RunKernelBatch(launch, resident_bytes, ctx->trace,
+                                 ctx->fault));
   ctx->counters.Accumulate(result.counters);
   for (const sim::KernelStats& stats : result.kernels) {
     ctx->kernels.push_back(stats);
   }
+  return Status::OK();
 }
 
 Result<Table> KbeEngine::Exec(const PhysicalOp& op, Context* ctx) {
@@ -56,7 +59,7 @@ Result<Table> KbeEngine::Exec(const PhysicalOp& op, Context* ctx) {
       map_launch.rows_out = n;
       map_launch.bytes_out = flags_bytes;
       map_launch.input_resident_fraction = flavor_.scan_resident_fraction;
-      Record(ctx, map_launch, 0);
+      GPL_RETURN_NOT_OK(Record(ctx, map_launch, 0));
 
       int64_t total = 0;
       Column offsets = PrefixSum(flags, &total);
@@ -70,7 +73,7 @@ Result<Table> KbeEngine::Exec(const PhysicalOp& op, Context* ctx) {
         prefix_launch.bytes_out = n * 4;
         prefix_launch.input_resident_fraction =
             simulator_->cache().ChannelResidency(n * 4, 0);
-        Record(ctx, prefix_launch, 0);
+        GPL_RETURN_NOT_OK(Record(ctx, prefix_launch, 0));
       }
 
       // k_scatter: compact the satisfying rows into a new relation.
@@ -82,7 +85,7 @@ Result<Table> KbeEngine::Exec(const PhysicalOp& op, Context* ctx) {
                                 (flavor_.bitmap_selection ? 0 : n * 4);
       scatter_launch.rows_out = out.num_rows();
       scatter_launch.bytes_out = out.byte_size();
-      Record(ctx, scatter_launch, 0);
+      GPL_RETURN_NOT_OK(Record(ctx, scatter_launch, 0));
       return out;
     }
 
@@ -96,7 +99,7 @@ Result<Table> KbeEngine::Exec(const PhysicalOp& op, Context* ctx) {
       launch.bytes_in = input.byte_size();
       launch.rows_out = out.num_rows();
       launch.bytes_out = out.byte_size();
-      Record(ctx, launch, 0);
+      GPL_RETURN_NOT_OK(Record(ctx, launch, 0));
       return out;
     }
 
@@ -130,7 +133,9 @@ Result<Table> KbeEngine::Exec(const PhysicalOp& op, Context* ctx) {
         build_launch.bytes_in = build_input.byte_size();
         build_launch.rows_out = build_input.num_rows();
         build_launch.bytes_out = state->table.byte_size();
-        Record(ctx, build_launch, state->table.byte_size());
+        // Record before caching: a build whose launch faults is not cached,
+        // so a retry rebuilds (and re-charges) it from scratch.
+        GPL_RETURN_NOT_OK(Record(ctx, build_launch, state->table.byte_size()));
         if (flavor_.cache_hash_tables && !signature.empty()) {
           hash_table_cache_[signature] = state;
         }
@@ -147,7 +152,7 @@ Result<Table> KbeEngine::Exec(const PhysicalOp& op, Context* ctx) {
       probe_launch.bytes_in = probe_input.byte_size();
       probe_launch.rows_out = out.num_rows();
       probe_launch.bytes_out = out.byte_size();
-      Record(ctx, probe_launch, state->table.byte_size());
+      GPL_RETURN_NOT_OK(Record(ctx, probe_launch, state->table.byte_size()));
       return out;
     }
 
@@ -168,7 +173,7 @@ Result<Table> KbeEngine::Exec(const PhysicalOp& op, Context* ctx) {
       scan_launch.bytes_in = input.byte_size();
       scan_launch.rows_out = n;
       scan_launch.bytes_out = n * 8;
-      Record(ctx, scan_launch, 0);
+      GPL_RETURN_NOT_OK(Record(ctx, scan_launch, 0));
 
       // ...followed by a gather of the per-group results.
       sim::KernelLaunch gather_launch;
@@ -180,7 +185,7 @@ Result<Table> KbeEngine::Exec(const PhysicalOp& op, Context* ctx) {
       gather_launch.bytes_out = out.byte_size();
       gather_launch.input_resident_fraction =
           simulator_->cache().ChannelResidency(n * 8, 0);
-      Record(ctx, gather_launch, 0);
+      GPL_RETURN_NOT_OK(Record(ctx, gather_launch, 0));
       return out;
     }
 
@@ -196,7 +201,7 @@ Result<Table> KbeEngine::Exec(const PhysicalOp& op, Context* ctx) {
       launch.bytes_in = input.byte_size();
       launch.rows_out = out.num_rows();
       launch.bytes_out = out.byte_size();
-      Record(ctx, launch, 0);
+      GPL_RETURN_NOT_OK(Record(ctx, launch, 0));
       return out;
     }
   }
@@ -212,6 +217,7 @@ Result<QueryResult> KbeEngine::Execute(const PhysicalOpPtr& plan,
   Context ctx;
   ctx.trace = exec.trace;
   ctx.cancel = exec.cancel;
+  ctx.fault = exec.fault;
   GPL_ASSIGN_OR_RETURN(Table out, Exec(*plan, &ctx));
   QueryResult result;
   result.table = std::move(out);

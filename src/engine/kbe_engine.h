@@ -49,12 +49,15 @@ class KbeEngine {
     std::vector<sim::KernelStats> kernels;
     trace::TraceCollector* trace = nullptr;
     const CancelToken* cancel = nullptr;
+    sim::FaultInjector* fault = nullptr;
   };
 
   Result<Table> Exec(const PhysicalOp& op, Context* ctx);
   /// Runs one KBE kernel launch through the simulator and accumulates.
-  void Record(Context* ctx, const sim::KernelLaunch& launch,
-              int64_t resident_bytes);
+  /// Fails with kTransientDeviceError when the fault injector fires; the
+  /// failed launch contributes nothing to the counters.
+  Status Record(Context* ctx, const sim::KernelLaunch& launch,
+                int64_t resident_bytes);
 
   const tpch::Database* db_;
   const sim::Simulator* simulator_;

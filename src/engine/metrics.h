@@ -50,6 +50,11 @@ struct QueryMetrics {
   int64_t tuning_cache_hits = 0;
   int64_t tuning_cache_misses = 0;
 
+  /// Segments that fell back from pipelined to kernel-at-a-time execution
+  /// because channel allocation failed (see ExecOptions::
+  /// degrade_on_channel_failure). 0 in fault-free runs.
+  int64_t degraded_segments = 0;
+
   /// Host wall-clock of the whole optimization step (planning + tuning, the
   /// paper's "<5 ms query optimization" claim).
   double OptimizeWallMs() const { return plan_wall_ms + tune_wall_ms; }

@@ -44,6 +44,8 @@ std::string QueryMetricsToJson(const MetricsJsonEntry& entry) {
                static_cast<double>(m.tuning_cache_hits));
   AppendNumber(&out, "tuning_cache_misses",
                static_cast<double>(m.tuning_cache_misses));
+  AppendNumber(&out, "degraded_segments",
+               static_cast<double>(m.degraded_segments));
   AppendNumber(&out, "valu_busy", m.valu_busy);
   AppendNumber(&out, "mem_unit_busy", m.mem_unit_busy);
   AppendNumber(&out, "occupancy", m.occupancy);

@@ -45,7 +45,11 @@ sim::SimResult RunProducerConsumer(const sim::Simulator& simulator,
   spec.kernels = {producer, consumer};
   spec.channel_configs = {config};
   spec.tile_bytes = std::max<int64_t>(data_bytes, 1);  // one tile: d is the knob
-  return simulator.RunPipeline(spec);
+  // No fault injector here: calibration is infrastructure, not a query, so
+  // the run cannot fail.
+  Result<sim::SimResult> result = simulator.RunPipeline(spec);
+  GPL_CHECK(result.ok()) << result.status().ToString();
+  return result.take();
 }
 
 CalibrationTable CalibrationTable::Run(const sim::Simulator& simulator) {

@@ -4,17 +4,19 @@
 #include <chrono>
 #include <cmath>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/random.h"
 #include "trace/trace.h"
 
 namespace gpl {
 namespace service {
 
-namespace {
-
-/// Percentile over an unsorted sample (nearest-rank); 0 for an empty sample.
+// Linear interpolation between the two order statistics bracketing
+// p/100 * (n-1): p50 of {1, 2} is 1.5, not either sample. (Declared in the
+// header; tests pin this behavior.)
 double Percentile(std::vector<double> values, double p) {
   if (values.empty()) return 0.0;
   std::sort(values.begin(), values.end());
@@ -24,6 +26,8 @@ double Percentile(std::vector<double> values, double p) {
   const double frac = rank - static_cast<double>(lo);
   return values[lo] + (values[hi] - values[lo]) * frac;
 }
+
+namespace {
 
 const char* OutcomeName(QueryOutcome outcome) {
   switch (outcome) {
@@ -52,7 +56,9 @@ std::string ServiceStats::ToString() const {
   out << std::fixed << p50_latency_ms << " p95_latency_ms=" << p95_latency_ms
       << " total_simulated_ms=" << total_simulated_ms
       << " tuning_cache_hits=" << tuning_cache_hits
-      << " tuning_cache_misses=" << tuning_cache_misses;
+      << " tuning_cache_misses=" << tuning_cache_misses
+      << " retries=" << retries << " degraded=" << degraded
+      << " gave_up=" << gave_up;
   return out.str();
 }
 
@@ -65,6 +71,11 @@ struct QueryHandle::Task {
   LogicalQuery query;
   CancelToken token;
   int64_t submit_ns = 0;
+  /// Admission order, assigned under the service lock. Seeds the per-attempt
+  /// fault injector and backoff jitter, so a query's fault/retry schedule is
+  /// a function of (fault seed, admission order) — not of which worker picks
+  /// it up or when.
+  uint64_t sequence = 0;
 
   std::mutex mu;
   std::condition_variable cv;
@@ -84,6 +95,14 @@ bool QueryHandle::Done() const {
 }
 
 const Result<QueryResult>& QueryHandle::Await() {
+  if (task_ == nullptr) {
+    // A default-constructed or moved-from handle has no submission to wait
+    // for; blocking (or dereferencing task_) would be a bug in the caller.
+    static const Result<QueryResult> kInvalidHandle{Status::FailedPrecondition(
+        "Await() on an invalid QueryHandle (default-constructed or "
+        "moved-from; no query was submitted through it)")};
+    return kInvalidHandle;
+  }
   std::unique_lock<std::mutex> lock(task_->mu);
   task_->cv.wait(lock, [&] { return task_->done; });
   return *task_->result;
@@ -98,8 +117,10 @@ QueryService::QueryService(const tpch::Database* db, ServiceOptions options)
   if (options_.num_workers < 1) options_.num_workers = 1;
   if (options_.queue_capacity < 1) options_.queue_capacity = 1;
   // Traces cannot be shared across workers; the service exports its own
-  // timeline instead (ExportTrace).
+  // timeline instead (ExportTrace). Likewise a FaultInjector is mutable
+  // per-execution state: RunTask builds one per attempt from options_.fault.
   options_.engine.exec.trace = nullptr;
+  options_.engine.exec.fault = nullptr;
   options_.engine.calibration = &calibration_;
   // One tuning cache for all workers (TuningCache is thread-safe): whichever
   // worker tunes a segment first spares the rest the grid search.
@@ -148,6 +169,7 @@ Result<QueryHandle> QueryService::Submit(std::string name, LogicalQuery query,
           "' rejected");
     }
     stats_.admitted++;
+    task->sequence = next_sequence_++;
     queue_.push_back(task);
     stats_.max_queue_depth =
         std::max<uint64_t>(stats_.max_queue_depth, queue_.size());
@@ -187,10 +209,70 @@ void QueryService::RunTask(int worker_index, Engine& engine,
                            const std::shared_ptr<QueryHandle::Task>& task) {
   const int64_t start_ns = NowNs();
 
-  ExecOptions exec = options_.engine.exec;
-  exec.cancel = &task->token;
+  const RetryPolicy& retry = options_.retry;
+  const int max_attempts = std::max(1, retry.max_attempts);
+  // Backoff jitter from its own deterministic stream (salted so it never
+  // collides with an attempt's fault stream).
+  Random jitter_rng(sim::FaultInjector::AttemptSeed(
+      options_.fault.seed ^ 0x6a09e667f3bcc909ULL, task->sequence, 0));
+
   std::optional<Result<QueryResult>> result;
-  result.emplace(engine.Execute(task->query, exec));
+  std::vector<std::pair<int64_t, int64_t>> attempt_spans;
+  int attempts = 0;
+  bool gave_up = false;
+
+  for (int attempt = 0;; ++attempt) {
+    // Deadline/cancellation check before dispatching to the engine: a query
+    // whose deadline expired while queued — or while backing off between
+    // retries — short-circuits here instead of starting another execution.
+    if (Status admission = task->token.Check(); !admission.ok()) {
+      result.emplace(std::move(admission));
+      break;
+    }
+
+    ExecOptions exec = options_.engine.exec;
+    exec.cancel = &task->token;
+    std::optional<sim::FaultInjector> injector;
+    if (options_.fault.enabled()) {
+      sim::FaultConfig config = options_.fault;
+      config.seed = sim::FaultInjector::AttemptSeed(options_.fault.seed,
+                                                    task->sequence, attempt);
+      injector.emplace(std::move(config));
+      exec.fault = &*injector;
+    }
+
+    const int64_t attempt_start = NowNs();
+    ++attempts;
+    result.emplace(engine.Execute(task->query, exec));
+    attempt_spans.emplace_back(attempt_start, NowNs());
+
+    // Only transient device errors are retryable; everything else (including
+    // kChannelAllocFailed that survived degradation) is final.
+    if (result->ok() ||
+        result->status().code() != StatusCode::kTransientDeviceError) {
+      break;
+    }
+    if (attempt + 1 >= max_attempts) {
+      gave_up = true;
+      GPL_LOG(Info) << "query '" << task->name << "' giving up after "
+                    << attempts << " attempts: "
+                    << result->status().ToString();
+      break;
+    }
+    double backoff_ms =
+        retry.initial_backoff_ms * std::pow(retry.backoff_multiplier, attempt);
+    if (retry.max_backoff_ms > 0.0) {
+      backoff_ms = std::min(backoff_ms, retry.max_backoff_ms);
+    }
+    if (retry.jitter_fraction > 0.0) {
+      backoff_ms *=
+          1.0 + retry.jitter_fraction * (2.0 * jitter_rng.NextDouble() - 1.0);
+    }
+    if (backoff_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+    }
+  }
 
   const int64_t end_ns = NowNs();
 
@@ -200,9 +282,12 @@ void QueryService::RunTask(int worker_index, Engine& engine,
   record.submit_ns = task->submit_ns;
   record.start_ns = start_ns;
   record.end_ns = end_ns;
+  record.attempts = attempts;
+  record.attempt_spans = std::move(attempt_spans);
   if (result->ok()) {
     record.outcome = QueryOutcome::kCompleted;
     record.simulated_ms = (*result)->metrics.elapsed_ms;
+    record.degraded = (*result)->metrics.degraded_segments > 0;
   } else {
     switch (result->status().code()) {
       case StatusCode::kDeadlineExceeded:
@@ -222,9 +307,12 @@ void QueryService::RunTask(int worker_index, Engine& engine,
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.running--;
+    if (attempts > 1) stats_.retries += static_cast<uint64_t>(attempts - 1);
+    if (gave_up) stats_.gave_up++;
     switch (record.outcome) {
       case QueryOutcome::kCompleted: {
         stats_.completed++;
+        if (record.degraded) stats_.degraded++;
         const double latency_ms =
             static_cast<double>(end_ns - task->submit_ns) / 1e6;
         completed_latency_ms_.push_back(latency_ms);
@@ -319,7 +407,20 @@ void QueryService::ExportTrace(trace::TraceCollector* collector) const {
         static_cast<double>(record.start_ns),
         static_cast<double>(record.end_ns),
         {{"outcome", std::string("\"") + OutcomeName(record.outcome) + "\""},
-         {"simulated_ms", std::to_string(record.simulated_ms)}});
+         {"simulated_ms", std::to_string(record.simulated_ms)},
+         {"attempts", std::to_string(record.attempts)}});
+    // A retried query gets one nested span per engine execution; the gaps
+    // between them are retry backoff.
+    if (record.attempts > 1) {
+      for (size_t a = 0; a < record.attempt_spans.size(); ++a) {
+        collector->AddSpan(track,
+                           record.name + " (attempt " + std::to_string(a + 1) +
+                               "/" + std::to_string(record.attempts) + ")",
+                           "service.retry",
+                           static_cast<double>(record.attempt_spans[a].first),
+                           static_cast<double>(record.attempt_spans[a].second));
+      }
+    }
   }
 
   // Concurrency level over time, from start/end edges.

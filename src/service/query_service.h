@@ -17,6 +17,7 @@
 #include "model/calibration.h"
 #include "model/tuning_cache.h"
 #include "plan/logical_plan.h"
+#include "sim/fault.h"
 #include "tpch/dbgen.h"
 
 namespace gpl {
@@ -25,6 +26,30 @@ class TraceCollector;
 }  // namespace trace
 
 namespace service {
+
+/// Percentile over an unsorted sample by linear interpolation between the
+/// two closest order statistics (p in [0, 100]); 0 for an empty sample.
+/// Exposed for direct unit testing of the service's latency reporting.
+double Percentile(std::vector<double> values, double p);
+
+/// Retry policy for transient execution errors (kTransientDeviceError).
+/// Attempts beyond the first back off exponentially with deterministic,
+/// seeded jitter; the query's deadline is honored between attempts, so a
+/// retry never outlives the submitter's timeout.
+struct RetryPolicy {
+  /// Total attempts per query (1 = no retries). Values < 1 behave as 1.
+  int max_attempts = 1;
+  /// Backoff before retry k (1-based) is
+  /// initial_backoff_ms * backoff_multiplier^(k-1), capped at max_backoff_ms.
+  double initial_backoff_ms = 1.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 50.0;
+  /// Each backoff is scaled by a factor uniform in
+  /// [1 - jitter_fraction, 1 + jitter_fraction], drawn from a per-query
+  /// deterministic stream (seeded from the fault seed and the query's
+  /// admission sequence) so runs reproduce exactly.
+  double jitter_fraction = 0.2;
+};
 
 /// Configuration of a QueryService.
 struct ServiceOptions {
@@ -45,7 +70,20 @@ struct ServiceOptions {
   /// default ExecOptions. `exec.trace` is forced to nullptr (a collector
   /// cannot be shared across workers — use ExportTrace() for a service-level
   /// timeline) and `calibration` is replaced by the service's shared table.
+  /// `exec.fault` is likewise forced to nullptr: a FaultInjector is mutable
+  /// per-execution state, so the service builds a fresh one per attempt from
+  /// `fault` below instead of sharing one across workers.
   EngineOptions engine;
+
+  /// Fault-injection configuration (chaos testing / availability benches).
+  /// When enabled(), every execution attempt gets its own injector seeded by
+  /// sim::FaultInjector::AttemptSeed(fault.seed, admission sequence,
+  /// attempt), so a query's fault outcomes are reproducible regardless of
+  /// worker assignment or host timing.
+  sim::FaultConfig fault;
+
+  /// Retry policy for transient device errors.
+  RetryPolicy retry;
 };
 
 /// How an admitted query ended.
@@ -84,6 +122,11 @@ struct ServiceStats {
   uint64_t tuning_cache_hits = 0;
   uint64_t tuning_cache_misses = 0;
 
+  /// Fault-recovery accounting (zero without fault injection).
+  uint64_t retries = 0;   ///< re-execution attempts beyond each query's first
+  uint64_t degraded = 0;  ///< completed queries with >= 1 degraded segment
+  uint64_t gave_up = 0;   ///< transient errors that exhausted max_attempts
+
   /// Human-readable one-stop report for CLIs/benches.
   std::string ToString() const;
 };
@@ -105,7 +148,9 @@ class QueryHandle {
   bool Done() const;
 
   /// Blocks until the query finishes and returns its result. The reference
-  /// stays valid for the handle's lifetime.
+  /// stays valid for the handle's lifetime. On a default-constructed or
+  /// moved-from handle (!valid()) there is nothing to wait for: returns a
+  /// kFailedPrecondition error instead of blocking (or crashing).
   const Result<QueryResult>& Await();
 
  private:
@@ -182,6 +227,11 @@ class QueryService {
     int64_t start_ns = 0;
     int64_t end_ns = 0;
     double simulated_ms = 0.0;
+    int attempts = 0;       ///< engine executions (0 = deadline beat dispatch)
+    bool degraded = false;  ///< completed with >= 1 degraded segment
+    /// (start_ns, end_ns) of each engine execution; gaps between entries are
+    /// retry backoff. Rendered by ExportTrace when attempts > 1.
+    std::vector<std::pair<int64_t, int64_t>> attempt_spans;
   };
 
   void WorkerLoop(int worker_index);
@@ -204,6 +254,7 @@ class QueryService {
   std::deque<std::shared_ptr<QueryHandle::Task>> queue_;
   bool paused_ = false;
   bool stop_ = false;
+  uint64_t next_sequence_ = 0;  ///< admission order; seeds fault injection
 
   // Aggregates (guarded by mu_).
   ServiceStats stats_;

@@ -69,9 +69,13 @@ double ChannelState::AcquireCost(double payload_bytes, double residency) const {
   if (payload_bytes <= 0.0) return 0.0;
   const double p = static_cast<double>(config_.packet_bytes);
   const double packets = std::ceil(payload_bytes / p);
+  const double padded = packets * p;
   const double bw = device_->cache_bw_bytes_per_cycle * residency +
                     device_->global_bw_bytes_per_cycle / 2.0 * (1.0 - residency);
-  return 0.5 * packets * PerPacketSyncCost() + payload_bytes / bw;
+  // The consumer reads back whole packets: a thrashed, partially-filled
+  // packet costs its padded size on the way in just as CommitCost charged it
+  // on the way out (the two sides of the same transfer must agree).
+  return 0.5 * packets * PerPacketSyncCost() + padded / bw;
 }
 
 }  // namespace sim

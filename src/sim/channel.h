@@ -78,7 +78,9 @@ class ChannelState {
   /// cache-resident.
   double CommitCost(double payload_bytes, double residency) const;
 
-  /// Cycles for a consumer work-group to acquire `payload_bytes`.
+  /// Cycles for a consumer work-group to acquire `payload_bytes`. Transfer
+  /// is charged on the packet-padded size, symmetric with CommitCost: the
+  /// consumer reads back the same whole packets the producer wrote.
   double AcquireCost(double payload_bytes, double residency) const;
 
  private:

@@ -88,9 +88,15 @@ Simulator::WgWork Simulator::ComputeWgWork(
   return w;
 }
 
-SimResult Simulator::RunKernelBatch(const KernelLaunch& launch,
-                                    int64_t resident_bytes,
-                                    trace::TraceCollector* trace) const {
+Result<SimResult> Simulator::RunKernelBatch(const KernelLaunch& launch,
+                                            int64_t resident_bytes,
+                                            trace::TraceCollector* trace,
+                                            FaultInjector* fault) const {
+  double throttle_penalty = 0.0;
+  if (fault != nullptr) {
+    GPL_RETURN_NOT_OK(fault->OnKernelLaunch(launch.desc.name,
+                                            &throttle_penalty));
+  }
   SimResult result;
   const KernelTimingDesc& desc = launch.desc;
   const int slots = SingleKernelSlots(device_, desc);
@@ -119,11 +125,15 @@ SimResult Simulator::RunKernelBatch(const KernelLaunch& launch,
   const double total_alu = per.alu * static_cast<double>(wg_total);
   const double total_mem = per.mem * static_cast<double>(wg_total);
   const double exec = std::max(total_alu, total_mem) / active_cus;
-  const double elapsed =
-      exec + static_cast<double>(device_.kernel_launch_cycles);
+  // A memory-pressure throttle slows execution without failing it; the lost
+  // cycles are accounted as stall, keeping busy-cycle components untouched.
+  const double throttle_cycles = exec * throttle_penalty;
+  const double elapsed = exec + throttle_cycles +
+                         static_cast<double>(device_.kernel_launch_cycles);
 
   HwCounters& c = result.counters;
   c.elapsed_cycles = elapsed;
+  c.stall_cycles = throttle_cycles;
   c.compute_cycles = total_alu;
   c.mem_cycles = total_mem;
   c.launch_cycles = static_cast<double>(device_.kernel_launch_cycles);
@@ -139,6 +149,7 @@ SimResult Simulator::RunKernelBatch(const KernelLaunch& launch,
   stats.busy_cycles = total_alu + total_mem;
   stats.compute_cycles = total_alu;
   stats.mem_cycles = total_mem;
+  stats.stall_cycles = throttle_cycles;
   stats.finish_cycles = elapsed;
   stats.valu_busy = c.ValuBusy(device_);
   stats.mem_unit_busy = c.MemUnitBusy(device_);
@@ -162,7 +173,7 @@ SimResult Simulator::RunKernelBatch(const KernelLaunch& launch,
   return result;
 }
 
-SimResult Simulator::RunSequentialTiles(const PipelineSpec& spec) const {
+Result<SimResult> Simulator::RunSequentialTiles(const PipelineSpec& spec) const {
   SimResult result;
   GPL_CHECK(!spec.kernels.empty());
   const int64_t input_bytes = std::max<int64_t>(spec.kernels[0].bytes_in, 1);
@@ -198,8 +209,10 @@ SimResult Simulator::RunSequentialTiles(const PipelineSpec& spec) const {
       tile_launch.input_resident_fraction = cache_.ChannelResidency(
           tile_launch.bytes_in, spec.extra_resident_bytes + spec.tile_bytes);
     }
-    SimResult tile_result =
-        RunKernelBatch(tile_launch, spec.extra_resident_bytes);
+    GPL_ASSIGN_OR_RETURN(
+        const SimResult tile_result,
+        RunKernelBatch(tile_launch, spec.extra_resident_bytes,
+                       /*trace=*/nullptr, spec.fault));
 
     // All tiles are uniform: scale one tile's cost, swapping the per-launch
     // overhead RunKernelBatch charged for the cheaper per-tile dispatch.
@@ -210,6 +223,7 @@ SimResult Simulator::RunSequentialTiles(const PipelineSpec& spec) const {
     scaled.compute_cycles *= n;
     scaled.mem_cycles *= n;
     scaled.channel_cycles *= n;
+    scaled.stall_cycles *= n;
     scaled.launch_cycles = per_kernel_overhead;
     scaled.cache_accesses *= n;
     scaled.cache_hits *= n;
@@ -258,7 +272,7 @@ SimResult Simulator::RunSequentialTiles(const PipelineSpec& spec) const {
   return result;
 }
 
-SimResult Simulator::RunPipeline(const PipelineSpec& spec) const {
+Result<SimResult> Simulator::RunPipeline(const PipelineSpec& spec) const {
   SimResult result;
   const int num_kernels = static_cast<int>(spec.kernels.size());
   GPL_CHECK(num_kernels > 0);
@@ -270,11 +284,26 @@ SimResult Simulator::RunPipeline(const PipelineSpec& spec) const {
   const int64_t num_tiles =
       std::max<int64_t>(1, CeilDiv(input_bytes, spec.tile_bytes));
 
+  // ---- Fault sites: every kernel launch, then every channel reservation.
+  // All faults fire before any simulated work, so a failed run has nothing
+  // to clean up (simulation state is local to this call).
+  std::vector<double> throttle(static_cast<size_t>(num_kernels), 0.0);
+  if (spec.fault != nullptr) {
+    for (int k = 0; k < num_kernels; ++k) {
+      GPL_RETURN_NOT_OK(spec.fault->OnKernelLaunch(
+          spec.kernels[static_cast<size_t>(k)].desc.name,
+          &throttle[static_cast<size_t>(k)]));
+    }
+  }
+
   // ---- Channels between consecutive kernels ----
   std::vector<std::optional<ChannelState>> channels(
       static_cast<size_t>(std::max(0, num_kernels - 1)));
   for (int g = 0; g + 1 < num_kernels; ++g) {
     if (spec.kernels[g].output == Endpoint::kChannel) {
+      if (spec.fault != nullptr) {
+        GPL_RETURN_NOT_OK(spec.fault->OnChannelAlloc(spec.channel_configs[g]));
+      }
       channels[g].emplace(spec.channel_configs[g], device_);
     }
   }
@@ -404,6 +433,11 @@ SimResult Simulator::RunPipeline(const PipelineSpec& spec) const {
         ks[k].g_out_per_wg, ks[k].c_in_per_wg, ks[k].c_out_per_wg, in_chan,
         out_chan, chan_residency,
         spec.kernels[k].input_resident_fraction, hide, competing_for_random);
+    // An injected memory-pressure throttle slows the throttled kernel's
+    // memory pipeline for the whole run (every work-group pays it).
+    if (throttle[static_cast<size_t>(k)] > 0.0) {
+      ks[k].work.mem *= 1.0 + throttle[static_cast<size_t>(k)];
+    }
   }
 
   // ---- Discrete-event simulation ----

@@ -4,10 +4,12 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "sim/cache_model.h"
 #include "sim/channel.h"
 #include "sim/counters.h"
 #include "sim/device.h"
+#include "sim/fault.h"
 #include "sim/kernel_desc.h"
 
 namespace gpl {
@@ -62,6 +64,11 @@ struct PipelineSpec {
   /// per-tile spans, channel occupancy/stall events, and counter samples
   /// into it; nullptr (the default) is the zero-cost disabled path.
   trace::TraceCollector* trace = nullptr;
+  /// Optional fault injector, consulted at every kernel-launch and
+  /// channel-reservation site; nullptr (the default) never fails. Like the
+  /// trace collector it is mutable per-execution state: never share one
+  /// across concurrent runs.
+  FaultInjector* fault = nullptr;
   /// Display label for the whole-segment span (e.g. the kernel chain).
   std::string label;
 };
@@ -104,18 +111,27 @@ class Simulator {
   /// in one launch, with input read from and output written to global
   /// memory. `resident_bytes` are competing cache-hot structures. When
   /// `trace` is non-null, the launch is recorded as a span at the
-  /// collector's current origin and the origin advances past it.
-  SimResult RunKernelBatch(const KernelLaunch& launch, int64_t resident_bytes,
-                           trace::TraceCollector* trace = nullptr) const;
+  /// collector's current origin and the origin advances past it. When
+  /// `fault` is non-null it is consulted before the launch; an injected
+  /// abort/reset returns kTransientDeviceError with nothing recorded.
+  Result<SimResult> RunKernelBatch(const KernelLaunch& launch,
+                                   int64_t resident_bytes,
+                                   trace::TraceCollector* trace = nullptr,
+                                   FaultInjector* fault = nullptr) const;
 
   /// GPL pipelined execution of a segment: kernels run concurrently,
   /// exchanging tiles through channels (discrete-event simulation at
-  /// work-group granularity).
-  SimResult RunPipeline(const PipelineSpec& spec) const;
+  /// work-group granularity). With `spec.fault` set, channel allocation can
+  /// fail with kChannelAllocFailed (before any simulated work) and kernel
+  /// launches with kTransientDeviceError; a failed run leaves no state
+  /// behind (all simulation state is local to the call).
+  Result<SimResult> RunPipeline(const PipelineSpec& spec) const;
 
   /// GPL (w/o CE) ablation: same tiling, but kernels execute one at a time
   /// per tile, with per-tile kernel launches and materialized intermediates.
-  SimResult RunSequentialTiles(const PipelineSpec& spec) const;
+  /// Needs no channels, so it doubles as the degraded-execution path when
+  /// RunPipeline's channel allocation fails.
+  Result<SimResult> RunSequentialTiles(const PipelineSpec& spec) const;
 
  private:
   struct WgWork {

@@ -193,6 +193,86 @@ TEST(QueryServiceTest, CancelledQueryReportsCancelled) {
   EXPECT_EQ(service.Stats().cancelled, 1u);
 }
 
+// Percentile (declared in query_service.h) interpolates linearly between the
+// two closest order statistics — these values pin that contract so reporting
+// code and dashboards can rely on it.
+TEST(PercentileTest, InterpolatesBetweenClosestRanks) {
+  EXPECT_DOUBLE_EQ(service::Percentile({}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(service::Percentile({7.0}, 50.0), 7.0);
+  EXPECT_DOUBLE_EQ(service::Percentile({7.0}, 95.0), 7.0);
+  // p50 of two samples is their midpoint, not either sample (nearest-rank
+  // would return 2.0 here).
+  EXPECT_DOUBLE_EQ(service::Percentile({1.0, 2.0}, 50.0), 1.5);
+  // 1..100: rank = 0.95 * 99 = 94.05 -> 95 + 0.05 * (96 - 95).
+  std::vector<double> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<size_t>(i)] = i + 1.0;
+  EXPECT_DOUBLE_EQ(service::Percentile(v, 50.0), 50.5);
+  EXPECT_DOUBLE_EQ(service::Percentile(v, 95.0), 95.05);
+  EXPECT_DOUBLE_EQ(service::Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(service::Percentile(v, 100.0), 100.0);
+  // Input order is irrelevant (the sample is sorted internally).
+  EXPECT_DOUBLE_EQ(service::Percentile({2.0, 1.0}, 50.0), 1.5);
+}
+
+TEST(QueryHandleTest, AwaitOnInvalidHandleReturnsFailedPrecondition) {
+  QueryHandle invalid;
+  EXPECT_FALSE(invalid.valid());
+  EXPECT_FALSE(invalid.Done());
+  const Result<QueryResult>& result = invalid.Await();  // must not block
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  invalid.Cancel();  // no-op, must not crash
+}
+
+TEST(QueryHandleTest, MovedFromHandleAwaitsSafely) {
+  const tpch::Database& db = SmallDb();
+  ServiceOptions options;
+  options.num_workers = 1;
+  QueryService service(&db, options);
+
+  Result<QueryHandle> submitted = service.Submit("q6", queries::Q6());
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  QueryHandle handle = submitted.take();
+  QueryHandle stolen = std::move(handle);
+  // The moved-from handle is invalid but safe; the new one still works.
+  EXPECT_FALSE(handle.valid());
+  EXPECT_EQ(handle.Await().status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(stolen.Await().ok());
+  service.Shutdown();
+}
+
+/// Queries whose deadline expires while still queued short-circuit to
+/// kDeadlineExceeded without ever reaching an engine — a saturated queue
+/// must not burn worker time executing queries nobody is waiting for.
+TEST(QueryServiceTest, QueuedDeadlineShortCircuitsBeforeExecution) {
+  const tpch::Database& db = SmallDb();
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 8;
+  QueryService service(&db, options);
+  service.Pause();  // saturate: nothing dispatches until Resume
+
+  std::vector<QueryHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    Result<QueryHandle> submitted = service.Submit(
+        "q5#" + std::to_string(i), queries::Q5(), /*timeout_ms=*/1e-6);
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    handles.push_back(submitted.take());
+  }
+  service.Resume();
+
+  for (QueryHandle& handle : handles) {
+    const Result<QueryResult>& result = handle.Await();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  }
+  service.Shutdown();
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.timed_out, handles.size());
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.retries, 0u);
+}
+
 TEST(QueryServiceTest, SubmitAfterShutdownIsUnavailable) {
   const tpch::Database& db = SmallDb();
   ServiceOptions options;

@@ -121,6 +121,32 @@ TEST(ChannelCostTest, OversizedPacketsWasteBandwidthOnPadding) {
   EXPECT_GT(big.CommitCost(100.0, 1.0), fit.CommitCost(100.0, 1.0));
 }
 
+TEST(ChannelCostTest, AcquirePaysPaddedTransferSymmetricWithCommit) {
+  // The consumer reads back whole packets, so AcquireCost charges the same
+  // packet-padded transfer volume as CommitCost — only the per-packet sync
+  // share differs (the acquire side pays half). A 100-byte payload in 4 KB
+  // packets must therefore cost nearly a full packet's transfer on BOTH
+  // sides, not payload/bw on one and padded/bw on the other.
+  const ChannelState big = MakeChannel(4, 4096);
+  const ChannelState fit = MakeChannel(4, 128);
+  EXPECT_GT(big.AcquireCost(100.0, 1.0), fit.AcquireCost(100.0, 1.0));
+
+  // Any payload padding to the same packet count costs the same on both
+  // sides: 100 B and 4000 B both occupy one 4 KB packet, so the consumer
+  // transfers identical bytes for either.
+  const ChannelState ch = MakeChannel(4, 4096);
+  EXPECT_DOUBLE_EQ(ch.AcquireCost(100.0, 1.0), ch.AcquireCost(4000.0, 1.0));
+  EXPECT_DOUBLE_EQ(ch.CommitCost(100.0, 1.0), ch.CommitCost(4000.0, 1.0));
+
+  // The sync share is the only asymmetry (the acquire side pays half the
+  // reservation handshake), so commit - acquire per packet is constant —
+  // the transfer terms cancel exactly because both charge padded bytes.
+  const double diff_one = ch.CommitCost(100.0, 1.0) - ch.AcquireCost(100.0, 1.0);
+  const double diff_two =
+      ch.CommitCost(8000.0, 1.0) - ch.AcquireCost(8000.0, 1.0);  // 2 packets
+  EXPECT_NEAR(diff_two, 2.0 * diff_one, 1e-9 * diff_two);
+}
+
 class ChannelSweepTest
     : public ::testing::TestWithParam<std::tuple<int, int>> {};
 

@@ -41,8 +41,8 @@ class DeterminismTest : public ::testing::TestWithParam<int64_t> {};
 TEST_P(DeterminismTest, RepeatedPipelineRunsAgreeExactly) {
   Simulator sim(DeviceSpec::AmdA10());
   const PipelineSpec spec = MakeSpec(GetParam(), 32, MiB(1));
-  const SimResult a = sim.RunPipeline(spec);
-  const SimResult b = sim.RunPipeline(spec);
+  const SimResult a = *sim.RunPipeline(spec);
+  const SimResult b = *sim.RunPipeline(spec);
   EXPECT_DOUBLE_EQ(a.elapsed_cycles(), b.elapsed_cycles());
   EXPECT_DOUBLE_EQ(a.counters.compute_cycles, b.counters.compute_cycles);
   EXPECT_DOUBLE_EQ(a.counters.mem_cycles, b.counters.mem_cycles);
@@ -53,12 +53,12 @@ TEST_P(DeterminismTest, RepeatedPipelineRunsAgreeExactly) {
 TEST_P(DeterminismTest, SequentialAndBatchAgreeAcrossRuns) {
   Simulator sim(DeviceSpec::AmdA10());
   const PipelineSpec spec = MakeSpec(GetParam(), 32, MiB(1));
-  EXPECT_DOUBLE_EQ(sim.RunSequentialTiles(spec).elapsed_cycles(),
-                   sim.RunSequentialTiles(spec).elapsed_cycles());
+  EXPECT_DOUBLE_EQ(sim.RunSequentialTiles(spec)->elapsed_cycles(),
+                   sim.RunSequentialTiles(spec)->elapsed_cycles());
   KernelLaunch launch = spec.kernels[0];
   launch.output = Endpoint::kGlobal;
-  EXPECT_DOUBLE_EQ(sim.RunKernelBatch(launch, 0).elapsed_cycles(),
-                   sim.RunKernelBatch(launch, 0).elapsed_cycles());
+  EXPECT_DOUBLE_EQ(sim.RunKernelBatch(launch, 0)->elapsed_cycles(),
+                   sim.RunKernelBatch(launch, 0)->elapsed_cycles());
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, DeterminismTest,
@@ -70,7 +70,7 @@ TEST(SimMonotonicityTest, MoreComputeInstructionsNeverFaster) {
   for (double c_inst : {2.0, 8.0, 32.0, 128.0}) {
     PipelineSpec spec = MakeSpec(1000000, 32, MiB(1));
     spec.kernels[0].desc.compute_inst_per_row = c_inst;
-    const double elapsed = sim.RunPipeline(spec).elapsed_cycles();
+    const double elapsed = sim.RunPipeline(spec)->elapsed_cycles();
     EXPECT_GE(elapsed, prev);
     prev = elapsed;
   }
@@ -85,7 +85,7 @@ TEST(SimMonotonicityTest, HigherLatencyNeverFaster) {
     PipelineSpec spec = MakeSpec(1000000, 32, MiB(1));
     spec.kernels[0].desc.random_access_fraction = 0.8;
     spec.kernels[0].desc.random_working_set_bytes = MiB(32);
-    const double elapsed = sim.RunPipeline(spec).elapsed_cycles();
+    const double elapsed = sim.RunPipeline(spec)->elapsed_cycles();
     EXPECT_GE(elapsed, prev);
     prev = elapsed;
   }
@@ -104,7 +104,7 @@ TEST(SimMonotonicityTest, MoreBandwidthNeverSlowerForScans) {
     launch.rows_in = 4000000;
     launch.bytes_in = 64000000;
     launch.bytes_out = 0;
-    const double elapsed = sim.RunKernelBatch(launch, 0).elapsed_cycles();
+    const double elapsed = sim.RunKernelBatch(launch, 0)->elapsed_cycles();
     EXPECT_LE(elapsed, prev);
     prev = elapsed;
   }

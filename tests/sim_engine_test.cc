@@ -45,7 +45,7 @@ class SimEngineTest : public ::testing::Test {
 };
 
 TEST_F(SimEngineTest, KernelBatchElapsedPositive) {
-  const SimResult r = sim_.RunKernelBatch(MakeLaunch("k", 100000, 800000, 0), 0);
+  const SimResult r = *sim_.RunKernelBatch(MakeLaunch("k", 100000, 800000, 0), 0);
   EXPECT_GT(r.elapsed_cycles(), 0.0);
   EXPECT_GT(r.counters.compute_cycles, 0.0);
   EXPECT_GT(r.counters.mem_cycles, 0.0);
@@ -53,23 +53,23 @@ TEST_F(SimEngineTest, KernelBatchElapsedPositive) {
 
 TEST_F(SimEngineTest, KernelBatchScalesWithRows) {
   const double small =
-      sim_.RunKernelBatch(MakeLaunch("k", 100000, 800000, 0), 0).elapsed_cycles();
+      sim_.RunKernelBatch(MakeLaunch("k", 100000, 800000, 0), 0)->elapsed_cycles();
   const double big =
-      sim_.RunKernelBatch(MakeLaunch("k", 400000, 3200000, 0), 0).elapsed_cycles();
+      sim_.RunKernelBatch(MakeLaunch("k", 400000, 3200000, 0), 0)->elapsed_cycles();
   EXPECT_GT(big, small * 2.0);  // ~4x work minus fixed launch overhead
   EXPECT_LT(big, small * 6.0);
 }
 
 TEST_F(SimEngineTest, KernelBatchIncludesLaunchOverhead) {
-  const SimResult r = sim_.RunKernelBatch(MakeLaunch("k", 64, 512, 0), 0);
+  const SimResult r = *sim_.RunKernelBatch(MakeLaunch("k", 64, 512, 0), 0);
   EXPECT_GE(r.elapsed_cycles(),
             static_cast<double>(sim_.device().kernel_launch_cycles));
 }
 
 TEST_F(SimEngineTest, ComputeHeavyKernelHasHighValuShare) {
-  const SimResult compute_heavy = sim_.RunKernelBatch(
+  const SimResult compute_heavy = *sim_.RunKernelBatch(
       MakeLaunch("c", 1000000, 8000000, 0, /*c_inst=*/64.0, /*m_inst=*/0.5), 0);
-  const SimResult memory_heavy = sim_.RunKernelBatch(
+  const SimResult memory_heavy = *sim_.RunKernelBatch(
       MakeLaunch("m", 1000000, 8000000, 0, /*c_inst=*/2.0, /*m_inst=*/8.0), 0);
   EXPECT_GT(compute_heavy.counters.ValuBusy(sim_.device()),
             memory_heavy.counters.ValuBusy(sim_.device()));
@@ -79,7 +79,7 @@ TEST_F(SimEngineTest, ComputeHeavyKernelHasHighValuShare) {
 
 TEST_F(SimEngineTest, MaterializedOutputCounted) {
   KernelLaunch launch = MakeLaunch("k", 100000, 800000, 400000);
-  const SimResult r = sim_.RunKernelBatch(launch, 0);
+  const SimResult r = *sim_.RunKernelBatch(launch, 0);
   EXPECT_EQ(r.counters.bytes_materialized, 400000);
 }
 
@@ -87,15 +87,15 @@ TEST_F(SimEngineTest, ResidentStructuresReduceHitRatio) {
   KernelLaunch launch = MakeLaunch("probe", 500000, 4000000, 0);
   launch.desc.random_access_fraction = 0.5;
   launch.desc.random_working_set_bytes = MiB(8);  // larger than cache
-  const SimResult hot = sim_.RunKernelBatch(launch, 0);
-  const SimResult cold = sim_.RunKernelBatch(launch, MiB(16));
+  const SimResult hot = *sim_.RunKernelBatch(launch, 0);
+  const SimResult cold = *sim_.RunKernelBatch(launch, MiB(16));
   EXPECT_GE(hot.counters.CacheHitRatio(), cold.counters.CacheHitRatio());
   EXPECT_GE(cold.elapsed_cycles(), hot.elapsed_cycles());
 }
 
 TEST_F(SimEngineTest, PipelineDrainsAndAccountsChannelBytes) {
   const PipelineSpec spec = TwoStagePipeline(500000);
-  const SimResult r = sim_.RunPipeline(spec);
+  const SimResult r = *sim_.RunPipeline(spec);
   EXPECT_GT(r.elapsed_cycles(), 0.0);
   EXPECT_GT(r.counters.channel_cycles, 0.0);
   EXPECT_EQ(r.counters.bytes_via_channel, spec.kernels[0].bytes_out);
@@ -105,17 +105,17 @@ TEST_F(SimEngineTest, PipelineDrainsAndAccountsChannelBytes) {
 
 TEST_F(SimEngineTest, PipelineFasterThanSequentialTiles) {
   const PipelineSpec spec = TwoStagePipeline(2000000);
-  const double piped = sim_.RunPipeline(spec).elapsed_cycles();
-  const double sequential = sim_.RunSequentialTiles(spec).elapsed_cycles();
+  const double piped = sim_.RunPipeline(spec)->elapsed_cycles();
+  const double sequential = sim_.RunSequentialTiles(spec)->elapsed_cycles();
   EXPECT_LT(piped, sequential);
 }
 
 TEST_F(SimEngineTest, SequentialTilesPaysPerTileLaunches) {
   PipelineSpec spec = TwoStagePipeline(2000000);
   spec.tile_bytes = KiB(256);
-  const double small_tiles = sim_.RunSequentialTiles(spec).counters.launch_cycles;
+  const double small_tiles = sim_.RunSequentialTiles(spec)->counters.launch_cycles;
   spec.tile_bytes = MiB(8);
-  const double big_tiles = sim_.RunSequentialTiles(spec).counters.launch_cycles;
+  const double big_tiles = sim_.RunSequentialTiles(spec)->counters.launch_cycles;
   EXPECT_GT(small_tiles, big_tiles);
 }
 
@@ -126,8 +126,8 @@ TEST_F(SimEngineTest, ImbalancedWorkgroupsCauseDelay) {
   PipelineSpec starved = balanced;
   starved.kernels[0].workgroups_per_tile = 2;   // slow producer
   starved.kernels[1].workgroups_per_tile = 64;  // eager consumer
-  const SimResult b = sim_.RunPipeline(balanced);
-  const SimResult s = sim_.RunPipeline(starved);
+  const SimResult b = *sim_.RunPipeline(balanced);
+  const SimResult s = *sim_.RunPipeline(starved);
   // Starving the producer slows the whole pipeline: the consumer idles and
   // the segment takes far longer than the balanced allocation.
   EXPECT_GT(s.elapsed_cycles(), 1.2 * b.elapsed_cycles());
@@ -138,15 +138,15 @@ TEST_F(SimEngineTest, HugeTilesThrashTheCache) {
   small.tile_bytes = MiB(2);
   PipelineSpec huge = small;
   huge.tile_bytes = MiB(64);  // way past the 4 MB cache
-  const SimResult r_small = sim_.RunPipeline(small);
-  const SimResult r_huge = sim_.RunPipeline(huge);
+  const SimResult r_small = *sim_.RunPipeline(small);
+  const SimResult r_huge = *sim_.RunPipeline(huge);
   EXPECT_GT(r_huge.counters.channel_cycles, r_small.counters.channel_cycles);
   EXPECT_LT(r_huge.counters.CacheHitRatio(), r_small.counters.CacheHitRatio());
 }
 
 TEST_F(SimEngineTest, CountersStayWithinBounds) {
   for (int64_t rows : {10000, 300000, 1000000}) {
-    const SimResult r = sim_.RunPipeline(TwoStagePipeline(rows));
+    const SimResult r = *sim_.RunPipeline(TwoStagePipeline(rows));
     EXPECT_GE(r.counters.ValuBusy(sim_.device()), 0.0);
     EXPECT_LE(r.counters.ValuBusy(sim_.device()), 1.0);
     EXPECT_GE(r.counters.MemUnitBusy(sim_.device()), 0.0);
@@ -170,7 +170,7 @@ TEST_F(SimEngineTest, ThreeStagePipelineDrains) {
   spec.kernels = {k0, k1, k2};
   spec.channel_configs = {ChannelConfig{}, ChannelConfig{}};
   spec.tile_bytes = MiB(2);
-  const SimResult r = sim_.RunPipeline(spec);
+  const SimResult r = *sim_.RunPipeline(spec);
   EXPECT_GT(r.elapsed_cycles(), 0.0);
   ASSERT_EQ(r.kernels.size(), 3u);
   for (const KernelStats& k : r.kernels) {
@@ -187,7 +187,7 @@ TEST_F(SimEngineTest, ZeroRowPipelineStillTerminates) {
   spec.kernels[0].bytes_out = 0;
   spec.kernels[1].rows_in = 0;
   spec.kernels[1].bytes_in = 0;
-  const SimResult r = sim_.RunPipeline(spec);
+  const SimResult r = *sim_.RunPipeline(spec);
   EXPECT_GE(r.elapsed_cycles(), 0.0);
 }
 
@@ -209,8 +209,8 @@ TEST_F(SimEngineTest, NvidiaHigherConcurrencyHelpsDeepPipelines) {
   };
   Simulator amd(DeviceSpec::AmdA10());
   Simulator nvidia(DeviceSpec::NvidiaK40());
-  const double amd_cycles = amd.RunPipeline(make_spec()).elapsed_cycles();
-  const double nv_cycles = nvidia.RunPipeline(make_spec()).elapsed_cycles();
+  const double amd_cycles = amd.RunPipeline(make_spec())->elapsed_cycles();
+  const double nv_cycles = nvidia.RunPipeline(make_spec())->elapsed_cycles();
   // Not directly comparable in absolute terms (different clocks/BW), but
   // both must drain, and the K40 (more CUs, more bandwidth, C=16) is faster.
   EXPECT_GT(amd_cycles, 0.0);

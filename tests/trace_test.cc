@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "common/math_util.h"
 #include "engine/engine.h"
 #include "engine/metrics_json.h"
 #include "queries/tpch_queries.h"
+#include "service/query_service.h"
 #include "sim/engine.h"
 #include "test_util.h"
 #include "trace/json.h"
@@ -95,7 +98,7 @@ TEST(TraceCollectorTest, PipelineSpansMatchSimulatedTime) {
   PipelineSpec spec = TwoStagePipeline(500000);
   spec.trace = &collector;
   spec.label = "test segment";
-  const SimResult r = sim.RunPipeline(spec);
+  const SimResult r = *sim.RunPipeline(spec);
 
   const double elapsed = r.elapsed_cycles();
   ASSERT_FALSE(collector.spans().empty());
@@ -138,10 +141,10 @@ TEST(TraceCollectorTest, ConsecutiveRunsLayOutEndToEnd) {
   Simulator sim(DeviceSpec::AmdA10());
   trace::TraceCollector collector;
   const SimResult first =
-      sim.RunKernelBatch(MakeLaunch("k", 100000, 800000, 0), 0, &collector);
+      *sim.RunKernelBatch(MakeLaunch("k", 100000, 800000, 0), 0, &collector);
   const size_t spans_after_first = collector.spans().size();
   const SimResult second =
-      sim.RunKernelBatch(MakeLaunch("k", 100000, 800000, 0), 0, &collector);
+      *sim.RunKernelBatch(MakeLaunch("k", 100000, 800000, 0), 0, &collector);
   ASSERT_EQ(collector.spans().size(), spans_after_first + 1);
   const trace::SpanEvent& a = collector.spans()[spans_after_first - 1];
   const trace::SpanEvent& b = collector.spans()[spans_after_first];
@@ -158,7 +161,7 @@ TEST(TraceCollectorTest, ChromeJsonIsWellFormed) {
   PipelineSpec spec = TwoStagePipeline(500000);
   spec.trace = &collector;
   spec.label = "chars needing escapes: \"quotes\" \\ and\nnewline";
-  sim.RunPipeline(spec);
+  ASSERT_TRUE(sim.RunPipeline(spec).ok());
 
   const std::string json = collector.ToChromeJson();
   std::string error;
@@ -182,12 +185,12 @@ TEST(TraceCollectorTest, DisabledTracingEmitsNothingAndMatchesTracedRun) {
   trace::TraceCollector unused;
 
   PipelineSpec spec = TwoStagePipeline(300000);
-  const SimResult plain = sim.RunPipeline(spec);  // spec.trace == nullptr
+  const SimResult plain = *sim.RunPipeline(spec);  // spec.trace == nullptr
   EXPECT_TRUE(unused.empty());
 
   trace::TraceCollector collector;
   spec.trace = &collector;
-  const SimResult traced = sim.RunPipeline(spec);
+  const SimResult traced = *sim.RunPipeline(spec);
   EXPECT_FALSE(collector.empty());
 
   // Tracing must not perturb the simulation: identical counters either way.
@@ -272,6 +275,77 @@ TEST(MetricsJsonTest, ExportIsValidJsonWithExpectedFields) {
 
   const std::string array = MetricsReportToJson({entry, entry});
   ASSERT_TRUE(trace::ValidateJson(array, &error)) << error;
+}
+
+// Query names are user-controlled and flow into JSON string literals; every
+// export path must escape them, not just the happy-path alphanumerics.
+TEST(MetricsJsonTest, HostileQueryNamesExportValidJson) {
+  EngineOptions options;
+  Engine engine(&SmallDb(), options);
+  Result<QueryResult> result = engine.Execute(queries::Q6());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  for (const char* name :
+       {"q \"quoted\"", "back\\slash", "tab\there", "new\nline",
+        "ctrl\x01\x1f chars", "}{\",\":[]"}) {
+    SCOPED_TRACE(name);
+    MetricsJsonEntry entry;
+    entry.query = name;
+    entry.mode = "GPL\"\\\n";  // mode/device are strings on the same path
+    entry.device = "amd\x02";
+    entry.metrics = result->metrics;
+    std::string error;
+    EXPECT_TRUE(trace::ValidateJson(QueryMetricsToJson(entry), &error))
+        << error;
+    EXPECT_TRUE(trace::ValidateJson(MetricsReportToJson({entry, entry}),
+                                    &error))
+        << error;
+  }
+}
+
+TEST(ServiceTraceTest, HostileQueryNamesExportValidJson) {
+  service::ServiceOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = 16;
+  // A couple of retry attempts so the "(attempt k/n)" span path is also
+  // exercised with hostile names.
+  options.fault.kernel_abort_rate = 0.2;
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff_ms = 0.01;
+  service::QueryService service(&SmallDb(), options);
+
+  const std::vector<std::string> names = {
+      "q \"quoted\"", "back\\slash", "tab\there", "new\nline",
+      "ctrl\x01\x1f chars", "}{\",\":[]"};
+  std::vector<service::QueryHandle> handles;
+  for (const std::string& name : names) {
+    Result<service::QueryHandle> submitted =
+        service.Submit(name, queries::Q6());
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    handles.push_back(submitted.take());
+  }
+  // One rejected submission so the admission-instant path sees a hostile
+  // name too.
+  service.Pause();
+  for (size_t i = 0; i < options.queue_capacity + names.size() + 1; ++i) {
+    Result<service::QueryHandle> extra =
+        service.Submit("overflow \"\\\n", queries::Q6());
+    if (!extra.ok()) break;
+    handles.push_back(extra.take());
+  }
+  service.Resume();
+  for (service::QueryHandle& handle : handles) handle.Await();
+  service.Shutdown();
+
+  trace::TraceCollector collector;
+  service.ExportTrace(&collector);
+  ASSERT_FALSE(collector.spans().empty());
+  const std::string json = collector.ToChromeJson();
+  std::string error;
+  EXPECT_TRUE(trace::ValidateJson(json, &error)) << error;
+  // The escaped form of a hostile name survives into the document.
+  EXPECT_NE(json.find(trace::JsonEscape("q \"quoted\"")), std::string::npos);
+  EXPECT_NE(json.find(trace::JsonEscape("new\nline")), std::string::npos);
 }
 
 // ---- KBE path also traces ----
