@@ -1,0 +1,270 @@
+/// Shard scaling: simulated elapsed time of the five evaluation queries as
+/// the fact table is partitioned across 1/2/4/8 simulated devices. Not a
+/// paper figure — the paper executes on one GPU — but the natural scale-out
+/// question for its engine: how far does data-parallel sharding carry each
+/// query before exchange and the serial merge dominate?
+///
+/// Per (shards, query): simulated elapsed, speedup vs single device,
+/// exchange bytes/ms (dimension broadcast + partial shuffle over the link),
+/// merge ms, mean device utilization, and whether the sharded result is
+/// bit-identical to the single-device table. JSONL rows go to --out
+/// (default BENCH_shard_scaling.json).
+///
+/// --quick runs shard counts {1, 2, 4} only and turns the bench into a
+/// smoke gate for scripts/check.sh: exit 1 if any sharded result is not
+/// bit-identical to single-device, if any query's speedup degrades going
+/// 1 -> 2 -> 4 shards (small tolerance for exchange jitter), or if no query
+/// reaches 1.5x at 4 shards.
+///
+/// Flags: --device=<list> uses a mixed group when given several names
+/// (shard counts then sweep only sizes equal to the list length);
+/// --link-gbps=<G> overrides the link bandwidth; --partition=hash|range
+/// picks the partitioning scheme.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "shard/device_group.h"
+#include "shard/partitioner.h"
+#include "shard/sharded_executor.h"
+
+namespace {
+
+using namespace gpl;
+
+bool TablesBitIdentical(const Table& expected, const Table& actual) {
+  if (expected.num_columns() != actual.num_columns() ||
+      expected.num_rows() != actual.num_rows()) {
+    return false;
+  }
+  for (int64_t i = 0; i < expected.num_columns(); ++i) {
+    if (expected.ColumnNameAt(i) != actual.ColumnNameAt(i)) return false;
+    const Column& e = expected.ColumnAt(i);
+    const Column& a = actual.ColumnAt(i);
+    if (e.type() != a.type()) return false;
+    if (e.data32() != a.data32() || e.data64() != a.data64() ||
+        e.dataf() != a.dataf()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_shard_scaling.json";
+  bool quick = false;
+  std::vector<sim::DeviceSpec> devices = {sim::DeviceSpec::AmdA10()};
+  double link_gbps = 0.0;
+  shard::PartitionScheme scheme = shard::PartitionScheme::kHash;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--out=", 6) == 0) {
+      out = arg + 6;
+    } else if (std::strcmp(arg, "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(arg, "--device=", 9) == 0) {
+      Result<std::vector<sim::DeviceSpec>> parsed = ParseDeviceList(arg + 9);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+        return 2;
+      }
+      devices = parsed.take();
+    } else if (std::strncmp(arg, "--link-gbps=", 12) == 0) {
+      link_gbps = std::atof(arg + 12);
+    } else if (std::strncmp(arg, "--partition=", 12) == 0) {
+      Result<shard::PartitionScheme> parsed =
+          shard::ParsePartitionScheme(arg + 12);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+        return 2;
+      }
+      scheme = parsed.take();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--out=results.jsonl] [--device=amd,nvidia,...] "
+                   "[--link-gbps=G] [--partition=hash|range] [--quick]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  // Sharding pays off only once data volume dominates fixed launch
+  // overhead, so this bench defaults to a larger SF than the others.
+  const double sf = benchutil::ScaleFactor(0.1);
+  const tpch::Database& db = benchutil::Db(sf);
+  sim::LinkSpec link;
+  if (link_gbps > 0.0) link.gbytes_per_sec = link_gbps;
+  benchutil::Banner(
+      "Shard scaling",
+      ("simulated elapsed vs shard count, bit-identical results (" +
+       devices.front().name + (devices.size() > 1 ? " + mixed" : "") + ", " +
+       std::string(shard::PartitionSchemeName(scheme)) + " partitioning)")
+          .c_str(),
+      sf);
+
+  // One calibration per distinct device, shared by the baseline engine and
+  // every sharded executor (the table is immutable and device-dependent).
+  std::map<std::string, model::CalibrationTable> calibrations;
+  for (const sim::DeviceSpec& spec : devices) {
+    if (calibrations.count(spec.name) == 0) {
+      calibrations.emplace(spec.name,
+                           model::CalibrationTable::Run(sim::Simulator(spec)));
+    }
+  }
+
+  std::vector<std::pair<std::string, LogicalQuery>> workload;
+  for (auto& [name, query] : queries::EvaluationSuite()) {
+    if (name == "Q5" || name == "Q7" || name == "Q8" || name == "Q9" ||
+        name == "Q14") {
+      workload.emplace_back(name, query);
+    }
+  }
+  GPL_CHECK(workload.size() == 5);
+
+  // Single-device truth and speedup baseline.
+  EngineOptions single_options;
+  single_options.mode = EngineMode::kGpl;
+  single_options.device = devices.front();
+  single_options.calibration = &calibrations.at(devices.front().name);
+  Engine single(&db, single_options);
+  std::vector<QueryResult> truth;
+  for (auto& [name, query] : workload) {
+    Result<QueryResult> result = single.Execute(query);
+    GPL_CHECK(result.ok()) << name << ": " << result.status().ToString();
+    truth.push_back(result.take());
+  }
+
+  // A multi-device --device= list defines the group outright; otherwise
+  // sweep homogeneous groups of the requested shard counts.
+  std::vector<int> shard_counts;
+  if (devices.size() > 1) {
+    shard_counts = {static_cast<int>(devices.size())};
+  } else {
+    shard_counts = quick ? std::vector<int>{1, 2, 4}
+                         : std::vector<int>{1, 2, 4, 8};
+  }
+
+  benchutil::JsonlWriter jsonl(out);
+  std::printf("%7s %6s %13s %9s %14s %11s %7s %7s\n", "shards", "query",
+              "elapsed (ms)", "speedup", "exchange (KB)", "merge (ms)",
+              "util", "bit-id");
+
+  // speedups[query][shard count] for the monotonicity gate.
+  std::map<std::string, std::map<int, double>> speedups;
+  bool all_bit_identical = true;
+
+  for (int n : shard_counts) {
+    shard::PartitionOptions poptions;
+    poptions.num_shards = n;
+    poptions.scheme = scheme;
+    Result<shard::ShardedDatabase> sharded = PartitionDatabase(db, poptions);
+    GPL_CHECK(sharded.ok()) << sharded.status().ToString();
+
+    shard::DeviceGroup group;
+    group.link = link;
+    if (devices.size() > 1) {
+      group.devices = devices;
+    } else {
+      group = shard::DeviceGroup::Homogeneous(devices.front(), n, link);
+    }
+    EngineOptions options;
+    options.mode = EngineMode::kGpl;
+    shard::ShardedExecutor executor(&db, &*sharded, group, options,
+                                    &calibrations);
+
+    for (size_t q = 0; q < workload.size(); ++q) {
+      const auto& [name, query] = workload[q];
+      Result<QueryResult> result = executor.Execute(query);
+      GPL_CHECK(result.ok()) << name << " x" << n << ": "
+                             << result.status().ToString();
+      const QueryMetrics& m = result->metrics;
+
+      const bool bit_identical =
+          TablesBitIdentical(truth[q].table, result->table);
+      all_bit_identical = all_bit_identical && bit_identical;
+      const double speedup =
+          m.elapsed_ms > 0.0 ? truth[q].metrics.elapsed_ms / m.elapsed_ms
+                             : 0.0;
+      speedups[name][n] = speedup;
+      double mean_util = 0.0;
+      for (double u : m.device_utilization) mean_util += u;
+      if (!m.device_utilization.empty()) {
+        mean_util /= static_cast<double>(m.device_utilization.size());
+      }
+
+      std::printf("%7d %6s %13.3f %8.2fx %14.1f %11.4f %6.0f%% %7s\n", n,
+                  name.c_str(), m.elapsed_ms, speedup,
+                  static_cast<double>(m.exchange_bytes) / 1024.0, m.merge_ms,
+                  mean_util * 100.0, bit_identical ? "yes" : "NO");
+
+      std::ostringstream row;
+      row.precision(6);
+      row << "{\"bench\":\"shard_scaling\",\"group\":\"" << group.ToString()
+          << "\",\"partition\":\"" << shard::PartitionSchemeName(scheme)
+          << "\",\"query\":\"" << name << "\",\"shards\":" << n
+          << ",\"elapsed_ms\":" << m.elapsed_ms
+          << ",\"single_device_ms\":" << truth[q].metrics.elapsed_ms
+          << ",\"speedup\":" << speedup
+          << ",\"broadcast_bytes\":" << m.broadcast_bytes
+          << ",\"shuffle_bytes\":" << m.shuffle_bytes
+          << ",\"exchange_ms\":" << m.exchange_ms
+          << ",\"merge_ms\":" << m.merge_ms
+          << ",\"mean_utilization\":" << mean_util
+          << ",\"bit_identical\":" << (bit_identical ? "true" : "false")
+          << "}";
+      jsonl.Line(row.str());
+    }
+    std::printf("\n");
+  }
+
+  if (jsonl.enabled()) std::printf("results written to %s\n", out.c_str());
+  std::printf("(elapsed = max over devices + serialized exchange + serial "
+              "merge on device 0)\n");
+
+  if (quick && devices.size() == 1) {
+    int failures = 0;
+    if (!all_bit_identical) {
+      std::fprintf(
+          stderr,
+          "FAIL: sharded results are not bit-identical to single device\n");
+      failures++;
+    }
+    // Adding devices must not slow a query down: going 1 -> 2 -> 4 shards,
+    // speedup may only grow (small tolerance for exchange cost on
+    // nearly-flat queries). The 1-shard point itself sits below 1.0 — that
+    // is the honest price of the merge replay — so the gate compares
+    // consecutive shard counts, not the single-device baseline.
+    constexpr double kTolerance = 0.05;
+    double best_at_4 = 0.0;
+    for (const auto& [name, by_count] : speedups) {
+      double previous = 0.0;
+      for (const auto& [n, speedup] : by_count) {
+        if (speedup + kTolerance < previous) {
+          std::fprintf(stderr,
+                       "FAIL: %s speedup degrades at %d shards (%.2fx after "
+                       "%.2fx)\n",
+                       name.c_str(), n, speedup, previous);
+          failures++;
+        }
+        previous = speedup;
+        if (n == 4 && speedup > best_at_4) best_at_4 = speedup;
+      }
+    }
+    if (best_at_4 < 1.5) {
+      std::fprintf(stderr,
+                   "FAIL: no query reaches 1.5x at 4 shards (best %.2fx)\n",
+                   best_at_4);
+      failures++;
+    }
+    return failures == 0 ? 0 : 1;
+  }
+  return 0;
+}

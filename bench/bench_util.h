@@ -52,6 +52,20 @@ inline int& PinnedHostThreads() {
   return threads;
 }
 
+/// Shard count pinned by `--shards=N` (0 = unset). Carried into
+/// ExecOptions::shards by Run() as a routing hint; shard-aware benches read
+/// it directly.
+inline int& PinnedShards() {
+  static int shards = 0;
+  return shards;
+}
+
+/// Link bandwidth override pinned by `--link-gbps=G` (0 = link default).
+inline double& PinnedLinkGbps() {
+  static double gbps = 0.0;
+  return gbps;
+}
+
 /// Executes a query under a mode; aborts on failure (benches are harnesses).
 inline QueryResult Run(const tpch::Database& db, EngineMode mode,
                        const LogicalQuery& query,
@@ -64,6 +78,8 @@ inline QueryResult Run(const tpch::Database& db, EngineMode mode,
   options.exec.overrides = overrides;
   options.exec.use_cost_model = use_cost_model;
   options.exec.host_threads = PinnedHostThreads();
+  if (PinnedShards() > 0) options.exec.shards = PinnedShards();
+  options.exec.link_gbps = PinnedLinkGbps();
   Engine engine(&db, options);
   Result<QueryResult> result = engine.Execute(query);
   GPL_CHECK(result.ok()) << query.name << " under " << EngineModeName(mode)
@@ -133,12 +149,17 @@ inline std::string ParseOutPath(int argc, char** argv) {
 }
 
 /// Common bench flags for device-parameterized benches: `--out=<path>` plus
-/// `--device=<amd|nvidia>` (through the library's ParseDeviceSpec rather
-/// than a per-bench hand-rolled name switch) and `--host-threads=<N>`.
+/// `--device=<amd|nvidia>[,<amd|nvidia>...]` (through the library's
+/// ParseDeviceList rather than a per-bench hand-rolled name switch),
+/// `--host-threads=<N>`, and the sharding knobs `--shards=<N>` /
+/// `--link-gbps=<G>` (mirrored into ExecOptions by Run()).
 struct BenchArgs {
   std::string out;
-  sim::DeviceSpec device;
+  sim::DeviceSpec device;  ///< first device of the list (single-device benches)
+  std::vector<sim::DeviceSpec> devices;  ///< the full --device= list
   int host_threads = 0;  ///< 0 = hardware concurrency (mirrors ExecOptions)
+  int shards = 0;        ///< 0 = bench default
+  double link_gbps = 0.0;  ///< 0 = LinkSpec default
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv,
@@ -150,19 +171,26 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv,
     if (std::strncmp(arg, "--out=", 6) == 0) {
       args.out = arg + 6;
     } else if (std::strncmp(arg, "--device=", 9) == 0) {
-      Result<sim::DeviceSpec> device = ParseDeviceSpec(arg + 9);
-      if (!device.ok()) {
-        std::fprintf(stderr, "%s\n", device.status().ToString().c_str());
+      Result<std::vector<sim::DeviceSpec>> devices = ParseDeviceList(arg + 9);
+      if (!devices.ok()) {
+        std::fprintf(stderr, "%s\n", devices.status().ToString().c_str());
         std::exit(2);
       }
-      args.device = device.take();
+      args.devices = devices.take();
+      args.device = args.devices.front();
     } else if (std::strncmp(arg, "--host-threads=", 15) == 0) {
       args.host_threads = std::atoi(arg + 15);
       PinnedHostThreads() = args.host_threads;
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      args.shards = std::atoi(arg + 9);
+      PinnedShards() = args.shards;
+    } else if (std::strncmp(arg, "--link-gbps=", 12) == 0) {
+      args.link_gbps = std::atof(arg + 12);
+      PinnedLinkGbps() = args.link_gbps;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--out=results.jsonl] [--device=amd|nvidia] "
-                   "[--host-threads=N]\n",
+                   "usage: %s [--out=results.jsonl] [--device=amd|nvidia,...] "
+                   "[--host-threads=N] [--shards=N] [--link-gbps=G]\n",
                    argv[0]);
       std::exit(2);
     }

@@ -10,7 +10,10 @@
 /// Flags:
 ///   --query=<Q1|Q3|Q5|Q6|Q7|Q8|Q9|Q10|Q12|Q14|Q19|all|extended|example>
 ///   --mode=<gpl|kbe|noce|ocelot>      execution strategy (default gpl)
-///   --device=<amd|nvidia>             simulated device (default amd)
+///   --device=<amd|nvidia|list>        simulated device (default amd); a
+///                                     comma-separated list ("amd,amd,nvidia")
+///                                     defines a multi-device group for
+///                                     sharded execution
 ///   --sf=<float>                      TPC-H scale factor (default 0.05)
 ///   --seed=<int>                      dbgen seed
 ///   --tile=<KB>                       pin the tile size (disables tuning)
@@ -32,6 +35,20 @@
 ///                                     simulated timing are identical at any N
 ///   --no-tuning-cache                 disable TuneSegment memoization (the
 ///                                     grid search reruns for every segment)
+///
+/// Sharded execution (shard::ShardedExecutor over a simulated device group):
+///   --shards=<N>                      partition the fact table N ways and run
+///                                     each shard on its own simulated device;
+///                                     results stay bit-identical to N=1. With
+///                                     a multi-device --device list, N must
+///                                     match the list length (or be omitted)
+///   --partition=<hash|range>          fact-table partitioning scheme
+///                                     (default hash: lineitem+orders
+///                                     co-partitioned by orderkey)
+///   --link-gbps=<G>                   inter-device link bandwidth override in
+///                                     GB/s (default 16, PCIe 3.0-class)
+///   With --explain, sharded runs also print the exchange plan (broadcast vs
+///   co-partitioned per table, modeled bytes and link time).
 ///
 /// Serve mode (concurrent multi-query execution via service::QueryService):
 ///   --serve-workers=<N>               run N worker engines concurrently; the
@@ -64,6 +81,8 @@
 #include <cstring>
 #include <deque>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -74,6 +93,7 @@
 #include "queries/tpch_queries.h"
 #include "ref/reference_executor.h"
 #include "service/query_service.h"
+#include "shard/sharded_executor.h"
 #include "tpch/tbl_io.h"
 #include "trace/trace.h"
 
@@ -100,6 +120,11 @@ struct CliOptions {
   std::string tbl_dir;
   std::string trace_path;
   std::string metrics_json_path;
+
+  // Sharded execution.
+  int shards = 1;                 ///< 1 = single-device mode
+  std::string partition = "hash";
+  double link_gbps = 0.0;         ///< 0 = LinkSpec default
 
   // Serve mode.
   int serve_workers = 0;  ///< 0 = single-query mode
@@ -138,6 +163,8 @@ int Usage(const char* argv0) {
                "          [--trace=FILE.json] [--metrics-json=FILE.json] "
                "[--breakdown]\n"
                "          [--host-threads=N] [--no-tuning-cache]\n"
+               "          [--shards=N] [--partition=hash|range] "
+               "[--link-gbps=G]\n"
                "          [--serve-workers=N [--serve-queries=M] "
                "[--serve-queue=C] [--timeout-ms=T]\n"
                "           [--fault-rate=P] [--fault-seed=N] "
@@ -168,7 +195,8 @@ Result<std::vector<std::pair<std::string, LogicalQuery>>> SelectWorkload(
   return workload;
 }
 
-int RunQuery(Engine& engine, const tpch::Database& db, const CliOptions& cli,
+int RunQuery(Engine& engine, shard::ShardedExecutor* sharded,
+             const tpch::Database& db, const CliOptions& cli,
              const std::string& name, const LogicalQuery& query,
              RunState* state) {
   if (cli.explain) {
@@ -179,10 +207,29 @@ int RunQuery(Engine& engine, const tpch::Database& db, const CliOptions& cli,
       return 1;
     }
     std::printf("=== %s ===\n%s\n", name.c_str(), PlanToString(**plan).c_str());
+    if (sharded != nullptr) {
+      Result<model::ExchangePlan> exchange = sharded->ExplainExchange(query);
+      if (!exchange.ok()) {
+        std::fprintf(stderr, "exchange planning failed: %s\n",
+                     exchange.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("exchange plan (%d shards over %s):\n", sharded->num_shards(),
+                  sharded->link().spec().name.c_str());
+      for (const model::ExchangeDecision& d : exchange->decisions) {
+        std::printf("  %-10s %-14s %10lld bytes  %.4f ms\n", d.table.c_str(),
+                    model::ExchangeStrategyName(d.strategy),
+                    static_cast<long long>(d.bytes), d.ms);
+      }
+      std::printf("  total: %lld bytes, %.4f ms\n\n",
+                  static_cast<long long>(exchange->total_bytes),
+                  exchange->total_ms);
+    }
     return 0;
   }
 
-  Result<QueryResult> result = engine.Execute(query);
+  Result<QueryResult> result =
+      sharded != nullptr ? sharded->Execute(query) : engine.Execute(query);
   if (!result.ok()) {
     std::fprintf(stderr, "%s failed: %s\n", name.c_str(),
                  result.status().ToString().c_str());
@@ -190,15 +237,17 @@ int RunQuery(Engine& engine, const tpch::Database& db, const CliOptions& cli,
   }
   const QueryMetrics& m = result->metrics;
   state->total_elapsed_ms += m.elapsed_ms;
+  const std::string device_label = sharded != nullptr
+                                       ? sharded->group().ToString()
+                                       : engine.options().device.name;
   MetricsJsonEntry entry;
   entry.query = name;
   entry.mode = EngineModeName(engine.options().mode);
-  entry.device = engine.options().device.name;
+  entry.device = device_label;
   entry.metrics = m;
   state->metrics.push_back(std::move(entry));
   std::printf("=== %s (%s, %s) ===\n", name.c_str(),
-              EngineModeName(engine.options().mode),
-              engine.options().device.name.c_str());
+              EngineModeName(engine.options().mode), device_label.c_str());
   std::printf("%s", result->table.ToString(cli.rows).c_str());
   std::string predicted;
   if (m.predicted_ms > 0) {
@@ -212,6 +261,17 @@ int RunQuery(Engine& engine, const tpch::Database& db, const CliOptions& cli,
       "MemUnit %.1f%%, cache-hit %.1f%%\n",
       m.elapsed_ms, predicted.c_str(), m.OptimizeWallMs(), 100.0 * m.valu_busy,
       100.0 * m.mem_unit_busy, 100.0 * m.cache_hit_ratio);
+  if (m.num_shards > 0) {
+    std::printf("sharded x%lld: exchange %.4f ms (%lld bytes), merge %.4f ms, "
+                "device utilization [",
+                static_cast<long long>(m.num_shards), m.exchange_ms,
+                static_cast<long long>(m.exchange_bytes), m.merge_ms);
+    for (size_t i = 0; i < m.device_utilization.size(); ++i) {
+      std::printf("%s%.0f%%", i > 0 ? " " : "",
+                  100.0 * m.device_utilization[i]);
+    }
+    std::printf("]\n");
+  }
 
   if (cli.verify) {
     Result<PhysicalOpPtr> plan = engine.Plan(query);
@@ -237,7 +297,9 @@ int RunQuery(Engine& engine, const tpch::Database& db, const CliOptions& cli,
 /// submission, the driver drains the oldest in-flight query and retries —
 /// the closed loop keeps the service saturated without overrunning it.
 int RunServe(const tpch::Database& db, const CliOptions& cli,
-             const EngineOptions& engine_options) {
+             const EngineOptions& engine_options,
+             const std::vector<sim::DeviceSpec>& devices,
+             const sim::LinkSpec& link, shard::PartitionScheme scheme) {
   Result<std::vector<std::pair<std::string, LogicalQuery>>> workload_or =
       SelectWorkload(cli.query);
   if (!workload_or.ok()) {
@@ -258,12 +320,21 @@ int RunServe(const tpch::Database& db, const CliOptions& cli,
     sopts.fault.channel_alloc_fail_rate = cli.fault_rate;
   }
   sopts.retry.max_attempts = cli.max_retries + 1;
+  if (cli.shards > 1) {
+    sopts.num_shards = cli.shards;
+    sopts.partition_scheme = scheme;
+    if (devices.size() > 1) sopts.devices = devices;
+    sopts.link = link;
+  }
 
   std::printf("serving %d queries (%s mix) on %d workers, queue capacity %d"
-              "%s...\n",
+              "%s%s...\n",
               cli.serve_queries, cli.query.c_str(), sopts.num_workers,
               cli.serve_queue,
-              cli.timeout_ms > 0 ? ", per-query deadline" : "");
+              cli.timeout_ms > 0 ? ", per-query deadline" : "",
+              cli.shards > 1 ? (", " + std::to_string(cli.shards) +
+                                "-way sharded").c_str()
+                             : "");
   if (cli.fault_rate > 0.0) {
     std::printf("fault injection: rate %.4f, seed %llu, max retries %d\n",
                 cli.fault_rate,
@@ -367,6 +438,12 @@ int main(int argc, char** argv) {
       cli.trace_path = value;
     } else if (ParseFlag(argv[i], "metrics-json", &value)) {
       cli.metrics_json_path = value;
+    } else if (ParseFlag(argv[i], "shards", &value)) {
+      cli.shards = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "partition", &value)) {
+      cli.partition = value;
+    } else if (ParseFlag(argv[i], "link-gbps", &value)) {
+      cli.link_gbps = std::atof(value.c_str());
     } else if (ParseFlag(argv[i], "serve-workers", &value)) {
       cli.serve_workers = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "serve-queries", &value)) {
@@ -449,6 +526,7 @@ int main(int argc, char** argv) {
 
   // ---- Engine ----
   EngineOptions options;
+  std::vector<sim::DeviceSpec> devices;
   {
     Result<EngineMode> mode = ParseEngineMode(cli.mode);
     if (!mode.ok()) {
@@ -456,13 +534,42 @@ int main(int argc, char** argv) {
       return Usage(argv[0]);
     }
     options.mode = *mode;
-    Result<sim::DeviceSpec> device = ParseDeviceSpec(cli.device);
-    if (!device.ok()) {
-      std::fprintf(stderr, "%s\n", device.status().ToString().c_str());
+    Result<std::vector<sim::DeviceSpec>> parsed = ParseDeviceList(cli.device);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
       return Usage(argv[0]);
     }
-    options.device = device.take();
+    devices = parsed.take();
+    options.device = devices.front();
   }
+  // A multi-device --device list defines the shard group; an explicit
+  // --shards must agree with it, and with a single device it sizes a
+  // homogeneous group.
+  if (cli.shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    return 2;
+  }
+  if (devices.size() > 1) {
+    if (cli.shards != 1 && cli.shards != static_cast<int>(devices.size())) {
+      std::fprintf(stderr,
+                   "--shards=%d conflicts with a %zu-device --device list\n",
+                   cli.shards, devices.size());
+      return 2;
+    }
+    cli.shards = static_cast<int>(devices.size());
+  }
+  Result<shard::PartitionScheme> scheme_or =
+      shard::ParsePartitionScheme(cli.partition);
+  if (!scheme_or.ok()) {
+    std::fprintf(stderr, "%s\n", scheme_or.status().ToString().c_str());
+    return Usage(argv[0]);
+  }
+  if (cli.link_gbps < 0.0) {
+    std::fprintf(stderr, "--link-gbps must be positive\n");
+    return 2;
+  }
+  sim::LinkSpec link;
+  if (cli.link_gbps > 0.0) link.gbytes_per_sec = cli.link_gbps;
   if (cli.tile_kb > 0) {
     options.exec.use_cost_model = false;
     options.exec.overrides.tile_bytes = cli.tile_kb * 1024;
@@ -474,10 +581,12 @@ int main(int argc, char** argv) {
   options.partitioned_joins = cli.partitioned;
   options.exec.host_threads = cli.host_threads;
   options.exec.use_tuning_cache = !cli.no_tuning_cache;
+  options.exec.shards = cli.shards;
+  options.exec.link_gbps = cli.link_gbps;
 
   // ---- Serve mode ----
   if (cli.serve_workers > 0) {
-    return RunServe(db, cli, options);
+    return RunServe(db, cli, options, devices, link, *scheme_or);
   }
 
   // ---- Tracing / profiling ----
@@ -491,15 +600,45 @@ int main(int argc, char** argv) {
   }
   Engine engine(&db, options);
 
+  // ---- Sharded execution ----
+  std::optional<shard::ShardedDatabase> sharded_db;
+  std::unique_ptr<shard::ShardedExecutor> sharded;
+  if (cli.shards > 1) {
+    shard::PartitionOptions popts;
+    popts.num_shards = cli.shards;
+    popts.scheme = *scheme_or;
+    Result<shard::ShardedDatabase> partitioned =
+        shard::PartitionDatabase(db, popts);
+    if (!partitioned.ok()) {
+      std::fprintf(stderr, "partitioning failed: %s\n",
+                   partitioned.status().ToString().c_str());
+      return 1;
+    }
+    sharded_db.emplace(partitioned.take());
+    shard::DeviceGroup group;
+    if (devices.size() > 1) {
+      group.devices = devices;
+      group.link = link;
+    } else {
+      group = shard::DeviceGroup::Homogeneous(options.device, cli.shards, link);
+    }
+    std::printf("sharded execution: %d shards (%s partitioning) on %s\n",
+                cli.shards, shard::PartitionSchemeName(popts.scheme),
+                group.ToString().c_str());
+    sharded = std::make_unique<shard::ShardedExecutor>(&db, &*sharded_db,
+                                                       std::move(group),
+                                                       options);
+  }
+
   // ---- Queries ----
   int failures = 0;
   if (cli.query == "all") {
     for (auto& [name, q] : queries::EvaluationSuite()) {
-      failures += RunQuery(engine, db, cli, name, q, &state);
+      failures += RunQuery(engine, sharded.get(), db, cli, name, q, &state);
     }
   } else if (cli.query == "extended") {
     for (auto& [name, q] : queries::ExtendedSuite()) {
-      failures += RunQuery(engine, db, cli, name, q, &state);
+      failures += RunQuery(engine, sharded.get(), db, cli, name, q, &state);
     }
   } else {
     Result<LogicalQuery> q = FindQuery(cli.query);
@@ -507,7 +646,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", q.status().ToString().c_str());
       return 2;
     }
-    failures += RunQuery(engine, db, cli, cli.query, *q, &state);
+    failures += RunQuery(engine, sharded.get(), db, cli, cli.query, *q, &state);
   }
 
   // ---- Reports ----

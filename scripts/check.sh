@@ -28,17 +28,18 @@ echo
 echo "=== tsan: concurrency tests under ThreadSanitizer ==="
 # The concurrent binaries only (the rest of the suite is single-threaded and
 # already covered above): the QueryService worker pool, the work-stealing
-# ThreadPool/ParallelFor, the shared TuningCache, and the morsel-parallel
-# engine paths at host_threads > 1.
+# ThreadPool/ParallelFor, the shared TuningCache, the morsel-parallel
+# engine paths at host_threads > 1, and the sharded service (workers sharing
+# one ShardedDatabase and per-device calibration map).
 cmake -B "$BUILD-tsan" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$BUILD-tsan" -j \
   --target service_test --target thread_pool_test --target host_parallel_test \
-  --target fault_test
+  --target fault_test --target shard_test
 ctest --test-dir "$BUILD-tsan" --output-on-failure \
-  -R "QueryService|ThreadPool|TuningCache|HostParallel|ServiceChaos"
+  -R "QueryService|ThreadPool|TuningCache|HostParallel|ServiceChaos|ShardedService"
 
 echo
 echo "=== asan+ubsan: fault-injection and service suites ==="
@@ -76,11 +77,20 @@ trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$HOST_SCALING_OUT"' EXIT
 "$BUILD/bench/bench_host_scaling" --quick --out="$HOST_SCALING_OUT"
 
 echo
+echo "=== shard smoke: shard-scaling bench, bit-identity + speedup gates ==="
+# --quick exits non-zero if any sharded result differs by a single bit from
+# the single-device run, if a query's speedup degrades going 1 -> 2 -> 4
+# shards, or if no query reaches 1.5x at 4 shards.
+SHARD_SCALING_OUT="$(mktemp /tmp/gpl_check_shard_scaling.XXXXXX.jsonl)"
+trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$HOST_SCALING_OUT" "$SHARD_SCALING_OUT"' EXIT
+"$BUILD/bench/bench_shard_scaling" --quick --out="$SHARD_SCALING_OUT"
+
+echo
 echo "=== fault smoke: availability bench, completion-rate gates ==="
 # --quick exits non-zero if the fault-free run completes < 100% or if the
 # retry policy fails to push completion above 90% at fault rate 0.01.
 FAULT_OUT="$(mktemp /tmp/gpl_check_fault.XXXXXX.jsonl)"
-trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$HOST_SCALING_OUT" "$FAULT_OUT"' EXIT
+trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$HOST_SCALING_OUT" "$SHARD_SCALING_OUT" "$FAULT_OUT"' EXIT
 "$BUILD/bench/bench_fault_availability" --quick --out="$FAULT_OUT"
 
 echo

@@ -38,6 +38,27 @@ Result<sim::DeviceSpec> ParseDeviceSpec(std::string_view name) {
                                  "' (want amd|nvidia)");
 }
 
+Result<std::vector<sim::DeviceSpec>> ParseDeviceList(std::string_view csv) {
+  std::vector<sim::DeviceSpec> devices;
+  size_t begin = 0;
+  while (begin <= csv.size()) {
+    const size_t comma = csv.find(',', begin);
+    const std::string_view token =
+        csv.substr(begin, comma == std::string_view::npos ? std::string_view::npos
+                                                          : comma - begin);
+    if (token.empty()) {
+      return Status::InvalidArgument(
+          "empty device name in list: '" + std::string(csv) +
+          "' (want comma-separated amd|nvidia)");
+    }
+    GPL_ASSIGN_OR_RETURN(sim::DeviceSpec spec, ParseDeviceSpec(token));
+    devices.push_back(std::move(spec));
+    if (comma == std::string_view::npos) break;
+    begin = comma + 1;
+  }
+  return devices;
+}
+
 Engine::Engine(const tpch::Database* db, EngineOptions options)
     : db_(db),
       options_(std::move(options)),

@@ -39,6 +39,12 @@ Result<EngineMode> ParseEngineMode(std::string_view name);
 /// preset (Table 1).
 Result<sim::DeviceSpec> ParseDeviceSpec(std::string_view name);
 
+/// Parses a comma-separated device list ("amd", "amd,amd,nvidia", ...) as
+/// accepted by the CLI/bench --device flag; each element goes through
+/// ParseDeviceSpec, and empty elements or an empty list are errors. A
+/// multi-element list defines a (possibly mixed) shard::DeviceGroup.
+Result<std::vector<sim::DeviceSpec>> ParseDeviceList(std::string_view csv);
+
 struct EngineOptions {
   sim::DeviceSpec device = sim::DeviceSpec::AmdA10();
   EngineMode mode = EngineMode::kGpl;

@@ -74,6 +74,15 @@ struct ExecOptions {
   /// the choice a fresh search would — simulated timing never changes.
   /// Disable (--no-tuning-cache) to re-run the grid search every segment.
   bool use_tuning_cache = true;
+
+  /// Sharded-execution routing (--shards / --link-gbps). Carried here so
+  /// the CLI, benches and the service share one flag shape; > 1 routes the
+  /// query through shard::ShardedExecutor over a device group of this size.
+  /// The single-device Engine ignores both fields.
+  int shards = 1;
+  /// Link bandwidth override in GB/s for the group's interconnect;
+  /// 0 keeps the sim::LinkSpec default (PCIe 3.0-class, 16 GB/s).
+  double link_gbps = 0.0;
 };
 
 }  // namespace gpl

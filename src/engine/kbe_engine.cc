@@ -31,6 +31,7 @@ Result<Table> KbeEngine::Exec(const PhysicalOp& op, Context* ctx) {
   // Operator-boundary cancellation check (the KBE analogue of the GPL
   // executor's segment-boundary check).
   if (ctx->cancel != nullptr) GPL_RETURN_NOT_OK(ctx->cancel->Check());
+  if (&op == ctx->substitute_at) return std::move(ctx->substitute);
   switch (op.kind) {
     case PhysicalOp::Kind::kScan: {
       const Table* base = db_->ByName(op.table);
@@ -210,6 +211,13 @@ Result<Table> KbeEngine::Exec(const PhysicalOp& op, Context* ctx) {
 
 Result<QueryResult> KbeEngine::Execute(const PhysicalOpPtr& plan,
                                        const ExecOptions& exec) {
+  return ExecuteWithInput(plan, nullptr, Table(), exec);
+}
+
+Result<QueryResult> KbeEngine::ExecuteWithInput(const PhysicalOpPtr& plan,
+                                                const PhysicalOp* substitute_at,
+                                                Table substitute,
+                                                const ExecOptions& exec) {
   GPL_CHECK(plan != nullptr);
   // Morsel-parallel primitive bodies for this execution; host-side only, the
   // simulated counters below are unaffected.
@@ -218,6 +226,8 @@ Result<QueryResult> KbeEngine::Execute(const PhysicalOpPtr& plan,
   ctx.trace = exec.trace;
   ctx.cancel = exec.cancel;
   ctx.fault = exec.fault;
+  ctx.substitute_at = substitute_at;
+  ctx.substitute = std::move(substitute);
   GPL_ASSIGN_OR_RETURN(Table out, Exec(*plan, &ctx));
   QueryResult result;
   result.table = std::move(out);

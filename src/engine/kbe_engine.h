@@ -43,6 +43,17 @@ class KbeEngine {
   Result<QueryResult> Execute(const PhysicalOpPtr& plan,
                               const ExecOptions& exec = {});
 
+  /// Executes `plan` with the subtree rooted at `substitute_at` (a node of
+  /// `plan`) resolved to the pre-materialized `substitute` table instead of
+  /// being executed. The table is treated like a base relation already
+  /// resident in global memory — no launch is charged for producing it.
+  /// Used by shard::ShardedExecutor to replay the merge portion of a plan
+  /// over stitched partial results.
+  Result<QueryResult> ExecuteWithInput(const PhysicalOpPtr& plan,
+                                       const PhysicalOp* substitute_at,
+                                       Table substitute,
+                                       const ExecOptions& exec = {});
+
  private:
   struct Context {
     sim::HwCounters counters;
@@ -50,6 +61,11 @@ class KbeEngine {
     trace::TraceCollector* trace = nullptr;
     const CancelToken* cancel = nullptr;
     sim::FaultInjector* fault = nullptr;
+    /// Substitution point (ExecuteWithInput): Exec returns `substitute`
+    /// when it reaches this node. Consumed by move — each node appears once
+    /// in a plan tree.
+    const PhysicalOp* substitute_at = nullptr;
+    Table substitute;
   };
 
   Result<Table> Exec(const PhysicalOp& op, Context* ctx);

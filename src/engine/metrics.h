@@ -55,6 +55,20 @@ struct QueryMetrics {
   /// degrade_on_channel_failure). 0 in fault-free runs.
   int64_t degraded_segments = 0;
 
+  // ---- Sharded execution (shard::ShardedExecutor; zero/empty for
+  // single-device runs). For sharded runs `elapsed_ms` is the parallel
+  // makespan — max over per-device times plus exchange plus the serial
+  // merge — while `counters` sum the work of every device, so the breakdown
+  // fields are rescaled to the makespan. ----
+  int64_t num_shards = 0;          ///< devices in the group (0 = unsharded)
+  int64_t broadcast_bytes = 0;     ///< dimension copies crossing links
+  int64_t shuffle_bytes = 0;       ///< partial results gathered to device 0
+  int64_t exchange_bytes = 0;      ///< broadcast + shuffle
+  double exchange_ms = 0.0;        ///< serialized link time
+  double merge_ms = 0.0;           ///< serial merge on device 0
+  std::vector<double> device_elapsed_ms;   ///< per-device simulated time
+  std::vector<double> device_utilization;  ///< device time / makespan
+
   /// Host wall-clock of the whole optimization step (planning + tuning, the
   /// paper's "<5 ms query optimization" claim).
   double OptimizeWallMs() const { return plan_wall_ms + tune_wall_ms; }

@@ -68,6 +68,32 @@ std::string QueryMetricsToJson(const MetricsJsonEntry& entry) {
   AppendNumber(&out, "cache_hits", c.cache_hits);
   AppendNumber(&out, "cache_accesses", c.cache_accesses);
   AppendNumber(&out, "resident_wg_time", c.resident_wg_time);
+  if (m.num_shards > 0) {
+    // Sharded-execution block, only emitted for ShardedExecutor runs so
+    // single-device JSON stays byte-stable across this change.
+    AppendNumber(&out, "num_shards", static_cast<double>(m.num_shards));
+    AppendNumber(&out, "broadcast_bytes",
+                 static_cast<double>(m.broadcast_bytes));
+    AppendNumber(&out, "shuffle_bytes", static_cast<double>(m.shuffle_bytes));
+    AppendNumber(&out, "exchange_bytes",
+                 static_cast<double>(m.exchange_bytes));
+    AppendNumber(&out, "exchange_ms", m.exchange_ms);
+    AppendNumber(&out, "merge_ms", m.merge_ms);
+    std::string devices = "[";
+    for (size_t i = 0; i < m.device_elapsed_ms.size(); ++i) {
+      if (i > 0) devices += ",";
+      devices += trace::JsonNumber(m.device_elapsed_ms[i]);
+    }
+    devices += "]";
+    AppendField(&out, "device_elapsed_ms", devices, /*quote=*/false);
+    std::string utilization = "[";
+    for (size_t i = 0; i < m.device_utilization.size(); ++i) {
+      if (i > 0) utilization += ",";
+      utilization += trace::JsonNumber(m.device_utilization[i]);
+    }
+    utilization += "]";
+    AppendField(&out, "device_utilization", utilization, /*quote=*/false);
+  }
   out += "}";
   return out;
 }

@@ -1,0 +1,59 @@
+#include "model/exchange_model.h"
+
+namespace gpl {
+namespace model {
+
+const char* ExchangeStrategyName(ExchangeStrategy strategy) {
+  switch (strategy) {
+    case ExchangeStrategy::kCoPartitioned:
+      return "co-partitioned";
+    case ExchangeStrategy::kBroadcast:
+      return "broadcast";
+    case ExchangeStrategy::kRepartition:
+      return "repartition";
+  }
+  return "?";
+}
+
+ExchangePlan PlanExchange(const std::vector<ExchangeInput>& inputs,
+                          const sim::LinkSpec& link, int num_shards,
+                          int64_t fact_bytes) {
+  ExchangePlan plan;
+  plan.decisions.reserve(inputs.size());
+  sim::Link cost(link);
+  const double n = static_cast<double>(num_shards < 1 ? 1 : num_shards);
+
+  for (const ExchangeInput& input : inputs) {
+    ExchangeDecision decision;
+    decision.table = input.table;
+    if (input.co_partitioned || num_shards <= 1) {
+      decision.strategy = ExchangeStrategy::kCoPartitioned;
+      decision.bytes = 0;
+      decision.ms = 0.0;
+    } else {
+      const int64_t broadcast_bytes =
+          input.bytes * static_cast<int64_t>(num_shards - 1);
+      const int64_t repartition_bytes = static_cast<int64_t>(
+          static_cast<double>(input.bytes + fact_bytes) * (n - 1.0) / n);
+      if (broadcast_bytes <= repartition_bytes) {
+        decision.strategy = ExchangeStrategy::kBroadcast;
+        decision.bytes = broadcast_bytes;
+        // One serialized DMA per receiving device (latency paid per copy).
+        decision.ms = static_cast<double>(num_shards - 1) *
+                      cost.TransferMs(input.bytes);
+      } else {
+        decision.strategy = ExchangeStrategy::kRepartition;
+        decision.bytes = repartition_bytes;
+        // Each device ships its outbound fraction; serialized on the link.
+        decision.ms = cost.TransferMs(decision.bytes);
+      }
+    }
+    plan.total_bytes += decision.bytes;
+    plan.total_ms += decision.ms;
+    plan.decisions.push_back(std::move(decision));
+  }
+  return plan;
+}
+
+}  // namespace model
+}  // namespace gpl

@@ -1,0 +1,77 @@
+#ifndef GPL_MODEL_EXCHANGE_MODEL_H_
+#define GPL_MODEL_EXCHANGE_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/link.h"
+
+namespace gpl {
+namespace model {
+
+/// How a build relation reaches the shards of a data-parallel execution.
+enum class ExchangeStrategy {
+  /// Already partitioned on the join key alongside the fact table; the join
+  /// is shard-local and nothing crosses a link at query time.
+  kCoPartitioned,
+  /// Ship one full copy of the relation to every other device.
+  kBroadcast,
+  /// Hash-repartition both sides of the join on the join key. Only cheaper
+  /// than broadcast when the relation is large relative to the fact side.
+  kRepartition,
+};
+
+const char* ExchangeStrategyName(ExchangeStrategy strategy);
+
+/// One relation participating in a sharded query, as seen by the exchange
+/// model. `bytes`/`rows` cover only the columns the query references (what
+/// would actually move).
+struct ExchangeInput {
+  std::string table;
+  int64_t bytes = 0;
+  int64_t rows = 0;
+  /// True when the partitioner co-located this relation with the fact table
+  /// on the join key (e.g. orders hash-partitioned by orderkey).
+  bool co_partitioned = false;
+};
+
+/// The chosen strategy and modeled link cost for one relation.
+struct ExchangeDecision {
+  std::string table;
+  ExchangeStrategy strategy = ExchangeStrategy::kBroadcast;
+  /// Bytes crossing inter-device links under the chosen strategy.
+  int64_t bytes = 0;
+  /// Serialized transfer time over the link (the exchange is charged on the
+  /// source device's DMA engine, so transfers do not overlap).
+  double ms = 0.0;
+};
+
+/// Exchange plan for one query: per-relation decisions plus totals.
+struct ExchangePlan {
+  std::vector<ExchangeDecision> decisions;
+  int64_t total_bytes = 0;
+  double total_ms = 0.0;
+};
+
+/// Chooses broadcast-vs-repartition per build relation and prices the data
+/// movement over `link` for an `num_shards`-way sharded execution.
+///
+/// Cost model (bytes crossing links):
+///   broadcast:    bytes * (N-1)            — every other device gets a copy;
+///   repartition:  (bytes + fact_bytes) * (N-1)/N
+///                 — every row of both sides relocates with probability
+///                 (N-1)/N, and moving the build side alone is useless: the
+///                 fact side must be re-partitioned onto the same key too.
+/// Co-partitioned relations cost nothing at query time. With TPC-H-shaped
+/// data (dimensions much smaller than the fact table) broadcast always wins;
+/// repartition exists for the inverted case of two comparable fact-sized
+/// relations.
+ExchangePlan PlanExchange(const std::vector<ExchangeInput>& inputs,
+                          const sim::LinkSpec& link, int num_shards,
+                          int64_t fact_bytes);
+
+}  // namespace model
+}  // namespace gpl
+
+#endif  // GPL_MODEL_EXCHANGE_MODEL_H_

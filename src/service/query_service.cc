@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "shard/sharded_executor.h"
 #include "trace/trace.h"
 
 namespace gpl {
@@ -59,6 +60,19 @@ std::string ServiceStats::ToString() const {
       << " tuning_cache_misses=" << tuning_cache_misses
       << " retries=" << retries << " degraded=" << degraded
       << " gave_up=" << gave_up;
+  if (!device_busy_ms.empty()) {
+    out << " exchange_bytes=" << exchange_bytes << " device_busy_ms=[";
+    for (size_t i = 0; i < device_busy_ms.size(); ++i) {
+      if (i > 0) out << ",";
+      out << device_busy_ms[i];
+    }
+    out << "] device_queries=[";
+    for (size_t i = 0; i < device_queries.size(); ++i) {
+      if (i > 0) out << ",";
+      out << device_queries[i];
+    }
+    out << "]";
+  }
   return out.str();
 }
 
@@ -126,6 +140,41 @@ QueryService::QueryService(const tpch::Database* db, ServiceOptions options)
   // worker tunes a segment first spares the rest the grid search.
   options_.engine.tuning_cache = &tuning_cache_;
 
+  if (options_.num_shards > 1) {
+    // Partition once; every worker's ShardedExecutor reads the same shards.
+    if (options_.devices.empty()) {
+      group_ = shard::DeviceGroup::Homogeneous(options_.engine.device,
+                                               options_.num_shards,
+                                               options_.link);
+    } else {
+      GPL_CHECK(static_cast<int>(options_.devices.size()) ==
+                options_.num_shards)
+          << "ServiceOptions::devices has " << options_.devices.size()
+          << " entries but num_shards=" << options_.num_shards;
+      group_.devices = options_.devices;
+      group_.link = options_.link;
+    }
+    shard::PartitionOptions partition;
+    partition.num_shards = options_.num_shards;
+    partition.scheme = options_.partition_scheme;
+    Result<shard::ShardedDatabase> sharded =
+        shard::PartitionDatabase(*db_, partition);
+    GPL_CHECK(sharded.ok()) << sharded.status().ToString();
+    sharded_.emplace(sharded.take());
+    // One calibration per distinct device name, shared across workers (the
+    // table is immutable after Run).
+    for (const sim::DeviceSpec& device : group_.devices) {
+      if (shard_calibrations_.count(device.name) == 0) {
+        shard_calibrations_.emplace(
+            device.name,
+            model::CalibrationTable::Run(sim::Simulator(device)));
+      }
+    }
+    stats_.device_busy_ms.assign(static_cast<size_t>(options_.num_shards),
+                                 0.0);
+    stats_.device_queries.assign(static_cast<size_t>(options_.num_shards), 0);
+  }
+
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -179,9 +228,26 @@ Result<QueryHandle> QueryService::Submit(std::string name, LogicalQuery query,
 }
 
 void QueryService::WorkerLoop(int worker_index) {
-  // Each worker builds a private Engine (engines are not thread-safe); all
-  // of them share the database, catalog inputs and the service calibration.
-  Engine engine(db_, options_.engine);
+  // Each worker builds a private executor (neither Engine nor
+  // ShardedExecutor is thread-safe); all of them share the database, the
+  // shards, the calibrations and the tuning cache. The two executor shapes
+  // are erased to one ExecuteFn so RunTask stays common.
+  std::unique_ptr<Engine> engine;
+  std::unique_ptr<shard::ShardedExecutor> sharded_executor;
+  ExecuteFn execute;
+  if (sharded_.has_value()) {
+    sharded_executor = std::make_unique<shard::ShardedExecutor>(
+        db_, &*sharded_, group_, options_.engine, &shard_calibrations_);
+    execute = [&sharded_executor](const LogicalQuery& query,
+                                  const ExecOptions& exec) {
+      return sharded_executor->Execute(query, exec);
+    };
+  } else {
+    engine = std::make_unique<Engine>(db_, options_.engine);
+    execute = [&engine](const LogicalQuery& query, const ExecOptions& exec) {
+      return engine->Execute(query, exec);
+    };
+  }
 
   for (;;) {
     std::shared_ptr<QueryHandle::Task> task;
@@ -200,12 +266,12 @@ void QueryService::WorkerLoop(int worker_index) {
       queue_.pop_front();
       stats_.running++;
     }
-    RunTask(worker_index, engine, task);
+    RunTask(worker_index, execute, task);
     work_cv_.notify_all();
   }
 }
 
-void QueryService::RunTask(int worker_index, Engine& engine,
+void QueryService::RunTask(int worker_index, const ExecuteFn& execute,
                            const std::shared_ptr<QueryHandle::Task>& task) {
   const int64_t start_ns = NowNs();
 
@@ -243,7 +309,7 @@ void QueryService::RunTask(int worker_index, Engine& engine,
 
     const int64_t attempt_start = NowNs();
     ++attempts;
-    result.emplace(engine.Execute(task->query, exec));
+    result.emplace(execute(task->query, exec));
     attempt_spans.emplace_back(attempt_start, NowNs());
 
     // Only transient device errors are retryable; everything else (including
@@ -288,6 +354,8 @@ void QueryService::RunTask(int worker_index, Engine& engine,
     record.outcome = QueryOutcome::kCompleted;
     record.simulated_ms = (*result)->metrics.elapsed_ms;
     record.degraded = (*result)->metrics.degraded_segments > 0;
+    record.exchange_bytes = (*result)->metrics.exchange_bytes;
+    record.device_elapsed_ms = (*result)->metrics.device_elapsed_ms;
   } else {
     switch (result->status().code()) {
       case StatusCode::kDeadlineExceeded:
@@ -317,6 +385,16 @@ void QueryService::RunTask(int worker_index, Engine& engine,
             static_cast<double>(end_ns - task->submit_ns) / 1e6;
         completed_latency_ms_.push_back(latency_ms);
         stats_.total_simulated_ms += record.simulated_ms;
+        // Per-device-slot load (whole-group placement: every device of the
+        // worker's group ran a shard of this query).
+        stats_.exchange_bytes +=
+            static_cast<uint64_t>(record.exchange_bytes);
+        for (size_t i = 0; i < record.device_elapsed_ms.size() &&
+                           i < stats_.device_busy_ms.size();
+             ++i) {
+          stats_.device_busy_ms[i] += record.device_elapsed_ms[i];
+          stats_.device_queries[i] += 1;
+        }
         break;
       }
       case QueryOutcome::kTimedOut:
@@ -402,13 +480,19 @@ void QueryService::ExportTrace(trace::TraceCollector* collector) const {
                          static_cast<double>(record.submit_ns),
                          static_cast<double>(record.start_ns));
     }
-    collector->AddSpan(
-        track, record.name, "service.exec",
-        static_cast<double>(record.start_ns),
-        static_cast<double>(record.end_ns),
-        {{"outcome", std::string("\"") + OutcomeName(record.outcome) + "\""},
-         {"simulated_ms", std::to_string(record.simulated_ms)},
-         {"attempts", std::to_string(record.attempts)}});
+    std::vector<trace::Arg> args = {
+        {"outcome", std::string("\"") + OutcomeName(record.outcome) + "\""},
+        {"simulated_ms", std::to_string(record.simulated_ms)},
+        {"attempts", std::to_string(record.attempts)}};
+    if (!record.device_elapsed_ms.empty()) {
+      args.emplace_back("shards",
+                        std::to_string(record.device_elapsed_ms.size()));
+      args.emplace_back("exchange_bytes",
+                        std::to_string(record.exchange_bytes));
+    }
+    collector->AddSpan(track, record.name, "service.exec",
+                       static_cast<double>(record.start_ns),
+                       static_cast<double>(record.end_ns), std::move(args));
     // A retried query gets one nested span per engine execution; the gaps
     // between them are retry backoff.
     if (record.attempts > 1) {

@@ -4,6 +4,8 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -17,6 +19,8 @@
 #include "model/calibration.h"
 #include "model/tuning_cache.h"
 #include "plan/logical_plan.h"
+#include "shard/device_group.h"
+#include "shard/partitioner.h"
 #include "sim/fault.h"
 #include "tpch/dbgen.h"
 
@@ -84,6 +88,21 @@ struct ServiceOptions {
 
   /// Retry policy for transient device errors.
   RetryPolicy retry;
+
+  /// Sharded execution (> 1): the service partitions the database once at
+  /// construction (shard::PartitionDatabase) and each worker executes its
+  /// queries through a shard::ShardedExecutor over a device group of this
+  /// size. Placement is whole-group per query: one query occupies all
+  /// devices of its worker's group for its duration, and retries re-run the
+  /// entire sharded execution. 1 (the default) keeps the single-device
+  /// Engine path.
+  int num_shards = 1;
+  shard::PartitionScheme partition_scheme = shard::PartitionScheme::kHash;
+  /// Device group template. Empty = num_shards copies of engine.device;
+  /// non-empty (a mixed group) must have exactly num_shards entries.
+  std::vector<sim::DeviceSpec> devices;
+  /// Interconnect of the group (exchange cost model).
+  sim::LinkSpec link;
 };
 
 /// How an admitted query ended.
@@ -126,6 +145,13 @@ struct ServiceStats {
   uint64_t retries = 0;   ///< re-execution attempts beyond each query's first
   uint64_t degraded = 0;  ///< completed queries with >= 1 degraded segment
   uint64_t gave_up = 0;   ///< transient errors that exhausted max_attempts
+
+  /// Sharded-execution accounting (empty/zero for unsharded services).
+  /// Per-device-slot load: every worker's group shares slot indexing
+  /// (device 0 of any worker accumulates into slot 0).
+  uint64_t exchange_bytes = 0;            ///< broadcast + shuffle, completed
+  std::vector<double> device_busy_ms;     ///< simulated busy time per slot
+  std::vector<uint64_t> device_queries;   ///< completed queries per slot
 
   /// Human-readable one-stop report for CLIs/benches.
   std::string ToString() const;
@@ -215,6 +241,10 @@ class QueryService {
 
   const model::CalibrationTable& calibration() const { return calibration_; }
   const ServiceOptions& options() const { return options_; }
+  /// True when queries run through sharded execution (num_shards > 1).
+  bool sharded() const { return sharded_.has_value(); }
+  /// The per-worker device-group template (empty group when !sharded()).
+  const shard::DeviceGroup& device_group() const { return group_; }
   /// The TuneSegment memo shared by every worker engine (thread-safe).
   model::TuningCache& tuning_cache() { return tuning_cache_; }
 
@@ -229,13 +259,21 @@ class QueryService {
     double simulated_ms = 0.0;
     int attempts = 0;       ///< engine executions (0 = deadline beat dispatch)
     bool degraded = false;  ///< completed with >= 1 degraded segment
+    int64_t exchange_bytes = 0;            ///< sharded runs only
+    std::vector<double> device_elapsed_ms; ///< sharded runs only
     /// (start_ns, end_ns) of each engine execution; gaps between entries are
     /// retry backoff. Rendered by ExportTrace when attempts > 1.
     std::vector<std::pair<int64_t, int64_t>> attempt_spans;
   };
 
+  /// What a worker runs a query through: an Engine or a ShardedExecutor,
+  /// erased to one call shape so RunTask's retry/deadline/bookkeeping logic
+  /// is shared by both paths.
+  using ExecuteFn =
+      std::function<Result<QueryResult>(const LogicalQuery&, const ExecOptions&)>;
+
   void WorkerLoop(int worker_index);
-  void RunTask(int worker_index, Engine& engine,
+  void RunTask(int worker_index, const ExecuteFn& execute,
                const std::shared_ptr<QueryHandle::Task>& task);
   int64_t NowNs() const;  ///< host steady-clock ns since service start
 
@@ -243,6 +281,12 @@ class QueryService {
   ServiceOptions options_;
   /// Shared Γ calibration (Section 2.1) referenced by every worker engine.
   model::CalibrationTable calibration_;
+  /// Sharded mode only: the partitioned database (shared, read-only), the
+  /// per-worker device-group template, and one calibration per distinct
+  /// device name in the group (shared by every worker's executor).
+  std::optional<shard::ShardedDatabase> sharded_;
+  shard::DeviceGroup group_;
+  std::map<std::string, model::CalibrationTable> shard_calibrations_;
   /// Shared TuneSegment memo referenced by every worker engine: a segment
   /// tuned by any worker is a cache hit for the rest, so steady-state
   /// OptimizeWallMs() collapses to a signature lookup. Thread-safe.

@@ -1,0 +1,80 @@
+#ifndef GPL_SHARD_PARTITIONER_H_
+#define GPL_SHARD_PARTITIONER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "tpch/dbgen.h"
+
+namespace gpl {
+namespace shard {
+
+/// How the fact table is split across shards.
+enum class PartitionScheme {
+  /// Hash lineitem by l_orderkey and co-partition orders by o_orderkey, so
+  /// the lineitem-orders join is shard-local; every other table is broadcast
+  /// (copied to every shard).
+  kHash,
+  /// Split lineitem into contiguous row ranges; everything else (including
+  /// orders) is broadcast.
+  kRange,
+};
+
+const char* PartitionSchemeName(PartitionScheme scheme);
+
+/// Parses "hash" | "range" (the CLI/bench flag spellings).
+Result<PartitionScheme> ParsePartitionScheme(std::string_view name);
+
+struct PartitionOptions {
+  int num_shards = 2;
+  PartitionScheme scheme = PartitionScheme::kHash;
+};
+
+/// Name of the injected global-row-index column on each shard's lineitem.
+/// The sharded executor threads it through per-shard plans so partial
+/// results can be stitched back into exact fact-table row order (the key to
+/// bit-identical float aggregation; see shard/sharded_executor.h).
+inline constexpr char kRowIdColumn[] = "l_rowid";
+
+/// A database split into N per-shard databases. Partitioned tables hold
+/// disjoint row subsets whose relative order matches the source table;
+/// broadcast tables are full copies. All shards share the source database's
+/// string dictionaries (columns copy data but share the Dictionary
+/// instance), so dictionary codes stay comparable across shards and with
+/// the unpartitioned truth.
+struct ShardedDatabase {
+  PartitionOptions options;
+  std::vector<tpch::Database> shards;
+
+  /// The partitioned fact table ("lineitem") first, then any co-partitioned
+  /// companions ("orders" under kHash).
+  std::vector<std::string> partitioned_tables;
+
+  /// Bytes of partitioned tables summed across shards (== one source copy).
+  int64_t partitioned_bytes = 0;
+  /// Bytes of one broadcast copy (each shard holds this much duplicated).
+  int64_t broadcast_bytes = 0;
+
+  int num_shards() const { return static_cast<int>(shards.size()); }
+  const std::string& fact_table() const { return partitioned_tables.front(); }
+  bool IsPartitioned(const std::string& table) const;
+};
+
+/// Shard index of a join key under the hash scheme (exposed for tests and
+/// for co-partitioning additional tables). Deterministic splitmix-style
+/// finalizer so skewed key ranges still spread evenly.
+int ShardOfKey(int64_t key, int num_shards);
+
+/// Splits `db` into `options.num_shards` per-shard databases. The source
+/// must outlive the result only through its shared dictionaries (table data
+/// is copied). Fails on num_shards < 1.
+Result<ShardedDatabase> PartitionDatabase(const tpch::Database& db,
+                                          const PartitionOptions& options);
+
+}  // namespace shard
+}  // namespace gpl
+
+#endif  // GPL_SHARD_PARTITIONER_H_

@@ -1,0 +1,429 @@
+#include "shard/sharded_executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+#include "engine/kbe_engine.h"
+#include "exec/primitives.h"
+#include "plan/selinger.h"
+#include "sim/engine.h"
+#include "trace/trace.h"
+
+namespace gpl {
+namespace shard {
+
+namespace {
+
+/// Cycles on `device` corresponding to `ms` (inverse of CyclesToMs).
+double MsToCycles(const sim::DeviceSpec& device, double ms) {
+  return ms * static_cast<double>(device.core_mhz) * 1e3;
+}
+
+/// Collects the referenced columns of every scan in the plan tree.
+void CollectScanColumns(const PhysicalOp& op,
+                        std::map<std::string, std::set<std::string>>* out) {
+  if (op.kind == PhysicalOp::Kind::kScan) {
+    std::set<std::string>& cols = (*out)[op.table];
+    cols.insert(op.columns.begin(), op.columns.end());
+  }
+  if (op.child != nullptr) CollectScanColumns(*op.child, out);
+  if (op.build_child != nullptr) CollectScanColumns(*op.build_child, out);
+}
+
+/// One step on the root-to-fact-scan path: the node, and whether the edge
+/// from its parent was the build side of a hash join.
+struct PathStep {
+  const PhysicalOp* node;
+  bool via_build;
+};
+
+/// Appends the path from `op` down to the scan of `fact` (inclusive).
+/// Returns false (and leaves `path` unchanged) if the subtree has none.
+bool FindFactPath(const PhysicalOp& op, const std::string& fact,
+                  bool via_build, std::vector<PathStep>* path) {
+  path->push_back({&op, via_build});
+  if (op.kind == PhysicalOp::Kind::kScan && op.table == fact) return true;
+  if (op.child != nullptr && FindFactPath(*op.child, fact, false, path)) {
+    return true;
+  }
+  if (op.build_child != nullptr &&
+      FindFactPath(*op.build_child, fact, true, path)) {
+    return true;
+  }
+  path->pop_back();
+  return false;
+}
+
+int CountFactScans(const PhysicalOp& op, const std::string& fact) {
+  int n = (op.kind == PhysicalOp::Kind::kScan && op.table == fact) ? 1 : 0;
+  if (op.child != nullptr) n += CountFactScans(*op.child, fact);
+  if (op.build_child != nullptr) n += CountFactScans(*op.build_child, fact);
+  return n;
+}
+
+/// New table without the named column (all other columns copied).
+Table DropColumn(const Table& table, const std::string& column) {
+  Table out(table.name());
+  for (int64_t i = 0; i < table.num_columns(); ++i) {
+    if (table.ColumnNameAt(i) == column) continue;
+    GPL_CHECK_OK(out.AddColumn(table.ColumnNameAt(i), table.ColumnAt(i)));
+  }
+  return out;
+}
+
+}  // namespace
+
+ShardedExecutor::ShardedExecutor(
+    const tpch::Database* db, const ShardedDatabase* sharded, DeviceGroup group,
+    EngineOptions options,
+    const std::map<std::string, model::CalibrationTable>* calibrations)
+    : db_(db),
+      sharded_(sharded),
+      group_(std::move(group)),
+      options_(std::move(options)),
+      catalog_(Catalog::FromDatabase(*db)),
+      owned_tuning_cache_(options_.tuning_cache != nullptr
+                              ? nullptr
+                              : std::make_unique<model::TuningCache>()),
+      tuning_cache_(options_.tuning_cache != nullptr
+                        ? options_.tuning_cache
+                        : owned_tuning_cache_.get()),
+      link_(group_.link) {
+  GPL_CHECK(db_ != nullptr && sharded_ != nullptr);
+  GPL_CHECK(group_.size() == sharded_->num_shards())
+      << "device group size " << group_.size() << " != shard count "
+      << sharded_->num_shards();
+
+  engines_.reserve(static_cast<size_t>(group_.size()));
+  for (int i = 0; i < group_.size(); ++i) {
+    const sim::DeviceSpec& device = group_.devices[static_cast<size_t>(i)];
+    const model::CalibrationTable* calibration = nullptr;
+    if (calibrations != nullptr) {
+      auto it = calibrations->find(device.name);
+      if (it != calibrations->end()) calibration = &it->second;
+    }
+    if (calibration == nullptr) {
+      auto it = owned_calibrations_.find(device.name);
+      if (it == owned_calibrations_.end()) {
+        // One calibration per distinct device spec, shared by its shards.
+        it = owned_calibrations_
+                 .emplace(device.name,
+                          model::CalibrationTable::Run(sim::Simulator(device)))
+                 .first;
+      }
+      calibration = &it->second;
+    }
+    EngineOptions shard_options = options_;
+    shard_options.device = device;
+    shard_options.calibration = calibration;
+    shard_options.tuning_cache = tuning_cache_;
+    engines_.push_back(std::make_unique<Engine>(
+        &sharded_->shards[static_cast<size_t>(i)], shard_options));
+  }
+}
+
+Result<ShardedExecutor::SplitPlan> ShardedExecutor::SplitAndInject(
+    const PhysicalOpPtr& plan) const {
+  const std::string& fact = sharded_->fact_table();
+  const int fact_scans = CountFactScans(*plan, fact);
+  if (fact_scans != 1) {
+    return Status::Unimplemented(
+        "sharded execution requires exactly one scan of the partitioned fact "
+        "table '" + fact + "'; plan has " + std::to_string(fact_scans));
+  }
+  std::vector<PathStep> path;
+  GPL_CHECK(FindFactPath(*plan, fact, false, &path));
+
+  // The shard subtree is the maximal subtree whose probe spine bottoms out
+  // at the fact scan. Walking the root-to-fact path, it starts just past
+  // the last blocker: an aggregate or sort node (only correct over the full
+  // input, so it belongs to the merge), or a build edge (the subtree feeds
+  // the build side of the join above, which the merge device re-builds from
+  // the stitched rows — bucket chains depend only on insertion order, which
+  // the rowid sort restores). Build subtrees hanging off the spine run on
+  // every shard; co-partitioning makes their joins with the spine exact.
+  size_t start = 0;
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (path[i].via_build) start = i;
+    if (path[i].node->kind == PhysicalOp::Kind::kAggregate ||
+        path[i].node->kind == PhysicalOp::Kind::kSort) {
+      start = i + 1;
+    }
+  }
+  GPL_CHECK(start < path.size());  // the fact scan is never a blocker
+
+  SplitPlan split;
+  split.boundary = path[start].node;
+  const PhysicalOp* fact_scan = path.back().node;
+  split.rowid_column = fact_scan->alias.empty()
+                           ? std::string(kRowIdColumn)
+                           : fact_scan->alias + "_" + kRowIdColumn;
+
+  // Clone the spine (build sides are shared, they are not modified) and
+  // thread l_rowid from the fact scan to the shard-plan root: scans list it,
+  // projects pass it through, filters/joins forward probe columns as-is.
+  // Every edge below `start` is a probe edge, so the path slice is exactly
+  // the subtree's child chain.
+  PhysicalOpPtr cloned;
+  PhysicalOp* parent = nullptr;
+  for (size_t i = start; i < path.size(); ++i) {
+    auto copy = std::make_shared<PhysicalOp>(*path[i].node);
+    if (copy->kind == PhysicalOp::Kind::kProject) {
+      copy->projections.push_back(
+          {split.rowid_column, Col(split.rowid_column)});
+    } else if (copy->kind == PhysicalOp::Kind::kScan) {
+      copy->columns.push_back(kRowIdColumn);
+    }
+    if (parent == nullptr) {
+      cloned = copy;
+    } else {
+      parent->child = copy;
+    }
+    parent = copy.get();
+  }
+  split.shard_plan = std::move(cloned);
+  return split;
+}
+
+Result<model::ExchangePlan> ShardedExecutor::ExchangeForPlan(
+    const PhysicalOp& shard_subtree) const {
+  std::map<std::string, std::set<std::string>> scans;
+  CollectScanColumns(shard_subtree, &scans);
+
+  int64_t fact_bytes = 0;
+  std::vector<model::ExchangeInput> inputs;
+  for (const auto& [table, columns] : scans) {
+    const Table* base = db_->ByName(table);
+    if (base == nullptr) return Status::NotFound("unknown table: " + table);
+    int64_t bytes = 0;
+    for (const std::string& column : columns) {
+      if (column == kRowIdColumn) continue;  // synthesized, never shipped
+      if (!base->HasColumn(column)) {
+        return Status::NotFound("unknown column " + table + "." + column);
+      }
+      bytes += base->GetColumn(column).byte_size();
+    }
+    if (table == sharded_->fact_table()) {
+      fact_bytes = bytes;
+      continue;  // the pivot of the exchange, not itself exchanged
+    }
+    model::ExchangeInput input;
+    input.table = table;
+    input.bytes = bytes;
+    input.rows = base->num_rows();
+    input.co_partitioned = sharded_->IsPartitioned(table);
+    inputs.push_back(std::move(input));
+  }
+  return model::PlanExchange(inputs, group_.link, group_.size(), fact_bytes);
+}
+
+Result<model::ExchangePlan> ShardedExecutor::ExplainExchange(
+    const LogicalQuery& query) const {
+  PlanOptions plan_options;
+  if (options_.partitioned_joins) {
+    plan_options.partition_build_threshold_bytes =
+        options_.partition_threshold_bytes > 0
+            ? options_.partition_threshold_bytes
+            : group_.devices.front().cache_bytes / 2;
+    plan_options.num_partitions = options_.num_partitions;
+  }
+  GPL_ASSIGN_OR_RETURN(PhysicalOpPtr plan,
+                       BuildPhysicalPlan(query, catalog_, plan_options));
+  GPL_ASSIGN_OR_RETURN(SplitPlan split, SplitAndInject(plan));
+  return ExchangeForPlan(*split.boundary);
+}
+
+Result<QueryResult> ShardedExecutor::Execute(const LogicalQuery& query) {
+  return Execute(query, options_.exec);
+}
+
+Result<QueryResult> ShardedExecutor::Execute(const LogicalQuery& query,
+                                             const ExecOptions& exec) {
+  if (exec.cancel != nullptr) GPL_RETURN_NOT_OK(exec.cancel->Check());
+  const sim::DeviceSpec& device0 = group_.devices.front();
+
+  // Plan once, on the unpartitioned database's statistics: every shard runs
+  // the same plan, exactly as a coordinator would ship it.
+  const auto plan_start = std::chrono::steady_clock::now();
+  PlanOptions plan_options;
+  if (options_.partitioned_joins) {
+    plan_options.partition_build_threshold_bytes =
+        options_.partition_threshold_bytes > 0
+            ? options_.partition_threshold_bytes
+            : device0.cache_bytes / 2;
+    plan_options.num_partitions = options_.num_partitions;
+  }
+  GPL_ASSIGN_OR_RETURN(PhysicalOpPtr plan,
+                       BuildPhysicalPlan(query, catalog_, plan_options));
+  GPL_ASSIGN_OR_RETURN(SplitPlan split, SplitAndInject(plan));
+  GPL_ASSIGN_OR_RETURN(model::ExchangePlan broadcast,
+                       ExchangeForPlan(*split.boundary));
+  const double plan_wall_ms = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - plan_start)
+                                  .count();
+
+  // Per-shard execution. Serial on the host (results are simulated, wall
+  // clock is not the metric); the shared fault injector and cancellation
+  // token are polled in shard order, keeping fault schedules deterministic.
+  ExecOptions shard_exec = exec;
+  shard_exec.trace = nullptr;  // the executor emits the group-level timeline
+  std::vector<QueryResult> partials;
+  partials.reserve(static_cast<size_t>(group_.size()));
+  for (int i = 0; i < group_.size(); ++i) {
+    if (exec.cancel != nullptr) GPL_RETURN_NOT_OK(exec.cancel->Check());
+    GPL_ASSIGN_OR_RETURN(
+        QueryResult partial,
+        engines_[static_cast<size_t>(i)]->ExecutePlan(split.shard_plan,
+                                                      shard_exec));
+    partials.push_back(std::move(partial));
+  }
+
+  // Exchange: the dimension broadcast (priced per the exchange model) plus
+  // gathering every non-resident partial result to device 0.
+  link_.Record(broadcast.total_bytes, broadcast.total_ms);
+  int64_t shuffle_bytes = 0;
+  double shuffle_ms = 0.0;
+  for (size_t i = 1; i < partials.size(); ++i) {
+    const int64_t bytes = partials[i].table.byte_size();
+    shuffle_bytes += bytes;
+    shuffle_ms += link_.Transfer(bytes);
+  }
+  const double exchange_ms = broadcast.total_ms + shuffle_ms;
+
+  // Stitch the partials back into exact fact-table row order: concatenate
+  // (schemas and dictionaries are shared across shards), stable-sort by the
+  // injected row id, drop it. The merged table now equals — row for row —
+  // what a single device would feed its aggregate.
+  Table merged = std::move(partials[0].table);
+  for (size_t i = 1; i < partials.size(); ++i) {
+    GPL_RETURN_NOT_OK(merged.AppendTable(partials[i].table));
+  }
+  const int64_t rowid_index = merged.ColumnIndex(split.rowid_column);
+  if (rowid_index < 0) {
+    return Status::Internal("sharded partial result lost the '" +
+                            split.rowid_column + "' column");
+  }
+  const int64_t merged_bytes_with_rowid = merged.byte_size();
+  const Column& rowid = merged.ColumnAt(rowid_index);
+  std::vector<int64_t> order(static_cast<size_t>(merged.num_rows()));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+  std::stable_sort(order.begin(), order.end(), [&rowid](int64_t a, int64_t b) {
+    return rowid.Int64At(a) < rowid.Int64At(b);
+  });
+  merged = merged.Gather(order);
+  merged = DropColumn(merged, split.rowid_column);
+
+  // Group-level timeline: one span per device (they run concurrently from
+  // the segment origin), then the serialized exchange, then the merge
+  // kernels appended by RunKernelBatch below.
+  const double max_device_ms =
+      std::max_element(partials.begin(), partials.end(),
+                       [](const QueryResult& a, const QueryResult& b) {
+                         return a.metrics.elapsed_ms < b.metrics.elapsed_ms;
+                       })
+          ->metrics.elapsed_ms;
+  if (exec.trace != nullptr) {
+    for (int i = 0; i < group_.size(); ++i) {
+      const sim::DeviceSpec& device = group_.devices[static_cast<size_t>(i)];
+      const int track = exec.trace->TrackId(
+          "device " + std::to_string(i) + " (" + device.name + ")");
+      exec.trace->AddSpan(
+          track, query.name + " shard " + std::to_string(i), "shard.exec", 0.0,
+          MsToCycles(device0, partials[static_cast<size_t>(i)]
+                                  .metrics.elapsed_ms),
+          {{"elapsed_ms",
+            std::to_string(partials[static_cast<size_t>(i)]
+                               .metrics.elapsed_ms)}});
+    }
+    const int link_track = exec.trace->TrackId("exchange (" + link_.spec().name + ")");
+    exec.trace->AddSpan(
+        link_track, query.name + " exchange", "shard.exchange",
+        MsToCycles(device0, max_device_ms),
+        MsToCycles(device0, max_device_ms + exchange_ms),
+        {{"broadcast_bytes", std::to_string(broadcast.total_bytes)},
+         {"shuffle_bytes", std::to_string(shuffle_bytes)}});
+    exec.trace->AdvanceOrigin(MsToCycles(device0, max_device_ms + exchange_ms));
+  }
+
+  // Serial merge on device 0: gather the shuffled rows into fact order,
+  // then replay the original plan with the stitched table substituted for
+  // the shard subtree — the same kernel code a single device runs, charged
+  // as regular kernel launches on device 0's simulator. Tables above the
+  // boundary (e.g. the orders probe of Q9) are read from the unpartitioned
+  // source, which is what device 0 would hold as the coordinator.
+  const sim::Simulator& sim0 = engines_.front()->simulator();
+  sim::HwCounters merge_counters;
+  {
+    sim::KernelLaunch gather;
+    gather.desc = ScatterTiming(static_cast<int>(merged.num_columns() + 1));
+    gather.desc.name = "k_shard_gather";
+    gather.rows_in = merged.num_rows();
+    gather.bytes_in = merged_bytes_with_rowid;
+    gather.rows_out = merged.num_rows();
+    gather.bytes_out = merged.byte_size();
+    GPL_ASSIGN_OR_RETURN(
+        const sim::SimResult r,
+        sim0.RunKernelBatch(gather, 0, exec.trace, exec.fault));
+    merge_counters.Accumulate(r.counters);
+  }
+  KbeEngine merge_engine(db_, &sim0);
+  GPL_ASSIGN_OR_RETURN(
+      QueryResult merge_result,
+      merge_engine.ExecuteWithInput(plan, split.boundary, std::move(merged),
+                                    exec));
+  merge_counters.Accumulate(merge_result.metrics.counters);
+  const double merge_ms = device0.CyclesToMs(merge_counters.elapsed_cycles);
+  Table current = std::move(merge_result.table);
+
+  // Metrics: counters sum every device's work plus the merge; elapsed is
+  // the parallel makespan. The breakdown is rescaled so its parts still sum
+  // to the makespan.
+  QueryResult result;
+  result.table = std::move(current);
+  QueryMetrics& m = result.metrics;
+  for (const QueryResult& partial : partials) {
+    m.counters.Accumulate(partial.metrics.counters);
+    m.tune_wall_ms += partial.metrics.tune_wall_ms;
+    m.tuning_cache_hits += partial.metrics.tuning_cache_hits;
+    m.tuning_cache_misses += partial.metrics.tuning_cache_misses;
+    m.degraded_segments += partial.metrics.degraded_segments;
+    m.device_elapsed_ms.push_back(partial.metrics.elapsed_ms);
+    m.predicted_ms = std::max(m.predicted_ms, partial.metrics.predicted_ms);
+  }
+  m.counters.Accumulate(merge_counters);
+  m.Finalize(device0);
+  const double serial_ms = m.elapsed_ms;
+  m.elapsed_ms = max_device_ms + exchange_ms + merge_ms;
+  if (serial_ms > 0.0) {
+    const double scale = m.elapsed_ms / serial_ms;
+    m.compute_ms *= scale;
+    m.mem_ms *= scale;
+    m.dc_ms *= scale;
+    m.delay_ms *= scale;
+    m.other_ms *= scale;
+  }
+  if (m.predicted_ms > 0.0) m.predicted_ms += exchange_ms + merge_ms;
+  m.plan_wall_ms = plan_wall_ms;
+  m.num_shards = group_.size();
+  m.broadcast_bytes = broadcast.total_bytes;
+  m.shuffle_bytes = shuffle_bytes;
+  m.exchange_bytes = broadcast.total_bytes + shuffle_bytes;
+  m.exchange_ms = exchange_ms;
+  m.merge_ms = merge_ms;
+  for (double device_ms : m.device_elapsed_ms) {
+    m.device_utilization.push_back(
+        m.elapsed_ms > 0.0 ? device_ms / m.elapsed_ms : 0.0);
+  }
+  GPL_LOG(Info) << query.name << " sharded over " << group_.ToString() << ": "
+                << m.elapsed_ms << " ms simulated (max device "
+                << max_device_ms << ", exchange " << exchange_ms << ", merge "
+                << merge_ms << ")";
+  return result;
+}
+
+}  // namespace shard
+}  // namespace gpl

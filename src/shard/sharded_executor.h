@@ -1,0 +1,114 @@
+#ifndef GPL_SHARD_SHARDED_EXECUTOR_H_
+#define GPL_SHARD_SHARDED_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/engine.h"
+#include "model/exchange_model.h"
+#include "plan/cardinality.h"
+#include "shard/device_group.h"
+#include "shard/partitioner.h"
+#include "sim/link.h"
+
+namespace gpl {
+namespace shard {
+
+/// Data-parallel execution of one query across a DeviceGroup: every device
+/// runs the same plan over its shard of the fact table, partial results are
+/// shuffled to device 0 over the group's link, and a deterministic serial
+/// merge produces the final table.
+///
+/// Bit-identity. Double summation is non-associative, so merging per-shard
+/// *aggregate* outputs could never be bit-identical to a single-device run.
+/// Instead, each shard executes only the maximal subtree of the plan whose
+/// probe spine bottoms out at the partitioned fact scan (everything below
+/// the last aggregate, sort, or build edge on the root-to-fact path),
+/// carrying the partitioner's l_rowid column through the spine. The merge
+/// concatenates the partial tables, restores exact fact-table row order by
+/// a stable sort on l_rowid, and then replays the remainder of the original
+/// plan once with the stitched table substituted for the shard subtree
+/// (KbeEngine::ExecuteWithInput) — the same kernels, over the same rows, in
+/// the same order as a single device, hence bit-identical results at any
+/// shard count. Probe pipelines preserve input order, so the stitched table
+/// equals the subtree's single-device output row for row; hash-join build
+/// order above the boundary is likewise reproduced because bucket chains
+/// depend only on insertion order. Plans that never scan the fact table (or
+/// scan it twice) are rejected with kUnimplemented.
+///
+/// Timing. Simulated elapsed = max over per-device times + serialized
+/// exchange (dimension broadcast + partial shuffle, priced by sim::Link via
+/// the exchange cost model) + the merge charged on device 0. Counters sum
+/// all devices' work; per-device times and utilizations land in
+/// QueryMetrics.
+///
+/// Thread-safety: like Engine, an instance is single-threaded; the
+/// ShardedDatabase and the source database are read-only and shared.
+class ShardedExecutor {
+ public:
+  /// `db` is the unpartitioned source (planning uses its global statistics),
+  /// `sharded` the matching PartitionDatabase output; both must outlive the
+  /// executor. `group.size()` must equal `sharded->num_shards()`.
+  /// `options.device` is ignored (the group's specs are used); a shared
+  /// `options.tuning_cache` is honored, as are per-execution ExecOptions.
+  /// `calibrations` optionally supplies precomputed per-device-name
+  /// calibration tables (the QueryService shares one map across workers);
+  /// missing devices are calibrated here and owned by the executor.
+  ShardedExecutor(
+      const tpch::Database* db, const ShardedDatabase* sharded,
+      DeviceGroup group, EngineOptions options,
+      const std::map<std::string, model::CalibrationTable>* calibrations =
+          nullptr);
+
+  int num_shards() const { return group_.size(); }
+  const DeviceGroup& group() const { return group_; }
+  const sim::Link& link() const { return link_; }
+  model::TuningCache& tuning_cache() const { return *tuning_cache_; }
+
+  /// Exchange decisions (broadcast vs co-partitioned vs repartition) the
+  /// cost model would make for `query`, with referenced-column byte counts
+  /// taken from the source database. Exposed for EXPLAIN-style reporting
+  /// and tests; Execute() charges exactly this plan.
+  Result<model::ExchangePlan> ExplainExchange(const LogicalQuery& query) const;
+
+  Result<QueryResult> Execute(const LogicalQuery& query);
+  Result<QueryResult> Execute(const LogicalQuery& query,
+                              const ExecOptions& exec);
+
+ private:
+  /// The per-shard plan (the shard subtree with l_rowid threaded to its
+  /// root) plus the node of the *original* plan it replaces: the merge
+  /// substitutes the stitched table at `boundary` and replays the rest.
+  struct SplitPlan {
+    PhysicalOpPtr shard_plan;
+    const PhysicalOp* boundary = nullptr;
+    std::string rowid_column;  ///< l_rowid's (possibly alias-renamed) name
+  };
+
+  Result<SplitPlan> SplitAndInject(const PhysicalOpPtr& plan) const;
+  /// Exchange plan for the tables scanned inside the shard subtree (tables
+  /// above the boundary run on the merge device and are never shipped).
+  Result<model::ExchangePlan> ExchangeForPlan(
+      const PhysicalOp& shard_subtree) const;
+
+  const tpch::Database* db_;
+  const ShardedDatabase* sharded_;
+  DeviceGroup group_;
+  EngineOptions options_;
+  Catalog catalog_;  ///< global statistics of the unpartitioned source
+  /// Calibrations computed here (one per distinct device name not covered
+  /// by the shared map passed to the constructor).
+  std::map<std::string, model::CalibrationTable> owned_calibrations_;
+  std::unique_ptr<model::TuningCache> owned_tuning_cache_;
+  model::TuningCache* tuning_cache_;  ///< owned or shared
+  std::vector<std::unique_ptr<Engine>> engines_;  ///< one per shard/device
+  sim::Link link_;  ///< accumulates exchange traffic across executions
+};
+
+}  // namespace shard
+}  // namespace gpl
+
+#endif  // GPL_SHARD_SHARDED_EXECUTOR_H_

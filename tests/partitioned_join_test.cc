@@ -21,6 +21,17 @@ TEST(PartitionedJoinStateTest, RequiresPowerOfTwoPartitions) {
   EXPECT_DEATH(PartitionedJoinState bad(6), "power of two");
 }
 
+TEST(PartitionedJoinStateTest, RejectsEveryNonPowerOfTwoCount) {
+  for (int n : {3, 5, 7, 12}) {
+    EXPECT_DEATH(PartitionedJoinState bad(n), "power of two") << n;
+  }
+  // The boundary cases that are powers of two must construct fine.
+  for (int n : {1, 2, 64}) {
+    PartitionedJoinState ok(n);
+    EXPECT_EQ(ok.num_partitions(), n);
+  }
+}
+
 TEST(PartitionedJoinStateTest, PartitionOfIsStableAndInRange) {
   PartitionedJoinState state(16);
   for (int64_t key = -100; key <= 100; ++key) {
@@ -132,6 +143,62 @@ TEST(PartitionedJoinTest, CompositeKeys) {
   ASSERT_TRUE(out.ok());
   ASSERT_EQ(out->num_rows(), 1);
   EXPECT_EQ(out->GetColumn("b").Int32At(0), 4);
+}
+
+TEST(PartitionedJoinTest, EmptyPartitionsProbeCleanly) {
+  // One build key leaves most of the 16 partitions empty; probes that hash
+  // into the empty ones must produce zero rows, not crash or mis-join.
+  auto state = std::make_shared<PartitionedJoinState>(16);
+  ASSERT_TRUE(MakePartitionedBuildKernel({Col("bk")}, state)
+                  ->Process(Int32Table("bk", {42}))
+                  .ok());
+  int empty = 0;
+  for (int p = 0; p < 16; ++p) {
+    if (state->table(p).num_entries() == 0) ++empty;
+  }
+  EXPECT_EQ(empty, 15);
+
+  std::vector<int32_t> probes(256);
+  for (size_t i = 0; i < probes.size(); ++i) {
+    probes[i] = static_cast<int32_t>(i);
+  }
+  Result<Table> out = MakePartitionedProbeKernel({Col("pk")}, state, {"bk"})
+                          ->Process(Int32Table("pk", probes));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1);
+  EXPECT_EQ(out->GetColumn("pk").Int32At(0), 42);
+}
+
+TEST(PartitionedJoinTest, EmptyBuildMatchesNothing) {
+  auto state = std::make_shared<PartitionedJoinState>(8);
+  ASSERT_TRUE(MakePartitionedBuildKernel({Col("bk")}, state)
+                  ->Process(Int32Table("bk", {}))
+                  .ok());
+  Result<Table> out = MakePartitionedProbeKernel({Col("pk")}, state, {"bk"})
+                          ->Process(Int32Table("pk", {1, 2, 3}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 0);
+}
+
+TEST(PartitionedJoinTest, SkewedKeysAllLandInOnePartitionAndStillJoin) {
+  // Every build row carries the same key: one partition holds the whole
+  // table (maximum skew), and a matching probe fans out to every duplicate.
+  auto state = std::make_shared<PartitionedJoinState>(8);
+  std::vector<int32_t> keys(1000, 7);
+  ASSERT_TRUE(MakePartitionedBuildKernel({Col("bk")}, state)
+                  ->Process(Int32Table("bk", keys))
+                  .ok());
+  int populated = 0;
+  for (int p = 0; p < 8; ++p) {
+    if (state->table(p).num_entries() > 0) ++populated;
+  }
+  EXPECT_EQ(populated, 1);
+  EXPECT_EQ(state->max_partition_bytes(), state->total_table_bytes());
+
+  Result<Table> out = MakePartitionedProbeKernel({Col("pk")}, state, {"bk"})
+                          ->Process(Int32Table("pk", {7, 8}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 1000);  // key 7 matches every duplicate
 }
 
 TEST(PartitionedJoinTest, NoMatchesStillProducesSchema) {

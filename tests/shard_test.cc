@@ -1,0 +1,509 @@
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "engine/metrics_json.h"
+#include "model/exchange_model.h"
+#include "queries/tpch_queries.h"
+#include "service/query_service.h"
+#include "shard/device_group.h"
+#include "shard/partitioner.h"
+#include "shard/sharded_executor.h"
+#include "sim/link.h"
+#include "test_util.h"
+
+namespace gpl {
+namespace {
+
+using shard::DeviceGroup;
+using shard::PartitionDatabase;
+using shard::PartitionOptions;
+using shard::PartitionScheme;
+using shard::ShardedDatabase;
+using shard::ShardedExecutor;
+using shard::ShardOfKey;
+using testing_util::SmallDb;
+
+/// Bit-level table equality: raw physical buffers, not a tolerance compare.
+/// Execution is simulated, so sharding must not change a single bit.
+void ExpectTablesBitIdentical(const Table& expected, const Table& actual) {
+  ASSERT_EQ(expected.num_columns(), actual.num_columns());
+  ASSERT_EQ(expected.num_rows(), actual.num_rows());
+  for (int64_t i = 0; i < expected.num_columns(); ++i) {
+    SCOPED_TRACE("column " + expected.ColumnNameAt(i));
+    EXPECT_EQ(expected.ColumnNameAt(i), actual.ColumnNameAt(i));
+    const Column& e = expected.ColumnAt(i);
+    const Column& a = actual.ColumnAt(i);
+    ASSERT_EQ(e.type(), a.type());
+    EXPECT_TRUE(e.data32() == a.data32());
+    EXPECT_TRUE(e.data64() == a.data64());
+    EXPECT_TRUE(e.dataf() == a.dataf());
+  }
+}
+
+/// Calibrations are the expensive part of executor construction; share one
+/// table per device across every test in this binary.
+const std::map<std::string, model::CalibrationTable>& SharedCalibrations() {
+  static const auto* calibrations = [] {
+    auto* map = new std::map<std::string, model::CalibrationTable>();
+    for (const sim::DeviceSpec& spec :
+         {sim::DeviceSpec::AmdA10(), sim::DeviceSpec::NvidiaK40()}) {
+      map->emplace(spec.name, model::CalibrationTable::Run(sim::Simulator(spec)));
+    }
+    return map;
+  }();
+  return *calibrations;
+}
+
+// ---- Partitioner ----
+
+TEST(PartitionerTest, ShardOfKeyIsStableInRangeAndSpreads) {
+  std::set<int> used;
+  for (int64_t key = 0; key < 256; ++key) {
+    const int s = ShardOfKey(key, 8);
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 8);
+    EXPECT_EQ(s, ShardOfKey(key, 8));
+    used.insert(s);
+  }
+  EXPECT_EQ(used.size(), 8u) << "dense keys must spread across shards";
+}
+
+TEST(PartitionerTest, RejectsNonPositiveShardCount) {
+  PartitionOptions options;
+  options.num_shards = 0;
+  EXPECT_FALSE(PartitionDatabase(SmallDb(), options).ok());
+}
+
+TEST(PartitionerTest, HashShardsPreserveRowsOrderAndCoPartitionOrders) {
+  PartitionOptions options;
+  options.num_shards = 4;
+  options.scheme = PartitionScheme::kHash;
+  Result<ShardedDatabase> sharded = PartitionDatabase(SmallDb(), options);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_EQ(sharded->num_shards(), 4);
+  EXPECT_EQ(sharded->fact_table(), "lineitem");
+  EXPECT_TRUE(sharded->IsPartitioned("orders"));
+  EXPECT_FALSE(sharded->IsPartitioned("customer"));
+
+  const Table& source = *SmallDb().ByName("lineitem");
+  int64_t total_rows = 0;
+  std::set<int64_t> seen_rowids;
+  for (const tpch::Database& shard : sharded->shards) {
+    const Table* lineitem = shard.ByName("lineitem");
+    ASSERT_NE(lineitem, nullptr);
+    ASSERT_TRUE(lineitem->HasColumn(shard::kRowIdColumn));
+    const Column& rowid = lineitem->GetColumn(shard::kRowIdColumn);
+    const Column& orderkey = lineitem->GetColumn("l_orderkey");
+    int64_t previous = -1;
+    for (int64_t r = 0; r < lineitem->num_rows(); ++r) {
+      const int64_t id = rowid.Int64At(r);
+      EXPECT_GT(id, previous) << "shard rows must keep source order";
+      previous = id;
+      seen_rowids.insert(id);
+      // Rows landed on the shard their join key hashes to, and the
+      // co-partitioned orders rows are the only ones with that property.
+      EXPECT_EQ(ShardOfKey(orderkey.AsInt64(r), 4),
+                static_cast<int>(&shard - sharded->shards.data()));
+    }
+    total_rows += lineitem->num_rows();
+
+    // Dimensions are broadcast: full copies sharing the source dictionary.
+    const Table* nation = shard.ByName("nation");
+    ASSERT_NE(nation, nullptr);
+    EXPECT_EQ(nation->num_rows(), SmallDb().ByName("nation")->num_rows());
+    EXPECT_EQ(nation->GetColumn("n_name").dictionary(),
+              SmallDb().ByName("nation")->GetColumn("n_name").dictionary());
+  }
+  EXPECT_EQ(total_rows, source.num_rows());
+  EXPECT_EQ(static_cast<int64_t>(seen_rowids.size()), source.num_rows());
+  EXPECT_EQ(*seen_rowids.begin(), 0);
+  EXPECT_EQ(*seen_rowids.rbegin(), source.num_rows() - 1);
+}
+
+TEST(PartitionerTest, RangeShardsAreContiguousAndNonPowerOfTwoWorks) {
+  PartitionOptions options;
+  options.num_shards = 3;  // deliberately not a power of two
+  options.scheme = PartitionScheme::kRange;
+  Result<ShardedDatabase> sharded = PartitionDatabase(SmallDb(), options);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_FALSE(sharded->IsPartitioned("orders"));  // broadcast under range
+
+  int64_t next = 0;
+  for (const tpch::Database& shard : sharded->shards) {
+    const Column& rowid =
+        shard.ByName("lineitem")->GetColumn(shard::kRowIdColumn);
+    for (int64_t r = 0; r < rowid.size(); ++r) {
+      EXPECT_EQ(rowid.Int64At(r), next++) << "ranges must be contiguous";
+    }
+  }
+  EXPECT_EQ(next, SmallDb().ByName("lineitem")->num_rows());
+}
+
+TEST(PartitionerTest, SkewedShardCountsStillCoverEveryRow) {
+  // 1 shard (degenerate) and 7 shards (non-power-of-two) both partition
+  // without losing or duplicating rows.
+  for (int n : {1, 7}) {
+    PartitionOptions options;
+    options.num_shards = n;
+    Result<ShardedDatabase> sharded = PartitionDatabase(SmallDb(), options);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+    int64_t total = 0;
+    for (const tpch::Database& shard : sharded->shards) {
+      total += shard.ByName("lineitem")->num_rows();
+    }
+    EXPECT_EQ(total, SmallDb().ByName("lineitem")->num_rows()) << n;
+  }
+}
+
+// ---- Link ----
+
+TEST(LinkTest, TransferMsIsLatencyPlusBandwidthAndZeroBytesFree) {
+  sim::LinkSpec spec;
+  spec.gbytes_per_sec = 16.0;
+  spec.latency_us = 5.0;
+  sim::Link link(spec);
+  EXPECT_DOUBLE_EQ(link.TransferMs(0), 0.0);
+  // 16 MB at 16 GB/s = 1 ms payload + 0.005 ms setup.
+  EXPECT_DOUBLE_EQ(link.TransferMs(16'000'000), 1.005);
+
+  EXPECT_DOUBLE_EQ(link.Transfer(16'000'000), 1.005);
+  link.Record(1000, 0.5);  // externally priced
+  EXPECT_EQ(link.total_bytes(), 16'001'000);
+  EXPECT_EQ(link.transfer_count(), 2);
+  EXPECT_DOUBLE_EQ(link.busy_ms(), 1.505);
+}
+
+// ---- Exchange model ----
+
+TEST(ExchangeModelTest, BroadcastsDimensionsAndRepartitionsFactSizedInputs) {
+  sim::LinkSpec link;
+  std::vector<model::ExchangeInput> inputs;
+  inputs.push_back({"nation", /*bytes=*/1000, /*rows=*/25, false});
+  inputs.push_back({"orders", /*bytes=*/400'000, /*rows=*/1500, true});
+  inputs.push_back({"bigside", /*bytes=*/9'000'000, /*rows=*/100'000, false});
+
+  const int64_t fact_bytes = 1'000'000;
+  model::ExchangePlan plan =
+      model::PlanExchange(inputs, link, /*num_shards=*/4, fact_bytes);
+  ASSERT_EQ(plan.decisions.size(), 3u);
+
+  const model::ExchangeDecision& nation = plan.decisions[0];
+  EXPECT_EQ(nation.strategy, model::ExchangeStrategy::kBroadcast);
+  EXPECT_EQ(nation.bytes, 1000 * 3);
+
+  const model::ExchangeDecision& orders = plan.decisions[1];
+  EXPECT_EQ(orders.strategy, model::ExchangeStrategy::kCoPartitioned);
+  EXPECT_EQ(orders.bytes, 0);
+  EXPECT_DOUBLE_EQ(orders.ms, 0.0);
+
+  // Broadcasting 9 MB to 3 peers (27 MB) loses to repartitioning both sides:
+  // (9 MB + 1 MB) * 3/4 = 7.5 MB.
+  const model::ExchangeDecision& big = plan.decisions[2];
+  EXPECT_EQ(big.strategy, model::ExchangeStrategy::kRepartition);
+  EXPECT_EQ(big.bytes, (9'000'000 + fact_bytes) * 3 / 4);
+
+  EXPECT_EQ(plan.total_bytes, nation.bytes + big.bytes);
+  EXPECT_DOUBLE_EQ(plan.total_ms, nation.ms + big.ms);
+}
+
+// ---- Device list parsing ----
+
+TEST(DeviceListTest, ParsesNamesAndRejectsEmptyTokens) {
+  Result<std::vector<sim::DeviceSpec>> list = ParseDeviceList("amd,nvidia,amd");
+  ASSERT_TRUE(list.ok()) << list.status().ToString();
+  ASSERT_EQ(list->size(), 3u);
+  EXPECT_EQ((*list)[0].name, sim::DeviceSpec::AmdA10().name);
+  EXPECT_EQ((*list)[1].name, sim::DeviceSpec::NvidiaK40().name);
+
+  EXPECT_FALSE(ParseDeviceList("").ok());
+  EXPECT_FALSE(ParseDeviceList("amd,,nvidia").ok());
+  EXPECT_FALSE(ParseDeviceList("amd,tpu").ok());
+}
+
+// ---- Device group ----
+
+TEST(DeviceGroupTest, HomogeneousAndToString) {
+  DeviceGroup group = DeviceGroup::Homogeneous(sim::DeviceSpec::AmdA10(), 4);
+  EXPECT_EQ(group.size(), 4);
+  EXPECT_NE(group.ToString().find("x4"), std::string::npos);
+  EXPECT_NE(group.ToString().find(group.link.name), std::string::npos);
+}
+
+// ---- Bit-identity of sharded execution ----
+
+struct ShardedTruth {
+  std::string name;
+  QueryResult single;
+};
+
+const std::vector<ShardedTruth>& SingleDeviceTruth(EngineMode mode) {
+  static auto* cache = new std::map<EngineMode, std::vector<ShardedTruth>>();
+  auto it = cache->find(mode);
+  if (it != cache->end()) return it->second;
+  EngineOptions options;
+  options.mode = mode;
+  options.calibration =
+      &SharedCalibrations().at(sim::DeviceSpec::AmdA10().name);
+  Engine engine(&SmallDb(), options);
+  std::vector<ShardedTruth> truth;
+  for (auto& [name, query] : queries::EvaluationSuite()) {
+    Result<QueryResult> result = engine.Execute(query);
+    GPL_CHECK(result.ok()) << name << ": " << result.status().ToString();
+    truth.push_back({name, result.take()});
+  }
+  return cache->emplace(mode, std::move(truth)).first->second;
+}
+
+void ExpectShardedBitIdentical(const DeviceGroup& group,
+                               PartitionScheme scheme, EngineMode mode) {
+  PartitionOptions poptions;
+  poptions.num_shards = group.size();
+  poptions.scheme = scheme;
+  Result<ShardedDatabase> sharded = PartitionDatabase(SmallDb(), poptions);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+  EngineOptions options;
+  options.mode = mode;
+  ShardedExecutor executor(&SmallDb(), &*sharded, group, options,
+                           &SharedCalibrations());
+
+  const std::vector<ShardedTruth>& truth = SingleDeviceTruth(mode);
+  const auto suite = queries::EvaluationSuite();
+  ASSERT_EQ(suite.size(), truth.size());
+  for (size_t qi = 0; qi < suite.size(); ++qi) {
+    const ShardedTruth& t = truth[qi];
+    SCOPED_TRACE(t.name + " on " + group.ToString() + " (" +
+                 shard::PartitionSchemeName(scheme) + ")");
+    Result<QueryResult> got = executor.Execute(suite[qi].second);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectTablesBitIdentical(t.single.table, got->table);
+
+    const QueryMetrics& m = got->metrics;
+    EXPECT_EQ(m.num_shards, group.size());
+    ASSERT_EQ(m.device_elapsed_ms.size(), static_cast<size_t>(group.size()));
+    ASSERT_EQ(m.device_utilization.size(), static_cast<size_t>(group.size()));
+    for (int i = 0; i < group.size(); ++i) {
+      EXPECT_GT(m.device_elapsed_ms[static_cast<size_t>(i)], 0.0);
+      EXPECT_LE(m.device_elapsed_ms[static_cast<size_t>(i)], m.elapsed_ms);
+      EXPECT_GT(m.device_utilization[static_cast<size_t>(i)], 0.0);
+      EXPECT_LE(m.device_utilization[static_cast<size_t>(i)], 1.0);
+    }
+    EXPECT_EQ(m.exchange_bytes, m.broadcast_bytes + m.shuffle_bytes);
+    if (group.size() > 1) {
+      EXPECT_GT(m.exchange_bytes, 0);
+      EXPECT_GT(m.exchange_ms, 0.0);
+    }
+    EXPECT_GT(m.merge_ms, 0.0);
+  }
+}
+
+TEST(ShardedBitIdentityTest, HomogeneousHashAllShardCounts) {
+  for (int n : {1, 2, 4, 8}) {
+    ExpectShardedBitIdentical(
+        DeviceGroup::Homogeneous(sim::DeviceSpec::AmdA10(), n),
+        PartitionScheme::kHash, EngineMode::kGpl);
+  }
+}
+
+TEST(ShardedBitIdentityTest, HomogeneousRangePartitioning) {
+  for (int n : {2, 4}) {
+    ExpectShardedBitIdentical(
+        DeviceGroup::Homogeneous(sim::DeviceSpec::AmdA10(), n),
+        PartitionScheme::kRange, EngineMode::kGpl);
+  }
+}
+
+TEST(ShardedBitIdentityTest, NonPowerOfTwoShardCounts) {
+  for (int n : {3, 5}) {
+    ExpectShardedBitIdentical(
+        DeviceGroup::Homogeneous(sim::DeviceSpec::AmdA10(), n),
+        PartitionScheme::kHash, EngineMode::kGpl);
+  }
+}
+
+TEST(ShardedBitIdentityTest, MixedDeviceGroup) {
+  DeviceGroup mixed;
+  mixed.devices = {sim::DeviceSpec::AmdA10(), sim::DeviceSpec::NvidiaK40(),
+                   sim::DeviceSpec::AmdA10(), sim::DeviceSpec::NvidiaK40()};
+  ExpectShardedBitIdentical(mixed, PartitionScheme::kHash, EngineMode::kGpl);
+}
+
+TEST(ShardedBitIdentityTest, KbeModeShards) {
+  ExpectShardedBitIdentical(
+      DeviceGroup::Homogeneous(sim::DeviceSpec::AmdA10(), 2),
+      PartitionScheme::kHash, EngineMode::kKbe);
+}
+
+TEST(ShardedExecutorTest, RepeatRunsAreDeterministic) {
+  PartitionOptions poptions;
+  poptions.num_shards = 4;
+  Result<ShardedDatabase> sharded = PartitionDatabase(SmallDb(), poptions);
+  ASSERT_TRUE(sharded.ok());
+  DeviceGroup group = DeviceGroup::Homogeneous(sim::DeviceSpec::AmdA10(), 4);
+  ShardedExecutor executor(&SmallDb(), &*sharded, group, EngineOptions{},
+                           &SharedCalibrations());
+  Result<QueryResult> first = executor.Execute(queries::Q5());
+  Result<QueryResult> second = executor.Execute(queries::Q5());
+  ASSERT_TRUE(first.ok() && second.ok());
+  ExpectTablesBitIdentical(first->table, second->table);
+  EXPECT_EQ(first->metrics.elapsed_ms, second->metrics.elapsed_ms);
+  EXPECT_EQ(first->metrics.exchange_bytes, second->metrics.exchange_bytes);
+
+  // The link accumulated both executions' traffic.
+  EXPECT_EQ(executor.link().total_bytes(), 2 * first->metrics.exchange_bytes);
+}
+
+TEST(ShardedExecutorTest, ExplainExchangeScopesToShardSubtree) {
+  PartitionOptions poptions;
+  poptions.num_shards = 4;
+  Result<ShardedDatabase> sharded = PartitionDatabase(SmallDb(), poptions);
+  ASSERT_TRUE(sharded.ok());
+  DeviceGroup group = DeviceGroup::Homogeneous(sim::DeviceSpec::AmdA10(), 4);
+  ShardedExecutor executor(&SmallDb(), &*sharded, group, EngineOptions{},
+                           &SharedCalibrations());
+
+  // Q5 keeps orders inside the shard subtree: co-partitioned, zero bytes.
+  Result<model::ExchangePlan> q5 = executor.ExplainExchange(queries::Q5());
+  ASSERT_TRUE(q5.ok()) << q5.status().ToString();
+  bool saw_orders = false;
+  for (const model::ExchangeDecision& d : q5->decisions) {
+    EXPECT_GT(d.ms, -1e-12);
+    if (d.table == "orders") {
+      saw_orders = true;
+      EXPECT_EQ(d.strategy, model::ExchangeStrategy::kCoPartitioned);
+      EXPECT_EQ(d.bytes, 0);
+    }
+  }
+  EXPECT_TRUE(saw_orders);
+  EXPECT_GT(q5->total_bytes, 0);
+
+  // Q9 probes orders above the merge boundary (on the coordinator), so the
+  // exchange plan must not ship it at all.
+  Result<model::ExchangePlan> q9 = executor.ExplainExchange(queries::Q9());
+  ASSERT_TRUE(q9.ok()) << q9.status().ToString();
+  for (const model::ExchangeDecision& d : q9->decisions) {
+    EXPECT_NE(d.table, "orders");
+  }
+}
+
+TEST(ShardedExecutorTest, MetricsJsonCarriesShardFields) {
+  PartitionOptions poptions;
+  poptions.num_shards = 2;
+  Result<ShardedDatabase> sharded = PartitionDatabase(SmallDb(), poptions);
+  ASSERT_TRUE(sharded.ok());
+  DeviceGroup group = DeviceGroup::Homogeneous(sim::DeviceSpec::AmdA10(), 2);
+  ShardedExecutor executor(&SmallDb(), &*sharded, group, EngineOptions{},
+                           &SharedCalibrations());
+  Result<QueryResult> got = executor.Execute(queries::Q14());
+  ASSERT_TRUE(got.ok());
+
+  MetricsJsonEntry entry;
+  entry.query = "Q14";
+  entry.mode = "gpl";
+  entry.device = group.ToString();
+  entry.metrics = got->metrics;
+  const std::string json = QueryMetricsToJson(entry);
+  EXPECT_NE(json.find("\"num_shards\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"exchange_bytes\""), std::string::npos);
+  EXPECT_NE(json.find("\"merge_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"device_utilization\""), std::string::npos);
+
+  // Single-device metrics stay free of shard fields (byte-stable JSON).
+  Engine engine(&SmallDb(), EngineOptions{});
+  Result<QueryResult> single = engine.Execute(queries::Q14());
+  ASSERT_TRUE(single.ok());
+  entry.metrics = single->metrics;
+  EXPECT_EQ(QueryMetricsToJson(entry).find("num_shards"), std::string::npos);
+}
+
+// ---- Sharded service ----
+
+TEST(ShardedServiceTest, ResultsBitIdenticalToSingleDevice) {
+  service::ServiceOptions options;
+  options.num_workers = 2;
+  options.num_shards = 2;
+  options.queue_capacity = 64;
+  service::QueryService service(&SmallDb(), options);
+  EXPECT_TRUE(service.sharded());
+  EXPECT_EQ(service.device_group().size(), 2);
+
+  std::vector<ShardedTruth> truth = SingleDeviceTruth(EngineMode::kGpl);
+  std::vector<service::QueryHandle> handles;
+  auto suite = queries::EvaluationSuite();
+  for (int round = 0; round < 2; ++round) {
+    for (auto& [name, query] : suite) {
+      Result<service::QueryHandle> submitted = service.Submit(name, query);
+      ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+      handles.push_back(submitted.take());
+    }
+  }
+  for (size_t i = 0; i < handles.size(); ++i) {
+    const ShardedTruth& t = truth[i % truth.size()];
+    SCOPED_TRACE(t.name);
+    const Result<QueryResult>& result = handles[i].Await();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectTablesBitIdentical(t.single.table, result->table);
+    EXPECT_EQ(result->metrics.num_shards, 2);
+    EXPECT_GT(result->metrics.exchange_bytes, 0);
+  }
+  service.Shutdown();
+
+  const service::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, handles.size());
+  EXPECT_GT(stats.exchange_bytes, 0u);
+  ASSERT_EQ(stats.device_busy_ms.size(), 2u);
+  ASSERT_EQ(stats.device_queries.size(), 2u);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_GT(stats.device_busy_ms[static_cast<size_t>(i)], 0.0);
+    EXPECT_EQ(stats.device_queries[static_cast<size_t>(i)], handles.size());
+  }
+}
+
+TEST(ShardedServiceTest, RetriesRecoverInjectedFaultsUnderSharding) {
+  service::ServiceOptions options;
+  options.num_workers = 2;
+  options.num_shards = 2;
+  options.queue_capacity = 64;
+  options.fault.kernel_abort_rate = 0.01;
+  options.fault.seed = 17;
+  options.retry.max_attempts = 6;
+  options.retry.initial_backoff_ms = 0.01;
+  options.retry.max_backoff_ms = 0.1;
+  service::QueryService service(&SmallDb(), options);
+
+  std::vector<ShardedTruth> truth = SingleDeviceTruth(EngineMode::kGpl);
+  std::vector<service::QueryHandle> handles;
+  auto suite = queries::EvaluationSuite();
+  for (int round = 0; round < 3; ++round) {
+    for (auto& [name, query] : suite) {
+      Result<service::QueryHandle> submitted = service.Submit(name, query);
+      ASSERT_TRUE(submitted.ok());
+      handles.push_back(submitted.take());
+    }
+  }
+  size_t completed = 0;
+  for (size_t i = 0; i < handles.size(); ++i) {
+    const Result<QueryResult>& result = handles[i].Await();
+    if (!result.ok()) continue;  // a query may exhaust its retry budget
+    ++completed;
+    // Whatever survives the chaos is still bit-identical to the truth.
+    ExpectTablesBitIdentical(truth[i % truth.size()].single.table,
+                             result->table);
+  }
+  service.Shutdown();
+  const service::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, completed);
+  EXPECT_EQ(stats.completed + stats.failed, stats.admitted);
+  EXPECT_GT(completed, handles.size() / 2)
+      << "retries should recover most transient faults";
+}
+
+}  // namespace
+}  // namespace gpl
