@@ -20,6 +20,13 @@
 ///   --wg=<int>                        pin wg_Ki (disables tuning)
 ///   --partitioned                     enable radix-partitioned hash joins
 ///   --explain                         print the physical plan and exit
+///   --explain-analyze                 execute the query and print the plan
+///                                     annotated with actual rows, simulated
+///                                     cycles, prediction error, host wall
+///                                     time, channel bytes, cache/degradation
+///                                     flags per segment (GPL modes only)
+///   --explain-json=<file>             with --explain-analyze, also write the
+///                                     report(s) as a JSON array
 ///   --rows=<int>                      result rows to print (default 10)
 ///   --verify                          check results against the CPU reference
 ///   --dump-tbl=<dir>                  write the generated data as .tbl files
@@ -75,21 +82,43 @@
 ///   With --trace, serve mode writes the service timeline (per-worker
 ///   queue/exec spans, retry attempts, concurrency counter, rejection
 ///   instants) instead of the simulator timeline.
+///
+/// Live telemetry (serve mode, obs::MetricsRegistry):
+///   --serve-metrics                   register service/engine/simulator
+///                                     metrics and print the final Prometheus
+///                                     exposition to stdout
+///   --stats-interval-ms=<T>           sample the registry every T ms while
+///                                     serving (implies --serve-metrics); one
+///                                     snapshot is always taken at start and
+///                                     one after shutdown, so every run emits
+///                                     at least two
+///   --stats-jsonl=<file>              append each snapshot as one JSON line
+///                                     {"seq", "elapsed_ms", "snapshot"}
+///   --prom-textfile=<file>            rewrite a Prometheus textfile
+///                                     (write-to-temp + rename) per snapshot
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/math_util.h"
 #include "engine/engine.h"
+#include "engine/explain_analyze.h"
 #include "engine/metrics_json.h"
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "trace/json.h"
 #include "queries/tpch_queries.h"
 #include "ref/reference_executor.h"
 #include "service/query_service.h"
@@ -111,6 +140,8 @@ struct CliOptions {
   int wg = 0;
   bool partitioned = false;
   bool explain = false;
+  bool explain_analyze = false;
+  std::string explain_json_path;
   bool verify = false;
   bool breakdown = false;
   int host_threads = 0;          ///< 0 = hardware concurrency
@@ -136,12 +167,19 @@ struct CliOptions {
   double fault_rate = 0.0;
   uint64_t fault_seed = 0x9e3779b97f4a7c15ULL;
   int max_retries = 0;
+
+  // Live telemetry (serve mode).
+  bool serve_metrics = false;
+  double stats_interval_ms = 0.0;
+  std::string stats_jsonl_path;
+  std::string prom_textfile_path;
 };
 
 /// Per-run accumulators shared across queries (one timeline, one report).
 struct RunState {
   trace::TraceCollector* trace = nullptr;
   std::vector<MetricsJsonEntry> metrics;
+  std::vector<std::string> explain_jsons;
   double total_elapsed_ms = 0.0;
 };
 
@@ -158,7 +196,9 @@ int Usage(const char* argv0) {
                "noce|ocelot]\n"
                "          [--device=amd|nvidia] [--sf=0.05] [--seed=N] "
                "[--tile=KB] [--wg=N]\n"
-               "          [--partitioned] [--explain] [--verify] [--rows=N]\n"
+               "          [--partitioned] [--explain] [--explain-analyze "
+               "[--explain-json=FILE]]\n"
+               "          [--verify] [--rows=N]\n"
                "          [--dump-tbl=DIR] [--tbl-dir=DIR]\n"
                "          [--trace=FILE.json] [--metrics-json=FILE.json] "
                "[--breakdown]\n"
@@ -168,7 +208,9 @@ int Usage(const char* argv0) {
                "          [--serve-workers=N [--serve-queries=M] "
                "[--serve-queue=C] [--timeout-ms=T]\n"
                "           [--fault-rate=P] [--fault-seed=N] "
-               "[--max-retries=R]]\n",
+               "[--max-retries=R]\n"
+               "           [--serve-metrics] [--stats-interval-ms=T "
+               "[--stats-jsonl=FILE] [--prom-textfile=FILE]]]\n",
                argv0);
   return 2;
 }
@@ -199,6 +241,27 @@ int RunQuery(Engine& engine, shard::ShardedExecutor* sharded,
              const tpch::Database& db, const CliOptions& cli,
              const std::string& name, const LogicalQuery& query,
              RunState* state) {
+  if (cli.explain_analyze) {
+    Result<ExplainAnalyzeReport> report = ExplainAnalyze(engine, query);
+    if (!report.ok()) {
+      std::fprintf(stderr, "EXPLAIN ANALYZE %s failed: %s\n", name.c_str(),
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("=== %s ===\n%s\n", name.c_str(), report->ToString().c_str());
+    // The report's metrics ARE the QueryMetrics of this execution, so the
+    // same invocation can emit a consistent --metrics-json for it.
+    state->total_elapsed_ms += report->metrics.elapsed_ms;
+    MetricsJsonEntry entry;
+    entry.query = name;
+    entry.mode = EngineModeName(engine.options().mode);
+    entry.device = engine.options().device.name;
+    entry.metrics = report->metrics;
+    state->metrics.push_back(std::move(entry));
+    state->explain_jsons.push_back(report->ToJson());
+    return 0;
+  }
+
   if (cli.explain) {
     Result<PhysicalOpPtr> plan = engine.Plan(query);
     if (!plan.ok()) {
@@ -292,6 +355,30 @@ int RunQuery(Engine& engine, shard::ShardedExecutor* sharded,
   return 0;
 }
 
+/// Writes one telemetry snapshot: a JSONL line to `jsonl` (when open) and an
+/// atomic rewrite of the Prometheus textfile at `prom_path` (when set). The
+/// registry is collected once and both outputs render the same snapshot.
+bool EmitSnapshot(const obs::MetricsRegistry& registry, int seq,
+                  double elapsed_ms, std::ofstream* jsonl,
+                  const std::string& prom_path) {
+  const std::vector<obs::FamilySnapshot> families = registry.Collect();
+  if (jsonl != nullptr && jsonl->is_open()) {
+    *jsonl << "{\"seq\":" << seq
+           << ",\"elapsed_ms\":" << trace::JsonNumber(elapsed_ms)
+           << ",\"snapshot\":" << obs::JsonSnapshot(families) << "}\n";
+    jsonl->flush();
+  }
+  if (!prom_path.empty()) {
+    const std::string tmp = prom_path + ".tmp";
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.is_open()) return false;
+    out << obs::PrometheusText(families);
+    out.close();
+    if (std::rename(tmp.c_str(), prom_path.c_str()) != 0) return false;
+  }
+  return true;
+}
+
 /// Closed-loop serve driver: pushes --serve-queries queries (round-robin over
 /// the workload) through a QueryService. When the admission queue rejects a
 /// submission, the driver drains the oldest in-flight query and retries —
@@ -309,8 +396,14 @@ int RunServe(const tpch::Database& db, const CliOptions& cli,
   const std::vector<std::pair<std::string, LogicalQuery>>& workload =
       *workload_or;
 
+  // Declared before the service so callback gauges registered by the
+  // service never outlive their registry.
+  obs::MetricsRegistry registry;
+  const bool metrics_enabled = cli.serve_metrics || cli.stats_interval_ms > 0;
+
   service::ServiceOptions sopts;
   sopts.num_workers = cli.serve_workers;
+  if (metrics_enabled) sopts.metrics = &registry;
   sopts.queue_capacity = static_cast<size_t>(cli.serve_queue);
   sopts.default_timeout_ms = cli.timeout_ms;
   sopts.engine = engine_options;
@@ -344,6 +437,43 @@ int RunServe(const tpch::Database& db, const CliOptions& cli,
 
   service::QueryService svc(&db, sopts);
   const auto wall_start = std::chrono::steady_clock::now();
+
+  // Periodic telemetry sampler. One snapshot is taken up front and one after
+  // shutdown, so every sampled run produces at least two even if the
+  // workload drains faster than the interval.
+  std::ofstream stats_jsonl;
+  if (!cli.stats_jsonl_path.empty()) {
+    stats_jsonl.open(cli.stats_jsonl_path, std::ios::trunc);
+    if (!stats_jsonl.is_open()) {
+      std::fprintf(stderr, "cannot open %s\n", cli.stats_jsonl_path.c_str());
+      return 1;
+    }
+  }
+  int snapshot_seq = 0;
+  std::mutex sampler_mu;
+  std::condition_variable sampler_cv;
+  bool sampler_stop = false;
+  std::thread sampler;
+  const auto elapsed_ms = [&wall_start] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - wall_start)
+        .count();
+  };
+  if (cli.stats_interval_ms > 0) {
+    EmitSnapshot(registry, snapshot_seq++, elapsed_ms(), &stats_jsonl,
+                 cli.prom_textfile_path);
+    sampler = std::thread([&] {
+      const auto interval =
+          std::chrono::duration<double, std::milli>(cli.stats_interval_ms);
+      std::unique_lock<std::mutex> lock(sampler_mu);
+      while (!sampler_cv.wait_for(lock, interval,
+                                  [&] { return sampler_stop; })) {
+        // snapshot_seq is only touched here until the thread is joined.
+        EmitSnapshot(registry, snapshot_seq++, elapsed_ms(), &stats_jsonl,
+                     cli.prom_textfile_path);
+      }
+    });
+  }
 
   std::deque<service::QueryHandle> inflight;
   int failures = 0;
@@ -382,6 +512,25 @@ int RunServe(const tpch::Database& db, const CliOptions& cli,
       failures++;
     }
   }
+  // Final snapshot and exposition before Shutdown(): every in-flight query
+  // has been awaited above, so the numbers are final, but the service's
+  // callback gauges (tuning cache, thread pool) are still registered.
+  if (cli.stats_interval_ms > 0) {
+    {
+      std::lock_guard<std::mutex> lock(sampler_mu);
+      sampler_stop = true;
+    }
+    sampler_cv.notify_all();
+    sampler.join();
+    if (!EmitSnapshot(registry, snapshot_seq++, elapsed_ms(), &stats_jsonl,
+                      cli.prom_textfile_path)) {
+      std::fprintf(stderr, "writing %s failed\n",
+                   cli.prom_textfile_path.c_str());
+      return 1;
+    }
+  }
+  std::string final_exposition;
+  if (cli.serve_metrics) final_exposition = obs::PrometheusText(registry);
   svc.Shutdown();
 
   const double wall_s =
@@ -392,6 +541,17 @@ int RunServe(const tpch::Database& db, const CliOptions& cli,
   std::printf("--- service stats ---\n%s\n", stats.ToString().c_str());
   std::printf("host wall time %.3f s, %.1f queries/s (completed)\n", wall_s,
               wall_s > 0 ? static_cast<double>(stats.completed) / wall_s : 0.0);
+  if (cli.stats_interval_ms > 0) {
+    std::printf("wrote %d metric snapshots%s%s%s%s\n", snapshot_seq,
+                cli.stats_jsonl_path.empty() ? "" : " to ",
+                cli.stats_jsonl_path.c_str(),
+                cli.prom_textfile_path.empty() ? "" : ", prom textfile ",
+                cli.prom_textfile_path.c_str());
+  }
+  if (cli.serve_metrics) {
+    std::printf("--- metrics (prometheus exposition) ---\n%s",
+                final_exposition.c_str());
+  }
 
   if (!cli.trace_path.empty()) {
     trace::TraceCollector collector;
@@ -458,6 +618,14 @@ int main(int argc, char** argv) {
       cli.fault_seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "max-retries", &value)) {
       cli.max_retries = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "explain-json", &value)) {
+      cli.explain_json_path = value;
+    } else if (ParseFlag(argv[i], "stats-interval-ms", &value)) {
+      cli.stats_interval_ms = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "stats-jsonl", &value)) {
+      cli.stats_jsonl_path = value;
+    } else if (ParseFlag(argv[i], "prom-textfile", &value)) {
+      cli.prom_textfile_path = value;
     } else if (ParseFlag(argv[i], "host-threads", &value)) {
       cli.host_threads = std::atoi(value.c_str());
     } else if (std::strcmp(argv[i], "--no-tuning-cache") == 0) {
@@ -468,6 +636,10 @@ int main(int argc, char** argv) {
       cli.partitioned = true;
     } else if (std::strcmp(argv[i], "--explain") == 0) {
       cli.explain = true;
+    } else if (std::strcmp(argv[i], "--explain-analyze") == 0) {
+      cli.explain_analyze = true;
+    } else if (std::strcmp(argv[i], "--serve-metrics") == 0) {
+      cli.serve_metrics = true;
     } else if (std::strcmp(argv[i], "--verify") == 0) {
       cli.verify = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -494,6 +666,34 @@ int main(int argc, char** argv) {
   if (cli.fault_rate > 0.0 && cli.serve_workers <= 0) {
     std::fprintf(stderr, "--fault-rate requires serve mode "
                          "(--serve-workers=N)\n");
+    return 2;
+  }
+  if (cli.explain && cli.explain_analyze) {
+    std::fprintf(stderr, "--explain and --explain-analyze are exclusive\n");
+    return 2;
+  }
+  if (!cli.explain_json_path.empty() && !cli.explain_analyze) {
+    std::fprintf(stderr, "--explain-json requires --explain-analyze\n");
+    return 2;
+  }
+  if (cli.explain_analyze && cli.serve_workers > 0) {
+    std::fprintf(stderr, "--explain-analyze is a single-query mode\n");
+    return 2;
+  }
+  if (cli.stats_interval_ms < 0.0) {
+    std::fprintf(stderr, "--stats-interval-ms must be positive\n");
+    return 2;
+  }
+  if ((cli.serve_metrics || cli.stats_interval_ms > 0) &&
+      cli.serve_workers <= 0) {
+    std::fprintf(stderr, "--serve-metrics/--stats-interval-ms require serve "
+                         "mode (--serve-workers=N)\n");
+    return 2;
+  }
+  if ((!cli.stats_jsonl_path.empty() || !cli.prom_textfile_path.empty()) &&
+      cli.stats_interval_ms <= 0) {
+    std::fprintf(stderr,
+                 "--stats-jsonl/--prom-textfile require --stats-interval-ms\n");
     return 2;
   }
 
@@ -584,6 +784,13 @@ int main(int argc, char** argv) {
   options.exec.shards = cli.shards;
   options.exec.link_gbps = cli.link_gbps;
 
+  if (cli.explain_analyze && cli.shards > 1) {
+    std::fprintf(stderr,
+                 "--explain-analyze annotates single-device GPL plans; it "
+                 "does not support --shards\n");
+    return 2;
+  }
+
   // ---- Serve mode ----
   if (cli.serve_workers > 0) {
     return RunServe(db, cli, options, devices, link, *scheme_or);
@@ -666,6 +873,21 @@ int main(int argc, char** argv) {
                 "instants) to %s — load it in Perfetto or chrome://tracing\n",
                 collector.spans().size(), collector.counters().size(),
                 collector.instants().size(), cli.trace_path.c_str());
+  }
+  if (!cli.explain_json_path.empty()) {
+    std::ofstream file(cli.explain_json_path);
+    if (!file.is_open()) {
+      std::fprintf(stderr, "cannot open %s\n", cli.explain_json_path.c_str());
+      return 1;
+    }
+    file << "[";
+    for (size_t i = 0; i < state.explain_jsons.size(); ++i) {
+      if (i > 0) file << ",";
+      file << state.explain_jsons[i];
+    }
+    file << "]\n";
+    std::printf("wrote EXPLAIN ANALYZE report(s) for %zu run(s) to %s\n",
+                state.explain_jsons.size(), cli.explain_json_path.c_str());
   }
   if (!cli.metrics_json_path.empty()) {
     std::ofstream file(cli.metrics_json_path);

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Compares two metrics/bench JSON files and fails on regressions.
+
+Each input is either a JSON array of objects or JSONL (one object per line).
+Objects are matched by a key field (default: "query") and every shared
+numeric field listed in --field is compared; a higher-is-worse value that
+grew by more than --threshold-pct percent AND more than --abs-slack (in the
+field's own unit) is a regression.
+
+Typical uses:
+  # simulated-time regression between two --metrics-json runs
+  scripts/bench_diff.py base.json new.json --field elapsed_ms
+
+  # serve-mode wall-clock overhead gate (metrics on vs. off)
+  scripts/bench_diff.py off.json on.json --field wall_s \
+      --threshold-pct 3 --abs-slack 0.05
+
+Exits 1 if any regression is found, listing each offending (key, field).
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        text = f.read().strip()
+    if not text:
+        return []
+    if text.startswith("["):
+        data = json.loads(text)
+    else:
+        data = [json.loads(line) for line in text.splitlines() if line.strip()]
+    if not isinstance(data, list):
+        data = [data]
+    return data
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--key", default="query",
+                        help="field matching objects across files")
+    parser.add_argument("--field", action="append", default=[],
+                        help="numeric field(s) to compare "
+                             "(default: elapsed_ms)")
+    parser.add_argument("--threshold-pct", type=float, default=5.0,
+                        help="allowed growth in percent (default 5)")
+    parser.add_argument("--abs-slack", type=float, default=0.0,
+                        help="absolute growth always tolerated, in the "
+                             "field's unit (guards tiny baselines)")
+    args = parser.parse_args()
+    fields = args.field or ["elapsed_ms"]
+
+    baseline = {obj.get(args.key, i): obj
+                for i, obj in enumerate(load(args.baseline))}
+    current = {obj.get(args.key, i): obj
+               for i, obj in enumerate(load(args.current))}
+
+    shared = [k for k in baseline if k in current]
+    if not shared:
+        print("bench_diff: no matching entries between "
+              f"{args.baseline} and {args.current}", file=sys.stderr)
+        sys.exit(1)
+
+    regressions = []
+    for key in shared:
+        for field in fields:
+            old = baseline[key].get(field)
+            new = current[key].get(field)
+            if not isinstance(old, (int, float)) or \
+               not isinstance(new, (int, float)):
+                continue
+            growth = new - old
+            growth_pct = 100.0 * growth / old if old > 0 else float("inf")
+            if growth > args.abs_slack and growth_pct > args.threshold_pct:
+                regressions.append((key, field, old, new, growth_pct))
+            else:
+                print(f"bench_diff: ok {key}.{field}: {old:g} -> {new:g} "
+                      f"({growth_pct:+.2f}%)")
+
+    if regressions:
+        for key, field, old, new, pct in regressions:
+            print(f"bench_diff: REGRESSION {key}.{field}: {old:g} -> {new:g} "
+                  f"({pct:+.2f}% > {args.threshold_pct:g}%)", file=sys.stderr)
+        sys.exit(1)
+    print(f"bench_diff: OK ({len(shared)} entries, fields: "
+          f"{', '.join(fields)}, threshold {args.threshold_pct:g}%)")
+
+
+if __name__ == "__main__":
+    main()

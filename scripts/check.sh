@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # Repo verification: tier-1 build + tests, a -Werror configuration, a
 # ThreadSanitizer build/run of the concurrent QueryService tests, an
-# ASan+UBSan build/run of the fault-injection and service suites, and a
+# ASan+UBSan build/run of the fault-injection and service suites, a
 # tracing smoke run of the CLI whose output is validated by the in-tree
-# JSON parser (via the trace_smoke binary's file-validation mode).
+# JSON parser (via the trace_smoke binary's file-validation mode), an
+# EXPLAIN ANALYZE vs --metrics-json consistency diff, a serve-mode
+# telemetry smoke (JSONL snapshots + Prometheus textfile validated by
+# scripts/validate_prom.py), and a metrics-overhead wall-clock gate
+# (scripts/bench_diff.py, 3% + 50 ms slack).
 #
 # Usage: scripts/check.sh [build-dir]
 set -euo pipefail
@@ -29,17 +33,19 @@ echo "=== tsan: concurrency tests under ThreadSanitizer ==="
 # The concurrent binaries only (the rest of the suite is single-threaded and
 # already covered above): the QueryService worker pool, the work-stealing
 # ThreadPool/ParallelFor, the shared TuningCache, the morsel-parallel
-# engine paths at host_threads > 1, and the sharded service (workers sharing
-# one ShardedDatabase and per-device calibration map).
+# engine paths at host_threads > 1, the sharded service (workers sharing
+# one ShardedDatabase and per-device calibration map), and the
+# MetricsRegistry (service workers updating shared counters/histograms
+# while a sampler thread collects snapshots).
 cmake -B "$BUILD-tsan" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$BUILD-tsan" -j \
   --target service_test --target thread_pool_test --target host_parallel_test \
-  --target fault_test --target shard_test
+  --target fault_test --target shard_test --target obs_test
 ctest --test-dir "$BUILD-tsan" --output-on-failure \
-  -R "QueryService|ThreadPool|TuningCache|HostParallel|ServiceChaos|ShardedService"
+  -R "QueryService|ThreadPool|TuningCache|HostParallel|ServiceChaos|ShardedService|MetricsRegistry"
 
 echo
 echo "=== asan+ubsan: fault-injection and service suites ==="
@@ -66,6 +72,78 @@ trap 'rm -f "$TRACE_OUT" "$METRICS_OUT"' EXIT
 "$BUILD/tests/trace_smoke" "$METRICS_OUT"
 
 echo
+echo "=== explain smoke: EXPLAIN ANALYZE actuals vs --metrics-json ==="
+# One invocation emits both files from the same run; the per-segment actuals
+# in the explain report must agree exactly with the QueryMetrics the engine
+# reported for that run (segment cycles sum to elapsed_cycles, totals match
+# field-for-field).
+EXPLAIN_OUT="$(mktemp /tmp/gpl_check_explain.XXXXXX.json)"
+EXPLAIN_METRICS_OUT="$(mktemp /tmp/gpl_check_explain_metrics.XXXXXX.json)"
+trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$EXPLAIN_OUT" "$EXPLAIN_METRICS_OUT"' EXIT
+"$BUILD/cli/gplcli" --query=Q8 --mode=gpl --sf=0.02 --explain-analyze \
+  --explain-json="$EXPLAIN_OUT" --metrics-json="$EXPLAIN_METRICS_OUT" > /dev/null
+"$BUILD/tests/trace_smoke" "$EXPLAIN_OUT"
+"$BUILD/tests/trace_smoke" "$EXPLAIN_METRICS_OUT"
+python3 - "$EXPLAIN_OUT" "$EXPLAIN_METRICS_OUT" <<'PYEOF'
+import json, sys
+reports = {r["query"]: r for r in json.load(open(sys.argv[1]))}
+entries = {e["query"]: e for e in json.load(open(sys.argv[2]))}
+checked = 0
+for query, report in reports.items():
+    entry = entries[query]
+    for field in ("elapsed_cycles", "elapsed_ms", "predicted_ms",
+                  "channel_bytes", "materialized_bytes", "degraded_segments",
+                  "tuning_cache_hits", "tuning_cache_misses"):
+        if report["metrics"][field] != entry[field]:
+            sys.exit(f"{query}.{field}: explain {report['metrics'][field]} "
+                     f"!= metrics-json {entry[field]}")
+        checked += 1
+    seg_sum = sum(s["actual_cycles"] for s in report["segments"])
+    total = entry["elapsed_cycles"]
+    # %.9g serialization rounds each segment independently.
+    if abs(seg_sum - total) > 1e-6 * max(total, 1.0):
+        sys.exit(f"{query}: segment cycles {seg_sum} != total {total}")
+print(f"explain smoke: OK ({len(reports)} queries, {checked} fields match)")
+PYEOF
+
+echo
+echo "=== serve telemetry smoke: periodic snapshots + Prometheus export ==="
+# A short serve run with the sampler enabled must produce >= 2 JSONL
+# snapshots (each line valid JSON per the in-tree parser) and a textfile
+# that passes the Prometheus 0.0.4 validator with the core service and
+# simulator families present.
+STATS_OUT="$(mktemp /tmp/gpl_check_stats.XXXXXX.jsonl)"
+PROM_OUT="$(mktemp /tmp/gpl_check_prom.XXXXXX.prom)"
+trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$EXPLAIN_OUT" "$EXPLAIN_METRICS_OUT" "$STATS_OUT" "$PROM_OUT"' EXIT
+"$BUILD/cli/gplcli" --query=all --mode=gpl --sf=0.02 \
+  --serve-workers=2 --serve-queries=24 --stats-interval-ms=50 \
+  --stats-jsonl="$STATS_OUT" --prom-textfile="$PROM_OUT" > /dev/null
+"$BUILD/tests/trace_smoke" --jsonl "$STATS_OUT" 2
+python3 scripts/validate_prom.py "$PROM_OUT" \
+  --require-metric gpl_service_latency_ms \
+  --require-metric gpl_service_queries_total \
+  --require-metric gpl_sim_kernel_launches_total
+
+echo
+echo "=== metrics overhead: serve wall-clock, registry on vs. off ==="
+# The null-registry fast path must keep metrics cheap: the instrumented run
+# may not exceed the uninstrumented one by more than 3% AND 50 ms (the
+# absolute slack absorbs scheduler noise on short CI runs).
+OVERHEAD_OFF="$(mktemp /tmp/gpl_check_overhead_off.XXXXXX.json)"
+OVERHEAD_ON="$(mktemp /tmp/gpl_check_overhead_on.XXXXXX.json)"
+trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$EXPLAIN_OUT" "$EXPLAIN_METRICS_OUT" "$STATS_OUT" "$PROM_OUT" "$OVERHEAD_OFF" "$OVERHEAD_ON"' EXIT
+serve_wall() {
+  "$BUILD/cli/gplcli" --query=all --mode=gpl --sf=0.02 \
+    --serve-workers=2 --serve-queries=48 "$@" \
+    | sed -n 's/^host wall time \([0-9.]*\) s.*/\1/p'
+}
+printf '{"query":"serve","wall_s":%s}\n' "$(serve_wall)" > "$OVERHEAD_OFF"
+printf '{"query":"serve","wall_s":%s}\n' \
+  "$(serve_wall --serve-metrics --stats-interval-ms=100)" > "$OVERHEAD_ON"
+python3 scripts/bench_diff.py "$OVERHEAD_OFF" "$OVERHEAD_ON" \
+  --field wall_s --threshold-pct 3 --abs-slack 0.05
+
+echo
 echo "=== perf smoke: host-scaling bench, bit-identity + cache gates ==="
 # The main tree builds RelWithDebInfo (-O2), so this is a release-grade run.
 # --quick exits non-zero if parallel results are not bit-identical to
@@ -73,7 +151,7 @@ echo "=== perf smoke: host-scaling bench, bit-identity + cache gates ==="
 # (tolerance for single-core runners), or if the warm tuning-cache hit rate
 # drops below 90%.
 HOST_SCALING_OUT="$(mktemp /tmp/gpl_check_host_scaling.XXXXXX.jsonl)"
-trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$HOST_SCALING_OUT"' EXIT
+trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$EXPLAIN_OUT" "$EXPLAIN_METRICS_OUT" "$STATS_OUT" "$PROM_OUT" "$OVERHEAD_OFF" "$OVERHEAD_ON" "$HOST_SCALING_OUT"' EXIT
 "$BUILD/bench/bench_host_scaling" --quick --out="$HOST_SCALING_OUT"
 
 echo
@@ -82,7 +160,7 @@ echo "=== shard smoke: shard-scaling bench, bit-identity + speedup gates ==="
 # the single-device run, if a query's speedup degrades going 1 -> 2 -> 4
 # shards, or if no query reaches 1.5x at 4 shards.
 SHARD_SCALING_OUT="$(mktemp /tmp/gpl_check_shard_scaling.XXXXXX.jsonl)"
-trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$HOST_SCALING_OUT" "$SHARD_SCALING_OUT"' EXIT
+trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$EXPLAIN_OUT" "$EXPLAIN_METRICS_OUT" "$STATS_OUT" "$PROM_OUT" "$OVERHEAD_OFF" "$OVERHEAD_ON" "$HOST_SCALING_OUT" "$SHARD_SCALING_OUT"' EXIT
 "$BUILD/bench/bench_shard_scaling" --quick --out="$SHARD_SCALING_OUT"
 
 echo
@@ -90,7 +168,7 @@ echo "=== fault smoke: availability bench, completion-rate gates ==="
 # --quick exits non-zero if the fault-free run completes < 100% or if the
 # retry policy fails to push completion above 90% at fault rate 0.01.
 FAULT_OUT="$(mktemp /tmp/gpl_check_fault.XXXXXX.jsonl)"
-trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$HOST_SCALING_OUT" "$SHARD_SCALING_OUT" "$FAULT_OUT"' EXIT
+trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$EXPLAIN_OUT" "$EXPLAIN_METRICS_OUT" "$STATS_OUT" "$PROM_OUT" "$OVERHEAD_OFF" "$OVERHEAD_ON" "$HOST_SCALING_OUT" "$SHARD_SCALING_OUT" "$FAULT_OUT"' EXIT
 "$BUILD/bench/bench_fault_availability" --quick --out="$FAULT_OUT"
 
 echo

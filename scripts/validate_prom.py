@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus text-exposition (format 0.0.4) file.
+
+Checks, beyond line-level syntax:
+  - every sample belongs to a family announced by # HELP/# TYPE;
+  - metric and label names match the Prometheus charsets;
+  - histogram `le` buckets are cumulative and the +Inf bucket equals _count;
+  - counter samples are non-negative.
+
+Usage: scripts/validate_prom.py FILE [--require-metric NAME]...
+Exits non-zero (with a message) on the first violation.
+"""
+import argparse
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# name{labels} value  — labels optional, value is a float/int/+Inf/NaN.
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))$"
+)
+LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def fail(path, line_no, message):
+    print(f"validate_prom: {path}:{line_no}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_labels(raw, path, line_no):
+    """Returns the label dict, validating the full label string is consumed."""
+    labels = {}
+    rest = raw
+    while rest:
+        m = LABEL.match(rest)
+        if not m:
+            fail(path, line_no, f"malformed labels: {{{raw}}}")
+        labels[m.group(1)] = m.group(2)
+        rest = rest[m.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            fail(path, line_no, f"malformed labels: {{{raw}}}")
+    return labels
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("file")
+    parser.add_argument(
+        "--require-metric",
+        action="append",
+        default=[],
+        help="fail unless this family is present with at least one sample",
+    )
+    args = parser.parse_args()
+
+    types = {}  # family -> type
+    samples = {}  # family -> [(labels, value)]
+    with open(args.file, encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# HELP "):
+                parts = line.split(" ", 3)
+                if len(parts) < 3 or not METRIC_NAME.match(parts[2]):
+                    fail(args.file, line_no, f"bad HELP line: {line}")
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split(" ")
+                if len(parts) != 4 or not METRIC_NAME.match(parts[2]):
+                    fail(args.file, line_no, f"bad TYPE line: {line}")
+                if parts[3] not in ("counter", "gauge", "histogram", "summary",
+                                    "untyped"):
+                    fail(args.file, line_no, f"unknown type: {parts[3]}")
+                types[parts[2]] = parts[3]
+                continue
+            if line.startswith("#"):
+                continue  # comment
+            m = SAMPLE.match(line)
+            if not m:
+                fail(args.file, line_no, f"malformed sample: {line}")
+            name = m.group("name")
+            labels = parse_labels(m.group("labels") or "", args.file, line_no)
+            for label in labels:
+                if not LABEL_NAME.match(label):
+                    fail(args.file, line_no, f"bad label name: {label}")
+            # Strip histogram suffixes to find the announcing family.
+            family = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                base = name[: -len(suffix)] if name.endswith(suffix) else None
+                if base and types.get(base) == "histogram":
+                    family = base
+                    break
+            if family not in types:
+                fail(args.file, line_no,
+                     f"sample for unannounced family: {name}")
+            value = float(m.group("value").replace("Inf", "inf"))
+            if types[family] == "counter" and value < 0:
+                fail(args.file, line_no, f"negative counter: {line}")
+            samples.setdefault(family, []).append((name, labels, value))
+
+    # Histogram coherence: buckets cumulative, +Inf == _count.
+    for family, typ in types.items():
+        if typ != "histogram":
+            continue
+        series = {}  # non-le labels -> {le: value}, plus _count/_sum
+        for name, labels, value in samples.get(family, []):
+            key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            entry = series.setdefault(key, {"buckets": [], "count": None})
+            if name.endswith("_bucket"):
+                entry["buckets"].append((labels.get("le", ""), value))
+            elif name.endswith("_count"):
+                entry["count"] = value
+        for key, entry in series.items():
+            buckets = entry["buckets"]
+            if not buckets:
+                fail(args.file, 0, f"{family}{dict(key)}: no buckets")
+            values = [v for _, v in buckets]
+            if values != sorted(values):
+                fail(args.file, 0,
+                     f"{family}{dict(key)}: buckets not cumulative")
+            inf = [v for le, v in buckets if le == "+Inf"]
+            if not inf:
+                fail(args.file, 0, f"{family}{dict(key)}: missing +Inf bucket")
+            if entry["count"] is not None and inf[0] != entry["count"]:
+                fail(args.file, 0,
+                     f"{family}{dict(key)}: +Inf bucket {inf[0]} != "
+                     f"count {entry['count']}")
+
+    for required in args.require_metric:
+        if not samples.get(required):
+            fail(args.file, 0, f"required metric absent: {required}")
+
+    total = sum(len(v) for v in samples.values())
+    print(f"validate_prom: OK ({args.file}: {len(types)} families, "
+          f"{total} samples)")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,6 +4,8 @@
 #include <cctype>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
+#include <mutex>
 
 #include "common/status.h"
 
@@ -17,20 +19,86 @@ std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
 /// One-time lazy init from GPL_LOG_LEVEL before the first threshold read.
 std::atomic<bool> g_env_checked{false};
 
-const char* LevelName(LogLevel level) {
-  switch (level) {
-    case LogLevel::kDebug:
-      return "DEBUG";
-    case LogLevel::kInfo:
-      return "INFO";
-    case LogLevel::kWarning:
-      return "WARN";
-    case LogLevel::kError:
-      return "ERROR";
-    case LogLevel::kFatal:
-      return "FATAL";
+std::mutex g_sink_mu;
+LogSink g_sink;  // guarded by g_sink_mu
+
+/// True when `s` renders as a bare logfmt token without quoting.
+bool IsToken(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c))) continue;
+    if (c == '_' || c == '.' || c == ':' || c == '+' || c == '/' ||
+        c == '#' || c == '-') {
+      continue;
+    }
+    return false;
   }
-  return "?";
+  return true;
+}
+
+/// Appends `s` quoted, escaping backslash, double quote, and newlines so the
+/// log line stays a single parseable line.
+void AppendQuoted(std::string* out, const std::string& s) {
+  *out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        *out += c;
+    }
+  }
+  *out += '"';
+}
+
+void AppendValue(std::string* out, const std::string& s) {
+  if (IsToken(s)) {
+    *out += s;
+  } else {
+    AppendQuoted(out, s);
+  }
+}
+
+/// UTC wall-clock timestamp with millisecond resolution,
+/// e.g. 2026-08-08T12:34:56.789Z.
+std::string Timestamp() {
+  struct timespec ts;
+  clock_gettime(CLOCK_REALTIME, &ts);
+  struct tm tm_utc;
+  gmtime_r(&ts.tv_sec, &tm_utc);
+  char buf[40];
+  const size_t n = std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%S", &tm_utc);
+  std::snprintf(buf + n, sizeof(buf) - n, ".%03ldZ", ts.tv_nsec / 1000000);
+  return buf;
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+/// Component from a source path: the parent directory name, which in this
+/// tree is the library layer ("src/service/query_service.cc" -> "service").
+std::string ComponentFromPath(const char* path) {
+  const char* end = std::strrchr(path, '/');
+  if (end == nullptr) return "gpl";
+  const char* begin = end;
+  while (begin > path && begin[-1] != '/') --begin;
+  if (begin == end) return "gpl";
+  return std::string(begin, end);
 }
 }  // namespace
 
@@ -76,23 +144,76 @@ void InitLogLevelFromEnv() {
     g_log_level.store(level, std::memory_order_relaxed);
   } else {
     std::fprintf(stderr,
-                 "[WARN] unrecognized GPL_LOG_LEVEL '%s' "
-                 "(want debug|info|warning|error|fatal)\n",
+                 "level=warn component=common msg=\"unrecognized "
+                 "GPL_LOG_LEVEL '%s' (want debug|info|warning|error|fatal)\"\n",
                  env);
   }
 }
 
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarning:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kFatal:
+      return "fatal";
+  }
+  return "?";
+}
+
+void SetLogSinkForTest(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink = std::move(sink);
+}
+
 namespace internal {
 
-LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+LogMessage::LogMessage(LogLevel level, const char* component, const char* file,
+                       int line)
+    : level_(level), component_(component), file_(file), line_(line) {
   if (!g_env_checked.load(std::memory_order_relaxed)) InitLogLevelFromEnv();
-  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+  enabled_ = level >= g_log_level.load(std::memory_order_relaxed) ||
+             level == LogLevel::kFatal;
+}
+
+void LogMessage::AppendField(const char* key, const std::string& value) {
+  if (!enabled_) return;
+  fields_ += ' ';
+  fields_ += key;
+  fields_ += '=';
+  AppendValue(&fields_, value);
 }
 
 LogMessage::~LogMessage() {
-  if (level_ >= g_log_level.load(std::memory_order_relaxed) ||
-      level_ == LogLevel::kFatal) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  if (enabled_) {
+    std::string line = "ts=" + Timestamp();
+    line += " level=";
+    line += LogLevelName(level_);
+    line += " component=";
+    AppendValue(&line,
+                component_ != nullptr ? component_ : ComponentFromPath(file_));
+    line += fields_;
+    line += " msg=";
+    AppendValue(&line, msg_.str());
+    line += " src=";
+    line += Basename(file_);
+    line += ':';
+    line += std::to_string(line_);
+    LogSink sink;
+    {
+      std::lock_guard<std::mutex> lock(g_sink_mu);
+      sink = g_sink;
+    }
+    if (sink) {
+      sink(level_, line);
+    } else {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

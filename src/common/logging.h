@@ -2,6 +2,7 @@
 #define GPL_COMMON_LOGGING_H_
 
 #include <cstdlib>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -26,30 +27,83 @@ bool ParseLogLevel(const char* text, LogLevel* level);
 /// that change the environment at runtime.
 void InitLogLevelFromEnv();
 
+/// Lowercase name of a level as it appears in the `level=` field.
+const char* LogLevelName(LogLevel level);
+
+/// Test hook: when set, formatted log lines that pass the threshold are
+/// handed to the sink instead of being written to stderr (kFatal still
+/// aborts after invoking the sink). Pass nullptr to restore stderr output.
+using LogSink = std::function<void(LogLevel level, const std::string& line)>;
+void SetLogSinkForTest(LogSink sink);
+
 namespace internal {
 
-/// Stream-style log sink used by the GPL_LOG macro. Emits on destruction;
-/// aborts the process for kFatal.
+/// Builder for one structured log line, used by the GPL_LOG / GPL_SLOG
+/// macros. Emits on destruction, as a single machine-parseable logfmt line:
+///
+///   ts=2026-08-08T12:34:56.789Z level=info component=service query=Q5#3
+///   msg="admitted" src=query_service.cc:323
+///
+/// `component` defaults to the source file's parent directory (the library
+/// layer: common, sim, engine, service, ...). Fields added with Field()
+/// appear between `component=` and `msg=` in insertion order; values are
+/// quoted and escaped unless they are simple tokens. Anything streamed via
+/// stream()/operator<< becomes the msg= value. Aborts the process for
+/// kFatal.
 class LogMessage {
  public:
-  LogMessage(LogLevel level, const char* file, int line);
+  LogMessage(LogLevel level, const char* component, const char* file,
+             int line);
   ~LogMessage();
 
   LogMessage(const LogMessage&) = delete;
   LogMessage& operator=(const LogMessage&) = delete;
 
-  std::ostream& stream() { return stream_; }
+  /// Adds a `key=value` field. Values render through operator<< and are
+  /// quote-escaped when they contain anything outside [A-Za-z0-9_.:+/#-].
+  template <typename T>
+  LogMessage& Field(const char* key, const T& value) {
+    std::ostringstream rendered;
+    rendered << value;
+    AppendField(key, rendered.str());
+    return *this;
+  }
+
+  /// Message body stream (the msg= field).
+  std::ostream& stream() { return msg_; }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    msg_ << value;
+    return *this;
+  }
 
  private:
+  void AppendField(const char* key, const std::string& value);
+
   LogLevel level_;
-  std::ostringstream stream_;
+  bool enabled_;
+  const char* component_;
+  const char* file_;
+  int line_;
+  std::string fields_;  ///< pre-rendered " key=value ..." (leading space)
+  std::ostringstream msg_;
 };
 
 }  // namespace internal
 
-#define GPL_LOG(level)                                                      \
-  ::gpl::internal::LogMessage(::gpl::LogLevel::k##level, __FILE__, __LINE__) \
+/// Stream-style logging with the component derived from the source path.
+#define GPL_LOG(level)                                                \
+  ::gpl::internal::LogMessage(::gpl::LogLevel::k##level, nullptr,     \
+                              __FILE__, __LINE__)                     \
       .stream()
+
+/// Structured logging with an explicit component; chain .Field(k, v) calls
+/// and stream the message: GPL_SLOG(Info, "service").Field("query", name)
+/// << "admitted".
+#define GPL_SLOG(level, component)                                    \
+  ::gpl::internal::LogMessage(::gpl::LogLevel::k##level, component,   \
+                              __FILE__, __LINE__)
 
 /// Invariant check that aborts with a message on failure. Used for internal
 /// invariants (programming errors), not for recoverable conditions.

@@ -78,18 +78,22 @@ bool ThreadPool::RunOneTask(int home) {
     } else {
       task = std::move(queue.tasks.front());  // steal: FIFO (oldest first)
       queue.tasks.pop_front();
+      steals_.fetch_add(1, std::memory_order_relaxed);
     }
     pending_.fetch_sub(1, std::memory_order_acq_rel);
   }
   if (!task) return false;
   task();
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
   const int n = num_threads();
   if (n <= 0) {
     task();  // no workers at all: degrade to inline execution
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   const int worker = tls_worker_index;

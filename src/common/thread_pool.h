@@ -19,6 +19,14 @@ namespace gpl {
 /// what makes the parallel paths bit-identical to the serial oracle.
 constexpr int64_t kMorselRows = 4096;
 
+/// Counters exposed by ThreadPool::stats(); monotonic over the pool's
+/// lifetime. Surfaced as callback gauges in the metrics registry.
+struct ThreadPoolStats {
+  uint64_t tasks_submitted = 0;  ///< Submit() calls (inline fallbacks too)
+  uint64_t tasks_executed = 0;   ///< tasks completed by pool workers
+  uint64_t steals = 0;           ///< tasks taken from another worker's deque
+};
+
 /// A work-stealing host thread pool. One instance is shared per process
 /// (Global()) by the QueryService workers, the engines' functional primitive
 /// bodies and the plan tuner; tests may construct private pools.
@@ -74,6 +82,15 @@ class ThreadPool {
   /// hardware thread and grown on demand by ScopedHostParallelism.
   static ThreadPool& Global();
 
+  /// Snapshot of the pool's lifetime counters (relaxed reads).
+  ThreadPoolStats stats() const {
+    ThreadPoolStats s;
+    s.tasks_submitted = tasks_submitted_.load(std::memory_order_relaxed);
+    s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+    s.steals = steals_.load(std::memory_order_relaxed);
+    return s;
+  }
+
  private:
   struct WorkerQueue {
     std::mutex mu;
@@ -91,6 +108,9 @@ class ThreadPool {
   std::atomic<int> active_threads_{0};
   std::atomic<uint64_t> next_victim_{0};
   std::atomic<int64_t> pending_{0};
+  std::atomic<uint64_t> tasks_submitted_{0};
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> steals_{0};
 
   std::mutex mu_;  ///< guards workers_/stop_ and the idle wait
   std::condition_variable idle_cv_;

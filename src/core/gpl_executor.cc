@@ -109,6 +109,7 @@ Result<GplRunResult> GplExecutor::Run(const SegmentedPlan& plan,
       GPL_RETURN_NOT_OK(options.exec.cancel->Check());
     }
     const Segment& segment = plan.segments[i];
+    const auto segment_start = std::chrono::steady_clock::now();
     GPL_ASSIGN_OR_RETURN(Table input, ResolveInput(segment, outputs));
 
     const model::SegmentDesc desc =
@@ -118,11 +119,12 @@ Result<GplRunResult> GplExecutor::Run(const SegmentedPlan& plan,
     const auto tune_start = std::chrono::steady_clock::now();
     const model::TuningOverrides& overrides = options.exec.overrides;
     model::TuningChoice choice;
+    bool tuning_cache_hit = false;
     if (options.exec.use_cost_model) {
       const bool cache_enabled =
           tuning_cache_ != nullptr && options.exec.use_tuning_cache;
       std::string signature;
-      bool hit = false;
+      bool& hit = tuning_cache_hit;
       if (cache_enabled) {
         signature = model::TuningCache::SegmentSignature(simulator_->device(),
                                                          desc, overrides);
@@ -197,9 +199,12 @@ Result<GplRunResult> GplExecutor::Run(const SegmentedPlan& plan,
     spec.trace = options.exec.trace;
     spec.fault = options.exec.fault;
     spec.label = "segment " + std::to_string(i) + ": " + report.description;
-    GPL_LOG(Debug) << spec.label << " (tile=" << spec.tile_bytes
-                   << "B, kernels=" << spec.kernels.size()
-                   << ", concurrent=" << options.concurrent << ")";
+    GPL_SLOG(Debug, "core")
+        .Field("segment", spec.label)
+        .Field("tile_bytes", spec.tile_bytes)
+        .Field("kernels", spec.kernels.size())
+        .Field("concurrent", options.concurrent)
+        << "running segment";
     Result<sim::SimResult> sim_result =
         options.concurrent ? simulator_->RunPipeline(spec)
                            : simulator_->RunSequentialTiles(spec);
@@ -210,8 +215,9 @@ Result<GplRunResult> GplExecutor::Run(const SegmentedPlan& plan,
       // channels, so re-execute it kernel-at-a-time (the w/o-CE path needs
       // none). The functional output is already computed and unaffected;
       // only the simulated timing of this segment degrades.
-      GPL_LOG(Warning) << spec.label << " degrading to kernel-at-a-time: "
-                       << sim_result.status().ToString();
+      GPL_SLOG(Warning, "core").Field("segment", spec.label)
+          << "degrading to kernel-at-a-time: "
+          << sim_result.status().ToString();
       sim_result = simulator_->RunSequentialTiles(spec);
       if (sim_result.ok()) {
         report.degraded = true;
@@ -228,6 +234,10 @@ Result<GplRunResult> GplExecutor::Run(const SegmentedPlan& plan,
     report.tuning = choice;
     report.predicted_cycles = choice.estimate.total_cycles;
     report.measured_cycles = report.sim.counters.elapsed_cycles;
+    report.tuning_cache_hit = tuning_cache_hit;
+    report.host_wall_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - segment_start)
+                              .count();
     outputs[i] = func.output;
     report.observations = std::move(func);
     result.segments.push_back(std::move(report));

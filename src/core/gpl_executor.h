@@ -37,6 +37,12 @@ struct SegmentReport {
   FunctionalRun observations;
   double predicted_cycles = 0.0;
   double measured_cycles = 0.0;
+  /// Host wall-clock this segment spent in tuning + functional execution +
+  /// simulation. Host time, never comparable to the simulated cycles above.
+  double host_wall_ms = 0.0;
+  /// True when the tuner's choice came from the shared TuningCache instead
+  /// of a fresh grid search.
+  bool tuning_cache_hit = false;
   /// True when this segment's channel allocation failed and it re-executed
   /// under kernel-at-a-time tiling (the w/o-CE path) instead.
   bool degraded = false;

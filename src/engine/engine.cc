@@ -63,7 +63,7 @@ Engine::Engine(const tpch::Database* db, EngineOptions options)
     : db_(db),
       options_(std::move(options)),
       catalog_(Catalog::FromDatabase(*db)),
-      simulator_(options_.device),
+      simulator_(options_.device, options_.metrics),
       owned_calibration_(options_.calibration != nullptr
                              ? std::optional<model::CalibrationTable>()
                              : model::CalibrationTable::Run(simulator_)),
@@ -106,9 +106,12 @@ Result<QueryResult> Engine::Execute(const LogicalQuery& query,
                              .count();
   GPL_ASSIGN_OR_RETURN(QueryResult result, ExecutePlan(plan, exec));
   result.metrics.plan_wall_ms += plan_ms;
-  GPL_LOG(Info) << query.name << " under " << EngineModeName(options_.mode)
-                << ": " << result.metrics.elapsed_ms << " ms simulated ("
-                << result.metrics.OptimizeWallMs() << " ms host planning)";
+  GPL_SLOG(Info, "engine")
+      .Field("query", query.name)
+      .Field("mode", EngineModeName(options_.mode))
+      .Field("sim_ms", result.metrics.elapsed_ms)
+      .Field("plan_ms", result.metrics.OptimizeWallMs())
+      << "query executed";
   return result;
 }
 
@@ -127,19 +130,25 @@ Result<QueryResult> Engine::ExecutePlan(const PhysicalOpPtr& plan,
     case EngineMode::kGplNoCe: {
       GPL_ASSIGN_OR_RETURN(GplRunResult run, ExecuteGplDetailed(plan, exec));
       QueryResult result;
+      result.metrics = FinalizeGplMetrics(run);
       result.table = std::move(run.output);
-      result.metrics.counters = run.counters;
-      result.metrics.Finalize(simulator_.device());
-      result.metrics.predicted_ms =
-          simulator_.device().CyclesToMs(run.predicted_total_cycles);
-      result.metrics.tune_wall_ms = run.tuner_wall_ms;
-      result.metrics.tuning_cache_hits = run.tuning_cache_hits;
-      result.metrics.tuning_cache_misses = run.tuning_cache_misses;
-      result.metrics.degraded_segments = run.degraded_segments;
       return result;
     }
   }
   return Status::Internal("unknown engine mode");
+}
+
+QueryMetrics Engine::FinalizeGplMetrics(const GplRunResult& run) const {
+  QueryMetrics metrics;
+  metrics.counters = run.counters;
+  metrics.Finalize(simulator_.device());
+  metrics.predicted_ms =
+      simulator_.device().CyclesToMs(run.predicted_total_cycles);
+  metrics.tune_wall_ms = run.tuner_wall_ms;
+  metrics.tuning_cache_hits = run.tuning_cache_hits;
+  metrics.tuning_cache_misses = run.tuning_cache_misses;
+  metrics.degraded_segments = run.degraded_segments;
+  return metrics;
 }
 
 Result<GplRunResult> Engine::ExecuteGplDetailed(const PhysicalOpPtr& plan) {

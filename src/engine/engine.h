@@ -75,6 +75,12 @@ struct EngineOptions {
   /// owns a private cache. Must outlive the engine. TuningCache is
   /// thread-safe, unlike the Engine itself.
   model::TuningCache* tuning_cache = nullptr;
+
+  /// Optional metrics registry. When set, the engine's Simulator registers
+  /// its per-device counters there; nullptr (the default) is the
+  /// null-registry fast path — no registration, one dead branch per
+  /// instrumented site. Must outlive the engine.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// The public entry point of the library: executes TPC-H-style analytical
@@ -129,6 +135,12 @@ class Engine {
 
   /// Builds the optimized physical plan for a query (EXPLAIN support).
   Result<PhysicalOpPtr> Plan(const LogicalQuery& query) const;
+
+  /// Converts a detailed GPL run into the QueryMetrics that ExecutePlan
+  /// would return for it (counters finalized for this engine's device,
+  /// predicted_ms, tuning-cache and degradation tallies). Shared by
+  /// ExecutePlan and EXPLAIN ANALYZE so the two always agree.
+  QueryMetrics FinalizeGplMetrics(const GplRunResult& run) const;
 
  private:
   const tpch::Database* db_;

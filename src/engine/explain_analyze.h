@@ -1,0 +1,89 @@
+#ifndef GPL_ENGINE_EXPLAIN_ANALYZE_H_
+#define GPL_ENGINE_EXPLAIN_ANALYZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/engine.h"
+#include "engine/metrics.h"
+#include "plan/logical_plan.h"
+
+namespace gpl {
+
+/// One kernel stage of an executed segment, annotated with the cardinalities
+/// actually observed during functional execution (not optimizer estimates).
+struct ExplainAnalyzeStage {
+  std::string kernel;
+  int64_t rows_in = 0;
+  int64_t bytes_in = 0;
+  int64_t rows_out = 0;
+  int64_t bytes_out = 0;
+};
+
+/// One executed segment of the plan, annotated with actuals next to the cost
+/// model's predictions. `actual_cycles` / `predicted_cycles` are simulated
+/// quantities (deterministic); `host_wall_ms` is host wall-clock and must
+/// never be compared against them.
+struct ExplainAnalyzeSegment {
+  int index = 0;
+  std::string description;  ///< "k_scan -> k_filter -> ..."
+  std::vector<ExplainAnalyzeStage> stages;
+
+  int64_t num_tiles = 0;
+  int64_t tile_bytes = 0;       ///< the tuner's Δ choice
+  std::vector<int> workgroups;  ///< wg_Ki per stage
+
+  double predicted_cycles = 0.0;  ///< cost-model estimate (T_Sk)
+  double actual_cycles = 0.0;     ///< simulated elapsed cycles
+  double predicted_ms = 0.0;      ///< predicted_cycles on the device clock
+  double actual_ms = 0.0;         ///< actual_cycles on the device clock
+  double host_wall_ms = 0.0;      ///< tuning + functional + simulation
+
+  int64_t channel_bytes = 0;       ///< intermediates passed through channels
+  int64_t materialized_bytes = 0;  ///< intermediates via global memory
+
+  bool tuning_cache_hit = false;
+  bool degraded = false;  ///< fell back to kernel-at-a-time execution
+
+  /// Signed prediction error, (predicted - actual) / actual * 100.
+  /// 0 when the segment simulated to zero cycles.
+  double CycleErrorPct() const;
+};
+
+/// The result of EXPLAIN ANALYZE: the optimized plan, per-segment actuals
+/// vs. predictions, and the exact QueryMetrics the same execution would have
+/// returned through Engine::ExecutePlan (built by Engine::FinalizeGplMetrics
+/// from the same run, so the totals here always match a --metrics-json run
+/// of the same query on the simulated-time fields).
+struct ExplainAnalyzeReport {
+  std::string query;
+  std::string mode;
+  std::string device;
+  std::string plan_text;  ///< PlanToString of the optimized physical plan
+  std::vector<ExplainAnalyzeSegment> segments;
+  QueryMetrics metrics;
+  int64_t output_rows = 0;
+
+  /// Human-readable rendering: the plan tree followed by the annotated
+  /// per-segment tree and a totals line.
+  std::string ToString() const;
+  /// Machine-readable rendering; always passes trace::ValidateJson. The
+  /// "metrics" object uses the same field names as --metrics-json.
+  std::string ToJson() const;
+};
+
+/// Plans and EXECUTES `query` (EXPLAIN ANALYZE, not EXPLAIN: the results are
+/// computed and the timing simulated for real), returning the annotated
+/// report. Only the GPL modes (kGpl, kGplNoCe) have segmented plans to
+/// annotate; KBE/Ocelot return kUnimplemented.
+Result<ExplainAnalyzeReport> ExplainAnalyze(Engine& engine,
+                                            const LogicalQuery& query);
+Result<ExplainAnalyzeReport> ExplainAnalyze(Engine& engine,
+                                            const LogicalQuery& query,
+                                            const ExecOptions& exec);
+
+}  // namespace gpl
+
+#endif  // GPL_ENGINE_EXPLAIN_ANALYZE_H_

@@ -1,0 +1,222 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+#include "trace/json.h"
+
+namespace gpl {
+namespace obs {
+
+namespace {
+
+bool ValidNameChar(char c, bool first, bool allow_colon) {
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') return true;
+  if (allow_colon && c == ':') return true;
+  return !first && std::isdigit(static_cast<unsigned char>(c));
+}
+
+std::string Sanitize(const std::string& name, bool allow_colon) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (name.empty()) return "_";
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    if (ValidNameChar(c, /*first=*/i == 0, allow_colon)) {
+      out += c;
+    } else if (i == 0 && std::isdigit(static_cast<unsigned char>(c))) {
+      out += '_';
+      out += c;
+    } else {
+      out += '_';
+    }
+  }
+  return out;
+}
+
+/// Escapes a Prometheus label value or help string: backslash, newline and
+/// (for label values) double quote.
+std::string PromEscape(const std::string& s, bool label_value) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '"':
+        out += label_value ? "\\\"" : "\"";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string PromLabels(const Labels& labels, const std::string& extra_key = "",
+                       const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += SanitizeLabelName(key) + "=\"" + PromEscape(value, true) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + PromEscape(extra_value, true) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string FormatUint(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+void AppendJsonKey(std::string* out, const char* key) {
+  if (out->back() != '{' && out->back() != '[') *out += ",";
+  *out += "\"";
+  *out += key;
+  *out += "\":";
+}
+
+}  // namespace
+
+std::string SanitizeMetricName(const std::string& name) {
+  return Sanitize(name, /*allow_colon=*/true);
+}
+
+std::string SanitizeLabelName(const std::string& name) {
+  return Sanitize(name, /*allow_colon=*/false);
+}
+
+std::string PrometheusText(const std::vector<FamilySnapshot>& families) {
+  std::string out;
+  for (const FamilySnapshot& family : families) {
+    const std::string name = SanitizeMetricName(family.name);
+    out += "# HELP " + name + " " + PromEscape(family.help, false) + "\n";
+    out += "# TYPE " + name + " " + MetricTypeName(family.type) + "\n";
+    for (const SeriesSnapshot& series : family.series) {
+      if (series.histogram.has_value()) {
+        const HistogramSnapshot& h = *series.histogram;
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.bounds.size(); ++i) {
+          cumulative += h.counts[i];
+          out += name + "_bucket" +
+                 PromLabels(series.labels, "le",
+                            trace::JsonNumber(h.bounds[i])) +
+                 " " + FormatUint(cumulative) + "\n";
+        }
+        cumulative += h.counts.empty() ? 0 : h.counts.back();
+        out += name + "_bucket" + PromLabels(series.labels, "le", "+Inf") +
+               " " + FormatUint(cumulative) + "\n";
+        out += name + "_sum" + PromLabels(series.labels) + " " +
+               trace::JsonNumber(h.sum) + "\n";
+        out += name + "_count" + PromLabels(series.labels) + " " +
+               FormatUint(h.count) + "\n";
+      } else if (family.type == MetricType::kCounter) {
+        out += name + PromLabels(series.labels) + " " +
+               FormatUint(series.counter_value) + "\n";
+      } else {
+        out += name + PromLabels(series.labels) + " " +
+               trace::JsonNumber(series.value) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+std::string PrometheusText(const MetricsRegistry& registry) {
+  return PrometheusText(registry.Collect());
+}
+
+std::string JsonSnapshot(const std::vector<FamilySnapshot>& families) {
+  std::string out = "{\"metrics\":[";
+  bool first_family = true;
+  for (const FamilySnapshot& family : families) {
+    if (!first_family) out += ",";
+    first_family = false;
+    out += "{";
+    AppendJsonKey(&out, "name");
+    out += "\"" + trace::JsonEscape(family.name) + "\"";
+    AppendJsonKey(&out, "type");
+    out += std::string("\"") + MetricTypeName(family.type) + "\"";
+    AppendJsonKey(&out, "help");
+    out += "\"" + trace::JsonEscape(family.help) + "\"";
+    AppendJsonKey(&out, "series");
+    out += "[";
+    bool first_series = true;
+    for (const SeriesSnapshot& series : family.series) {
+      if (!first_series) out += ",";
+      first_series = false;
+      out += "{";
+      AppendJsonKey(&out, "labels");
+      out += "{";
+      bool first_label = true;
+      for (const auto& [key, value] : series.labels) {
+        if (!first_label) out += ",";
+        first_label = false;
+        out += "\"" + trace::JsonEscape(key) + "\":\"" +
+               trace::JsonEscape(value) + "\"";
+      }
+      out += "}";
+      if (series.histogram.has_value()) {
+        const HistogramSnapshot& h = *series.histogram;
+        AppendJsonKey(&out, "count");
+        out += FormatUint(h.count);
+        AppendJsonKey(&out, "sum");
+        out += trace::JsonNumber(h.sum);
+        AppendJsonKey(&out, "min");
+        out += trace::JsonNumber(h.min_seen);
+        AppendJsonKey(&out, "max");
+        out += trace::JsonNumber(h.max_seen);
+        AppendJsonKey(&out, "p50");
+        out += trace::JsonNumber(h.Quantile(0.50));
+        AppendJsonKey(&out, "p95");
+        out += trace::JsonNumber(h.Quantile(0.95));
+        AppendJsonKey(&out, "p99");
+        out += trace::JsonNumber(h.Quantile(0.99));
+        AppendJsonKey(&out, "bounds");
+        out += "[";
+        for (size_t i = 0; i < h.bounds.size(); ++i) {
+          if (i > 0) out += ",";
+          out += trace::JsonNumber(h.bounds[i]);
+        }
+        out += "]";
+        AppendJsonKey(&out, "counts");
+        out += "[";
+        for (size_t i = 0; i < h.counts.size(); ++i) {
+          if (i > 0) out += ",";
+          out += FormatUint(h.counts[i]);
+        }
+        out += "]";
+      } else if (family.type == MetricType::kCounter) {
+        AppendJsonKey(&out, "value");
+        out += FormatUint(series.counter_value);
+      } else {
+        AppendJsonKey(&out, "value");
+        out += trace::JsonNumber(series.value);
+      }
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string JsonSnapshot(const MetricsRegistry& registry) {
+  return JsonSnapshot(registry.Collect());
+}
+
+}  // namespace obs
+}  // namespace gpl

@@ -1,0 +1,41 @@
+#ifndef GPL_OBS_EXPORT_H_
+#define GPL_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace gpl {
+namespace obs {
+
+/// Prometheus text exposition (format version 0.0.4) of a collected
+/// snapshot: `# HELP` / `# TYPE` headers per family, one sample line per
+/// series, histograms as cumulative `_bucket{le=...}` plus `_sum`/`_count`.
+/// Metric and label names are sanitized to the Prometheus charset
+/// ([a-zA-Z_:][a-zA-Z0-9_:]* and [a-zA-Z_][a-zA-Z0-9_]*); label values and
+/// help text are escaped per the exposition rules, so hostile names cannot
+/// corrupt the output. scripts/validate_prom.py parses the result in CI.
+std::string PrometheusText(const std::vector<FamilySnapshot>& families);
+
+/// Same, collecting from the registry first.
+std::string PrometheusText(const MetricsRegistry& registry);
+
+/// JSON snapshot of a collected snapshot: one object
+/// `{"metrics": [{"name", "type", "help", "series": [...]}]}` with
+/// histogram series carrying bucket bounds/counts, sum/count/min/max and
+/// precomputed p50/p95/p99. Output is a single well-formed JSON value —
+/// tests validate it with the in-tree trace::ValidateJson parser.
+std::string JsonSnapshot(const std::vector<FamilySnapshot>& families);
+std::string JsonSnapshot(const MetricsRegistry& registry);
+
+/// Sanitizes a metric name to the Prometheus charset (invalid characters
+/// become '_'; a leading digit gets a '_' prefix). Exposed for tests.
+std::string SanitizeMetricName(const std::string& name);
+/// Same for label names (':' is not allowed in label names).
+std::string SanitizeLabelName(const std::string& name);
+
+}  // namespace obs
+}  // namespace gpl
+
+#endif  // GPL_OBS_EXPORT_H_

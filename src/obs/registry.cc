@@ -1,0 +1,261 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gpl {
+namespace obs {
+
+namespace {
+
+void AtomicAddDouble(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMinDouble(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxDouble(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<double> BuildBounds(const HistogramOptions& options) {
+  const double min_value = options.min_value > 0.0 ? options.min_value : 1e-9;
+  const double max_value = std::max(options.max_value, min_value);
+  const int per_decade = std::max(1, options.buckets_per_decade);
+  std::vector<double> bounds;
+  bounds.push_back(min_value);
+  const double growth = std::pow(10.0, 1.0 / per_decade);
+  double bound = min_value;
+  // Multiplicative ladder; the 1+1e-12 slack keeps the final bound from
+  // overshooting max_value by a rounding error and adding a phantom bucket.
+  while (bound < max_value / (1.0 + 1e-12)) {
+    bound *= growth;
+    bounds.push_back(std::min(bound, max_value));
+  }
+  return bounds;
+}
+
+}  // namespace
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const double n = static_cast<double>(counts[i]);
+    if (n == 0.0) continue;
+    if (cumulative + n >= target) {
+      // Interpolate inside this bucket. Bucket i spans (lo, hi]; the
+      // underflow bucket (i == 0) spans (0, bounds[0]] and the overflow
+      // bucket (i == bounds.size()) spans (bounds.back(), max_seen].
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = i < bounds.size() ? bounds[i] : max_seen;
+      const double frac = std::clamp((target - cumulative) / n, 0.0, 1.0);
+      const double value = lo + (std::max(hi, lo) - lo) * frac;
+      return std::clamp(value, min_seen, max_seen);
+    }
+    cumulative += n;
+  }
+  return max_seen;
+}
+
+Histogram::Histogram(const HistogramOptions& options)
+    : bounds_(BuildBounds(options)), counts_(bounds_.size() + 1) {}
+
+void Histogram::Observe(double value) {
+  if (!std::isfinite(value)) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, value);
+  if (!any_.exchange(true, std::memory_order_relaxed)) {
+    // First observation seeds min/max; racing observers fix them up below.
+    min_seen_.store(value, std::memory_order_relaxed);
+    max_seen_.store(value, std::memory_order_relaxed);
+  }
+  AtomicMinDouble(&min_seen_, value);
+  AtomicMaxDouble(&max_seen_, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.reserve(counts_.size());
+  for (const std::atomic<uint64_t>& c : counts_) {
+    snap.counts.push_back(c.load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  if (any_.load(std::memory_order_relaxed)) {
+    snap.min_seen = min_seen_.load(std::memory_order_relaxed);
+    snap.max_seen = max_seen_.load(std::memory_order_relaxed);
+  }
+  // Relaxed reads can catch count_ ahead of the bucket add (or vice versa);
+  // reconcile so exporters never show count < sum-of-buckets.
+  uint64_t bucket_total = 0;
+  for (const uint64_t c : snap.counts) bucket_total += c;
+  snap.count = std::max(snap.count, bucket_total);
+  return snap;
+}
+
+const char* MetricTypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+std::string EncodeLabels(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& [key, value] : sorted) {
+    if (!out.empty()) out += '\x1f';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+MetricsRegistry::Family& MetricsRegistry::GetFamilyLocked(
+    const std::string& name, const std::string& help, MetricType type) {
+  Family& family = families_[name];
+  if (family.series.empty() && family.help.empty()) {
+    family.help = help;
+    family.type = type;
+  }
+  GPL_CHECK(family.type == type)
+      << "metric '" << name << "' registered as " << MetricTypeName(family.type)
+      << " and again as " << MetricTypeName(type);
+  return family;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& family = GetFamilyLocked(name, help, MetricType::kCounter);
+  Series& series = family.series[EncodeLabels(labels)];
+  if (series.counter == nullptr) {
+    series.labels = labels;
+    std::sort(series.labels.begin(), series.labels.end());
+    series.counter = std::make_unique<Counter>();
+  }
+  return series.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& family = GetFamilyLocked(name, help, MetricType::kGauge);
+  Series& series = family.series[EncodeLabels(labels)];
+  if (series.gauge == nullptr) {
+    series.labels = labels;
+    std::sort(series.labels.begin(), series.labels.end());
+    series.gauge = std::make_unique<Gauge>();
+  }
+  return series.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         const HistogramOptions& options,
+                                         const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& family = GetFamilyLocked(name, help, MetricType::kHistogram);
+  if (!family.histogram_options.has_value()) {
+    family.histogram_options = options;
+  }
+  Series& series = family.series[EncodeLabels(labels)];
+  if (series.histogram == nullptr) {
+    series.labels = labels;
+    std::sort(series.labels.begin(), series.labels.end());
+    // Every series of a family shares the family's bucket layout so the
+    // exposition's `le` bounds line up across label children.
+    series.histogram = std::make_unique<Histogram>(*family.histogram_options);
+  }
+  return series.histogram.get();
+}
+
+uint64_t MetricsRegistry::AddCallbackGauge(const std::string& name,
+                                           const std::string& help,
+                                           const Labels& labels,
+                                           std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& family = GetFamilyLocked(name, help, MetricType::kGauge);
+  Series& series = family.series[EncodeLabels(labels)];
+  series.labels = labels;
+  std::sort(series.labels.begin(), series.labels.end());
+  series.callback = std::move(fn);  // re-registration replaces the callback
+  series.callback_id = next_callback_id_++;
+  return series.callback_id;
+}
+
+void MetricsRegistry::RemoveCallback(uint64_t id) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, family] : families_) {
+    for (auto it = family.series.begin(); it != family.series.end();) {
+      if (it->second.callback_id == id) {
+        it = family.series.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+std::vector<FamilySnapshot> MetricsRegistry::Collect() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FamilySnapshot> out;
+  out.reserve(families_.size());
+  for (const auto& [name, family] : families_) {
+    FamilySnapshot fs;
+    fs.name = name;
+    fs.help = family.help;
+    fs.type = family.type;
+    for (const auto& [key, series] : family.series) {
+      SeriesSnapshot ss;
+      ss.labels = series.labels;
+      if (series.counter != nullptr) {
+        ss.counter_value = series.counter->Value();
+        ss.value = static_cast<double>(ss.counter_value);
+      } else if (series.gauge != nullptr) {
+        ss.value = series.gauge->Value();
+      } else if (series.callback) {
+        ss.value = series.callback();
+      } else if (series.histogram != nullptr) {
+        ss.histogram = series.histogram->Snapshot();
+      } else {
+        continue;  // registered but never materialized
+      }
+      fs.series.push_back(std::move(ss));
+    }
+    out.push_back(std::move(fs));
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace gpl

@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "shard/sharded_executor.h"
 #include "trace/trace.h"
 
@@ -44,6 +45,13 @@ const char* OutcomeName(QueryOutcome outcome) {
   return "unknown";
 }
 
+/// Query class for per-class latency series: the submission-name prefix
+/// before '#' ("Q5#37" -> "Q5"; a name without '#' is its own class).
+std::string QueryClass(const std::string& name) {
+  const size_t hash = name.find('#');
+  return hash == std::string::npos ? name : name.substr(0, hash);
+}
+
 }  // namespace
 
 std::string ServiceStats::ToString() const {
@@ -55,6 +63,7 @@ std::string ServiceStats::ToString() const {
       << " max_queue_depth=" << max_queue_depth << " p50_latency_ms=";
   out.precision(3);
   out << std::fixed << p50_latency_ms << " p95_latency_ms=" << p95_latency_ms
+      << " p99_latency_ms=" << p99_latency_ms
       << " total_simulated_ms=" << total_simulated_ms
       << " tuning_cache_hits=" << tuning_cache_hits
       << " tuning_cache_misses=" << tuning_cache_misses
@@ -139,6 +148,72 @@ QueryService::QueryService(const tpch::Database* db, ServiceOptions options)
   // One tuning cache for all workers (TuningCache is thread-safe): whichever
   // worker tunes a segment first spares the rest the grid search.
   options_.engine.tuning_cache = &tuning_cache_;
+  if (options_.engine.metrics == nullptr) {
+    options_.engine.metrics = options_.metrics;
+  }
+
+  if (obs::MetricsRegistry* metrics = options_.metrics; metrics != nullptr) {
+    admitted_counter_ = metrics->GetCounter(
+        "gpl_service_admission_total", "Admission decisions by result",
+        {{"result", "admitted"}});
+    rejected_counter_ = metrics->GetCounter(
+        "gpl_service_admission_total", "Admission decisions by result",
+        {{"result", "rejected"}});
+    const char* help = "Finished queries by outcome";
+    outcome_counters_[static_cast<int>(QueryOutcome::kCompleted)] =
+        metrics->GetCounter("gpl_service_queries_total", help,
+                            {{"outcome", "completed"}});
+    outcome_counters_[static_cast<int>(QueryOutcome::kTimedOut)] =
+        metrics->GetCounter("gpl_service_queries_total", help,
+                            {{"outcome", "timed_out"}});
+    outcome_counters_[static_cast<int>(QueryOutcome::kCancelled)] =
+        metrics->GetCounter("gpl_service_queries_total", help,
+                            {{"outcome", "cancelled"}});
+    outcome_counters_[static_cast<int>(QueryOutcome::kFailed)] =
+        metrics->GetCounter("gpl_service_queries_total", help,
+                            {{"outcome", "failed"}});
+    retries_counter_ = metrics->GetCounter(
+        "gpl_service_retries_total",
+        "Re-execution attempts beyond each query's first");
+    gave_up_counter_ = metrics->GetCounter(
+        "gpl_service_gave_up_total",
+        "Transient errors that exhausted the retry budget");
+    degraded_counter_ = metrics->GetCounter(
+        "gpl_service_degraded_total",
+        "Completed queries with at least one degraded segment");
+    queue_depth_gauge_ = metrics->GetGauge("gpl_service_queue_depth",
+                                           "Queries waiting for a worker");
+    running_gauge_ = metrics->GetGauge("gpl_service_running",
+                                       "Queries currently executing");
+    latency_metric_ = metrics->GetHistogram(
+        "gpl_service_latency_ms",
+        "Host wall-clock latency of completed queries (ms)",
+        obs::HistogramOptions::LatencyMs());
+    // Collect-time callback gauges over counters owned elsewhere. They
+    // capture `this`/ThreadPool::Global(); Shutdown() deregisters them
+    // before the service (and its tuning cache) is destroyed.
+    callback_ids_.push_back(metrics->AddCallbackGauge(
+        "gpl_tuning_cache_hits", "Shared TuneSegment memo hits", {},
+        [this] { return static_cast<double>(tuning_cache_.stats().hits); }));
+    callback_ids_.push_back(metrics->AddCallbackGauge(
+        "gpl_tuning_cache_misses", "Shared TuneSegment memo misses", {},
+        [this] { return static_cast<double>(tuning_cache_.stats().misses); }));
+    callback_ids_.push_back(metrics->AddCallbackGauge(
+        "gpl_threadpool_tasks_submitted",
+        "Tasks submitted to the global host pool", {}, [] {
+          return static_cast<double>(ThreadPool::Global().stats().tasks_submitted);
+        }));
+    callback_ids_.push_back(metrics->AddCallbackGauge(
+        "gpl_threadpool_tasks_executed",
+        "Tasks executed by the global host pool", {}, [] {
+          return static_cast<double>(ThreadPool::Global().stats().tasks_executed);
+        }));
+    callback_ids_.push_back(metrics->AddCallbackGauge(
+        "gpl_threadpool_steals",
+        "Tasks stolen from another worker's deque", {}, [] {
+          return static_cast<double>(ThreadPool::Global().stats().steals);
+        }));
+  }
 
   if (options_.num_shards > 1) {
     // Partition once; every worker's ShardedExecutor reads the same shards.
@@ -179,8 +254,10 @@ QueryService::QueryService(const tpch::Database* db, ServiceOptions options)
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
-  GPL_LOG(Info) << "QueryService started: " << options_.num_workers
-                << " workers, queue capacity " << options_.queue_capacity;
+  GPL_SLOG(Info, "service")
+      .Field("workers", options_.num_workers)
+      .Field("queue_capacity", options_.queue_capacity)
+      << "QueryService started";
 }
 
 QueryService::~QueryService() { Shutdown(); }
@@ -206,11 +283,13 @@ Result<QueryHandle> QueryService::Submit(std::string name, LogicalQuery query,
     stats_.submitted++;
     if (stop_) {
       stats_.rejected++;
+      obs::Inc(rejected_counter_);
       rejected_log_.emplace_back(task->submit_ns, task->name);
       return Status::Unavailable("QueryService is shut down");
     }
     if (queue_.size() >= options_.queue_capacity) {
       stats_.rejected++;
+      obs::Inc(rejected_counter_);
       rejected_log_.emplace_back(task->submit_ns, task->name);
       return Status::ResourceExhausted(
           "admission queue full (" + std::to_string(queue_.size()) + "/" +
@@ -218,8 +297,10 @@ Result<QueryHandle> QueryService::Submit(std::string name, LogicalQuery query,
           "' rejected");
     }
     stats_.admitted++;
+    obs::Inc(admitted_counter_);
     task->sequence = next_sequence_++;
     queue_.push_back(task);
+    obs::Set(queue_depth_gauge_, static_cast<double>(queue_.size()));
     stats_.max_queue_depth =
         std::max<uint64_t>(stats_.max_queue_depth, queue_.size());
   }
@@ -265,6 +346,8 @@ void QueryService::WorkerLoop(int worker_index) {
       task = std::move(queue_.front());
       queue_.pop_front();
       stats_.running++;
+      obs::Set(queue_depth_gauge_, static_cast<double>(queue_.size()));
+      obs::Set(running_gauge_, static_cast<double>(stats_.running));
     }
     RunTask(worker_index, execute, task);
     work_cv_.notify_all();
@@ -320,9 +403,10 @@ void QueryService::RunTask(int worker_index, const ExecuteFn& execute,
     }
     if (attempt + 1 >= max_attempts) {
       gave_up = true;
-      GPL_LOG(Info) << "query '" << task->name << "' giving up after "
-                    << attempts << " attempts: "
-                    << result->status().ToString();
+      GPL_SLOG(Info, "service")
+          .Field("query", task->name)
+          .Field("attempts", attempts)
+          << "giving up: " << result->status().ToString();
       break;
     }
     double backoff_ms =
@@ -368,22 +452,48 @@ void QueryService::RunTask(int worker_index, const ExecuteFn& execute,
         record.outcome = QueryOutcome::kFailed;
         break;
     }
-    GPL_LOG(Info) << "query '" << task->name
-                  << "' did not complete: " << result->status().ToString();
+    GPL_SLOG(Info, "service").Field("query", task->name)
+        << "did not complete: " << result->status().ToString();
   }
 
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.running--;
-    if (attempts > 1) stats_.retries += static_cast<uint64_t>(attempts - 1);
-    if (gave_up) stats_.gave_up++;
+    obs::Set(running_gauge_, static_cast<double>(stats_.running));
+    if (attempts > 1) {
+      stats_.retries += static_cast<uint64_t>(attempts - 1);
+      obs::Inc(retries_counter_, static_cast<uint64_t>(attempts - 1));
+    }
+    if (gave_up) {
+      stats_.gave_up++;
+      obs::Inc(gave_up_counter_);
+    }
+    obs::Inc(outcome_counters_[static_cast<int>(record.outcome)]);
     switch (record.outcome) {
       case QueryOutcome::kCompleted: {
         stats_.completed++;
-        if (record.degraded) stats_.degraded++;
+        if (record.degraded) {
+          stats_.degraded++;
+          obs::Inc(degraded_counter_);
+        }
         const double latency_ms =
             static_cast<double>(end_ns - task->submit_ns) / 1e6;
-        completed_latency_ms_.push_back(latency_ms);
+        latency_histogram_.Observe(latency_ms);
+        obs::Observe(latency_metric_, latency_ms);
+        if (options_.metrics != nullptr) {
+          // Per-class latency series, fetched once per new class (the handle
+          // is cached under mu_ so steady state never locks the registry).
+          const std::string query_class = QueryClass(task->name);
+          obs::Histogram*& h = class_latency_metrics_[query_class];
+          if (h == nullptr) {
+            h = options_.metrics->GetHistogram(
+                "gpl_service_class_latency_ms",
+                "Host wall-clock latency by query class (ms)",
+                obs::HistogramOptions::LatencyMs(),
+                {{"class", query_class}});
+          }
+          h->Observe(latency_ms);
+        }
         stats_.total_simulated_ms += record.simulated_ms;
         // Per-device-slot load (whole-group placement: every device of the
         // worker's group ran a shard of this query).
@@ -424,8 +534,12 @@ ServiceStats QueryService::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   ServiceStats snapshot = stats_;
   snapshot.queue_depth = queue_.size();
-  snapshot.p50_latency_ms = Percentile(completed_latency_ms_, 50.0);
-  snapshot.p95_latency_ms = Percentile(completed_latency_ms_, 95.0);
+  // Histogram quantiles (bounded memory), not exact order statistics: within
+  // one bucket width (~12%) of Percentile() on the same sample.
+  const obs::HistogramSnapshot latency = latency_histogram_.Snapshot();
+  snapshot.p50_latency_ms = latency.Quantile(0.50);
+  snapshot.p95_latency_ms = latency.Quantile(0.95);
+  snapshot.p99_latency_ms = latency.Quantile(0.99);
   const model::TuningCacheStats cache_stats = tuning_cache_.stats();
   snapshot.tuning_cache_hits = cache_stats.hits;
   snapshot.tuning_cache_misses = cache_stats.misses;
@@ -457,7 +571,15 @@ void QueryService::Shutdown() {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
-  GPL_LOG(Info) << "QueryService stopped: " << Stats().ToString();
+  // The callback gauges capture this service; the registry may outlive it,
+  // so deregister before returning (the destructor funnels through here).
+  if (options_.metrics != nullptr) {
+    for (const uint64_t id : callback_ids_) {
+      options_.metrics->RemoveCallback(id);
+    }
+    callback_ids_.clear();
+  }
+  GPL_SLOG(Info, "service") << "QueryService stopped: " << Stats().ToString();
 }
 
 void QueryService::ExportTrace(trace::TraceCollector* collector) const {

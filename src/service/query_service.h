@@ -16,6 +16,7 @@
 #include "common/cancel.h"
 #include "common/status.h"
 #include "engine/engine.h"
+#include "obs/registry.h"
 #include "model/calibration.h"
 #include "model/tuning_cache.h"
 #include "plan/logical_plan.h"
@@ -103,6 +104,14 @@ struct ServiceOptions {
   std::vector<sim::DeviceSpec> devices;
   /// Interconnect of the group (exchange cost model).
   sim::LinkSpec link;
+
+  /// Optional metrics registry. When set, the service registers admission /
+  /// outcome counters, queue-depth and running gauges, overall and per-class
+  /// latency histograms, and callback gauges over the shared ThreadPool and
+  /// TuningCache; it is also propagated to the worker engines (simulator
+  /// counters) unless `engine.metrics` was set explicitly. Must outlive the
+  /// service. nullptr (the default) is the null-registry fast path.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// How an admitted query ended.
@@ -133,6 +142,7 @@ struct ServiceStats {
 
   double p50_latency_ms = 0.0;  ///< host wall-clock, completed queries
   double p95_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
   double total_simulated_ms = 0.0;  ///< simulated device time, completed
 
   /// Shared tuning-cache accounting across all workers (GPL modes; zero for
@@ -302,9 +312,29 @@ class QueryService {
 
   // Aggregates (guarded by mu_).
   ServiceStats stats_;
-  std::vector<double> completed_latency_ms_;
+  /// Completed-query latency distribution. A bounded log-scale histogram —
+  /// NOT a per-query vector — so a long serve run's memory stays constant;
+  /// the reported p50/p95/p99 are the histogram's interpolated quantiles
+  /// (exact Percentile() stays available as the test oracle).
+  obs::Histogram latency_histogram_{obs::HistogramOptions::LatencyMs()};
   std::vector<FinishedRecord> finished_;
   std::vector<std::pair<int64_t, std::string>> rejected_log_;  ///< (ns, name)
+
+  // Metrics handles (null without ServiceOptions::metrics). Outcome counters
+  // are indexed by QueryOutcome; per-class latency histograms are fetched
+  // lazily per new query class under mu_. Callback-gauge ids are removed in
+  // Shutdown(), before anything they capture dies.
+  obs::Counter* admitted_counter_ = nullptr;
+  obs::Counter* rejected_counter_ = nullptr;
+  obs::Counter* retries_counter_ = nullptr;
+  obs::Counter* gave_up_counter_ = nullptr;
+  obs::Counter* degraded_counter_ = nullptr;
+  obs::Counter* outcome_counters_[4] = {nullptr, nullptr, nullptr, nullptr};
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Gauge* running_gauge_ = nullptr;
+  obs::Histogram* latency_metric_ = nullptr;
+  std::map<std::string, obs::Histogram*> class_latency_metrics_;
+  std::vector<uint64_t> callback_ids_;
 
   std::vector<std::thread> workers_;
 };

@@ -124,6 +124,25 @@ ShardedExecutor::ShardedExecutor(
     engines_.push_back(std::make_unique<Engine>(
         &sharded_->shards[static_cast<size_t>(i)], shard_options));
   }
+
+  if (obs::MetricsRegistry* metrics = options_.metrics; metrics != nullptr) {
+    broadcast_bytes_counter_ = metrics->GetCounter(
+        "gpl_shard_exchange_bytes_total",
+        "Bytes shipped between devices by exchange kind",
+        {{"kind", "broadcast"}});
+    shuffle_bytes_counter_ = metrics->GetCounter(
+        "gpl_shard_exchange_bytes_total",
+        "Bytes shipped between devices by exchange kind",
+        {{"kind", "shuffle"}});
+    slot_busy_gauges_.reserve(static_cast<size_t>(group_.size()));
+    for (int i = 0; i < group_.size(); ++i) {
+      slot_busy_gauges_.push_back(metrics->GetGauge(
+          "gpl_shard_device_busy_ms",
+          "Accumulated simulated busy time per device slot (ms)",
+          {{"slot", std::to_string(i)},
+           {"device", group_.devices[static_cast<size_t>(i)].name}}));
+    }
+  }
 }
 
 Result<ShardedExecutor::SplitPlan> ShardedExecutor::SplitAndInject(
@@ -418,10 +437,21 @@ Result<QueryResult> ShardedExecutor::Execute(const LogicalQuery& query,
     m.device_utilization.push_back(
         m.elapsed_ms > 0.0 ? device_ms / m.elapsed_ms : 0.0);
   }
-  GPL_LOG(Info) << query.name << " sharded over " << group_.ToString() << ": "
-                << m.elapsed_ms << " ms simulated (max device "
-                << max_device_ms << ", exchange " << exchange_ms << ", merge "
-                << merge_ms << ")";
+  obs::Inc(broadcast_bytes_counter_,
+           static_cast<uint64_t>(broadcast.total_bytes));
+  obs::Inc(shuffle_bytes_counter_, static_cast<uint64_t>(shuffle_bytes));
+  for (size_t i = 0;
+       i < slot_busy_gauges_.size() && i < m.device_elapsed_ms.size(); ++i) {
+    obs::Add(slot_busy_gauges_[i], m.device_elapsed_ms[i]);
+  }
+  GPL_SLOG(Info, "shard")
+      .Field("query", query.name)
+      .Field("group", group_.ToString())
+      .Field("sim_ms", m.elapsed_ms)
+      .Field("max_device_ms", max_device_ms)
+      .Field("exchange_ms", exchange_ms)
+      .Field("merge_ms", merge_ms)
+      << "sharded query executed";
   return result;
 }
 

@@ -106,6 +106,13 @@ class ShardedExecutor {
   model::TuningCache* tuning_cache_;  ///< owned or shared
   std::vector<std::unique_ptr<Engine>> engines_;  ///< one per shard/device
   sim::Link link_;  ///< accumulates exchange traffic across executions
+
+  // Metrics handles (null without EngineOptions::metrics): exchange traffic
+  // by kind, and accumulated simulated busy ms per device slot (the
+  // per-shard makespan contribution of every completed query).
+  obs::Counter* broadcast_bytes_counter_ = nullptr;
+  obs::Counter* shuffle_bytes_counter_ = nullptr;
+  std::vector<obs::Gauge*> slot_busy_gauges_;
 };
 
 }  // namespace shard

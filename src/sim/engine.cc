@@ -24,8 +24,23 @@ constexpr int kAvgAccessWidth = 8;
 std::string TraceInt(int64_t v) { return std::to_string(v); }
 }  // namespace
 
-Simulator::Simulator(const DeviceSpec& device)
-    : device_(device), cache_(device.cache_bytes) {}
+Simulator::Simulator(const DeviceSpec& device, obs::MetricsRegistry* metrics)
+    : device_(device), cache_(device.cache_bytes) {
+  if (metrics != nullptr) {
+    const obs::Labels labels = {{"device", device_.name}};
+    kernel_launches_ = metrics->GetCounter(
+        "gpl_sim_kernel_launches_total", "Simulated kernel launches", labels);
+    tile_dispatches_ = metrics->GetCounter(
+        "gpl_sim_tile_dispatches_total",
+        "Simulated per-tile kernel dispatches", labels);
+    channel_reservations_ = metrics->GetCounter(
+        "gpl_sim_channel_reservations_total",
+        "Data-channel reservations between pipelined kernels", labels);
+    throttle_events_ = metrics->GetCounter(
+        "gpl_sim_throttle_events_total",
+        "Injected memory-pressure throttles applied to a launch", labels);
+  }
+}
 
 Simulator::WgWork Simulator::ComputeWgWork(
     const KernelTimingDesc& desc, double rows, double global_in_bytes,
@@ -97,6 +112,8 @@ Result<SimResult> Simulator::RunKernelBatch(const KernelLaunch& launch,
     GPL_RETURN_NOT_OK(fault->OnKernelLaunch(launch.desc.name,
                                             &throttle_penalty));
   }
+  obs::Inc(kernel_launches_);
+  if (throttle_penalty > 0.0) obs::Inc(throttle_events_);
   SimResult result;
   const KernelTimingDesc& desc = launch.desc;
   const int slots = SingleKernelSlots(device_, desc);
@@ -188,6 +205,8 @@ Result<SimResult> Simulator::RunSequentialTiles(const PipelineSpec& spec) const 
       (static_cast<double>(device_.tile_dispatch_cycles) +
        0.5 * static_cast<double>(device_.kernel_launch_cycles)) *
           static_cast<double>(num_tiles);
+  obs::Inc(tile_dispatches_, static_cast<uint64_t>(num_tiles) *
+                                 spec.kernels.size());
 
   trace::TraceCollector* trace = spec.trace;
   if (trace != nullptr) {
@@ -293,8 +312,11 @@ Result<SimResult> Simulator::RunPipeline(const PipelineSpec& spec) const {
       GPL_RETURN_NOT_OK(spec.fault->OnKernelLaunch(
           spec.kernels[static_cast<size_t>(k)].desc.name,
           &throttle[static_cast<size_t>(k)]));
+      if (throttle[static_cast<size_t>(k)] > 0.0) obs::Inc(throttle_events_);
     }
   }
+  obs::Inc(kernel_launches_, static_cast<uint64_t>(num_kernels));
+  obs::Inc(tile_dispatches_, static_cast<uint64_t>(num_tiles));
 
   // ---- Channels between consecutive kernels ----
   std::vector<std::optional<ChannelState>> channels(
@@ -305,6 +327,7 @@ Result<SimResult> Simulator::RunPipeline(const PipelineSpec& spec) const {
         GPL_RETURN_NOT_OK(spec.fault->OnChannelAlloc(spec.channel_configs[g]));
       }
       channels[g].emplace(spec.channel_configs[g], device_);
+      obs::Inc(channel_reservations_);
     }
   }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/registry.h"
 #include "sim/cache_model.h"
 #include "sim/channel.h"
 #include "sim/counters.h"
@@ -102,7 +103,13 @@ struct SimResult {
 /// TraceCollector (the collector is the only mutable state a run touches).
 class Simulator {
  public:
-  explicit Simulator(const DeviceSpec& device);
+  /// With a non-null `metrics`, the simulator registers per-device counters
+  /// (kernel launches, tile dispatches, channel reservations, throttle
+  /// events) labeled {device=<name>} and bumps them from the Run* methods.
+  /// Handles are fetched once here, so the instrumented paths never lock;
+  /// with nullptr every update is a single null-check (see obs::Inc).
+  explicit Simulator(const DeviceSpec& device,
+                     obs::MetricsRegistry* metrics = nullptr);
 
   const DeviceSpec& device() const { return device_; }
   const CacheModel& cache() const { return cache_; }
@@ -154,6 +161,15 @@ class Simulator {
 
   DeviceSpec device_;
   CacheModel cache_;
+
+  // Metrics handles (null when constructed without a registry). The counters
+  // are atomic, so bumping them from const Run* methods keeps the Simulator
+  // shareable across threads; same (name, device) handles across worker
+  // Simulators alias the same registry series and aggregate naturally.
+  obs::Counter* kernel_launches_ = nullptr;
+  obs::Counter* tile_dispatches_ = nullptr;
+  obs::Counter* channel_reservations_ = nullptr;
+  obs::Counter* throttle_events_ = nullptr;
 };
 
 }  // namespace sim

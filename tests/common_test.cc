@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/math_util.h"
@@ -242,6 +244,93 @@ TEST(LoggingDeathTest, CheckAbortsOnFalse) {
 
 TEST(LoggingDeathTest, CheckOkAbortsOnError) {
   EXPECT_DEATH(GPL_CHECK_OK(Status::Internal("bad")), "Status not OK");
+}
+
+// ---- Structured logging (logfmt) ----------------------------------------
+
+/// Captures log lines emitted while in scope, restoring stderr output and
+/// the previous threshold on destruction.
+class LogCapture {
+ public:
+  explicit LogCapture(LogLevel threshold = LogLevel::kDebug)
+      : previous_level_(GetLogLevel()) {
+    SetLogLevel(threshold);
+    SetLogSinkForTest(
+        [this](LogLevel level, const std::string& line) {
+          levels.push_back(level);
+          lines.push_back(line);
+        });
+  }
+  ~LogCapture() {
+    SetLogSinkForTest(nullptr);
+    SetLogLevel(previous_level_);
+  }
+
+  std::vector<LogLevel> levels;
+  std::vector<std::string> lines;
+
+ private:
+  LogLevel previous_level_;
+};
+
+TEST(LoggingTest, LogfmtLineHasAllStandardFields) {
+  LogCapture capture;
+  GPL_SLOG(Info, "service").Field("query", "Q5#3") << "admitted";
+  ASSERT_EQ(capture.lines.size(), 1u);
+  const std::string& line = capture.lines[0];
+  EXPECT_EQ(capture.levels[0], LogLevel::kInfo);
+  // ts=<ISO8601>Z first, then level/component, the custom field, msg, src.
+  EXPECT_EQ(line.rfind("ts=", 0), 0u) << line;
+  EXPECT_NE(line.find("Z level=info component=service "), std::string::npos)
+      << line;
+  EXPECT_NE(line.find(" query=Q5#3 "), std::string::npos) << line;
+  EXPECT_NE(line.find(" msg=admitted "), std::string::npos) << line;
+  EXPECT_NE(line.find(" src=common_test.cc:"), std::string::npos) << line;
+  EXPECT_EQ(line.find('\n'), std::string::npos) << "must be one line";
+}
+
+TEST(LoggingTest, ValuesWithSpacesOrQuotesAreQuotedAndEscaped) {
+  LogCapture capture;
+  GPL_SLOG(Warning, "sim").Field("label", "segment 0: a -> b")
+      << "failed with \"reason\"\nsecond line";
+  ASSERT_EQ(capture.lines.size(), 1u);
+  const std::string& line = capture.lines[0];
+  EXPECT_NE(line.find("label=\"segment 0: a -> b\""), std::string::npos)
+      << line;
+  // The message is quoted, inner quotes and the newline are escaped, and
+  // the rendered line still spans exactly one physical line.
+  EXPECT_NE(line.find("msg=\"failed with \\\"reason\\\"\\nsecond line\""),
+            std::string::npos)
+      << line;
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(LoggingTest, ThresholdDropsLowerLevels) {
+  LogCapture capture(LogLevel::kWarning);
+  GPL_LOG(Debug) << "dropped";
+  GPL_LOG(Info) << "dropped too";
+  GPL_LOG(Warning) << "kept";
+  ASSERT_EQ(capture.lines.size(), 1u);
+  EXPECT_NE(capture.lines[0].find("msg=kept"), std::string::npos);
+}
+
+TEST(LoggingTest, ComponentDefaultsToSourceDirectory) {
+  LogCapture capture;
+  GPL_LOG(Error) << "oops";
+  ASSERT_EQ(capture.lines.size(), 1u);
+  // This file lives in tests/, so the derived component is "tests".
+  EXPECT_NE(capture.lines[0].find("component=tests "), std::string::npos)
+      << capture.lines[0];
+}
+
+TEST(LoggingTest, LevelNamesRoundTrip) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "debug");
+  EXPECT_STREQ(LogLevelName(LogLevel::kFatal), "fatal");
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_FALSE(ParseLogLevel("loud", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
 }
 
 }  // namespace

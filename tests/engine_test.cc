@@ -2,7 +2,9 @@
 
 #include "common/math_util.h"
 #include "engine/engine.h"
+#include "engine/explain_analyze.h"
 #include "engine/ocelot_engine.h"
+#include "trace/json.h"
 #include "queries/tpch_queries.h"
 #include "ref/reference_executor.h"
 #include "test_util.h"
@@ -266,6 +268,98 @@ TEST(OcelotFlavorTest, FlagsSet) {
   EXPECT_TRUE(flavor.bitmap_selection);
   EXPECT_TRUE(flavor.cache_hash_tables);
   EXPECT_GT(flavor.scan_resident_fraction, 0.0);
+}
+
+// ---- EXPLAIN ANALYZE -----------------------------------------------------
+
+TEST(ExplainAnalyzeTest, TotalsMatchExecutePlanMetricsExactly) {
+  // EXPLAIN ANALYZE and ExecutePlan both go through FinalizeGplMetrics on
+  // the same deterministic simulation, so every simulated-time field must be
+  // bit-identical, and the per-segment cycles must sum to the total.
+  const LogicalQuery query = queries::Q8();
+  EngineOptions options;
+  options.mode = EngineMode::kGpl;
+
+  Engine engine(&SmallDb(), options);
+  Result<ExplainAnalyzeReport> report = ExplainAnalyze(engine, query);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  Engine fresh(&SmallDb(), options);
+  Result<QueryResult> executed = fresh.Execute(query);
+  ASSERT_TRUE(executed.ok()) << executed.status().ToString();
+
+  const QueryMetrics& a = report->metrics;
+  const QueryMetrics& b = executed->metrics;
+  EXPECT_EQ(a.counters.elapsed_cycles, b.counters.elapsed_cycles);
+  EXPECT_EQ(a.elapsed_ms, b.elapsed_ms);
+  EXPECT_EQ(a.predicted_ms, b.predicted_ms);
+  EXPECT_EQ(a.channel_bytes, b.channel_bytes);
+  EXPECT_EQ(a.materialized_bytes, b.materialized_bytes);
+  EXPECT_EQ(a.degraded_segments, b.degraded_segments);
+  EXPECT_EQ(report->output_rows, executed->table.num_rows());
+
+  double segment_cycles = 0.0;
+  for (const ExplainAnalyzeSegment& seg : report->segments) {
+    segment_cycles += seg.actual_cycles;
+    EXPECT_FALSE(seg.stages.empty()) << seg.description;
+    // The last stage's observed output feeds the next segment or the final
+    // table; every stage carries real (not estimated) cardinalities.
+    for (const ExplainAnalyzeStage& stage : seg.stages) {
+      EXPECT_GE(stage.rows_in, 0);
+      EXPECT_GE(stage.bytes_in, 0);
+    }
+    EXPECT_GT(seg.actual_cycles, 0.0) << seg.description;
+    EXPECT_GT(seg.predicted_cycles, 0.0) << seg.description;
+    EXPECT_GE(seg.host_wall_ms, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(segment_cycles, a.counters.elapsed_cycles);
+}
+
+TEST(ExplainAnalyzeTest, RendersTreeAndValidJson) {
+  Engine engine(&SmallDb(), EngineOptions{});
+  Result<ExplainAnalyzeReport> report =
+      ExplainAnalyze(engine, queries::Q5());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  const std::string text = report->ToString();
+  EXPECT_NE(text.find("EXPLAIN ANALYZE query=Q5"), std::string::npos);
+  EXPECT_NE(text.find("segment 0:"), std::string::npos);
+  EXPECT_NE(text.find("cycles: actual="), std::string::npos);
+  EXPECT_NE(text.find("totals: segments="), std::string::npos);
+
+  const std::string json = report->ToJson();
+  std::string error;
+  EXPECT_TRUE(trace::ValidateJson(json, &error)) << error;
+  EXPECT_NE(json.find("\"actual_cycles\":"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\":"), std::string::npos);
+}
+
+TEST(ExplainAnalyzeTest, RejectsNonGplModes) {
+  EngineOptions options;
+  options.mode = EngineMode::kKbe;
+  Engine engine(&SmallDb(), options);
+  Result<ExplainAnalyzeReport> report =
+      ExplainAnalyze(engine, queries::Q5());
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(ExplainAnalyzeTest, ReportsTuningCacheHitsOnRepeatedSegments) {
+  // A second run of the same query through the same engine hits the shared
+  // tuning cache for every segment; the report must surface that.
+  Engine engine(&SmallDb(), EngineOptions{});
+  Result<ExplainAnalyzeReport> first =
+      ExplainAnalyze(engine, queries::Q5());
+  ASSERT_TRUE(first.ok());
+  Result<ExplainAnalyzeReport> second =
+      ExplainAnalyze(engine, queries::Q5());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->metrics.tuning_cache_misses, 0);
+  for (const ExplainAnalyzeSegment& seg : second->segments) {
+    EXPECT_TRUE(seg.tuning_cache_hit) << seg.description;
+  }
+  // Simulated timing is unaffected by where the tuning choice came from.
+  EXPECT_EQ(first->metrics.elapsed_ms, second->metrics.elapsed_ms);
 }
 
 }  // namespace

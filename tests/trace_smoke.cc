@@ -7,7 +7,12 @@
 ///
 /// With a path argument: only validates that file as JSON (lets scripts
 /// reuse the binary to check a trace produced by `gplcli --trace=...`).
+///
+/// With `--jsonl <path> [min_lines]`: validates every non-empty line of the
+/// file as its own JSON value and requires at least `min_lines` of them
+/// (default 1) — the checker for `gplcli --stats-jsonl` telemetry streams.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -39,9 +44,38 @@ int ValidateFile(const char* path) {
   return 0;
 }
 
+int ValidateJsonl(const char* path, int min_lines) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Fail(std::string("cannot open ") + path);
+  std::string line;
+  int valid_lines = 0;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string error;
+    if (!gpl::trace::ValidateJson(line, &error)) {
+      return Fail(std::string(path) + ":" + std::to_string(line_no) +
+                  " is not valid JSON: " + error);
+    }
+    ++valid_lines;
+  }
+  if (valid_lines < min_lines) {
+    return Fail(std::string(path) + " has " + std::to_string(valid_lines) +
+                " JSON lines, expected >= " + std::to_string(min_lines));
+  }
+  std::printf("trace_smoke: OK (%s, %d valid JSON lines)\n", path,
+              valid_lines);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 2 && std::string(argv[1]) == "--jsonl") {
+    const int min_lines = argc > 3 ? std::atoi(argv[3]) : 1;
+    return ValidateJsonl(argv[2], min_lines);
+  }
   if (argc > 1) return ValidateFile(argv[1]);
 
   gpl::tpch::DbgenConfig config;
