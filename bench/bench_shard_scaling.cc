@@ -13,8 +13,15 @@
 /// --quick runs shard counts {1, 2, 4} only and turns the bench into a
 /// smoke gate for scripts/check.sh: exit 1 if any sharded result is not
 /// bit-identical to single-device, if any query's speedup degrades going
-/// 1 -> 2 -> 4 shards (small tolerance for exchange jitter), or if no query
-/// reaches 1.5x at 4 shards.
+/// 1 -> 2 -> 4 shards (small tolerance for exchange jitter), if no query
+/// reaches 1.5x at 4 shards, if Q9 fails to beat the single device at 4
+/// shards, or if the 1-shard run is not within noise of the unsharded
+/// engine (ExecOptions::shards == 1 must route to the plain path).
+///
+/// JSONL rows carry a unique "case" key ("Q9x4") so scripts/bench_diff.py
+/// can diff runs against the committed baseline
+/// (bench/baselines/shard_scaling_quick.jsonl); "inv_speedup" is
+/// 1 / speedup, so higher-is-worse like every other diffed field.
 ///
 /// Flags: --device=<list> uses a mixed group when given several names
 /// (shard counts then sweep only sizes equal to the list length);
@@ -31,8 +38,7 @@
 
 #include "bench_util.h"
 #include "shard/device_group.h"
-#include "shard/partitioner.h"
-#include "shard/sharded_executor.h"
+#include "shard/partition_scheme.h"
 
 namespace {
 
@@ -129,15 +135,18 @@ int main(int argc, char** argv) {
   }
   GPL_CHECK(workload.size() == 5);
 
-  // Single-device truth and speedup baseline.
-  EngineOptions single_options;
-  single_options.mode = EngineMode::kGpl;
-  single_options.device = devices.front();
-  single_options.calibration = &calibrations.at(devices.front().name);
-  Engine single(&db, single_options);
+  // ONE engine serves the whole sweep: unsharded truth with the default
+  // ExecOptions, every sharded point by setting ExecOptions::shards (the
+  // engine routes through its ShardedExecutor internally).
+  EngineOptions options;
+  options.mode = EngineMode::kGpl;
+  options.device = devices.front();
+  options.calibration = &calibrations.at(devices.front().name);
+  options.device_calibrations = &calibrations;
+  Engine engine(&db, options);
   std::vector<QueryResult> truth;
   for (auto& [name, query] : workload) {
-    Result<QueryResult> result = single.Execute(query);
+    Result<QueryResult> result = engine.Execute(query);
     GPL_CHECK(result.ok()) << name << ": " << result.status().ToString();
     truth.push_back(result.take());
   }
@@ -162,27 +171,20 @@ int main(int argc, char** argv) {
   bool all_bit_identical = true;
 
   for (int n : shard_counts) {
-    shard::PartitionOptions poptions;
-    poptions.num_shards = n;
-    poptions.scheme = scheme;
-    Result<shard::ShardedDatabase> sharded = PartitionDatabase(db, poptions);
-    GPL_CHECK(sharded.ok()) << sharded.status().ToString();
-
-    shard::DeviceGroup group;
-    group.link = link;
-    if (devices.size() > 1) {
-      group.devices = devices;
-    } else {
-      group = shard::DeviceGroup::Homogeneous(devices.front(), n, link);
-    }
-    EngineOptions options;
-    options.mode = EngineMode::kGpl;
-    shard::ShardedExecutor executor(&db, &*sharded, group, options,
-                                    &calibrations);
+    ExecOptions exec = options.exec;
+    exec.shards = n;
+    exec.partition = scheme;
+    exec.link_gbps = link_gbps;
+    if (devices.size() > 1) exec.device_list = devices;
+    const std::string group_label =
+        devices.size() > 1
+            ? shard::DeviceGroup{devices, link}.ToString()
+            : shard::DeviceGroup::Homogeneous(devices.front(), n, link)
+                  .ToString();
 
     for (size_t q = 0; q < workload.size(); ++q) {
       const auto& [name, query] = workload[q];
-      Result<QueryResult> result = executor.Execute(query);
+      Result<QueryResult> result = engine.Execute(query, exec);
       GPL_CHECK(result.ok()) << name << " x" << n << ": "
                              << result.status().ToString();
       const QueryMetrics& m = result->metrics;
@@ -207,16 +209,19 @@ int main(int argc, char** argv) {
 
       std::ostringstream row;
       row.precision(6);
-      row << "{\"bench\":\"shard_scaling\",\"group\":\"" << group.ToString()
+      row << "{\"bench\":\"shard_scaling\",\"case\":\"" << name << "x" << n
+          << "\",\"group\":\"" << group_label
           << "\",\"partition\":\"" << shard::PartitionSchemeName(scheme)
           << "\",\"query\":\"" << name << "\",\"shards\":" << n
           << ",\"elapsed_ms\":" << m.elapsed_ms
           << ",\"single_device_ms\":" << truth[q].metrics.elapsed_ms
           << ",\"speedup\":" << speedup
+          << ",\"inv_speedup\":" << (speedup > 0.0 ? 1.0 / speedup : 0.0)
           << ",\"broadcast_bytes\":" << m.broadcast_bytes
           << ",\"shuffle_bytes\":" << m.shuffle_bytes
           << ",\"exchange_ms\":" << m.exchange_ms
           << ",\"merge_ms\":" << m.merge_ms
+          << ",\"partial_combine\":" << (m.partial_combine ? "true" : "false")
           << ",\"mean_utilization\":" << mean_util
           << ",\"bit_identical\":" << (bit_identical ? "true" : "false")
           << "}";
@@ -239,11 +244,10 @@ int main(int argc, char** argv) {
     }
     // Adding devices must not slow a query down: going 1 -> 2 -> 4 shards,
     // speedup may only grow (small tolerance for exchange cost on
-    // nearly-flat queries). The 1-shard point itself sits below 1.0 — that
-    // is the honest price of the merge replay — so the gate compares
-    // consecutive shard counts, not the single-device baseline.
+    // nearly-flat queries).
     constexpr double kTolerance = 0.05;
     double best_at_4 = 0.0;
+    double q9_at_4 = 0.0;
     for (const auto& [name, by_count] : speedups) {
       double previous = 0.0;
       for (const auto& [n, speedup] : by_count) {
@@ -256,6 +260,7 @@ int main(int argc, char** argv) {
         }
         previous = speedup;
         if (n == 4 && speedup > best_at_4) best_at_4 = speedup;
+        if (n == 4 && name == "Q9") q9_at_4 = speedup;
       }
     }
     if (best_at_4 < 1.5) {
@@ -263,6 +268,27 @@ int main(int argc, char** argv) {
                    "FAIL: no query reaches 1.5x at 4 shards (best %.2fx)\n",
                    best_at_4);
       failures++;
+    }
+    // Distributed execution must beat the single device on Q9 (the deepest
+    // join tree of the suite) once four devices share the work.
+    if (q9_at_4 <= 1.0) {
+      std::fprintf(stderr, "FAIL: Q9 at 4 shards is %.2fx (want > 1.0x)\n",
+                   q9_at_4);
+      failures++;
+    }
+    // ExecOptions::shards == 1 must route to the plain single-device path:
+    // the 1-shard point may not deviate from the unsharded run (simulated
+    // time is deterministic, so "noise" here is only serialization rounding).
+    for (const auto& [name, by_count] : speedups) {
+      const auto one = by_count.find(1);
+      if (one == by_count.end()) continue;
+      if (one->second < 0.99 || one->second > 1.01) {
+        std::fprintf(stderr,
+                     "FAIL: %s at 1 shard is %.4fx the unsharded engine "
+                     "(want 1.0x: shards=1 must bypass sharding)\n",
+                     name.c_str(), one->second);
+        failures++;
+      }
     }
     return failures == 0 ? 0 : 1;
   }

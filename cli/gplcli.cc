@@ -24,7 +24,10 @@
 ///                                     annotated with actual rows, simulated
 ///                                     cycles, prediction error, host wall
 ///                                     time, channel bytes, cache/degradation
-///                                     flags per segment (GPL modes only)
+///                                     flags per segment (GPL modes only);
+///                                     with --shards, prints the distributed
+///                                     plan with Exchange operators inline and
+///                                     predicted vs actual exchanged bytes
 ///   --explain-json=<file>             with --explain-analyze, also write the
 ///                                     report(s) as a JSON array
 ///   --rows=<int>                      result rows to print (default 10)
@@ -43,7 +46,7 @@
 ///   --no-tuning-cache                 disable TuneSegment memoization (the
 ///                                     grid search reruns for every segment)
 ///
-/// Sharded execution (shard::ShardedExecutor over a simulated device group):
+/// Sharded execution (routed through Engine::Execute via ExecOptions):
 ///   --shards=<N>                      partition the fact table N ways and run
 ///                                     each shard on its own simulated device;
 ///                                     results stay bit-identical to N=1. With
@@ -54,8 +57,9 @@
 ///                                     co-partitioned by orderkey)
 ///   --link-gbps=<G>                   inter-device link bandwidth override in
 ///                                     GB/s (default 16, PCIe 3.0-class)
-///   With --explain, sharded runs also print the exchange plan (broadcast vs
-///   co-partitioned per table, modeled bytes and link time).
+///   With --explain, sharded runs print the per-shard plan with Exchange
+///   operators inline (broadcast vs repartition vs co-partitioned per table,
+///   modeled bytes and link time) and the merge strategy.
 ///
 /// Serve mode (concurrent multi-query execution via service::QueryService):
 ///   --serve-workers=<N>               run N worker engines concurrently; the
@@ -237,10 +241,9 @@ Result<std::vector<std::pair<std::string, LogicalQuery>>> SelectWorkload(
   return workload;
 }
 
-int RunQuery(Engine& engine, shard::ShardedExecutor* sharded,
-             const tpch::Database& db, const CliOptions& cli,
-             const std::string& name, const LogicalQuery& query,
-             RunState* state) {
+int RunQuery(Engine& engine, const tpch::Database& db, const CliOptions& cli,
+             const std::string& device_label, const std::string& name,
+             const LogicalQuery& query, RunState* state) {
   if (cli.explain_analyze) {
     Result<ExplainAnalyzeReport> report = ExplainAnalyze(engine, query);
     if (!report.ok()) {
@@ -255,7 +258,7 @@ int RunQuery(Engine& engine, shard::ShardedExecutor* sharded,
     MetricsJsonEntry entry;
     entry.query = name;
     entry.mode = EngineModeName(engine.options().mode);
-    entry.device = engine.options().device.name;
+    entry.device = report->device;
     entry.metrics = report->metrics;
     state->metrics.push_back(std::move(entry));
     state->explain_jsons.push_back(report->ToJson());
@@ -263,6 +266,34 @@ int RunQuery(Engine& engine, shard::ShardedExecutor* sharded,
   }
 
   if (cli.explain) {
+    if (cli.shards > 1) {
+      // Sharded EXPLAIN: the per-shard plan with Exchange operators inline,
+      // plus the cost model's per-exchange predictions.
+      Result<shard::ShardedExecutor*> sharded =
+          engine.ShardedFor(engine.options().exec);
+      Result<shard::DistributedExplain> dist =
+          sharded.ok() ? (*sharded)->Explain(query)
+                       : Result<shard::DistributedExplain>(sharded.status());
+      if (!dist.ok()) {
+        std::fprintf(stderr, "planning %s failed: %s\n", name.c_str(),
+                     dist.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("=== %s (%d shards, %s merge) ===\n%s", name.c_str(),
+                  dist->num_shards,
+                  dist->partial_aggregate ? "combine" : "stitch",
+                  dist->plan_text.c_str());
+      std::printf("exchanges over %s:\n",
+                  (*sharded)->link().spec().name.c_str());
+      for (const shard::ExchangeOpReport& ex : dist->exchanges) {
+        std::printf("  %-12s %-14s %10lld bytes  %.4f ms\n", ex.table.c_str(),
+                    std::string(ExchangeKindName(ex.kind)).c_str(),
+                    static_cast<long long>(ex.predicted_bytes),
+                    ex.predicted_ms);
+      }
+      std::printf("\n");
+      return 0;
+    }
     Result<PhysicalOpPtr> plan = engine.Plan(query);
     if (!plan.ok()) {
       std::fprintf(stderr, "planning %s failed: %s\n", name.c_str(),
@@ -270,29 +301,10 @@ int RunQuery(Engine& engine, shard::ShardedExecutor* sharded,
       return 1;
     }
     std::printf("=== %s ===\n%s\n", name.c_str(), PlanToString(**plan).c_str());
-    if (sharded != nullptr) {
-      Result<model::ExchangePlan> exchange = sharded->ExplainExchange(query);
-      if (!exchange.ok()) {
-        std::fprintf(stderr, "exchange planning failed: %s\n",
-                     exchange.status().ToString().c_str());
-        return 1;
-      }
-      std::printf("exchange plan (%d shards over %s):\n", sharded->num_shards(),
-                  sharded->link().spec().name.c_str());
-      for (const model::ExchangeDecision& d : exchange->decisions) {
-        std::printf("  %-10s %-14s %10lld bytes  %.4f ms\n", d.table.c_str(),
-                    model::ExchangeStrategyName(d.strategy),
-                    static_cast<long long>(d.bytes), d.ms);
-      }
-      std::printf("  total: %lld bytes, %.4f ms\n\n",
-                  static_cast<long long>(exchange->total_bytes),
-                  exchange->total_ms);
-    }
     return 0;
   }
 
-  Result<QueryResult> result =
-      sharded != nullptr ? sharded->Execute(query) : engine.Execute(query);
+  Result<QueryResult> result = engine.Execute(query);
   if (!result.ok()) {
     std::fprintf(stderr, "%s failed: %s\n", name.c_str(),
                  result.status().ToString().c_str());
@@ -300,9 +312,6 @@ int RunQuery(Engine& engine, shard::ShardedExecutor* sharded,
   }
   const QueryMetrics& m = result->metrics;
   state->total_elapsed_ms += m.elapsed_ms;
-  const std::string device_label = sharded != nullptr
-                                       ? sharded->group().ToString()
-                                       : engine.options().device.name;
   MetricsJsonEntry entry;
   entry.query = name;
   entry.mode = EngineModeName(engine.options().mode);
@@ -325,10 +334,11 @@ int RunQuery(Engine& engine, shard::ShardedExecutor* sharded,
       m.elapsed_ms, predicted.c_str(), m.OptimizeWallMs(), 100.0 * m.valu_busy,
       100.0 * m.mem_unit_busy, 100.0 * m.cache_hit_ratio);
   if (m.num_shards > 0) {
-    std::printf("sharded x%lld: exchange %.4f ms (%lld bytes), merge %.4f ms, "
-                "device utilization [",
+    std::printf("sharded x%lld: exchange %.4f ms (%lld bytes), merge %.4f ms "
+                "(%s), device utilization [",
                 static_cast<long long>(m.num_shards), m.exchange_ms,
-                static_cast<long long>(m.exchange_bytes), m.merge_ms);
+                static_cast<long long>(m.exchange_bytes), m.merge_ms,
+                m.partial_combine ? "combine" : "stitch");
     for (size_t i = 0; i < m.device_utilization.size(); ++i) {
       std::printf("%s%.0f%%", i > 0 ? " " : "",
                   100.0 * m.device_utilization[i]);
@@ -781,15 +791,12 @@ int main(int argc, char** argv) {
   options.partitioned_joins = cli.partitioned;
   options.exec.host_threads = cli.host_threads;
   options.exec.use_tuning_cache = !cli.no_tuning_cache;
+  // Sharded execution is routed through Engine::Execute: ExecOptions carries
+  // the shard count, partition scheme, device group and link bandwidth.
   options.exec.shards = cli.shards;
+  options.exec.partition = *scheme_or;
+  if (devices.size() > 1) options.exec.device_list = devices;
   options.exec.link_gbps = cli.link_gbps;
-
-  if (cli.explain_analyze && cli.shards > 1) {
-    std::fprintf(stderr,
-                 "--explain-analyze annotates single-device GPL plans; it "
-                 "does not support --shards\n");
-    return 2;
-  }
 
   // ---- Serve mode ----
   if (cli.serve_workers > 0) {
@@ -808,44 +815,31 @@ int main(int argc, char** argv) {
   Engine engine(&db, options);
 
   // ---- Sharded execution ----
-  std::optional<shard::ShardedDatabase> sharded_db;
-  std::unique_ptr<shard::ShardedExecutor> sharded;
+  // The engine routes sharded ExecOptions itself; partition eagerly here so
+  // the banner (and any partitioning error) lands before the first query.
+  std::string device_label = options.device.name;
   if (cli.shards > 1) {
-    shard::PartitionOptions popts;
-    popts.num_shards = cli.shards;
-    popts.scheme = *scheme_or;
-    Result<shard::ShardedDatabase> partitioned =
-        shard::PartitionDatabase(db, popts);
-    if (!partitioned.ok()) {
+    Result<shard::ShardedExecutor*> sharded = engine.ShardedFor(options.exec);
+    if (!sharded.ok()) {
       std::fprintf(stderr, "partitioning failed: %s\n",
-                   partitioned.status().ToString().c_str());
+                   sharded.status().ToString().c_str());
       return 1;
     }
-    sharded_db.emplace(partitioned.take());
-    shard::DeviceGroup group;
-    if (devices.size() > 1) {
-      group.devices = devices;
-      group.link = link;
-    } else {
-      group = shard::DeviceGroup::Homogeneous(options.device, cli.shards, link);
-    }
+    device_label = (*sharded)->group().ToString();
     std::printf("sharded execution: %d shards (%s partitioning) on %s\n",
-                cli.shards, shard::PartitionSchemeName(popts.scheme),
-                group.ToString().c_str());
-    sharded = std::make_unique<shard::ShardedExecutor>(&db, &*sharded_db,
-                                                       std::move(group),
-                                                       options);
+                cli.shards, shard::PartitionSchemeName(*scheme_or),
+                device_label.c_str());
   }
 
   // ---- Queries ----
   int failures = 0;
   if (cli.query == "all") {
     for (auto& [name, q] : queries::EvaluationSuite()) {
-      failures += RunQuery(engine, sharded.get(), db, cli, name, q, &state);
+      failures += RunQuery(engine, db, cli, device_label, name, q, &state);
     }
   } else if (cli.query == "extended") {
     for (auto& [name, q] : queries::ExtendedSuite()) {
-      failures += RunQuery(engine, sharded.get(), db, cli, name, q, &state);
+      failures += RunQuery(engine, db, cli, device_label, name, q, &state);
     }
   } else {
     Result<LogicalQuery> q = FindQuery(cli.query);
@@ -853,7 +847,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", q.status().ToString().c_str());
       return 2;
     }
-    failures += RunQuery(engine, sharded.get(), db, cli, cli.query, *q, &state);
+    failures += RunQuery(engine, db, cli, device_label, cli.query, *q, &state);
   }
 
   // ---- Reports ----

@@ -1,12 +1,27 @@
 #include "engine/engine.h"
 
 #include <chrono>
+#include <utility>
 
 #include "common/logging.h"
 #include "engine/ocelot_engine.h"
 #include "plan/segment.h"
+#include "shard/device_group.h"
+#include "shard/partitioner.h"
+#include "shard/sharded_executor.h"
 
 namespace gpl {
+
+/// Sharded-execution state built lazily by ShardedFor(): the partitioned
+/// database (owned, unless EngineOptions::sharded_db matches the request)
+/// and the executor over it. Rebuilt whenever the sharding shape — shard
+/// count, scheme, devices, link — changes between calls.
+struct Engine::ShardedState {
+  std::string signature;
+  std::optional<shard::ShardedDatabase> owned_sharded;
+  const shard::ShardedDatabase* sharded = nullptr;
+  std::unique_ptr<shard::ShardedExecutor> executor;
+};
 
 const char* EngineModeName(EngineMode mode) {
   switch (mode) {
@@ -59,6 +74,8 @@ Result<std::vector<sim::DeviceSpec>> ParseDeviceList(std::string_view csv) {
   return devices;
 }
 
+Engine::~Engine() = default;
+
 Engine::Engine(const tpch::Database* db, EngineOptions options)
     : db_(db),
       options_(std::move(options)),
@@ -96,9 +113,72 @@ Result<QueryResult> Engine::Execute(const LogicalQuery& query) {
   return Execute(query, options_.exec);
 }
 
+Result<shard::ShardedExecutor*> Engine::ShardedFor(const ExecOptions& exec) {
+  if (!IsShardedExec(exec)) {
+    return Status::InvalidArgument(
+        "ShardedFor requires a sharded ExecOptions (shards > 1 or a "
+        "multi-entry device_list)");
+  }
+  // The sharding shape: devices (explicit list, or N copies of the engine's
+  // own device), partition scheme and link bandwidth.
+  std::vector<sim::DeviceSpec> devices = exec.device_list;
+  if (devices.empty()) {
+    devices.assign(static_cast<size_t>(exec.shards), options_.device);
+  }
+  const int num_shards = static_cast<int>(devices.size());
+  sim::LinkSpec link;
+  if (exec.link_gbps > 0.0) link.gbytes_per_sec = exec.link_gbps;
+
+  std::string signature = shard::PartitionSchemeName(exec.partition);
+  signature += '|';
+  signature += std::to_string(num_shards);
+  signature += '|';
+  signature += std::to_string(link.gbytes_per_sec);
+  for (const sim::DeviceSpec& device : devices) {
+    signature += '|';
+    signature += device.name;
+  }
+  if (sharded_state_ != nullptr && sharded_state_->signature == signature) {
+    return sharded_state_->executor.get();
+  }
+
+  auto state = std::make_unique<ShardedState>();
+  state->signature = std::move(signature);
+  if (options_.sharded_db != nullptr &&
+      options_.sharded_db->num_shards() == num_shards &&
+      options_.sharded_db->options.scheme == exec.partition) {
+    state->sharded = options_.sharded_db;
+  } else {
+    shard::PartitionOptions partition_options;
+    partition_options.num_shards = num_shards;
+    partition_options.scheme = exec.partition;
+    GPL_ASSIGN_OR_RETURN(shard::ShardedDatabase sharded,
+                         shard::PartitionDatabase(*db_, partition_options));
+    state->owned_sharded = std::move(sharded);
+    state->sharded = &*state->owned_sharded;
+  }
+
+  shard::DeviceGroup group;
+  group.devices = std::move(devices);
+  group.link = link;
+  EngineOptions executor_options = options_;
+  executor_options.sharded_db = nullptr;  // the executor's engines are leaves
+  executor_options.device_calibrations = nullptr;
+  executor_options.tuning_cache = tuning_cache_;
+  state->executor = std::make_unique<shard::ShardedExecutor>(
+      db_, state->sharded, std::move(group), std::move(executor_options),
+      options_.device_calibrations);
+  sharded_state_ = std::move(state);
+  return sharded_state_->executor.get();
+}
+
 Result<QueryResult> Engine::Execute(const LogicalQuery& query,
                                     const ExecOptions& exec) {
   if (exec.cancel != nullptr) GPL_RETURN_NOT_OK(exec.cancel->Check());
+  if (IsShardedExec(exec)) {
+    GPL_ASSIGN_OR_RETURN(shard::ShardedExecutor * sharded, ShardedFor(exec));
+    return sharded->Execute(query, exec);
+  }
   const auto start = std::chrono::steady_clock::now();
   GPL_ASSIGN_OR_RETURN(PhysicalOpPtr plan, Plan(query));
   const double plan_ms = std::chrono::duration<double, std::milli>(

@@ -1,8 +1,10 @@
 #ifndef GPL_ENGINE_ENGINE_H_
 #define GPL_ENGINE_ENGINE_H_
 
+#include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
 
 #include "common/status.h"
@@ -19,6 +21,11 @@
 #include "tpch/dbgen.h"
 
 namespace gpl {
+
+namespace shard {
+struct ShardedDatabase;
+class ShardedExecutor;
+}  // namespace shard
 
 /// Execution strategies evaluated in the paper.
 enum class EngineMode {
@@ -81,6 +88,19 @@ struct EngineOptions {
   /// null-registry fast path — no registration, one dead branch per
   /// instrumented site. Must outlive the engine.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Optional pre-partitioned copy of the engine's database for sharded
+  /// execution (ExecOptions::shards / device_list). When it matches the
+  /// requested shard count and partition scheme the engine shares it instead
+  /// of partitioning lazily — the QueryService partitions once and passes
+  /// the same instance to every worker. Must outlive the engine.
+  const shard::ShardedDatabase* sharded_db = nullptr;
+
+  /// Optional shared per-device-name calibration tables for shard groups
+  /// (ShardedExecutor calibrates any device missing from the map). Must
+  /// outlive the engine.
+  const std::map<std::string, model::CalibrationTable>* device_calibrations =
+      nullptr;
 };
 
 /// The public entry point of the library: executes TPC-H-style analytical
@@ -105,6 +125,7 @@ struct EngineOptions {
 class Engine {
  public:
   Engine(const tpch::Database* db, EngineOptions options);
+  ~Engine();  ///< out-of-line: ShardedState is incomplete here
 
   const EngineOptions& options() const { return options_; }
   const Catalog& catalog() const { return catalog_; }
@@ -117,9 +138,23 @@ class Engine {
   /// ExecOptions (options().exec).
   Result<QueryResult> Execute(const LogicalQuery& query);
   /// Same, with one-off per-call execution options (per-query cancellation
-  /// tokens, trace sinks, knob pins).
+  /// tokens, trace sinks, knob pins). This is also the sharded entry point:
+  /// exec.shards > 1 (or a multi-entry exec.device_list) routes the query
+  /// through a lazily built shard::ShardedExecutor — the database is
+  /// partitioned on first use (or shared from EngineOptions::sharded_db)
+  /// and the executor is reused while the sharding shape stays the same.
   Result<QueryResult> Execute(const LogicalQuery& query,
                               const ExecOptions& exec);
+
+  /// True when `exec` requests sharded execution (what Execute() routes on).
+  static bool IsShardedExec(const ExecOptions& exec) {
+    return exec.device_list.size() > 1 || exec.shards > 1;
+  }
+
+  /// The sharded executor Execute() would use for `exec` — built (or reused)
+  /// without executing anything. EXPLAIN paths call this to render exchange
+  /// operators. Fails with kInvalidArgument when `exec` is not sharded.
+  Result<shard::ShardedExecutor*> ShardedFor(const ExecOptions& exec);
 
   /// Executes an already-built physical plan.
   Result<QueryResult> ExecutePlan(const PhysicalOpPtr& plan);
@@ -157,6 +192,10 @@ class Engine {
   GplExecutor gpl_executor_;
   KbeEngine kbe_engine_;
   KbeEngine ocelot_engine_;
+  /// Lazily built sharded-execution state (partitioned database + executor),
+  /// keyed by the sharding shape of the last sharded Execute() call.
+  struct ShardedState;
+  std::unique_ptr<ShardedState> sharded_state_;
 };
 
 }  // namespace gpl

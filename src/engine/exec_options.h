@@ -1,8 +1,12 @@
 #ifndef GPL_ENGINE_EXEC_OPTIONS_H_
 #define GPL_ENGINE_EXEC_OPTIONS_H_
 
+#include <vector>
+
 #include "common/cancel.h"
 #include "model/plan_tuner.h"
+#include "shard/partition_scheme.h"
+#include "sim/device.h"
 
 namespace gpl {
 
@@ -75,11 +79,20 @@ struct ExecOptions {
   /// Disable (--no-tuning-cache) to re-run the grid search every segment.
   bool use_tuning_cache = true;
 
-  /// Sharded-execution routing (--shards / --link-gbps). Carried here so
-  /// the CLI, benches and the service share one flag shape; > 1 routes the
-  /// query through shard::ShardedExecutor over a device group of this size.
-  /// The single-device Engine ignores both fields.
+  /// Sharded-execution routing (--shards / --partition / --link-gbps).
+  /// `Engine::Execute(query, exec)` IS the sharded entry point: shards > 1
+  /// (or more than one entry in `device_list`) makes it partition its
+  /// database lazily and fan the query out over a shard::ShardedExecutor —
+  /// the CLI, benches and the service all ride this one surface instead of
+  /// constructing executors by hand. shards == 1 runs the plain
+  /// single-device path with zero sharding overhead.
   int shards = 1;
+  /// How the fact table splits across shards (kHash co-partitions orders so
+  /// that join stays shard-local; kRange broadcasts everything but lineitem).
+  shard::PartitionScheme partition = shard::PartitionScheme::kHash;
+  /// Devices of the shard group, one per shard. Empty = `shards` copies of
+  /// the engine's own device. When non-empty its size wins over `shards`.
+  std::vector<sim::DeviceSpec> device_list;
   /// Link bandwidth override in GB/s for the group's interconnect;
   /// 0 keeps the sim::LinkSpec default (PCIe 3.0-class, 16 GB/s).
   double link_gbps = 0.0;

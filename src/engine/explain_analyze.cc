@@ -7,6 +7,8 @@
 
 #include "engine/metrics_json.h"
 #include "plan/physical_plan.h"
+#include "shard/device_group.h"
+#include "shard/sharded_executor.h"
 #include "trace/json.h"
 
 namespace gpl {
@@ -68,6 +70,21 @@ std::string ExplainAnalyzeReport::ToString() const {
   out << "EXPLAIN ANALYZE query=" << query << " mode=" << mode
       << " device=" << device << "\n";
   out << "plan:\n" << plan_text;
+  if (num_shards > 1) {
+    out << "exchanges: shards=" << num_shards << " merge="
+        << (partial_combine ? "combine" : "stitch") << "\n";
+    for (const ExplainAnalyzeExchange& ex : exchanges) {
+      out << "  " << ex.kind << " " << ex.table
+          << ": predicted_bytes=" << ex.predicted_bytes
+          << " actual_bytes=" << ex.actual_bytes << " ("
+          << FormatMs(ex.predicted_ms) << " ms predicted)\n";
+    }
+    out << "totals: elapsed=" << FormatMs(metrics.elapsed_ms)
+        << " ms exchange=" << FormatMs(metrics.exchange_ms)
+        << " ms merge=" << FormatMs(metrics.merge_ms)
+        << " ms output_rows=" << output_rows << "\n";
+    return out.str();
+  }
   out << "segments:\n";
   for (const ExplainAnalyzeSegment& seg : segments) {
     out << "  segment " << seg.index << ": " << seg.description << "  ["
@@ -127,6 +144,25 @@ std::string ExplainAnalyzeReport::ToJson() const {
   AppendJsonField(&out, "mode", mode, /*quote=*/true);
   AppendJsonField(&out, "device", device, /*quote=*/true);
   AppendJsonInt(&out, "output_rows", output_rows);
+  if (num_shards > 1) {
+    // Sharded-run block, omitted for single-device runs so their JSON stays
+    // byte-stable across this change.
+    AppendJsonInt(&out, "num_shards", num_shards);
+    AppendJsonBool(&out, "partial_combine", partial_combine);
+    out += ",\"exchanges\":[";
+    for (size_t i = 0; i < exchanges.size(); ++i) {
+      const ExplainAnalyzeExchange& ex = exchanges[i];
+      if (i > 0) out += ",";
+      out += "{";
+      AppendJsonField(&out, "table", ex.table, /*quote=*/true);
+      AppendJsonField(&out, "kind", ex.kind, /*quote=*/true);
+      AppendJsonInt(&out, "predicted_bytes", ex.predicted_bytes);
+      AppendJsonInt(&out, "actual_bytes", ex.actual_bytes);
+      AppendJsonNumber(&out, "predicted_ms", ex.predicted_ms);
+      out += "}";
+    }
+    out += "]";
+  }
   out += ",\"segments\":[";
   for (size_t i = 0; i < segments.size(); ++i) {
     const ExplainAnalyzeSegment& seg = segments[i];
@@ -186,6 +222,38 @@ Result<ExplainAnalyzeReport> ExplainAnalyze(Engine& engine,
                                             const LogicalQuery& query,
                                             const ExecOptions& exec) {
   const EngineMode mode = engine.options().mode;
+  if (Engine::IsShardedExec(exec)) {
+    GPL_ASSIGN_OR_RETURN(shard::ShardedExecutor * sharded,
+                         engine.ShardedFor(exec));
+    GPL_ASSIGN_OR_RETURN(shard::DistributedExplain dist,
+                         sharded->Explain(query));
+    GPL_ASSIGN_OR_RETURN(QueryResult result, sharded->Execute(query, exec));
+
+    ExplainAnalyzeReport report;
+    report.query = query.name;
+    report.mode = EngineModeName(mode);
+    report.device = sharded->group().ToString();
+    report.plan_text = dist.plan_text;
+    report.metrics = result.metrics;
+    report.output_rows = result.table.num_rows();
+    report.num_shards = dist.num_shards;
+    report.partial_combine = result.metrics.partial_combine;
+    for (const shard::ExchangeOpReport& ex : dist.exchanges) {
+      ExplainAnalyzeExchange entry;
+      entry.table = ex.table;
+      entry.kind = std::string(ExchangeKindName(ex.kind));
+      entry.predicted_bytes = ex.predicted_bytes;
+      // Broadcast/repartition traffic is charged exactly as priced; the
+      // final gather ships whatever the shards really produced, which
+      // Execute() recorded as shuffle_bytes.
+      entry.actual_bytes = ex.kind == ExchangeKind::kGather
+                               ? result.metrics.shuffle_bytes
+                               : ex.predicted_bytes;
+      entry.predicted_ms = ex.predicted_ms;
+      report.exchanges.push_back(std::move(entry));
+    }
+    return report;
+  }
   if (mode != EngineMode::kGpl && mode != EngineMode::kGplNoCe) {
     return Status::Unimplemented(
         "EXPLAIN ANALYZE annotates segmented GPL plans; mode " +

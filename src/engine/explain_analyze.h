@@ -52,11 +52,29 @@ struct ExplainAnalyzeSegment {
   double CycleErrorPct() const;
 };
 
+/// One Exchange operator of a sharded run, with the cost model's predicted
+/// traffic next to the bytes the link actually recorded. Broadcast and
+/// repartition exchanges are charged exactly as priced (actual == predicted);
+/// the final gather ships whatever the shards really produced.
+struct ExplainAnalyzeExchange {
+  std::string table;
+  std::string kind;  ///< broadcast | repartition | passthrough | gather
+  int64_t predicted_bytes = 0;
+  int64_t actual_bytes = 0;
+  double predicted_ms = 0.0;
+};
+
 /// The result of EXPLAIN ANALYZE: the optimized plan, per-segment actuals
 /// vs. predictions, and the exact QueryMetrics the same execution would have
 /// returned through Engine::ExecutePlan (built by Engine::FinalizeGplMetrics
 /// from the same run, so the totals here always match a --metrics-json run
 /// of the same query on the simulated-time fields).
+///
+/// For a sharded ExecOptions (shards > 1 or a multi-entry device_list) the
+/// report annotates the distributed plan instead: `plan_text` is the
+/// per-shard plan with Exchange operators inline, `exchanges` lists each
+/// operator's predicted vs actual traffic, and `segments` is empty (the
+/// per-shard segment trees are not surfaced).
 struct ExplainAnalyzeReport {
   std::string query;
   std::string mode;
@@ -65,6 +83,10 @@ struct ExplainAnalyzeReport {
   std::vector<ExplainAnalyzeSegment> segments;
   QueryMetrics metrics;
   int64_t output_rows = 0;
+
+  int num_shards = 1;           ///< > 1 for sharded runs
+  bool partial_combine = false; ///< sharded merge combined pushed-down partials
+  std::vector<ExplainAnalyzeExchange> exchanges;  ///< sharded runs only
 
   /// Human-readable rendering: the plan tree followed by the annotated
   /// per-segment tree and a totals line.
@@ -76,8 +98,10 @@ struct ExplainAnalyzeReport {
 
 /// Plans and EXECUTES `query` (EXPLAIN ANALYZE, not EXPLAIN: the results are
 /// computed and the timing simulated for real), returning the annotated
-/// report. Only the GPL modes (kGpl, kGplNoCe) have segmented plans to
-/// annotate; KBE/Ocelot return kUnimplemented.
+/// report. Single-device: only the GPL modes (kGpl, kGplNoCe) have segmented
+/// plans to annotate; KBE/Ocelot return kUnimplemented. A sharded `exec`
+/// routes through the engine's ShardedExecutor in any mode and annotates the
+/// distributed plan's Exchange operators instead of segments.
 Result<ExplainAnalyzeReport> ExplainAnalyze(Engine& engine,
                                             const LogicalQuery& query);
 Result<ExplainAnalyzeReport> ExplainAnalyze(Engine& engine,

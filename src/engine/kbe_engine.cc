@@ -161,7 +161,10 @@ Result<Table> KbeEngine::Exec(const PhysicalOp& op, Context* ctx) {
       GPL_ASSIGN_OR_RETURN(Table input, Exec(*op.child, ctx));
       const int64_t n = input.num_rows();
 
-      KernelPtr agg = MakeAggregateKernel(op.group_by, op.aggregates);
+      KernelPtr agg = MakeAggregateKernel(op.group_by, op.aggregates,
+                                          op.partial_aggregate
+                                              ? AggregatePhase::kPartial
+                                              : AggregatePhase::kComplete);
       GPL_ASSIGN_OR_RETURN(Table ignored, agg->Process(input));
       (void)ignored;
       GPL_ASSIGN_OR_RETURN(Table out, agg->Finish());
@@ -189,6 +192,12 @@ Result<Table> KbeEngine::Exec(const PhysicalOp& op, Context* ctx) {
       GPL_RETURN_NOT_OK(Record(ctx, gather_launch, 0));
       return out;
     }
+
+    case PhysicalOp::Kind::kExchange:
+      // Identity on a single device: the exchange describes inter-device
+      // data motion, which the shard layer prices on the link — no kernel
+      // launches here.
+      return Exec(*op.child, ctx);
 
     case PhysicalOp::Kind::kSort: {
       GPL_ASSIGN_OR_RETURN(Table input, Exec(*op.child, ctx));

@@ -66,6 +66,9 @@ struct QueryMetrics {
   int64_t exchange_bytes = 0;      ///< broadcast + shuffle
   double exchange_ms = 0.0;        ///< serialized link time
   double merge_ms = 0.0;           ///< serial merge on device 0
+  /// True when the sharded merge combined pushed-down partial aggregates
+  /// (cheap per-group fold); false for the row-id stitch-and-replay path.
+  bool partial_combine = false;
   std::vector<double> device_elapsed_ms;   ///< per-device simulated time
   std::vector<double> device_utilization;  ///< device time / makespan
 

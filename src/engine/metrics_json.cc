@@ -79,6 +79,8 @@ std::string QueryMetricsToJson(const MetricsJsonEntry& entry) {
                  static_cast<double>(m.exchange_bytes));
     AppendNumber(&out, "exchange_ms", m.exchange_ms);
     AppendNumber(&out, "merge_ms", m.merge_ms);
+    AppendField(&out, "partial_combine", m.partial_combine ? "true" : "false",
+                /*quote=*/false);
     std::string devices = "[";
     for (size_t i = 0; i < m.device_elapsed_ms.size(); ++i) {
       if (i > 0) devices += ",";

@@ -1,0 +1,82 @@
+#ifndef GPL_EXEC_EXACT_SUM_H_
+#define GPL_EXEC_EXACT_SUM_H_
+
+#include <array>
+#include <cstdint>
+
+namespace gpl {
+
+/// Exact (error-free) accumulator for IEEE-754 double sums.
+///
+/// A fixed-point superaccumulator: the running sum is held as 68 base-2^32
+/// digits spanning binary exponents [-1088, 1088), wide enough to hold any
+/// sum of < 2^30 finite doubles without overflow or rounding. Because every
+/// Add() is exact, the accumulated value — and therefore Round() — is
+/// independent of insertion order, and two accumulators can be merged
+/// digit-wise without losing a bit. This is what makes partial-aggregate
+/// pushdown bit-identical to the single-device serial fold: each shard sums
+/// its rows exactly, the coordinator merges the canonical digit strings
+/// exactly, and the one rounding to double happens once, at the end.
+///
+/// Infinities and NaN are tracked as flags (a sum that saw +inf and -inf, or
+/// any NaN, rounds to NaN; +inf alone rounds to +inf, mirroring what a
+/// double fold would produce once saturated).
+class ExactFloat64Sum {
+ public:
+  static constexpr int kDigits = 68;
+  /// Binary exponent of digit 0's least-significant bit. Chosen so the
+  /// smallest subnormal (2^-1074) lands at bit 14 of digit 0.
+  static constexpr int kMinExp = -1088;
+
+  /// Order-independent serialized form: sign (-1/0/+1) and the magnitude as
+  /// base-2^32 digits (each < 2^32), least-significant first, plus the
+  /// special-value flags. Equal mathematical values always produce equal
+  /// canonical forms.
+  struct Canonical {
+    int sign = 0;
+    std::array<uint64_t, kDigits> digits{};
+    bool any_pos_inf = false;
+    bool any_neg_inf = false;
+    bool any_nan = false;
+  };
+
+  /// Adds one double, exactly (no rounding for finite values).
+  void Add(double x);
+
+  /// Adds another accumulator's value, exactly.
+  void Merge(const ExactFloat64Sum& other) { AddCanonical(other.ToCanonical()); }
+
+  /// Adds a serialized value (e.g. a shard partial), exactly.
+  void AddCanonical(const Canonical& c);
+
+  /// The current value in canonical sign-magnitude form.
+  Canonical ToCanonical() const;
+
+  /// Rounds the exact value to double. Deterministic: a fixed most- to
+  /// least-significant digit fold, so equal canonical forms round equally.
+  double Round() const { return RoundCanonical(ToCanonical()); }
+
+  static double RoundCanonical(const Canonical& c);
+
+  void Clear();
+
+ private:
+  // Carry-propagate so every digit except the top fits in [0, 2^32); the top
+  // digit stays an unmasked signed residue (it carries the sign of the whole
+  // value between normalizations).
+  void Normalize();
+
+  // Signed redundant digits: value = sum over k of digits_[k] * 2^(32k+kMinExp).
+  // Each Add() touches at most 3 digits with < 2^32 of magnitude each, so
+  // int64 digits absorb kNormalizeEvery adds between carry propagations.
+  static constexpr int64_t kNormalizeEvery = int64_t{1} << 30;
+  std::array<int64_t, kDigits> digits_{};
+  int64_t adds_ = 0;
+  bool any_pos_inf_ = false;
+  bool any_neg_inf_ = false;
+  bool any_nan_ = false;
+};
+
+}  // namespace gpl
+
+#endif  // GPL_EXEC_EXACT_SUM_H_

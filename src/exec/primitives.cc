@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "exec/exact_sum.h"
 #include "exec/morsel.h"
 
 namespace gpl {
@@ -123,11 +124,40 @@ class HashProbeKernel : public Kernel {
   std::vector<std::string> build_payload_;
 };
 
+// Names of the per-aggregate state columns in the partial wire format.
+// Index-based so they can never collide with user group/aggregate names.
+std::string PartialCountName(size_t a) { return "__pc" + std::to_string(a); }
+std::string PartialMetaName(size_t a) { return "__pm" + std::to_string(a); }
+std::string PartialValueName(size_t a) { return "__pv" + std::to_string(a); }
+std::string PartialDigitName(size_t a, int j) {
+  return "__pd" + std::to_string(a) + "_" + std::to_string(j);
+}
+
+// Meta-column encoding of an exact sum's sign and special flags.
+int64_t EncodeSumMeta(const ExactFloat64Sum::Canonical& c) {
+  int64_t meta = c.sign + 1;  // 0, 1, 2
+  if (c.any_pos_inf) meta |= 4;
+  if (c.any_neg_inf) meta |= 8;
+  if (c.any_nan) meta |= 16;
+  return meta;
+}
+
+ExactFloat64Sum::Canonical DecodeSumMeta(int64_t meta) {
+  ExactFloat64Sum::Canonical c;
+  c.sign = static_cast<int>(meta & 3) - 1;
+  c.any_pos_inf = (meta & 4) != 0;
+  c.any_neg_inf = (meta & 8) != 0;
+  c.any_nan = (meta & 16) != 0;
+  return c;
+}
+
 class AggregateKernel : public Kernel {
  public:
   AggregateKernel(std::vector<ProjectedColumn> group_by,
-                  std::vector<AggSpec> aggregates)
-      : group_by_(std::move(group_by)), aggregates_(std::move(aggregates)) {
+                  std::vector<AggSpec> aggregates, AggregatePhase phase)
+      : group_by_(std::move(group_by)),
+        aggregates_(std::move(aggregates)),
+        phase_(phase) {
     double cost = 0.0;
     for (const ProjectedColumn& g : group_by_) cost += g.expr->CostPerRow();
     for (const AggSpec& a : aggregates_) {
@@ -142,10 +172,10 @@ class AggregateKernel : public Kernel {
 
     // Evaluate group keys and aggregate arguments once per batch. The
     // evaluation is the expensive part and is morsel-parallel; the
-    // accumulation loop below stays serial in row order because double sums
-    // are not associative — merging per-morsel float partials would change
-    // low-order result bits versus the serial oracle. (Min/max/count would
-    // merge exactly, but they ride along with the sums.)
+    // accumulation loop below stays serial in row order. Double sums go
+    // through an exact superaccumulator (exec/exact_sum.h), so the
+    // accumulated state — and the rounded result — is independent of row
+    // order and of how rows are partitioned across shards.
     std::vector<Column> group_cols;
     group_cols.reserve(group_by_.size());
     for (const ProjectedColumn& g : group_by_) {
@@ -172,23 +202,12 @@ class AggregateKernel : public Kernel {
       for (size_t g = 0; g < group_cols.size(); ++g) {
         key[g] = group_cols[g].AsInt64(i);
       }
-      Accumulators& acc = groups_[key];
-      if (acc.values.empty()) {
-        acc.values.assign(aggregates_.size(), 0.0);
-        acc.counts.assign(aggregates_.size(), 0);
-        for (size_t a = 0; a < aggregates_.size(); ++a) {
-          if (aggregates_[a].func == AggSpec::kMin) {
-            acc.values[a] = std::numeric_limits<double>::infinity();
-          } else if (aggregates_[a].func == AggSpec::kMax) {
-            acc.values[a] = -std::numeric_limits<double>::infinity();
-          }
-        }
-      }
+      Accumulators& acc = GroupAt(key);
       for (size_t a = 0; a < aggregates_.size(); ++a) {
         switch (aggregates_[a].func) {
           case AggSpec::kSum:
           case AggSpec::kAvg:
-            acc.values[a] += agg_cols[a].AsDouble(i);
+            acc.sums[a].Add(agg_cols[a].AsDouble(i));
             break;
           case AggSpec::kCount:
             break;  // counts only
@@ -205,9 +224,61 @@ class AggregateKernel : public Kernel {
     return Table();  // partial aggregation; emitted at Finish()
   }
 
+  /// Merges one partial-aggregate table (the kPartial wire format) into the
+  /// accumulated state. Used by CombinePartialAggregates().
+  Status IngestPartial(const Table& partial) {
+    const int64_t n = partial.num_rows();
+    if (n == 0) return Status::OK();  // empty shard: nothing to merge
+    std::vector<const Column*> group_cols;
+    for (const ProjectedColumn& g : group_by_) {
+      group_cols.push_back(&partial.GetColumn(g.name));
+    }
+    if (group_types_.empty()) {
+      for (const Column* c : group_cols) {
+        group_types_.push_back(c->type());
+        group_dicts_.push_back(c->dictionary());
+      }
+    }
+    std::vector<int64_t> key(group_by_.size());
+    for (int64_t i = 0; i < n; ++i) {
+      for (size_t g = 0; g < group_cols.size(); ++g) {
+        key[g] = group_cols[g]->AsInt64(i);
+      }
+      Accumulators& acc = GroupAt(key);
+      for (size_t a = 0; a < aggregates_.size(); ++a) {
+        acc.counts[a] += partial.GetColumn(PartialCountName(a)).Int64At(i);
+        switch (aggregates_[a].func) {
+          case AggSpec::kSum:
+          case AggSpec::kAvg: {
+            ExactFloat64Sum::Canonical c =
+                DecodeSumMeta(partial.GetColumn(PartialMetaName(a)).Int64At(i));
+            for (int j = 0; j < ExactFloat64Sum::kDigits; ++j) {
+              c.digits[static_cast<size_t>(j)] = static_cast<uint64_t>(
+                  partial.GetColumn(PartialDigitName(a, j)).Int64At(i));
+            }
+            acc.sums[a].AddCanonical(c);
+            break;
+          }
+          case AggSpec::kCount:
+            break;
+          case AggSpec::kMin:
+            acc.values[a] = std::min(
+                acc.values[a], partial.GetColumn(PartialValueName(a)).DoubleAt(i));
+            break;
+          case AggSpec::kMax:
+            acc.values[a] = std::max(
+                acc.values[a], partial.GetColumn(PartialValueName(a)).DoubleAt(i));
+            break;
+        }
+      }
+    }
+    return Status::OK();
+  }
+
   Result<Table> Finish() override {
     Table out("aggregate");
-    // Group columns.
+    // Group columns (final form in both phases, so partials round-trip
+    // through the same AsInt64 key extraction).
     for (size_t g = 0; g < group_by_.size(); ++g) {
       const DataType type =
           group_types_.empty() ? DataType::kInt64 : group_types_[g];
@@ -229,6 +300,7 @@ class AggregateKernel : public Kernel {
       }
       GPL_RETURN_NOT_OK(out.AddColumn(group_by_[g].name, std::move(col)));
     }
+    if (phase_ == AggregatePhase::kPartial) return FinishPartial(std::move(out));
     // Aggregate columns.
     for (size_t a = 0; a < aggregates_.size(); ++a) {
       const AggSpec& spec = aggregates_[a];
@@ -239,7 +311,12 @@ class AggregateKernel : public Kernel {
       } else {
         Column col(DataType::kFloat64);
         for (const auto& [key, acc] : groups_) {
-          double v = acc.values[a];
+          double v;
+          if (spec.func == AggSpec::kMin || spec.func == AggSpec::kMax) {
+            v = acc.values[a];
+          } else {
+            v = acc.sums[a].Round();
+          }
           if (spec.func == AggSpec::kAvg && acc.counts[a] > 0) {
             v /= static_cast<double>(acc.counts[a]);
           }
@@ -259,12 +336,66 @@ class AggregateKernel : public Kernel {
 
  private:
   struct Accumulators {
-    std::vector<double> values;
+    std::vector<ExactFloat64Sum> sums;  ///< kSum/kAvg exact state
+    std::vector<double> values;         ///< kMin/kMax running value
     std::vector<int64_t> counts;
   };
 
+  Accumulators& GroupAt(const std::vector<int64_t>& key) {
+    Accumulators& acc = groups_[key];
+    if (acc.counts.empty()) {
+      acc.sums.resize(aggregates_.size());
+      acc.values.assign(aggregates_.size(), 0.0);
+      acc.counts.assign(aggregates_.size(), 0);
+      for (size_t a = 0; a < aggregates_.size(); ++a) {
+        if (aggregates_[a].func == AggSpec::kMin) {
+          acc.values[a] = std::numeric_limits<double>::infinity();
+        } else if (aggregates_[a].func == AggSpec::kMax) {
+          acc.values[a] = -std::numeric_limits<double>::infinity();
+        }
+      }
+    }
+    return acc;
+  }
+
+  // Appends the per-aggregate state columns to the group columns already in
+  // `out`, producing the partial wire format.
+  Result<Table> FinishPartial(Table out) {
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      const AggSpec& spec = aggregates_[a];
+      Column counts(DataType::kInt64);
+      for (const auto& [key, acc] : groups_) counts.AppendInt64(acc.counts[a]);
+      GPL_RETURN_NOT_OK(out.AddColumn(PartialCountName(a), std::move(counts)));
+      if (spec.func == AggSpec::kMin || spec.func == AggSpec::kMax) {
+        Column val(DataType::kFloat64);
+        for (const auto& [key, acc] : groups_) val.AppendDouble(acc.values[a]);
+        GPL_RETURN_NOT_OK(out.AddColumn(PartialValueName(a), std::move(val)));
+      } else if (spec.func != AggSpec::kCount) {
+        std::vector<ExactFloat64Sum::Canonical> canon;
+        canon.reserve(groups_.size());
+        for (const auto& [key, acc] : groups_) {
+          canon.push_back(acc.sums[a].ToCanonical());
+        }
+        Column meta(DataType::kInt64);
+        for (const auto& c : canon) meta.AppendInt64(EncodeSumMeta(c));
+        GPL_RETURN_NOT_OK(out.AddColumn(PartialMetaName(a), std::move(meta)));
+        for (int j = 0; j < ExactFloat64Sum::kDigits; ++j) {
+          Column digit(DataType::kInt64);
+          for (const auto& c : canon) {
+            digit.AppendInt64(
+                static_cast<int64_t>(c.digits[static_cast<size_t>(j)]));
+          }
+          GPL_RETURN_NOT_OK(
+              out.AddColumn(PartialDigitName(a, j), std::move(digit)));
+        }
+      }
+    }
+    return out;
+  }
+
   std::vector<ProjectedColumn> group_by_;
   std::vector<AggSpec> aggregates_;
+  AggregatePhase phase_;
   // std::map gives deterministic (sorted) group order.
   std::map<std::vector<int64_t>, Accumulators> groups_;
   std::vector<DataType> group_types_;
@@ -358,9 +489,47 @@ KernelPtr MakeHashProbeKernel(std::vector<ExprPtr> key_exprs,
 }
 
 KernelPtr MakeAggregateKernel(std::vector<ProjectedColumn> group_by,
-                              std::vector<AggSpec> aggregates) {
+                              std::vector<AggSpec> aggregates,
+                              AggregatePhase phase) {
   return std::make_shared<AggregateKernel>(std::move(group_by),
-                                           std::move(aggregates));
+                                           std::move(aggregates), phase);
+}
+
+std::vector<std::string> PartialAggregateColumns(
+    const std::vector<ProjectedColumn>& group_by,
+    const std::vector<AggSpec>& aggregates) {
+  std::vector<std::string> out;
+  for (const ProjectedColumn& g : group_by) out.push_back(g.name);
+  for (size_t a = 0; a < aggregates.size(); ++a) {
+    out.push_back(PartialCountName(a));
+    switch (aggregates[a].func) {
+      case AggSpec::kSum:
+      case AggSpec::kAvg:
+        out.push_back(PartialMetaName(a));
+        for (int j = 0; j < ExactFloat64Sum::kDigits; ++j) {
+          out.push_back(PartialDigitName(a, j));
+        }
+        break;
+      case AggSpec::kCount:
+        break;
+      case AggSpec::kMin:
+      case AggSpec::kMax:
+        out.push_back(PartialValueName(a));
+        break;
+    }
+  }
+  return out;
+}
+
+Result<Table> CombinePartialAggregates(
+    const std::vector<ProjectedColumn>& group_by,
+    const std::vector<AggSpec>& aggregates,
+    const std::vector<Table>& partials) {
+  AggregateKernel combiner(group_by, aggregates, AggregatePhase::kComplete);
+  for (const Table& partial : partials) {
+    GPL_RETURN_NOT_OK(combiner.IngestPartial(partial));
+  }
+  return combiner.Finish();
 }
 
 KernelPtr MakeSortKernel(std::vector<SortKey> keys) {

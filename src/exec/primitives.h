@@ -61,10 +61,37 @@ KernelPtr MakeHashProbeKernel(std::vector<ExprPtr> key_exprs,
                               std::shared_ptr<HashJoinState> state,
                               std::vector<std::string> build_payload);
 
+/// Which table an aggregate kernel emits at Finish().
+///
+/// kComplete emits the final aggregate table. kPartial emits the
+/// shard-partial wire format: the group columns in their final form plus,
+/// per aggregate, a count column and either the exact-sum canonical digits
+/// (sum/avg — see exec/exact_sum.h) or the running min/max value. Partials
+/// from any row partition merge back to the bit-exact complete result via
+/// CombinePartialAggregates().
+enum class AggregatePhase { kComplete, kPartial };
+
 /// GPL-style non-blocking aggregation (k_reduce*): accumulates partial
 /// results per packet and emits the group table at Finish().
 KernelPtr MakeAggregateKernel(std::vector<ProjectedColumn> group_by,
-                              std::vector<AggSpec> aggregates);
+                              std::vector<AggSpec> aggregates,
+                              AggregatePhase phase = AggregatePhase::kComplete);
+
+/// Column names of the partial-aggregate wire format (group columns first,
+/// then the per-aggregate state columns).
+std::vector<std::string> PartialAggregateColumns(
+    const std::vector<ProjectedColumn>& group_by,
+    const std::vector<AggSpec>& aggregates);
+
+/// Merges partial-aggregate tables (the wire format emitted by a kPartial
+/// aggregate kernel) into the complete aggregate table. Exact: sums merge
+/// via canonical superaccumulator digits, counts add, min/max fold — the
+/// result is bit-identical to aggregating all input rows on one device,
+/// regardless of how rows were partitioned (NaN-free min/max inputs
+/// assumed; sums are exact even for adversarial orderings).
+Result<Table> CombinePartialAggregates(
+    const std::vector<ProjectedColumn>& group_by,
+    const std::vector<AggSpec>& aggregates, const std::vector<Table>& partials);
 
 /// Sort (order-by). Blocking: accumulates all input, emits sorted output at
 /// Finish().

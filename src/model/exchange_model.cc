@@ -1,5 +1,7 @@
 #include "model/exchange_model.h"
 
+#include "model/tuning_cache.h"
+
 namespace gpl {
 namespace model {
 
@@ -15,38 +17,88 @@ const char* ExchangeStrategyName(ExchangeStrategy strategy) {
   return "?";
 }
 
+ExchangeDecision PriceExchange(const ExchangeInput& input,
+                               ExchangeStrategy strategy,
+                               const sim::LinkSpec& link, int num_shards,
+                               int64_t fact_bytes) {
+  ExchangeDecision decision;
+  decision.table = input.table;
+  decision.strategy = strategy;
+  sim::Link cost(link);
+  const double n = static_cast<double>(num_shards < 1 ? 1 : num_shards);
+  switch (strategy) {
+    case ExchangeStrategy::kCoPartitioned:
+      decision.bytes = 0;
+      decision.ms = 0.0;
+      break;
+    case ExchangeStrategy::kBroadcast:
+      decision.bytes = input.bytes * static_cast<int64_t>(num_shards - 1);
+      // One serialized DMA per receiving device (latency paid per copy).
+      decision.ms =
+          static_cast<double>(num_shards - 1) * cost.TransferMs(input.bytes);
+      break;
+    case ExchangeStrategy::kRepartition:
+      // Every row of both sides relocates with probability (N-1)/N; moving
+      // the build side alone is useless — the fact side must land on the
+      // same key too. Each device ships its outbound fraction; serialized.
+      decision.bytes = static_cast<int64_t>(
+          static_cast<double>(input.bytes + fact_bytes) * (n - 1.0) / n);
+      decision.ms = cost.TransferMs(decision.bytes);
+      break;
+  }
+  return decision;
+}
+
+ExchangeDecision TuneExchange(const ExchangeInput& input,
+                              const sim::LinkSpec& link, int num_shards,
+                              int64_t fact_bytes) {
+  if (input.co_partitioned || num_shards <= 1) {
+    return PriceExchange(input, ExchangeStrategy::kCoPartitioned, link,
+                         num_shards, fact_bytes);
+  }
+  // Argmin by bytes crossing links; candidate order breaks ties, so
+  // broadcast wins when the byte counts agree (matches TPC-H-shaped data,
+  // where dimensions are much smaller than the fact table).
+  const ExchangeStrategy candidates[] = {ExchangeStrategy::kBroadcast,
+                                         ExchangeStrategy::kRepartition};
+  ExchangeDecision best;
+  bool first = true;
+  for (ExchangeStrategy strategy : candidates) {
+    ExchangeDecision candidate =
+        PriceExchange(input, strategy, link, num_shards, fact_bytes);
+    if (first || candidate.bytes < best.bytes) {
+      best = candidate;
+      first = false;
+    }
+  }
+  return best;
+}
+
 ExchangePlan PlanExchange(const std::vector<ExchangeInput>& inputs,
                           const sim::LinkSpec& link, int num_shards,
                           int64_t fact_bytes) {
+  return PlanExchange(inputs, link, num_shards, fact_bytes, nullptr);
+}
+
+ExchangePlan PlanExchange(const std::vector<ExchangeInput>& inputs,
+                          const sim::LinkSpec& link, int num_shards,
+                          int64_t fact_bytes, TuningCache* cache) {
   ExchangePlan plan;
   plan.decisions.reserve(inputs.size());
-  sim::Link cost(link);
-  const double n = static_cast<double>(num_shards < 1 ? 1 : num_shards);
-
   for (const ExchangeInput& input : inputs) {
     ExchangeDecision decision;
-    decision.table = input.table;
-    if (input.co_partitioned || num_shards <= 1) {
-      decision.strategy = ExchangeStrategy::kCoPartitioned;
-      decision.bytes = 0;
-      decision.ms = 0.0;
-    } else {
-      const int64_t broadcast_bytes =
-          input.bytes * static_cast<int64_t>(num_shards - 1);
-      const int64_t repartition_bytes = static_cast<int64_t>(
-          static_cast<double>(input.bytes + fact_bytes) * (n - 1.0) / n);
-      if (broadcast_bytes <= repartition_bytes) {
-        decision.strategy = ExchangeStrategy::kBroadcast;
-        decision.bytes = broadcast_bytes;
-        // One serialized DMA per receiving device (latency paid per copy).
-        decision.ms = static_cast<double>(num_shards - 1) *
-                      cost.TransferMs(input.bytes);
+    if (cache != nullptr) {
+      const std::string signature =
+          TuningCache::ExchangeSignature(link, num_shards, fact_bytes, input);
+      std::optional<ExchangeDecision> hit = cache->LookupExchange(signature);
+      if (hit.has_value()) {
+        decision = *std::move(hit);
       } else {
-        decision.strategy = ExchangeStrategy::kRepartition;
-        decision.bytes = repartition_bytes;
-        // Each device ships its outbound fraction; serialized on the link.
-        decision.ms = cost.TransferMs(decision.bytes);
+        decision = TuneExchange(input, link, num_shards, fact_bytes);
+        cache->InsertExchange(signature, decision);
       }
+    } else {
+      decision = TuneExchange(input, link, num_shards, fact_bytes);
     }
     plan.total_bytes += decision.bytes;
     plan.total_ms += decision.ms;

@@ -71,6 +71,33 @@ ExchangePlan PlanExchange(const std::vector<ExchangeInput>& inputs,
                           const sim::LinkSpec& link, int num_shards,
                           int64_t fact_bytes);
 
+/// Prices one relation under one specific strategy (no choosing). The
+/// building block TuneExchange minimizes over; exposed so tests can verify
+/// the tuner against a brute-force argmin.
+ExchangeDecision PriceExchange(const ExchangeInput& input,
+                               ExchangeStrategy strategy,
+                               const sim::LinkSpec& link, int num_shards,
+                               int64_t fact_bytes);
+
+/// Chooses the cheapest legal strategy for one relation: co-partitioned
+/// relations (and single-shard groups) move nothing; otherwise the argmin
+/// of PriceExchange over {broadcast, repartition} by bytes crossing links,
+/// broadcast winning ties. Deterministic.
+ExchangeDecision TuneExchange(const ExchangeInput& input,
+                              const sim::LinkSpec& link, int num_shards,
+                              int64_t fact_bytes);
+
+class TuningCache;
+
+/// Memoizing overload: each per-relation decision is keyed by
+/// TuningCache::ExchangeSignature and cached, so a service replaying the
+/// same sharded queries prices the exchange once. `cache == nullptr` falls
+/// back to fresh tuning. Exact-match keying: a hit provably returns what
+/// TuneExchange would recompute.
+ExchangePlan PlanExchange(const std::vector<ExchangeInput>& inputs,
+                          const sim::LinkSpec& link, int num_shards,
+                          int64_t fact_bytes, TuningCache* cache);
+
 }  // namespace model
 }  // namespace gpl
 

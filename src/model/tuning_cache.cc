@@ -72,6 +72,46 @@ std::string TuningCache::SegmentSignature(const sim::DeviceSpec& device,
   return key;
 }
 
+std::string TuningCache::ExchangeSignature(const sim::LinkSpec& link,
+                                           int num_shards, int64_t fact_bytes,
+                                           const ExchangeInput& input) {
+  std::string key;
+  key.reserve(96);
+  key += "x|";
+  key += link.name;
+  key += '|';
+  AppendBits(&key, link.gbytes_per_sec);
+  AppendBits(&key, link.latency_us);
+  AppendInt(&key, num_shards);
+  AppendInt(&key, fact_bytes);
+  key += input.table;
+  key += '|';
+  AppendInt(&key, input.bytes);
+  AppendInt(&key, input.rows);
+  AppendInt(&key, input.co_partitioned ? 1 : 0);
+  return key;
+}
+
+std::optional<ExchangeDecision> TuningCache::LookupExchange(
+    const std::string& signature) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = exchange_entries_.find(signature);
+    if (it != exchange_entries_.end()) {
+      exchange_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  exchange_misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void TuningCache::InsertExchange(const std::string& signature,
+                                 const ExchangeDecision& decision) {
+  std::lock_guard<std::mutex> lock(mu_);
+  exchange_entries_.emplace(signature, decision);  // first insert wins
+}
+
 std::optional<TuningChoice> TuningCache::Lookup(const std::string& signature) {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -95,6 +135,8 @@ TuningCacheStats TuningCache::stats() const {
   TuningCacheStats stats;
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.exchange_hits = exchange_hits_.load(std::memory_order_relaxed);
+  stats.exchange_misses = exchange_misses_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -103,11 +145,19 @@ size_t TuningCache::size() const {
   return entries_.size();
 }
 
+size_t TuningCache::exchange_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return exchange_entries_.size();
+}
+
 void TuningCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
+  exchange_entries_.clear();
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  exchange_hits_.store(0, std::memory_order_relaxed);
+  exchange_misses_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace model

@@ -8,17 +8,23 @@
 #include <string>
 #include <unordered_map>
 
+#include "model/exchange_model.h"
 #include "model/plan_tuner.h"
 #include "sim/device.h"
+#include "sim/link.h"
 
 namespace gpl {
 namespace model {
 
 /// Hit/miss counters of a TuningCache — one consistent-enough snapshot for
-/// stats reporting (the counters are monotonic atomics).
+/// stats reporting (the counters are monotonic atomics). Segment-tuning and
+/// exchange-planning lookups are counted separately so segment hit-rate
+/// gates are unaffected by how many exchange decisions a query prices.
 struct TuningCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
+  uint64_t exchange_hits = 0;
+  uint64_t exchange_misses = 0;
   double HitRate() const {
     const uint64_t total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) /
@@ -62,15 +68,35 @@ class TuningCache {
   /// Memoizes a freshly tuned choice (first insert wins).
   void Insert(const std::string& signature, const TuningChoice& choice);
 
+  /// Exact memoization key for one exchange decision: link spec, shard
+  /// count, fact bytes and the relation's model inputs. Same exactness
+  /// rationale as SegmentSignature — TuneExchange is deterministic, so a
+  /// hit provably equals a fresh tuning.
+  static std::string ExchangeSignature(const sim::LinkSpec& link,
+                                       int num_shards, int64_t fact_bytes,
+                                       const ExchangeInput& input);
+
+  /// Returns the memoized exchange decision, counting an exchange hit;
+  /// nullopt counts an exchange miss.
+  std::optional<ExchangeDecision> LookupExchange(const std::string& signature);
+
+  /// Memoizes a freshly tuned exchange decision (first insert wins).
+  void InsertExchange(const std::string& signature,
+                      const ExchangeDecision& decision);
+
   TuningCacheStats stats() const;
-  size_t size() const;
+  size_t size() const;           ///< memoized segment choices
+  size_t exchange_size() const;  ///< memoized exchange decisions
   void Clear();  ///< drops entries and resets the counters
 
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, TuningChoice> entries_;
+  std::unordered_map<std::string, ExchangeDecision> exchange_entries_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> exchange_hits_{0};
+  std::atomic<uint64_t> exchange_misses_{0};
 };
 
 }  // namespace model

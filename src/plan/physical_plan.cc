@@ -66,6 +66,32 @@ PhysicalOpPtr MakeSort(PhysicalOpPtr child, std::vector<SortKey> keys) {
   return op;
 }
 
+PhysicalOpPtr MakeExchange(PhysicalOpPtr child, ExchangeKind kind,
+                           std::string table, int64_t bytes) {
+  auto op = std::make_shared<PhysicalOp>();
+  op->kind = PhysicalOp::Kind::kExchange;
+  op->est_rows = child != nullptr ? child->est_rows : 0.0;
+  op->child = std::move(child);
+  op->exchange_kind = kind;
+  op->exchange_table = std::move(table);
+  op->exchange_bytes = bytes;
+  return op;
+}
+
+std::string_view ExchangeKindName(ExchangeKind kind) {
+  switch (kind) {
+    case ExchangeKind::kBroadcast:
+      return "broadcast";
+    case ExchangeKind::kRepartition:
+      return "repartition";
+    case ExchangeKind::kPassthrough:
+      return "co-partitioned";
+    case ExchangeKind::kGather:
+      return "gather";
+  }
+  return "unknown";
+}
+
 std::vector<std::string> OutputColumns(const PhysicalOp& op) {
   switch (op.kind) {
     case PhysicalOp::Kind::kScan: {
@@ -90,11 +116,16 @@ std::vector<std::string> OutputColumns(const PhysicalOp& op) {
       return out;
     }
     case PhysicalOp::Kind::kAggregate: {
+      if (op.partial_aggregate) {
+        return PartialAggregateColumns(op.group_by, op.aggregates);
+      }
       std::vector<std::string> out;
       for (const ProjectedColumn& g : op.group_by) out.push_back(g.name);
       for (const AggSpec& a : op.aggregates) out.push_back(a.output_name);
       return out;
     }
+    case PhysicalOp::Kind::kExchange:
+      return OutputColumns(*op.child);
   }
   return {};
 }
@@ -128,11 +159,17 @@ std::string PlanToString(const PhysicalOp& op, int indent) {
       break;
     }
     case PhysicalOp::Kind::kAggregate:
-      out << "Aggregate(" << op.group_by.size() << " groups, "
-          << op.aggregates.size() << " aggs)";
+      out << (op.partial_aggregate ? "PartialAggregate(" : "Aggregate(")
+          << op.group_by.size() << " groups, " << op.aggregates.size()
+          << " aggs)";
       break;
     case PhysicalOp::Kind::kSort:
       out << "Sort(" << op.sort_keys.size() << " keys)";
+      break;
+    case PhysicalOp::Kind::kExchange:
+      out << "Exchange[" << ExchangeKindName(op.exchange_kind);
+      if (!op.exchange_table.empty()) out << " " << op.exchange_table;
+      out << " bytes=" << op.exchange_bytes << "]";
       break;
   }
   out << "  [est_rows=" << static_cast<int64_t>(op.est_rows) << "]\n";

@@ -1,8 +1,10 @@
 #ifndef GPL_PLAN_PHYSICAL_PLAN_H_
 #define GPL_PLAN_PHYSICAL_PLAN_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "exec/expr.h"
@@ -19,8 +21,28 @@ using PhysicalOpPtr = std::shared_ptr<PhysicalOp>;
 ///
 /// The tree shape: `child` is the streaming (probe) input, `build_child` is
 /// the hash-join build side.
+/// How an Exchange operator moves (or avoids moving) its child's relation
+/// between the devices of a shard group.
+enum class ExchangeKind {
+  kBroadcast,    ///< replicate the child's table to every shard
+  kRepartition,  ///< re-hash both sides onto the fact partitioning
+  kPassthrough,  ///< co-partitioned with the fact table: no data motion
+  kGather,       ///< collect per-shard results onto the coordinator device
+};
+
+/// Short human-readable name ("broadcast", "repartition", ...).
+std::string_view ExchangeKindName(ExchangeKind kind);
+
 struct PhysicalOp {
-  enum class Kind { kScan, kFilter, kProject, kHashJoin, kAggregate, kSort };
+  enum class Kind {
+    kScan,
+    kFilter,
+    kProject,
+    kHashJoin,
+    kAggregate,
+    kSort,
+    kExchange
+  };
 
   Kind kind = Kind::kScan;
   PhysicalOpPtr child;
@@ -52,9 +74,19 @@ struct PhysicalOp {
   // -- kAggregate --
   std::vector<ProjectedColumn> group_by;
   std::vector<AggSpec> aggregates;
+  /// Partial-aggregate pushdown: emit the mergeable per-shard wire format
+  /// (exec/primitives.h AggregatePhase::kPartial) instead of final values.
+  bool partial_aggregate = false;
 
   // -- kSort --
   std::vector<SortKey> sort_keys;
+
+  // -- kExchange --
+  /// Identity on a single device; in a shard group it records how the
+  /// child's relation is distributed and what the planned data motion costs.
+  ExchangeKind exchange_kind = ExchangeKind::kPassthrough;
+  std::string exchange_table;   ///< relation being exchanged (display/model)
+  int64_t exchange_bytes = 0;   ///< modeled bytes moved over the link
 };
 
 PhysicalOpPtr MakeScan(std::string table, std::vector<std::string> columns,
@@ -70,6 +102,8 @@ PhysicalOpPtr MakeAggregate(PhysicalOpPtr child,
                             std::vector<ProjectedColumn> group_by,
                             std::vector<AggSpec> aggregates);
 PhysicalOpPtr MakeSort(PhysicalOpPtr child, std::vector<SortKey> keys);
+PhysicalOpPtr MakeExchange(PhysicalOpPtr child, ExchangeKind kind,
+                           std::string table, int64_t bytes);
 
 /// Output column names of an operator (alias-renamed for scans).
 std::vector<std::string> OutputColumns(const PhysicalOp& op);

@@ -91,10 +91,18 @@ Result<OpenPipeline> Build(const PhysicalOpPtr& op, SegmentedPlan* out) {
       return open;
     }
 
+    case PhysicalOp::Kind::kExchange:
+      // Identity within a device's pipeline; the shard layer prices the
+      // data motion on the inter-device link.
+      return BuildChild(op->child, out);
+
     case PhysicalOp::Kind::kAggregate: {
       GPL_ASSIGN_OR_RETURN(OpenPipeline open, BuildChild(op->child, out));
       Stage stage;
-      stage.kernel = MakeAggregateKernel(op->group_by, op->aggregates);
+      stage.kernel = MakeAggregateKernel(op->group_by, op->aggregates,
+                                         op->partial_aggregate
+                                             ? AggregatePhase::kPartial
+                                             : AggregatePhase::kComplete);
       stage.est_rows_out = op->est_rows;
       stage.est_columns_out = static_cast<int>(OutputColumns(*op).size());
       open.segment.stages.push_back(std::move(stage));

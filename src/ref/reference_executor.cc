@@ -204,6 +204,10 @@ Result<Table> Exec(const tpch::Database& db, const PhysicalOp& op) {
       return out;
     }
 
+    case PhysicalOp::Kind::kExchange:
+      // Data-motion annotation; a no-op for the single-address-space oracle.
+      return Exec(db, *op.child);
+
     case PhysicalOp::Kind::kSort: {
       GPL_ASSIGN_OR_RETURN(Table input, Exec(db, *op.child));
       const int64_t n = input.num_rows();

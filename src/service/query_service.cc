@@ -248,6 +248,18 @@ QueryService::QueryService(const tpch::Database* db, ServiceOptions options)
     stats_.device_busy_ms.assign(static_cast<size_t>(options_.num_shards),
                                  0.0);
     stats_.device_queries.assign(static_cast<size_t>(options_.num_shards), 0);
+
+    // Workers ride the unified Engine::Execute surface: the shared
+    // pre-partitioned database and per-device calibrations go in
+    // EngineOptions (so no worker re-partitions or re-calibrates), and the
+    // sharding shape goes in the default ExecOptions (so every execution
+    // routes through the engine's ShardedExecutor).
+    options_.engine.sharded_db = &*sharded_;
+    options_.engine.device_calibrations = &shard_calibrations_;
+    options_.engine.exec.shards = options_.num_shards;
+    options_.engine.exec.partition = options_.partition_scheme;
+    options_.engine.exec.device_list = group_.devices;
+    options_.engine.exec.link_gbps = options_.link.gbytes_per_sec;
   }
 
   workers_.reserve(static_cast<size_t>(options_.num_workers));
@@ -309,26 +321,17 @@ Result<QueryHandle> QueryService::Submit(std::string name, LogicalQuery query,
 }
 
 void QueryService::WorkerLoop(int worker_index) {
-  // Each worker builds a private executor (neither Engine nor
-  // ShardedExecutor is thread-safe); all of them share the database, the
-  // shards, the calibrations and the tuning cache. The two executor shapes
-  // are erased to one ExecuteFn so RunTask stays common.
-  std::unique_ptr<Engine> engine;
-  std::unique_ptr<shard::ShardedExecutor> sharded_executor;
-  ExecuteFn execute;
-  if (sharded_.has_value()) {
-    sharded_executor = std::make_unique<shard::ShardedExecutor>(
-        db_, &*sharded_, group_, options_.engine, &shard_calibrations_);
-    execute = [&sharded_executor](const LogicalQuery& query,
-                                  const ExecOptions& exec) {
-      return sharded_executor->Execute(query, exec);
-    };
-  } else {
-    engine = std::make_unique<Engine>(db_, options_.engine);
-    execute = [&engine](const LogicalQuery& query, const ExecOptions& exec) {
-      return engine->Execute(query, exec);
-    };
-  }
+  // Each worker owns a private Engine (engines are not thread-safe); all of
+  // them share the database, the shards, the calibrations and the tuning
+  // cache. Sharded and single-device services run through the same
+  // Engine::Execute surface — the sharding shape rides the default
+  // ExecOptions set up at construction, and the engine lazily builds its
+  // ShardedExecutor over the service's shared partitioned database.
+  auto engine = std::make_unique<Engine>(db_, options_.engine);
+  ExecuteFn execute = [&engine](const LogicalQuery& query,
+                                const ExecOptions& exec) {
+    return engine->Execute(query, exec);
+  };
 
   for (;;) {
     std::shared_ptr<QueryHandle::Task> task;

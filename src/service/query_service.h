@@ -91,12 +91,13 @@ struct ServiceOptions {
   RetryPolicy retry;
 
   /// Sharded execution (> 1): the service partitions the database once at
-  /// construction (shard::PartitionDatabase) and each worker executes its
-  /// queries through a shard::ShardedExecutor over a device group of this
-  /// size. Placement is whole-group per query: one query occupies all
-  /// devices of its worker's group for its duration, and retries re-run the
-  /// entire sharded execution. 1 (the default) keeps the single-device
-  /// Engine path.
+  /// construction (shard::PartitionDatabase), shares it with every worker
+  /// engine via EngineOptions::sharded_db, and sets the sharding shape on
+  /// the workers' default ExecOptions — queries then route through the
+  /// unified Engine::Execute surface onto a device group of this size.
+  /// Placement is whole-group per query: one query occupies all devices of
+  /// its worker's group for its duration, and retries re-run the entire
+  /// sharded execution. 1 (the default) keeps the single-device path.
   int num_shards = 1;
   shard::PartitionScheme partition_scheme = shard::PartitionScheme::kHash;
   /// Device group template. Empty = num_shards copies of engine.device;
@@ -276,9 +277,9 @@ class QueryService {
     std::vector<std::pair<int64_t, int64_t>> attempt_spans;
   };
 
-  /// What a worker runs a query through: an Engine or a ShardedExecutor,
-  /// erased to one call shape so RunTask's retry/deadline/bookkeeping logic
-  /// is shared by both paths.
+  /// What a worker runs a query through (its private Engine, bound by
+  /// reference), erased so RunTask's retry/deadline/bookkeeping logic does
+  /// not depend on worker state.
   using ExecuteFn =
       std::function<Result<QueryResult>(const LogicalQuery&, const ExecOptions&)>;
 

@@ -1,0 +1,38 @@
+#ifndef GPL_SHARD_PARTITION_SCHEME_H_
+#define GPL_SHARD_PARTITION_SCHEME_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace gpl {
+namespace shard {
+
+/// How the fact table is split across shards. Lives in its own
+/// dependency-light header so ExecOptions (engine/, public API layer) can
+/// name a scheme without pulling in the partitioner and tpch/dbgen.
+enum class PartitionScheme {
+  /// Hash lineitem by l_orderkey and co-partition orders by o_orderkey, so
+  /// the lineitem-orders join is shard-local; every other table is broadcast
+  /// (copied to every shard).
+  kHash,
+  /// Split lineitem into contiguous row ranges; everything else (including
+  /// orders) is broadcast.
+  kRange,
+};
+
+const char* PartitionSchemeName(PartitionScheme scheme);
+
+/// Parses "hash" | "range" (the CLI/bench flag spellings).
+Result<PartitionScheme> ParsePartitionScheme(std::string_view name);
+
+/// Partition-key column of `table` under the kHash scheme, or "" when the
+/// table is not hash-partitioned. The distribution classifier uses this to
+/// prove co-partitioned joins shard-local.
+std::string HashPartitionKeyColumn(const std::string& table);
+
+}  // namespace shard
+}  // namespace gpl
+
+#endif  // GPL_SHARD_PARTITION_SCHEME_H_

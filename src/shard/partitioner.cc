@@ -64,6 +64,14 @@ Result<PartitionScheme> ParsePartitionScheme(std::string_view name) {
                                  std::string(name) + "' (want hash|range)");
 }
 
+std::string HashPartitionKeyColumn(const std::string& table) {
+  // Matches PartitionDatabase's kHash split below: lineitem by l_orderkey,
+  // orders co-partitioned by o_orderkey.
+  if (table == "lineitem") return "l_orderkey";
+  if (table == "orders") return "o_orderkey";
+  return "";
+}
+
 int ShardOfKey(int64_t key, int num_shards) {
   GPL_DCHECK(num_shards >= 1);
   // splitmix64 finalizer: adjacent/skewed keys still spread evenly.

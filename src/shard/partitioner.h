@@ -7,26 +7,11 @@
 #include <vector>
 
 #include "common/status.h"
+#include "shard/partition_scheme.h"
 #include "tpch/dbgen.h"
 
 namespace gpl {
 namespace shard {
-
-/// How the fact table is split across shards.
-enum class PartitionScheme {
-  /// Hash lineitem by l_orderkey and co-partition orders by o_orderkey, so
-  /// the lineitem-orders join is shard-local; every other table is broadcast
-  /// (copied to every shard).
-  kHash,
-  /// Split lineitem into contiguous row ranges; everything else (including
-  /// orders) is broadcast.
-  kRange,
-};
-
-const char* PartitionSchemeName(PartitionScheme scheme);
-
-/// Parses "hash" | "range" (the CLI/bench flag spellings).
-Result<PartitionScheme> ParsePartitionScheme(std::string_view name);
 
 struct PartitionOptions {
   int num_shards = 2;

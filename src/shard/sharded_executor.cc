@@ -8,8 +8,10 @@
 
 #include "common/logging.h"
 #include "engine/kbe_engine.h"
+#include "exec/exact_sum.h"
 #include "exec/primitives.h"
 #include "plan/selinger.h"
+#include "shard/partition_scheme.h"
 #include "sim/engine.h"
 #include "trace/trace.h"
 
@@ -75,6 +77,177 @@ Table DropColumn(const Table& table, const std::string& column) {
   return out;
 }
 
+ExchangeKind KindForStrategy(model::ExchangeStrategy strategy) {
+  switch (strategy) {
+    case model::ExchangeStrategy::kCoPartitioned:
+      return ExchangeKind::kPassthrough;
+    case model::ExchangeStrategy::kBroadcast:
+      return ExchangeKind::kBroadcast;
+    case model::ExchangeStrategy::kRepartition:
+      return ExchangeKind::kRepartition;
+  }
+  return ExchangeKind::kPassthrough;
+}
+
+/// How one subtree's output is laid out across the shard group.
+struct DistInfo {
+  /// True: the union of per-shard outputs is exactly the global relation,
+  /// each row on one shard. False: every shard holds the full relation.
+  bool partitioned = false;
+  /// Output column carrying the fact partitioning key, when it survives to
+  /// this subtree's output ("" when it does not). Joining two partitioned
+  /// subtrees is only shard-local when both join on their partition column.
+  std::string partition_col;
+};
+
+/// Proves (conservatively) how the subtree's output distributes across
+/// shards. Returns false when no proof exists (an aggregate, sort or
+/// exchange inside the subtree) — the caller then falls back to the row-id
+/// stitch. The invariants: "partitioned" outputs are disjoint across shards
+/// with union equal to the single-device output; "replicated" outputs are
+/// identical on every shard. Joins preserve them: probe-partitioned x
+/// build-replicated (and the converse) emit each global row on exactly one
+/// shard; partitioned x partitioned is legal only when both sides join on
+/// their partition columns, which the hash partitioner co-locates.
+bool ClassifySubtree(const PhysicalOp& op, const ShardedDatabase& sharded,
+                     DistInfo* out) {
+  switch (op.kind) {
+    case PhysicalOp::Kind::kScan: {
+      out->partitioned = sharded.IsPartitioned(op.table);
+      out->partition_col.clear();
+      if (out->partitioned &&
+          sharded.options.scheme == PartitionScheme::kHash) {
+        const std::string key = HashPartitionKeyColumn(op.table);
+        if (!key.empty()) {
+          out->partition_col =
+              op.alias.empty() ? key : op.alias + "_" + key;
+        }
+      }
+      return true;
+    }
+    case PhysicalOp::Kind::kFilter:
+      // Row subset: distribution and surviving columns are unchanged.
+      return ClassifySubtree(*op.child, sharded, out);
+    case PhysicalOp::Kind::kProject: {
+      if (!ClassifySubtree(*op.child, sharded, out)) return false;
+      if (out->partitioned && !out->partition_col.empty()) {
+        // The key survives only through an identity projection (possibly
+        // renamed); expressions over it lose the co-location proof.
+        std::string renamed;
+        for (const ProjectedColumn& p : op.projections) {
+          std::string name;
+          if (p.expr->IsColumnRef(&name) && name == out->partition_col) {
+            renamed = p.name;
+            break;
+          }
+        }
+        out->partition_col = std::move(renamed);
+      }
+      return true;
+    }
+    case PhysicalOp::Kind::kHashJoin: {
+      DistInfo probe, build;
+      if (!ClassifySubtree(*op.child, sharded, &probe)) return false;
+      if (!ClassifySubtree(*op.build_child, sharded, &build)) return false;
+      if (!probe.partitioned && !build.partitioned) {
+        // Replicated x replicated: every shard computes the same join.
+        out->partitioned = false;
+        out->partition_col.clear();
+        return true;
+      }
+      if (probe.partitioned && !build.partitioned) {
+        // Disjoint probe rows against a full build copy: each output row
+        // lands where its probe row lives. Probe columns all flow through.
+        *out = probe;
+        return true;
+      }
+      if (!probe.partitioned && build.partitioned) {
+        // Each build row matches on exactly one shard; the output is
+        // partitioned by the build side. Its key survives only if the join
+        // payloads carry it.
+        out->partitioned = true;
+        out->partition_col.clear();
+        if (!build.partition_col.empty()) {
+          for (const std::string& payload : op.build_payload) {
+            if (payload == build.partition_col) {
+              out->partition_col = build.partition_col;
+              break;
+            }
+          }
+        }
+        return true;
+      }
+      // Partitioned x partitioned: shard-local only when both sides join on
+      // their partition columns (single-key equi-join on the keys the
+      // partitioner co-located, e.g. l_orderkey = o_orderkey under kHash).
+      if (probe.partition_col.empty() || build.partition_col.empty()) {
+        return false;
+      }
+      if (op.probe_keys.size() != 1 || op.build_keys.size() != 1) return false;
+      std::string pk, bk;
+      if (!op.probe_keys[0]->IsColumnRef(&pk) || pk != probe.partition_col) {
+        return false;
+      }
+      if (!op.build_keys[0]->IsColumnRef(&bk) || bk != build.partition_col) {
+        return false;
+      }
+      *out = probe;
+      return true;
+    }
+    default:
+      // Aggregate/sort/exchange below the pushdown point: no proof.
+      return false;
+  }
+}
+
+/// Deep-clones the tree, wrapping every non-fact scan that has an exchange
+/// decision in an Exchange operator of the matching kind. The fact scan
+/// stays bare — it is the pivot of the exchange, never itself moved.
+PhysicalOpPtr AnnotateExchanges(
+    const PhysicalOp& op, const std::string& fact,
+    const std::map<std::string, const model::ExchangeDecision*>& decisions) {
+  auto copy = std::make_shared<PhysicalOp>(op);
+  if (op.child != nullptr) {
+    copy->child = AnnotateExchanges(*op.child, fact, decisions);
+  }
+  if (op.build_child != nullptr) {
+    copy->build_child = AnnotateExchanges(*op.build_child, fact, decisions);
+  }
+  if (op.kind == PhysicalOp::Kind::kScan && op.table != fact) {
+    auto it = decisions.find(op.table);
+    if (it != decisions.end()) {
+      const model::ExchangeDecision& d = *it->second;
+      return MakeExchange(std::move(copy), KindForStrategy(d.strategy),
+                          op.table, d.bytes);
+    }
+  }
+  return copy;
+}
+
+/// Estimated bytes the gather ships to device 0: per-group partial state
+/// (counts + superaccumulator digits or min/max values) from each
+/// non-resident shard, or stitched rows for the fallback path.
+int64_t EstimatePartialGatherBytes(const PhysicalOp& agg, int num_shards) {
+  int64_t per_row = 8 * static_cast<int64_t>(agg.group_by.size());
+  for (const AggSpec& a : agg.aggregates) {
+    per_row += 8;  // count column
+    switch (a.func) {
+      case AggSpec::kSum:
+      case AggSpec::kAvg:
+        per_row += 8 * (1 + ExactFloat64Sum::kDigits);  // meta + digits
+        break;
+      case AggSpec::kMin:
+      case AggSpec::kMax:
+        per_row += 8;  // running value
+        break;
+      case AggSpec::kCount:
+        break;
+    }
+  }
+  const int64_t groups = static_cast<int64_t>(agg.est_rows);
+  return per_row * groups * static_cast<int64_t>(num_shards - 1);
+}
+
 }  // namespace
 
 ShardedExecutor::ShardedExecutor(
@@ -121,6 +294,11 @@ ShardedExecutor::ShardedExecutor(
     shard_options.device = device;
     shard_options.calibration = calibration;
     shard_options.tuning_cache = tuning_cache_;
+    // Shard engines are leaves: strip anything that could re-shard.
+    shard_options.sharded_db = nullptr;
+    shard_options.device_calibrations = nullptr;
+    shard_options.exec.shards = 1;
+    shard_options.exec.device_list.clear();
     engines_.push_back(std::make_unique<Engine>(
         &sharded_->shards[static_cast<size_t>(i)], shard_options));
   }
@@ -143,6 +321,19 @@ ShardedExecutor::ShardedExecutor(
            {"device", group_.devices[static_cast<size_t>(i)].name}}));
     }
   }
+}
+
+Result<PhysicalOpPtr> ShardedExecutor::PlanQuery(
+    const LogicalQuery& query) const {
+  PlanOptions plan_options;
+  if (options_.partitioned_joins) {
+    plan_options.partition_build_threshold_bytes =
+        options_.partition_threshold_bytes > 0
+            ? options_.partition_threshold_bytes
+            : group_.devices.front().cache_bytes / 2;
+    plan_options.num_partitions = options_.num_partitions;
+  }
+  return BuildPhysicalPlan(query, catalog_, plan_options);
 }
 
 Result<ShardedExecutor::SplitPlan> ShardedExecutor::SplitAndInject(
@@ -237,50 +428,142 @@ Result<model::ExchangePlan> ShardedExecutor::ExchangeForPlan(
     input.co_partitioned = sharded_->IsPartitioned(table);
     inputs.push_back(std::move(input));
   }
-  return model::PlanExchange(inputs, group_.link, group_.size(), fact_bytes);
+  // Memoized per relation: a service replaying the same sharded queries
+  // prices each exchange once (TuningCache::ExchangeSignature).
+  return model::PlanExchange(inputs, group_.link, group_.size(), fact_bytes,
+                             tuning_cache_);
 }
 
-Result<model::ExchangePlan> ShardedExecutor::ExplainExchange(
-    const LogicalQuery& query) const {
-  PlanOptions plan_options;
-  if (options_.partitioned_joins) {
-    plan_options.partition_build_threshold_bytes =
-        options_.partition_threshold_bytes > 0
-            ? options_.partition_threshold_bytes
-            : group_.devices.front().cache_bytes / 2;
-    plan_options.num_partitions = options_.num_partitions;
+Result<ShardedExecutor::DistributedPlan> ShardedExecutor::PlanDistributed(
+    const PhysicalOpPtr& plan) const {
+  DistributedPlan dist;
+
+  // Partial-aggregate pushdown: the root spine must be [sort|project|filter]*
+  // above one aggregate whose input subtree provably partitions.
+  const PhysicalOp* agg = nullptr;
+  for (const PhysicalOp* n = plan.get(); n != nullptr; n = n->child.get()) {
+    if (n->kind == PhysicalOp::Kind::kAggregate) {
+      agg = n;
+      break;
+    }
+    if (n->kind != PhysicalOp::Kind::kSort &&
+        n->kind != PhysicalOp::Kind::kProject &&
+        n->kind != PhysicalOp::Kind::kFilter) {
+      break;
+    }
   }
-  GPL_ASSIGN_OR_RETURN(PhysicalOpPtr plan,
-                       BuildPhysicalPlan(query, catalog_, plan_options));
+  DistInfo info;
+  if (agg != nullptr && agg->child != nullptr &&
+      ClassifySubtree(*agg->child, *sharded_, &info) && info.partitioned) {
+    GPL_ASSIGN_OR_RETURN(dist.exchange, ExchangeForPlan(*agg->child));
+    std::map<std::string, const model::ExchangeDecision*> decisions;
+    for (const model::ExchangeDecision& d : dist.exchange.decisions) {
+      decisions.emplace(d.table, &d);
+    }
+    auto partial = std::make_shared<PhysicalOp>(*agg);
+    partial->child =
+        AnnotateExchanges(*agg->child, sharded_->fact_table(), decisions);
+    partial->partial_aggregate = true;
+    dist.gather_bytes = EstimatePartialGatherBytes(*agg, group_.size());
+    dist.shard_plan = MakeExchange(std::move(partial), ExchangeKind::kGather,
+                                   "partial-aggregates", dist.gather_bytes);
+    dist.boundary = agg;
+    dist.partial_aggregate = true;
+    return dist;
+  }
+
+  // Fallback: thread l_rowid through the shard subtree and stitch rows.
   GPL_ASSIGN_OR_RETURN(SplitPlan split, SplitAndInject(plan));
-  return ExchangeForPlan(*split.boundary);
+  GPL_ASSIGN_OR_RETURN(dist.exchange, ExchangeForPlan(*split.boundary));
+  std::map<std::string, const model::ExchangeDecision*> decisions;
+  for (const model::ExchangeDecision& d : dist.exchange.decisions) {
+    decisions.emplace(d.table, &d);
+  }
+  PhysicalOpPtr annotated = AnnotateExchanges(
+      *split.shard_plan, sharded_->fact_table(), decisions);
+  // Rough gather estimate: the subtree's output rows (plus l_rowid) ship
+  // from every non-resident shard; (N-1)/N of them live off-device.
+  const int64_t cols =
+      static_cast<int64_t>(OutputColumns(*split.shard_plan).size()) + 1;
+  dist.gather_bytes = static_cast<int64_t>(
+      split.boundary->est_rows * 8.0 * static_cast<double>(cols) *
+      static_cast<double>(group_.size() - 1) /
+      static_cast<double>(group_.size()));
+  dist.shard_plan = MakeExchange(std::move(annotated), ExchangeKind::kGather,
+                                 "shard-partials", dist.gather_bytes);
+  dist.boundary = split.boundary;
+  dist.rowid_column = split.rowid_column;
+  return dist;
+}
+
+Result<DistributedExplain> ShardedExecutor::Explain(
+    const LogicalQuery& query) const {
+  DistributedExplain out;
+  out.num_shards = group_.size();
+  GPL_ASSIGN_OR_RETURN(PhysicalOpPtr plan, PlanQuery(query));
+  if (group_.size() == 1) {
+    // Single-device group: the plain plan runs as-is, nothing is exchanged.
+    out.plan_text = PlanToString(*plan);
+    return out;
+  }
+  GPL_ASSIGN_OR_RETURN(DistributedPlan dist, PlanDistributed(plan));
+  out.partial_aggregate = dist.partial_aggregate;
+  out.plan_text = PlanToString(*dist.shard_plan);
+  out.exchanges.reserve(dist.exchange.decisions.size() + 1);
+  for (const model::ExchangeDecision& d : dist.exchange.decisions) {
+    out.exchanges.push_back(
+        {d.table, KindForStrategy(d.strategy), d.bytes, d.ms});
+  }
+  ExchangeOpReport gather;
+  gather.table =
+      dist.partial_aggregate ? "partial-aggregates" : "shard-partials";
+  gather.kind = ExchangeKind::kGather;
+  gather.predicted_bytes = dist.gather_bytes;
+  const int senders = group_.size() - 1;
+  if (senders > 0 && dist.gather_bytes > 0) {
+    sim::Link probe(group_.link);
+    gather.predicted_ms = static_cast<double>(senders) *
+                          probe.TransferMs(dist.gather_bytes / senders);
+  }
+  out.exchanges.push_back(std::move(gather));
+  return out;
 }
 
 Result<QueryResult> ShardedExecutor::Execute(const LogicalQuery& query) {
   return Execute(query, options_.exec);
 }
 
+Result<QueryResult> ShardedExecutor::ExecuteSingle(const LogicalQuery& query,
+                                                   const ExecOptions& exec) {
+  // A 1-device group's shard holds the full database, so the plain
+  // single-device path is exact: no partitioning, no rowid stitch, no
+  // exchange — the sharding tax is structurally zero.
+  ExecOptions single = exec;
+  single.shards = 1;
+  single.device_list.clear();
+  GPL_ASSIGN_OR_RETURN(QueryResult result,
+                       engines_.front()->Execute(query, single));
+  QueryMetrics& m = result.metrics;
+  m.num_shards = 1;
+  m.device_elapsed_ms = {m.elapsed_ms};
+  m.device_utilization = {1.0};
+  if (!slot_busy_gauges_.empty()) {
+    obs::Add(slot_busy_gauges_.front(), m.elapsed_ms);
+  }
+  return result;
+}
+
 Result<QueryResult> ShardedExecutor::Execute(const LogicalQuery& query,
                                              const ExecOptions& exec) {
   if (exec.cancel != nullptr) GPL_RETURN_NOT_OK(exec.cancel->Check());
+  if (group_.size() == 1) return ExecuteSingle(query, exec);
   const sim::DeviceSpec& device0 = group_.devices.front();
 
   // Plan once, on the unpartitioned database's statistics: every shard runs
-  // the same plan, exactly as a coordinator would ship it.
+  // the same exchange-annotated plan, exactly as a coordinator would ship it.
   const auto plan_start = std::chrono::steady_clock::now();
-  PlanOptions plan_options;
-  if (options_.partitioned_joins) {
-    plan_options.partition_build_threshold_bytes =
-        options_.partition_threshold_bytes > 0
-            ? options_.partition_threshold_bytes
-            : device0.cache_bytes / 2;
-    plan_options.num_partitions = options_.num_partitions;
-  }
-  GPL_ASSIGN_OR_RETURN(PhysicalOpPtr plan,
-                       BuildPhysicalPlan(query, catalog_, plan_options));
-  GPL_ASSIGN_OR_RETURN(SplitPlan split, SplitAndInject(plan));
-  GPL_ASSIGN_OR_RETURN(model::ExchangePlan broadcast,
-                       ExchangeForPlan(*split.boundary));
+  GPL_ASSIGN_OR_RETURN(PhysicalOpPtr plan, PlanQuery(query));
+  GPL_ASSIGN_OR_RETURN(DistributedPlan dist, PlanDistributed(plan));
   const double plan_wall_ms = std::chrono::duration<double, std::milli>(
                                   std::chrono::steady_clock::now() - plan_start)
                                   .count();
@@ -290,20 +573,22 @@ Result<QueryResult> ShardedExecutor::Execute(const LogicalQuery& query,
   // token are polled in shard order, keeping fault schedules deterministic.
   ExecOptions shard_exec = exec;
   shard_exec.trace = nullptr;  // the executor emits the group-level timeline
+  shard_exec.shards = 1;       // shard engines never re-shard
+  shard_exec.device_list.clear();
   std::vector<QueryResult> partials;
   partials.reserve(static_cast<size_t>(group_.size()));
   for (int i = 0; i < group_.size(); ++i) {
     if (exec.cancel != nullptr) GPL_RETURN_NOT_OK(exec.cancel->Check());
     GPL_ASSIGN_OR_RETURN(
         QueryResult partial,
-        engines_[static_cast<size_t>(i)]->ExecutePlan(split.shard_plan,
+        engines_[static_cast<size_t>(i)]->ExecutePlan(dist.shard_plan,
                                                       shard_exec));
     partials.push_back(std::move(partial));
   }
 
-  // Exchange: the dimension broadcast (priced per the exchange model) plus
-  // gathering every non-resident partial result to device 0.
-  link_.Record(broadcast.total_bytes, broadcast.total_ms);
+  // Exchange: the per-relation broadcasts (priced by the Exchange operators'
+  // cost model) plus gathering every non-resident partial to device 0.
+  link_.Record(dist.exchange.total_bytes, dist.exchange.total_ms);
   int64_t shuffle_bytes = 0;
   double shuffle_ms = 0.0;
   for (size_t i = 1; i < partials.size(); ++i) {
@@ -311,30 +596,7 @@ Result<QueryResult> ShardedExecutor::Execute(const LogicalQuery& query,
     shuffle_bytes += bytes;
     shuffle_ms += link_.Transfer(bytes);
   }
-  const double exchange_ms = broadcast.total_ms + shuffle_ms;
-
-  // Stitch the partials back into exact fact-table row order: concatenate
-  // (schemas and dictionaries are shared across shards), stable-sort by the
-  // injected row id, drop it. The merged table now equals — row for row —
-  // what a single device would feed its aggregate.
-  Table merged = std::move(partials[0].table);
-  for (size_t i = 1; i < partials.size(); ++i) {
-    GPL_RETURN_NOT_OK(merged.AppendTable(partials[i].table));
-  }
-  const int64_t rowid_index = merged.ColumnIndex(split.rowid_column);
-  if (rowid_index < 0) {
-    return Status::Internal("sharded partial result lost the '" +
-                            split.rowid_column + "' column");
-  }
-  const int64_t merged_bytes_with_rowid = merged.byte_size();
-  const Column& rowid = merged.ColumnAt(rowid_index);
-  std::vector<int64_t> order(static_cast<size_t>(merged.num_rows()));
-  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
-  std::stable_sort(order.begin(), order.end(), [&rowid](int64_t a, int64_t b) {
-    return rowid.Int64At(a) < rowid.Int64At(b);
-  });
-  merged = merged.Gather(order);
-  merged = DropColumn(merged, split.rowid_column);
+  const double exchange_ms = dist.exchange.total_ms + shuffle_ms;
 
   // Group-level timeline: one span per device (they run concurrently from
   // the segment origin), then the serialized exchange, then the merge
@@ -363,20 +625,77 @@ Result<QueryResult> ShardedExecutor::Execute(const LogicalQuery& query,
         link_track, query.name + " exchange", "shard.exchange",
         MsToCycles(device0, max_device_ms),
         MsToCycles(device0, max_device_ms + exchange_ms),
-        {{"broadcast_bytes", std::to_string(broadcast.total_bytes)},
-         {"shuffle_bytes", std::to_string(shuffle_bytes)}});
+        {{"broadcast_bytes", std::to_string(dist.exchange.total_bytes)},
+         {"shuffle_bytes", std::to_string(shuffle_bytes)},
+         {"merge", dist.partial_aggregate ? "combine" : "stitch"}});
     exec.trace->AdvanceOrigin(MsToCycles(device0, max_device_ms + exchange_ms));
   }
 
-  // Serial merge on device 0: gather the shuffled rows into fact order,
-  // then replay the original plan with the stitched table substituted for
-  // the shard subtree — the same kernel code a single device runs, charged
-  // as regular kernel launches on device 0's simulator. Tables above the
-  // boundary (e.g. the orders probe of Q9) are read from the unpartitioned
+  // Merge on device 0, then replay the rest of the original plan with the
+  // merged table substituted at the boundary (KbeEngine::ExecuteWithInput —
+  // the same kernel code a single device runs, charged on device 0's
+  // simulator). Tables above the boundary are read from the unpartitioned
   // source, which is what device 0 would hold as the coordinator.
   const sim::Simulator& sim0 = engines_.front()->simulator();
   sim::HwCounters merge_counters;
-  {
+  Table substitute;
+  if (dist.partial_aggregate) {
+    // Combine-merge: fold the per-shard partial-aggregate states per group.
+    // Exact and order-independent (superaccumulator digits for sums), so
+    // the result is bit-identical to a single device's aggregate output.
+    std::vector<Table> partial_tables;
+    partial_tables.reserve(partials.size());
+    int64_t rows_in = 0;
+    int64_t bytes_in = 0;
+    for (QueryResult& partial : partials) {
+      rows_in += partial.table.num_rows();
+      bytes_in += partial.table.byte_size();
+      partial_tables.push_back(std::move(partial.table));
+    }
+    GPL_ASSIGN_OR_RETURN(
+        Table combined,
+        CombinePartialAggregates(dist.boundary->group_by,
+                                 dist.boundary->aggregates, partial_tables));
+    sim::KernelLaunch combine;
+    combine.desc = AggregateTiming(
+        1.0, static_cast<int>(dist.boundary->aggregates.size()));
+    combine.desc.name = "k_shard_combine";
+    combine.rows_in = rows_in;
+    combine.bytes_in = bytes_in;
+    combine.rows_out = combined.num_rows();
+    combine.bytes_out = combined.byte_size();
+    GPL_ASSIGN_OR_RETURN(
+        const sim::SimResult r,
+        sim0.RunKernelBatch(combine, 0, exec.trace, exec.fault));
+    merge_counters.Accumulate(r.counters);
+    substitute = std::move(combined);
+  } else {
+    // Stitch-merge: concatenate the partials (schemas and dictionaries are
+    // shared across shards), stable-sort by the injected row id, drop it.
+    // The merged table equals — row for row — what a single device would
+    // feed the boundary's parent.
+    Table merged = std::move(partials[0].table);
+    for (size_t i = 1; i < partials.size(); ++i) {
+      GPL_RETURN_NOT_OK(merged.AppendTable(partials[i].table));
+    }
+    const int64_t rowid_index = merged.ColumnIndex(dist.rowid_column);
+    if (rowid_index < 0) {
+      return Status::Internal("sharded partial result lost the '" +
+                              dist.rowid_column + "' column");
+    }
+    const int64_t merged_bytes_with_rowid = merged.byte_size();
+    const Column& rowid = merged.ColumnAt(rowid_index);
+    std::vector<int64_t> order(static_cast<size_t>(merged.num_rows()));
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<int64_t>(i);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&rowid](int64_t a, int64_t b) {
+                       return rowid.Int64At(a) < rowid.Int64At(b);
+                     });
+    merged = merged.Gather(order);
+    merged = DropColumn(merged, dist.rowid_column);
+
     sim::KernelLaunch gather;
     gather.desc = ScatterTiming(static_cast<int>(merged.num_columns() + 1));
     gather.desc.name = "k_shard_gather";
@@ -388,11 +707,12 @@ Result<QueryResult> ShardedExecutor::Execute(const LogicalQuery& query,
         const sim::SimResult r,
         sim0.RunKernelBatch(gather, 0, exec.trace, exec.fault));
     merge_counters.Accumulate(r.counters);
+    substitute = std::move(merged);
   }
   KbeEngine merge_engine(db_, &sim0);
   GPL_ASSIGN_OR_RETURN(
       QueryResult merge_result,
-      merge_engine.ExecuteWithInput(plan, split.boundary, std::move(merged),
+      merge_engine.ExecuteWithInput(plan, dist.boundary, std::move(substitute),
                                     exec));
   merge_counters.Accumulate(merge_result.metrics.counters);
   const double merge_ms = device0.CyclesToMs(merge_counters.elapsed_cycles);
@@ -428,9 +748,10 @@ Result<QueryResult> ShardedExecutor::Execute(const LogicalQuery& query,
   if (m.predicted_ms > 0.0) m.predicted_ms += exchange_ms + merge_ms;
   m.plan_wall_ms = plan_wall_ms;
   m.num_shards = group_.size();
-  m.broadcast_bytes = broadcast.total_bytes;
+  m.partial_combine = dist.partial_aggregate;
+  m.broadcast_bytes = dist.exchange.total_bytes;
   m.shuffle_bytes = shuffle_bytes;
-  m.exchange_bytes = broadcast.total_bytes + shuffle_bytes;
+  m.exchange_bytes = dist.exchange.total_bytes + shuffle_bytes;
   m.exchange_ms = exchange_ms;
   m.merge_ms = merge_ms;
   for (double device_ms : m.device_elapsed_ms) {
@@ -438,7 +759,7 @@ Result<QueryResult> ShardedExecutor::Execute(const LogicalQuery& query,
         m.elapsed_ms > 0.0 ? device_ms / m.elapsed_ms : 0.0);
   }
   obs::Inc(broadcast_bytes_counter_,
-           static_cast<uint64_t>(broadcast.total_bytes));
+           static_cast<uint64_t>(dist.exchange.total_bytes));
   obs::Inc(shuffle_bytes_counter_, static_cast<uint64_t>(shuffle_bytes));
   for (size_t i = 0;
        i < slot_busy_gauges_.size() && i < m.device_elapsed_ms.size(); ++i) {
@@ -447,6 +768,7 @@ Result<QueryResult> ShardedExecutor::Execute(const LogicalQuery& query,
   GPL_SLOG(Info, "shard")
       .Field("query", query.name)
       .Field("group", group_.ToString())
+      .Field("merge", dist.partial_aggregate ? "combine" : "stitch")
       .Field("sim_ms", m.elapsed_ms)
       .Field("max_device_ms", max_device_ms)
       .Field("exchange_ms", exchange_ms)

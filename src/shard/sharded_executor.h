@@ -10,6 +10,7 @@
 #include "engine/engine.h"
 #include "model/exchange_model.h"
 #include "plan/cardinality.h"
+#include "plan/physical_plan.h"
 #include "shard/device_group.h"
 #include "shard/partitioner.h"
 #include "sim/link.h"
@@ -17,33 +18,73 @@
 namespace gpl {
 namespace shard {
 
+/// One Exchange operator of a distributed plan, for EXPLAIN-style reporting:
+/// the relation it moves, how, and the cost model's prediction.
+struct ExchangeOpReport {
+  std::string table;
+  ExchangeKind kind = ExchangeKind::kPassthrough;
+  int64_t predicted_bytes = 0;
+  double predicted_ms = 0.0;
+};
+
+/// How a query would execute across the shard group: the per-shard plan with
+/// Exchange operators inline, plus per-exchange predictions. Execute()
+/// charges exactly these exchanges, so `predicted_bytes` lines up with the
+/// broadcast/shuffle byte counts in QueryMetrics.
+struct DistributedExplain {
+  int num_shards = 1;
+  /// True when the aggregate was pushed down (combine-merge); false when the
+  /// query falls back to the row-id stitch-and-replay merge.
+  bool partial_aggregate = false;
+  std::string plan_text;  ///< per-shard plan, Exchange operators inline
+  /// Per-relation exchanges (broadcast/repartition/co-partitioned), then the
+  /// final gather of per-shard results to the coordinator.
+  std::vector<ExchangeOpReport> exchanges;
+};
+
 /// Data-parallel execution of one query across a DeviceGroup: every device
-/// runs the same plan over its shard of the fact table, partial results are
-/// shuffled to device 0 over the group's link, and a deterministic serial
-/// merge produces the final table.
+/// runs the same exchange-annotated plan over its shard of the fact table,
+/// per-shard results are gathered to device 0 over the group's link, and a
+/// deterministic merge produces the final table.
+///
+/// Exchange operators are first-class plan nodes (PhysicalOp::kExchange):
+/// planning wraps every non-fact scan of the shard subtree in an Exchange
+/// whose kind (broadcast / repartition / co-partitioned passthrough) the
+/// cost model picks per relation over the group's sim::Link, memoized in the
+/// TuningCache. On a device the operator is an identity — the link cost is
+/// charged once at the group level, exactly as priced.
 ///
 /// Bit-identity. Double summation is non-associative, so merging per-shard
-/// *aggregate* outputs could never be bit-identical to a single-device run.
-/// Instead, each shard executes only the maximal subtree of the plan whose
-/// probe spine bottoms out at the partitioned fact scan (everything below
-/// the last aggregate, sort, or build edge on the root-to-fact path),
-/// carrying the partitioner's l_rowid column through the spine. The merge
-/// concatenates the partial tables, restores exact fact-table row order by
-/// a stable sort on l_rowid, and then replays the remainder of the original
-/// plan once with the stitched table substituted for the shard subtree
-/// (KbeEngine::ExecuteWithInput) — the same kernels, over the same rows, in
-/// the same order as a single device, hence bit-identical results at any
-/// shard count. Probe pipelines preserve input order, so the stitched table
-/// equals the subtree's single-device output row for row; hash-join build
-/// order above the boundary is likewise reproduced because bucket chains
-/// depend only on insertion order. Plans that never scan the fact table (or
-/// scan it twice) are rejected with kUnimplemented.
+/// *rounded* aggregates could never be bit-identical to a single-device run.
+/// Two merge strategies preserve exactness:
+///
+///  - Partial-aggregate pushdown (the fast path): when the subtree below the
+///    plan's root aggregate provably partitions — every row of its output
+///    lands on exactly one shard, which holds for spines bottoming out at
+///    the partitioned fact scan joined against replicated or co-partitioned
+///    relations — each shard runs the aggregate in partial mode
+///    (AggregatePhase::kPartial), emitting exact superaccumulator digits for
+///    sums and counts/min/max state. The merge combines partials per group
+///    (CombinePartialAggregates — exact, order-independent) and replays only
+///    the cheap remainder above the aggregate. The gather ships tiny
+///    per-group state instead of fact-table rows.
+///
+///  - Row-id stitch (the fallback): the shard subtree carries the
+///    partitioner's l_rowid column to its root; the merge concatenates the
+///    partials, stable-sorts on l_rowid to restore exact fact-table row
+///    order, and replays the rest of the plan from the boundary up
+///    (KbeEngine::ExecuteWithInput) — same kernels, same rows, same order as
+///    one device.
+///
+/// Both paths produce bit-identical tables to the single-device engine at
+/// any shard count. Plans that never scan the fact table (or scan it twice)
+/// are rejected with kUnimplemented. A 1-device group short-circuits to the
+/// plain single-device path: no partitioning, no stitch, zero sharding tax.
 ///
 /// Timing. Simulated elapsed = max over per-device times + serialized
-/// exchange (dimension broadcast + partial shuffle, priced by sim::Link via
-/// the exchange cost model) + the merge charged on device 0. Counters sum
-/// all devices' work; per-device times and utilizations land in
-/// QueryMetrics.
+/// exchange (broadcasts + the gather, priced by sim::Link) + the merge
+/// charged on device 0. Counters sum all devices' work; per-device times and
+/// utilizations land in QueryMetrics.
 ///
 /// Thread-safety: like Engine, an instance is single-threaded; the
 /// ShardedDatabase and the source database are read-only and shared.
@@ -68,31 +109,51 @@ class ShardedExecutor {
   const sim::Link& link() const { return link_; }
   model::TuningCache& tuning_cache() const { return *tuning_cache_; }
 
-  /// Exchange decisions (broadcast vs co-partitioned vs repartition) the
-  /// cost model would make for `query`, with referenced-column byte counts
-  /// taken from the source database. Exposed for EXPLAIN-style reporting
-  /// and tests; Execute() charges exactly this plan.
-  Result<model::ExchangePlan> ExplainExchange(const LogicalQuery& query) const;
+  /// How Execute() would run `query`: the exchange-annotated per-shard plan
+  /// plus per-exchange predictions. Pure planning — nothing executes and no
+  /// link traffic is recorded (exchange decisions do land in the
+  /// TuningCache, so a following Execute() prices them by lookup).
+  Result<DistributedExplain> Explain(const LogicalQuery& query) const;
 
   Result<QueryResult> Execute(const LogicalQuery& query);
   Result<QueryResult> Execute(const LogicalQuery& query,
                               const ExecOptions& exec);
 
  private:
-  /// The per-shard plan (the shard subtree with l_rowid threaded to its
-  /// root) plus the node of the *original* plan it replaces: the merge
-  /// substitutes the stitched table at `boundary` and replays the rest.
+  /// The fallback split: the shard subtree with l_rowid threaded to its
+  /// root, plus the node of the *original* plan it replaces.
   struct SplitPlan {
     PhysicalOpPtr shard_plan;
     const PhysicalOp* boundary = nullptr;
     std::string rowid_column;  ///< l_rowid's (possibly alias-renamed) name
   };
 
+  /// A fully planned distributed execution (either merge strategy): the
+  /// exchange-annotated per-shard plan, the substitution point in the
+  /// original plan, and the priced exchanges.
+  struct DistributedPlan {
+    bool partial_aggregate = false;
+    PhysicalOpPtr shard_plan;
+    const PhysicalOp* boundary = nullptr;
+    std::string rowid_column;       ///< fallback path only
+    model::ExchangePlan exchange;   ///< per-relation decisions (non-fact)
+    int64_t gather_bytes = 0;       ///< estimated gather traffic (EXPLAIN)
+  };
+
+  /// Physical plan over the unpartitioned catalog (shared by Execute and
+  /// Explain so both see identical plans).
+  Result<PhysicalOpPtr> PlanQuery(const LogicalQuery& query) const;
+  /// Picks the merge strategy and annotates the per-shard plan with
+  /// Exchange operators (cost-model priced, TuningCache-memoized).
+  Result<DistributedPlan> PlanDistributed(const PhysicalOpPtr& plan) const;
   Result<SplitPlan> SplitAndInject(const PhysicalOpPtr& plan) const;
   /// Exchange plan for the tables scanned inside the shard subtree (tables
   /// above the boundary run on the merge device and are never shipped).
   Result<model::ExchangePlan> ExchangeForPlan(
       const PhysicalOp& shard_subtree) const;
+  /// 1-device group: run the plain single-device path on the (full) shard.
+  Result<QueryResult> ExecuteSingle(const LogicalQuery& query,
+                                    const ExecOptions& exec);
 
   const tpch::Database* db_;
   const ShardedDatabase* sharded_;

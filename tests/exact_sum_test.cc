@@ -1,0 +1,194 @@
+#include "exec/exact_sum.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace gpl {
+namespace {
+
+uint64_t BitsOf(double x) {
+  uint64_t b;
+  std::memcpy(&b, &x, sizeof(b));
+  return b;
+}
+
+// A mix of magnitudes hostile to naive summation: large/small cancellation,
+// subnormals, and sign flips.
+std::vector<double> HostileValues(uint32_t seed, size_t n) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(-1.0, 1.0);
+  std::uniform_int_distribution<int> exp_dist(-300, 300);
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double v = std::ldexp(unit(rng), exp_dist(rng));
+    if (i % 7 == 0) v = std::ldexp(unit(rng), -1060);  // subnormal range
+    if (i % 11 == 0) v = -v;
+    out.push_back(v);
+  }
+  return out;
+}
+
+TEST(ExactSumTest, SingleValueRoundTrips) {
+  const double cases[] = {0.0,
+                          -0.0,
+                          1.0,
+                          -1.0,
+                          0.1,
+                          1e308,
+                          -1e308,
+                          5e-324,  // smallest subnormal
+                          -5e-324,
+                          std::numeric_limits<double>::denorm_min(),
+                          std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::min()};
+  for (double v : cases) {
+    ExactFloat64Sum sum;
+    sum.Add(v);
+    const double r = sum.Round();
+    if (v == 0.0) {
+      EXPECT_EQ(r, 0.0);
+    } else {
+      EXPECT_EQ(BitsOf(r), BitsOf(v)) << "value " << v;
+    }
+  }
+}
+
+TEST(ExactSumTest, ExactCancellation) {
+  ExactFloat64Sum sum;
+  sum.Add(1e308);
+  sum.Add(1.0);
+  sum.Add(-1e308);
+  EXPECT_EQ(sum.Round(), 1.0);
+
+  ExactFloat64Sum zero;
+  const std::vector<double> vs = HostileValues(7, 1000);
+  for (double v : vs) zero.Add(v);
+  for (double v : vs) zero.Add(-v);
+  EXPECT_EQ(zero.Round(), 0.0);
+  EXPECT_EQ(zero.ToCanonical().sign, 0);
+}
+
+TEST(ExactSumTest, OrderIndependent) {
+  std::vector<double> vs = HostileValues(42, 5000);
+  ExactFloat64Sum forward;
+  for (double v : vs) forward.Add(v);
+  const auto canon = forward.ToCanonical();
+  const double rounded = forward.Round();
+
+  std::mt19937_64 rng(9);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::shuffle(vs.begin(), vs.end(), rng);
+    ExactFloat64Sum shuffled;
+    for (double v : vs) shuffled.Add(v);
+    const auto c = shuffled.ToCanonical();
+    EXPECT_EQ(c.sign, canon.sign);
+    EXPECT_EQ(c.digits, canon.digits);
+    EXPECT_EQ(BitsOf(shuffled.Round()), BitsOf(rounded));
+  }
+}
+
+TEST(ExactSumTest, MergeEqualsSerial) {
+  const std::vector<double> vs = HostileValues(123, 4096);
+  ExactFloat64Sum serial;
+  for (double v : vs) serial.Add(v);
+
+  for (size_t shards : {2u, 3u, 4u, 8u}) {
+    std::vector<ExactFloat64Sum> parts(shards);
+    for (size_t i = 0; i < vs.size(); ++i) parts[i % shards].Add(vs[i]);
+    ExactFloat64Sum merged;
+    for (const ExactFloat64Sum& p : parts) merged.Merge(p);
+    const auto a = merged.ToCanonical();
+    const auto b = serial.ToCanonical();
+    EXPECT_EQ(a.sign, b.sign) << shards << " shards";
+    EXPECT_EQ(a.digits, b.digits) << shards << " shards";
+    EXPECT_EQ(BitsOf(merged.Round()), BitsOf(serial.Round()));
+  }
+}
+
+TEST(ExactSumTest, CanonicalRoundTripsThroughAddCanonical) {
+  const std::vector<double> vs = HostileValues(5, 257);
+  ExactFloat64Sum sum;
+  for (double v : vs) sum.Add(v);
+  ExactFloat64Sum restored;
+  restored.AddCanonical(sum.ToCanonical());
+  EXPECT_EQ(restored.ToCanonical().digits, sum.ToCanonical().digits);
+  EXPECT_EQ(BitsOf(restored.Round()), BitsOf(sum.Round()));
+}
+
+TEST(ExactSumTest, SmallIntegerSumsAreExact) {
+  ExactFloat64Sum sum;
+  int64_t expect = 0;
+  for (int i = -500; i <= 1500; ++i) {
+    sum.Add(static_cast<double>(i));
+    expect += i;
+  }
+  EXPECT_EQ(sum.Round(), static_cast<double>(expect));
+}
+
+TEST(ExactSumTest, NearestRounding) {
+  // 1 + 2^-53 + 2^-53 must round to the true sum's nearest double
+  // (1 + 2^-52), which naive left-to-right folding misses.
+  ExactFloat64Sum sum;
+  sum.Add(1.0);
+  sum.Add(std::ldexp(1.0, -53));
+  sum.Add(std::ldexp(1.0, -53));
+  EXPECT_EQ(BitsOf(sum.Round()), BitsOf(1.0 + std::ldexp(1.0, -52)));
+}
+
+TEST(ExactSumTest, Specials) {
+  const double inf = std::numeric_limits<double>::infinity();
+  ExactFloat64Sum pos;
+  pos.Add(inf);
+  pos.Add(-1e300);
+  EXPECT_EQ(pos.Round(), inf);
+
+  ExactFloat64Sum neg;
+  neg.Add(-inf);
+  EXPECT_EQ(neg.Round(), -inf);
+
+  ExactFloat64Sum both;
+  both.Add(inf);
+  both.Add(-inf);
+  EXPECT_TRUE(std::isnan(both.Round()));
+
+  ExactFloat64Sum nan;
+  nan.Add(std::numeric_limits<double>::quiet_NaN());
+  nan.Add(1.0);
+  EXPECT_TRUE(std::isnan(nan.Round()));
+
+  // Flags survive merge.
+  ExactFloat64Sum merged;
+  merged.Merge(pos);
+  merged.Merge(neg);
+  EXPECT_TRUE(std::isnan(merged.Round()));
+}
+
+TEST(ExactSumTest, ManyAddsTriggerNormalization) {
+  // Not 2^30 adds (too slow for a unit test), but enough accumulation on one
+  // digit bundle to exercise carry buildup, plus an explicit canonical check.
+  ExactFloat64Sum sum;
+  const double v = 1.0 + std::ldexp(1.0, -20);
+  for (int i = 0; i < 1'000'000; ++i) sum.Add(v);
+  const double expect = 1'000'000.0 * v;  // exact: product fits in 34 bits
+  EXPECT_EQ(BitsOf(sum.Round()), BitsOf(expect));
+}
+
+TEST(ExactSumTest, ClearResets) {
+  ExactFloat64Sum sum;
+  sum.Add(123.456);
+  sum.Add(std::numeric_limits<double>::infinity());
+  sum.Clear();
+  EXPECT_EQ(sum.Round(), 0.0);
+  EXPECT_EQ(sum.ToCanonical().sign, 0);
+}
+
+}  // namespace
+}  // namespace gpl

@@ -299,8 +299,15 @@ void ExpectShardedBitIdentical(const DeviceGroup& group,
     if (group.size() > 1) {
       EXPECT_GT(m.exchange_bytes, 0);
       EXPECT_GT(m.exchange_ms, 0.0);
+      EXPECT_GT(m.merge_ms, 0.0);
+    } else {
+      // A 1-device group short-circuits to the plain path: no partitioning,
+      // no exchange, no merge — zero sharding tax.
+      EXPECT_EQ(m.exchange_bytes, 0);
+      EXPECT_DOUBLE_EQ(m.exchange_ms, 0.0);
+      EXPECT_DOUBLE_EQ(m.merge_ms, 0.0);
+      EXPECT_FALSE(m.partial_combine);
     }
-    EXPECT_GT(m.merge_ms, 0.0);
   }
 }
 
@@ -360,7 +367,7 @@ TEST(ShardedExecutorTest, RepeatRunsAreDeterministic) {
   EXPECT_EQ(executor.link().total_bytes(), 2 * first->metrics.exchange_bytes);
 }
 
-TEST(ShardedExecutorTest, ExplainExchangeScopesToShardSubtree) {
+TEST(ShardedExecutorTest, ExplainRendersExchangeOperatorsInline) {
   PartitionOptions poptions;
   poptions.num_shards = 4;
   Result<ShardedDatabase> sharded = PartitionDatabase(SmallDb(), poptions);
@@ -369,27 +376,104 @@ TEST(ShardedExecutorTest, ExplainExchangeScopesToShardSubtree) {
   ShardedExecutor executor(&SmallDb(), &*sharded, group, EngineOptions{},
                            &SharedCalibrations());
 
-  // Q5 keeps orders inside the shard subtree: co-partitioned, zero bytes.
-  Result<model::ExchangePlan> q5 = executor.ExplainExchange(queries::Q5());
-  ASSERT_TRUE(q5.ok()) << q5.status().ToString();
+  // Q9's whole join tree above the fact scan partitions, so the aggregate
+  // is pushed down: the plan gathers per-shard partials, and orders — joined
+  // above the fact scan, co-partitioned on orderkey — runs distributed as an
+  // in-place passthrough, zero bytes.
+  Result<shard::DistributedExplain> q9 = executor.Explain(queries::Q9());
+  ASSERT_TRUE(q9.ok()) << q9.status().ToString();
+  EXPECT_EQ(q9->num_shards, 4);
+  EXPECT_TRUE(q9->partial_aggregate);
+  EXPECT_NE(q9->plan_text.find("Exchange["), std::string::npos)
+      << q9->plan_text;
+  EXPECT_NE(q9->plan_text.find("PartialAggregate"), std::string::npos)
+      << q9->plan_text;
   bool saw_orders = false;
-  for (const model::ExchangeDecision& d : q5->decisions) {
-    EXPECT_GT(d.ms, -1e-12);
-    if (d.table == "orders") {
+  bool saw_gather = false;
+  for (const shard::ExchangeOpReport& ex : q9->exchanges) {
+    EXPECT_GT(ex.predicted_ms, -1e-12);
+    if (ex.table == "orders") {
       saw_orders = true;
-      EXPECT_EQ(d.strategy, model::ExchangeStrategy::kCoPartitioned);
-      EXPECT_EQ(d.bytes, 0);
+      EXPECT_EQ(ex.kind, ExchangeKind::kPassthrough);
+      EXPECT_EQ(ex.predicted_bytes, 0);
+    }
+    if (ex.kind == ExchangeKind::kGather) {
+      saw_gather = true;
+      EXPECT_GT(ex.predicted_bytes, 0);
     }
   }
   EXPECT_TRUE(saw_orders);
-  EXPECT_GT(q5->total_bytes, 0);
+  EXPECT_TRUE(saw_gather);
 
-  // Q9 probes orders above the merge boundary (on the coordinator), so the
-  // exchange plan must not ship it at all.
-  Result<model::ExchangePlan> q9 = executor.ExplainExchange(queries::Q9());
-  ASSERT_TRUE(q9.ok()) << q9.status().ToString();
-  for (const model::ExchangeDecision& d : q9->decisions) {
-    EXPECT_NE(d.table, "orders");
+  // At this scale Q5 plans a two-key join above the fact scan, which the
+  // distribution classifier rejects: the stitch fallback still renders its
+  // Exchange operators, with the gather shipping row-stitched partials.
+  Result<shard::DistributedExplain> q5 = executor.Explain(queries::Q5());
+  ASSERT_TRUE(q5.ok()) << q5.status().ToString();
+  EXPECT_FALSE(q5->partial_aggregate);
+  EXPECT_EQ(q5->plan_text.find("PartialAggregate"), std::string::npos)
+      << q5->plan_text;
+  ASSERT_FALSE(q5->exchanges.empty());
+  EXPECT_EQ(q5->exchanges.back().kind, ExchangeKind::kGather);
+  EXPECT_GT(q5->exchanges.back().predicted_bytes, 0);
+
+  // Explain is pure planning: a 1-device group reports the plain plan with
+  // no exchanges.
+  DeviceGroup one = DeviceGroup::Homogeneous(sim::DeviceSpec::AmdA10(), 1);
+  PartitionOptions pone;
+  pone.num_shards = 1;
+  Result<ShardedDatabase> sharded1 = PartitionDatabase(SmallDb(), pone);
+  ASSERT_TRUE(sharded1.ok());
+  ShardedExecutor single(&SmallDb(), &*sharded1, one, EngineOptions{},
+                         &SharedCalibrations());
+  Result<shard::DistributedExplain> plain = single.Explain(queries::Q5());
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_EQ(plain->num_shards, 1);
+  EXPECT_TRUE(plain->exchanges.empty());
+  EXPECT_EQ(plain->plan_text.find("Exchange["), std::string::npos);
+}
+
+TEST(ExchangeModelTest, TuneExchangeMatchesBruteForceArgmin) {
+  // TuneExchange must pick exactly the strategy a brute-force sweep over
+  // PriceExchange finds cheapest (by bytes, broadcast winning ties).
+  const sim::LinkSpec link;
+  const std::vector<int64_t> fact_sizes = {0, 1000, 1'000'000, 50'000'000};
+  const std::vector<model::ExchangeInput> inputs = {
+      {"tiny", 100, 10, false},
+      {"mid", 500'000, 5000, false},
+      {"big", 20'000'000, 200'000, false},
+      {"copart", 500'000, 5000, true},
+  };
+  for (int num_shards : {2, 4, 8}) {
+    for (int64_t fact_bytes : fact_sizes) {
+      for (const model::ExchangeInput& input : inputs) {
+        const model::ExchangeDecision got =
+            model::TuneExchange(input, link, num_shards, fact_bytes);
+        model::ExchangeStrategy best = model::ExchangeStrategy::kBroadcast;
+        int64_t best_bytes =
+            model::PriceExchange(input, best, link, num_shards, fact_bytes)
+                .bytes;
+        for (model::ExchangeStrategy s :
+             {model::ExchangeStrategy::kCoPartitioned,
+              model::ExchangeStrategy::kRepartition}) {
+          if (s == model::ExchangeStrategy::kCoPartitioned &&
+              !input.co_partitioned) {
+            continue;
+          }
+          const int64_t bytes =
+              model::PriceExchange(input, s, link, num_shards, fact_bytes)
+                  .bytes;
+          if (bytes < best_bytes) {
+            best = s;
+            best_bytes = bytes;
+          }
+        }
+        EXPECT_EQ(got.strategy, best)
+            << input.table << " shards=" << num_shards
+            << " fact=" << fact_bytes;
+        EXPECT_EQ(got.bytes, best_bytes);
+      }
+    }
   }
 }
 
@@ -421,6 +505,110 @@ TEST(ShardedExecutorTest, MetricsJsonCarriesShardFields) {
   ASSERT_TRUE(single.ok());
   entry.metrics = single->metrics;
   EXPECT_EQ(QueryMetricsToJson(entry).find("num_shards"), std::string::npos);
+}
+
+// ---- Unified Execute API (ExecOptions routing) ----
+
+TEST(EngineRoutingTest, ExecOptionsShardsRouteThroughShardedExecutor) {
+  EngineOptions options;
+  options.calibration =
+      &SharedCalibrations().at(sim::DeviceSpec::AmdA10().name);
+  Engine engine(&SmallDb(), options);
+
+  // Plain call: single-device, no shard fields.
+  Result<QueryResult> single = engine.Execute(queries::Q9());
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+  EXPECT_EQ(single->metrics.num_shards, 0);
+
+  // shards > 1 routes through the engine's own ShardedExecutor and stays
+  // bit-identical.
+  ExecOptions exec = options.exec;
+  exec.shards = 4;
+  Result<QueryResult> sharded = engine.Execute(queries::Q9(), exec);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_EQ(sharded->metrics.num_shards, 4);
+  EXPECT_TRUE(sharded->metrics.partial_combine);
+  EXPECT_GT(sharded->metrics.exchange_bytes, 0);
+  ExpectTablesBitIdentical(single->table, sharded->table);
+
+  // shards == 1 is not a sharded execution: the plain path runs, with no
+  // partitioning and no shard metrics.
+  exec.shards = 1;
+  Result<QueryResult> one = engine.Execute(queries::Q9(), exec);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->metrics.num_shards, 0);
+  EXPECT_EQ(one->metrics.elapsed_ms, single->metrics.elapsed_ms);
+  ExpectTablesBitIdentical(single->table, one->table);
+}
+
+TEST(EngineRoutingTest, DeviceListDefinesTheGroup) {
+  EngineOptions options;
+  options.calibration =
+      &SharedCalibrations().at(sim::DeviceSpec::AmdA10().name);
+  Engine engine(&SmallDb(), options);
+  ExecOptions exec = options.exec;
+  exec.device_list = {sim::DeviceSpec::AmdA10(), sim::DeviceSpec::NvidiaK40()};
+  Result<QueryResult> got = engine.Execute(queries::Q14(), exec);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->metrics.num_shards, 2);
+  ASSERT_EQ(got->metrics.device_elapsed_ms.size(), 2u);
+
+  Result<QueryResult> single = engine.Execute(queries::Q14());
+  ASSERT_TRUE(single.ok());
+  ExpectTablesBitIdentical(single->table, got->table);
+}
+
+TEST(EngineRoutingTest, ShardedForSharesAProvidedShardedDatabase) {
+  PartitionOptions poptions;
+  poptions.num_shards = 2;
+  Result<ShardedDatabase> sharded = PartitionDatabase(SmallDb(), poptions);
+  ASSERT_TRUE(sharded.ok());
+
+  EngineOptions options;
+  options.calibration =
+      &SharedCalibrations().at(sim::DeviceSpec::AmdA10().name);
+  options.device_calibrations = &SharedCalibrations();
+  options.sharded_db = &*sharded;
+  Engine engine(&SmallDb(), options);
+
+  ExecOptions exec = options.exec;
+  exec.shards = 2;
+  Result<QueryResult> got = engine.Execute(queries::Q5(), exec);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->metrics.num_shards, 2);
+
+  // A mismatched shard count must not use the provided database; the engine
+  // partitions its own copy instead of failing.
+  exec.shards = 3;
+  Result<QueryResult> three = engine.Execute(queries::Q5(), exec);
+  ASSERT_TRUE(three.ok()) << three.status().ToString();
+  EXPECT_EQ(three->metrics.num_shards, 3);
+  ExpectTablesBitIdentical(got->table, three->table);
+}
+
+TEST(ShardedExecutorTest, PartialCombineFlagMatchesExplain) {
+  // Execute must take exactly the merge strategy Explain predicts, for every
+  // query of the suite (all five push their aggregate down today, but the
+  // invariant is flag == plan, not flag == true).
+  PartitionOptions poptions;
+  poptions.num_shards = 2;
+  Result<ShardedDatabase> sharded = PartitionDatabase(SmallDb(), poptions);
+  ASSERT_TRUE(sharded.ok());
+  DeviceGroup group = DeviceGroup::Homogeneous(sim::DeviceSpec::AmdA10(), 2);
+  ShardedExecutor executor(&SmallDb(), &*sharded, group, EngineOptions{},
+                           &SharedCalibrations());
+  bool any_combine = false;
+  for (auto& [name, query] : queries::EvaluationSuite()) {
+    SCOPED_TRACE(name);
+    Result<shard::DistributedExplain> plan = executor.Explain(query);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    Result<QueryResult> got = executor.Execute(query);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got->metrics.partial_combine, plan->partial_aggregate);
+    any_combine = any_combine || got->metrics.partial_combine;
+  }
+  EXPECT_TRUE(any_combine)
+      << "no query exercised the partial-aggregate pushdown";
 }
 
 // ---- Sharded service ----
