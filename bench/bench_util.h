@@ -160,6 +160,12 @@ struct BenchArgs {
   int host_threads = 0;  ///< 0 = hardware concurrency (mirrors ExecOptions)
   int shards = 0;        ///< 0 = bench default
   double link_gbps = 0.0;  ///< 0 = LinkSpec default
+  /// `--engine=<gpl|kbe|noce|ocelot|fused>` — restricts engine-sweep benches
+  /// to one mode (same spellings as the CLI flag). Unset when absent.
+  bool has_engine = false;
+  EngineMode engine = EngineMode::kGpl;
+  /// `--quick` — reduced sweep with pass/fail gates (used by scripts/check.sh).
+  bool quick = false;
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv,
@@ -187,10 +193,21 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv,
     } else if (std::strncmp(arg, "--link-gbps=", 12) == 0) {
       args.link_gbps = std::atof(arg + 12);
       PinnedLinkGbps() = args.link_gbps;
+    } else if (std::strncmp(arg, "--engine=", 9) == 0) {
+      Result<EngineMode> engine = ParseEngineMode(arg + 9);
+      if (!engine.ok()) {
+        std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+        std::exit(2);
+      }
+      args.engine = engine.take();
+      args.has_engine = true;
+    } else if (std::strcmp(arg, "--quick") == 0) {
+      args.quick = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--out=results.jsonl] [--device=amd|nvidia,...] "
-                   "[--host-threads=N] [--shards=N] [--link-gbps=G]\n",
+                   "[--host-threads=N] [--shards=N] [--link-gbps=G] "
+                   "[--engine=gpl|kbe|noce|ocelot|fused] [--quick]\n",
                    argv[0]);
       std::exit(2);
     }

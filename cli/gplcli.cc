@@ -9,7 +9,10 @@
 ///
 /// Flags:
 ///   --query=<Q1|Q3|Q5|Q6|Q7|Q8|Q9|Q10|Q12|Q14|Q19|all|extended|example>
-///   --mode=<gpl|kbe|noce|ocelot>      execution strategy (default gpl)
+///   --mode=<gpl|kbe|noce|ocelot|fused> execution strategy (default gpl);
+///                                     "fused" adds kernel fusion on top of
+///                                     GPL with per-segment engine selection
+///   --engine=<...>                    alias for --mode
 ///   --device=<amd|nvidia|list>        simulated device (default amd); a
 ///                                     comma-separated list ("amd,amd,nvidia")
 ///                                     defines a multi-device group for
@@ -197,7 +200,7 @@ bool ParseFlag(const char* arg, const char* name, std::string* value) {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--query=Q14|all|extended|example] [--mode=gpl|kbe|"
-               "noce|ocelot]\n"
+               "noce|ocelot|fused]\n"
                "          [--device=amd|nvidia] [--sf=0.05] [--seed=N] "
                "[--tile=KB] [--wg=N]\n"
                "          [--partitioned] [--explain] [--explain-analyze "
@@ -586,7 +589,8 @@ int main(int argc, char** argv) {
     std::string value;
     if (ParseFlag(argv[i], "query", &value)) {
       cli.query = value;
-    } else if (ParseFlag(argv[i], "mode", &value)) {
+    } else if (ParseFlag(argv[i], "mode", &value) ||
+               ParseFlag(argv[i], "engine", &value)) {
       cli.mode = value;
     } else if (ParseFlag(argv[i], "device", &value)) {
       cli.device = value;

@@ -4,10 +4,11 @@
 # ASan+UBSan build/run of the fault-injection and service suites, a
 # tracing smoke run of the CLI whose output is validated by the in-tree
 # JSON parser (via the trace_smoke binary's file-validation mode), an
-# EXPLAIN ANALYZE vs --metrics-json consistency diff, a serve-mode
-# telemetry smoke (JSONL snapshots + Prometheus textfile validated by
-# scripts/validate_prom.py), and a metrics-overhead wall-clock gate
-# (scripts/bench_diff.py, 3% + 50 ms slack).
+# EXPLAIN ANALYZE vs --metrics-json consistency diff (plain and under
+# --mode=fused), a serve-mode telemetry smoke (JSONL snapshots + Prometheus
+# textfile validated by scripts/validate_prom.py), a metrics-overhead
+# wall-clock gate (scripts/bench_diff.py, 3% + 50 ms slack), and the
+# host-scaling / shard-scaling / fault / fusion-ablation bench gates.
 #
 # Usage: scripts/check.sh [build-dir]
 set -euo pipefail
@@ -43,9 +44,10 @@ cmake -B "$BUILD-tsan" -S . \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build "$BUILD-tsan" -j \
   --target service_test --target thread_pool_test --target host_parallel_test \
-  --target fault_test --target shard_test --target obs_test
+  --target fault_test --target shard_test --target obs_test \
+  --target fused_engine_test
 ctest --test-dir "$BUILD-tsan" --output-on-failure \
-  -R "QueryService|ThreadPool|TuningCache|HostParallel|ServiceChaos|ShardedService|MetricsRegistry"
+  -R "QueryService|ThreadPool|TuningCache|HostParallel|ServiceChaos|ShardedService|MetricsRegistry|FusedBitIdentity"
 
 echo
 echo "=== asan+ubsan: fault-injection and service suites ==="
@@ -57,9 +59,10 @@ cmake -B "$BUILD-asan" -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -O1 -g" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build "$BUILD-asan" -j \
-  --target fault_test --target service_test --target sim_channel_test
+  --target fault_test --target service_test --target sim_channel_test \
+  --target fusion_test
 ctest --test-dir "$BUILD-asan" --output-on-failure \
-  -R "Fault|ServiceChaos|QueryService|QueryHandle|Percentile|Channel"
+  -R "Fault|ServiceChaos|QueryService|QueryHandle|Percentile|Channel|PlanFusion|FusedKernel|ComposeFusedStage"
 
 echo
 echo "=== trace smoke: gplcli --trace on Q5, JSON validated ==="
@@ -93,6 +96,8 @@ for query, report in reports.items():
     entry = entries[query]
     for field in ("elapsed_cycles", "elapsed_ms", "predicted_ms",
                   "channel_bytes", "materialized_bytes", "degraded_segments",
+                  "fused_segments", "fused_launches_saved",
+                  "fused_bytes_avoided",
                   "tuning_cache_hits", "tuning_cache_misses"):
         if report["metrics"][field] != entry[field]:
             sys.exit(f"{query}.{field}: explain {report['metrics'][field]} "
@@ -107,6 +112,46 @@ print(f"explain smoke: OK ({len(reports)} queries, {checked} fields match)")
 PYEOF
 
 echo
+echo "=== fused explain smoke: EXPLAIN ANALYZE under --mode=fused ==="
+# The fused engine's report must stay consistent with --metrics-json from the
+# same run, name each segment's engine, show fusion firing on Q5, and keep
+# the per-segment fusion counters summing to the run totals.
+FUSED_EXPLAIN_OUT="$(mktemp /tmp/gpl_check_fused_explain.XXXXXX.json)"
+FUSED_METRICS_OUT="$(mktemp /tmp/gpl_check_fused_metrics.XXXXXX.json)"
+trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$EXPLAIN_OUT" "$EXPLAIN_METRICS_OUT" "$FUSED_EXPLAIN_OUT" "$FUSED_METRICS_OUT"' EXIT
+"$BUILD/cli/gplcli" --query=Q5 --mode=fused --sf=0.02 --explain-analyze \
+  --explain-json="$FUSED_EXPLAIN_OUT" --metrics-json="$FUSED_METRICS_OUT" \
+  > /dev/null
+"$BUILD/tests/trace_smoke" "$FUSED_EXPLAIN_OUT"
+python3 - "$FUSED_EXPLAIN_OUT" "$FUSED_METRICS_OUT" <<'PYEOF'
+import json, sys
+reports = {r["query"]: r for r in json.load(open(sys.argv[1]))}
+entries = {e["query"]: e for e in json.load(open(sys.argv[2]))}
+for query, report in reports.items():
+    entry = entries[query]
+    for field in ("elapsed_cycles", "elapsed_ms", "fused_segments",
+                  "fused_launches_saved", "fused_bytes_avoided"):
+        if report["metrics"][field] != entry[field]:
+            sys.exit(f"{query}.{field}: explain {report['metrics'][field]} "
+                     f"!= metrics-json {entry[field]}")
+    if entry["fused_segments"] < 1:
+        sys.exit(f"{query}: fusion did not fire under --mode=fused")
+    segments = report["segments"]
+    if "fused" not in {s["engine"] for s in segments}:
+        sys.exit(f"{query}: no segment reports engine=fused")
+    saved = sum(s["launches_saved"] for s in segments)
+    if saved != entry["fused_launches_saved"]:
+        sys.exit(f"{query}: segment launches_saved {saved} != total "
+                 f"{entry['fused_launches_saved']}")
+    avoided = sum(s["fused_bytes_avoided"] for s in segments)
+    if avoided != entry["fused_bytes_avoided"]:
+        sys.exit(f"{query}: segment fused_bytes_avoided {avoided} != total "
+                 f"{entry['fused_bytes_avoided']}")
+print(f"fused explain smoke: OK ({len(reports)} queries, "
+      f"{entries['Q5']['fused_launches_saved']} launches saved)")
+PYEOF
+
+echo
 echo "=== serve telemetry smoke: periodic snapshots + Prometheus export ==="
 # A short serve run with the sampler enabled must produce >= 2 JSONL
 # snapshots (each line valid JSON per the in-tree parser) and a textfile
@@ -114,7 +159,7 @@ echo "=== serve telemetry smoke: periodic snapshots + Prometheus export ==="
 # simulator families present.
 STATS_OUT="$(mktemp /tmp/gpl_check_stats.XXXXXX.jsonl)"
 PROM_OUT="$(mktemp /tmp/gpl_check_prom.XXXXXX.prom)"
-trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$EXPLAIN_OUT" "$EXPLAIN_METRICS_OUT" "$STATS_OUT" "$PROM_OUT"' EXIT
+trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$EXPLAIN_OUT" "$EXPLAIN_METRICS_OUT" "$FUSED_EXPLAIN_OUT" "$FUSED_METRICS_OUT" "$STATS_OUT" "$PROM_OUT"' EXIT
 "$BUILD/cli/gplcli" --query=all --mode=gpl --sf=0.02 \
   --serve-workers=2 --serve-queries=24 --stats-interval-ms=50 \
   --stats-jsonl="$STATS_OUT" --prom-textfile="$PROM_OUT" > /dev/null
@@ -131,7 +176,7 @@ echo "=== metrics overhead: serve wall-clock, registry on vs. off ==="
 # absolute slack absorbs scheduler noise on short CI runs).
 OVERHEAD_OFF="$(mktemp /tmp/gpl_check_overhead_off.XXXXXX.json)"
 OVERHEAD_ON="$(mktemp /tmp/gpl_check_overhead_on.XXXXXX.json)"
-trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$EXPLAIN_OUT" "$EXPLAIN_METRICS_OUT" "$STATS_OUT" "$PROM_OUT" "$OVERHEAD_OFF" "$OVERHEAD_ON"' EXIT
+trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$EXPLAIN_OUT" "$EXPLAIN_METRICS_OUT" "$FUSED_EXPLAIN_OUT" "$FUSED_METRICS_OUT" "$STATS_OUT" "$PROM_OUT" "$OVERHEAD_OFF" "$OVERHEAD_ON"' EXIT
 serve_wall() {
   "$BUILD/cli/gplcli" --query=all --mode=gpl --sf=0.02 \
     --serve-workers=2 --serve-queries=48 "$@" \
@@ -151,7 +196,7 @@ echo "=== perf smoke: host-scaling bench, bit-identity + cache gates ==="
 # (tolerance for single-core runners), or if the warm tuning-cache hit rate
 # drops below 90%.
 HOST_SCALING_OUT="$(mktemp /tmp/gpl_check_host_scaling.XXXXXX.jsonl)"
-trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$EXPLAIN_OUT" "$EXPLAIN_METRICS_OUT" "$STATS_OUT" "$PROM_OUT" "$OVERHEAD_OFF" "$OVERHEAD_ON" "$HOST_SCALING_OUT"' EXIT
+trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$EXPLAIN_OUT" "$EXPLAIN_METRICS_OUT" "$FUSED_EXPLAIN_OUT" "$FUSED_METRICS_OUT" "$STATS_OUT" "$PROM_OUT" "$OVERHEAD_OFF" "$OVERHEAD_ON" "$HOST_SCALING_OUT"' EXIT
 "$BUILD/bench/bench_host_scaling" --quick --out="$HOST_SCALING_OUT"
 
 echo
@@ -165,7 +210,7 @@ echo "=== shard smoke: shard-scaling bench, bit-identity + speedup gates ==="
 # regress (both higher-is-worse; simulated time is deterministic, so the
 # 5% default threshold only absorbs serialization rounding).
 SHARD_SCALING_OUT="$(mktemp /tmp/gpl_check_shard_scaling.XXXXXX.jsonl)"
-trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$EXPLAIN_OUT" "$EXPLAIN_METRICS_OUT" "$STATS_OUT" "$PROM_OUT" "$OVERHEAD_OFF" "$OVERHEAD_ON" "$HOST_SCALING_OUT" "$SHARD_SCALING_OUT"' EXIT
+trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$EXPLAIN_OUT" "$EXPLAIN_METRICS_OUT" "$FUSED_EXPLAIN_OUT" "$FUSED_METRICS_OUT" "$STATS_OUT" "$PROM_OUT" "$OVERHEAD_OFF" "$OVERHEAD_ON" "$HOST_SCALING_OUT" "$SHARD_SCALING_OUT"' EXIT
 "$BUILD/bench/bench_shard_scaling" --quick --out="$SHARD_SCALING_OUT"
 python3 scripts/bench_diff.py bench/baselines/shard_scaling_quick.jsonl \
   "$SHARD_SCALING_OUT" --key case \
@@ -176,8 +221,23 @@ echo "=== fault smoke: availability bench, completion-rate gates ==="
 # --quick exits non-zero if the fault-free run completes < 100% or if the
 # retry policy fails to push completion above 90% at fault rate 0.01.
 FAULT_OUT="$(mktemp /tmp/gpl_check_fault.XXXXXX.jsonl)"
-trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$EXPLAIN_OUT" "$EXPLAIN_METRICS_OUT" "$STATS_OUT" "$PROM_OUT" "$OVERHEAD_OFF" "$OVERHEAD_ON" "$HOST_SCALING_OUT" "$SHARD_SCALING_OUT" "$FAULT_OUT"' EXIT
+trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$EXPLAIN_OUT" "$EXPLAIN_METRICS_OUT" "$FUSED_EXPLAIN_OUT" "$FUSED_METRICS_OUT" "$STATS_OUT" "$PROM_OUT" "$OVERHEAD_OFF" "$OVERHEAD_ON" "$HOST_SCALING_OUT" "$SHARD_SCALING_OUT" "$FAULT_OUT"' EXIT
 "$BUILD/bench/bench_fault_availability" --quick --out="$FAULT_OUT"
+
+echo
+echo "=== fusion smoke: three-way ablation bench, win-rate + identity gates ==="
+# --quick exits non-zero if any fused result deviates from the KBE oracle by
+# a single bit, if the tuner's fused pick beats the pure GPL pipeline on
+# fewer than 2 of the 5 queries (with fusion firing on the wins), or if no
+# kernel launches were saved anywhere. The JSONL is then diffed per query
+# against the committed baseline: fused elapsed and the fused/gpl ratio may
+# not regress (both higher-is-worse; simulated time is deterministic).
+FUSION_OUT="$(mktemp /tmp/gpl_check_fusion.XXXXXX.jsonl)"
+trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$EXPLAIN_OUT" "$EXPLAIN_METRICS_OUT" "$FUSED_EXPLAIN_OUT" "$FUSED_METRICS_OUT" "$STATS_OUT" "$PROM_OUT" "$OVERHEAD_OFF" "$OVERHEAD_ON" "$HOST_SCALING_OUT" "$SHARD_SCALING_OUT" "$FAULT_OUT" "$FUSION_OUT"' EXIT
+"$BUILD/bench/bench_fusion_ablation" --quick --out="$FUSION_OUT"
+python3 scripts/bench_diff.py bench/baselines/fusion_ablation_quick.jsonl \
+  "$FUSION_OUT" --key case \
+  --field fused_ms --field fused_over_gpl
 
 echo
 echo "check.sh: all checks passed"

@@ -1,12 +1,15 @@
 #include "core/gpl_executor.h"
 
 #include <chrono>
+#include <memory>
 #include <string>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "common/thread_pool.h"
+#include "exec/fused_kernel.h"
+#include "plan/fusion.h"
 
 namespace gpl {
 
@@ -115,6 +118,30 @@ Result<GplRunResult> GplExecutor::Run(const SegmentedPlan& plan,
     const model::SegmentDesc desc =
         DescribeSegment(segment, input.num_rows(), input.byte_size());
 
+    // Fusion pass (fused mode only). The grouping is deterministic from the
+    // segment's stages, so it is part of the tuning-cache scope below.
+    std::vector<int> group_sizes;
+    if (options.fused) {
+      const FusionPlan fusion = PlanFusion(segment);
+      group_sizes.reserve(fusion.groups.size());
+      for (const FusedGroup& group : fusion.groups) {
+        group_sizes.push_back(static_cast<int>(group.count));
+      }
+    }
+    // The engine scope keys cached choices to the mode (and, for the fused
+    // mode, the fusion grouping) they were tuned for: modes search different
+    // spaces, so a hit must never cross modes.
+    std::string engine_scope;
+    if (options.fused) {
+      engine_scope = "fused:";
+      for (size_t g = 0; g < group_sizes.size(); ++g) {
+        if (g > 0) engine_scope += ',';
+        engine_scope += std::to_string(group_sizes[g]);
+      }
+    } else {
+      engine_scope = options.concurrent ? "gpl" : "noce";
+    }
+
     // ---- Parameter tuning (the <5 ms query-optimization step) ----
     const auto tune_start = std::chrono::steady_clock::now();
     const model::TuningOverrides& overrides = options.exec.overrides;
@@ -126,8 +153,8 @@ Result<GplRunResult> GplExecutor::Run(const SegmentedPlan& plan,
       std::string signature;
       bool& hit = tuning_cache_hit;
       if (cache_enabled) {
-        signature = model::TuningCache::SegmentSignature(simulator_->device(),
-                                                         desc, overrides);
+        signature = model::TuningCache::SegmentSignature(
+            simulator_->device(), desc, overrides, engine_scope);
         if (auto cached = tuning_cache_->Lookup(signature)) {
           choice = std::move(*cached);
           hit = true;
@@ -136,7 +163,12 @@ Result<GplRunResult> GplExecutor::Run(const SegmentedPlan& plan,
       if (hit) {
         ++result.tuning_cache_hits;
       } else {
-        choice = model::TuneSegment(cost_model_, desc, *calibration_, overrides);
+        choice = options.fused
+                     ? model::TuneSegmentEngines(cost_model_, desc,
+                                                 *calibration_, group_sizes,
+                                                 overrides)
+                     : model::TuneSegment(cost_model_, desc, *calibration_,
+                                          overrides);
         if (cache_enabled) {
           tuning_cache_->Insert(signature, choice);
           ++result.tuning_cache_misses;
@@ -149,53 +181,186 @@ Result<GplRunResult> GplExecutor::Run(const SegmentedPlan& plan,
       const int wg = overrides.workgroups_per_kernel > 0
                          ? overrides.workgroups_per_kernel
                          : 2 * simulator_->device().num_cus;
-      choice.params.workgroups.assign(segment.stages.size(), wg);
-      for (size_t g = 0; g + 1 < segment.stages.size(); ++g) {
-        choice.params.channels.push_back(
-            overrides.has_channel ? overrides.channel : sim::ChannelConfig{});
+      bool default_fused = false;
+      if (options.fused) {
+        for (int size : group_sizes) default_fused |= size > 1;
       }
-      choice.estimate = cost_model_.EstimateSegment(desc, choice.params);
+      if (default_fused) {
+        // Without the cost model the fused mode fuses every legal chain.
+        choice.engine = model::SegmentEngine::kFused;
+        choice.fused_group_sizes = group_sizes;
+        choice.params.workgroups.assign(group_sizes.size(), wg);
+        choice.estimate = cost_model_.EstimateSegmentSequential(
+            model::ComposeFusedSegment(desc, group_sizes), choice.params);
+      } else {
+        choice.params.workgroups.assign(segment.stages.size(), wg);
+        for (size_t g = 0; g + 1 < segment.stages.size(); ++g) {
+          choice.params.channels.push_back(
+              overrides.has_channel ? overrides.channel : sim::ChannelConfig{});
+        }
+        choice.estimate = cost_model_.EstimateSegment(desc, choice.params);
+      }
     }
     result.tuner_wall_ms +=
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - tune_start)
             .count();
 
+    const bool run_fused = options.fused &&
+                           choice.engine == model::SegmentEngine::kFused &&
+                           !choice.fused_group_sizes.empty();
+
     // ---- Functional execution (real results + observed cardinalities) ----
-    GPL_ASSIGN_OR_RETURN(
-        FunctionalRun func,
-        RunSegmentFunctional(segment, input, choice.params.tile_bytes));
+    // The fused path streams tiles through a segment whose fusible chains
+    // are collapsed into FusedKernels; results are bit-identical because the
+    // composed body replays the exact per-stage flow (see FusedKernel).
+    Segment exec_segment;
+    std::vector<std::shared_ptr<FusedKernel>> group_kernels;
+    if (run_fused) {
+      exec_segment.output_is_hash_build = segment.output_is_hash_build;
+      size_t next = 0;
+      for (int size_i : choice.fused_group_sizes) {
+        const size_t size = static_cast<size_t>(size_i);
+        Stage stage = segment.stages[next + size - 1];  // tail's estimates
+        if (size > 1) {
+          std::vector<KernelPtr> children;
+          children.reserve(size);
+          for (size_t s = next; s < next + size; ++s) {
+            children.push_back(segment.stages[s].kernel);
+          }
+          auto fused_kernel =
+              std::make_shared<FusedKernel>(std::move(children));
+          stage.kernel = fused_kernel;
+          group_kernels.push_back(std::move(fused_kernel));
+        } else {
+          group_kernels.push_back(nullptr);
+        }
+        exec_segment.stages.push_back(std::move(stage));
+        next += size;
+      }
+    }
+    Result<FunctionalRun> func_result =
+        RunSegmentFunctional(run_fused ? exec_segment : segment, input,
+                             choice.params.tile_bytes);
+    GPL_RETURN_NOT_OK(func_result.status());
+    FunctionalRun func = func_result.take();
+
+    // Expand fused-group observations back to per-original-stage ground
+    // truth (the FusedKernels recorded each child's cardinalities), so
+    // EXPLAIN ANALYZE and the composed timing below see the same per-stage
+    // actuals as an unfused run.
+    FunctionalRun observations;
+    int fused_groups = 0;
+    int launches_saved = 0;
+    int64_t fused_bytes_avoided = 0;
+    if (run_fused) {
+      observations.input_rows = func.input_rows;
+      observations.input_bytes = func.input_bytes;
+      observations.num_tiles = func.num_tiles;
+      for (size_t g = 0; g < group_kernels.size(); ++g) {
+        if (group_kernels[g] == nullptr) {
+          observations.stages.push_back(func.stages[g]);
+          continue;
+        }
+        const auto& child_obs = group_kernels[g]->observations();
+        ++fused_groups;
+        launches_saved += static_cast<int>(child_obs.size()) - 1;
+        for (size_t c = 0; c < child_obs.size(); ++c) {
+          StageObservation so;
+          so.rows_in = child_obs[c].rows_in;
+          so.bytes_in = child_obs[c].bytes_in;
+          so.rows_out = child_obs[c].rows_out;
+          so.bytes_out = child_obs[c].bytes_out;
+          observations.stages.push_back(so);
+          // Interior hand-offs stay in registers: neither materialized nor
+          // channeled.
+          if (c + 1 < child_obs.size()) {
+            fused_bytes_avoided += child_obs[c].bytes_out;
+          }
+        }
+      }
+    } else {
+      observations = func;
+    }
 
     // ---- Timing simulation with observed cardinalities ----
+    SegmentReport report;
     sim::PipelineSpec spec;
     spec.tile_bytes = choice.params.tile_bytes;
     spec.extra_resident_bytes = desc.extra_resident_bytes;
-    const size_t num_stages = segment.stages.size();
-    for (size_t s = 0; s < num_stages; ++s) {
-      sim::KernelLaunch launch;
-      launch.desc = segment.stages[s].kernel->timing();
-      const StageObservation& obs = func.stages[s];
-      launch.rows_in = obs.rows_in;
-      launch.bytes_in = obs.bytes_in;
-      launch.rows_out = obs.rows_out;
-      launch.bytes_out = obs.bytes_out;
-      launch.workgroups_per_tile =
-          s < choice.params.workgroups.size() ? choice.params.workgroups[s] : 0;
-      launch.input = s == 0 ? sim::Endpoint::kGlobal : sim::Endpoint::kChannel;
-      launch.output =
-          s + 1 == num_stages ? sim::Endpoint::kGlobal : sim::Endpoint::kChannel;
-      spec.kernels.push_back(std::move(launch));
+    if (run_fused) {
+      // One launch per group; fused groups get the composed timing
+      // descriptor built from the *observed* per-stage cardinalities.
+      size_t next = 0;
+      for (size_t g = 0; g < group_kernels.size(); ++g) {
+        const size_t size =
+            static_cast<size_t>(choice.fused_group_sizes[g]);
+        sim::KernelLaunch launch;
+        if (group_kernels[g] == nullptr) {
+          launch.desc = segment.stages[next].kernel->timing();
+        } else {
+          std::vector<model::StageDesc> observed;
+          observed.reserve(size);
+          for (size_t s = next; s < next + size; ++s) {
+            model::StageDesc sd;
+            sd.timing = desc.stages[s].timing;
+            const StageObservation& obs = observations.stages[s];
+            sd.rows_in = static_cast<double>(obs.rows_in);
+            sd.bytes_in = static_cast<double>(obs.bytes_in);
+            sd.rows_out = static_cast<double>(obs.rows_out);
+            sd.bytes_out = static_cast<double>(obs.bytes_out);
+            observed.push_back(std::move(sd));
+          }
+          launch.desc = model::ComposeFusedStage(observed, 0, size).timing;
+        }
+        const StageObservation& first = observations.stages[next];
+        const StageObservation& last = observations.stages[next + size - 1];
+        launch.rows_in = first.rows_in;
+        launch.bytes_in = first.bytes_in;
+        launch.rows_out = last.rows_out;
+        launch.bytes_out = last.bytes_out;
+        launch.workgroups_per_tile =
+            g < choice.params.workgroups.size() ? choice.params.workgroups[g]
+                                                : 0;
+        launch.input = sim::Endpoint::kGlobal;
+        launch.output = sim::Endpoint::kGlobal;
+        if (!report.description.empty()) report.description += " -> ";
+        report.description += launch.desc.name;
+        spec.kernels.push_back(std::move(launch));
+        next += size;
+      }
+    } else {
+      const size_t num_stages = segment.stages.size();
+      for (size_t s = 0; s < num_stages; ++s) {
+        sim::KernelLaunch launch;
+        launch.desc = segment.stages[s].kernel->timing();
+        const StageObservation& obs = func.stages[s];
+        launch.rows_in = obs.rows_in;
+        launch.bytes_in = obs.bytes_in;
+        launch.rows_out = obs.rows_out;
+        launch.bytes_out = obs.bytes_out;
+        launch.workgroups_per_tile =
+            s < choice.params.workgroups.size() ? choice.params.workgroups[s]
+                                                : 0;
+        launch.input =
+            s == 0 ? sim::Endpoint::kGlobal : sim::Endpoint::kChannel;
+        launch.output = s + 1 == num_stages ? sim::Endpoint::kGlobal
+                                            : sim::Endpoint::kChannel;
+        spec.kernels.push_back(std::move(launch));
+      }
+      spec.channel_configs = choice.params.channels;
+      while (spec.channel_configs.size() + 1 < num_stages) {
+        spec.channel_configs.push_back(sim::ChannelConfig{});
+      }
+      for (size_t s = 0; s < num_stages; ++s) {
+        if (!report.description.empty()) report.description += " -> ";
+        report.description += segment.stages[s].kernel->name();
+      }
     }
-    spec.channel_configs = choice.params.channels;
-    while (spec.channel_configs.size() + 1 < num_stages) {
-      spec.channel_configs.push_back(sim::ChannelConfig{});
+    for (const Stage& stage : segment.stages) {
+      report.stage_names.push_back(stage.kernel->name());
     }
 
-    SegmentReport report;
-    for (size_t s = 0; s < num_stages; ++s) {
-      if (!report.description.empty()) report.description += " -> ";
-      report.description += segment.stages[s].kernel->name();
-    }
     spec.trace = options.exec.trace;
     spec.fault = options.exec.fault;
     spec.label = "segment " + std::to_string(i) + ": " + report.description;
@@ -204,24 +369,45 @@ Result<GplRunResult> GplExecutor::Run(const SegmentedPlan& plan,
         .Field("tile_bytes", spec.tile_bytes)
         .Field("kernels", spec.kernels.size())
         .Field("concurrent", options.concurrent)
+        .Field("engine", model::SegmentEngineName(
+                             run_fused ? model::SegmentEngine::kFused
+                                       : choice.engine))
         << "running segment";
-    Result<sim::SimResult> sim_result =
-        options.concurrent ? simulator_->RunPipeline(spec)
-                           : simulator_->RunSequentialTiles(spec);
-    if (!sim_result.ok() &&
-        sim_result.status().code() == StatusCode::kChannelAllocFailed &&
-        options.exec.degrade_on_channel_failure) {
-      // Graceful degradation: the pipelined segment could not get its
-      // channels, so re-execute it kernel-at-a-time (the w/o-CE path needs
-      // none). The functional output is already computed and unaffected;
-      // only the simulated timing of this segment degrades.
-      GPL_SLOG(Warning, "core").Field("segment", spec.label)
-          << "degrading to kernel-at-a-time: "
-          << sim_result.status().ToString();
+
+    Result<sim::SimResult> sim_result = Status::OK();
+    if (run_fused) {
+      sim::Simulator::FusedAccounting accounting;
+      accounting.fused_kernels = fused_groups;
+      accounting.launches_saved = launches_saved;
+      accounting.bytes_avoided = fused_bytes_avoided;
+      sim_result = simulator_->RunFusedSegment(spec, accounting);
+      report.engine = model::SegmentEngine::kFused;
+    } else if (options.fused &&
+               choice.engine == model::SegmentEngine::kKernelAtATime) {
       sim_result = simulator_->RunSequentialTiles(spec);
-      if (sim_result.ok()) {
-        report.degraded = true;
-        ++result.degraded_segments;
+      report.engine = model::SegmentEngine::kKernelAtATime;
+    } else {
+      report.engine = options.concurrent
+                          ? model::SegmentEngine::kGplChannel
+                          : model::SegmentEngine::kKernelAtATime;
+      sim_result = options.concurrent ? simulator_->RunPipeline(spec)
+                                      : simulator_->RunSequentialTiles(spec);
+      if (!sim_result.ok() &&
+          sim_result.status().code() == StatusCode::kChannelAllocFailed &&
+          options.exec.degrade_on_channel_failure) {
+        // Graceful degradation: the pipelined segment could not get its
+        // channels, so re-execute it kernel-at-a-time (the w/o-CE path needs
+        // none). The functional output is already computed and unaffected;
+        // only the simulated timing of this segment degrades.
+        GPL_SLOG(Warning, "core").Field("segment", spec.label)
+            << "degrading to kernel-at-a-time: "
+            << sim_result.status().ToString();
+        sim_result = simulator_->RunSequentialTiles(spec);
+        if (sim_result.ok()) {
+          report.degraded = true;
+          report.engine = model::SegmentEngine::kKernelAtATime;
+          ++result.degraded_segments;
+        }
       }
     }
     GPL_RETURN_NOT_OK(sim_result.status());
@@ -230,6 +416,14 @@ Result<GplRunResult> GplExecutor::Run(const SegmentedPlan& plan,
     result.counters.Accumulate(report.sim.counters);
     result.total_cycles += report.sim.counters.elapsed_cycles;
     result.predicted_total_cycles += choice.estimate.total_cycles;
+    if (run_fused) {
+      ++result.fused_segments;
+      result.fused_launches_saved += launches_saved;
+      result.fused_bytes_avoided += fused_bytes_avoided;
+      report.fused_groups = fused_groups;
+      report.launches_saved = launches_saved;
+      report.fused_bytes_avoided = fused_bytes_avoided;
+    }
 
     report.tuning = choice;
     report.predicted_cycles = choice.estimate.total_cycles;
@@ -239,7 +433,8 @@ Result<GplRunResult> GplExecutor::Run(const SegmentedPlan& plan,
                               std::chrono::steady_clock::now() - segment_start)
                               .count();
     outputs[i] = func.output;
-    report.observations = std::move(func);
+    observations.output = std::move(func.output);
+    report.observations = std::move(observations);
     result.segments.push_back(std::move(report));
   }
 

@@ -23,6 +23,11 @@ struct GplOptions {
   /// kernel execution or channels (Section 5.3.1).
   bool concurrent = true;
 
+  /// True enables the fused engine mode: the fusion pass groups each
+  /// segment's fusible chains, and the tuner picks per segment among
+  /// pipelined / kernel-at-a-time / fused execution (EngineMode::kFused).
+  bool fused = false;
+
   /// Cost-model toggle, knob overrides, trace sink, and cancellation token
   /// (shared with the engine front-end — see engine/exec_options.h).
   ExecOptions exec;
@@ -46,6 +51,17 @@ struct SegmentReport {
   /// True when this segment's channel allocation failed and it re-executed
   /// under kernel-at-a-time tiling (the w/o-CE path) instead.
   bool degraded = false;
+  /// How this segment's kernels executed. kGplChannel for the plain GPL
+  /// modes; the fused mode picks per segment.
+  model::SegmentEngine engine = model::SegmentEngine::kGplChannel;
+  /// Fusion accounting (engine == kFused only; 0 otherwise).
+  int fused_groups = 0;            ///< composed kernels in this segment
+  int launches_saved = 0;          ///< per-stage launches eliminated
+  int64_t fused_bytes_avoided = 0; ///< hand-off bytes kept in registers
+  /// Original per-stage kernel names, one per observations.stages entry —
+  /// stable across engines (a fused segment's sim.kernels are the composed
+  /// kernels, not the original stages).
+  std::vector<std::string> stage_names;
 };
 
 /// Outcome of executing a segmented plan with GPL.
@@ -68,6 +84,10 @@ struct GplRunResult {
   /// because their channel allocation failed (graceful degradation; the
   /// functional result is unaffected, only the simulated timing changes).
   int degraded_segments = 0;
+  /// Fusion accounting across segments (fused mode only; 0 otherwise).
+  int fused_segments = 0;            ///< segments the tuner chose to fuse
+  int fused_launches_saved = 0;      ///< per-stage launches eliminated
+  int64_t fused_bytes_avoided = 0;   ///< hand-off bytes kept in registers
 };
 
 /// The pipelined query executor — the paper's core contribution. Executes a

@@ -33,6 +33,8 @@ const char* EngineModeName(EngineMode mode) {
       return "GPL";
     case EngineMode::kOcelot:
       return "Ocelot";
+    case EngineMode::kFused:
+      return "Fused";
   }
   return "?";
 }
@@ -42,8 +44,9 @@ Result<EngineMode> ParseEngineMode(std::string_view name) {
   if (name == "kbe") return EngineMode::kKbe;
   if (name == "noce") return EngineMode::kGplNoCe;
   if (name == "ocelot") return EngineMode::kOcelot;
+  if (name == "fused") return EngineMode::kFused;
   return Status::InvalidArgument("unknown mode: '" + std::string(name) +
-                                 "' (want gpl|kbe|noce|ocelot)");
+                                 "' (want gpl|kbe|noce|ocelot|fused)");
 }
 
 Result<sim::DeviceSpec> ParseDeviceSpec(std::string_view name) {
@@ -207,7 +210,8 @@ Result<QueryResult> Engine::ExecutePlan(const PhysicalOpPtr& plan,
     case EngineMode::kOcelot:
       return ocelot_engine_.Execute(plan, exec);
     case EngineMode::kGpl:
-    case EngineMode::kGplNoCe: {
+    case EngineMode::kGplNoCe:
+    case EngineMode::kFused: {
       GPL_ASSIGN_OR_RETURN(GplRunResult run, ExecuteGplDetailed(plan, exec));
       QueryResult result;
       result.metrics = FinalizeGplMetrics(run);
@@ -228,6 +232,9 @@ QueryMetrics Engine::FinalizeGplMetrics(const GplRunResult& run) const {
   metrics.tuning_cache_hits = run.tuning_cache_hits;
   metrics.tuning_cache_misses = run.tuning_cache_misses;
   metrics.degraded_segments = run.degraded_segments;
+  metrics.fused_segments = run.fused_segments;
+  metrics.fused_launches_saved = run.fused_launches_saved;
+  metrics.fused_bytes_avoided = run.fused_bytes_avoided;
   return metrics;
 }
 
@@ -240,6 +247,7 @@ Result<GplRunResult> Engine::ExecuteGplDetailed(const PhysicalOpPtr& plan,
   GPL_ASSIGN_OR_RETURN(SegmentedPlan segmented, SegmentPlan(plan));
   GplOptions gpl_options;
   gpl_options.concurrent = options_.mode != EngineMode::kGplNoCe;
+  gpl_options.fused = options_.mode == EngineMode::kFused;
   gpl_options.exec = exec;
   return gpl_executor_.Run(segmented, gpl_options);
 }

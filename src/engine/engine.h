@@ -33,13 +33,15 @@ enum class EngineMode {
   kGplNoCe,  ///< GPL with tiling but without concurrent execution/channels
   kGpl,      ///< the full pipelined engine
   kOcelot,   ///< Ocelot-style KBE baseline (Section 5.5)
+  kFused,    ///< GPL + kernel fusion: the tuner picks per segment among
+             ///< pipelined / kernel-at-a-time / fused chains
 };
 
 const char* EngineModeName(EngineMode mode);
 
 /// Parses an execution-mode name as used by the CLI/benches
-/// ("gpl" | "kbe" | "noce" | "ocelot", case-sensitive). The inverse of the
-/// short flag spellings, not of EngineModeName.
+/// ("gpl" | "kbe" | "noce" | "ocelot" | "fused", case-sensitive). The
+/// inverse of the short flag spellings, not of EngineModeName.
 Result<EngineMode> ParseEngineMode(std::string_view name);
 
 /// Parses a simulated-device name ("amd" | "nvidia") into its DeviceSpec

@@ -88,8 +88,9 @@ std::string ExplainAnalyzeReport::ToString() const {
   out << "segments:\n";
   for (const ExplainAnalyzeSegment& seg : segments) {
     out << "  segment " << seg.index << ": " << seg.description << "  ["
-        << (seg.degraded ? "degraded" : "pipelined") << "] [cache "
-        << (seg.tuning_cache_hit ? "hit" : "miss") << "]\n";
+        << (seg.degraded ? "degraded"
+                         : (seg.engine.empty() ? "pipelined" : seg.engine))
+        << "] [cache " << (seg.tuning_cache_hit ? "hit" : "miss") << "]\n";
     out << "    tile_bytes=" << seg.tile_bytes << " tiles=" << seg.num_tiles
         << " workgroups=";
     for (size_t i = 0; i < seg.workgroups.size(); ++i) {
@@ -104,6 +105,11 @@ std::string ExplainAnalyzeReport::ToString() const {
     out << "    host_wall_ms=" << FormatMs(seg.host_wall_ms)
         << " channel_bytes=" << seg.channel_bytes
         << " materialized_bytes=" << seg.materialized_bytes << "\n";
+    if (seg.fused_groups > 0) {
+      out << "    fusion: groups=" << seg.fused_groups
+          << " launches_saved=" << seg.launches_saved
+          << " bytes_avoided=" << seg.fused_bytes_avoided << "\n";
+    }
     for (const ExplainAnalyzeStage& stage : seg.stages) {
       out << "      " << stage.kernel << ": rows " << stage.rows_in << " -> "
           << stage.rows_out << "  bytes " << stage.bytes_in << " -> "
@@ -132,6 +138,11 @@ std::string ExplainAnalyzeReport::ToString() const {
       << " misses=" << metrics.tuning_cache_misses
       << "  degraded_segments=" << metrics.degraded_segments
       << "  output_rows=" << output_rows << "\n";
+  if (metrics.fused_segments > 0) {
+    out << "  fusion: segments=" << metrics.fused_segments
+        << " launches_saved=" << metrics.fused_launches_saved
+        << " bytes_avoided=" << metrics.fused_bytes_avoided << "\n";
+  }
   out << "  host wall: plan=" << FormatMs(metrics.plan_wall_ms)
       << " ms tune=" << FormatMs(metrics.tune_wall_ms)
       << " ms segments=" << FormatMs(host_total) << " ms\n";
@@ -188,6 +199,12 @@ std::string ExplainAnalyzeReport::ToJson() const {
     AppendJsonInt(&out, "materialized_bytes", seg.materialized_bytes);
     AppendJsonBool(&out, "tuning_cache_hit", seg.tuning_cache_hit);
     AppendJsonBool(&out, "degraded", seg.degraded);
+    AppendJsonField(&out, "engine",
+                    seg.engine.empty() ? "pipelined" : seg.engine,
+                    /*quote=*/true);
+    AppendJsonInt(&out, "fused_groups", seg.fused_groups);
+    AppendJsonInt(&out, "launches_saved", seg.launches_saved);
+    AppendJsonInt(&out, "fused_bytes_avoided", seg.fused_bytes_avoided);
     out += ",\"stages\":[";
     for (size_t s = 0; s < seg.stages.size(); ++s) {
       const ExplainAnalyzeStage& stage = seg.stages[s];
@@ -254,7 +271,8 @@ Result<ExplainAnalyzeReport> ExplainAnalyze(Engine& engine,
     }
     return report;
   }
-  if (mode != EngineMode::kGpl && mode != EngineMode::kGplNoCe) {
+  if (mode != EngineMode::kGpl && mode != EngineMode::kGplNoCe &&
+      mode != EngineMode::kFused) {
     return Status::Unimplemented(
         "EXPLAIN ANALYZE annotates segmented GPL plans; mode " +
         std::string(EngineModeName(mode)) + " has none");
@@ -295,9 +313,15 @@ Result<ExplainAnalyzeReport> ExplainAnalyze(Engine& engine,
     seg.materialized_bytes = sr.sim.counters.bytes_materialized;
     seg.tuning_cache_hit = sr.tuning_cache_hit;
     seg.degraded = sr.degraded;
+    seg.engine = model::SegmentEngineName(sr.engine);
+    seg.fused_groups = sr.fused_groups;
+    seg.launches_saved = sr.launches_saved;
+    seg.fused_bytes_avoided = sr.fused_bytes_avoided;
     for (size_t s = 0; s < sr.observations.stages.size(); ++s) {
       ExplainAnalyzeStage stage;
-      stage.kernel = s < sr.sim.kernels.size() ? sr.sim.kernels[s].name
+      // Stage names come from the original per-stage kernels: for a fused
+      // segment sr.sim.kernels are the composed launches, not the stages.
+      stage.kernel = s < sr.stage_names.size() ? sr.stage_names[s]
                                                : "k_" + std::to_string(s);
       stage.rows_in = sr.observations.stages[s].rows_in;
       stage.bytes_in = sr.observations.stages[s].bytes_in;

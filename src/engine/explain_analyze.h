@@ -47,6 +47,14 @@ struct ExplainAnalyzeSegment {
   bool tuning_cache_hit = false;
   bool degraded = false;  ///< fell back to kernel-at-a-time execution
 
+  /// How the segment's kernels executed: "pipelined", "sequential" or
+  /// "fused" (model::SegmentEngineName of the executor's per-segment pick).
+  std::string engine;
+  /// Fusion accounting (engine == "fused" only; 0 otherwise).
+  int fused_groups = 0;
+  int launches_saved = 0;
+  int64_t fused_bytes_avoided = 0;
+
   /// Signed prediction error, (predicted - actual) / actual * 100.
   /// 0 when the segment simulated to zero cycles.
   double CycleErrorPct() const;
@@ -98,8 +106,8 @@ struct ExplainAnalyzeReport {
 
 /// Plans and EXECUTES `query` (EXPLAIN ANALYZE, not EXPLAIN: the results are
 /// computed and the timing simulated for real), returning the annotated
-/// report. Single-device: only the GPL modes (kGpl, kGplNoCe) have segmented
-/// plans to annotate; KBE/Ocelot return kUnimplemented. A sharded `exec`
+/// report. Single-device: only the GPL modes (kGpl, kGplNoCe, kFused) have
+/// segmented plans to annotate; KBE/Ocelot return kUnimplemented. A sharded `exec`
 /// routes through the engine's ShardedExecutor in any mode and annotates the
 /// distributed plan's Exchange operators instead of segments.
 Result<ExplainAnalyzeReport> ExplainAnalyze(Engine& engine,

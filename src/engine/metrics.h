@@ -55,6 +55,13 @@ struct QueryMetrics {
   /// degrade_on_channel_failure). 0 in fault-free runs.
   int64_t degraded_segments = 0;
 
+  /// Fusion accounting (EngineMode::kFused only; 0 elsewhere). Non-zero
+  /// fused_segments proves fusion actually fired — the bench gate checks it
+  /// so a silent fallback to the GPL-channel path cannot pass as a win.
+  int64_t fused_segments = 0;        ///< segments the tuner ran fused
+  int64_t fused_launches_saved = 0;  ///< per-stage launches eliminated
+  int64_t fused_bytes_avoided = 0;   ///< hand-off bytes kept in registers
+
   // ---- Sharded execution (shard::ShardedExecutor; zero/empty for
   // single-device runs). For sharded runs `elapsed_ms` is the parallel
   // makespan — max over per-device times plus exchange plus the serial

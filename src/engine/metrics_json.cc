@@ -46,6 +46,11 @@ std::string QueryMetricsToJson(const MetricsJsonEntry& entry) {
                static_cast<double>(m.tuning_cache_misses));
   AppendNumber(&out, "degraded_segments",
                static_cast<double>(m.degraded_segments));
+  AppendNumber(&out, "fused_segments", static_cast<double>(m.fused_segments));
+  AppendNumber(&out, "fused_launches_saved",
+               static_cast<double>(m.fused_launches_saved));
+  AppendNumber(&out, "fused_bytes_avoided",
+               static_cast<double>(m.fused_bytes_avoided));
   AppendNumber(&out, "valu_busy", m.valu_busy);
   AppendNumber(&out, "mem_unit_busy", m.mem_unit_busy);
   AppendNumber(&out, "occupancy", m.occupancy);

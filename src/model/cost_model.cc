@@ -11,6 +11,95 @@
 namespace gpl {
 namespace model {
 
+const char* SegmentEngineName(SegmentEngine engine) {
+  switch (engine) {
+    case SegmentEngine::kGplChannel:
+      return "pipelined";
+    case SegmentEngine::kKernelAtATime:
+      return "sequential";
+    case SegmentEngine::kFused:
+      return "fused";
+  }
+  return "unknown";
+}
+
+StageDesc ComposeFusedStage(const std::vector<StageDesc>& stages, size_t first,
+                            size_t count) {
+  GPL_CHECK(count >= 1 && first + count <= stages.size());
+  const StageDesc& head = stages[first];
+  if (count == 1) return head;
+
+  StageDesc fused;
+  fused.rows_in = head.rows_in;
+  fused.bytes_in = head.bytes_in;
+  const StageDesc& tail = stages[first + count - 1];
+  fused.rows_out = tail.rows_out;
+  fused.bytes_out = tail.bytes_out;
+
+  sim::KernelTimingDesc& t = fused.timing;
+  t.name = "fused(";
+  // Accumulated below — clear the descriptor defaults first.
+  t.compute_inst_per_row = 0.0;
+  t.random_working_set_bytes = 0;
+  const double head_rows = std::max(head.rows_in, 1.0);
+  double streaming_inst = 0.0;  // survives only for the fused input read
+  double random_inst = 0.0;     // side-structure accesses always hit memory
+  int64_t private_sum = 0;
+  int64_t private_max = 0;
+  int64_t local_sum = 0;
+  int64_t local_max = 0;
+  for (size_t i = first; i < first + count; ++i) {
+    const StageDesc& s = stages[i];
+    if (i > first) t.name += '+';
+    t.name += s.timing.name;
+    // Per-row counts are per *that stage's* input row; normalize to the
+    // fused kernel's input rows so the composed per-row numbers are exact.
+    const double ratio = std::max(s.rows_in, 0.0) / head_rows;
+    t.compute_inst_per_row += s.timing.compute_inst_per_row * ratio;
+    const double mem = s.timing.mem_inst_per_row * ratio;
+    random_inst += mem * s.timing.random_access_fraction;
+    if (i == first) {
+      streaming_inst += mem * (1.0 - s.timing.random_access_fraction);
+    }
+    // Interior stages' streaming accesses vanish: the hand-off stays in
+    // registers. Their random accesses (hash probes) remain.
+    t.random_working_set_bytes += s.timing.random_working_set_bytes;
+    private_sum += s.timing.private_bytes_per_item;
+    private_max = std::max(private_max, s.timing.private_bytes_per_item);
+    local_sum += s.timing.local_bytes_per_item;
+    local_max = std::max(local_max, s.timing.local_bytes_per_item);
+  }
+  t.name += ')';
+  // Register/occupancy pressure of the composed body: the stages execute
+  // sequentially per item, so the compiler reuses part of each stage's
+  // registers; max + half the rest is the conservative-but-reused footprint
+  // (the straight sum would overstate the occupancy hit).
+  t.private_bytes_per_item = private_max + (private_sum - private_max) / 2;
+  t.local_bytes_per_item = local_max + (local_sum - local_max) / 2;
+  t.mem_inst_per_row = streaming_inst + random_inst;
+  t.random_access_fraction =
+      t.mem_inst_per_row > 0.0 ? random_inst / t.mem_inst_per_row : 0.0;
+  t.blocking = false;
+  return fused;
+}
+
+SegmentDesc ComposeFusedSegment(const SegmentDesc& segment,
+                                const std::vector<int>& group_sizes) {
+  SegmentDesc fused;
+  fused.input_bytes = segment.input_bytes;
+  fused.extra_resident_bytes = segment.extra_resident_bytes;
+  size_t next = 0;
+  for (int size : group_sizes) {
+    GPL_CHECK(size >= 1);
+    fused.stages.push_back(
+        ComposeFusedStage(segment.stages, next, static_cast<size_t>(size)));
+    next += static_cast<size_t>(size);
+  }
+  GPL_CHECK(next == segment.stages.size())
+      << "group sizes must cover every stage";
+  return fused;
+}
+
 CostModel::CostModel(const sim::DeviceSpec& device,
                      const CalibrationTable* calibration)
     : device_(device), calibration_(calibration), cache_(device.cache_bytes) {
@@ -209,6 +298,104 @@ SegmentEstimate CostModel::EstimateSegment(const SegmentDesc& segment,
       sum_kernel_cycles / c_eff + est.delay_cycles +
       static_cast<double>(device_.kernel_launch_cycles) * num_stages +
       static_cast<double>(device_.tile_dispatch_cycles) * tiles;
+  return est;
+}
+
+SegmentEstimate CostModel::EstimateSegmentSequential(
+    const SegmentDesc& segment, const SegmentParams& params) const {
+  SegmentEstimate est;
+  const int num_stages = static_cast<int>(segment.stages.size());
+  GPL_CHECK(num_stages > 0);
+
+  // This mirrors sim::Simulator::RunSequentialTiles / RunKernelBatch formula
+  // for formula — the only residual error is cardinality estimation (λ vs
+  // observed rows), exactly like EstimateSegment vs RunPipeline. The
+  // sequential path derives its work-group count from the rows per tile
+  // (KBE-style launches), so params.workgroups is not consulted.
+  const double tiles = std::max(
+      1.0, std::ceil(segment.input_bytes /
+                     static_cast<double>(std::max<int64_t>(params.tile_bytes, 1))));
+
+  const double wf = static_cast<double>(device_.wavefront_size);
+  // Rows one KBE-style work-group covers (sim's kKbeWavefrontsPerWg).
+  const double rows_per_wg_target = wf * 4.0;
+  // Kernels are loaded once; each tile pays the cheaper dispatch plus half a
+  // launch (RunSequentialTiles' "frequent kernel launches" overhead).
+  const double per_kernel_overhead =
+      static_cast<double>(device_.kernel_launch_cycles) +
+      (static_cast<double>(device_.tile_dispatch_cycles) +
+       0.5 * static_cast<double>(device_.kernel_launch_cycles)) *
+          tiles;
+
+  est.kernel_cycles.resize(static_cast<size_t>(num_stages), 0.0);
+  for (int i = 0; i < num_stages; ++i) {
+    const StageDesc& stage = segment.stages[static_cast<size_t>(i)];
+
+    const double rows_tile =
+        std::max(1.0, std::floor(std::max(stage.rows_in, 0.0) / tiles));
+    const double bytes_in_tile = std::max(stage.bytes_in, 0.0) / tiles;
+    const double bytes_out_tile = std::max(stage.bytes_out, 0.0) / tiles;
+
+    const int slots = sim::SingleKernelSlots(device_, stage.timing);
+    const double wg_total =
+        std::max(1.0, std::ceil(rows_tile / rows_per_wg_target));
+    const double active = std::min(static_cast<double>(slots), wg_total);
+    const double active_cus =
+        std::min(static_cast<double>(device_.num_cus), wg_total);
+    const int hide_wavefronts =
+        std::max(1, static_cast<int>(active / std::max(active_cus, 1.0)));
+
+    const double rows_wg = rows_tile / wg_total;
+    const double in_wg = bytes_in_tile / wg_total;
+    const double out_wg = bytes_out_tile / wg_total;
+
+    // A tile intermediate that fits in cache next to the segment's working
+    // set is served from it (RunSequentialTiles' input residency).
+    const double input_resident =
+        i > 0 ? cache_.ChannelResidency(
+                    static_cast<int64_t>(bytes_in_tile),
+                    segment.extra_resident_bytes + params.tile_bytes)
+              : 0.0;
+
+    // ComputeWgWork: ALU work, then max(latency, bandwidth) memory work.
+    const double iters = std::ceil(rows_wg / wf);
+    const double alu =
+        iters * stage.timing.compute_inst_per_row * device_.cycles_per_instr;
+    const double accesses = iters * stage.timing.mem_inst_per_row;
+    double hit = cache_.StreamingHitRatio(8);
+    hit = input_resident + (1.0 - input_resident) * hit;
+    if (stage.timing.random_access_fraction > 0.0) {
+      const double random_hit = cache_.RandomHitRatio(
+          stage.timing.random_working_set_bytes, segment.extra_resident_bytes);
+      hit = (1.0 - stage.timing.random_access_fraction) * hit +
+            stage.timing.random_access_fraction * random_hit;
+    }
+    const double latency = hit * device_.cache_latency +
+                           (1.0 - hit) * device_.global_mem_latency;
+    const double hide = static_cast<double>(std::clamp(
+        hide_wavefronts, 1, device_.latency_hiding_wavefronts));
+    const double latency_cycles = accesses * latency / hide;
+    const double global_bw_per_cu =
+        device_.global_bw_bytes_per_cycle / device_.num_cus;
+    const double cache_bw_per_cu =
+        device_.cache_bw_bytes_per_cycle / device_.num_cus;
+    const double resident_in = in_wg * input_resident;
+    const double dram_bytes = in_wg - resident_in + out_wg;
+    const double bw_cycles = dram_bytes / global_bw_per_cu +
+                             resident_in / std::max(cache_bw_per_cu, 1.0);
+    const double mem = std::max(latency_cycles, bw_cycles);
+
+    const double total_alu = alu * wg_total;
+    const double total_mem = mem * wg_total;
+    const double exec = std::max(total_alu, total_mem) / active_cus;
+
+    const double t_ki = exec * tiles;
+    est.kernel_cycles[static_cast<size_t>(i)] = t_ki;
+    est.compute_cycles += total_alu * tiles;
+    est.memory_cycles += total_mem * tiles;
+    // Kernels never overlap: total is the plain sum plus per-kernel overhead.
+    est.total_cycles += t_ki + per_kernel_overhead;
+  }
   return est;
 }
 

@@ -27,6 +27,30 @@ struct SegmentDesc {
   int64_t extra_resident_bytes = 0;  ///< hash tables probed by this segment
 };
 
+/// How a segment's kernels execute — the per-segment three-way choice of
+/// the fused engine mode.
+enum class SegmentEngine {
+  kGplChannel,     ///< concurrent kernels exchanging tiles through channels
+  kKernelAtATime,  ///< one kernel at a time, materialized intermediates
+  kFused,          ///< fusible chains collapsed into single kernels
+};
+
+const char* SegmentEngineName(SegmentEngine engine);
+
+/// Composes `count` consecutive stages starting at `first` into the
+/// model-side description of one fused kernel: per-row instruction counts
+/// are normalized to the fused input's rows, interior streaming traffic is
+/// eliminated (intermediates stay in registers), random side-structure
+/// accesses survive, and register/local footprints add up (the occupancy
+/// pressure the fusion term charges).
+StageDesc ComposeFusedStage(const std::vector<StageDesc>& stages, size_t first,
+                            size_t count);
+
+/// Applies ComposeFusedStage per group: `group_sizes` partitions
+/// segment.stages into consecutive runs; runs of size 1 pass through.
+SegmentDesc ComposeFusedSegment(const SegmentDesc& segment,
+                                const std::vector<int>& group_sizes);
+
 /// The tunable parameters of one segment's pipelined execution.
 struct SegmentParams {
   int64_t tile_bytes = 4 << 20;             ///< Δ
@@ -55,6 +79,16 @@ class CostModel {
 
   SegmentEstimate EstimateSegment(const SegmentDesc& segment,
                                   const SegmentParams& params) const;
+
+  /// Estimate for kernel-at-a-time execution of the same segment: one kernel
+  /// per tile at a time, intermediates materialized, no channels and no
+  /// cross-kernel overlap, but per-tile dispatch overhead for every kernel.
+  /// Mirrors sim::Simulator::RunSequentialTiles (the w/o-CE path), and —
+  /// applied to a ComposeFusedSegment description — prices the fused
+  /// execution, where the launch-overhead and data-path savings appear
+  /// because the composed segment simply has fewer, cheaper stages.
+  SegmentEstimate EstimateSegmentSequential(const SegmentDesc& segment,
+                                            const SegmentParams& params) const;
 
   const sim::DeviceSpec& device() const { return device_; }
 

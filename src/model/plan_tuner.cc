@@ -154,5 +154,88 @@ TuningChoice TuneSegment(const CostModel& model, const SegmentDesc& segment,
   return best;
 }
 
+namespace {
+
+/// Grid search of Δ for a sequential (kernel-at-a-time or fused) execution
+/// of `segment`. The sequential simulator derives its launch width from the
+/// rows per tile (KBE-style), so there is no wg dimension to search; the
+/// derived width is recorded in params.workgroups for reporting.
+/// Deterministic argmin in grid order.
+TuningChoice TuneSequential(const CostModel& model, const SegmentDesc& segment,
+                            const TuningOverrides& overrides) {
+  const size_t num_stages = segment.stages.size();
+  const std::vector<int64_t> tile_grid =
+      overrides.tile_bytes > 0 ? std::vector<int64_t>{overrides.tile_bytes}
+                               : TileSizeGrid();
+  const double rows_per_wg = model.device().wavefront_size * 4.0;
+  TuningChoice best;
+  bool have_best = false;
+  for (int64_t tile : tile_grid) {
+    SegmentParams params;
+    params.tile_bytes = tile;
+    const double tiles = std::max(
+        1.0, std::ceil(segment.input_bytes /
+                       static_cast<double>(std::max<int64_t>(tile, 1))));
+    params.workgroups.resize(num_stages);
+    for (size_t i = 0; i < num_stages; ++i) {
+      const double rows_tile = std::max(
+          1.0, std::floor(std::max(segment.stages[i].rows_in, 0.0) / tiles));
+      params.workgroups[i] =
+          static_cast<int>(std::max(1.0, std::ceil(rows_tile / rows_per_wg)));
+    }
+    SegmentEstimate est = model.EstimateSegmentSequential(segment, params);
+    if (!have_best || est.total_cycles < best.estimate.total_cycles) {
+      best.params = std::move(params);
+      best.estimate = std::move(est);
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+TuningChoice TuneSegmentEngines(const CostModel& model,
+                                const SegmentDesc& segment,
+                                const CalibrationTable& calibration,
+                                const std::vector<int>& fused_group_sizes,
+                                const TuningOverrides& overrides) {
+  // Candidate 1: the GPL-channel pipeline (the existing search).
+  TuningChoice best = TuneSegment(model, segment, calibration, overrides);
+  best.engine = SegmentEngine::kGplChannel;
+  const double pipelined_cycles = best.estimate.total_cycles;
+
+  // Candidate 2: kernel-at-a-time over the original stages. Strict less-than
+  // keeps the pipeline on ties (the established default).
+  TuningChoice sequential = TuneSequential(model, segment, overrides);
+  sequential.engine = SegmentEngine::kKernelAtATime;
+  const double sequential_cycles = sequential.estimate.total_cycles;
+  if (sequential_cycles < best.estimate.total_cycles) {
+    best = std::move(sequential);
+  }
+
+  // Candidate 3: fused chains — only when the fusion pass found one. The
+  // fusion term is implicit in the composed description: fewer stages save
+  // launch/dispatch overhead and interior streaming traffic, while the
+  // summed register footprint raises occupancy pressure in the estimate.
+  bool any_fused = false;
+  for (int size : fused_group_sizes) any_fused |= size > 1;
+  if (any_fused) {
+    const SegmentDesc composed = ComposeFusedSegment(segment, fused_group_sizes);
+    TuningChoice fused = TuneSequential(model, composed, overrides);
+    fused.engine = SegmentEngine::kFused;
+    fused.fused_group_sizes = fused_group_sizes;
+    GPL_SLOG(Debug, "model")
+        .Field("pipelined", pipelined_cycles)
+        .Field("sequential", sequential_cycles)
+        .Field("fused", fused.estimate.total_cycles)
+        << "engine candidates";
+    if (fused.estimate.total_cycles < best.estimate.total_cycles) {
+      best = std::move(fused);
+    }
+  }
+  return best;
+}
+
 }  // namespace model
 }  // namespace gpl

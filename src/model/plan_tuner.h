@@ -13,6 +13,13 @@ namespace model {
 struct TuningChoice {
   SegmentParams params;
   SegmentEstimate estimate;
+  /// Which execution engine the estimate (and the choice) is for. TuneSegment
+  /// always produces kGplChannel; TuneSegmentEngines picks the cheapest of
+  /// the three.
+  SegmentEngine engine = SegmentEngine::kGplChannel;
+  /// When engine == kFused: the fusion grouping the choice was priced for
+  /// (consecutive run lengths over the segment's stages). Empty otherwise.
+  std::vector<int> fused_group_sizes;
 };
 
 /// Overrides for individual knobs (0 / empty = let the tuner search). Used
@@ -34,6 +41,20 @@ struct TuningOverrides {
 TuningChoice TuneSegment(const CostModel& model, const SegmentDesc& segment,
                          const CalibrationTable& calibration,
                          const TuningOverrides& overrides = {});
+
+/// Three-way per-segment engine selection for the fused mode: runs the
+/// GPL-channel search (TuneSegment), a kernel-at-a-time search
+/// (EstimateSegmentSequential on the original stages), and — when
+/// `fused_group_sizes` contains a run longer than 1 — a fused search
+/// (EstimateSegmentSequential on the ComposeFusedSegment description), and
+/// returns the deterministic argmin. Ties keep the earlier engine in the
+/// order pipelined < sequential < fused, so existing behavior wins when the
+/// model sees no benefit.
+TuningChoice TuneSegmentEngines(const CostModel& model,
+                                const SegmentDesc& segment,
+                                const CalibrationTable& calibration,
+                                const std::vector<int>& fused_group_sizes,
+                                const TuningOverrides& overrides = {});
 
 /// The Δ grid used by the tuner (also the x-axis of Figures 12/13/25/26).
 std::vector<int64_t> TileSizeGrid();

@@ -29,9 +29,14 @@ void AppendInt(std::string* out, long long v) {
 
 std::string TuningCache::SegmentSignature(const sim::DeviceSpec& device,
                                           const SegmentDesc& segment,
-                                          const TuningOverrides& overrides) {
+                                          const TuningOverrides& overrides,
+                                          const std::string& engine_scope) {
   std::string key;
-  key.reserve(64 + segment.stages.size() * 160);
+  key.reserve(80 + segment.stages.size() * 160);
+  // Engine mode + fusion decision first: a choice tuned for one mode's
+  // search space must never alias a hit in another mode.
+  key += engine_scope;
+  key += '|';
   // Device: the presets are identified by name; num_cus/cache/clock guard
   // against hand-modified specs sharing a name.
   key += device.name;

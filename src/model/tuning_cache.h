@@ -58,9 +58,16 @@ class TuningCache {
   /// The exact memoization key for one segment on one device. Floating
   /// cardinalities enter as raw bit patterns, not formatted decimals, so no
   /// two distinct descriptions collide.
+  ///
+  /// `engine_scope` names the engine mode (and, for the fused mode, the
+  /// fusion grouping) the choice was tuned for — e.g. "gpl", "noce",
+  /// "fused:2,1". Different modes search different spaces and produce
+  /// TuningChoices with different engine fields, so a choice cached under
+  /// one mode must never be served to another.
   static std::string SegmentSignature(const sim::DeviceSpec& device,
                                       const SegmentDesc& segment,
-                                      const TuningOverrides& overrides);
+                                      const TuningOverrides& overrides,
+                                      const std::string& engine_scope);
 
   /// Returns the memoized choice, counting a hit; nullopt counts a miss.
   std::optional<TuningChoice> Lookup(const std::string& signature);

@@ -1,0 +1,71 @@
+#ifndef GPL_PLAN_FUSION_H_
+#define GPL_PLAN_FUSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "plan/segment.h"
+
+namespace gpl {
+
+/// The fusion-relevant view of one pipeline stage. PlanFusion operates on
+/// these views (extracted from a Segment, or built directly in tests) so the
+/// legality rules are testable without kernels.
+struct FusionStageView {
+  bool blocking = false;
+  bool is_aggregate = false;
+  bool partial_aggregate = false;
+  bool exchange_boundary = false;
+  bool multi_consumer = false;
+  /// Private memory (registers) per work-item, from the timing descriptor.
+  int64_t private_bytes_per_item = 0;
+};
+
+struct FusionOptions {
+  /// Register budget of a fused kernel body: fusing chains past this
+  /// per-work-item private footprint would crater occupancy, so the pass
+  /// splits the chain instead (the cost model then prices what remains).
+  int64_t max_private_bytes_per_item = 256;
+};
+
+/// A maximal run of consecutive stages executed as one kernel. Singleton
+/// groups (count == 1) execute unfused.
+struct FusedGroup {
+  size_t first = 0;
+  size_t count = 1;
+  bool fused() const { return count > 1; }
+};
+
+/// Outcome of the fusion pass over one segment.
+struct FusionPlan {
+  std::vector<FusedGroup> groups;  ///< covers every stage exactly once
+  int fused_groups = 0;            ///< groups with count > 1
+  int stages_fused = 0;            ///< stages inside those groups
+
+  /// Kernel launches eliminated: each fused group of n stages launches once
+  /// instead of n times.
+  int launches_saved() const { return stages_fused - fused_groups; }
+};
+
+/// Greedy maximal-chain fusion with these legality rules:
+///  - blocking stages (prefix sum, hash/partition build, sort, scan-reduce)
+///    never fuse: they are global barriers with materialized output;
+///  - complete aggregates never fuse (aggregation boundary: their output
+///    exists only after every input row is seen);
+///  - partial aggregates may only *terminate* a fused chain — they still
+///    accumulate, so nothing can fuse after them;
+///  - a stage consuming exchanged data starts its own chain (its producer
+///    ran on another device);
+///  - a multi-consumer stage terminates its chain (its output must be
+///    materialized for the other consumers);
+///  - the summed per-work-item private bytes of a chain must stay within
+///    options.max_private_bytes_per_item, else the chain is split.
+FusionPlan PlanFusion(const std::vector<FusionStageView>& stages,
+                      const FusionOptions& options = {});
+
+/// Extracts the views from a segment's stages and runs the pass.
+FusionPlan PlanFusion(const Segment& segment, const FusionOptions& options = {});
+
+}  // namespace gpl
+
+#endif  // GPL_PLAN_FUSION_H_

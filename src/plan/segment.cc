@@ -10,7 +10,18 @@ namespace {
 /// The segment currently being assembled while walking the plan tree.
 struct OpenPipeline {
   Segment segment;
+  /// Set after an exchange op: the next stage appended consumes data that
+  /// arrived from another device, so fusion must not reach across it.
+  bool pending_exchange_boundary = false;
 };
+
+/// Appends a stage to the open pipeline, transferring the pending
+/// exchange-boundary mark onto it.
+void AppendStage(OpenPipeline* open, Stage stage) {
+  stage.exchange_boundary = open->pending_exchange_boundary;
+  open->pending_exchange_boundary = false;
+  open->segment.stages.push_back(std::move(stage));
+}
 
 Result<OpenPipeline> Build(const PhysicalOpPtr& op, SegmentedPlan* out);
 
@@ -36,7 +47,7 @@ Result<OpenPipeline> Build(const PhysicalOpPtr& op, SegmentedPlan* out) {
       stage.kernel = MakeFilterKernel(op->predicate);
       stage.est_rows_out = op->est_rows;
       stage.est_columns_out = static_cast<int>(OutputColumns(*op).size());
-      open.segment.stages.push_back(std::move(stage));
+      AppendStage(&open, std::move(stage));
       return open;
     }
 
@@ -48,7 +59,7 @@ Result<OpenPipeline> Build(const PhysicalOpPtr& op, SegmentedPlan* out) {
                                ? op->est_rows
                                : (op->child != nullptr ? op->child->est_rows : 0.0);
       stage.est_columns_out = static_cast<int>(op->projections.size());
-      open.segment.stages.push_back(std::move(stage));
+      AppendStage(&open, std::move(stage));
       return open;
     }
 
@@ -77,7 +88,7 @@ Result<OpenPipeline> Build(const PhysicalOpPtr& op, SegmentedPlan* out) {
         build_stage.kernel = std::move(build_kernel);
         build_stage.est_rows_out = 0.0;  // output is the hash table
         build_stage.est_columns_out = 1;
-        build_open.segment.stages.push_back(std::move(build_stage));
+        AppendStage(&build_open, std::move(build_stage));
         build_open.segment.output_is_hash_build = true;
         out->segments.push_back(std::move(build_open.segment));
       }
@@ -87,14 +98,18 @@ Result<OpenPipeline> Build(const PhysicalOpPtr& op, SegmentedPlan* out) {
       probe_stage.kernel = std::move(probe_kernel);
       probe_stage.est_rows_out = op->est_rows;
       probe_stage.est_columns_out = static_cast<int>(OutputColumns(*op).size());
-      open.segment.stages.push_back(std::move(probe_stage));
+      AppendStage(&open, std::move(probe_stage));
       return open;
     }
 
-    case PhysicalOp::Kind::kExchange:
+    case PhysicalOp::Kind::kExchange: {
       // Identity within a device's pipeline; the shard layer prices the
-      // data motion on the inter-device link.
-      return BuildChild(op->child, out);
+      // data motion on the inter-device link. The stage above it consumes
+      // exchanged data, so mark it as a fusion boundary.
+      GPL_ASSIGN_OR_RETURN(OpenPipeline open, BuildChild(op->child, out));
+      open.pending_exchange_boundary = true;
+      return open;
+    }
 
     case PhysicalOp::Kind::kAggregate: {
       GPL_ASSIGN_OR_RETURN(OpenPipeline open, BuildChild(op->child, out));
@@ -105,7 +120,9 @@ Result<OpenPipeline> Build(const PhysicalOpPtr& op, SegmentedPlan* out) {
                                              : AggregatePhase::kComplete);
       stage.est_rows_out = op->est_rows;
       stage.est_columns_out = static_cast<int>(OutputColumns(*op).size());
-      open.segment.stages.push_back(std::move(stage));
+      stage.is_aggregate = true;
+      stage.partial_aggregate = op->partial_aggregate;
+      AppendStage(&open, std::move(stage));
       return open;
     }
 
@@ -115,7 +132,7 @@ Result<OpenPipeline> Build(const PhysicalOpPtr& op, SegmentedPlan* out) {
       stage.kernel = MakeSortKernel(op->sort_keys);
       stage.est_rows_out = op->est_rows;
       stage.est_columns_out = static_cast<int>(OutputColumns(*op).size());
-      open.segment.stages.push_back(std::move(stage));
+      AppendStage(&open, std::move(stage));
       // Sort is blocking: close the segment. Anything above the sort starts
       // a new pipeline reading the materialized result.
       out->segments.push_back(std::move(open.segment));

@@ -730,6 +730,9 @@ Result<QueryResult> ShardedExecutor::Execute(const LogicalQuery& query,
     m.tuning_cache_hits += partial.metrics.tuning_cache_hits;
     m.tuning_cache_misses += partial.metrics.tuning_cache_misses;
     m.degraded_segments += partial.metrics.degraded_segments;
+    m.fused_segments += partial.metrics.fused_segments;
+    m.fused_launches_saved += partial.metrics.fused_launches_saved;
+    m.fused_bytes_avoided += partial.metrics.fused_bytes_avoided;
     m.device_elapsed_ms.push_back(partial.metrics.elapsed_ms);
     m.predicted_ms = std::max(m.predicted_ms, partial.metrics.predicted_ms);
   }

@@ -39,6 +39,15 @@ Simulator::Simulator(const DeviceSpec& device, obs::MetricsRegistry* metrics)
     throttle_events_ = metrics->GetCounter(
         "gpl_sim_throttle_events_total",
         "Injected memory-pressure throttles applied to a launch", labels);
+    fused_kernels_ = metrics->GetCounter(
+        "gpl_sim_fused_kernels_total",
+        "Fused (composed) kernels executed", labels);
+    fused_launches_saved_ = metrics->GetCounter(
+        "gpl_sim_fused_launches_saved_total",
+        "Per-stage kernel launches eliminated by fusion", labels);
+    fused_bytes_avoided_ = metrics->GetCounter(
+        "gpl_sim_fused_bytes_avoided_total",
+        "Interior hand-off bytes fusion kept in registers", labels);
   }
 }
 
@@ -287,6 +296,26 @@ Result<SimResult> Simulator::RunSequentialTiles(const PipelineSpec& spec) const 
                     {"kernels", TraceInt(static_cast<int64_t>(
                                     spec.kernels.size()))}});
     trace->AdvanceOrigin(result.counters.elapsed_cycles);
+  }
+  return result;
+}
+
+Result<SimResult> Simulator::RunFusedSegment(
+    const PipelineSpec& spec, const FusedAccounting& accounting) const {
+  // Timing-wise a fused segment is the sequential path over the composed
+  // kernels: group boundaries materialize, but the fused chains' interior
+  // launches and hand-offs no longer exist in the spec at all.
+  GPL_ASSIGN_OR_RETURN(SimResult result, RunSequentialTiles(spec));
+  if (accounting.fused_kernels > 0) {
+    obs::Inc(fused_kernels_, static_cast<uint64_t>(accounting.fused_kernels));
+  }
+  if (accounting.launches_saved > 0) {
+    obs::Inc(fused_launches_saved_,
+             static_cast<uint64_t>(accounting.launches_saved));
+  }
+  if (accounting.bytes_avoided > 0) {
+    obs::Inc(fused_bytes_avoided_,
+             static_cast<uint64_t>(accounting.bytes_avoided));
   }
   return result;
 }

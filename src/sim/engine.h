@@ -140,6 +140,22 @@ class Simulator {
   /// RunPipeline's channel allocation fails.
   Result<SimResult> RunSequentialTiles(const PipelineSpec& spec) const;
 
+  /// Accounting of one fused-segment execution, fed to the obs registry.
+  struct FusedAccounting {
+    int fused_kernels = 0;      ///< composed kernels (chains of >1 stage)
+    int launches_saved = 0;     ///< per-stage launches fusion eliminated
+    int64_t bytes_avoided = 0;  ///< interior hand-off bytes kept in registers
+  };
+
+  /// Fused execution of a segment whose fusible chains were composed into
+  /// single kernels (spec.kernels holds one launch per chain). The composed
+  /// kernels run one after another over materialized group boundaries —
+  /// RunSequentialTiles' timing — but with fewer, denser kernels: the saved
+  /// launches and eliminated hand-off traffic are already absent from the
+  /// spec. `accounting` only feeds the fused metrics counters.
+  Result<SimResult> RunFusedSegment(const PipelineSpec& spec,
+                                    const FusedAccounting& accounting) const;
+
  private:
   struct WgWork {
     double alu = 0.0;
@@ -170,6 +186,9 @@ class Simulator {
   obs::Counter* tile_dispatches_ = nullptr;
   obs::Counter* channel_reservations_ = nullptr;
   obs::Counter* throttle_events_ = nullptr;
+  obs::Counter* fused_kernels_ = nullptr;
+  obs::Counter* fused_launches_saved_ = nullptr;
+  obs::Counter* fused_bytes_avoided_ = nullptr;
 };
 
 }  // namespace sim

@@ -217,19 +217,29 @@ TEST(TuningCacheTest, SignatureDistinguishesDeviceDescAndOverrides) {
 
   const model::TuningOverrides none;
   const std::string base =
-      model::TuningCache::SegmentSignature(amd, desc, none);
-  EXPECT_NE(base, model::TuningCache::SegmentSignature(nvidia, desc, none));
+      model::TuningCache::SegmentSignature(amd, desc, none, "gpl");
+  EXPECT_NE(base,
+            model::TuningCache::SegmentSignature(nvidia, desc, none, "gpl"));
 
   model::SegmentDesc other = desc;
   other.stages[0].rows_out = 1001.0;
-  EXPECT_NE(base, model::TuningCache::SegmentSignature(amd, other, none));
+  EXPECT_NE(base,
+            model::TuningCache::SegmentSignature(amd, other, none, "gpl"));
 
   model::TuningOverrides pinned;
   pinned.tile_bytes = 1 << 20;
-  EXPECT_NE(base, model::TuningCache::SegmentSignature(amd, desc, pinned));
+  EXPECT_NE(base,
+            model::TuningCache::SegmentSignature(amd, desc, pinned, "gpl"));
+
+  // The engine scope is part of the key: the same segment tuned under
+  // another engine mode (or fusion grouping) must never alias.
+  EXPECT_NE(base,
+            model::TuningCache::SegmentSignature(amd, desc, none, "noce"));
+  EXPECT_NE(base,
+            model::TuningCache::SegmentSignature(amd, desc, none, "fused:1"));
 
   // Deterministic: the same inputs always produce the same key.
-  EXPECT_EQ(base, model::TuningCache::SegmentSignature(amd, desc, none));
+  EXPECT_EQ(base, model::TuningCache::SegmentSignature(amd, desc, none, "gpl"));
 }
 
 TEST(TuningCacheTest, ConcurrentLookupInsertIsSafe) {
