@@ -169,6 +169,13 @@ int main(int argc, char** argv) {
   // speedups[query][shard count] for the monotonicity gate.
   std::map<std::string, std::map<int, double>> speedups;
   bool all_bit_identical = true;
+  // Q5's compound-key join must stay provably co-partitioned: combine merge
+  // with zero stitched rows at every sharded point.
+  bool q5_combines = true;
+  // Q9 at 4 shards: chosen relation-exchange bytes vs the all-broadcast
+  // counterfactual (the repartition of partsupp must undercut it).
+  int64_t q9_exchange_at_4 = -1;
+  int64_t q9_all_broadcast_at_4 = -1;
 
   for (int n : shard_counts) {
     ExecOptions exec = options.exec;
@@ -196,6 +203,14 @@ int main(int argc, char** argv) {
           m.elapsed_ms > 0.0 ? truth[q].metrics.elapsed_ms / m.elapsed_ms
                              : 0.0;
       speedups[name][n] = speedup;
+      if (name == "Q5" && n > 1 &&
+          (!m.partial_combine || m.stitched_rows != 0)) {
+        q5_combines = false;
+      }
+      if (name == "Q9" && n == 4) {
+        q9_exchange_at_4 = m.broadcast_bytes;
+        q9_all_broadcast_at_4 = m.exchange_all_broadcast_bytes;
+      }
       double mean_util = 0.0;
       for (double u : m.device_utilization) mean_util += u;
       if (!m.device_utilization.empty()) {
@@ -218,10 +233,12 @@ int main(int argc, char** argv) {
           << ",\"speedup\":" << speedup
           << ",\"inv_speedup\":" << (speedup > 0.0 ? 1.0 / speedup : 0.0)
           << ",\"broadcast_bytes\":" << m.broadcast_bytes
+          << ",\"all_broadcast_bytes\":" << m.exchange_all_broadcast_bytes
           << ",\"shuffle_bytes\":" << m.shuffle_bytes
           << ",\"exchange_ms\":" << m.exchange_ms
           << ",\"merge_ms\":" << m.merge_ms
           << ",\"partial_combine\":" << (m.partial_combine ? "true" : "false")
+          << ",\"stitched_rows\":" << m.stitched_rows
           << ",\"mean_utilization\":" << mean_util
           << ",\"bit_identical\":" << (bit_identical ? "true" : "false")
           << "}";
@@ -274,6 +291,27 @@ int main(int argc, char** argv) {
     if (q9_at_4 <= 1.0) {
       std::fprintf(stderr, "FAIL: Q9 at 4 shards is %.2fx (want > 1.0x)\n",
                    q9_at_4);
+      failures++;
+    }
+    // Q5's compound join ({l_orderkey,l_suppkey} = {o_orderkey,s_suppkey})
+    // is provably co-partitioned on the aligned orderkey pair; falling back
+    // to the row-id stitch would regress the classifier.
+    if (!q5_combines) {
+      std::fprintf(stderr,
+                   "FAIL: Q5 did not take the partial-aggregate combine "
+                   "merge (zero stitched rows) at every shard count\n");
+      failures++;
+    }
+    // Q9 must repartition partsupp onto the attach-join spine instead of
+    // broadcasting it: the chosen relation-exchange volume at 4 shards has
+    // to undercut the all-broadcast counterfactual.
+    if (q9_exchange_at_4 < 0 || q9_all_broadcast_at_4 <= 0 ||
+        q9_exchange_at_4 >= q9_all_broadcast_at_4) {
+      std::fprintf(stderr,
+                   "FAIL: Q9 at 4 shards ships %lld relation-exchange bytes, "
+                   "not below the %lld all-broadcast baseline\n",
+                   static_cast<long long>(q9_exchange_at_4),
+                   static_cast<long long>(q9_all_broadcast_at_4));
       failures++;
     }
     // ExecOptions::shards == 1 must route to the plain single-device path:

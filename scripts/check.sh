@@ -204,17 +204,20 @@ echo "=== shard smoke: shard-scaling bench, bit-identity + speedup gates ==="
 # --quick exits non-zero if any sharded result differs by a single bit from
 # the single-device run, if a query's speedup degrades going 1 -> 2 -> 4
 # shards, if no query reaches 1.5x at 4 shards, if Q9 fails to beat the
-# single device at 4 shards, or if the 1-shard point deviates from the
-# unsharded engine. The JSONL is then diffed per (query, shard count)
-# against the committed baseline: simulated elapsed and 1/speedup may not
-# regress (both higher-is-worse; simulated time is deterministic, so the
-# 5% default threshold only absorbs serialization rounding).
+# single device at 4 shards, if Q5 falls off the combine merge (a stitched
+# row means the compound-key co-partitioning proof regressed), if Q9 at 4
+# shards fails to undercut the all-broadcast exchange baseline, or if the
+# 1-shard point deviates from the unsharded engine. The JSONL is then
+# diffed per (query, shard count) against the committed baseline: simulated
+# elapsed, 1/speedup, and relation-exchange bytes may not regress (all
+# higher-is-worse; simulated time is deterministic, so the 5% default
+# threshold only absorbs serialization rounding).
 SHARD_SCALING_OUT="$(mktemp /tmp/gpl_check_shard_scaling.XXXXXX.jsonl)"
 trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$EXPLAIN_OUT" "$EXPLAIN_METRICS_OUT" "$FUSED_EXPLAIN_OUT" "$FUSED_METRICS_OUT" "$STATS_OUT" "$PROM_OUT" "$OVERHEAD_OFF" "$OVERHEAD_ON" "$HOST_SCALING_OUT" "$SHARD_SCALING_OUT"' EXIT
 "$BUILD/bench/bench_shard_scaling" --quick --out="$SHARD_SCALING_OUT"
 python3 scripts/bench_diff.py bench/baselines/shard_scaling_quick.jsonl \
   "$SHARD_SCALING_OUT" --key case \
-  --field elapsed_ms --field inv_speedup
+  --field elapsed_ms --field inv_speedup --field broadcast_bytes
 
 echo
 echo "=== fault smoke: availability bench, completion-rate gates ==="

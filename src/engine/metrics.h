@@ -68,14 +68,21 @@ struct QueryMetrics {
   // merge — while `counters` sum the work of every device, so the breakdown
   // fields are rescaled to the makespan. ----
   int64_t num_shards = 0;          ///< devices in the group (0 = unsharded)
-  int64_t broadcast_bytes = 0;     ///< dimension copies crossing links
+  int64_t broadcast_bytes = 0;     ///< relation exchanges crossing links
   int64_t shuffle_bytes = 0;       ///< partial results gathered to device 0
   int64_t exchange_bytes = 0;      ///< broadcast + shuffle
+  /// Counterfactual relation-exchange bytes had every non-co-partitioned
+  /// relation broadcast — the pre-repartition baseline `broadcast_bytes` is
+  /// gated against (a repartitioning plan must come in below it).
+  int64_t exchange_all_broadcast_bytes = 0;
   double exchange_ms = 0.0;        ///< serialized link time
   double merge_ms = 0.0;           ///< serial merge on device 0
   /// True when the sharded merge combined pushed-down partial aggregates
   /// (cheap per-group fold); false for the row-id stitch-and-replay path.
   bool partial_combine = false;
+  /// Rows concatenated by the stitch-and-replay merge; 0 when the combine
+  /// path ran (gates assert combine plans stitch nothing).
+  int64_t stitched_rows = 0;
   std::vector<double> device_elapsed_ms;   ///< per-device simulated time
   std::vector<double> device_utilization;  ///< device time / makespan
 

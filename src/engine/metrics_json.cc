@@ -82,10 +82,13 @@ std::string QueryMetricsToJson(const MetricsJsonEntry& entry) {
     AppendNumber(&out, "shuffle_bytes", static_cast<double>(m.shuffle_bytes));
     AppendNumber(&out, "exchange_bytes",
                  static_cast<double>(m.exchange_bytes));
+    AppendNumber(&out, "exchange_all_broadcast_bytes",
+                 static_cast<double>(m.exchange_all_broadcast_bytes));
     AppendNumber(&out, "exchange_ms", m.exchange_ms);
     AppendNumber(&out, "merge_ms", m.merge_ms);
     AppendField(&out, "partial_combine", m.partial_combine ? "true" : "false",
                 /*quote=*/false);
+    AppendNumber(&out, "stitched_rows", static_cast<double>(m.stitched_rows));
     std::string devices = "[";
     for (size_t i = 0; i < m.device_elapsed_ms.size(); ++i) {
       if (i > 0) devices += ",";

@@ -246,7 +246,18 @@ class AggregateKernel : public Kernel {
       }
       Accumulators& acc = GroupAt(key);
       for (size_t a = 0; a < aggregates_.size(); ++a) {
-        acc.counts[a] += partial.GetColumn(PartialCountName(a)).Int64At(i);
+        switch (aggregates_[a].func) {
+          case AggSpec::kSum:
+          case AggSpec::kAvg:
+          case AggSpec::kCount:
+            // Only these consume counts downstream (kCount's output, kAvg's
+            // divide); min/max partials carry no count column at all.
+            acc.counts[a] += partial.GetColumn(PartialCountName(a)).Int64At(i);
+            break;
+          case AggSpec::kMin:
+          case AggSpec::kMax:
+            break;
+        }
         switch (aggregates_[a].func) {
           case AggSpec::kSum:
           case AggSpec::kAvg: {
@@ -363,14 +374,19 @@ class AggregateKernel : public Kernel {
   Result<Table> FinishPartial(Table out) {
     for (size_t a = 0; a < aggregates_.size(); ++a) {
       const AggSpec& spec = aggregates_[a];
-      Column counts(DataType::kInt64);
-      for (const auto& [key, acc] : groups_) counts.AppendInt64(acc.counts[a]);
-      GPL_RETURN_NOT_OK(out.AddColumn(PartialCountName(a), std::move(counts)));
       if (spec.func == AggSpec::kMin || spec.func == AggSpec::kMax) {
+        // No count column: min/max combine by value alone, and Finish never
+        // consults a count for them — shipping one would be pure gather
+        // traffic.
         Column val(DataType::kFloat64);
         for (const auto& [key, acc] : groups_) val.AppendDouble(acc.values[a]);
         GPL_RETURN_NOT_OK(out.AddColumn(PartialValueName(a), std::move(val)));
-      } else if (spec.func != AggSpec::kCount) {
+        continue;
+      }
+      Column counts(DataType::kInt64);
+      for (const auto& [key, acc] : groups_) counts.AppendInt64(acc.counts[a]);
+      GPL_RETURN_NOT_OK(out.AddColumn(PartialCountName(a), std::move(counts)));
+      if (spec.func != AggSpec::kCount) {
         std::vector<ExactFloat64Sum::Canonical> canon;
         canon.reserve(groups_.size());
         for (const auto& [key, acc] : groups_) {
@@ -501,19 +517,21 @@ std::vector<std::string> PartialAggregateColumns(
   std::vector<std::string> out;
   for (const ProjectedColumn& g : group_by) out.push_back(g.name);
   for (size_t a = 0; a < aggregates.size(); ++a) {
-    out.push_back(PartialCountName(a));
     switch (aggregates[a].func) {
       case AggSpec::kSum:
       case AggSpec::kAvg:
+        out.push_back(PartialCountName(a));
         out.push_back(PartialMetaName(a));
         for (int j = 0; j < ExactFloat64Sum::kDigits; ++j) {
           out.push_back(PartialDigitName(a, j));
         }
         break;
       case AggSpec::kCount:
+        out.push_back(PartialCountName(a));
         break;
       case AggSpec::kMin:
       case AggSpec::kMax:
+        // Value only — min/max partials carry no count column.
         out.push_back(PartialValueName(a));
         break;
     }

@@ -1,9 +1,28 @@
 #include "model/exchange_model.h"
 
+#include <algorithm>
+
 #include "model/tuning_cache.h"
 
 namespace gpl {
 namespace model {
+
+namespace {
+
+/// Bytes a relation of `bytes` ships when every row relocates with
+/// probability (N-1)/N (each device keeps 1/N of the re-keyed relation).
+int64_t OutboundFraction(int64_t bytes, int num_shards) {
+  const double n = static_cast<double>(num_shards < 1 ? 1 : num_shards);
+  return static_cast<int64_t>(static_cast<double>(bytes) * (n - 1.0) / n);
+}
+
+/// The spine relocation a repartition of `input` would trigger: the probe
+/// side of its attach join when known, the full fact scan otherwise.
+int64_t RelocationBytes(const ExchangeInput& input, int64_t fact_bytes) {
+  return input.spine_bytes > 0 ? input.spine_bytes : fact_bytes;
+}
+
+}  // namespace
 
 const char* ExchangeStrategyName(ExchangeStrategy strategy) {
   switch (strategy) {
@@ -25,7 +44,6 @@ ExchangeDecision PriceExchange(const ExchangeInput& input,
   decision.table = input.table;
   decision.strategy = strategy;
   sim::Link cost(link);
-  const double n = static_cast<double>(num_shards < 1 ? 1 : num_shards);
   switch (strategy) {
     case ExchangeStrategy::kCoPartitioned:
       decision.bytes = 0;
@@ -38,11 +56,14 @@ ExchangeDecision PriceExchange(const ExchangeInput& input,
           static_cast<double>(num_shards - 1) * cost.TransferMs(input.bytes);
       break;
     case ExchangeStrategy::kRepartition:
-      // Every row of both sides relocates with probability (N-1)/N; moving
-      // the build side alone is useless — the fact side must land on the
-      // same key too. Each device ships its outbound fraction; serialized.
-      decision.bytes = static_cast<int64_t>(
-          static_cast<double>(input.bytes + fact_bytes) * (n - 1.0) / n);
+      // Every row of both sides of the attach join relocates with
+      // probability (N-1)/N; moving the relation alone is useless — the
+      // probe spine must land on the same key too. Each device ships its
+      // outbound fraction in one serialized DMA.
+      decision.spine_bytes =
+          OutboundFraction(RelocationBytes(input, fact_bytes), num_shards);
+      decision.bytes =
+          OutboundFraction(input.bytes, num_shards) + decision.spine_bytes;
       decision.ms = cost.TransferMs(decision.bytes);
       break;
   }
@@ -56,9 +77,10 @@ ExchangeDecision TuneExchange(const ExchangeInput& input,
     return PriceExchange(input, ExchangeStrategy::kCoPartitioned, link,
                          num_shards, fact_bytes);
   }
-  // Argmin by bytes crossing links; candidate order breaks ties, so
-  // broadcast wins when the byte counts agree (matches TPC-H-shaped data,
-  // where dimensions are much smaller than the fact table).
+  // Argmin by modeled ms (bytes as tie-break; candidate order breaks the
+  // remaining ties, so broadcast wins when both agree). Per-copy link
+  // latency is real simulated time: N-1 tiny broadcast DMAs can lose to one
+  // repartition DMA even when the repartition moves more bytes.
   const ExchangeStrategy candidates[] = {ExchangeStrategy::kBroadcast,
                                          ExchangeStrategy::kRepartition};
   ExchangeDecision best;
@@ -66,13 +88,144 @@ ExchangeDecision TuneExchange(const ExchangeInput& input,
   for (ExchangeStrategy strategy : candidates) {
     ExchangeDecision candidate =
         PriceExchange(input, strategy, link, num_shards, fact_bytes);
-    if (first || candidate.bytes < best.bytes) {
+    if (first || candidate.ms < best.ms ||
+        (candidate.ms == best.ms && candidate.bytes < best.bytes)) {
       best = candidate;
       first = false;
     }
   }
   return best;
 }
+
+namespace {
+
+/// The exact subset argmin behind PlanExchange. Decisions are coupled: the
+/// spine relocation is charged once per plan (the fact side relocates once,
+/// not once per dimension), paid by the repartitioning relation with the
+/// widest spine — so the optimal strategy for one relation depends on which
+/// others repartition. With k eligible relations (k <= 7 for TPC-H shapes)
+/// a 2^k sweep is exact and deterministic: minimize total ms, tie-break on
+/// total bytes, remaining ties go to the subset enumerated first (the
+/// all-broadcast plan).
+ExchangePlan PlanExchangeFresh(const std::vector<ExchangeInput>& inputs,
+                               const sim::LinkSpec& link, int num_shards,
+                               int64_t fact_bytes) {
+  ExchangePlan plan;
+  plan.decisions.resize(inputs.size());
+
+  sim::Link cost(link);
+  struct Candidate {
+    size_t index = 0;          ///< into inputs/decisions
+    ExchangeDecision bcast;
+    int64_t own_bytes = 0;     ///< outbound fraction of the relation itself
+    double own_ms = 0.0;       ///< one DMA for the own bytes alone
+    int64_t reloc_bytes = 0;   ///< outbound fraction of its spine relocation
+  };
+  std::vector<Candidate> eligible;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const ExchangeInput& input = inputs[i];
+    if (input.co_partitioned || num_shards <= 1) {
+      plan.decisions[i] = PriceExchange(
+          input, ExchangeStrategy::kCoPartitioned, link, num_shards,
+          fact_bytes);
+      continue;
+    }
+    Candidate c;
+    c.index = i;
+    c.bcast = PriceExchange(input, ExchangeStrategy::kBroadcast, link,
+                            num_shards, fact_bytes);
+    c.own_bytes = OutboundFraction(input.bytes, num_shards);
+    c.own_ms = cost.TransferMs(c.own_bytes);
+    c.reloc_bytes =
+        OutboundFraction(RelocationBytes(input, fact_bytes), num_shards);
+    plan.all_broadcast_bytes += c.bcast.bytes;
+    eligible.push_back(std::move(c));
+  }
+
+  const size_t k = eligible.size();
+  uint64_t best_mask = 0;
+  double best_ms = 0.0;
+  int64_t best_bytes = 0;
+  bool first = true;
+  // Beyond 16 eligible relations (never seen in practice) fall back to the
+  // all-broadcast baseline plus per-relation standalone tuning via mask 0.
+  const uint64_t num_masks = k <= 16 ? (uint64_t{1} << k) : 1;
+  for (uint64_t mask = 0; mask < num_masks; ++mask) {
+    double ms = 0.0;
+    int64_t bytes = 0;
+    // The widest spine among the repartitioning relations pays the one
+    // shared relocation; ties go to the earliest relation (input order).
+    size_t payer = k;
+    int64_t payer_reloc = -1;
+    for (size_t j = 0; j < k; ++j) {
+      if ((mask >> j) & 1) {
+        if (eligible[j].reloc_bytes > payer_reloc) {
+          payer_reloc = eligible[j].reloc_bytes;
+          payer = j;
+        }
+      }
+    }
+    for (size_t j = 0; j < k; ++j) {
+      const Candidate& c = eligible[j];
+      if (!((mask >> j) & 1)) {
+        ms += c.bcast.ms;
+        bytes += c.bcast.bytes;
+      } else if (j == payer) {
+        // Own bytes and the spine relocation ship in one DMA, exactly the
+        // standalone PriceExchange(kRepartition) price.
+        ms += cost.TransferMs(c.own_bytes + payer_reloc);
+        bytes += c.own_bytes + payer_reloc;
+      } else {
+        ms += c.own_ms;
+        bytes += c.own_bytes;
+      }
+    }
+    if (first || ms < best_ms || (ms == best_ms && bytes < best_bytes)) {
+      best_mask = mask;
+      best_ms = ms;
+      best_bytes = bytes;
+      first = false;
+    }
+  }
+
+  size_t payer = k;
+  int64_t payer_reloc = -1;
+  for (size_t j = 0; j < k; ++j) {
+    if (((best_mask >> j) & 1) && eligible[j].reloc_bytes > payer_reloc) {
+      payer_reloc = eligible[j].reloc_bytes;
+      payer = j;
+    }
+  }
+  for (size_t j = 0; j < k; ++j) {
+    const Candidate& c = eligible[j];
+    ExchangeDecision decision;
+    if (!((best_mask >> j) & 1)) {
+      decision = c.bcast;
+    } else {
+      decision.table = inputs[c.index].table;
+      decision.strategy = ExchangeStrategy::kRepartition;
+      if (j == payer) {
+        decision.spine_bytes = payer_reloc;
+        decision.bytes = c.own_bytes + payer_reloc;
+        decision.ms = cost.TransferMs(decision.bytes);
+        plan.has_spine = true;
+        plan.spine_table = inputs[c.index].table;
+        plan.spine_bytes = payer_reloc;
+      } else {
+        decision.bytes = c.own_bytes;
+        decision.ms = c.own_ms;
+      }
+    }
+    plan.decisions[c.index] = std::move(decision);
+  }
+  for (const ExchangeDecision& decision : plan.decisions) {
+    plan.total_bytes += decision.bytes;
+    plan.total_ms += decision.ms;
+  }
+  return plan;
+}
+
+}  // namespace
 
 ExchangePlan PlanExchange(const std::vector<ExchangeInput>& inputs,
                           const sim::LinkSpec& link, int num_shards,
@@ -83,27 +236,18 @@ ExchangePlan PlanExchange(const std::vector<ExchangeInput>& inputs,
 ExchangePlan PlanExchange(const std::vector<ExchangeInput>& inputs,
                           const sim::LinkSpec& link, int num_shards,
                           int64_t fact_bytes, TuningCache* cache) {
-  ExchangePlan plan;
-  plan.decisions.reserve(inputs.size());
-  for (const ExchangeInput& input : inputs) {
-    ExchangeDecision decision;
-    if (cache != nullptr) {
-      const std::string signature =
-          TuningCache::ExchangeSignature(link, num_shards, fact_bytes, input);
-      std::optional<ExchangeDecision> hit = cache->LookupExchange(signature);
-      if (hit.has_value()) {
-        decision = *std::move(hit);
-      } else {
-        decision = TuneExchange(input, link, num_shards, fact_bytes);
-        cache->InsertExchange(signature, decision);
-      }
-    } else {
-      decision = TuneExchange(input, link, num_shards, fact_bytes);
-    }
-    plan.total_bytes += decision.bytes;
-    plan.total_ms += decision.ms;
-    plan.decisions.push_back(std::move(decision));
+  if (cache == nullptr) {
+    return PlanExchangeFresh(inputs, link, num_shards, fact_bytes);
   }
+  // Memoized at plan granularity: the shared spine relocation couples the
+  // per-relation decisions, so anything finer could cross-serve a decision
+  // computed against a different set of inputs.
+  const std::string signature =
+      TuningCache::ExchangePlanSignature(link, num_shards, fact_bytes, inputs);
+  std::optional<ExchangePlan> hit = cache->LookupExchangePlan(signature);
+  if (hit.has_value()) return *std::move(hit);
+  ExchangePlan plan = PlanExchangeFresh(inputs, link, num_shards, fact_bytes);
+  cache->InsertExchangePlan(signature, plan);
   return plan;
 }
 

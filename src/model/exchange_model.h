@@ -17,8 +17,10 @@ enum class ExchangeStrategy {
   kCoPartitioned,
   /// Ship one full copy of the relation to every other device.
   kBroadcast,
-  /// Hash-repartition both sides of the join on the join key. Only cheaper
-  /// than broadcast when the relation is large relative to the fact side.
+  /// Hash-repartition both sides of the relation's attach join on its key.
+  /// The relation ships its outbound fraction, and the probe-spine rows at
+  /// the attach join relocate with it — but that spine relocation happens at
+  /// most once per query, however many relations repartition.
   kRepartition,
 };
 
@@ -34,17 +36,29 @@ struct ExchangeInput {
   /// True when the partitioner co-located this relation with the fact table
   /// on the join key (e.g. orders hash-partitioned by orderkey).
   bool co_partitioned = false;
+  /// Bytes of the fact-side subtree at this relation's attach join — the
+  /// probe-spine rows that would co-relocate under repartition. Joins high
+  /// on the spine sit above selective filters and earlier joins, so their
+  /// spine is far narrower than the raw fact scan. 0 = unknown; the model
+  /// then falls back to the full fact-scan bytes (conservative).
+  int64_t spine_bytes = 0;
 };
 
 /// The chosen strategy and modeled link cost for one relation.
 struct ExchangeDecision {
   std::string table;
   ExchangeStrategy strategy = ExchangeStrategy::kBroadcast;
-  /// Bytes crossing inter-device links under the chosen strategy.
+  /// Bytes crossing inter-device links under the chosen strategy. For
+  /// kRepartition this includes `spine_bytes` when this decision pays the
+  /// shared spine relocation (see ExchangePlan).
   int64_t bytes = 0;
   /// Serialized transfer time over the link (the exchange is charged on the
   /// source device's DMA engine, so transfers do not overlap).
   double ms = 0.0;
+  /// kRepartition only: the portion of `bytes` that is the spine relocation
+  /// included in this decision. 0 when another decision in the same plan
+  /// already pays it (the spine relocates at most once per plan).
+  int64_t spine_bytes = 0;
 };
 
 /// Exchange plan for one query: per-relation decisions plus totals.
@@ -52,48 +66,69 @@ struct ExchangePlan {
   std::vector<ExchangeDecision> decisions;
   int64_t total_bytes = 0;
   double total_ms = 0.0;
+  /// Set when at least one relation repartitions: the relation whose attach
+  /// join re-keys the probe spine (the widest spine among the repartitioning
+  /// relations — relocating it once covers the others), and the link bytes
+  /// of that one relocation.
+  bool has_spine = false;
+  std::string spine_table;
+  int64_t spine_bytes = 0;
+  /// Counterfactual: total link bytes had every non-co-partitioned relation
+  /// broadcast (the pre-repartition baseline). Benchmark gates compare the
+  /// chosen plan's bytes against this to prove repartitioning paid off.
+  int64_t all_broadcast_bytes = 0;
 };
 
-/// Chooses broadcast-vs-repartition per build relation and prices the data
+/// Chooses broadcast-vs-repartition per relation and prices the data
 /// movement over `link` for an `num_shards`-way sharded execution.
 ///
 /// Cost model (bytes crossing links):
-///   broadcast:    bytes * (N-1)            — every other device gets a copy;
-///   repartition:  (bytes + fact_bytes) * (N-1)/N
-///                 — every row of both sides relocates with probability
-///                 (N-1)/N, and moving the build side alone is useless: the
-///                 fact side must be re-partitioned onto the same key too.
-/// Co-partitioned relations cost nothing at query time. With TPC-H-shaped
-/// data (dimensions much smaller than the fact table) broadcast always wins;
-/// repartition exists for the inverted case of two comparable fact-sized
-/// relations.
+///   broadcast:    bytes * (N-1)            — every other device gets a copy,
+///                 one serialized DMA per copy (latency paid N-1 times);
+///   repartition:  bytes * (N-1)/N own traffic, plus one shared relocation
+///                 of the probe spine at the attach join,
+///                 spine_bytes * (N-1)/N — every row of both sides relocates
+///                 with probability (N-1)/N. The spine relocation is charged
+///                 at most ONCE per PlanExchange call (the fact side moves
+///                 once, not once per dimension): the widest spine among the
+///                 repartitioning relations pays it.
+/// Co-partitioned relations cost nothing at query time. The plan is the
+/// exact argmin over repartition subsets by total ms (bytes break ties, the
+/// all-broadcast plan wins remaining ties) — deterministic.
 ExchangePlan PlanExchange(const std::vector<ExchangeInput>& inputs,
                           const sim::LinkSpec& link, int num_shards,
                           int64_t fact_bytes);
 
-/// Prices one relation under one specific strategy (no choosing). The
-/// building block TuneExchange minimizes over; exposed so tests can verify
-/// the tuner against a brute-force argmin.
+/// Prices one relation under one specific strategy (no choosing), as if it
+/// were the only relation exchanged: kRepartition includes the relation's
+/// own spine relocation (spine_bytes, falling back to fact_bytes when 0).
+/// The building block TuneExchange minimizes over; exposed so tests can
+/// verify the tuner against a brute-force argmin.
 ExchangeDecision PriceExchange(const ExchangeInput& input,
                                ExchangeStrategy strategy,
                                const sim::LinkSpec& link, int num_shards,
                                int64_t fact_bytes);
 
-/// Chooses the cheapest legal strategy for one relation: co-partitioned
-/// relations (and single-shard groups) move nothing; otherwise the argmin
-/// of PriceExchange over {broadcast, repartition} by bytes crossing links,
-/// broadcast winning ties. Deterministic.
+/// Chooses the cheapest legal strategy for one relation in isolation:
+/// co-partitioned relations (and single-shard groups) move nothing;
+/// otherwise the argmin of PriceExchange over {broadcast, repartition} by
+/// modeled ms — bytes break ties, broadcast wins remaining ties (a repeated
+/// per-copy latency is real simulated time, so a small relation crossing a
+/// high-latency link once can legitimately beat N-1 tiny copies).
+/// Deterministic.
 ExchangeDecision TuneExchange(const ExchangeInput& input,
                               const sim::LinkSpec& link, int num_shards,
                               int64_t fact_bytes);
 
 class TuningCache;
 
-/// Memoizing overload: each per-relation decision is keyed by
-/// TuningCache::ExchangeSignature and cached, so a service replaying the
-/// same sharded queries prices the exchange once. `cache == nullptr` falls
-/// back to fresh tuning. Exact-match keying: a hit provably returns what
-/// TuneExchange would recompute.
+/// Memoizing overload: the whole plan is keyed by
+/// TuningCache::ExchangePlanSignature and cached, so a service replaying the
+/// same sharded queries prices the exchange once. Plan-level (not
+/// per-relation) keying is required: the shared spine relocation couples the
+/// decisions, so a relation's choice depends on every other input in the
+/// call. `cache == nullptr` falls back to fresh planning. Exact-match
+/// keying: a hit provably returns what PlanExchange would recompute.
 ExchangePlan PlanExchange(const std::vector<ExchangeInput>& inputs,
                           const sim::LinkSpec& link, int num_shards,
                           int64_t fact_bytes, TuningCache* cache);

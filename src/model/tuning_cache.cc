@@ -77,27 +77,34 @@ std::string TuningCache::SegmentSignature(const sim::DeviceSpec& device,
   return key;
 }
 
-std::string TuningCache::ExchangeSignature(const sim::LinkSpec& link,
-                                           int num_shards, int64_t fact_bytes,
-                                           const ExchangeInput& input) {
+std::string TuningCache::ExchangePlanSignature(
+    const sim::LinkSpec& link, int num_shards, int64_t fact_bytes,
+    const std::vector<ExchangeInput>& inputs) {
   std::string key;
-  key.reserve(96);
-  key += "x|";
+  key.reserve(64 + inputs.size() * 64);
+  // Version prefix: "xp2" keys the plan-level format with spine-aware
+  // pricing. Entries written under the retired per-relation "x|" scheme (or
+  // any future shape bump) can never alias this key space.
+  key += "xp2|";
   key += link.name;
   key += '|';
   AppendBits(&key, link.gbytes_per_sec);
   AppendBits(&key, link.latency_us);
   AppendInt(&key, num_shards);
   AppendInt(&key, fact_bytes);
-  key += input.table;
-  key += '|';
-  AppendInt(&key, input.bytes);
-  AppendInt(&key, input.rows);
-  AppendInt(&key, input.co_partitioned ? 1 : 0);
+  for (const ExchangeInput& input : inputs) {
+    key += input.table;
+    key += '|';
+    AppendInt(&key, input.bytes);
+    AppendInt(&key, input.rows);
+    AppendInt(&key, input.co_partitioned ? 1 : 0);
+    AppendInt(&key, input.spine_bytes);
+    key += ';';
+  }
   return key;
 }
 
-std::optional<ExchangeDecision> TuningCache::LookupExchange(
+std::optional<ExchangePlan> TuningCache::LookupExchangePlan(
     const std::string& signature) {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -111,10 +118,10 @@ std::optional<ExchangeDecision> TuningCache::LookupExchange(
   return std::nullopt;
 }
 
-void TuningCache::InsertExchange(const std::string& signature,
-                                 const ExchangeDecision& decision) {
+void TuningCache::InsertExchangePlan(const std::string& signature,
+                                     const ExchangePlan& plan) {
   std::lock_guard<std::mutex> lock(mu_);
-  exchange_entries_.emplace(signature, decision);  // first insert wins
+  exchange_entries_.emplace(signature, plan);  // first insert wins
 }
 
 std::optional<TuningChoice> TuningCache::Lookup(const std::string& signature) {

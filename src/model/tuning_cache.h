@@ -75,31 +75,36 @@ class TuningCache {
   /// Memoizes a freshly tuned choice (first insert wins).
   void Insert(const std::string& signature, const TuningChoice& choice);
 
-  /// Exact memoization key for one exchange decision: link spec, shard
-  /// count, fact bytes and the relation's model inputs. Same exactness
-  /// rationale as SegmentSignature — TuneExchange is deterministic, so a
-  /// hit provably equals a fresh tuning.
-  static std::string ExchangeSignature(const sim::LinkSpec& link,
-                                       int num_shards, int64_t fact_bytes,
-                                       const ExchangeInput& input);
+  /// Exact memoization key for one whole exchange plan: link spec, shard
+  /// count, fact bytes, and every relation's model inputs (including its
+  /// attach-join spine bytes) in call order. Plan-level keying is required —
+  /// the shared spine relocation couples the per-relation decisions, so a
+  /// decision cached against one input set must never be served to another.
+  /// The key carries a format-version prefix so entries written by an older
+  /// proof/pricing shape can never cross-serve a newer one. Same exactness
+  /// rationale as SegmentSignature — PlanExchange is deterministic, so a
+  /// hit provably equals fresh planning.
+  static std::string ExchangePlanSignature(
+      const sim::LinkSpec& link, int num_shards, int64_t fact_bytes,
+      const std::vector<ExchangeInput>& inputs);
 
-  /// Returns the memoized exchange decision, counting an exchange hit;
-  /// nullopt counts an exchange miss.
-  std::optional<ExchangeDecision> LookupExchange(const std::string& signature);
+  /// Returns the memoized exchange plan, counting an exchange hit; nullopt
+  /// counts an exchange miss.
+  std::optional<ExchangePlan> LookupExchangePlan(const std::string& signature);
 
-  /// Memoizes a freshly tuned exchange decision (first insert wins).
-  void InsertExchange(const std::string& signature,
-                      const ExchangeDecision& decision);
+  /// Memoizes a freshly computed exchange plan (first insert wins).
+  void InsertExchangePlan(const std::string& signature,
+                          const ExchangePlan& plan);
 
   TuningCacheStats stats() const;
   size_t size() const;           ///< memoized segment choices
-  size_t exchange_size() const;  ///< memoized exchange decisions
+  size_t exchange_size() const;  ///< memoized exchange plans
   void Clear();  ///< drops entries and resets the counters
 
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, TuningChoice> entries_;
-  std::unordered_map<std::string, ExchangeDecision> exchange_entries_;
+  std::unordered_map<std::string, ExchangePlan> exchange_entries_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> exchange_hits_{0};

@@ -94,11 +94,36 @@ struct DistInfo {
   /// True: the union of per-shard outputs is exactly the global relation,
   /// each row on one shard. False: every shard holds the full relation.
   bool partitioned = false;
-  /// Output column carrying the fact partitioning key, when it survives to
-  /// this subtree's output ("" when it does not). Joining two partitioned
-  /// subtrees is only shard-local when both join on their partition column.
-  std::string partition_col;
+  /// The partition-equivalence set: every output column whose value, on
+  /// each row, provably equals the fact partitioning key that routed the
+  /// row to its shard. The set starts as the scan's partition column and
+  /// grows through equi-join chains — a join key pair (p = b) with p in the
+  /// set makes b partition-equivalent on every output row, and vice versa.
+  /// Empty for replicated subtrees and for kRange partitioning (row-range
+  /// partitions carry no key proof).
+  std::set<std::string> partition_cols;
 };
+
+bool Contains(const std::set<std::string>& set, const std::string& name) {
+  return set.find(name) != set.end();
+}
+
+/// The join-key column pairs of a hash join, for columns-only keys:
+/// (probe_keys[i], build_keys[i]) as names. Pairs with expression keys are
+/// skipped — an expression over the key loses the co-location proof.
+std::vector<std::pair<std::string, std::string>> ColumnKeyPairs(
+    const PhysicalOp& op) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  const size_t n = std::min(op.probe_keys.size(), op.build_keys.size());
+  for (size_t i = 0; i < n; ++i) {
+    std::string pk, bk;
+    if (op.probe_keys[i]->IsColumnRef(&pk) &&
+        op.build_keys[i]->IsColumnRef(&bk)) {
+      pairs.emplace_back(std::move(pk), std::move(bk));
+    }
+  }
+  return pairs;
+}
 
 /// Proves (conservatively) how the subtree's output distributes across
 /// shards. Returns false when no proof exists (an aggregate, sort or
@@ -107,20 +132,27 @@ struct DistInfo {
 /// with union equal to the single-device output; "replicated" outputs are
 /// identical on every shard. Joins preserve them: probe-partitioned x
 /// build-replicated (and the converse) emit each global row on exactly one
-/// shard; partitioned x partitioned is legal only when both sides join on
-/// their partition columns, which the hash partitioner co-locates.
+/// shard regardless of keys; partitioned x partitioned is shard-local iff
+/// some aligned key pair joins the two sides' partition-equivalence sets —
+/// matching rows then agree on a column the partitioner co-located, so they
+/// live on the same shard. A compound key only tightens the match: extra
+/// key pairs restrict rows, and a row subset preserves partitioning. This
+/// is what admits the planner's merged multi-edge joins (e.g. Q5's
+/// {l_orderkey, l_suppkey} = {o_orderkey, s_suppkey}: the aligned first
+/// pair is the co-located one) and key-order permutations of the same join.
 bool ClassifySubtree(const PhysicalOp& op, const ShardedDatabase& sharded,
                      DistInfo* out) {
   switch (op.kind) {
     case PhysicalOp::Kind::kScan: {
       out->partitioned = sharded.IsPartitioned(op.table);
-      out->partition_col.clear();
+      out->partition_cols.clear();
       if (out->partitioned &&
           sharded.options.scheme == PartitionScheme::kHash) {
         const std::string key = HashPartitionKeyColumn(op.table);
         if (!key.empty()) {
-          out->partition_col =
-              op.alias.empty() ? key : op.alias + "_" + key;
+          out->partition_cols.insert(op.alias.empty()
+                                         ? key
+                                         : op.alias + "_" + key);
         }
       }
       return true;
@@ -130,18 +162,17 @@ bool ClassifySubtree(const PhysicalOp& op, const ShardedDatabase& sharded,
       return ClassifySubtree(*op.child, sharded, out);
     case PhysicalOp::Kind::kProject: {
       if (!ClassifySubtree(*op.child, sharded, out)) return false;
-      if (out->partitioned && !out->partition_col.empty()) {
-        // The key survives only through an identity projection (possibly
+      if (out->partitioned && !out->partition_cols.empty()) {
+        // A key survives only through an identity projection (possibly
         // renamed); expressions over it lose the co-location proof.
-        std::string renamed;
+        std::set<std::string> surviving;
         for (const ProjectedColumn& p : op.projections) {
           std::string name;
-          if (p.expr->IsColumnRef(&name) && name == out->partition_col) {
-            renamed = p.name;
-            break;
+          if (p.expr->IsColumnRef(&name) && Contains(out->partition_cols, name)) {
+            surviving.insert(p.name);
           }
         }
-        out->partition_col = std::move(renamed);
+        out->partition_cols = std::move(surviving);
       }
       return true;
     }
@@ -152,46 +183,56 @@ bool ClassifySubtree(const PhysicalOp& op, const ShardedDatabase& sharded,
       if (!probe.partitioned && !build.partitioned) {
         // Replicated x replicated: every shard computes the same join.
         out->partitioned = false;
-        out->partition_col.clear();
+        out->partition_cols.clear();
         return true;
       }
-      if (probe.partitioned && !build.partitioned) {
-        // Disjoint probe rows against a full build copy: each output row
-        // lands where its probe row lives. Probe columns all flow through.
-        *out = probe;
-        return true;
-      }
-      if (!probe.partitioned && build.partitioned) {
-        // Each build row matches on exactly one shard; the output is
-        // partitioned by the build side. Its key survives only if the join
-        // payloads carry it.
-        out->partitioned = true;
-        out->partition_col.clear();
-        if (!build.partition_col.empty()) {
-          for (const std::string& payload : op.build_payload) {
-            if (payload == build.partition_col) {
-              out->partition_col = build.partition_col;
-              break;
-            }
+      const std::vector<std::pair<std::string, std::string>> pairs =
+          ColumnKeyPairs(op);
+      const std::set<std::string> payload(op.build_payload.begin(),
+                                          op.build_payload.end());
+      if (probe.partitioned && build.partitioned) {
+        // Shard-local only when some aligned key pair joins the two
+        // partition-equivalence sets: matching rows then share a co-located
+        // key value, so they live on the same shard. Any other key pairs
+        // merely restrict the match further.
+        bool aligned = false;
+        for (const auto& [pk, bk] : pairs) {
+          if (Contains(probe.partition_cols, pk) &&
+              Contains(build.partition_cols, bk)) {
+            aligned = true;
+            break;
           }
         }
-        return true;
+        if (!aligned) return false;
       }
-      // Partitioned x partitioned: shard-local only when both sides join on
-      // their partition columns (single-key equi-join on the keys the
-      // partitioner co-located, e.g. l_orderkey = o_orderkey under kHash).
-      if (probe.partition_col.empty() || build.partition_col.empty()) {
-        return false;
+      // The output row lands on the shard of its probe row (or of its build
+      // row when only the build side partitions) — partitioned either way.
+      out->partitioned = true;
+      out->partition_cols.clear();
+      // Probe columns all flow through; build columns survive via payload.
+      if (probe.partitioned) {
+        out->partition_cols = probe.partition_cols;
       }
-      if (op.probe_keys.size() != 1 || op.build_keys.size() != 1) return false;
-      std::string pk, bk;
-      if (!op.probe_keys[0]->IsColumnRef(&pk) || pk != probe.partition_col) {
-        return false;
+      if (build.partitioned) {
+        for (const std::string& col : build.partition_cols) {
+          if (Contains(payload, col)) out->partition_cols.insert(col);
+        }
       }
-      if (!op.build_keys[0]->IsColumnRef(&bk) || bk != build.partition_col) {
-        return false;
+      // Equi-join equivalence: on every output row each key pair satisfies
+      // probe_col == build_col, so partition-equivalence crosses the join in
+      // both directions — a build key tied to a partition-equivalent probe
+      // key is itself partition-equivalent (if its column survives), and
+      // vice versa. This threads the proof through functionally tied
+      // compound keys (e.g. the partsupp spine's ps keys equal the fact's
+      // l keys on every joined row).
+      for (const auto& [pk, bk] : pairs) {
+        const bool pk_in =
+            probe.partitioned && Contains(probe.partition_cols, pk);
+        const bool bk_in =
+            build.partitioned && Contains(build.partition_cols, bk);
+        if (pk_in && Contains(payload, bk)) out->partition_cols.insert(bk);
+        if (bk_in) out->partition_cols.insert(pk);
       }
-      *out = probe;
       return true;
     }
     default:
@@ -200,55 +241,116 @@ bool ClassifySubtree(const PhysicalOp& op, const ShardedDatabase& sharded,
   }
 }
 
+/// One attach join on the fact path: the fact-side child (the probe spine a
+/// repartition of the attached relations would re-key) and the estimated
+/// bytes of its output (est_rows x 8 bytes/col x output columns).
+struct AttachPoint {
+  const PhysicalOp* spine_node = nullptr;
+  int64_t spine_bytes = 0;
+};
+
+/// Maps every table scanned off the fact path of `subtree` to its attach
+/// point — the hash join on the path where that table's subtree meets the
+/// spine. Joins high on the path sit above selective filters and earlier
+/// joins, so their spine is far narrower than the raw fact scan; pricing a
+/// repartition against the attach-join spine (not the whole fact table)
+/// is what lets mid-spine repartitions beat broadcasts honestly. A table
+/// attaching at several joins keeps the widest spine (conservative).
+/// Tables in a subtree with no fact scan get no entry (callers fall back
+/// to fact bytes).
+std::map<std::string, AttachPoint> FindAttachPoints(const PhysicalOp& subtree,
+                                                    const std::string& fact) {
+  std::map<std::string, AttachPoint> out;
+  std::vector<PathStep> path;
+  if (!FindFactPath(subtree, fact, false, &path)) return out;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    const PhysicalOp* node = path[i].node;
+    if (node->kind != PhysicalOp::Kind::kHashJoin) continue;
+    const PhysicalOp* fact_child = path[i + 1].node;
+    const PhysicalOp* off_spine = path[i + 1].via_build
+                                      ? node->child.get()
+                                      : node->build_child.get();
+    AttachPoint point;
+    point.spine_node = fact_child;
+    point.spine_bytes = static_cast<int64_t>(
+        fact_child->est_rows * 8.0 *
+        static_cast<double>(OutputColumns(*fact_child).size()));
+    std::map<std::string, std::set<std::string>> scans;
+    CollectScanColumns(*off_spine, &scans);
+    for (const auto& [table, columns] : scans) {
+      auto it = out.find(table);
+      if (it == out.end() || point.spine_bytes > it->second.spine_bytes) {
+        out[table] = point;
+      }
+    }
+  }
+  return out;
+}
+
 /// Deep-clones the tree, wrapping every non-fact scan that has an exchange
 /// decision in an Exchange operator of the matching kind. The fact scan
-/// stays bare — it is the pivot of the exchange, never itself moved.
+/// stays bare — it is the pivot of the exchange, never itself moved. A
+/// repartitioning relation's operator carries its own traffic only; the
+/// shared spine relocation its plan may include is rendered once, as a
+/// repartition Exchange wrapping `spine_node` (the fact-side child of the
+/// paying relation's attach join) — the operator is an identity on a
+/// device, the relocation is charged at the group level exactly as priced.
 PhysicalOpPtr AnnotateExchanges(
     const PhysicalOp& op, const std::string& fact,
-    const std::map<std::string, const model::ExchangeDecision*>& decisions) {
+    const std::map<std::string, const model::ExchangeDecision*>& decisions,
+    const PhysicalOp* spine_node, const std::string& spine_table,
+    int64_t spine_bytes) {
   auto copy = std::make_shared<PhysicalOp>(op);
   if (op.child != nullptr) {
-    copy->child = AnnotateExchanges(*op.child, fact, decisions);
+    copy->child = AnnotateExchanges(*op.child, fact, decisions, spine_node,
+                                    spine_table, spine_bytes);
   }
   if (op.build_child != nullptr) {
-    copy->build_child = AnnotateExchanges(*op.build_child, fact, decisions);
+    copy->build_child = AnnotateExchanges(*op.build_child, fact, decisions,
+                                          spine_node, spine_table,
+                                          spine_bytes);
   }
+  PhysicalOpPtr result = std::move(copy);
   if (op.kind == PhysicalOp::Kind::kScan && op.table != fact) {
     auto it = decisions.find(op.table);
     if (it != decisions.end()) {
       const model::ExchangeDecision& d = *it->second;
-      return MakeExchange(std::move(copy), KindForStrategy(d.strategy),
-                          op.table, d.bytes);
+      result = MakeExchange(std::move(result), KindForStrategy(d.strategy),
+                            op.table, d.bytes - d.spine_bytes);
     }
   }
-  return copy;
+  if (&op == spine_node) {
+    result = MakeExchange(std::move(result), ExchangeKind::kRepartition,
+                          "spine:" + spine_table, spine_bytes);
+  }
+  return result;
 }
 
-/// Estimated bytes the gather ships to device 0: per-group partial state
-/// (counts + superaccumulator digits or min/max values) from each
-/// non-resident shard, or stitched rows for the fallback path.
+}  // namespace
+
 int64_t EstimatePartialGatherBytes(const PhysicalOp& agg, int num_shards) {
   int64_t per_row = 8 * static_cast<int64_t>(agg.group_by.size());
   for (const AggSpec& a : agg.aggregates) {
-    per_row += 8;  // count column
     switch (a.func) {
       case AggSpec::kSum:
       case AggSpec::kAvg:
-        per_row += 8 * (1 + ExactFloat64Sum::kDigits);  // meta + digits
+        // Count + superaccumulator meta + digits.
+        per_row += 8 * (2 + ExactFloat64Sum::kDigits);
         break;
       case AggSpec::kMin:
       case AggSpec::kMax:
-        per_row += 8;  // running value
+        // Running value only — the partial wire format carries no count for
+        // min/max (the combine never consults one).
+        per_row += 8;
         break;
       case AggSpec::kCount:
+        per_row += 8;  // count column
         break;
     }
   }
   const int64_t groups = static_cast<int64_t>(agg.est_rows);
   return per_row * groups * static_cast<int64_t>(num_shards - 1);
 }
-
-}  // namespace
 
 ShardedExecutor::ShardedExecutor(
     const tpch::Database* db, const ShardedDatabase* sharded, DeviceGroup group,
@@ -403,6 +505,8 @@ Result<model::ExchangePlan> ShardedExecutor::ExchangeForPlan(
     const PhysicalOp& shard_subtree) const {
   std::map<std::string, std::set<std::string>> scans;
   CollectScanColumns(shard_subtree, &scans);
+  const std::map<std::string, AttachPoint> attach_points =
+      FindAttachPoints(shard_subtree, sharded_->fact_table());
 
   int64_t fact_bytes = 0;
   std::vector<model::ExchangeInput> inputs;
@@ -426,10 +530,16 @@ Result<model::ExchangePlan> ShardedExecutor::ExchangeForPlan(
     input.bytes = bytes;
     input.rows = base->num_rows();
     input.co_partitioned = sharded_->IsPartitioned(table);
+    auto it = attach_points.find(table);
+    if (it != attach_points.end()) {
+      input.spine_bytes = it->second.spine_bytes;
+    }
     inputs.push_back(std::move(input));
   }
-  // Memoized per relation: a service replaying the same sharded queries
-  // prices each exchange once (TuningCache::ExchangeSignature).
+  // Memoized per plan: a service replaying the same sharded queries prices
+  // the whole exchange once (TuningCache::ExchangePlanSignature) — the
+  // shared spine relocation couples the per-relation decisions, so nothing
+  // finer than the plan can be cached safely.
   return model::PlanExchange(inputs, group_.link, group_.size(), fact_bytes,
                              tuning_cache_);
 }
@@ -460,9 +570,20 @@ Result<ShardedExecutor::DistributedPlan> ShardedExecutor::PlanDistributed(
     for (const model::ExchangeDecision& d : dist.exchange.decisions) {
       decisions.emplace(d.table, &d);
     }
+    // The paying repartition's spine relocation renders as a repartition
+    // Exchange wrapping the fact-side child of its attach join.
+    const PhysicalOp* spine_node = nullptr;
+    if (dist.exchange.has_spine) {
+      const std::map<std::string, AttachPoint> attach_points =
+          FindAttachPoints(*agg->child, sharded_->fact_table());
+      auto it = attach_points.find(dist.exchange.spine_table);
+      if (it != attach_points.end()) spine_node = it->second.spine_node;
+    }
     auto partial = std::make_shared<PhysicalOp>(*agg);
     partial->child =
-        AnnotateExchanges(*agg->child, sharded_->fact_table(), decisions);
+        AnnotateExchanges(*agg->child, sharded_->fact_table(), decisions,
+                          spine_node, dist.exchange.spine_table,
+                          dist.exchange.spine_bytes);
     partial->partial_aggregate = true;
     dist.gather_bytes = EstimatePartialGatherBytes(*agg, group_.size());
     dist.shard_plan = MakeExchange(std::move(partial), ExchangeKind::kGather,
@@ -479,8 +600,18 @@ Result<ShardedExecutor::DistributedPlan> ShardedExecutor::PlanDistributed(
   for (const model::ExchangeDecision& d : dist.exchange.decisions) {
     decisions.emplace(d.table, &d);
   }
+  // The spine node must come from the tree AnnotateExchanges walks: the
+  // rowid-threaded clone, not the original boundary subtree.
+  const PhysicalOp* spine_node = nullptr;
+  if (dist.exchange.has_spine) {
+    const std::map<std::string, AttachPoint> attach_points =
+        FindAttachPoints(*split.shard_plan, sharded_->fact_table());
+    auto it = attach_points.find(dist.exchange.spine_table);
+    if (it != attach_points.end()) spine_node = it->second.spine_node;
+  }
   PhysicalOpPtr annotated = AnnotateExchanges(
-      *split.shard_plan, sharded_->fact_table(), decisions);
+      *split.shard_plan, sharded_->fact_table(), decisions, spine_node,
+      dist.exchange.spine_table, dist.exchange.spine_bytes);
   // Rough gather estimate: the subtree's output rows (plus l_rowid) ship
   // from every non-resident shard; (N-1)/N of them live off-device.
   const int64_t cols =
@@ -509,10 +640,18 @@ Result<DistributedExplain> ShardedExecutor::Explain(
   GPL_ASSIGN_OR_RETURN(DistributedPlan dist, PlanDistributed(plan));
   out.partial_aggregate = dist.partial_aggregate;
   out.plan_text = PlanToString(*dist.shard_plan);
-  out.exchanges.reserve(dist.exchange.decisions.size() + 1);
+  out.exchanges.reserve(dist.exchange.decisions.size() + 2);
   for (const model::ExchangeDecision& d : dist.exchange.decisions) {
+    // Report the relation's own traffic; the shared spine relocation gets
+    // its own entry below. The payer's ms already covers both (one DMA), so
+    // the spine entry reports 0 ms — entries still sum to the plan totals.
     out.exchanges.push_back(
-        {d.table, KindForStrategy(d.strategy), d.bytes, d.ms});
+        {d.table, KindForStrategy(d.strategy), d.bytes - d.spine_bytes, d.ms});
+  }
+  if (dist.exchange.has_spine) {
+    out.exchanges.push_back({"spine:" + dist.exchange.spine_table,
+                             ExchangeKind::kRepartition,
+                             dist.exchange.spine_bytes, 0.0});
   }
   ExchangeOpReport gather;
   gather.table =
@@ -638,6 +777,7 @@ Result<QueryResult> ShardedExecutor::Execute(const LogicalQuery& query,
   // source, which is what device 0 would hold as the coordinator.
   const sim::Simulator& sim0 = engines_.front()->simulator();
   sim::HwCounters merge_counters;
+  int64_t stitched_rows = 0;
   Table substitute;
   if (dist.partial_aggregate) {
     // Combine-merge: fold the per-shard partial-aggregate states per group.
@@ -678,6 +818,7 @@ Result<QueryResult> ShardedExecutor::Execute(const LogicalQuery& query,
     for (size_t i = 1; i < partials.size(); ++i) {
       GPL_RETURN_NOT_OK(merged.AppendTable(partials[i].table));
     }
+    stitched_rows = merged.num_rows();
     const int64_t rowid_index = merged.ColumnIndex(dist.rowid_column);
     if (rowid_index < 0) {
       return Status::Internal("sharded partial result lost the '" +
@@ -752,7 +893,9 @@ Result<QueryResult> ShardedExecutor::Execute(const LogicalQuery& query,
   m.plan_wall_ms = plan_wall_ms;
   m.num_shards = group_.size();
   m.partial_combine = dist.partial_aggregate;
+  m.stitched_rows = stitched_rows;
   m.broadcast_bytes = dist.exchange.total_bytes;
+  m.exchange_all_broadcast_bytes = dist.exchange.all_broadcast_bytes;
   m.shuffle_bytes = shuffle_bytes;
   m.exchange_bytes = dist.exchange.total_bytes + shuffle_bytes;
   m.exchange_ms = exchange_ms;

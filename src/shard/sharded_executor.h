@@ -18,6 +18,14 @@
 namespace gpl {
 namespace shard {
 
+/// Estimated bytes the partial-aggregate gather ships to device 0: the
+/// per-group partial state (counts and superaccumulator digits for sum/avg,
+/// a bare running value for min/max — no count column, the combine never
+/// consults one) from each of the `num_shards - 1` non-resident shards,
+/// using the aggregate's estimated group count. Exposed so tests can pin
+/// the estimate against the measured gather bytes of an actual execution.
+int64_t EstimatePartialGatherBytes(const PhysicalOp& agg, int num_shards);
+
 /// One Exchange operator of a distributed plan, for EXPLAIN-style reporting:
 /// the relation it moves, how, and the cost model's prediction.
 struct ExchangeOpReport {

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <map>
+#include <numeric>
 #include <set>
 #include <string>
 #include <utility>
@@ -7,16 +8,25 @@
 
 #include <gtest/gtest.h>
 
+#include "common/logging.h"
 #include "engine/engine.h"
 #include "engine/metrics_json.h"
+#include "exec/exact_sum.h"
+#include "exec/expr.h"
 #include "model/exchange_model.h"
+#include "plan/logical_plan.h"
+#include "plan/physical_plan.h"
 #include "queries/tpch_queries.h"
 #include "service/query_service.h"
 #include "shard/device_group.h"
 #include "shard/partitioner.h"
 #include "shard/sharded_executor.h"
 #include "sim/link.h"
+#include "storage/column.h"
+#include "storage/table.h"
+#include "storage/types.h"
 #include "test_util.h"
+#include "tpch/dbgen.h"
 
 namespace gpl {
 namespace {
@@ -183,34 +193,122 @@ TEST(LinkTest, TransferMsIsLatencyPlusBandwidthAndZeroBytesFree) {
 // ---- Exchange model ----
 
 TEST(ExchangeModelTest, BroadcastsDimensionsAndRepartitionsFactSizedInputs) {
+  // Zero link latency makes modeled ms proportional to bytes, so the plan is
+  // the pure byte argmin and the expectations below are exact arithmetic.
   sim::LinkSpec link;
-  std::vector<model::ExchangeInput> inputs;
-  inputs.push_back({"nation", /*bytes=*/1000, /*rows=*/25, false});
-  inputs.push_back({"orders", /*bytes=*/400'000, /*rows=*/1500, true});
-  inputs.push_back({"bigside", /*bytes=*/9'000'000, /*rows=*/100'000, false});
-
+  link.latency_us = 0.0;
   const int64_t fact_bytes = 1'000'000;
-  model::ExchangePlan plan =
-      model::PlanExchange(inputs, link, /*num_shards=*/4, fact_bytes);
-  ASSERT_EQ(plan.decisions.size(), 3u);
 
-  const model::ExchangeDecision& nation = plan.decisions[0];
-  EXPECT_EQ(nation.strategy, model::ExchangeStrategy::kBroadcast);
-  EXPECT_EQ(nation.bytes, 1000 * 3);
+  // Dimensions-only plan: each relation's standalone repartition would drag
+  // the whole fact spine with it, so everything broadcasts.
+  {
+    std::vector<model::ExchangeInput> inputs;
+    inputs.push_back({"nation", /*bytes=*/1000, /*rows=*/25, false});
+    inputs.push_back({"orders", /*bytes=*/400'000, /*rows=*/1500, true});
+    model::ExchangePlan plan =
+        model::PlanExchange(inputs, link, /*num_shards=*/4, fact_bytes);
+    ASSERT_EQ(plan.decisions.size(), 2u);
+    EXPECT_EQ(plan.decisions[0].strategy, model::ExchangeStrategy::kBroadcast);
+    EXPECT_EQ(plan.decisions[0].bytes, 1000 * 3);
+    EXPECT_EQ(plan.decisions[1].strategy,
+              model::ExchangeStrategy::kCoPartitioned);
+    EXPECT_EQ(plan.decisions[1].bytes, 0);
+    EXPECT_FALSE(plan.has_spine);
+    EXPECT_EQ(plan.total_bytes, 1000 * 3);
+    EXPECT_EQ(plan.all_broadcast_bytes, 1000 * 3);
+  }
 
-  const model::ExchangeDecision& orders = plan.decisions[1];
-  EXPECT_EQ(orders.strategy, model::ExchangeStrategy::kCoPartitioned);
-  EXPECT_EQ(orders.bytes, 0);
-  EXPECT_DOUBLE_EQ(orders.ms, 0.0);
+  // A fact-sized input flips to repartition: broadcasting 9 MB to 3 peers
+  // (27 MB) loses to shipping its outbound fraction plus the one spine
+  // relocation, 9 MB * 3/4 + 1 MB * 3/4 = 7.5 MB. Once that relocation is
+  // paid, the small dimension rides along for its own fraction (750 bytes
+  // in one DMA beats three 1000-byte copies).
+  {
+    std::vector<model::ExchangeInput> inputs;
+    inputs.push_back({"bigside", /*bytes=*/9'000'000, /*rows=*/100'000, false});
+    inputs.push_back({"nation", /*bytes=*/1000, /*rows=*/25, false});
+    inputs.push_back({"orders", /*bytes=*/400'000, /*rows=*/1500, true});
+    model::ExchangePlan plan =
+        model::PlanExchange(inputs, link, /*num_shards=*/4, fact_bytes);
+    ASSERT_EQ(plan.decisions.size(), 3u);
 
-  // Broadcasting 9 MB to 3 peers (27 MB) loses to repartitioning both sides:
-  // (9 MB + 1 MB) * 3/4 = 7.5 MB.
-  const model::ExchangeDecision& big = plan.decisions[2];
-  EXPECT_EQ(big.strategy, model::ExchangeStrategy::kRepartition);
-  EXPECT_EQ(big.bytes, (9'000'000 + fact_bytes) * 3 / 4);
+    const model::ExchangeDecision& big = plan.decisions[0];
+    EXPECT_EQ(big.strategy, model::ExchangeStrategy::kRepartition);
+    EXPECT_EQ(big.bytes, (9'000'000 + fact_bytes) * 3 / 4);
+    EXPECT_EQ(big.spine_bytes, fact_bytes * 3 / 4);
 
-  EXPECT_EQ(plan.total_bytes, nation.bytes + big.bytes);
-  EXPECT_DOUBLE_EQ(plan.total_ms, nation.ms + big.ms);
+    const model::ExchangeDecision& nation = plan.decisions[1];
+    EXPECT_EQ(nation.strategy, model::ExchangeStrategy::kRepartition);
+    EXPECT_EQ(nation.bytes, 1000 * 3 / 4);
+    EXPECT_EQ(nation.spine_bytes, 0);  // bigside already pays the relocation
+
+    const model::ExchangeDecision& orders = plan.decisions[2];
+    EXPECT_EQ(orders.strategy, model::ExchangeStrategy::kCoPartitioned);
+    EXPECT_EQ(orders.bytes, 0);
+    EXPECT_DOUBLE_EQ(orders.ms, 0.0);
+
+    EXPECT_TRUE(plan.has_spine);
+    EXPECT_EQ(plan.spine_table, "bigside");
+    EXPECT_EQ(plan.spine_bytes, fact_bytes * 3 / 4);
+    EXPECT_EQ(plan.total_bytes, big.bytes + nation.bytes);
+    EXPECT_DOUBLE_EQ(plan.total_ms, big.ms + nation.ms);
+    EXPECT_EQ(plan.all_broadcast_bytes, 9'000'000 * 3 + 1000 * 3);
+    EXPECT_LT(plan.total_bytes, plan.all_broadcast_bytes);
+  }
+}
+
+TEST(ExchangeModelTest, ChargesSpineRelocationOnceAcrossRepartitions) {
+  // Two mid-sized dimensions, each with a known 4 MB attach spine. Charged
+  // per relation (the old bug), repartitioning costs 2 x (0.9 + 3) = 7.8 MB
+  // and loses to the 7.2 MB double broadcast; charged once, it costs
+  // 0.9 + 0.9 + 3 = 4.8 MB and wins. The subset argmin must find that.
+  sim::LinkSpec link;
+  link.latency_us = 0.0;
+  std::vector<model::ExchangeInput> inputs;
+  inputs.push_back({"dim_a", /*bytes=*/1'200'000, /*rows=*/12'000, false,
+                    /*spine_bytes=*/4'000'000});
+  inputs.push_back({"dim_b", /*bytes=*/1'200'000, /*rows=*/12'000, false,
+                    /*spine_bytes=*/4'000'000});
+  model::ExchangePlan plan = model::PlanExchange(
+      inputs, link, /*num_shards=*/4, /*fact_bytes=*/50'000'000);
+  ASSERT_EQ(plan.decisions.size(), 2u);
+  EXPECT_EQ(plan.decisions[0].strategy, model::ExchangeStrategy::kRepartition);
+  EXPECT_EQ(plan.decisions[1].strategy, model::ExchangeStrategy::kRepartition);
+
+  // Exactly one decision carries the relocation; totals count it once.
+  const int64_t own = 1'200'000 * 3 / 4;
+  const int64_t reloc = 4'000'000 * 3 / 4;
+  EXPECT_EQ(plan.decisions[0].bytes, own + reloc);  // widest-tie: first pays
+  EXPECT_EQ(plan.decisions[0].spine_bytes, reloc);
+  EXPECT_EQ(plan.decisions[1].bytes, own);
+  EXPECT_EQ(plan.decisions[1].spine_bytes, 0);
+  EXPECT_TRUE(plan.has_spine);
+  EXPECT_EQ(plan.spine_table, "dim_a");
+  EXPECT_EQ(plan.spine_bytes, reloc);
+  EXPECT_EQ(plan.total_bytes, 2 * own + reloc);
+  EXPECT_EQ(plan.all_broadcast_bytes, 2 * 1'200'000 * 3);
+  EXPECT_LT(plan.total_bytes, plan.all_broadcast_bytes);
+
+  // The widest spine pays: with unequal spines the relocation is priced off
+  // the larger one, and the narrow-spine relation ships its fraction alone.
+  inputs[1].spine_bytes = 6'000'000;
+  plan = model::PlanExchange(inputs, link, 4, 50'000'000);
+  EXPECT_TRUE(plan.has_spine);
+  EXPECT_EQ(plan.spine_table, "dim_b");
+  EXPECT_EQ(plan.spine_bytes, 6'000'000 * 3 / 4);
+  EXPECT_EQ(plan.decisions[0].bytes, own);
+  EXPECT_EQ(plan.decisions[1].bytes, own + 6'000'000 * 3 / 4);
+
+  // A lone repartition prices exactly like standalone PriceExchange.
+  const model::ExchangeInput fat = {"fat", 9'000'000, 90'000, false,
+                                    /*spine_bytes=*/4'000'000};
+  const model::ExchangeDecision standalone = model::PriceExchange(
+      fat, model::ExchangeStrategy::kRepartition, link, 4, 50'000'000);
+  model::ExchangePlan lone = model::PlanExchange({fat}, link, 4, 50'000'000);
+  ASSERT_EQ(lone.decisions.size(), 1u);
+  EXPECT_EQ(lone.decisions[0].strategy, model::ExchangeStrategy::kRepartition);
+  EXPECT_EQ(lone.decisions[0].bytes, standalone.bytes);
+  EXPECT_DOUBLE_EQ(lone.decisions[0].ms, standalone.ms);
 }
 
 // ---- Device list parsing ----
@@ -300,6 +398,14 @@ void ExpectShardedBitIdentical(const DeviceGroup& group,
       EXPECT_GT(m.exchange_bytes, 0);
       EXPECT_GT(m.exchange_ms, 0.0);
       EXPECT_GT(m.merge_ms, 0.0);
+      // The merge strategies are mutually exclusive: the combine path
+      // stitches nothing, the row-id stitch always concatenates the
+      // per-shard boundary rows.
+      if (m.partial_combine) {
+        EXPECT_EQ(m.stitched_rows, 0);
+      } else {
+        EXPECT_GT(m.stitched_rows, 0);
+      }
     } else {
       // A 1-device group short-circuits to the plain path: no partitioning,
       // no exchange, no merge — zero sharding tax.
@@ -307,6 +413,7 @@ void ExpectShardedBitIdentical(const DeviceGroup& group,
       EXPECT_DOUBLE_EQ(m.exchange_ms, 0.0);
       EXPECT_DOUBLE_EQ(m.merge_ms, 0.0);
       EXPECT_FALSE(m.partial_combine);
+      EXPECT_EQ(m.stitched_rows, 0);
     }
   }
 }
@@ -405,13 +512,15 @@ TEST(ShardedExecutorTest, ExplainRendersExchangeOperatorsInline) {
   EXPECT_TRUE(saw_orders);
   EXPECT_TRUE(saw_gather);
 
-  // At this scale Q5 plans a two-key join above the fact scan, which the
-  // distribution classifier rejects: the stitch fallback still renders its
-  // Exchange operators, with the gather shipping row-stitched partials.
+  // At this scale Q5 plans a two-key join above the fact scan
+  // ({l_orderkey, l_suppkey} = {o_orderkey, s_suppkey}). The classifier
+  // proves it partition-preserving off the aligned orderkey pair — the
+  // compound key only tightens the match — so the aggregate still pushes
+  // down instead of falling back to the row-id stitch.
   Result<shard::DistributedExplain> q5 = executor.Explain(queries::Q5());
   ASSERT_TRUE(q5.ok()) << q5.status().ToString();
-  EXPECT_FALSE(q5->partial_aggregate);
-  EXPECT_EQ(q5->plan_text.find("PartialAggregate"), std::string::npos)
+  EXPECT_TRUE(q5->partial_aggregate);
+  EXPECT_NE(q5->plan_text.find("PartialAggregate"), std::string::npos)
       << q5->plan_text;
   ASSERT_FALSE(q5->exchanges.empty());
   EXPECT_EQ(q5->exchanges.back().kind, ExchangeKind::kGather);
@@ -435,46 +544,63 @@ TEST(ShardedExecutorTest, ExplainRendersExchangeOperatorsInline) {
 
 TEST(ExchangeModelTest, TuneExchangeMatchesBruteForceArgmin) {
   // TuneExchange must pick exactly the strategy a brute-force sweep over
-  // PriceExchange finds cheapest (by bytes, broadcast winning ties).
+  // PriceExchange finds cheapest by modeled ms (bytes breaking ties,
+  // broadcast winning what remains). The grid leans on small relations at
+  // high shard counts — the latency-dominated corner where the ms argmin
+  // diverges from the byte argmin (N-1 tiny copies vs one DMA).
   const sim::LinkSpec link;
   const std::vector<int64_t> fact_sizes = {0, 1000, 1'000'000, 50'000'000};
   const std::vector<model::ExchangeInput> inputs = {
-      {"tiny", 100, 10, false},
+      {"tiny", 64, 8, false},
+      {"small", 4'096, 128, false},
       {"mid", 500'000, 5000, false},
       {"big", 20'000'000, 200'000, false},
       {"copart", 500'000, 5000, true},
+      {"spined", 2'000'000, 20'000, false, /*spine_bytes=*/300'000},
   };
-  for (int num_shards : {2, 4, 8}) {
+  int latency_flips = 0;  // repartition chosen despite moving more bytes
+  for (int num_shards : {2, 4, 8, 16, 32, 64}) {
     for (int64_t fact_bytes : fact_sizes) {
       for (const model::ExchangeInput& input : inputs) {
         const model::ExchangeDecision got =
             model::TuneExchange(input, link, num_shards, fact_bytes);
-        model::ExchangeStrategy best = model::ExchangeStrategy::kBroadcast;
-        int64_t best_bytes =
-            model::PriceExchange(input, best, link, num_shards, fact_bytes)
-                .bytes;
+        if (input.co_partitioned || num_shards <= 1) {
+          EXPECT_EQ(got.strategy, model::ExchangeStrategy::kCoPartitioned);
+          EXPECT_EQ(got.bytes, 0);
+          continue;
+        }
+        model::ExchangeDecision best;
+        bool first = true;
         for (model::ExchangeStrategy s :
-             {model::ExchangeStrategy::kCoPartitioned,
+             {model::ExchangeStrategy::kBroadcast,
               model::ExchangeStrategy::kRepartition}) {
-          if (s == model::ExchangeStrategy::kCoPartitioned &&
-              !input.co_partitioned) {
-            continue;
-          }
-          const int64_t bytes =
-              model::PriceExchange(input, s, link, num_shards, fact_bytes)
-                  .bytes;
-          if (bytes < best_bytes) {
-            best = s;
-            best_bytes = bytes;
+          const model::ExchangeDecision candidate =
+              model::PriceExchange(input, s, link, num_shards, fact_bytes);
+          if (first || candidate.ms < best.ms ||
+              (candidate.ms == best.ms && candidate.bytes < best.bytes)) {
+            best = candidate;
+            first = false;
           }
         }
-        EXPECT_EQ(got.strategy, best)
+        EXPECT_EQ(got.strategy, best.strategy)
             << input.table << " shards=" << num_shards
             << " fact=" << fact_bytes;
-        EXPECT_EQ(got.bytes, best_bytes);
+        EXPECT_EQ(got.bytes, best.bytes);
+        EXPECT_DOUBLE_EQ(got.ms, best.ms);
+        const model::ExchangeDecision bcast = model::PriceExchange(
+            input, model::ExchangeStrategy::kBroadcast, link, num_shards,
+            fact_bytes);
+        if (got.strategy == model::ExchangeStrategy::kRepartition &&
+            got.bytes > bcast.bytes) {
+          ++latency_flips;
+        }
       }
     }
   }
+  // The grid must actually exercise the divergence: at least one small
+  // relation crossing a high-latency link once beats N-1 tiny copies even
+  // though it moves more bytes.
+  EXPECT_GT(latency_flips, 0);
 }
 
 TEST(ShardedExecutorTest, MetricsJsonCarriesShardFields) {
@@ -496,7 +622,9 @@ TEST(ShardedExecutorTest, MetricsJsonCarriesShardFields) {
   const std::string json = QueryMetricsToJson(entry);
   EXPECT_NE(json.find("\"num_shards\":2"), std::string::npos) << json;
   EXPECT_NE(json.find("\"exchange_bytes\""), std::string::npos);
+  EXPECT_NE(json.find("\"exchange_all_broadcast_bytes\""), std::string::npos);
   EXPECT_NE(json.find("\"merge_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"stitched_rows\""), std::string::npos);
   EXPECT_NE(json.find("\"device_utilization\""), std::string::npos);
 
   // Single-device metrics stay free of shard fields (byte-stable JSON).
@@ -609,6 +737,285 @@ TEST(ShardedExecutorTest, PartialCombineFlagMatchesExplain) {
   }
   EXPECT_TRUE(any_combine)
       << "no query exercised the partial-aggregate pushdown";
+}
+
+// ---- Compound-key co-partitioning ----
+
+/// Two-table database whose join needs BOTH key columns: every order carries
+/// a matching row (okey2 = orderkey + 1000) and a decoy row (okey2 =
+/// orderkey + 2000, weight 1e9) that an orderkey-only join would wrongly
+/// pick up. Any mis-merged compound key shows up as a wildly wrong sum.
+tpch::Database TwoKeyDb(const std::vector<int64_t>& orderkeys) {
+  Column l_orderkey(DataType::kInt64);
+  Column l_okey2(DataType::kInt64);
+  Column l_price(DataType::kFloat64);
+  Column o_orderkey(DataType::kInt64);
+  Column o_okey2(DataType::kInt64);
+  Column o_weight(DataType::kFloat64);
+  for (const int64_t k : orderkeys) {
+    for (int line = 0; line < 3; ++line) {
+      l_orderkey.AppendInt64(k);
+      l_okey2.AppendInt64(k + 1000);
+      l_price.AppendDouble(static_cast<double>(k) * 1.25 + line * 0.5);
+    }
+    o_orderkey.AppendInt64(k);
+    o_okey2.AppendInt64(k + 1000);
+    o_weight.AppendDouble(static_cast<double>(k % 7 + 1));
+    o_orderkey.AppendInt64(k);
+    o_okey2.AppendInt64(k + 2000);  // decoy: matches on orderkey alone
+    o_weight.AppendDouble(1e9);
+  }
+  tpch::Database db;
+  db.lineitem = Table("lineitem");
+  GPL_CHECK_OK(db.lineitem.AddColumn("l_orderkey", std::move(l_orderkey)));
+  GPL_CHECK_OK(db.lineitem.AddColumn("l_okey2", std::move(l_okey2)));
+  GPL_CHECK_OK(db.lineitem.AddColumn("l_price", std::move(l_price)));
+  db.orders = Table("orders");
+  GPL_CHECK_OK(db.orders.AddColumn("o_orderkey", std::move(o_orderkey)));
+  GPL_CHECK_OK(db.orders.AddColumn("o_okey2", std::move(o_okey2)));
+  GPL_CHECK_OK(db.orders.AddColumn("o_weight", std::move(o_weight)));
+  return db;
+}
+
+/// lineitem JOIN orders on the compound key {orderkey, okey2}; `reversed`
+/// flips the order the two JoinEdges list the key columns ({a,b} vs {b,a})
+/// — the classifier's aligned-pair proof must not depend on key position.
+LogicalQuery TwoKeyQuery(bool reversed) {
+  LogicalQuery q;
+  q.name = reversed ? "twokey_rev" : "twokey";
+  BaseRelation lineitem;
+  lineitem.table = "lineitem";
+  lineitem.columns = {"l_orderkey", "l_okey2", "l_price"};
+  BaseRelation orders;
+  orders.table = "orders";
+  orders.columns = {"o_orderkey", "o_okey2", "o_weight"};
+  q.relations = {lineitem, orders};
+  JoinEdge on_orderkey;
+  on_orderkey.left = 0;
+  on_orderkey.right = 1;
+  on_orderkey.left_keys = {Col("l_orderkey")};
+  on_orderkey.right_keys = {Col("o_orderkey")};
+  JoinEdge on_okey2;
+  on_okey2.left = 0;
+  on_okey2.right = 1;
+  on_okey2.left_keys = {Col("l_okey2")};
+  on_okey2.right_keys = {Col("o_okey2")};
+  if (reversed) {
+    q.joins = {on_okey2, on_orderkey};
+  } else {
+    q.joins = {on_orderkey, on_okey2};
+  }
+  q.derived = {{"amount", Mul(Col("l_price"), Col("o_weight"))}};
+  q.group_by = {{"l_okey2", Col("l_okey2")}};
+  q.aggregates = {{AggSpec::kSum, Col("amount"), "total"},
+                  {AggSpec::kMin, Col("l_price"), "min_price"},
+                  {AggSpec::kMax, Col("amount"), "max_amount"}};
+  q.order_by = {{"l_okey2", false}};
+  return q;
+}
+
+/// First `count` positive keys that hash to `shard` of `num_shards` — lets a
+/// test pin every row onto one shard (leaving the others empty).
+std::vector<int64_t> KeysOnShard(int shard, int num_shards, int count) {
+  std::vector<int64_t> keys;
+  for (int64_t k = 1; static_cast<int>(keys.size()) < count; ++k) {
+    if (ShardOfKey(k, num_shards) == shard) keys.push_back(k);
+  }
+  return keys;
+}
+
+/// Runs TwoKeyQuery over `orderkeys` at shard counts {1, 2, 4, 8}, in both
+/// key orders, asserting the combine merge ran (zero stitched rows) and the
+/// result is bit-identical to the single-device oracle.
+void ExpectCompoundKeyCombine(const std::vector<int64_t>& orderkeys) {
+  const tpch::Database db = TwoKeyDb(orderkeys);
+  EngineOptions options;
+  options.calibration =
+      &SharedCalibrations().at(sim::DeviceSpec::AmdA10().name);
+  Engine oracle(&db, options);
+  for (const bool reversed : {false, true}) {
+    const LogicalQuery query = TwoKeyQuery(reversed);
+    Result<QueryResult> truth = oracle.Execute(query);
+    ASSERT_TRUE(truth.ok()) << truth.status().ToString();
+    ASSERT_GT(truth->table.num_rows(), 0);
+    for (const int n : {1, 2, 4, 8}) {
+      SCOPED_TRACE(query.name + " shards=" + std::to_string(n));
+      PartitionOptions poptions;
+      poptions.num_shards = n;
+      Result<ShardedDatabase> sharded = PartitionDatabase(db, poptions);
+      ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+      ShardedExecutor executor(
+          &db, &*sharded,
+          DeviceGroup::Homogeneous(sim::DeviceSpec::AmdA10(), n),
+          EngineOptions{}, &SharedCalibrations());
+      Result<QueryResult> got = executor.Execute(query);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ExpectTablesBitIdentical(truth->table, got->table);
+      if (n > 1) {
+        EXPECT_TRUE(got->metrics.partial_combine)
+            << "compound-key join must prove co-partitioning";
+        EXPECT_EQ(got->metrics.stitched_rows, 0);
+      }
+    }
+  }
+}
+
+TEST(CompoundKeyShardingTest, KeyOrderPermutationsStayCombinable) {
+  std::vector<int64_t> keys(24);
+  std::iota(keys.begin(), keys.end(), int64_t{1});
+  ExpectCompoundKeyCombine(keys);
+}
+
+TEST(CompoundKeyShardingTest, EmptyShardCombines) {
+  // Every orderkey hashes to shard 0 of 2, so shard 1 holds zero lineitem
+  // and zero (co-partitioned) orders rows; its empty partial must combine
+  // cleanly and the empty-probe join must not derail the pushdown.
+  const std::vector<int64_t> keys = KeysOnShard(0, 2, 8);
+  PartitionOptions poptions;
+  poptions.num_shards = 2;
+  Result<ShardedDatabase> sharded = PartitionDatabase(TwoKeyDb(keys), poptions);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_EQ(sharded->shards[1].lineitem.num_rows(), 0);
+  EXPECT_EQ(sharded->shards[1].orders.num_rows(), 0);
+  ExpectCompoundKeyCombine(keys);
+}
+
+TEST(CompoundKeyShardingTest, AllRowsOnOneShardCombine) {
+  // The opposite skew: at 4 shards all rows land on shard 3.
+  ExpectCompoundKeyCombine(KeysOnShard(3, 4, 8));
+}
+
+TEST(CompoundKeyShardingTest, FewerDistinctKeysThanShards) {
+  // Two distinct orderkeys spread across up to 8 shards: most shards are
+  // empty and the group count is below the device count.
+  ExpectCompoundKeyCombine({5, 6});
+}
+
+TEST(ShardedExecutorTest, ExpressionJoinKeyFallsBackToStitch) {
+  // Add(l_orderkey, 0) equals o_orderkey row for row, so rows stay
+  // co-located and per-shard joins see every match — but the classifier
+  // only proves alignment for bare column pairs, so the plan must take the
+  // row-id stitch merge, not the combine. This keeps the stitch path
+  // covered now that every suite query pushes its aggregate down.
+  LogicalQuery q;
+  q.name = "expr_key";
+  BaseRelation lineitem;
+  lineitem.table = "lineitem";
+  lineitem.columns = {"l_orderkey", "l_extendedprice"};
+  BaseRelation orders;
+  orders.table = "orders";
+  orders.columns = {"o_orderkey", "o_orderdate"};
+  q.relations = {lineitem, orders};
+  JoinEdge edge;
+  edge.left = 0;
+  edge.right = 1;
+  edge.left_keys = {Add(Col("l_orderkey"), LitInt(0))};
+  edge.right_keys = {Col("o_orderkey")};
+  q.joins = {edge};
+  q.group_by = {{"o_year", YearOf(Col("o_orderdate"))}};
+  q.aggregates = {{AggSpec::kSum, Col("l_extendedprice"), "revenue"}};
+  q.order_by = {{"o_year", false}};
+
+  EngineOptions options;
+  options.calibration =
+      &SharedCalibrations().at(sim::DeviceSpec::AmdA10().name);
+  Engine oracle(&SmallDb(), options);
+  Result<QueryResult> truth = oracle.Execute(q);
+  ASSERT_TRUE(truth.ok()) << truth.status().ToString();
+
+  for (const int n : {2, 4}) {
+    SCOPED_TRACE("shards=" + std::to_string(n));
+    PartitionOptions poptions;
+    poptions.num_shards = n;
+    Result<ShardedDatabase> sharded = PartitionDatabase(SmallDb(), poptions);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+    ShardedExecutor executor(
+        &SmallDb(), &*sharded,
+        DeviceGroup::Homogeneous(sim::DeviceSpec::AmdA10(), n),
+        EngineOptions{}, &SharedCalibrations());
+    Result<QueryResult> got = executor.Execute(q);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_FALSE(got->metrics.partial_combine);
+    EXPECT_GT(got->metrics.stitched_rows, 0);
+    ExpectTablesBitIdentical(truth->table, got->table);
+  }
+}
+
+// ---- Partial-gather estimate ----
+
+TEST(PartialGatherEstimateTest, MinMaxPartialsCarryNoCountColumn) {
+  PhysicalOp agg;
+  agg.kind = PhysicalOp::Kind::kAggregate;
+  agg.group_by = {{"g", Col("g")}};
+  agg.est_rows = 10.0;
+  const int64_t senders = 2;  // 3 shards: shard 0 keeps its partial local
+
+  const auto estimate = [&agg](AggSpec::Func func) {
+    AggSpec spec;
+    spec.func = func;
+    if (func != AggSpec::kCount) spec.arg = Col("x");
+    spec.output_name = "a";
+    agg.aggregates = {spec};
+    return shard::EstimatePartialGatherBytes(agg, 3);
+  };
+  // One 8-byte group column plus per-aggregate partial state, per group row
+  // per sending shard. Min/max ship the running value alone — pricing an
+  // 8-byte count they never wire was the satellite bug.
+  EXPECT_EQ(estimate(AggSpec::kMin), (8 + 8) * 10 * senders);
+  EXPECT_EQ(estimate(AggSpec::kMax), (8 + 8) * 10 * senders);
+  EXPECT_EQ(estimate(AggSpec::kCount), (8 + 8) * 10 * senders);
+  const int64_t sum_state = 8 * (2 + ExactFloat64Sum::kDigits);
+  EXPECT_EQ(estimate(AggSpec::kSum), (8 + sum_state) * 10 * senders);
+  EXPECT_EQ(estimate(AggSpec::kAvg), (8 + sum_state) * 10 * senders);
+
+  // A mixed list is the sum of its parts over the same group rows.
+  agg.aggregates = {{AggSpec::kMin, Col("x"), "mn"},
+                    {AggSpec::kSum, Col("x"), "s"}};
+  EXPECT_EQ(shard::EstimatePartialGatherBytes(agg, 3),
+            (8 + 8 + sum_state) * 10 * senders);
+}
+
+TEST(ShardedExecutorTest, GatherEstimateTracksMeasuredPartialBytes) {
+  // The gather's predicted bytes must track what the combine merge actually
+  // ships. A min/max-only aggregate is the sharp case: before the count fix
+  // the estimate ran ~2x the wire bytes and fell out of this band.
+  LogicalQuery q;
+  q.name = "minmax_gather";
+  BaseRelation lineitem;
+  lineitem.table = "lineitem";
+  lineitem.columns = {"l_returnflag", "l_extendedprice"};
+  q.relations = {lineitem};
+  q.group_by = {{"l_returnflag", Col("l_returnflag")}};
+  q.aggregates = {{AggSpec::kMin, Col("l_extendedprice"), "min_price"},
+                  {AggSpec::kMax, Col("l_extendedprice"), "max_price"}};
+  q.order_by = {{"l_returnflag", false}};
+
+  PartitionOptions poptions;
+  poptions.num_shards = 4;
+  Result<ShardedDatabase> sharded = PartitionDatabase(SmallDb(), poptions);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  ShardedExecutor executor(
+      &SmallDb(), &*sharded,
+      DeviceGroup::Homogeneous(sim::DeviceSpec::AmdA10(), 4), EngineOptions{},
+      &SharedCalibrations());
+  Result<shard::DistributedExplain> plan = executor.Explain(q);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_TRUE(plan->partial_aggregate);
+  ASSERT_FALSE(plan->exchanges.empty());
+  const shard::ExchangeOpReport& gather = plan->exchanges.back();
+  ASSERT_EQ(gather.kind, ExchangeKind::kGather);
+  ASSERT_GT(gather.predicted_bytes, 0);
+
+  Result<QueryResult> got = executor.Execute(q);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(got->metrics.partial_combine);
+  ASSERT_GT(got->metrics.shuffle_bytes, 0);
+  const double ratio = static_cast<double>(got->metrics.shuffle_bytes) /
+                       static_cast<double>(gather.predicted_bytes);
+  EXPECT_GE(ratio, 0.65) << "measured " << got->metrics.shuffle_bytes
+                         << " vs predicted " << gather.predicted_bytes;
+  EXPECT_LE(ratio, 1.5) << "measured " << got->metrics.shuffle_bytes
+                        << " vs predicted " << gather.predicted_bytes;
 }
 
 // ---- Sharded service ----
