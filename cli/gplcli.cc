@@ -48,6 +48,11 @@
 ///                                     simulated timing are identical at any N
 ///   --no-tuning-cache                 disable TuneSegment memoization (the
 ///                                     grid search reruns for every segment)
+///   --subplan-cache-mb=<N>            capacity of the shared-work subplan
+///                                     cache in MiB (default 64; 0 keeps
+///                                     shared-scan attach but retains nothing)
+///   --no-subplan-cache                disable subplan-result caching and
+///                                     shared-scan batching entirely
 ///
 /// Sharded execution (routed through Engine::Execute via ExecOptions):
 ///   --shards=<N>                      partition the fact table N ways and run
@@ -103,6 +108,7 @@
 ///                                     {"seq", "elapsed_ms", "snapshot"}
 ///   --prom-textfile=<file>            rewrite a Prometheus textfile
 ///                                     (write-to-temp + rename) per snapshot
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -125,6 +131,7 @@
 #include "engine/metrics_json.h"
 #include "obs/export.h"
 #include "obs/registry.h"
+#include "pool/subplan_cache.h"
 #include "trace/json.h"
 #include "queries/tpch_queries.h"
 #include "ref/reference_executor.h"
@@ -153,6 +160,8 @@ struct CliOptions {
   bool breakdown = false;
   int host_threads = 0;          ///< 0 = hardware concurrency
   bool no_tuning_cache = false;  ///< re-run the grid search every segment
+  bool no_subplan_cache = false; ///< disable subplan caching + shared scans
+  int64_t subplan_cache_mb = 64; ///< subplan-cache capacity (MiB)
   int64_t rows = 10;
   std::string dump_tbl;
   std::string tbl_dir;
@@ -210,6 +219,7 @@ int Usage(const char* argv0) {
                "          [--trace=FILE.json] [--metrics-json=FILE.json] "
                "[--breakdown]\n"
                "          [--host-threads=N] [--no-tuning-cache]\n"
+               "          [--subplan-cache-mb=N] [--no-subplan-cache]\n"
                "          [--shards=N] [--partition=hash|range] "
                "[--link-gbps=G]\n"
                "          [--serve-workers=N [--serve-queries=M] "
@@ -420,6 +430,8 @@ int RunServe(const tpch::Database& db, const CliOptions& cli,
   sopts.queue_capacity = static_cast<size_t>(cli.serve_queue);
   sopts.default_timeout_ms = cli.timeout_ms;
   sopts.engine = engine_options;
+  sopts.subplan_cache = !cli.no_subplan_cache;
+  sopts.subplan_cache_mb = cli.subplan_cache_mb;
   if (cli.fault_rate > 0.0) {
     sopts.fault.seed = cli.fault_seed;
     sopts.fault.kernel_abort_rate = cli.fault_rate;
@@ -642,6 +654,10 @@ int main(int argc, char** argv) {
       cli.prom_textfile_path = value;
     } else if (ParseFlag(argv[i], "host-threads", &value)) {
       cli.host_threads = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "subplan-cache-mb", &value)) {
+      cli.subplan_cache_mb = std::atoll(value.c_str());
+    } else if (std::strcmp(argv[i], "--no-subplan-cache") == 0) {
+      cli.no_subplan_cache = true;
     } else if (std::strcmp(argv[i], "--no-tuning-cache") == 0) {
       cli.no_tuning_cache = true;
     } else if (std::strcmp(argv[i], "--breakdown") == 0) {
@@ -692,6 +708,10 @@ int main(int argc, char** argv) {
   }
   if (cli.explain_analyze && cli.serve_workers > 0) {
     std::fprintf(stderr, "--explain-analyze is a single-query mode\n");
+    return 2;
+  }
+  if (cli.subplan_cache_mb < 0) {
+    std::fprintf(stderr, "--subplan-cache-mb must be >= 0\n");
     return 2;
   }
   if (cli.stats_interval_ms < 0.0) {
@@ -795,6 +815,7 @@ int main(int argc, char** argv) {
   options.partitioned_joins = cli.partitioned;
   options.exec.host_threads = cli.host_threads;
   options.exec.use_tuning_cache = !cli.no_tuning_cache;
+  options.exec.use_subplan_cache = !cli.no_subplan_cache;
   // Sharded execution is routed through Engine::Execute: ExecOptions carries
   // the shard count, partition scheme, device group and link bandwidth.
   options.exec.shards = cli.shards;
@@ -816,6 +837,15 @@ int main(int argc, char** argv) {
     state.trace = &collector;
     options.exec.trace = &collector;
   }
+  // Single-query subplan cache: lets repeated queries in a suite run (or the
+  // build sides repeated across queries) share work, mirroring the
+  // service-owned cache in serve mode. Declared before the engine so it
+  // outlives every executor that touches it.
+  pool::SubplanCacheOptions pool_options;
+  pool_options.capacity_bytes =
+      std::max<int64_t>(0, cli.subplan_cache_mb) * 1024 * 1024;
+  pool::SubplanCache subplan_cache(pool_options);
+  if (!cli.no_subplan_cache) options.subplan_cache = &subplan_cache;
   Engine engine(&db, options);
 
   // ---- Sharded execution ----

@@ -8,7 +8,8 @@
 # --mode=fused), a serve-mode telemetry smoke (JSONL snapshots + Prometheus
 # textfile validated by scripts/validate_prom.py), a metrics-overhead
 # wall-clock gate (scripts/bench_diff.py, 3% + 50 ms slack), and the
-# host-scaling / shard-scaling / fault / fusion-ablation bench gates.
+# host-scaling / shard-scaling / shared-work / fault / fusion-ablation
+# bench gates.
 #
 # Usage: scripts/check.sh [build-dir]
 set -euo pipefail
@@ -35,9 +36,11 @@ echo "=== tsan: concurrency tests under ThreadSanitizer ==="
 # already covered above): the QueryService worker pool, the work-stealing
 # ThreadPool/ParallelFor, the shared TuningCache, the morsel-parallel
 # engine paths at host_threads > 1, the sharded service (workers sharing
-# one ShardedDatabase and per-device calibration map), and the
+# one ShardedDatabase and per-device calibration map), the
 # MetricsRegistry (service workers updating shared counters/histograms
-# while a sampler thread collects snapshots).
+# while a sampler thread collects snapshots), and the shared-work layer
+# (PagePool refcounting, SubplanCache acquire/publish/attach, the bounded
+# TuningCache, and the service-wide subplan cache under concurrent workers).
 cmake -B "$BUILD-tsan" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g" \
@@ -45,9 +48,9 @@ cmake -B "$BUILD-tsan" -S . \
 cmake --build "$BUILD-tsan" -j \
   --target service_test --target thread_pool_test --target host_parallel_test \
   --target fault_test --target shard_test --target obs_test \
-  --target fused_engine_test
+  --target fused_engine_test --target pool_test --target subplan_cache_test
 ctest --test-dir "$BUILD-tsan" --output-on-failure \
-  -R "QueryService|ThreadPool|TuningCache|HostParallel|ServiceChaos|ShardedService|MetricsRegistry|FusedBitIdentity"
+  -R "QueryService|ThreadPool|TuningCache|HostParallel|ServiceChaos|ShardedService|MetricsRegistry|FusedBitIdentity|PagePool|SubplanCache"
 
 echo
 echo "=== asan+ubsan: fault-injection and service suites ==="
@@ -60,9 +63,9 @@ cmake -B "$BUILD-asan" -S . \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build "$BUILD-asan" -j \
   --target fault_test --target service_test --target sim_channel_test \
-  --target fusion_test
+  --target fusion_test --target subplan_cache_test
 ctest --test-dir "$BUILD-asan" --output-on-failure \
-  -R "Fault|ServiceChaos|QueryService|QueryHandle|Percentile|Channel|PlanFusion|FusedKernel|ComposeFusedStage"
+  -R "Fault|ServiceChaos|QueryService|QueryHandle|Percentile|Channel|PlanFusion|FusedKernel|ComposeFusedStage|SubplanCache"
 
 echo
 echo "=== trace smoke: gplcli --trace on Q5, JSON validated ==="
@@ -98,7 +101,8 @@ for query, report in reports.items():
                   "channel_bytes", "materialized_bytes", "degraded_segments",
                   "fused_segments", "fused_launches_saved",
                   "fused_bytes_avoided",
-                  "tuning_cache_hits", "tuning_cache_misses"):
+                  "tuning_cache_hits", "tuning_cache_misses",
+                  "subplan_cache_hits", "subplan_cache_misses"):
         if report["metrics"][field] != entry[field]:
             sys.exit(f"{query}.{field}: explain {report['metrics'][field]} "
                      f"!= metrics-json {entry[field]}")
@@ -220,11 +224,27 @@ python3 scripts/bench_diff.py bench/baselines/shard_scaling_quick.jsonl \
   --field elapsed_ms --field inv_speedup --field broadcast_bytes
 
 echo
+echo "=== shared-work smoke: subplan-cache bench, hit-rate + identity gates ==="
+# --quick exits non-zero if the warm subplan hit rate drops below 80%, if the
+# best cache-on p95 speedup over cache-off falls below 1.3x, if shared scans
+# stop serving more rows than the cold scans materialize, or if any cached
+# result deviates by a single bit from an isolated cache-less engine. The
+# deterministic workers=1 rows are then diffed against the committed
+# baseline: cold-scanned rows and subplan misses may not regress (both
+# higher-is-worse and machine-independent).
+SHARED_WORK_OUT="$(mktemp /tmp/gpl_check_shared_work.XXXXXX.jsonl)"
+trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$EXPLAIN_OUT" "$EXPLAIN_METRICS_OUT" "$FUSED_EXPLAIN_OUT" "$FUSED_METRICS_OUT" "$STATS_OUT" "$PROM_OUT" "$OVERHEAD_OFF" "$OVERHEAD_ON" "$HOST_SCALING_OUT" "$SHARD_SCALING_OUT" "$SHARED_WORK_OUT"' EXIT
+"$BUILD/bench/bench_shared_work" --quick --out="$SHARED_WORK_OUT"
+python3 scripts/bench_diff.py bench/baselines/shared_work_quick.jsonl \
+  "$SHARED_WORK_OUT" --key key \
+  --field scan_rows_scanned --field subplan_misses
+
+echo
 echo "=== fault smoke: availability bench, completion-rate gates ==="
 # --quick exits non-zero if the fault-free run completes < 100% or if the
 # retry policy fails to push completion above 90% at fault rate 0.01.
 FAULT_OUT="$(mktemp /tmp/gpl_check_fault.XXXXXX.jsonl)"
-trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$EXPLAIN_OUT" "$EXPLAIN_METRICS_OUT" "$FUSED_EXPLAIN_OUT" "$FUSED_METRICS_OUT" "$STATS_OUT" "$PROM_OUT" "$OVERHEAD_OFF" "$OVERHEAD_ON" "$HOST_SCALING_OUT" "$SHARD_SCALING_OUT" "$FAULT_OUT"' EXIT
+trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$EXPLAIN_OUT" "$EXPLAIN_METRICS_OUT" "$FUSED_EXPLAIN_OUT" "$FUSED_METRICS_OUT" "$STATS_OUT" "$PROM_OUT" "$OVERHEAD_OFF" "$OVERHEAD_ON" "$HOST_SCALING_OUT" "$SHARD_SCALING_OUT" "$SHARED_WORK_OUT" "$FAULT_OUT"' EXIT
 "$BUILD/bench/bench_fault_availability" --quick --out="$FAULT_OUT"
 
 echo
@@ -236,7 +256,7 @@ echo "=== fusion smoke: three-way ablation bench, win-rate + identity gates ==="
 # against the committed baseline: fused elapsed and the fused/gpl ratio may
 # not regress (both higher-is-worse; simulated time is deterministic).
 FUSION_OUT="$(mktemp /tmp/gpl_check_fusion.XXXXXX.jsonl)"
-trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$EXPLAIN_OUT" "$EXPLAIN_METRICS_OUT" "$FUSED_EXPLAIN_OUT" "$FUSED_METRICS_OUT" "$STATS_OUT" "$PROM_OUT" "$OVERHEAD_OFF" "$OVERHEAD_ON" "$HOST_SCALING_OUT" "$SHARD_SCALING_OUT" "$FAULT_OUT" "$FUSION_OUT"' EXIT
+trap 'rm -f "$TRACE_OUT" "$METRICS_OUT" "$EXPLAIN_OUT" "$EXPLAIN_METRICS_OUT" "$FUSED_EXPLAIN_OUT" "$FUSED_METRICS_OUT" "$STATS_OUT" "$PROM_OUT" "$OVERHEAD_OFF" "$OVERHEAD_ON" "$HOST_SCALING_OUT" "$SHARD_SCALING_OUT" "$SHARED_WORK_OUT" "$FAULT_OUT" "$FUSION_OUT"' EXIT
 "$BUILD/bench/bench_fusion_ablation" --quick --out="$FUSION_OUT"
 python3 scripts/bench_diff.py bench/baselines/fusion_ablation_quick.jsonl \
   "$FUSION_OUT" --key case \

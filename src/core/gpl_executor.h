@@ -1,6 +1,7 @@
 #ifndef GPL_CORE_GPL_EXECUTOR_H_
 #define GPL_CORE_GPL_EXECUTOR_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "model/plan_tuner.h"
 #include "model/tuning_cache.h"
 #include "plan/segment.h"
+#include "pool/subplan_cache.h"
 #include "sim/engine.h"
 #include "tpch/dbgen.h"
 
@@ -32,6 +34,15 @@ struct GplOptions {
   /// (shared with the engine front-end — see engine/exec_options.h).
   ExecOptions exec;
 };
+
+/// How a segment met the subplan cache (EXPLAIN ANALYZE `cache:` line).
+enum class SubplanOutcome {
+  kBypass,  ///< no cache configured / disabled / fault-injected / uncacheable
+  kMiss,    ///< computed (and offered for retention)
+  kHit,     ///< served from a retained entry or an in-flight attach
+};
+
+const char* SubplanOutcomeName(SubplanOutcome outcome);
 
 /// Per-segment outcome: the tuner's choice and prediction, the simulated
 /// execution, and the functional observations.
@@ -62,6 +73,10 @@ struct SegmentReport {
   /// stable across engines (a fused segment's sim.kernels are the composed
   /// kernels, not the original stages).
   std::vector<std::string> stage_names;
+  /// Whether this segment's functional work was served by the subplan cache.
+  /// A hit changes no simulated observable: the timing simulation replays
+  /// from the cold run's recorded observations.
+  SubplanOutcome subplan_cache = SubplanOutcome::kBypass;
 };
 
 /// Outcome of executing a segmented plan with GPL.
@@ -88,6 +103,9 @@ struct GplRunResult {
   int fused_segments = 0;            ///< segments the tuner chose to fuse
   int fused_launches_saved = 0;      ///< per-stage launches eliminated
   int64_t fused_bytes_avoided = 0;   ///< hand-off bytes kept in registers
+  /// Subplan-cache accounting (0 everywhere when no cache is configured).
+  int subplan_cache_hits = 0;    ///< segments served from the subplan cache
+  int subplan_cache_misses = 0;  ///< cacheable segments computed this run
 };
 
 /// The pipelined query executor — the paper's core contribution. Executes a
@@ -99,10 +117,14 @@ class GplExecutor {
  public:
   /// `tuning_cache` (optional) memoizes TuneSegment results across runs —
   /// the Engine passes its own or the QueryService's shared instance. It
-  /// must outlive the executor.
+  /// must outlive the executor. `subplan_cache` (optional) memoizes
+  /// materialized subplan *data* — scan views, build-side hash tables, whole
+  /// segment results — under exact chain+tuning signatures; same lifetime
+  /// rule. Both are thread-safe and shared across worker engines.
   GplExecutor(const tpch::Database* db, const sim::Simulator* simulator,
               const model::CalibrationTable* calibration,
-              model::TuningCache* tuning_cache = nullptr);
+              model::TuningCache* tuning_cache = nullptr,
+              pool::SubplanCache* subplan_cache = nullptr);
 
   Result<GplRunResult> Run(const SegmentedPlan& plan,
                            const GplOptions& options) const;
@@ -114,13 +136,22 @@ class GplExecutor {
                                      int64_t input_bytes) const;
 
  private:
-  Result<Table> ResolveInput(const Segment& segment,
-                             const std::vector<Table>& prior_outputs) const;
+  /// Resolves the segment's input as a shared view: a prior segment's output
+  /// (no copy), or a base-table scan view — through the subplan cache's
+  /// shared-scan path when `cache` is non-null (concurrent queries scanning
+  /// the same table attach to one in-flight materialization), fresh
+  /// otherwise.
+  Result<std::shared_ptr<const Table>> ResolveInput(
+      const Segment& segment,
+      const std::vector<std::shared_ptr<const Table>>& prior_outputs,
+      pool::SubplanCache* cache) const;
 
   const tpch::Database* db_;
   const sim::Simulator* simulator_;
   const model::CalibrationTable* calibration_;
-  model::TuningCache* tuning_cache_;  ///< may be null (no memoization)
+  model::TuningCache* tuning_cache_;      ///< may be null (no memoization)
+  pool::SubplanCache* subplan_cache_;     ///< may be null (no data memoization)
+  std::string db_tag_;  ///< database identity folded into every cache key
   model::CostModel cost_model_;
 };
 

@@ -94,7 +94,8 @@ Engine::Engine(const tpch::Database* db, EngineOptions options)
                               : std::make_unique<model::TuningCache>()),
       tuning_cache_(options_.tuning_cache != nullptr ? options_.tuning_cache
                                                      : owned_tuning_cache_.get()),
-      gpl_executor_(db, &simulator_, calibration_, tuning_cache_),
+      gpl_executor_(db, &simulator_, calibration_, tuning_cache_,
+                    options_.subplan_cache),
       kbe_engine_(db, &simulator_, KbeFlavor{}),
       ocelot_engine_(db, &simulator_, OcelotFlavor()) {
   GPL_CHECK(db != nullptr);
@@ -168,6 +169,9 @@ Result<shard::ShardedExecutor*> Engine::ShardedFor(const ExecOptions& exec) {
   executor_options.sharded_db = nullptr;  // the executor's engines are leaves
   executor_options.device_calibrations = nullptr;
   executor_options.tuning_cache = tuning_cache_;
+  // Shard engines run over per-shard partitions of the database; subplan
+  // data cached against the whole database must never leak into them.
+  executor_options.subplan_cache = nullptr;
   state->executor = std::make_unique<shard::ShardedExecutor>(
       db_, state->sharded, std::move(group), std::move(executor_options),
       options_.device_calibrations);
@@ -232,6 +236,8 @@ QueryMetrics Engine::FinalizeGplMetrics(const GplRunResult& run) const {
   metrics.tuning_cache_hits = run.tuning_cache_hits;
   metrics.tuning_cache_misses = run.tuning_cache_misses;
   metrics.degraded_segments = run.degraded_segments;
+  metrics.subplan_cache_hits = run.subplan_cache_hits;
+  metrics.subplan_cache_misses = run.subplan_cache_misses;
   metrics.fused_segments = run.fused_segments;
   metrics.fused_launches_saved = run.fused_launches_saved;
   metrics.fused_bytes_avoided = run.fused_bytes_avoided;

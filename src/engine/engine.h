@@ -85,6 +85,13 @@ struct EngineOptions {
   /// thread-safe, unlike the Engine itself.
   model::TuningCache* tuning_cache = nullptr;
 
+  /// Optional shared subplan cache (see pool/subplan_cache.h). When set, the
+  /// GPL executor memoizes materialized subplan data there — the
+  /// QueryService passes one instance to all workers so a hash table built
+  /// by any worker is a hit for the rest. nullptr (the default) disables
+  /// data memoization entirely. Must outlive the engine; thread-safe.
+  pool::SubplanCache* subplan_cache = nullptr;
+
   /// Optional metrics registry. When set, the engine's Simulator registers
   /// its per-device counters there; nullptr (the default) is the
   /// null-registry fast path — no registration, one dead branch per

@@ -105,6 +105,7 @@ std::string ExplainAnalyzeReport::ToString() const {
     out << "    host_wall_ms=" << FormatMs(seg.host_wall_ms)
         << " channel_bytes=" << seg.channel_bytes
         << " materialized_bytes=" << seg.materialized_bytes << "\n";
+    out << "    cache: " << seg.subplan_cache << "\n";
     if (seg.fused_groups > 0) {
       out << "    fusion: groups=" << seg.fused_groups
           << " launches_saved=" << seg.launches_saved
@@ -138,6 +139,8 @@ std::string ExplainAnalyzeReport::ToString() const {
       << " misses=" << metrics.tuning_cache_misses
       << "  degraded_segments=" << metrics.degraded_segments
       << "  output_rows=" << output_rows << "\n";
+  out << "  subplan_cache: hits=" << metrics.subplan_cache_hits
+      << " misses=" << metrics.subplan_cache_misses << "\n";
   if (metrics.fused_segments > 0) {
     out << "  fusion: segments=" << metrics.fused_segments
         << " launches_saved=" << metrics.fused_launches_saved
@@ -199,6 +202,7 @@ std::string ExplainAnalyzeReport::ToJson() const {
     AppendJsonInt(&out, "materialized_bytes", seg.materialized_bytes);
     AppendJsonBool(&out, "tuning_cache_hit", seg.tuning_cache_hit);
     AppendJsonBool(&out, "degraded", seg.degraded);
+    AppendJsonField(&out, "subplan_cache", seg.subplan_cache, /*quote=*/true);
     AppendJsonField(&out, "engine",
                     seg.engine.empty() ? "pipelined" : seg.engine,
                     /*quote=*/true);
@@ -313,6 +317,7 @@ Result<ExplainAnalyzeReport> ExplainAnalyze(Engine& engine,
     seg.materialized_bytes = sr.sim.counters.bytes_materialized;
     seg.tuning_cache_hit = sr.tuning_cache_hit;
     seg.degraded = sr.degraded;
+    seg.subplan_cache = SubplanOutcomeName(sr.subplan_cache);
     seg.engine = model::SegmentEngineName(sr.engine);
     seg.fused_groups = sr.fused_groups;
     seg.launches_saved = sr.launches_saved;

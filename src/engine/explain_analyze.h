@@ -47,6 +47,10 @@ struct ExplainAnalyzeSegment {
   bool tuning_cache_hit = false;
   bool degraded = false;  ///< fell back to kernel-at-a-time execution
 
+  /// Subplan-cache outcome for this segment's functional work: "hit",
+  /// "miss", or "off" (no cache / disabled / fault-injected / uncacheable).
+  std::string subplan_cache = "off";
+
   /// How the segment's kernels executed: "pipelined", "sequential" or
   /// "fused" (model::SegmentEngineName of the executor's per-segment pick).
   std::string engine;

@@ -50,6 +50,15 @@ struct QueryMetrics {
   int64_t tuning_cache_hits = 0;
   int64_t tuning_cache_misses = 0;
 
+  /// Subplan-cache (data memoization) accounting for this execution — GPL
+  /// modes with a configured pool::SubplanCache only, 0 elsewhere. A hit
+  /// serves a segment's materialized result (scan view, hash table, output
+  /// table) from the cache and replays the timing simulation from the cold
+  /// run's recorded observations, so simulated fields never change; only
+  /// host wall-clock drops.
+  int64_t subplan_cache_hits = 0;
+  int64_t subplan_cache_misses = 0;
+
   /// Segments that fell back from pipelined to kernel-at-a-time execution
   /// because channel allocation failed (see ExecOptions::
   /// degrade_on_channel_failure). 0 in fault-free runs.

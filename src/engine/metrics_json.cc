@@ -44,6 +44,10 @@ std::string QueryMetricsToJson(const MetricsJsonEntry& entry) {
                static_cast<double>(m.tuning_cache_hits));
   AppendNumber(&out, "tuning_cache_misses",
                static_cast<double>(m.tuning_cache_misses));
+  AppendNumber(&out, "subplan_cache_hits",
+               static_cast<double>(m.subplan_cache_hits));
+  AppendNumber(&out, "subplan_cache_misses",
+               static_cast<double>(m.subplan_cache_misses));
   AppendNumber(&out, "degraded_segments",
                static_cast<double>(m.degraded_segments));
   AppendNumber(&out, "fused_segments", static_cast<double>(m.fused_segments));

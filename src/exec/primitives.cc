@@ -101,19 +101,19 @@ class HashProbeKernel : public Kernel {
   }
 
   void PrepareTiming() override {
-    timing_.random_working_set_bytes = state_->table.byte_size();
+    timing_.random_working_set_bytes = state_->probe_table().byte_size();
   }
 
   Result<Table> Process(const Table& input) override {
-    timing_.random_working_set_bytes = state_->table.byte_size();
+    timing_.random_working_set_bytes = state_->probe_table().byte_size();
     const std::vector<int64_t> keys = EvaluateJoinKeys(input, key_exprs_);
     std::vector<int64_t> probe_idx;
     std::vector<int64_t> build_idx;
-    ProbeAll(state_->table, keys, &probe_idx, &build_idx);
+    ProbeAll(state_->probe_table(), keys, &probe_idx, &build_idx);
     Table out = input.Gather(probe_idx);
     for (const std::string& name : build_payload_) {
       GPL_RETURN_NOT_OK(out.AddColumn(
-          name, state_->build_rows.GetColumn(name).Gather(build_idx)));
+          name, state_->probe_rows().GetColumn(name).Gather(build_idx)));
     }
     return out;
   }

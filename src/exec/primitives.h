@@ -98,16 +98,32 @@ Result<Table> CombinePartialAggregates(
 KernelPtr MakeSortKernel(std::vector<SortKey> keys);
 
 /// Shared state of one hash join: the table and the accumulated build rows.
+///
+/// When the subplan cache serves a memoized build, it installs the cached
+/// snapshot in `shared` instead of re-running the build; probes read through
+/// the probe_* accessors so one code path covers both the locally built and
+/// the cache-served table. The build kernel always writes the raw members
+/// (it only runs when there is no snapshot).
 class HashJoinState {
  public:
   JoinHashTable table;
   Table build_rows;
   bool build_rows_initialized = false;
+  /// Cache-served build snapshot; null when this join built locally.
+  std::shared_ptr<const HashJoinState> shared;
+
+  const JoinHashTable& probe_table() const {
+    return shared != nullptr ? shared->table : table;
+  }
+  const Table& probe_rows() const {
+    return shared != nullptr ? shared->build_rows : build_rows;
+  }
 
   void Reset() {
     table = JoinHashTable();
     build_rows = Table();
     build_rows_initialized = false;
+    shared.reset();
   }
 };
 

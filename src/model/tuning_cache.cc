@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <iterator>
 
 namespace gpl {
 namespace model {
@@ -26,6 +27,34 @@ void AppendInt(std::string* out, long long v) {
 }
 
 }  // namespace
+
+TuningCache::TuningCache(size_t max_entries) : max_entries_(max_entries) {}
+
+template <typename Map>
+void TuningCache::EvictOneLocked(Map* map, std::list<std::string>* lru) {
+  // Same policy as pool::SubplanCache: scan the eviction window at the LRU
+  // tail and drop the least re-used entry (recompute cost is uniform for
+  // tuning results, so the cost-aware score is just 1 + hits); on a tie the
+  // entry closer to the tail loses, keeping the more recently used.
+  auto victim = std::prev(lru->end());
+  uint64_t victim_score = map->find(*victim)->second.hits;
+  auto it = std::prev(lru->end());
+  for (int scanned = 1; scanned < kEvictionWindow && it != lru->begin();
+       ++scanned) {
+    --it;
+    const uint64_t score = map->find(*it)->second.hits;
+    if (score < victim_score) {
+      victim = it;
+      victim_score = score;
+    }
+  }
+  auto entry_it = map->find(*victim);
+  bytes_ -= static_cast<int64_t>(victim->size() +
+                                 sizeof(typename Map::mapped_type));
+  map->erase(entry_it);
+  lru->erase(victim);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+}
 
 std::string TuningCache::SegmentSignature(const sim::DeviceSpec& device,
                                           const SegmentDesc& segment,
@@ -111,7 +140,10 @@ std::optional<ExchangePlan> TuningCache::LookupExchangePlan(
     auto it = exchange_entries_.find(signature);
     if (it != exchange_entries_.end()) {
       exchange_hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+      ++it->second.hits;
+      exchange_lru_.splice(exchange_lru_.begin(), exchange_lru_,
+                           it->second.lru_it);
+      return it->second.plan;
     }
   }
   exchange_misses_.fetch_add(1, std::memory_order_relaxed);
@@ -121,7 +153,17 @@ std::optional<ExchangePlan> TuningCache::LookupExchangePlan(
 void TuningCache::InsertExchangePlan(const std::string& signature,
                                      const ExchangePlan& plan) {
   std::lock_guard<std::mutex> lock(mu_);
-  exchange_entries_.emplace(signature, plan);  // first insert wins
+  if (exchange_entries_.count(signature) > 0) return;  // first insert wins
+  while (max_entries_ > 0 && exchange_entries_.size() >= max_entries_ &&
+         !exchange_lru_.empty()) {
+    EvictOneLocked(&exchange_entries_, &exchange_lru_);
+  }
+  exchange_lru_.push_front(signature);
+  ExchangeEntry entry;
+  entry.plan = plan;
+  entry.lru_it = exchange_lru_.begin();
+  exchange_entries_.emplace(signature, std::move(entry));
+  bytes_ += static_cast<int64_t>(signature.size() + sizeof(ExchangeEntry));
 }
 
 std::optional<TuningChoice> TuningCache::Lookup(const std::string& signature) {
@@ -130,7 +172,9 @@ std::optional<TuningChoice> TuningCache::Lookup(const std::string& signature) {
     auto it = entries_.find(signature);
     if (it != entries_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+      ++it->second.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.choice;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
@@ -140,7 +184,17 @@ std::optional<TuningChoice> TuningCache::Lookup(const std::string& signature) {
 void TuningCache::Insert(const std::string& signature,
                          const TuningChoice& choice) {
   std::lock_guard<std::mutex> lock(mu_);
-  entries_.emplace(signature, choice);  // first insert wins (values identical)
+  if (entries_.count(signature) > 0) return;  // first wins (values identical)
+  while (max_entries_ > 0 && entries_.size() >= max_entries_ &&
+         !lru_.empty()) {
+    EvictOneLocked(&entries_, &lru_);
+  }
+  lru_.push_front(signature);
+  Entry entry;
+  entry.choice = choice;
+  entry.lru_it = lru_.begin();
+  entries_.emplace(signature, std::move(entry));
+  bytes_ += static_cast<int64_t>(signature.size() + sizeof(Entry));
 }
 
 TuningCacheStats TuningCache::stats() const {
@@ -149,6 +203,13 @@ TuningCacheStats TuningCache::stats() const {
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.exchange_hits = exchange_hits_.load(std::memory_order_relaxed);
   stats.exchange_misses = exchange_misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.bytes = bytes_;
+    stats.entries =
+        static_cast<int64_t>(entries_.size() + exchange_entries_.size());
+  }
   return stats;
 }
 
@@ -166,6 +227,10 @@ void TuningCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   exchange_entries_.clear();
+  lru_.clear();
+  exchange_lru_.clear();
+  bytes_ = 0;
+  evictions_.store(0, std::memory_order_relaxed);
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   exchange_hits_.store(0, std::memory_order_relaxed);

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <list>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -25,6 +26,12 @@ struct TuningCacheStats {
   uint64_t misses = 0;
   uint64_t exchange_hits = 0;
   uint64_t exchange_misses = 0;
+  /// Bounding accounting: entries dropped by the LRU/cost-aware policy,
+  /// approximate retained bytes (keys + values), and retained entry count
+  /// (segment + exchange maps combined).
+  uint64_t evictions = 0;
+  int64_t bytes = 0;
+  int64_t entries = 0;
   double HitRate() const {
     const uint64_t total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) /
@@ -50,7 +57,16 @@ struct TuningCacheStats {
 /// first-wins and the values are identical, so this is benign.
 class TuningCache {
  public:
-  TuningCache() = default;
+  /// `max_entries` bounds each map (segment choices and exchange plans)
+  /// independently. Past the bound the cache evicts with the same policy as
+  /// pool::SubplanCache — among the `kEvictionWindow` least-recently-used
+  /// entries, drop the least re-used (recompute cost is uniform here, so the
+  /// cost-aware score degenerates to 1 + hits); ties keep the more recently
+  /// used. 0 means unbounded.
+  explicit TuningCache(size_t max_entries = kDefaultMaxEntries);
+
+  static constexpr size_t kDefaultMaxEntries = 65536;
+  static constexpr int kEvictionWindow = 4;
 
   TuningCache(const TuningCache&) = delete;
   TuningCache& operator=(const TuningCache&) = delete;
@@ -102,13 +118,34 @@ class TuningCache {
   void Clear();  ///< drops entries and resets the counters
 
  private:
+  struct Entry {
+    TuningChoice choice;
+    uint64_t hits = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+  struct ExchangeEntry {
+    ExchangePlan plan;
+    uint64_t hits = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  /// Drops the least re-used entry among the window at the LRU tail of
+  /// `map`/`lru` (ties keep the more recently used). Requires mu_ held.
+  template <typename Map>
+  void EvictOneLocked(Map* map, std::list<std::string>* lru);
+
+  const size_t max_entries_;
   mutable std::mutex mu_;
-  std::unordered_map<std::string, TuningChoice> entries_;
-  std::unordered_map<std::string, ExchangePlan> exchange_entries_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::unordered_map<std::string, ExchangeEntry> exchange_entries_;
+  std::list<std::string> lru_;           ///< front = most recently used
+  std::list<std::string> exchange_lru_;  ///< front = most recently used
+  int64_t bytes_ = 0;  ///< approximate retained bytes; guarded by mu_
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> exchange_hits_{0};
   std::atomic<uint64_t> exchange_misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace model

@@ -23,6 +23,41 @@ void AppendStage(OpenPipeline* open, Stage stage) {
   open->segment.stages.push_back(std::move(stage));
 }
 
+// ---- Chain-signature helpers (subplan-cache identity; see Segment) --------
+
+std::string ExprSig(const ExprPtr& expr) {
+  return expr == nullptr ? std::string("~") : expr->ToString();
+}
+
+std::string ExprListSig(const std::vector<ExprPtr>& exprs) {
+  std::string sig;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    if (i > 0) sig += ',';
+    sig += ExprSig(exprs[i]);
+  }
+  return sig;
+}
+
+std::string ProjListSig(const std::vector<ProjectedColumn>& columns) {
+  std::string sig;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) sig += ',';
+    sig += columns[i].name;
+    sig += '=';
+    sig += ExprSig(columns[i].expr);
+  }
+  return sig;
+}
+
+std::string NameListSig(const std::vector<std::string>& names) {
+  std::string sig;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) sig += ',';
+    sig += names[i];
+  }
+  return sig;
+}
+
 Result<OpenPipeline> Build(const PhysicalOpPtr& op, SegmentedPlan* out);
 
 Result<OpenPipeline> BuildChild(const PhysicalOpPtr& op, SegmentedPlan* out) {
@@ -38,6 +73,8 @@ Result<OpenPipeline> Build(const PhysicalOpPtr& op, SegmentedPlan* out) {
       open.segment.input_alias = op->alias;
       open.segment.input_columns = op->columns;
       open.segment.est_input_rows = op->est_rows;
+      open.segment.chain_signature =
+          "T:" + op->table + "/" + op->alias + ":" + NameListSig(op->columns);
       return open;
     }
 
@@ -47,6 +84,7 @@ Result<OpenPipeline> Build(const PhysicalOpPtr& op, SegmentedPlan* out) {
       stage.kernel = MakeFilterKernel(op->predicate);
       stage.est_rows_out = op->est_rows;
       stage.est_columns_out = static_cast<int>(OutputColumns(*op).size());
+      open.segment.chain_signature += "|F:" + ExprSig(op->predicate);
       AppendStage(&open, std::move(stage));
       return open;
     }
@@ -59,6 +97,7 @@ Result<OpenPipeline> Build(const PhysicalOpPtr& op, SegmentedPlan* out) {
                                ? op->est_rows
                                : (op->child != nullptr ? op->child->est_rows : 0.0);
       stage.est_columns_out = static_cast<int>(op->projections.size());
+      open.segment.chain_signature += "|P:" + ProjListSig(op->projections);
       AppendStage(&open, std::move(stage));
       return open;
     }
@@ -69,6 +108,7 @@ Result<OpenPipeline> Build(const PhysicalOpPtr& op, SegmentedPlan* out) {
       // the radix-partitioned variant for cache-exceeding build sides.
       KernelPtr build_kernel;
       KernelPtr probe_kernel;
+      std::shared_ptr<HashJoinState> join_state;
       if (op->partitioned_join) {
         auto state =
             std::make_shared<PartitionedJoinState>(op->num_partitions);
@@ -76,11 +116,12 @@ Result<OpenPipeline> Build(const PhysicalOpPtr& op, SegmentedPlan* out) {
         probe_kernel = MakePartitionedProbeKernel(op->probe_keys, state,
                                                   op->build_payload);
       } else {
-        auto state = std::make_shared<HashJoinState>();
-        build_kernel = MakeHashBuildKernel(op->build_keys, state);
+        join_state = std::make_shared<HashJoinState>();
+        build_kernel = MakeHashBuildKernel(op->build_keys, join_state);
         probe_kernel =
-            MakeHashProbeKernel(op->probe_keys, state, op->build_payload);
+            MakeHashProbeKernel(op->probe_keys, join_state, op->build_payload);
       }
+      std::string build_sig;
       {
         GPL_ASSIGN_OR_RETURN(OpenPipeline build_open,
                              BuildChild(op->build_child, out));
@@ -88,8 +129,16 @@ Result<OpenPipeline> Build(const PhysicalOpPtr& op, SegmentedPlan* out) {
         build_stage.kernel = std::move(build_kernel);
         build_stage.est_rows_out = 0.0;  // output is the hash table
         build_stage.est_columns_out = 1;
+        build_open.segment.chain_signature +=
+            (op->partitioned_join
+                 ? "|PB" + std::to_string(op->num_partitions) + ":"
+                 : "|HB:") +
+            ExprListSig(op->build_keys);
         AppendStage(&build_open, std::move(build_stage));
         build_open.segment.output_is_hash_build = true;
+        build_open.segment.hash_state = join_state;
+        build_open.segment.uncacheable |= op->partitioned_join;
+        build_sig = build_open.segment.chain_signature;
         out->segments.push_back(std::move(build_open.segment));
       }
 
@@ -98,6 +147,13 @@ Result<OpenPipeline> Build(const PhysicalOpPtr& op, SegmentedPlan* out) {
       probe_stage.kernel = std::move(probe_kernel);
       probe_stage.est_rows_out = op->est_rows;
       probe_stage.est_columns_out = static_cast<int>(OutputColumns(*op).size());
+      // The probe's output depends on the build side's content, so the build
+      // chain is part of this segment's identity.
+      open.segment.chain_signature +=
+          (op->partitioned_join ? "|PP:" : "|HP:") +
+          ExprListSig(op->probe_keys) + ">" + NameListSig(op->build_payload) +
+          "{B=" + build_sig + "}";
+      open.segment.uncacheable |= op->partitioned_join;
       AppendStage(&open, std::move(probe_stage));
       return open;
     }
@@ -108,6 +164,7 @@ Result<OpenPipeline> Build(const PhysicalOpPtr& op, SegmentedPlan* out) {
       // exchanged data, so mark it as a fusion boundary.
       GPL_ASSIGN_OR_RETURN(OpenPipeline open, BuildChild(op->child, out));
       open.pending_exchange_boundary = true;
+      open.segment.chain_signature += "|X";
       return open;
     }
 
@@ -122,6 +179,16 @@ Result<OpenPipeline> Build(const PhysicalOpPtr& op, SegmentedPlan* out) {
       stage.est_columns_out = static_cast<int>(OutputColumns(*op).size());
       stage.is_aggregate = true;
       stage.partial_aggregate = op->partial_aggregate;
+      std::string agg_sig;
+      for (size_t a = 0; a < op->aggregates.size(); ++a) {
+        const AggSpec& spec = op->aggregates[a];
+        if (a > 0) agg_sig += ',';
+        agg_sig += std::to_string(static_cast<int>(spec.func)) + "(" +
+                   ExprSig(spec.arg) + ")>" + spec.output_name;
+      }
+      open.segment.chain_signature +=
+          std::string(op->partial_aggregate ? "|Ap:" : "|Ac:") +
+          ProjListSig(op->group_by) + ";" + agg_sig;
       AppendStage(&open, std::move(stage));
       return open;
     }
@@ -132,13 +199,25 @@ Result<OpenPipeline> Build(const PhysicalOpPtr& op, SegmentedPlan* out) {
       stage.kernel = MakeSortKernel(op->sort_keys);
       stage.est_rows_out = op->est_rows;
       stage.est_columns_out = static_cast<int>(OutputColumns(*op).size());
+      std::string sort_sig;
+      for (size_t k = 0; k < op->sort_keys.size(); ++k) {
+        if (k > 0) sort_sig += ',';
+        sort_sig += op->sort_keys[k].column;
+        sort_sig += op->sort_keys[k].descending ? '-' : '+';
+      }
+      open.segment.chain_signature += "|S:" + sort_sig;
       AppendStage(&open, std::move(stage));
       // Sort is blocking: close the segment. Anything above the sort starts
       // a new pipeline reading the materialized result.
+      const std::string closed_sig = open.segment.chain_signature;
       out->segments.push_back(std::move(open.segment));
       OpenPipeline next;
       next.segment.input_segment = static_cast<int>(out->segments.size()) - 1;
       next.segment.est_input_rows = op->est_rows;
+      // The continuation reads the sorted materialization: its identity is
+      // the sorted chain's (the partitioned-state taint does not carry over —
+      // the continuation only touches the materialized table).
+      next.segment.chain_signature = "M{" + closed_sig + "}";
       return next;
     }
   }

@@ -1,0 +1,129 @@
+#include "pool/page_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gpl {
+namespace pool {
+
+PagePool::PagePool(const PagePoolOptions& options) : options_(options) {
+  GPL_CHECK(options_.page_bytes > 0);
+  const int64_t num_pages =
+      options_.capacity_bytes > 0 ? options_.capacity_bytes / options_.page_bytes
+                                  : 0;
+  pages_.resize(static_cast<size_t>(num_pages));
+  free_.reserve(pages_.size());
+  for (int64_t id = num_pages - 1; id >= 0; --id) {
+    free_.push_back(static_cast<int32_t>(id));
+  }
+  stats_.page_bytes = options_.page_bytes;
+  stats_.total_pages = num_pages;
+  stats_.free_pages = num_pages;
+}
+
+int64_t PagePool::PagesFor(int64_t payload_bytes) const {
+  if (payload_bytes <= 0) return 0;
+  return (payload_bytes + options_.page_bytes - 1) / options_.page_bytes;
+}
+
+void PagePool::TakePagesLocked(int64_t num_pages, int64_t payload_bytes,
+                               PageRun* run) {
+  int64_t remaining = payload_bytes;
+  for (int64_t p = 0; p < num_pages; ++p) {
+    const int32_t id = free_.back();
+    free_.pop_back();
+    Page& page = pages_[static_cast<size_t>(id)];
+    page.refs = 1;
+    page.payload = std::min(remaining, options_.page_bytes);
+    remaining -= page.payload;
+    stats_.payload_bytes += page.payload;
+    run->pages.push_back(id);
+  }
+  stats_.used_pages += num_pages;
+  stats_.free_pages -= num_pages;
+  stats_.waste_bytes =
+      stats_.used_pages * options_.page_bytes - stats_.payload_bytes;
+}
+
+std::optional<PageRun> PagePool::Acquire(int64_t payload_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t need = PagesFor(payload_bytes);
+  if (need > static_cast<int64_t>(free_.size())) {
+    ++stats_.failures;
+    return std::nullopt;
+  }
+  PageRun run;
+  run.payload_bytes = std::max<int64_t>(payload_bytes, 0);
+  TakePagesLocked(need, run.payload_bytes, &run);
+  ++stats_.acquires;
+  return run;
+}
+
+std::optional<PageRun> PagePool::Extend(const PageRun& prefix,
+                                        int64_t total_payload_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GPL_CHECK(total_payload_bytes >= prefix.payload_bytes);
+  // The prefix's pages are immutable once acquired (they may be shared), so
+  // the extension starts on a fresh page: tail pages cover the full payload
+  // delta and the prefix's last-page slack stays as waste.
+  const int64_t tail_payload = total_payload_bytes - prefix.payload_bytes;
+  const int64_t need = PagesFor(tail_payload);
+  if (need > static_cast<int64_t>(free_.size())) {
+    ++stats_.failures;
+    return std::nullopt;
+  }
+  PageRun run;
+  run.payload_bytes = total_payload_bytes;
+  run.pages = prefix.pages;
+  for (const int32_t id : prefix.pages) {
+    ++pages_[static_cast<size_t>(id)].refs;
+  }
+  TakePagesLocked(need, tail_payload, &run);
+  ++stats_.extends;
+  return run;
+}
+
+PageRun PagePool::Share(const PageRun& run) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const int32_t id : run.pages) {
+    Page& page = pages_[static_cast<size_t>(id)];
+    GPL_CHECK(page.refs > 0);
+    ++page.refs;
+  }
+  ++stats_.shares;
+  return run;
+}
+
+void PagePool::Release(const PageRun& run) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int32_t> freed;
+  for (const int32_t id : run.pages) {
+    Page& page = pages_[static_cast<size_t>(id)];
+    GPL_CHECK(page.refs > 0);
+    if (--page.refs == 0) {
+      stats_.payload_bytes -= page.payload;
+      page.payload = 0;
+      freed.push_back(id);
+    }
+  }
+  if (!freed.empty()) {
+    stats_.used_pages -= static_cast<int64_t>(freed.size());
+    stats_.free_pages += static_cast<int64_t>(freed.size());
+    free_.insert(free_.end(), freed.begin(), freed.end());
+    // Keep the free list sorted descending so allocation stays lowest-first
+    // deterministic regardless of release order.
+    std::sort(free_.begin(), free_.end(), std::greater<int32_t>());
+  }
+  stats_.waste_bytes =
+      stats_.used_pages * options_.page_bytes - stats_.payload_bytes;
+  ++stats_.releases;
+}
+
+PagePoolStats PagePool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace pool
+}  // namespace gpl

@@ -1,0 +1,118 @@
+#ifndef GPL_POOL_PAGE_POOL_H_
+#define GPL_POOL_PAGE_POOL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace gpl {
+namespace pool {
+
+/// Configuration of a PagePool.
+struct PagePoolOptions {
+  /// Fixed page size. Every allocation is rounded up to whole pages; the
+  /// round-up slack is the pool's "waste" (the paged-KV-cache argument: small
+  /// fixed pages bound waste to < one page per run instead of per-tenant
+  /// over-reservation).
+  int64_t page_bytes = 64 * 1024;
+  /// Total budget. 0 means the pool owns no pages and every Acquire fails —
+  /// callers degrade to compute-without-retention.
+  int64_t capacity_bytes = 0;
+};
+
+/// A reference to a run of pages holding one logical payload. Runs are
+/// values: Share() produces a second reference (per-page refcounts go up),
+/// Release() drops one. A run obtained from Extend() shares its prefix pages
+/// with the run it extends.
+struct PageRun {
+  std::vector<int32_t> pages;  ///< page ids in acquisition order
+  int64_t payload_bytes = 0;   ///< logical bytes stored across the pages
+
+  bool empty() const { return pages.empty(); }
+};
+
+/// Occupancy counters of a PagePool (one consistent snapshot under the pool
+/// mutex). `waste_bytes` is internal fragmentation: bytes reserved by used
+/// pages minus the payload actually stored in them. Shared pages count once,
+/// which is exactly the dedup the pool exists to provide.
+struct PagePoolStats {
+  int64_t page_bytes = 0;
+  int64_t total_pages = 0;
+  int64_t used_pages = 0;
+  int64_t free_pages = 0;
+  int64_t payload_bytes = 0;
+  int64_t waste_bytes = 0;
+  uint64_t acquires = 0;
+  uint64_t extends = 0;
+  uint64_t shares = 0;
+  uint64_t releases = 0;
+  uint64_t failures = 0;  ///< Acquire/Extend calls that found no free pages
+
+  double Occupancy() const {
+    return total_pages == 0
+               ? 0.0
+               : static_cast<double>(used_pages) /
+                     static_cast<double>(total_pages);
+  }
+};
+
+/// A fixed-size paged allocator modeling device global memory for cached
+/// subplan data. Pages are bookkeeping only (the payloads live in host
+/// shared_ptrs); the pool decides *what fits* and meters occupancy, sharing
+/// and waste — the role the paged KV-block allocator plays in LLM serving.
+///
+/// Determinism: free pages are handed out lowest-id first, so an identical
+/// sequence of acquires/releases always produces identical runs. Thread-safe.
+class PagePool {
+ public:
+  explicit PagePool(const PagePoolOptions& options);
+
+  PagePool(const PagePool&) = delete;
+  PagePool& operator=(const PagePool&) = delete;
+
+  /// Acquires a fresh run of ceil(payload/page) pages. nullopt (and a
+  /// `failures` tick) if not enough pages are free; the pool is unchanged.
+  /// A zero/negative payload yields an empty run (always succeeds).
+  std::optional<PageRun> Acquire(int64_t payload_bytes);
+
+  /// Returns a new run that shares `prefix`'s pages (their refcounts rise)
+  /// and appends fresh pages for the payload beyond the prefix. The prefix
+  /// run stays valid and independently releasable. nullopt if the tail does
+  /// not fit; the pool is unchanged. `total_payload_bytes` must be >= the
+  /// prefix's payload.
+  std::optional<PageRun> Extend(const PageRun& prefix,
+                                int64_t total_payload_bytes);
+
+  /// Takes an additional reference on every page of `run`.
+  PageRun Share(const PageRun& run);
+
+  /// Drops one reference from every page of `run`; pages whose refcount
+  /// reaches zero return to the free list.
+  void Release(const PageRun& run);
+
+  PagePoolStats stats() const;
+
+ private:
+  struct Page {
+    int32_t refs = 0;
+    int64_t payload = 0;  ///< bytes of payload stored in this page
+  };
+
+  int64_t PagesFor(int64_t payload_bytes) const;
+  /// Pops the lowest-id free pages into *run and spreads `payload_bytes`
+  /// of payload across them. Caller has checked availability.
+  void TakePagesLocked(int64_t num_pages, int64_t payload_bytes, PageRun* run);
+
+  const PagePoolOptions options_;
+  mutable std::mutex mu_;
+  std::vector<Page> pages_;
+  /// Free page ids, kept sorted descending so pop_back() yields lowest-first.
+  std::vector<int32_t> free_;
+  PagePoolStats stats_;
+};
+
+}  // namespace pool
+}  // namespace gpl
+
+#endif  // GPL_POOL_PAGE_POOL_H_

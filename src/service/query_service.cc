@@ -67,6 +67,15 @@ std::string ServiceStats::ToString() const {
       << " total_simulated_ms=" << total_simulated_ms
       << " tuning_cache_hits=" << tuning_cache_hits
       << " tuning_cache_misses=" << tuning_cache_misses
+      << " subplan_cache_hits=" << subplan_cache_hits
+      << " subplan_cache_misses=" << subplan_cache_misses
+      << " subplan_attaches=" << subplan_attaches
+      << " subplan_evictions=" << subplan_evictions
+      << " subplan_bytes=" << subplan_bytes
+      << " subplan_entries=" << subplan_entries
+      << " scan_rows_scanned=" << scan_rows_scanned
+      << " scan_rows_shared=" << scan_rows_shared
+      << " queries_with_cache_hits=" << queries_with_cache_hits
       << " retries=" << retries << " degraded=" << degraded
       << " gave_up=" << gave_up;
   if (!device_busy_ms.empty()) {
@@ -136,6 +145,12 @@ QueryService::QueryService(const tpch::Database* db, ServiceOptions options)
       options_(std::move(options)),
       calibration_(model::CalibrationTable::Run(
           sim::Simulator(options_.engine.device))),
+      subplan_cache_([&] {
+        pool::SubplanCacheOptions subplan_options;
+        subplan_options.capacity_bytes =
+            std::max<int64_t>(0, options_.subplan_cache_mb) * 1024 * 1024;
+        return subplan_options;
+      }()),
       start_tp_(std::chrono::steady_clock::now()) {
   if (options_.num_workers < 1) options_.num_workers = 1;
   if (options_.queue_capacity < 1) options_.queue_capacity = 1;
@@ -148,6 +163,14 @@ QueryService::QueryService(const tpch::Database* db, ServiceOptions options)
   // One tuning cache for all workers (TuningCache is thread-safe): whichever
   // worker tunes a segment first spares the rest the grid search.
   options_.engine.tuning_cache = &tuning_cache_;
+  // One subplan cache for all workers (SubplanCache is thread-safe): data
+  // materialized by any worker serves the rest, and identical concurrent
+  // leaf scans batch onto one in-flight compute. Sharded services keep it
+  // off — shard engines run over per-shard partitions, so whole-database
+  // entries would be unsound there (the engine also nulls it for leaves).
+  options_.engine.subplan_cache =
+      options_.subplan_cache && options_.num_shards <= 1 ? &subplan_cache_
+                                                         : nullptr;
   if (options_.engine.metrics == nullptr) {
     options_.engine.metrics = options_.metrics;
   }
@@ -213,6 +236,12 @@ QueryService::QueryService(const tpch::Database* db, ServiceOptions options)
         "Tasks stolen from another worker's deque", {}, [] {
           return static_cast<double>(ThreadPool::Global().stats().steals);
         }));
+    if (options_.engine.subplan_cache != nullptr) {
+      const std::vector<uint64_t> subplan_ids =
+          subplan_cache_.RegisterGauges(metrics, "gpl_subplan");
+      callback_ids_.insert(callback_ids_.end(), subplan_ids.begin(),
+                           subplan_ids.end());
+    }
   }
 
   if (options_.num_shards > 1) {
@@ -441,6 +470,8 @@ void QueryService::RunTask(int worker_index, const ExecuteFn& execute,
     record.outcome = QueryOutcome::kCompleted;
     record.simulated_ms = (*result)->metrics.elapsed_ms;
     record.degraded = (*result)->metrics.degraded_segments > 0;
+    record.subplan_hits = (*result)->metrics.subplan_cache_hits;
+    record.subplan_misses = (*result)->metrics.subplan_cache_misses;
     record.exchange_bytes = (*result)->metrics.exchange_bytes;
     record.device_elapsed_ms = (*result)->metrics.device_elapsed_ms;
   } else {
@@ -479,6 +510,7 @@ void QueryService::RunTask(int worker_index, const ExecuteFn& execute,
           stats_.degraded++;
           obs::Inc(degraded_counter_);
         }
+        if (record.subplan_hits > 0) stats_.queries_with_cache_hits++;
         const double latency_ms =
             static_cast<double>(end_ns - task->submit_ns) / 1e6;
         latency_histogram_.Observe(latency_ms);
@@ -546,6 +578,15 @@ ServiceStats QueryService::Stats() const {
   const model::TuningCacheStats cache_stats = tuning_cache_.stats();
   snapshot.tuning_cache_hits = cache_stats.hits;
   snapshot.tuning_cache_misses = cache_stats.misses;
+  const pool::SubplanCacheStats subplan = subplan_cache_.stats();
+  snapshot.subplan_cache_hits = subplan.hits;
+  snapshot.subplan_cache_misses = subplan.misses;
+  snapshot.subplan_attaches = subplan.attaches;
+  snapshot.subplan_evictions = subplan.evictions;
+  snapshot.subplan_bytes = subplan.bytes;
+  snapshot.subplan_entries = subplan.entries;
+  snapshot.scan_rows_scanned = subplan.scan_rows_scanned;
+  snapshot.scan_rows_shared = subplan.scan_rows_shared;
   return snapshot;
 }
 

@@ -20,6 +20,7 @@
 #include "model/calibration.h"
 #include "model/tuning_cache.h"
 #include "plan/logical_plan.h"
+#include "pool/subplan_cache.h"
 #include "shard/device_group.h"
 #include "shard/partitioner.h"
 #include "sim/fault.h"
@@ -106,6 +107,19 @@ struct ServiceOptions {
   /// Interconnect of the group (exchange cost model).
   sim::LinkSpec link;
 
+  /// Shared-work execution: one pool::SubplanCache for all workers. A hash
+  /// table built (or a scan view decoded) by any worker is a hit for every
+  /// other, and concurrently admitted queries scanning the same table attach
+  /// to one in-flight materialization (shared-scan batching). Results are
+  /// bit-identical with the cache on or off at any capacity — hits replay
+  /// the cold run's timing simulation — so this only trades host memory for
+  /// host wall-clock. Disabled for sharded services (per-shard databases
+  /// make whole-database entries unsound; the engine nulls it there anyway).
+  bool subplan_cache = true;
+  /// Capacity of the shared subplan cache in MiB. 0 keeps shared-scan
+  /// batching (in-flight attach) but retains nothing.
+  int64_t subplan_cache_mb = 64;
+
   /// Optional metrics registry. When set, the service registers admission /
   /// outcome counters, queue-depth and running gauges, overall and per-class
   /// latency histograms, and callback gauges over the shared ThreadPool and
@@ -151,6 +165,31 @@ struct ServiceStats {
   /// a segment tuned once by any worker is a lookup for every other.
   uint64_t tuning_cache_hits = 0;
   uint64_t tuning_cache_misses = 0;
+
+  /// Shared subplan-cache (data memoization) accounting across all workers
+  /// (zero when ServiceOptions::subplan_cache is off). `subplan_attaches` is
+  /// the subset of hits served by waiting on another query's in-flight
+  /// compute (shared-scan batching / shared builds); `scan_rows_*` split
+  /// base-table rows into actually-scanned vs. served-from-shared.
+  uint64_t subplan_cache_hits = 0;
+  uint64_t subplan_cache_misses = 0;
+  uint64_t subplan_attaches = 0;
+  uint64_t subplan_evictions = 0;
+  int64_t subplan_bytes = 0;
+  int64_t subplan_entries = 0;
+  uint64_t scan_rows_scanned = 0;
+  uint64_t scan_rows_shared = 0;
+  /// Completed queries whose execution had at least one subplan-cache hit
+  /// (per-query cache outcome; each query's own counts ride its
+  /// QueryMetrics and the serve-mode telemetry JSONL).
+  uint64_t queries_with_cache_hits = 0;
+
+  double SubplanHitRate() const {
+    const uint64_t total = subplan_cache_hits + subplan_cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(subplan_cache_hits) /
+                            static_cast<double>(total);
+  }
 
   /// Fault-recovery accounting (zero without fault injection).
   uint64_t retries = 0;   ///< re-execution attempts beyond each query's first
@@ -258,6 +297,8 @@ class QueryService {
   const shard::DeviceGroup& device_group() const { return group_; }
   /// The TuneSegment memo shared by every worker engine (thread-safe).
   model::TuningCache& tuning_cache() { return tuning_cache_; }
+  /// The subplan-data memo shared by every worker engine (thread-safe).
+  pool::SubplanCache& subplan_cache() { return subplan_cache_; }
 
  private:
   struct FinishedRecord {
@@ -270,6 +311,8 @@ class QueryService {
     double simulated_ms = 0.0;
     int attempts = 0;       ///< engine executions (0 = deadline beat dispatch)
     bool degraded = false;  ///< completed with >= 1 degraded segment
+    int64_t subplan_hits = 0;    ///< this query's subplan-cache hits
+    int64_t subplan_misses = 0;  ///< this query's cacheable-segment misses
     int64_t exchange_bytes = 0;            ///< sharded runs only
     std::vector<double> device_elapsed_ms; ///< sharded runs only
     /// (start_ns, end_ns) of each engine execution; gaps between entries are
@@ -302,6 +345,11 @@ class QueryService {
   /// tuned by any worker is a cache hit for the rest, so steady-state
   /// OptimizeWallMs() collapses to a signature lookup. Thread-safe.
   model::TuningCache tuning_cache_;
+  /// Shared subplan-data memo (paged pool + cache) referenced by every
+  /// worker engine when ServiceOptions::subplan_cache is on: scan views and
+  /// build-side hash tables materialized by any worker serve the rest, and
+  /// concurrent identical leaves attach to one in-flight scan. Thread-safe.
+  pool::SubplanCache subplan_cache_;
   std::chrono::steady_clock::time_point start_tp_;
 
   mutable std::mutex mu_;
